@@ -1,0 +1,53 @@
+//! Ablation: selecting the QS sweep point by depth vs by estimated
+//! success probability (the paper's two selection objectives, §3.2.1).
+//!
+//! ESP folds in per-link error rates and idle decoherence, so its pick can
+//! differ from the depth pick — typically favoring slightly deeper
+//! circuits that avoid bad links or long idles.
+
+use caqr::{compile, Strategy};
+use caqr_bench::{device_for, format_dt, Table};
+use caqr_benchmarks::suite;
+
+fn main() {
+    println!("Ablation — QS sweep-point selection: minimal depth vs maximal ESP\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "min-depth (q/depth/dur/esp)",
+        "max-esp (q/depth/dur/esp)",
+        "same pick?",
+    ]);
+    for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
+        let device = device_for(bench.circuit.num_qubits());
+        let d = compile(&bench.circuit, &device, Strategy::QsMinDepth);
+        let e = compile(&bench.circuit, &device, Strategy::QsMaxEsp);
+        match (d, e) {
+            (Ok(d), Ok(e)) => {
+                let fmt = |r: &caqr::CompileReport| {
+                    format!(
+                        "{}/{}/{}/{:.4}",
+                        r.qubits,
+                        r.depth,
+                        format_dt(r.duration_dt),
+                        r.esp
+                    )
+                };
+                let same = d.qubits == e.qubits && d.depth == e.depth;
+                t.row(&[
+                    bench.name.clone(),
+                    fmt(&d),
+                    fmt(&e),
+                    if same { "yes" } else { "no" }.into(),
+                ]);
+            }
+            _ => t.row(&[
+                bench.name.clone(),
+                "error".into(),
+                "error".into(),
+                String::new(),
+            ]),
+        }
+    }
+    t.print();
+    println!("\nexpected: max-ESP never reports a lower ESP than min-depth's pick.");
+}

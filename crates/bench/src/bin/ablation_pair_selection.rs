@@ -1,0 +1,75 @@
+//! Ablation: QS-CaQR's critical-path-aware pair selection vs naive
+//! alternatives (first valid pair; worst pair), across the regular suite.
+//!
+//! Validates the design choice of §3.2.1: scoring each candidate pair by
+//! the critical path of the resulting DAG.
+
+use caqr::analysis::ReuseAnalysis;
+use caqr::transform::{self, ReusePlan};
+use caqr_bench::{device_for, Table};
+use caqr_benchmarks::suite;
+use caqr_circuit::depth::{duration_dt, DurationModel};
+use caqr_circuit::Circuit;
+
+/// Reduce to the minimum qubit count, choosing pairs by `pick`.
+fn sweep_with(
+    circuit: &Circuit,
+    durations: &impl DurationModel,
+    mut pick: impl FnMut(&Circuit, &[(u64, Circuit)]) -> usize,
+) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let analysis = ReuseAnalysis::of(&current);
+        let options: Vec<(u64, Circuit)> = analysis
+            .candidate_pairs()
+            .into_iter()
+            .filter_map(|p| {
+                let t = transform::apply(&current, &ReusePlan::from_pairs([p])).ok()?;
+                let d = duration_dt(&t.circuit, durations);
+                Some((d, t.circuit))
+            })
+            .collect();
+        if options.is_empty() {
+            return current;
+        }
+        let idx = pick(&current, &options);
+        current = options[idx].1.clone();
+    }
+}
+
+fn main() {
+    println!("Ablation — pair-selection objective (all reduced to minimum qubits)\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "critical-path pick (dur)",
+        "first-valid pick (dur)",
+        "worst pick (dur)",
+    ]);
+    for bench in suite::regular_suite() {
+        let device = device_for(bench.circuit.num_qubits());
+        let model = device.logical_duration_model();
+        let best = sweep_with(&bench.circuit, &model, |_, opts| {
+            opts.iter()
+                .enumerate()
+                .min_by_key(|(_, (d, _))| *d)
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        let first = sweep_with(&bench.circuit, &model, |_, _| 0);
+        let worst = sweep_with(&bench.circuit, &model, |_, opts| {
+            opts.iter()
+                .enumerate()
+                .max_by_key(|(_, (d, _))| *d)
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        t.row(&[
+            bench.name.clone(),
+            format!("{} ({}q)", duration_dt(&best, &model), best.num_qubits()),
+            format!("{} ({}q)", duration_dt(&first, &model), first.num_qubits()),
+            format!("{} ({}q)", duration_dt(&worst, &model), worst.num_qubits()),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: critical-path picking never loses to first-valid and beats worst-pick.");
+}

@@ -1,0 +1,42 @@
+//! Ablation: single-pass vs SABRE-style bidirectional baseline routing.
+//!
+//! Quantifies what the reverse-pass layout refinement buys on the suite —
+//! and therefore how conservative the paper-table baselines are.
+
+use caqr::baseline;
+use caqr_bench::{device_for, Table};
+use caqr_benchmarks::suite;
+
+fn main() {
+    println!("Ablation — baseline routing: single pass vs bidirectional refinement\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "single SWAPs",
+        "bidir SWAPs",
+        "single depth",
+        "bidir depth",
+    ]);
+    for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
+        let device = device_for(bench.circuit.num_qubits());
+        let single = baseline::compile(&bench.circuit, &device);
+        let bidir = baseline::compile_bidirectional(&bench.circuit, &device);
+        match (single, bidir) {
+            (Ok(s), Ok(b)) => t.row(&[
+                bench.name.clone(),
+                s.swap_count.to_string(),
+                b.swap_count.to_string(),
+                s.circuit.depth().to_string(),
+                b.circuit.depth().to_string(),
+            ]),
+            _ => t.row(&[
+                bench.name.clone(),
+                "error".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    t.print();
+    println!("\nexpected: bidirectional never inserts more SWAPs; gains grow with circuit size.");
+}

@@ -1,0 +1,54 @@
+//! Ablation: SR-CaQR's policy knobs — delaying off-critical gates and
+//! reclaiming retired physical qubits — evaluated independently.
+
+use caqr::router::{route, RouterOptions};
+use caqr_bench::{device_for, Table};
+use caqr_benchmarks::suite;
+
+fn main() {
+    println!("Ablation — SR-CaQR policy knobs (regular suite)\n");
+    let variants: [(&str, RouterOptions); 4] = [
+        ("baseline (preplace)", RouterOptions::baseline()),
+        (
+            "delay only",
+            RouterOptions {
+                delay_off_critical: true,
+                reclaim: false,
+                preplace: false,
+            },
+        ),
+        (
+            "reclaim only",
+            RouterOptions {
+                delay_off_critical: false,
+                reclaim: true,
+                preplace: false,
+            },
+        ),
+        ("SR (delay + reclaim)", RouterOptions::sr()),
+    ];
+    let mut t = Table::new(&["benchmark", "variant", "qubits", "SWAPs", "depth"]);
+    for bench in suite::regular_suite() {
+        let device = device_for(bench.circuit.num_qubits());
+        for (label, opts) in variants {
+            match route(&bench.circuit, &device, opts) {
+                Ok(r) => t.row(&[
+                    bench.name.clone(),
+                    label.to_string(),
+                    r.physical_qubits_used.to_string(),
+                    r.swap_count.to_string(),
+                    r.circuit.depth().to_string(),
+                ]),
+                Err(e) => t.row(&[
+                    bench.name.clone(),
+                    label.to_string(),
+                    format!("{e}"),
+                    String::new(),
+                    String::new(),
+                ]),
+            }
+        }
+    }
+    t.print();
+    println!("\nexpected: reclaim drives qubit usage down; delay+reclaim minimizes SWAPs.");
+}

@@ -1,0 +1,92 @@
+//! Fig. 3: the qubit-saving potential of QAOA-64.
+//!
+//! QS-CaQR sweeps every achievable qubit count for a 64-qubit QAOA circuit
+//! on a power-law and a random problem graph (density 0.3) and reports the
+//! logical depth at each point. The paper's headline: the power-law input
+//! saves over 80% of qubits for at most ~25% extra duration; the random
+//! input saves ~33% for at most ~20%.
+
+use caqr::commuting::CommutingSpec;
+use caqr::{qs, sr};
+use caqr_bench::{Table, EXPERIMENT_SEED};
+use caqr_benchmarks::qaoa::{maxcut_circuit, GraphKind};
+
+fn sweep_for(kind: GraphKind, label: &str) {
+    let graph = kind.generate(64, 0.3, EXPERIMENT_SEED);
+    let circuit = maxcut_circuit(&graph, &[(0.7, 0.3)]);
+    let spec = CommutingSpec::from_circuit(&circuit).expect("QAOA is commuting");
+    let matcher = sr::default_matcher(&spec);
+    let points = qs::commuting::sweep(&spec, matcher);
+
+    let base_depth = points[0].depth();
+    println!(
+        "\nQAOA-64 {label} graph (|E| = {}, coloring bound = {}):",
+        graph.num_edges(),
+        qs::commuting::min_qubits(&spec)
+    );
+    let mut t = Table::new(&["qubits", "depth", "depth growth", "qubit saving"]);
+    for p in &points {
+        t.row(&[
+            p.qubits.to_string(),
+            p.depth().to_string(),
+            format!("{:+.1}%", 100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)),
+            format!("{:.1}%", 100.0 * (1.0 - p.qubits as f64 / 64.0)),
+        ]);
+    }
+    t.print();
+
+    // The paper's headline claims.
+    let min_qubits = points.last().map(|p| p.qubits).unwrap_or(64);
+    println!("minimum qubits reached: {min_qubits} (saving {:.0}%)",
+        100.0 * (1.0 - min_qubits as f64 / 64.0));
+    if let Some(p80) = points.iter().rev().find(|p| p.qubits as f64 <= 64.0 * 0.2) {
+        println!(
+            ">=80% saving point: {} qubits at {:+.1}% depth",
+            p80.qubits,
+            100.0 * (p80.depth() as f64 / base_depth as f64 - 1.0)
+        );
+    }
+}
+
+/// The paper's extreme floor ("as few as 5 qubits") needs a genuinely
+/// sparse hub-and-leaf power-law instance: a graph's reachable floor is
+/// lower-bounded by its pathwidth, and a 605-edge graph cannot have
+/// pathwidth 4. We therefore also sweep the classic Barabási–Albert
+/// scale-free graph (m = 2), which reproduces that order-of-magnitude
+/// compression.
+fn sweep_sparse_scale_free() {
+    let graph = caqr_graph::gen::barabasi_albert(64, 2, EXPERIMENT_SEED);
+    let circuit = maxcut_circuit(&graph, &[(0.7, 0.3)]);
+    let spec = CommutingSpec::from_circuit(&circuit).expect("QAOA is commuting");
+    let points = qs::commuting::sweep(&spec, sr::default_matcher(&spec));
+    let base_depth = points[0].depth();
+    println!(
+        "\nQAOA-64 sparse scale-free (BA m=2, |E| = {}):",
+        graph.num_edges()
+    );
+    let mut t = Table::new(&["qubits", "depth", "depth growth", "qubit saving"]);
+    let step = (points.len() / 14).max(1);
+    for (i, p) in points.iter().enumerate() {
+        if i % step != 0 && i != points.len() - 1 {
+            continue;
+        }
+        t.row(&[
+            p.qubits.to_string(),
+            p.depth().to_string(),
+            format!("{:+.1}%", 100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)),
+            format!("{:.1}%", 100.0 * (1.0 - p.qubits as f64 / 64.0)),
+        ]);
+    }
+    t.print();
+    println!(
+        "floor: {} qubits (paper reports 'as few as 5' for its power-law instance)",
+        points.last().map(|p| p.qubits).unwrap_or(64)
+    );
+}
+
+fn main() {
+    println!("Fig. 3 — qubit saving potential, QAOA-64, density 0.3");
+    sweep_for(GraphKind::PowerLaw, "power-law");
+    sweep_for(GraphKind::Random, "random");
+    sweep_sparse_scale_free();
+}

@@ -1,0 +1,43 @@
+//! Fig. 13: QS-CaQR on regular applications — logical and compiled depth
+//! across the full qubit-usage sweep (Multiply_13, System_9, BV_10).
+//!
+//! The paper's observation: logical depth rises monotonically as qubits
+//! shrink, but the *compiled* depth first falls (reuse relieves SWAP
+//! pressure) and only rises once saving gets too aggressive — so the sweet
+//! spot sits in the middle.
+
+use caqr::{baseline, qs};
+use caqr_bench::{device_for, format_dt, Table};
+use caqr_benchmarks::{bv, revlib};
+use caqr_circuit::depth::duration_dt;
+
+fn sweep(bench: &caqr_benchmarks::Benchmark) {
+    let device = device_for(bench.circuit.num_qubits());
+    println!("\n{} (device: {}):", bench.name, device.topology());
+    let points = qs::regular::sweep(&bench.circuit, &device.logical_duration_model());
+    let mut t = Table::new(&[
+        "qubits",
+        "logical depth",
+        "compiled depth",
+        "compiled duration",
+        "SWAPs",
+    ]);
+    for p in &points {
+        let routed = baseline::compile(&p.circuit, &device).expect("fits device");
+        t.row(&[
+            p.qubits.to_string(),
+            p.depth().to_string(),
+            routed.circuit.depth().to_string(),
+            format_dt(duration_dt(&routed.circuit, &device.duration_model())),
+            routed.swap_count.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("Fig. 13 — QS-CaQR qubit-usage sweep, regular applications");
+    sweep(&revlib::multiply_13());
+    sweep(&revlib::system_9());
+    sweep(&bv::bv_all_ones(10));
+}

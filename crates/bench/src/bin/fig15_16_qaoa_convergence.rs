@@ -1,0 +1,118 @@
+//! Figs. 15/16: QAOA max-cut convergence under COBYLA — SR-CaQR's reused
+//! circuit vs the no-reuse baseline, on the noisy Mumbai simulator.
+//!
+//! The x-axis is the optimizer round; the y-axis is the negated expected
+//! cut (lower is better). The paper's 10-vertex instances at densities 0.3
+//! and 0.5 show the SR-CaQR circuit (6 qubits) converging faster and
+//! reaching a better minimum than the 10-qubit original.
+//!
+//! Routing does not depend on the QAOA angles, so each strategy is
+//! compiled once with marker angles; every optimizer evaluation just
+//! substitutes the candidate `(gamma, beta)` into the compiled circuit.
+
+use caqr::{compile, Strategy};
+use caqr_arch::Device;
+use caqr_bench::{mumbai, Table, EXPERIMENT_SEED};
+use caqr_benchmarks::qaoa::maxcut_circuit;
+use caqr_benchmarks::qaoa::GraphKind;
+use caqr_circuit::{Circuit, Gate};
+use caqr_graph::Graph;
+use caqr_optim::{cobyla, Options};
+use caqr_sim::{metrics, Executor, NoiseModel};
+
+const SHOTS: usize = 384;
+const ROUNDS: usize = 50;
+const MARKER_GAMMA: f64 = 0.123456789;
+const MARKER_BETA: f64 = 0.987654321;
+
+/// Replaces the marker angles in a compiled circuit with `(gamma, beta)`.
+fn substitute(compiled: &Circuit, gamma: f64, beta: f64) -> Circuit {
+    let mut out = Circuit::new(compiled.num_qubits(), compiled.num_clbits());
+    for instr in compiled {
+        let mut ni = instr.clone();
+        ni.gate = match instr.gate {
+            Gate::Rzz(a) if (a - MARKER_GAMMA).abs() < 1e-9 => Gate::Rzz(gamma),
+            Gate::Rx(a) if (a - 2.0 * MARKER_BETA).abs() < 1e-9 => Gate::Rx(2.0 * beta),
+            g => g,
+        };
+        out.push(ni);
+    }
+    out
+}
+
+fn converge(graph: &Graph, device: &Device, strategy: Strategy) -> (Vec<f64>, usize) {
+    let template = maxcut_circuit(graph, &[(MARKER_GAMMA, MARKER_BETA)]);
+    // The SR curve uses the fidelity-objective version selection (the
+    // reuse level with the best ESP), matching the paper's end-to-end
+    // fidelity experiments; the baseline compiles without reuse.
+    let (compiled, qubits) = if strategy == Strategy::Sr {
+        let routed = caqr::sr::compile_for_fidelity(&template, device).expect("fits device");
+        let q = routed.physical_qubits_used;
+        (routed.circuit, q)
+    } else {
+        let report = compile(&template, device, strategy).expect("fits device");
+        let q = report.qubits;
+        (report.circuit, q)
+    };
+    let (compact, _) = compiled.compact_qubits();
+    let noisy = Executor::noisy(NoiseModel::from_device(device.clone()));
+    let mut eval = 0u64;
+    let result = cobyla::minimize(
+        |x| {
+            eval += 1;
+            let circuit = substitute(&compact, x[0], x[1]);
+            let counts = noisy
+                .run_shots(&circuit, SHOTS, EXPERIMENT_SEED + eval)
+                .marginal(graph.num_vertices());
+            -metrics::expected_cut(graph, &counts)
+        },
+        &[0.7, 0.3],
+        &Options {
+            max_evals: ROUNDS,
+            initial_step: 0.4,
+            tolerance: 1e-4,
+        },
+    );
+    (result.history, qubits)
+}
+
+fn run(density: f64) {
+    let device = mumbai();
+    let graph = GraphKind::Random.generate(10, density, EXPERIMENT_SEED);
+    let max_cut = metrics::max_cut_brute_force(&graph);
+    println!(
+        "\nQAOA 10-{density}: |E| = {}, brute-force max cut = {max_cut}",
+        graph.num_edges()
+    );
+    let (base_hist, base_q) = converge(&graph, &device, Strategy::Baseline);
+    let (sr_hist, sr_q) = converge(&graph, &device, Strategy::Sr);
+    println!("baseline uses {base_q} qubits; SR-CaQR uses {sr_q} qubits");
+    let mut t = Table::new(&["round", "baseline -<cut>", "SR-CaQR -<cut>"]);
+    let len = base_hist.len().max(sr_hist.len());
+    let pick = |h: &[f64], i: usize| {
+        h.get(i)
+            .or(h.last())
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_default()
+    };
+    for i in (0..len).step_by(5) {
+        t.row(&[i.to_string(), pick(&base_hist, i), pick(&sr_hist, i)]);
+    }
+    t.row(&[
+        "final".into(),
+        pick(&base_hist, len.saturating_sub(1)),
+        pick(&sr_hist, len.saturating_sub(1)),
+    ]);
+    t.print();
+}
+
+fn main() {
+    println!("Figs. 15/16 — QAOA convergence, COBYLA, noisy Mumbai simulator");
+    println!("({SHOTS} shots per evaluation, {ROUNDS} evaluations)");
+    run(0.3);
+    run(0.5);
+    println!("\npaper shape: the SR-CaQR curve sits below the baseline and converges faster.");
+    println!("note: our noise model has no spectator/readout crosstalk, which is the main");
+    println!("physical mechanism rewarding fewer live qubits on hardware — expect the SR");
+    println!("curve to track the baseline closely here while using far fewer qubits.");
+}

@@ -1,0 +1,50 @@
+//! Extension experiment: mirror-circuit fidelity, baseline vs SR-CaQR.
+//!
+//! A mirror circuit (`C` then `C†`) ideally returns |0...0>; the measured
+//! survival probability on a noisy device is a one-number fidelity probe.
+//! This extends the paper's Table 3 methodology to a workload whose ideal
+//! answer is trivially known at any size, which makes the compiler
+//! comparison especially clean.
+
+use caqr::{compile, Strategy};
+use caqr_bench::{mumbai, Table, EXPERIMENT_SEED};
+use caqr_benchmarks::extra;
+use caqr_sim::{Executor, NoiseModel};
+
+const SHOTS: usize = 2000;
+
+fn main() {
+    println!("Mirror-circuit fidelity (ideal output |0...0>, {SHOTS} shots)\n");
+    let device = mumbai();
+    let mut t = Table::new(&[
+        "circuit",
+        "baseline survival",
+        "SR-CaQR survival",
+        "gain",
+        "swaps base -> SR",
+    ]);
+    for (n, layers) in [(4usize, 4usize), (6, 4), (8, 6), (10, 6)] {
+        let bench = extra::mirror(n, layers, EXPERIMENT_SEED + n as u64);
+        let base = compile(&bench.circuit, &device, Strategy::Baseline).expect("fits");
+        let sr = compile(&bench.circuit, &device, Strategy::Sr).expect("fits");
+        let noisy = Executor::noisy(NoiseModel::from_device(device.clone()));
+        let survival = |c: &caqr_circuit::Circuit, seed: u64| {
+            let (compact, _) = c.compact_qubits();
+            noisy
+                .run_shots(&compact, SHOTS, seed)
+                .marginal(n)
+                .probability(0)
+        };
+        let pb = survival(&base.circuit, 3);
+        let ps = survival(&sr.circuit, 4);
+        t.row(&[
+            bench.name.clone(),
+            format!("{pb:.3}"),
+            format!("{ps:.3}"),
+            format!("{:+.1}%", 100.0 * (ps - pb) / pb.max(1e-9)),
+            format!("{} -> {}", base.swaps, sr.swaps),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: SR-CaQR survival >= baseline wherever it saves SWAPs/duration.");
+}

@@ -1,0 +1,45 @@
+//! Table 2: SR-CaQR vs QS-CaQR (MIN-SWAP) — SWAP count and duration on
+//! the Mumbai architecture, for the full suite.
+//!
+//! Expected shape: SR-CaQR matches or beats the best QS sweep point on
+//! SWAPs everywhere, with the gap widening on the larger QAOA instances.
+
+use caqr::{compile, Strategy};
+use caqr_bench::{device_for, format_dt, Table};
+use caqr_benchmarks::suite;
+
+fn main() {
+    println!("Table 2 — SR-CaQR vs QS-CaQR (MIN-SWAP)\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "QS swaps",
+        "QS duration",
+        "SR swaps",
+        "SR duration",
+        "SR qubits",
+    ]);
+    for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
+        let device = device_for(bench.circuit.num_qubits());
+        let qs = compile(&bench.circuit, &device, Strategy::QsMinSwap);
+        let sr = compile(&bench.circuit, &device, Strategy::Sr);
+        match (qs, sr) {
+            (Ok(qs), Ok(sr)) => t.row(&[
+                bench.name.clone(),
+                qs.swaps.to_string(),
+                format_dt(qs.duration_dt),
+                sr.swaps.to_string(),
+                format_dt(sr.duration_dt),
+                sr.qubits.to_string(),
+            ]),
+            (qs, sr) => t.row(&[
+                bench.name.clone(),
+                qs.map(|r| r.swaps.to_string()).unwrap_or_else(|e| e.to_string()),
+                String::new(),
+                sr.map(|r| r.swaps.to_string()).unwrap_or_else(|e| e.to_string()),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    t.print();
+}

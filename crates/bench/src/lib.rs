@@ -1,0 +1,141 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure; see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! paper-vs-measured results. This library provides the bits they share:
+//! aligned-table printing, the canonical experiment seeds, and a couple of
+//! compile wrappers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use caqr_arch::Device;
+
+/// The seed every experiment binary uses unless it sweeps seeds — keeps
+/// printed numbers reproducible run to run.
+pub const EXPERIMENT_SEED: u64 = 2023;
+
+/// The IBM Mumbai stand-in used by the real-machine experiments.
+pub fn mumbai() -> Device {
+    Device::mumbai(EXPERIMENT_SEED)
+}
+
+/// A device large enough for `n` logical qubits: Mumbai when it fits,
+/// scaled heavy-hex otherwise (§4.1's "scaled heavy-hex architecture").
+pub fn device_for(n: usize) -> Device {
+    if n <= 27 {
+        mumbai()
+    } else {
+        Device::scaled_heavy_hex(n, EXPERIMENT_SEED)
+    }
+}
+
+/// A minimal fixed-width table printer for harness output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration in `dt` the way the paper's Table 1 does (`91K`).
+pub fn format_dt(dt: u64) -> String {
+    if dt >= 1000 {
+        format!("{}K", (dt as f64 / 1000.0).round() as u64)
+    } else {
+        dt.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a"]).row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn format_dt_thousands() {
+        assert_eq!(format_dt(91_300), "91K");
+        assert_eq!(format_dt(450), "450");
+        assert_eq!(format_dt(1_500), "2K");
+    }
+
+    #[test]
+    fn device_for_sizes() {
+        assert_eq!(device_for(10).num_qubits(), 27);
+        assert!(device_for(64).num_qubits() >= 64);
+    }
+}

@@ -1,0 +1,97 @@
+//! Bernstein–Vazirani circuits (the paper's running example, Fig. 1).
+//!
+//! For an `n`-qubit BV instance: `n-1` data qubits and one target. Each
+//! data qubit interacts only with the target, giving the star interaction
+//! graph of Fig. 4(b) — which is why an `n`-qubit BV always compresses to
+//! 2 qubits under full reuse.
+
+use crate::suite::{Benchmark, BenchmarkKind};
+use caqr_circuit::{Circuit, Clbit, Qubit};
+
+/// Builds an `n`-qubit Bernstein–Vazirani benchmark with the given hidden
+/// string (bit `i` of `hidden` = data qubit `i`; only the low `n-1` bits
+/// are used). The correct output is the hidden string.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bernstein_vazirani(n: usize, hidden: u64) -> Benchmark {
+    assert!(n >= 2, "BV needs a data qubit and a target");
+    let data = n - 1;
+    let hidden = hidden & ((1u64 << data) - 1);
+    let mut c = Circuit::new(n, data);
+    let target = Qubit::new(data);
+    for i in 0..data {
+        c.h(Qubit::new(i));
+    }
+    c.x(target);
+    c.h(target);
+    for i in 0..data {
+        if hidden >> i & 1 == 1 {
+            c.cx(Qubit::new(i), target);
+        }
+        c.h(Qubit::new(i));
+    }
+    for i in 0..data {
+        c.measure(Qubit::new(i), Clbit::new(i));
+    }
+    Benchmark {
+        name: format!("BV_{n}"),
+        kind: BenchmarkKind::Regular,
+        circuit: c,
+        correct_output: Some(hidden),
+        graph: None,
+    }
+}
+
+/// The paper's default BV instances use the all-ones hidden string (every
+/// data qubit talks to the target, the worst case for routing).
+pub fn bv_all_ones(n: usize) -> Benchmark {
+    bernstein_vazirani(n, u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::interaction::interaction_graph;
+    use caqr_sim::Executor;
+
+    #[test]
+    fn bv5_matches_paper_fig1() {
+        let b = bv_all_ones(5);
+        assert_eq!(b.circuit.num_qubits(), 5);
+        assert_eq!(b.circuit.two_qubit_gate_count(), 4);
+        // Star interaction graph, max degree 4 (Fig. 4b).
+        let g = interaction_graph(&b.circuit);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.degree(4), 4);
+    }
+
+    #[test]
+    fn simulator_recovers_hidden_string() {
+        for hidden in [0b0000, 0b1011, 0b1111, 0b0100] {
+            let b = bernstein_vazirani(5, hidden);
+            let counts = Executor::ideal().run_shots(&b.circuit, 50, 1);
+            assert_eq!(counts.get(hidden), 50, "hidden {hidden:04b}");
+        }
+    }
+
+    #[test]
+    fn zero_string_has_no_two_qubit_gates() {
+        let b = bernstein_vazirani(4, 0);
+        assert_eq!(b.circuit.two_qubit_gate_count(), 0);
+        assert_eq!(b.correct_output, Some(0));
+    }
+
+    #[test]
+    fn hidden_string_masked_to_width() {
+        let b = bernstein_vazirani(3, 0b111111);
+        assert_eq!(b.correct_output, Some(0b11));
+    }
+
+    #[test]
+    #[should_panic(expected = "data qubit")]
+    fn too_small() {
+        bernstein_vazirani(1, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Additional workloads beyond the paper's table: GHZ state preparation
+//! and the quantum Fourier transform.
+//!
+//! These stress opposite ends of the reuse spectrum. GHZ's chain
+//! entanglement allows forward reuse (like BV), while QFT's all-to-all
+//! CPHASE structure has *no* valid reuse pair at all — a useful negative
+//! control for the advisor and for tests.
+
+use crate::suite::{Benchmark, BenchmarkKind};
+use caqr_circuit::{Circuit, Clbit, Qubit};
+
+/// An `n`-qubit GHZ preparation (`H` then a CNOT ladder) with terminal
+/// measurement. The ideal output is a 50/50 mix of all-zeros / all-ones.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz(n: usize) -> Benchmark {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n, n);
+    c.h(Qubit::new(0));
+    for i in 0..n - 1 {
+        c.cx(Qubit::new(i), Qubit::new(i + 1));
+    }
+    c.measure_all();
+    Benchmark {
+        name: format!("GHZ_{n}"),
+        kind: BenchmarkKind::Regular,
+        circuit: c,
+        correct_output: None, // two equally-likely outcomes
+        graph: None,
+    }
+}
+
+/// An `n`-qubit quantum Fourier transform (standard H + controlled-phase
+/// network, no terminal swap reversal) applied to the basis state `input`,
+/// with terminal measurement.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 20`.
+pub fn qft(n: usize, input: u64) -> Benchmark {
+    assert!(n > 0 && n <= 20, "QFT size out of supported range");
+    let mut c = Circuit::new(n, n);
+    for i in 0..n {
+        if input >> i & 1 == 1 {
+            c.x(Qubit::new(i));
+        }
+    }
+    for i in (0..n).rev() {
+        c.h(Qubit::new(i));
+        for j in (0..i).rev() {
+            let angle = std::f64::consts::PI / (1u64 << (i - j)) as f64;
+            c.cp(angle, Qubit::new(j), Qubit::new(i));
+        }
+    }
+    c.measure_all();
+    Benchmark {
+        name: format!("QFT_{n}"),
+        kind: BenchmarkKind::Regular,
+        circuit: c,
+        correct_output: None, // uniform output magnitude
+        graph: None,
+    }
+}
+
+/// A mirror benchmark: a random `n`-qubit unitary block `C` followed by
+/// its adjoint and a terminal measurement. The ideal output is exactly
+/// |0...0>, which makes mirror circuits a standard end-to-end fidelity
+/// probe — compiled versions must preserve the spike, and on noisy
+/// hardware the surviving probability measures compiler quality.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `layers == 0`.
+pub fn mirror(n: usize, layers: usize, seed: u64) -> Benchmark {
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 2, "mirror benchmark needs at least 2 qubits");
+    assert!(layers > 0, "mirror benchmark needs at least one layer");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut forward = Circuit::new(n, n);
+    for _ in 0..layers {
+        for v in 0..n {
+            match rng.gen_range(0..4) {
+                0 => forward.h(Qubit::new(v)),
+                1 => forward.t(Qubit::new(v)),
+                2 => forward.rx(rng.gen_range(0.1..1.5), Qubit::new(v)),
+                _ => forward.rz(rng.gen_range(0.1..1.5), Qubit::new(v)),
+            }
+        }
+        // One entangling pair per layer keeps the interaction graph sparse
+        // enough for routing to matter without exploding depth.
+        let a = rng.gen_range(0..n);
+        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+        forward.cx(Qubit::new(a), Qubit::new(b));
+    }
+    let mut circuit = forward.clone();
+    circuit.extend_from(&forward.inverse().expect("forward block is unitary"));
+    for v in 0..n {
+        circuit.measure(Qubit::new(v), Clbit::new(v));
+    }
+    Benchmark {
+        name: format!("Mirror_{n}x{layers}"),
+        kind: BenchmarkKind::Regular,
+        circuit,
+        correct_output: Some(0),
+        graph: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_sim::{exact, Executor};
+
+    #[test]
+    fn ghz_structure_and_output() {
+        let b = ghz(5);
+        assert_eq!(b.circuit.two_qubit_gate_count(), 4);
+        let counts = Executor::ideal().run_shots(&b.circuit, 500, 3);
+        let all_ones = (1u64 << 5) - 1;
+        assert_eq!(counts.get(0) + counts.get(all_ones), 500);
+        assert!(counts.get(0) > 150);
+        assert!(counts.get(all_ones) > 150);
+    }
+
+    #[test]
+    fn qft_uniform_distribution() {
+        // QFT of a basis state has uniform |amplitude|^2 over outputs.
+        let b = qft(3, 0b101);
+        let d = exact::distribution(&b.circuit).unwrap();
+        assert_eq!(d.len(), 8);
+        for (_, p) in d {
+            assert!((p - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mirror_returns_to_zero() {
+        for seed in [1u64, 9, 23] {
+            let b = mirror(4, 3, seed);
+            let counts = Executor::ideal().run_shots(&b.circuit, 50, seed);
+            assert_eq!(counts.get(0), 50, "seed {seed}: {counts}");
+        }
+    }
+
+    #[test]
+    fn mirror_is_deterministic_per_seed() {
+        assert_eq!(mirror(4, 2, 7).circuit, mirror(4, 2, 7).circuit);
+        assert_ne!(mirror(4, 2, 7).circuit, mirror(4, 2, 8).circuit);
+    }
+
+    #[test]
+    fn qft_interaction_is_all_to_all() {
+        let b = qft(5, 0);
+        let g = caqr_circuit::interaction::interaction_graph(&b.circuit);
+        assert_eq!(g.num_edges(), 10, "K5");
+    }
+
+}

@@ -1,0 +1,39 @@
+//! Benchmark circuits for the CaQR reproduction.
+//!
+//! The paper evaluates on two families (§4.1):
+//!
+//! * **Regular applications** (no commuting two-qubit gates): `Rd_32`,
+//!   `4mod5`, `Multiply_13`, `System_9`, `CC_10`, `XOR_5`, and `BV_10`.
+//!   The original RevLib/IBM gate lists are not redistributable, so
+//!   [`revlib`] reconstructs them *structurally*: same qubit counts, same
+//!   gate families (Toffoli decompositions over Clifford+T, CNOT ladders,
+//!   star-shaped interaction for the oracle circuits), and deterministic
+//!   all-classical semantics so the correct output is known exactly.
+//! * **Commutable-gate applications**: [`qaoa`] builds max-cut QAOA circuits
+//!   from random and power-law problem graphs at a given density.
+//!
+//! [`suite`] exposes the named registry the benchmark harness iterates.
+//!
+//! # Examples
+//!
+//! ```
+//! use caqr_benchmarks::bv;
+//!
+//! let b = bv::bernstein_vazirani(5, 0b1011);
+//! assert_eq!(b.circuit.num_qubits(), 5);
+//! assert_eq!(b.correct_output, Some(0b1011));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bv;
+pub mod extra;
+pub mod qaoa;
+pub mod revlib;
+pub mod suite;
+
+mod reversible;
+
+pub use reversible::ReversibleBuilder;
+pub use suite::{Benchmark, BenchmarkKind};

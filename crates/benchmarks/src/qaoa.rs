@@ -1,0 +1,151 @@
+//! QAOA max-cut circuits (the paper's commutable-gate workload).
+//!
+//! One QAOA layer applies `RZZ(gamma)` across every edge of the problem
+//! graph — all mutually commuting — followed by an `RX(2 beta)` mixer on
+//! every qubit. The paper's instances are named `QAOA<n>-<density>` and use
+//! random or power-law graphs (§4.1).
+
+use crate::suite::{Benchmark, BenchmarkKind};
+use caqr_circuit::{Circuit, Qubit};
+use caqr_graph::{gen, Graph};
+
+/// The problem-graph family for a QAOA instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Erdős–Rényi-style uniform graph.
+    Random,
+    /// Barabási–Albert power-law graph.
+    PowerLaw,
+}
+
+impl GraphKind {
+    /// Generates an `n`-vertex instance at the given density.
+    pub fn generate(self, n: usize, density: f64, seed: u64) -> Graph {
+        match self {
+            GraphKind::Random => gen::random_graph(n, density, seed),
+            GraphKind::PowerLaw => gen::power_law_graph(n, density, seed),
+        }
+    }
+}
+
+/// Builds the max-cut QAOA circuit for `graph` with per-layer parameters
+/// `(gamma, beta)`.
+///
+/// # Panics
+///
+/// Panics if `params` is empty.
+pub fn maxcut_circuit(graph: &Graph, params: &[(f64, f64)]) -> Circuit {
+    assert!(!params.is_empty(), "QAOA needs at least one layer");
+    let n = graph.num_vertices();
+    let mut c = Circuit::new(n, n);
+    for v in 0..n {
+        c.h(Qubit::new(v));
+    }
+    for &(gamma, beta) in params {
+        for (u, v) in graph.edges() {
+            c.rzz(gamma, Qubit::new(u), Qubit::new(v));
+        }
+        for v in 0..n {
+            c.rx(2.0 * beta, Qubit::new(v));
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Builds the named benchmark `QAOA<n>-<density>` with a single layer at
+/// textbook starting parameters.
+pub fn qaoa_benchmark(n: usize, density: f64, kind: GraphKind, seed: u64) -> Benchmark {
+    let graph = kind.generate(n, density, seed);
+    let circuit = maxcut_circuit(&graph, &[(0.7, 0.3)]);
+    let kind_tag = match kind {
+        GraphKind::Random => "r",
+        GraphKind::PowerLaw => "p",
+    };
+    Benchmark {
+        name: format!("QAOA{n}-{density:.1}{kind_tag}"),
+        kind: BenchmarkKind::Commuting,
+        circuit,
+        correct_output: None,
+        graph: Some(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::commute::has_commuting_two_qubit_layer;
+    use caqr_circuit::Gate;
+
+    #[test]
+    fn circuit_structure() {
+        let g = gen::random_graph(8, 0.3, 1);
+        let c = maxcut_circuit(&g, &[(0.5, 0.2)]);
+        assert_eq!(c.num_qubits(), 8);
+        assert_eq!(c.two_qubit_gate_count(), g.num_edges());
+        assert_eq!(c.count_gates(|gate| matches!(gate, Gate::Rx(_))), 8);
+        assert!(has_commuting_two_qubit_layer(&c));
+    }
+
+    #[test]
+    fn layers_multiply_gates() {
+        let g = gen::random_graph(6, 0.4, 2);
+        let one = maxcut_circuit(&g, &[(0.5, 0.2)]);
+        let two = maxcut_circuit(&g, &[(0.5, 0.2), (0.3, 0.1)]);
+        assert_eq!(two.two_qubit_gate_count(), 2 * one.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn benchmark_metadata() {
+        let b = qaoa_benchmark(10, 0.3, GraphKind::Random, 7);
+        assert_eq!(b.name, "QAOA10-0.3r");
+        assert_eq!(b.kind, BenchmarkKind::Commuting);
+        assert!(b.graph.is_some());
+        assert_eq!(b.correct_output, None);
+        let g = b.graph.as_ref().unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn interaction_graph_is_problem_graph() {
+        let b = qaoa_benchmark(12, 0.3, GraphKind::PowerLaw, 3);
+        let int = caqr_circuit::interaction::interaction_graph(&b.circuit);
+        assert_eq!(&int, b.graph.as_ref().unwrap());
+    }
+
+    #[test]
+    fn qaoa_landscape_contains_good_parameters() {
+        // Sanity: over a coarse (gamma, beta) grid, the best single-layer
+        // QAOA point must beat the uniform-random expected cut (|E| / 2).
+        use caqr_sim::{exact, metrics};
+        let g = gen::random_graph(8, 0.4, 5);
+        let mut best = f64::MIN;
+        for gi in -5i32..=5 {
+            for bi in 1..5 {
+                if gi == 0 {
+                    continue;
+                }
+                let gamma = gi as f64 * 0.2;
+                let beta = bi as f64 * 0.2;
+                let c = maxcut_circuit(&g, &[(gamma, beta)]);
+                let dist = exact::distribution(&c).unwrap();
+                let expected: f64 = dist
+                    .iter()
+                    .map(|&(v, p)| metrics::cut_value(&g, v) as f64 * p)
+                    .sum();
+                best = best.max(expected);
+            }
+        }
+        let random_guess = g.num_edges() as f64 / 2.0;
+        assert!(
+            best > random_guess,
+            "best QAOA expectation {best} should beat random {random_guess}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_params_rejected() {
+        maxcut_circuit(&gen::random_graph(4, 0.5, 0), &[]);
+    }
+}

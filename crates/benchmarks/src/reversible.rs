@@ -1,0 +1,182 @@
+//! A builder for classically-reversible circuits with tracked semantics.
+//!
+//! The RevLib-style benchmarks are all X/CNOT/Toffoli networks. Building
+//! them through this helper yields (a) the quantum circuit with Toffolis
+//! decomposed into the standard 6-CNOT Clifford+T network and (b) the exact
+//! classical output for the all-zeros input, which downstream experiments
+//! use as the TVD reference and success-rate target.
+
+use caqr_circuit::{Circuit, Clbit, Qubit};
+
+/// Builds a reversible circuit while tracking its classical action.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_benchmarks::ReversibleBuilder;
+///
+/// let mut b = ReversibleBuilder::new(3);
+/// b.x(0);
+/// b.x(1);
+/// b.ccx(0, 1, 2); // Toffoli: both controls set -> target flips
+/// let (circuit, output) = b.finish_measured();
+/// assert_eq!(output, 0b111);
+/// assert!(circuit.len() > 3); // Toffoli decomposed into Clifford+T
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReversibleBuilder {
+    circuit: Circuit,
+    bits: Vec<bool>,
+}
+
+impl ReversibleBuilder {
+    /// A builder over `n` qubits starting from the all-zeros state.
+    pub fn new(n: usize) -> Self {
+        ReversibleBuilder {
+            circuit: Circuit::new(n, n),
+            bits: vec![false; n],
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// NOT on qubit `a`.
+    pub fn x(&mut self, a: usize) {
+        self.circuit.x(Qubit::new(a));
+        self.bits[a] = !self.bits[a];
+    }
+
+    /// CNOT: `a` controls `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cx(&mut self, a: usize, b: usize) {
+        self.circuit.cx(Qubit::new(a), Qubit::new(b));
+        if self.bits[a] {
+            self.bits[b] = !self.bits[b];
+        }
+    }
+
+    /// Toffoli: `a` and `b` control `t`, emitted as the standard 6-CNOT
+    /// Clifford+T decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three operands are not distinct.
+    pub fn ccx(&mut self, a: usize, b: usize, t: usize) {
+        assert!(a != b && b != t && a != t, "ccx operands must be distinct");
+        let (qa, qb, qt) = (Qubit::new(a), Qubit::new(b), Qubit::new(t));
+        let c = &mut self.circuit;
+        c.h(qt);
+        c.cx(qb, qt);
+        c.tdg(qt);
+        c.cx(qa, qt);
+        c.t(qt);
+        c.cx(qb, qt);
+        c.tdg(qt);
+        c.cx(qa, qt);
+        c.t(qb);
+        c.t(qt);
+        c.h(qt);
+        c.cx(qa, qb);
+        c.t(qa);
+        c.tdg(qb);
+        c.cx(qa, qb);
+        if self.bits[a] && self.bits[b] {
+            self.bits[t] = !self.bits[t];
+        }
+    }
+
+    /// The classical state the all-zeros input has reached, as a little
+    /// endian integer (bit `i` = qubit `i`).
+    pub fn classical_state(&self) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+    }
+
+    /// Finishes without measurements, returning the circuit and the
+    /// classical output value.
+    pub fn finish(self) -> (Circuit, u64) {
+        let out = self.classical_state();
+        (self.circuit, out)
+    }
+
+    /// Appends qubit-`i`-into-clbit-`i` measurements and finishes.
+    pub fn finish_measured(mut self) -> (Circuit, u64) {
+        for i in 0..self.num_qubits() {
+            self.circuit.measure(Qubit::new(i), Clbit::new(i));
+        }
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_sim::Executor;
+
+    #[test]
+    fn x_and_cx_semantics() {
+        let mut b = ReversibleBuilder::new(3);
+        b.x(0);
+        b.cx(0, 2);
+        b.cx(1, 0); // control clear -> no-op
+        assert_eq!(b.classical_state(), 0b101);
+    }
+
+    #[test]
+    fn ccx_truth_table_via_simulator() {
+        // The decomposition must implement the Toffoli truth table exactly.
+        for input in 0..8u64 {
+            let mut b = ReversibleBuilder::new(3);
+            for q in 0..3 {
+                if input >> q & 1 == 1 {
+                    b.x(q);
+                }
+            }
+            b.ccx(0, 1, 2);
+            let (circuit, expected) = b.finish_measured();
+            let counts = Executor::ideal().run_shots(&circuit, 20, input);
+            assert_eq!(
+                counts.get(expected),
+                20,
+                "input {input:03b}: expected {expected:03b}, got {counts}"
+            );
+        }
+    }
+
+    #[test]
+    fn ccx_classical_tracking_matches() {
+        let mut b = ReversibleBuilder::new(3);
+        b.x(0);
+        b.x(1);
+        b.ccx(0, 1, 2);
+        assert_eq!(b.classical_state(), 0b111);
+        b.ccx(0, 2, 1); // controls 0,2 set -> flips 1 back
+        assert_eq!(b.classical_state(), 0b101);
+    }
+
+    #[test]
+    fn finish_measured_adds_measurements() {
+        let mut b = ReversibleBuilder::new(2);
+        b.x(1);
+        let (c, out) = b.finish_measured();
+        assert_eq!(out, 0b10);
+        assert_eq!(
+            c.count_gates(|g| matches!(g, caqr_circuit::Gate::Measure)),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn ccx_distinct_operands() {
+        ReversibleBuilder::new(3).ccx(0, 0, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! ASAP scheduling: logical depth layers and circuit duration in `dt`.
+//!
+//! The paper reports two cost metrics per compiled circuit: *depth* (gate
+//! layers) and *duration* (system cycles, `1 dt = 0.22 ns`), computed from
+//! per-gate durations. Both are longest-path computations over the
+//! dependency DAG; this module wraps them in a reusable [`Schedule`].
+
+use crate::circuit::{Circuit, Instruction};
+use crate::dag::CircuitDag;
+
+/// A function assigning a duration in `dt` to each instruction.
+pub trait DurationModel {
+    /// Duration of `instr` in `dt` (must be >= 1 for scheduling to make
+    /// progress).
+    fn duration(&self, instr: &Instruction) -> u64;
+}
+
+impl<F: Fn(&Instruction) -> u64> DurationModel for F {
+    fn duration(&self, instr: &Instruction) -> u64 {
+        self(instr)
+    }
+}
+
+/// Uniform unit durations: duration equals logical depth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitDurations;
+
+impl DurationModel for UnitDurations {
+    fn duration(&self, _instr: &Instruction) -> u64 {
+        1
+    }
+}
+
+/// An ASAP schedule of a circuit.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    start: Vec<u64>,
+    finish: Vec<u64>,
+    makespan: u64,
+}
+
+impl Schedule {
+    /// Schedules `circuit` as-soon-as-possible under `durations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero.
+    pub fn asap(circuit: &Circuit, durations: &impl DurationModel) -> Self {
+        let dag = CircuitDag::of(circuit);
+        Self::asap_with_dag(circuit, &dag, durations)
+    }
+
+    /// Like [`Schedule::asap`] but reuses an existing DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dag` was not built from `circuit` or any duration is zero.
+    pub fn asap_with_dag(circuit: &Circuit, dag: &CircuitDag, durations: &impl DurationModel) -> Self {
+        assert_eq!(dag.len(), circuit.len(), "DAG does not match circuit");
+        let weights: Vec<u64> = circuit
+            .iter()
+            .map(|i| {
+                let d = durations.duration(i);
+                assert!(d > 0, "instruction duration must be positive");
+                d
+            })
+            .collect();
+        let finish = dag.longest_path_to(&weights);
+        let start: Vec<u64> = finish
+            .iter()
+            .zip(&weights)
+            .map(|(f, w)| f - w)
+            .collect();
+        let makespan = finish.iter().copied().max().unwrap_or(0);
+        Schedule {
+            start,
+            finish,
+            makespan,
+        }
+    }
+
+    /// Schedules `circuit` as-late-as-possible: every instruction is
+    /// pushed toward the end without extending the ASAP makespan. The
+    /// difference between ALAP and ASAP start times is an instruction's
+    /// *slack* — SR-CaQR delays exactly the gates with positive slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is zero.
+    pub fn alap(circuit: &Circuit, durations: &impl DurationModel) -> Self {
+        let dag = CircuitDag::of(circuit);
+        let weights: Vec<u64> = circuit
+            .iter()
+            .map(|i| {
+                let d = durations.duration(i);
+                assert!(d > 0, "instruction duration must be positive");
+                d
+            })
+            .collect();
+        let makespan = dag.weighted_critical_path(&weights);
+        // Longest path from each node (inclusive) gives its latest finish.
+        let from = dag.longest_path_from(&weights);
+        let finish: Vec<u64> = from.iter().zip(&weights).map(|(f, w)| makespan - (f - w)).collect();
+        let start: Vec<u64> = finish.iter().zip(&weights).map(|(f, w)| f - w).collect();
+        Schedule {
+            start,
+            finish,
+            makespan,
+        }
+    }
+
+    /// Start time of instruction `idx`.
+    pub fn start(&self, idx: usize) -> u64 {
+        self.start[idx]
+    }
+
+    /// Finish time of instruction `idx`.
+    pub fn finish(&self, idx: usize) -> u64 {
+        self.finish[idx]
+    }
+
+    /// Total circuit duration (the makespan).
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// The number of scheduled instructions.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Returns `true` if nothing was scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+}
+
+/// Circuit duration in `dt` under a duration model (convenience wrapper).
+pub fn duration_dt(circuit: &Circuit, durations: &impl DurationModel) -> u64 {
+    Schedule::asap(circuit, durations).makespan()
+}
+
+/// Groups instruction indices into ASAP layers under unit durations:
+/// `layers()[k]` executes at logical time step `k`.
+pub fn layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let schedule = Schedule::asap(circuit, &UnitDurations);
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); schedule.makespan() as usize];
+    for idx in 0..schedule.len() {
+        out[schedule.start(idx) as usize].push(idx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn unit_schedule_matches_depth() {
+        let mut c = Circuit::new(3, 3);
+        c.h(q(0));
+        c.cx(q(0), q(1));
+        c.cx(q(1), q(2));
+        c.measure_all();
+        let s = Schedule::asap(&c, &UnitDurations);
+        assert_eq!(s.makespan() as usize, c.depth());
+    }
+
+    #[test]
+    fn weighted_schedule() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0)); // 50 dt
+        c.cx(q(0), q(1)); // 300 dt
+        let model = |i: &Instruction| -> u64 {
+            if i.is_two_qubit() {
+                300
+            } else {
+                50
+            }
+        };
+        let s = Schedule::asap(&c, &model);
+        assert_eq!(s.start(0), 0);
+        assert_eq!(s.finish(0), 50);
+        assert_eq!(s.start(1), 50);
+        assert_eq!(s.makespan(), 350);
+        assert_eq!(duration_dt(&c, &model), 350);
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0));
+        c.h(q(1));
+        let s = Schedule::asap(&c, &UnitDurations);
+        assert_eq!(s.start(0), 0);
+        assert_eq!(s.start(1), 0);
+        assert_eq!(s.makespan(), 1);
+    }
+
+    #[test]
+    fn layers_partition_instructions() {
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0));
+        c.h(q(1));
+        c.cx(q(0), q(1));
+        c.h(q(2));
+        let ls = layers(&c);
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0], vec![0, 1, 3]);
+        assert_eq!(ls[1], vec![2]);
+    }
+
+    #[test]
+    fn conditional_reset_serializes_in_time() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(q(0), Clbit::new(0));
+        c.cond_x(q(0), Clbit::new(0));
+        let model = |i: &Instruction| -> u64 {
+            match i.gate {
+                crate::Gate::Measure => 1000,
+                _ => 60,
+            }
+        };
+        let s = Schedule::asap(&c, &model);
+        assert_eq!(s.start(1), 1000);
+        assert_eq!(s.makespan(), 1060);
+    }
+
+    #[test]
+    fn alap_pushes_slack_late() {
+        // q1's H has slack: ASAP runs it at t=0, ALAP right before the CX.
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0)); // 0
+        c.h(q(0)); // 1
+        c.h(q(1)); // 2 (slack 1)
+        c.cx(q(0), q(1)); // 3
+        let asap = Schedule::asap(&c, &UnitDurations);
+        let alap = Schedule::alap(&c, &UnitDurations);
+        assert_eq!(asap.makespan(), alap.makespan());
+        assert_eq!(asap.start(2), 0);
+        assert_eq!(alap.start(2), 1);
+        // Critical-path instructions have no slack.
+        for idx in [0usize, 1, 3] {
+            assert_eq!(asap.start(idx), alap.start(idx), "instr {idx}");
+        }
+    }
+
+    #[test]
+    fn alap_respects_dependencies() {
+        let mut c = Circuit::new(2, 2);
+        c.h(q(0));
+        c.cx(q(0), q(1));
+        c.measure_all();
+        let alap = Schedule::alap(&c, &UnitDurations);
+        // Every instruction still starts after its predecessors finish.
+        let dag = crate::dag::CircuitDag::of(&c);
+        for v in 0..c.len() {
+            for p in dag.graph().predecessors(v) {
+                assert!(alap.start(v) >= alap.finish(p));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_zero_makespan() {
+        let s = Schedule::asap(&Circuit::new(2, 0), &UnitDurations);
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), 0);
+        assert!(layers(&Circuit::new(2, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        let mut c = Circuit::new(1, 0);
+        c.h(q(0));
+        let _ = Schedule::asap(&c, &|_: &Instruction| 0u64);
+    }
+}

@@ -1,0 +1,185 @@
+//! ASCII circuit rendering, for docs, debugging, and CLI output.
+//!
+//! The drawing is layered: each ASAP layer becomes one column, two-qubit
+//! gates get a vertical connector, and classical operations show the bit
+//! they touch (`M0` measures into c0, `X?0` is an X conditioned on c0).
+
+use crate::circuit::Circuit;
+use crate::depth::layers;
+use crate::gate::Gate;
+
+/// Renders `circuit` as fixed-width ASCII art, one row per qubit.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_circuit::{draw, Circuit, Clbit, Qubit};
+///
+/// let mut c = Circuit::new(2, 1);
+/// c.h(Qubit::new(0));
+/// c.cx(Qubit::new(0), Qubit::new(1));
+/// c.measure(Qubit::new(0), Clbit::new(0));
+/// let art = draw::to_ascii(&c);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("H"));
+/// assert!(art.contains("M0"));
+/// ```
+pub fn to_ascii(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    let cols = layers(circuit);
+    // cell[q][col] = label; connector[q][col] = true when a vertical line
+    // passes through row q in this column.
+    let mut cell: Vec<Vec<String>> = vec![vec![String::new(); cols.len()]; n];
+    let mut connect: Vec<Vec<bool>> = vec![vec![false; cols.len()]; n];
+
+    for (col, instrs) in cols.iter().enumerate() {
+        for &idx in instrs {
+            let instr = &circuit.instructions()[idx];
+            match instr.qubits.len() {
+                1 => {
+                    let q = instr.qubits[0].index();
+                    cell[q][col] = label_1q(instr);
+                }
+                2 => {
+                    let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
+                    let (la, lb) = label_2q(&instr.gate);
+                    cell[a][col] = la;
+                    cell[b][col] = lb;
+                    for r in a.min(b) + 1..a.max(b) {
+                        connect[r][col] = true;
+                    }
+                }
+                _ => unreachable!("gates have 1 or 2 qubits"),
+            }
+        }
+    }
+
+    // Column widths.
+    let width: Vec<usize> = (0..cols.len())
+        .map(|c| {
+            (0..n)
+                .map(|q| cell[q][c].len())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let q_width = format!("q{}", n - 1).len();
+    for q in 0..n {
+        out.push_str(&format!("{:<qw$}: ", format!("q{q}"), qw = q_width));
+        for c in 0..cols.len() {
+            out.push('─');
+            let label = if !cell[q][c].is_empty() {
+                cell[q][c].clone()
+            } else if connect[q][c] {
+                "│".to_string()
+            } else {
+                "─".to_string()
+            };
+            // Pad with the wire character.
+            let pad = width[c].saturating_sub(label.chars().count().min(width[c]));
+            out.push_str(&label);
+            for _ in 0..pad {
+                out.push('─');
+            }
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn label_1q(instr: &crate::circuit::Instruction) -> String {
+    match instr.gate {
+        Gate::Measure => format!("M{}", instr.clbit.expect("measure has a clbit").index()),
+        Gate::Reset => "R".to_string(),
+        ref g => {
+            let base = g.name().to_uppercase();
+            match instr.condition {
+                Some(c) => format!("{base}?{}", c.index()),
+                None => base,
+            }
+        }
+    }
+}
+
+fn label_2q(gate: &Gate) -> (String, String) {
+    match gate {
+        Gate::Cx => ("●".to_string(), "X".to_string()),
+        Gate::Cz => ("●".to_string(), "●".to_string()),
+        Gate::Cp(_) => ("●".to_string(), "P".to_string()),
+        Gate::Rzz(_) => ("Z".to_string(), "Z".to_string()),
+        Gate::Swap => ("x".to_string(), "x".to_string()),
+        g => (g.name().to_uppercase(), g.name().to_uppercase()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn renders_rows_per_qubit() {
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0));
+        c.cx(q(0), q(2));
+        let art = to_ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("q0:"));
+        assert!(lines[2].starts_with("q2:"));
+        // Control and target markers present; the middle row carries the
+        // vertical connector.
+        assert!(lines[0].contains('●'));
+        assert!(lines[2].contains('X'));
+        assert!(lines[1].contains('│'));
+    }
+
+    #[test]
+    fn conditional_and_measure_labels() {
+        let mut c = Circuit::new(1, 2);
+        c.measure(q(0), Clbit::new(1));
+        c.cond_x(q(0), Clbit::new(1));
+        let art = to_ascii(&c);
+        assert!(art.contains("M1"));
+        assert!(art.contains("X?1"));
+    }
+
+    #[test]
+    fn parallel_gates_share_column() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0));
+        c.x(q(1));
+        let art = to_ascii(&c);
+        // One layer only: each row has exactly one gate label.
+        for line in art.lines() {
+            let labels = line.matches(|ch: char| ch == 'H' || ch == 'X').count();
+            assert_eq!(labels, 1);
+        }
+    }
+
+    #[test]
+    fn empty_circuit() {
+        assert_eq!(to_ascii(&Circuit::new(0, 0)), "");
+        let art = to_ascii(&Circuit::new(2, 0));
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn swap_uses_x_marks() {
+        let mut c = Circuit::new(2, 0);
+        c.swap(q(0), q(1));
+        let art = to_ascii(&c);
+        assert_eq!(art.matches('x').count(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! The gate set.
+
+use std::fmt;
+
+/// A quantum operation.
+///
+/// The set covers everything the paper's benchmarks use: the Clifford+T
+/// single-qubit family, parameterized rotations, the two-qubit entanglers
+/// (including the QAOA `CPhase`/`RZZ` layer gates), `Swap` for routing, and
+/// the dynamic-circuit primitives `Measure` and `Reset`.
+///
+/// Angles are in radians.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli-X. With [`Instruction::condition`](crate::Instruction) set, this
+    /// is the classically-controlled X the paper uses as a fast conditional
+    /// reset (Fig. 2b).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = fourth root of Z.
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Diagonal phase gate `diag(1, e^{i a})`.
+    Phase(f64),
+    /// The generic single-qubit unitary `U(theta, phi, lambda)` (OpenQASM
+    /// `u3`).
+    U(f64, f64, f64),
+    /// Controlled-X (CNOT); qubit 0 controls qubit 1.
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled-phase by the given angle (symmetric); the QAOA CPHASE.
+    Cp(f64),
+    /// Two-qubit ZZ rotation `exp(-i a/2 Z⊗Z)` (symmetric); the QAOA mixer
+    /// partner gate.
+    Rzz(f64),
+    /// SWAP, as inserted by routing.
+    Swap,
+    /// Projective measurement in the computational basis; writes the
+    /// instruction's classical bit.
+    Measure,
+    /// Unconditional reset to |0>. The paper replaces `Measure + Reset` with
+    /// `Measure + conditional X` for speed; both are representable.
+    Reset,
+}
+
+impl Gate {
+    /// The number of qubits this gate acts on (1 or 2).
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cz | Gate::Cp(_) | Gate::Rzz(_) | Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.num_qubits() == 2
+    }
+
+    /// Returns `true` if the gate's unitary is diagonal in the computational
+    /// basis (such gates all commute with each other).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Phase(_)
+                | Gate::Cz
+                | Gate::Cp(_)
+                | Gate::Rzz(_)
+        )
+    }
+
+    /// Returns `true` for `Measure` and `Reset` (the non-unitary,
+    /// dynamic-circuit operations).
+    pub fn is_non_unitary(&self) -> bool {
+        matches!(self, Gate::Measure | Gate::Reset)
+    }
+
+    /// Returns `true` if the two-qubit gate is symmetric under qubit
+    /// exchange (so routing may map its operands to a coupling edge in
+    /// either direction without a direction fix-up).
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Gate::Cz | Gate::Cp(_) | Gate::Rzz(_) | Gate::Swap)
+    }
+
+    /// The lower-case mnemonic used in QASM output and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::U(..) => "u",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Cp(_) => "cp",
+            Gate::Rzz(_) => "rzz",
+            Gate::Swap => "swap",
+            Gate::Measure => "measure",
+            Gate::Reset => "reset",
+        }
+    }
+
+    /// The rotation angle for parameterized gates.
+    pub fn angle(&self) -> Option<f64> {
+        match self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) | Gate::Cp(a)
+            | Gate::Rzz(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The inverse (adjoint) gate, or `None` for the non-unitary
+    /// operations.
+    pub fn inverse(&self) -> Option<Gate> {
+        Some(match *self {
+            Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => *self,
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rx(a) => Gate::Rx(-a),
+            Gate::Ry(a) => Gate::Ry(-a),
+            Gate::Rz(a) => Gate::Rz(-a),
+            Gate::Phase(a) => Gate::Phase(-a),
+            Gate::Cp(a) => Gate::Cp(-a),
+            Gate::Rzz(a) => Gate::Rzz(-a),
+            Gate::U(t, p, l) => Gate::U(-t, -l, -p),
+            Gate::Measure | Gate::Reset => return None,
+        })
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Gate::U(t, p, l) = self {
+            return write!(f, "u({t:.6}, {p:.6}, {l:.6})");
+        }
+        match self.angle() {
+            Some(a) => write!(f, "{}({:.6})", self.name(), a),
+            None => f.write_str(self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::Cx.num_qubits(), 2);
+        assert_eq!(Gate::Rzz(0.5).num_qubits(), 2);
+        assert_eq!(Gate::Measure.num_qubits(), 1);
+        assert!(Gate::Swap.is_two_qubit());
+        assert!(!Gate::Rx(1.0).is_two_qubit());
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Cz.is_diagonal());
+        assert!(Gate::Cp(0.3).is_diagonal());
+        assert!(Gate::Rzz(0.3).is_diagonal());
+        assert!(Gate::Rz(0.3).is_diagonal());
+        assert!(!Gate::Cx.is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::Measure.is_diagonal());
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!(Gate::Cz.is_symmetric());
+        assert!(Gate::Swap.is_symmetric());
+        assert!(!Gate::Cx.is_symmetric());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Gate::Sdg.name(), "sdg");
+        assert_eq!(format!("{}", Gate::H), "h");
+        assert!(format!("{}", Gate::Rz(1.5)).starts_with("rz(1.5"));
+    }
+
+    #[test]
+    fn non_unitary() {
+        assert!(Gate::Measure.is_non_unitary());
+        assert!(Gate::Reset.is_non_unitary());
+        assert!(!Gate::X.is_non_unitary());
+    }
+
+    #[test]
+    fn angles() {
+        assert_eq!(Gate::Cp(0.25).angle(), Some(0.25));
+        assert_eq!(Gate::Cx.angle(), None);
+    }
+}

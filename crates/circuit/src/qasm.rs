@@ -1,0 +1,382 @@
+//! OpenQASM 2 text export / import (with dynamic-circuit extensions).
+//!
+//! The exporter writes standard OpenQASM 2.0 plus the two dynamic-circuit
+//! forms IBM's toolchain accepts: `reset q[i];` and single-bit conditionals
+//! `if(c[i]==1) x q[j];`. The importer reads back the same dialect, which
+//! gives us lossless round-trips for persisting compiled circuits.
+
+use crate::circuit::{Circuit, Clbit, Instruction, Qubit};
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Serializes `circuit` as OpenQASM 2 text.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_circuit::{qasm, Circuit, Clbit, Qubit};
+///
+/// let mut c = Circuit::new(1, 1);
+/// c.h(Qubit::new(0));
+/// c.measure(Qubit::new(0), Clbit::new(0));
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("measure q[0] -> c[0];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits().max(1));
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for instr in circuit {
+        if let Some(cond) = instr.condition {
+            let _ = write!(out, "if(c[{}]==1) ", cond.index());
+        }
+        match instr.gate {
+            Gate::Measure => {
+                let c = instr.clbit.expect("measure has a clbit");
+                let _ = writeln!(
+                    out,
+                    "measure q[{}] -> c[{}];",
+                    instr.qubits[0].index(),
+                    c.index()
+                );
+            }
+            gate => {
+                let _ = write!(out, "{}", gate.name());
+                if let Gate::U(t, p, l) = gate {
+                    let _ = write!(out, "({t:.12},{p:.12},{l:.12})");
+                } else if let Some(a) = gate.angle() {
+                    let _ = write!(out, "({a:.12})");
+                }
+                for (i, q) in instr.qubits.iter().enumerate() {
+                    let sep = if i == 0 { " " } else { ", " };
+                    let _ = write!(out, "{sep}q[{}]", q.index());
+                }
+                out.push_str(";\n");
+            }
+        }
+    }
+    out
+}
+
+/// An error from [`from_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseQasmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Parses the dialect produced by [`to_qasm`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on malformed statements, unknown gates, or
+/// out-of-range operands.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut instrs: Vec<Instruction> = Vec::new();
+
+    // Custom gate definitions are skipped wholesale (their uses would be
+    // rejected as unknown gates, which is the honest failure mode for a
+    // subset importer).
+    let mut in_gate_body = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if in_gate_body {
+            if line.contains('}') {
+                in_gate_body = false;
+            }
+            continue;
+        }
+        if line.starts_with("gate ") || line.starts_with("gate\t") {
+            in_gate_body = !line.contains('}');
+            continue;
+        }
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("barrier")
+        {
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| ParseQasmError::new(lineno, "missing ';'"))?
+            .trim();
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            num_qubits = parse_reg_decl(rest, lineno)?;
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("creg") {
+            num_clbits = parse_reg_decl(rest, lineno)?;
+            continue;
+        }
+
+        let (condition, body) = match stmt.strip_prefix("if(") {
+            Some(rest) => {
+                let close = rest
+                    .find(')')
+                    .ok_or_else(|| ParseQasmError::new(lineno, "unterminated if("))?;
+                let cond_expr = &rest[..close];
+                let bit = cond_expr
+                    .strip_prefix("c[")
+                    .and_then(|s| s.strip_suffix("]==1"))
+                    .ok_or_else(|| {
+                        ParseQasmError::new(lineno, "only if(c[i]==1) conditions supported")
+                    })?;
+                let idx: usize = bit
+                    .parse()
+                    .map_err(|_| ParseQasmError::new(lineno, "bad condition bit"))?;
+                (Some(Clbit::new(idx)), rest[close + 1..].trim())
+            }
+            None => (None, stmt),
+        };
+
+        if let Some(rest) = body.strip_prefix("measure") {
+            let (qs, cs) = rest
+                .split_once("->")
+                .ok_or_else(|| ParseQasmError::new(lineno, "measure missing '->'"))?;
+            let qi = parse_index(qs.trim(), 'q', lineno)?;
+            let ci = parse_index(cs.trim(), 'c', lineno)?;
+            instrs.push(Instruction {
+                gate: Gate::Measure,
+                qubits: vec![Qubit::new(qi)],
+                clbit: Some(Clbit::new(ci)),
+                condition,
+            });
+            continue;
+        }
+
+        // Gate application: name[(angle[, angle...])] q[i][, q[j]]
+        let (head, operands) = body
+            .split_once(' ')
+            .ok_or_else(|| ParseQasmError::new(lineno, "gate missing operands"))?;
+        let (name, angles) = match head.split_once('(') {
+            Some((n, rest)) => {
+                let a = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| ParseQasmError::new(lineno, "unterminated angle"))?;
+                let angles: Result<Vec<f64>, _> =
+                    a.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                let angles =
+                    angles.map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
+                (n, angles)
+            }
+            None => (head, Vec::new()),
+        };
+        let gate = gate_from_name(name, &angles)
+            .ok_or_else(|| ParseQasmError::new(lineno, format!("unknown gate '{name}'")))?;
+        let qubits: Result<Vec<Qubit>, ParseQasmError> = operands
+            .split(',')
+            .map(|op| parse_index(op.trim(), 'q', lineno).map(Qubit::new))
+            .collect();
+        let qubits = qubits?;
+        if qubits.len() != gate.num_qubits() {
+            return Err(ParseQasmError::new(lineno, "operand count mismatch"));
+        }
+        instrs.push(Instruction {
+            gate,
+            qubits,
+            clbit: None,
+            condition,
+        });
+    }
+
+    let mut circuit = Circuit::new(num_qubits, num_clbits);
+    for i in instrs {
+        // Re-validate ranges through push.
+        if i.qubits.iter().any(|q| q.index() >= num_qubits)
+            || i.clbit.is_some_and(|c| c.index() >= num_clbits)
+            || i.condition.is_some_and(|c| c.index() >= num_clbits)
+        {
+            return Err(ParseQasmError::new(0, "operand out of declared range"));
+        }
+        circuit.push(i);
+    }
+    Ok(circuit)
+}
+
+fn parse_reg_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
+    rest.trim()
+        .split_once('[')
+        .and_then(|(_, r)| r.strip_suffix(']'))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| ParseQasmError::new(lineno, "bad register declaration"))
+}
+
+fn parse_index(token: &str, reg: char, lineno: usize) -> Result<usize, ParseQasmError> {
+    let expect = format!("{reg}[");
+    token
+        .strip_prefix(&expect)
+        .and_then(|r| r.strip_suffix(']'))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| ParseQasmError::new(lineno, format!("expected {reg}[i], got '{token}'")))
+}
+
+fn gate_from_name(name: &str, angles: &[f64]) -> Option<Gate> {
+    Some(match (name, angles) {
+        ("h", []) => Gate::H,
+        ("x", []) => Gate::X,
+        ("y", []) => Gate::Y,
+        ("z", []) => Gate::Z,
+        ("s", []) => Gate::S,
+        ("sdg", []) => Gate::Sdg,
+        ("t", []) => Gate::T,
+        ("tdg", []) => Gate::Tdg,
+        ("id", []) => Gate::U(0.0, 0.0, 0.0),
+        ("rx", &[a]) => Gate::Rx(a),
+        ("ry", &[a]) => Gate::Ry(a),
+        ("rz", &[a]) => Gate::Rz(a),
+        ("p", &[a]) | ("u1", &[a]) => Gate::Phase(a),
+        ("u2", &[phi, lambda]) => Gate::U(std::f64::consts::FRAC_PI_2, phi, lambda),
+        ("u", &[t, p, l]) | ("u3", &[t, p, l]) => Gate::U(t, p, l),
+        ("cx", []) => Gate::Cx,
+        ("cz", []) => Gate::Cz,
+        ("cp", &[a]) => Gate::Cp(a),
+        ("rzz", &[a]) => Gate::Rzz(a),
+        ("swap", []) => Gate::Swap,
+        ("reset", []) => Gate::Reset,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.h(q(0));
+        c.rz(0.75, q(1));
+        c.cx(q(0), q(1));
+        c.cp(1.25, q(1), q(2));
+        c.measure(q(0), Clbit::new(0));
+        c.cond_x(q(0), Clbit::new(0));
+        c.cx(q(2), q(0));
+        c.measure(q(2), Clbit::new(2));
+        c
+    }
+
+    #[test]
+    fn export_contains_dialect() {
+        let text = to_qasm(&sample_circuit());
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("creg c[3];"));
+        assert!(text.contains("cp(1.25"));
+        assert!(text.contains("if(c[0]==1) x q[0];"));
+    }
+
+    #[test]
+    fn round_trip_preserves_circuit() {
+        let original = sample_circuit();
+        let parsed = from_qasm(&to_qasm(&original)).unwrap();
+        assert_eq!(parsed.num_qubits(), original.num_qubits());
+        assert_eq!(parsed.num_clbits(), original.num_clbits());
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(original.iter()) {
+            assert_eq!(a.gate.name(), b.gate.name());
+            assert_eq!(a.qubits, b.qubits);
+            assert_eq!(a.clbit, b.clbit);
+            assert_eq!(a.condition, b.condition);
+            if let (Some(x), Some(y)) = (a.gate.angle(), b.gate.angle()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_qasm("qreg q[2];\nbogus q[0];").is_err());
+        assert!(from_qasm("qreg q[2];\nh q[0]").is_err()); // missing ;
+        let err = from_qasm("qreg q[1];\nh q[5];");
+        assert!(err.is_err()); // out of range
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "OPENQASM 2.0;\n\n// a comment\nqreg q[1];\nh q[0]; // trailing\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn u_gates_round_trip_and_qiskit_aliases_parse() {
+        let mut c = Circuit::new(1, 0);
+        c.push_gate(Gate::U(0.3, 0.5, 0.7), &[q(0)]);
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        match parsed.instructions()[0].gate {
+            Gate::U(t, p, l) => {
+                assert!((t - 0.3).abs() < 1e-9);
+                assert!((p - 0.5).abs() < 1e-9);
+                assert!((l - 0.7).abs() < 1e-9);
+            }
+            ref g => panic!("expected U, got {g}"),
+        }
+        // Qiskit legacy spellings.
+        let c = from_qasm("qreg q[1];\nu1(0.5) q[0];\nu2(0.1,0.2) q[0];\nu3(1.0,2.0,3.0) q[0];\nid q[0];").unwrap();
+        assert_eq!(c.len(), 4);
+        assert!(matches!(c.instructions()[0].gate, Gate::Phase(_)));
+        assert!(matches!(c.instructions()[1].gate, Gate::U(..)));
+        assert!(matches!(c.instructions()[2].gate, Gate::U(..)));
+    }
+
+    #[test]
+    fn reset_round_trips() {
+        let mut c = Circuit::new(1, 0);
+        c.reset(q(0));
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed.instructions()[0].gate, Gate::Reset);
+    }
+
+    #[test]
+    fn gate_definitions_are_skipped() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\ngate mygate a, b {\n  cx a, b;\n  h a;\n}\nh q[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+        // One-line definitions too.
+        let text = "qreg q[1];\ngate g2 a { h a; }\nx q[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.instructions()[0].gate, Gate::X);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = from_qasm("qreg q[1];\nh q[0]").unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("line 2"));
+        assert_eq!(err.line(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! The reuse-benefit advisor.
+//!
+//! The paper: "We also developed a method for identifying whether qubit
+//! reuse will be beneficial for a given application" (abstract, §1). This
+//! module implements that front-end check: a cheap structural analysis
+//! that predicts, *before* running the full passes, whether QS/SR-CaQR is
+//! worth invoking and why.
+//!
+//! Signals used (all O(circuit) or one cheap graph pass):
+//!
+//! * **reuse opportunity count** — valid pairs under Conditions 1/2;
+//!   zero means the circuit is un-compressible (fully connected
+//!   interaction, or a dependence chain through every pair);
+//! * **coloring headroom** — for commuting circuits, chromatic bound vs
+//!   width (the guaranteed saving);
+//! * **coupling pressure** — interaction-graph max degree vs device max
+//!   degree; when the program graph cannot embed, reuse can remove SWAPs
+//!   (the Fig. 4/5 effect);
+//! * **lifetime slack** — how early qubits retire relative to circuit
+//!   depth; early retirees are reusable wires.
+
+use crate::analysis::ReuseAnalysis;
+use crate::commuting::CommutingSpec;
+use caqr_arch::Device;
+use caqr_circuit::depth::{Schedule, UnitDurations};
+use caqr_circuit::Circuit;
+use std::fmt;
+
+/// The advisor's verdict for one circuit/device combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Strong benefit expected: run QS-CaQR (capacity) and/or SR-CaQR.
+    Beneficial,
+    /// Some opportunities exist, but expected gains are small.
+    Marginal,
+    /// No reuse opportunity; the passes would be a no-op.
+    NotApplicable,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Recommendation::Beneficial => "beneficial",
+            Recommendation::Marginal => "marginal",
+            Recommendation::NotApplicable => "not applicable",
+        })
+    }
+}
+
+/// The advisor's full report.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// The verdict.
+    pub recommendation: Recommendation,
+    /// Valid reuse pairs found (capped at enumeration; 0 = none).
+    pub opportunity_count: usize,
+    /// Width minus the commuting coloring bound, when the circuit is
+    /// commuting-shaped (guaranteed saving); otherwise `None`.
+    pub guaranteed_saving: Option<usize>,
+    /// Interaction max degree minus device max degree (positive = the
+    /// program cannot embed without SWAPs, so reuse may remove them).
+    pub coupling_pressure: i64,
+    /// Mean fraction of the circuit depth for which qubits sit retired
+    /// (0 = every qubit lives to the end; near 1 = most wires free early).
+    pub lifetime_slack: f64,
+    /// A hard floor on reachable qubit usage (interaction-graph degeneracy
+    /// + 1); no reuse transform can go below this.
+    pub qubit_floor: usize,
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reuse pairs, guaranteed saving {:?}, coupling pressure {:+}, lifetime slack {:.2}, qubit floor {}",
+            self.recommendation,
+            self.opportunity_count,
+            self.guaranteed_saving,
+            self.coupling_pressure,
+            self.lifetime_slack,
+            self.qubit_floor
+        )
+    }
+}
+
+/// Analyzes `circuit` against `device` and recommends whether to run the
+/// reuse passes.
+pub fn advise(circuit: &Circuit, device: &Device) -> Advice {
+    let analysis = ReuseAnalysis::of(circuit);
+    let opportunity_count = analysis.candidate_pairs().len();
+
+    let guaranteed_saving = CommutingSpec::from_circuit(circuit).ok().map(|spec| {
+        let bound = crate::qs::commuting::min_qubits(&spec);
+        circuit.num_qubits().saturating_sub(bound)
+    });
+
+    let coupling_pressure =
+        analysis.interaction().max_degree() as i64 - device.topology().max_degree() as i64;
+
+    let lifetime_slack = lifetime_slack(circuit);
+    let qubit_floor = crate::width::degeneracy_lower_bound(circuit);
+
+    let recommendation = if opportunity_count == 0 {
+        Recommendation::NotApplicable
+    } else {
+        let strong = guaranteed_saving.is_some_and(|s| s * 4 >= circuit.num_qubits())
+            || coupling_pressure > 0
+            || lifetime_slack > 0.25
+            || opportunity_count * 2 >= circuit.num_qubits();
+        if strong {
+            Recommendation::Beneficial
+        } else {
+            Recommendation::Marginal
+        }
+    };
+
+    Advice {
+        recommendation,
+        opportunity_count,
+        guaranteed_saving,
+        coupling_pressure,
+        lifetime_slack,
+        qubit_floor,
+    }
+}
+
+/// Mean fraction of the schedule each active qubit spends retired at the
+/// end (unit durations).
+fn lifetime_slack(circuit: &Circuit) -> f64 {
+    if circuit.is_empty() {
+        return 0.0;
+    }
+    let schedule = Schedule::asap(circuit, &UnitDurations);
+    let total = schedule.makespan() as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut last_finish = vec![0u64; circuit.num_qubits()];
+    for (idx, instr) in circuit.iter().enumerate() {
+        for q in &instr.qubits {
+            last_finish[q.index()] = last_finish[q.index()].max(schedule.finish(idx));
+        }
+    }
+    let active: Vec<u64> = circuit
+        .active_qubits()
+        .iter()
+        .map(|q| last_finish[q.index()])
+        .collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    active
+        .iter()
+        .map(|&f| 1.0 - f as f64 / total)
+        .sum::<f64>()
+        / active.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn bv(n: usize) -> Circuit {
+        let data = n - 1;
+        let mut c = Circuit::new(n, data);
+        for i in 0..data {
+            c.h(q(i));
+        }
+        c.x(q(data));
+        c.h(q(data));
+        for i in 0..data {
+            c.cx(q(i), q(data));
+            c.h(q(i));
+        }
+        for i in 0..data {
+            c.measure(q(i), Clbit::new(i));
+        }
+        c
+    }
+
+    #[test]
+    fn bv_is_beneficial() {
+        let advice = advise(&bv(10), &Device::mumbai(1));
+        assert_eq!(advice.recommendation, Recommendation::Beneficial);
+        // A star's degeneracy is 1, so the floor is 2 — BV's true minimum.
+        assert_eq!(advice.qubit_floor, 2);
+        assert!(advice.opportunity_count >= 9 * 8 / 2);
+        // Star degree 9 > heavy-hex degree 3.
+        assert!(advice.coupling_pressure > 0);
+        // Early data qubits retire well before the target.
+        assert!(advice.lifetime_slack > 0.1);
+    }
+
+    #[test]
+    fn ghz_chain_not_applicable() {
+        // A GHZ ladder: every pair of consecutive qubits interacts and the
+        // dependence chain runs through all of them -> no valid pair at
+        // all... actually non-adjacent qubits are pair candidates only in
+        // the forward direction; the chain still blocks them via
+        // Condition 2? No: q0 finishes before q2 starts? q0's last gate is
+        // cx(0,1), q2's first is cx(1,2) which depends on it. (q0 -> q2) is
+        // valid. So GHZ is *marginal/beneficial by count*; check the dense
+        // case below instead. Here just sanity-check the advisor runs.
+        let mut c = Circuit::new(4, 4);
+        c.h(q(0));
+        for i in 0..3 {
+            c.cx(q(i), q(i + 1));
+        }
+        c.measure_all();
+        let advice = advise(&c, &Device::mumbai(1));
+        assert_ne!(advice.recommendation, Recommendation::NotApplicable);
+    }
+
+    #[test]
+    fn fully_entangled_block_not_applicable() {
+        // All-to-all interactions: Condition 1 kills every pair.
+        let mut c = Circuit::new(4, 0);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                c.cz(q(i), q(j));
+            }
+        }
+        let advice = advise(&c, &Device::mumbai(1));
+        assert_eq!(advice.recommendation, Recommendation::NotApplicable);
+        assert_eq!(advice.opportunity_count, 0);
+    }
+
+    #[test]
+    fn qaoa_reports_guaranteed_saving() {
+        let g = caqr_graph::gen::power_law_graph(12, 0.3, 5);
+        let mut c = Circuit::new(12, 12);
+        for v in 0..12 {
+            c.h(q(v));
+        }
+        for (u, v) in g.edges() {
+            c.rzz(0.5, q(u), q(v));
+        }
+        for v in 0..12 {
+            c.rx(0.4, q(v));
+        }
+        c.measure_all();
+        let advice = advise(&c, &Device::mumbai(1));
+        let saving = advice.guaranteed_saving.expect("QAOA is commuting-shaped");
+        assert!(saving >= 1);
+        assert_eq!(advice.recommendation, Recommendation::Beneficial);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let advice = advise(&Circuit::new(3, 0), &Device::mumbai(1));
+        assert_eq!(advice.recommendation, Recommendation::NotApplicable);
+        assert_eq!(advice.lifetime_slack, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let advice = advise(&bv(5), &Device::mumbai(1));
+        let s = format!("{advice}");
+        assert!(s.contains("beneficial"));
+        assert!(s.contains("reuse pairs"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The `caqr` command line: compile, analyze, and sweep OpenQASM circuits
+//! with qubit reuse.
+//!
+//! ```text
+//! caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]
+//! caqr advise  <file.qasm> [--device D] [--seed N]
+//! caqr sweep   <file.qasm>
+//! caqr info    <file.qasm>
+//!
+//! strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
+//! devices:    mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
+//! ```
+
+use caqr::{advisor, compile, qs, Strategy};
+use caqr_arch::{Device, Topology};
+use caqr_circuit::depth::UnitDurations;
+use caqr_circuit::{qasm, Circuit};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("caqr: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]");
+            eprintln!("  caqr advise  <file.qasm> [--device D] [--seed N]");
+            eprintln!("  caqr sweep   <file.qasm>");
+            eprintln!("  caqr info    <file.qasm>");
+            eprintln!();
+            eprintln!("strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr");
+            eprintln!("devices: mumbai | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    let file = args.get(1).ok_or("missing input file")?;
+    let circuit = load(file)?;
+    let opts = Flags::parse(&args[2..])?;
+
+    match command.as_str() {
+        "compile" => {
+            let device = opts.device()?;
+            let report = compile(&circuit, &device, opts.strategy)
+                .map_err(|e| format!("compilation failed: {e}"))?;
+            println!("{report}");
+            if opts.emit {
+                print!("{}", qasm::to_qasm(&report.circuit));
+            }
+            Ok(())
+        }
+        "advise" => {
+            let device = opts.device()?;
+            println!("{}", advisor::advise(&circuit, &device));
+            Ok(())
+        }
+        "sweep" => {
+            let points = qs::regular::sweep(&circuit, &UnitDurations);
+            println!("qubits  depth  reuses");
+            for p in points {
+                println!("{:<7} {:<6} {}", p.qubits, p.depth(), p.reuses);
+            }
+            Ok(())
+        }
+        "info" => {
+            println!(
+                "qubits: {}\nclbits: {}\ngates: {}\ntwo-qubit gates: {}\ndepth: {}\nmid-circuit measurements: {}",
+                circuit.num_qubits(),
+                circuit.num_clbits(),
+                circuit.len(),
+                circuit.two_qubit_gate_count(),
+                circuit.depth(),
+                circuit.mid_circuit_measurement_count(),
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    qasm::from_qasm(&text).map_err(|e| format!("{e}"))
+}
+
+struct Flags {
+    strategy: Strategy,
+    device_spec: String,
+    seed: u64,
+    emit: bool,
+}
+
+impl Flags {
+    fn parse(rest: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            strategy: Strategy::Sr,
+            device_spec: "mumbai".to_string(),
+            seed: 2023,
+            emit: false,
+        };
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--strategy" => {
+                    let v = it.next().ok_or("--strategy needs a value")?;
+                    flags.strategy = match v.as_str() {
+                        "baseline" => Strategy::Baseline,
+                        "qs-max" => Strategy::QsMaxReuse,
+                        "qs-min-depth" => Strategy::QsMinDepth,
+                        "qs-min-swap" => Strategy::QsMinSwap,
+                        "qs-max-esp" => Strategy::QsMaxEsp,
+                        "sr" => Strategy::Sr,
+                        other => return Err(format!("unknown strategy '{other}'")),
+                    };
+                }
+                "--device" => {
+                    flags.device_spec = it.next().ok_or("--device needs a value")?.clone();
+                }
+                "--seed" => {
+                    flags.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad seed")?;
+                }
+                "--emit" => flags.emit = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn device(&self) -> Result<Device, String> {
+        let spec = self.device_spec.as_str();
+        if spec == "mumbai" {
+            return Ok(Device::mumbai(self.seed));
+        }
+        if let Some(n) = spec.strip_prefix("heavy-hex:") {
+            let n: usize = n.parse().map_err(|_| "bad heavy-hex size")?;
+            return Ok(Device::scaled_heavy_hex(n, self.seed));
+        }
+        if let Some(n) = spec.strip_prefix("line:") {
+            let n: usize = n.parse().map_err(|_| "bad line size")?;
+            return Ok(Device::with_synthetic_calibration(
+                Topology::line(n),
+                self.seed,
+            ));
+        }
+        if let Some(dims) = spec.strip_prefix("grid:") {
+            let (r, c) = dims.split_once('x').ok_or("grid wants <r>x<c>")?;
+            let r: usize = r.parse().map_err(|_| "bad grid rows")?;
+            let c: usize = c.parse().map_err(|_| "bad grid cols")?;
+            return Ok(Device::with_synthetic_calibration(
+                Topology::grid(r, c),
+                self.seed,
+            ));
+        }
+        Err(format!("unknown device '{spec}'"))
+    }
+}

@@ -1,0 +1,852 @@
+//! Commuting-gate circuit handling (the paper's QAOA path, §3.2.2).
+//!
+//! A QAOA-shaped circuit is: per-qubit prologue (H), a layer of mutually
+//! commuting diagonal two-qubit gates (one per problem-graph edge), a
+//! per-qubit epilogue (the RX mixer), and terminal measurements. Because
+//! the two-qubit gates commute, their order is free — the compiler may
+//! schedule them in any sequence that respects the dependencies *imposed by
+//! reuse pairs*.
+//!
+//! [`CommutingSpec`] extracts that structure from a [`Circuit`];
+//! [`schedule`] realizes the paper's three-step scheduler (dependence
+//! update, temporary removal of blocked gates, priority maximum matching);
+//! [`emit`] lowers a schedule + reuse pairs back to a concrete dynamic
+//! circuit.
+
+use crate::analysis::ReusePair;
+use caqr_circuit::{Circuit, Clbit, Gate, Qubit};
+use caqr_graph::{matching, Graph};
+use std::fmt;
+
+/// Why a circuit does not fit the commuting-layer shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotCommutingError {
+    reason: String,
+}
+
+impl NotCommutingError {
+    fn new(reason: impl Into<String>) -> Self {
+        NotCommutingError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NotCommutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not a commuting-layer circuit: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NotCommutingError {}
+
+/// The extracted structure of a commuting-layer circuit.
+#[derive(Debug, Clone)]
+pub struct CommutingSpec {
+    num_qubits: usize,
+    edges: Vec<(usize, usize, Gate)>,
+    prologue: Vec<Vec<Gate>>,
+    epilogue: Vec<Vec<Gate>>,
+    measure_clbit: Vec<Option<usize>>,
+}
+
+impl CommutingSpec {
+    /// Parses `circuit` into the prologue / commuting-edge / epilogue /
+    /// measure shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotCommutingError`] if any two-qubit gate is not diagonal,
+    /// any gate follows a measurement on the same qubit, a two-qubit gate
+    /// follows a qubit's epilogue, or the circuit uses dynamic-circuit
+    /// operations already.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, NotCommutingError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            Prologue,
+            Edges,
+            Epilogue,
+            Measured,
+        }
+        let n = circuit.num_qubits();
+        let mut phase = vec![Phase::Prologue; n];
+        let mut spec = CommutingSpec {
+            num_qubits: n,
+            edges: Vec::new(),
+            prologue: vec![Vec::new(); n],
+            epilogue: vec![Vec::new(); n],
+            measure_clbit: vec![None; n],
+        };
+        for instr in circuit {
+            if instr.condition.is_some() {
+                return Err(NotCommutingError::new("conditional gate present"));
+            }
+            match instr.gate {
+                Gate::Reset => return Err(NotCommutingError::new("reset present")),
+                Gate::Measure => {
+                    let q = instr.qubits[0].index();
+                    if phase[q] == Phase::Measured {
+                        return Err(NotCommutingError::new(format!("q{q} measured twice")));
+                    }
+                    phase[q] = Phase::Measured;
+                    spec.measure_clbit[q] =
+                        Some(instr.clbit.expect("measure has a clbit").index());
+                }
+                g if g.is_two_qubit() => {
+                    if !g.is_diagonal() {
+                        return Err(NotCommutingError::new(format!(
+                            "two-qubit gate {g} is not diagonal"
+                        )));
+                    }
+                    let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
+                    for q in [a, b] {
+                        match phase[q] {
+                            Phase::Prologue => phase[q] = Phase::Edges,
+                            Phase::Edges => {}
+                            _ => {
+                                return Err(NotCommutingError::new(format!(
+                                    "two-qubit gate on q{q} after its epilogue"
+                                )))
+                            }
+                        }
+                    }
+                    spec.edges.push((a, b, g));
+                }
+                g => {
+                    let q = instr.qubits[0].index();
+                    match phase[q] {
+                        Phase::Prologue => spec.prologue[q].push(g),
+                        Phase::Edges | Phase::Epilogue => {
+                            phase[q] = Phase::Epilogue;
+                            spec.epilogue[q].push(g);
+                        }
+                        Phase::Measured => {
+                            return Err(NotCommutingError::new(format!(
+                                "gate on q{q} after measurement"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The commuting two-qubit gates as `(u, v, gate)` triples.
+    pub fn edges(&self) -> &[(usize, usize, Gate)] {
+        &self.edges
+    }
+
+    /// The simple interaction graph (`G_int`).
+    pub fn interaction_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_qubits);
+        for &(a, b, _) in &self.edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Validates a set of reuse pairs against this spec: Condition 1 (no
+    /// shared edge), structural uniqueness, and Condition 2 (the imposed
+    /// gate dependencies are acyclic). This is the paper's incremental
+    /// cycle test, run on the gate-level dependence graph.
+    pub fn pairs_valid(&self, pairs: &[ReusePair]) -> bool {
+        let n = self.num_qubits;
+        let mut donates = vec![false; n];
+        let mut receives = vec![false; n];
+        let int = self.interaction_graph();
+        // Wire-level chains must form a forest: a donor-receiver cycle
+        // (possible between gate-free qubits, which the gate-level test
+        // below cannot see) would make the wire assignment circular.
+        let mut chains = caqr_graph::DiGraph::new(n);
+        for p in pairs {
+            let (d, r) = (p.donor.index(), p.receiver.index());
+            if d >= n || r >= n || d == r || int.has_edge(d, r) {
+                return false;
+            }
+            if donates[d] || receives[r] {
+                return false;
+            }
+            donates[d] = true;
+            receives[r] = true;
+            chains.add_edge(d, r);
+        }
+        if chains.has_cycle() {
+            return false;
+        }
+        // Gate-level dependence graph: one node per edge-gate plus one D
+        // node per pair; gates(donor) -> D -> gates(receiver). D nodes of
+        // chained pairs (receiver of one = donor of the next) are linked
+        // directly — otherwise a gate-free intermediate qubit would hide
+        // the transitive constraint and a deadlocking pair set could pass.
+        let mut g = caqr_graph::DiGraph::new(self.edges.len() + pairs.len());
+        let mut gates_on: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(a, b, _)) in self.edges.iter().enumerate() {
+            gates_on[a].push(i);
+            gates_on[b].push(i);
+        }
+        for (k, p) in pairs.iter().enumerate() {
+            let d_node = self.edges.len() + k;
+            for &gi in &gates_on[p.donor.index()] {
+                g.add_edge(gi, d_node);
+            }
+            for &gi in &gates_on[p.receiver.index()] {
+                g.add_edge(d_node, gi);
+            }
+            for (m, q) in pairs.iter().enumerate() {
+                if m != k && q.donor == p.receiver {
+                    g.add_edge(d_node, self.edges.len() + m);
+                }
+            }
+        }
+        !g.has_cycle()
+    }
+}
+
+/// Which maximum-matching engine the scheduler uses for each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Matcher {
+    /// Edmonds' blossom with the priority phase (the paper's choice).
+    #[default]
+    Blossom,
+    /// Greedy maximal matching sorted by priority weight (the cheaper
+    /// alternative from §3.4, used for large instances and the ablation).
+    Greedy,
+}
+
+/// Runs the three-step scheduler: returns rounds of edge indices (into
+/// [`CommutingSpec::edges`]), or `None` if the pairs deadlock (cyclic).
+///
+/// Per round: gates blocked by unresolved reuse dependencies are removed
+/// (Step 2), edges touching a pending donor get priority weight (`|E|`),
+/// and a maximum matching selects the round's gates (Step 3).
+pub fn schedule(spec: &CommutingSpec, pairs: &[ReusePair], matcher: Matcher) -> Option<Vec<Vec<usize>>> {
+    let n = spec.num_qubits();
+    let mut donor_of: Vec<Option<usize>> = vec![None; n];
+    let mut is_donor = vec![false; n];
+    for p in pairs {
+        donor_of[p.receiver.index()] = Some(p.donor.index());
+        is_donor[p.donor.index()] = true;
+    }
+    let mut remaining_edges: Vec<usize> = (0..spec.edges.len()).collect();
+    let mut remaining_on: Vec<usize> = vec![0; n];
+    for &(a, b, _) in spec.edges() {
+        remaining_on[a] += 1;
+        remaining_on[b] += 1;
+    }
+
+    // ready(q): every transitive donor has finished all of its gates.
+    let ready = |remaining_on: &[usize], q: usize| -> bool {
+        let mut cur = q;
+        let mut guard = 0;
+        while let Some(d) = donor_of[cur] {
+            if remaining_on[d] > 0 {
+                return false;
+            }
+            cur = d;
+            guard += 1;
+            if guard > n {
+                return false; // cyclic chain
+            }
+        }
+        true
+    };
+
+    let priority_weight = spec.edges.len().max(2) as u64;
+    let mut rounds = Vec::new();
+    while !remaining_edges.is_empty() {
+        // Step 2: eligible edges are those whose endpoints are both ready.
+        let eligible: Vec<usize> = remaining_edges
+            .iter()
+            .copied()
+            .filter(|&ei| {
+                let (a, b, _) = spec.edges[ei];
+                ready(&remaining_on, a) && ready(&remaining_on, b)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None; // deadlock: invalid pair set
+        }
+        // Build the round's simple interaction subgraph; remember one edge
+        // id per vertex pair (parallel edges go to later rounds).
+        let mut g = Graph::new(n);
+        let mut edge_id = std::collections::BTreeMap::new();
+        for &ei in &eligible {
+            let (a, b, _) = spec.edges[ei];
+            let key = (a.min(b), a.max(b));
+            if g.add_edge(a, b) {
+                edge_id.insert(key, ei);
+            }
+        }
+        // Step 3: priority maximum matching. Priority edges touch a donor
+        // that still has gates (finishing them unblocks a reuse).
+        let is_priority =
+            |u: usize, v: usize| -> bool { is_donor[u] || is_donor[v] };
+        let matched = match matcher {
+            Matcher::Blossom => matching::priority_maximum(&g, is_priority),
+            Matcher::Greedy => matching::greedy_maximal(&g, |u, v| {
+                if is_priority(u, v) {
+                    priority_weight
+                } else {
+                    1
+                }
+            }),
+        };
+        let mut round = Vec::new();
+        for (u, v) in matched.edges() {
+            let ei = edge_id[&(u, v)];
+            round.push(ei);
+            remaining_on[u] -= 1;
+            remaining_on[v] -= 1;
+        }
+        round.sort_unstable();
+        remaining_edges.retain(|ei| !round.contains(ei));
+        rounds.push(round);
+    }
+    Some(rounds)
+}
+
+/// Derives reuse pairs from a live-width-greedy gate ordering: schedule
+/// one commuting gate at a time, always choosing the gate that activates
+/// the fewest new qubits (tie: retires the most; then fewest remaining
+/// gates on its endpoints). Wires are managed as a LIFO pool: a retired
+/// qubit's wire is handed to the next activation, which *is* a reuse pair.
+///
+/// Validity is by construction: a donor is fully finished before its
+/// receiver starts (Condition 2), and an interacting pair can never share
+/// a wire because their shared gate forces both alive at once
+/// (Condition 1). This construction approaches the interaction graph's
+/// pathwidth — the true floor — where pairwise greedy search stalls much
+/// earlier.
+pub fn live_greedy_pairs(spec: &CommutingSpec) -> Vec<ReusePair> {
+    live_pairs_with(spec, false)
+}
+
+/// Like [`live_greedy_pairs`], but with a "finish what you started" bias:
+/// when any live qubit still has gates, its cheapest gate is scheduled
+/// first, draining qubits one at a time — often a tighter width on
+/// tree-like (scale-free) graphs.
+pub fn finish_greedy_pairs(spec: &CommutingSpec) -> Vec<ReusePair> {
+    live_pairs_with(spec, true)
+}
+
+fn live_pairs_with(spec: &CommutingSpec, finish_bias: bool) -> Vec<ReusePair> {
+    let n = spec.num_qubits();
+    let mut remaining: Vec<usize> = vec![0; n];
+    for &(a, b, _) in spec.edges() {
+        remaining[a] += 1;
+        remaining[b] += 1;
+    }
+    let mut alive = vec![false; n];
+    let mut unscheduled: Vec<usize> = (0..spec.edges().len()).collect();
+    let mut pool: Vec<usize> = Vec::new(); // retired qubits with reusable wires
+    let mut pairs: Vec<ReusePair> = Vec::new();
+
+    let activate = |q: usize,
+                        alive: &mut Vec<bool>,
+                        pool: &mut Vec<usize>,
+                        pairs: &mut Vec<ReusePair>| {
+        if !alive[q] {
+            alive[q] = true;
+            if let Some(donor) = pool.pop() {
+                pairs.push(ReusePair::new(Qubit::new(donor), Qubit::new(q)));
+            }
+        }
+    };
+
+    while !unscheduled.is_empty() {
+        // Pick the cheapest edge: fewest activations, most retirements,
+        // then least remaining load, then index. With the finish bias,
+        // edges draining the live qubit closest to retirement come first.
+        let focus: Option<usize> = if finish_bias {
+            (0..n)
+                .filter(|&q| alive[q] && remaining[q] > 0)
+                .min_by_key(|&q| (remaining[q], q))
+        } else {
+            None
+        };
+        let best = unscheduled
+            .iter()
+            .copied()
+            .min_by_key(|&ei| {
+                let (a, b, _) = spec.edges()[ei];
+                let on_focus = focus.is_some_and(|f| a == f || b == f);
+                let activations = usize::from(!alive[a]) + usize::from(!alive[b]);
+                let retirements =
+                    usize::from(remaining[a] == 1) + usize::from(remaining[b] == 1);
+                let load = remaining[a] + remaining[b];
+                (
+                    std::cmp::Reverse(on_focus),
+                    activations,
+                    std::cmp::Reverse(retirements),
+                    load,
+                    ei,
+                )
+            })
+            .expect("edges remain");
+        let (a, b, _) = spec.edges()[best];
+        activate(a, &mut alive, &mut pool, &mut pairs);
+        activate(b, &mut alive, &mut pool, &mut pairs);
+        remaining[a] -= 1;
+        remaining[b] -= 1;
+        for q in [a, b] {
+            if remaining[q] == 0 {
+                alive[q] = false;
+                pool.push(q);
+            }
+        }
+        unscheduled.retain(|&ei| ei != best);
+    }
+    pairs
+}
+
+/// Lowers a schedule + reuse pairs into a concrete dynamic circuit.
+///
+/// Returns the circuit and `wire_of` (original qubit -> wire).
+///
+/// # Panics
+///
+/// Panics if `rounds` is not a permutation of the spec's edges or the
+/// pairs are structurally invalid (use [`CommutingSpec::pairs_valid`]
+/// first).
+pub fn emit(
+    spec: &CommutingSpec,
+    pairs: &[ReusePair],
+    rounds: &[Vec<usize>],
+) -> (Circuit, Vec<usize>) {
+    let n = spec.num_qubits();
+    let mut donor_of: Vec<Option<usize>> = vec![None; n];
+    let mut receiver_of: Vec<Option<usize>> = vec![None; n];
+    for p in pairs {
+        donor_of[p.receiver.index()] = Some(p.donor.index());
+        receiver_of[p.donor.index()] = Some(p.receiver.index());
+    }
+    // Wire assignment by donor-chain roots.
+    let root = |mut q: usize| -> usize {
+        while let Some(d) = donor_of[q] {
+            q = d;
+        }
+        q
+    };
+    let mut wire_index: Vec<Option<usize>> = vec![None; n];
+    let mut num_wires = 0;
+    let mut wire_of = vec![0usize; n];
+    for q in 0..n {
+        let r = root(q);
+        let w = *wire_index[r].get_or_insert_with(|| {
+            let w = num_wires;
+            num_wires += 1;
+            w
+        });
+        wire_of[q] = w;
+    }
+
+    // Classical bits: measured qubits keep theirs; unmeasured donors get
+    // fresh bits for the conditional reset.
+    let mut num_clbits = spec
+        .measure_clbit
+        .iter()
+        .flatten()
+        .map(|&c| c + 1)
+        .max()
+        .unwrap_or(0);
+    let reset_clbit: Vec<Option<usize>> = (0..n)
+        .map(|q| {
+            if receiver_of[q].is_none() {
+                return None;
+            }
+            Some(match spec.measure_clbit[q] {
+                Some(c) => c,
+                None => {
+                    let c = num_clbits;
+                    num_clbits += 1;
+                    c
+                }
+            })
+        })
+        .collect();
+
+    let mut c = Circuit::new(num_wires, num_clbits);
+    let mut started = vec![false; n];
+    let mut finished = vec![false; n];
+    let mut remaining_on = vec![0usize; n];
+    for &(a, b, _) in spec.edges() {
+        remaining_on[a] += 1;
+        remaining_on[b] += 1;
+    }
+
+    // Recursively (iteratively) start a qubit: donors must finish first.
+    fn start(
+        q: usize,
+        spec: &CommutingSpec,
+        donor_of: &[Option<usize>],
+        wire_of: &[usize],
+        started: &mut [bool],
+        finished: &mut [bool],
+        remaining_on: &[usize],
+        reset_clbit: &[Option<usize>],
+        receiver_of: &[Option<usize>],
+        c: &mut Circuit,
+    ) {
+        if started[q] {
+            return;
+        }
+        if let Some(d) = donor_of[q] {
+            assert!(
+                finished[d],
+                "scheduler must finish donor q{d} before starting q{q}"
+            );
+        }
+        started[q] = true;
+        let w = Qubit::new(wire_of[q]);
+        for g in &spec.prologue[q] {
+            c.push_gate(*g, &[w]);
+        }
+        // A qubit with no edges finishes immediately.
+        if remaining_on[q] == 0 {
+            finish(
+                q, spec, wire_of, finished, reset_clbit, receiver_of, c,
+            );
+        }
+    }
+
+    fn finish(
+        q: usize,
+        spec: &CommutingSpec,
+        wire_of: &[usize],
+        finished: &mut [bool],
+        reset_clbit: &[Option<usize>],
+        receiver_of: &[Option<usize>],
+        c: &mut Circuit,
+    ) {
+        if finished[q] {
+            return;
+        }
+        finished[q] = true;
+        let w = Qubit::new(wire_of[q]);
+        for g in &spec.epilogue[q] {
+            c.push_gate(*g, &[w]);
+        }
+        if let Some(cl) = spec.measure_clbit[q] {
+            c.measure(w, Clbit::new(cl));
+        }
+        if receiver_of[q].is_some() {
+            let cl = reset_clbit[q].expect("donor has a reset clbit");
+            if spec.measure_clbit[q].is_none() {
+                c.measure(w, Clbit::new(cl));
+            }
+            c.cond_x(w, Clbit::new(cl));
+        }
+    }
+
+    // Start root qubits with edges lazily; process rounds.
+    let mut emitted = 0usize;
+    for round in rounds {
+        for &ei in round {
+            let (a, b, gate) = spec.edges[ei];
+            for q in [a, b] {
+                // Start donors-first chains as needed.
+                let mut chain = vec![q];
+                while let Some(d) = donor_of[chain[chain.len() - 1]] {
+                    if started[d] {
+                        break;
+                    }
+                    chain.push(d);
+                }
+                for &s in chain.iter().rev() {
+                    start(
+                        s,
+                        spec,
+                        &donor_of,
+                        &wire_of,
+                        &mut started,
+                        &mut finished,
+                        &remaining_on,
+                        &reset_clbit,
+                        &receiver_of,
+                        &mut c,
+                    );
+                }
+            }
+            c.push_gate(gate, &[Qubit::new(wire_of[a]), Qubit::new(wire_of[b])]);
+            emitted += 1;
+            for q in [a, b] {
+                remaining_on[q] -= 1;
+                if remaining_on[q] == 0 {
+                    finish(
+                        q,
+                        spec,
+                        &wire_of,
+                        &mut finished,
+                        &reset_clbit,
+                        &receiver_of,
+                        &mut c,
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(emitted, spec.edges.len(), "schedule must cover every edge");
+
+    // Start-and-finish any untouched qubits (isolated vertices), donors
+    // before receivers.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for q in 0..n {
+            if !started[q] && donor_of[q].map_or(true, |d| finished[d]) {
+                start(
+                    q,
+                    spec,
+                    &donor_of,
+                    &wire_of,
+                    &mut started,
+                    &mut finished,
+                    &remaining_on,
+                    &reset_clbit,
+                    &receiver_of,
+                    &mut c,
+                );
+                progress = true;
+            }
+        }
+    }
+    assert!(
+        started.iter().all(|&s| s),
+        "every qubit must start (pairs acyclic)"
+    );
+
+    (c, wire_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_graph::gen;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn pair(d: usize, r: usize) -> ReusePair {
+        ReusePair::new(q(d), q(r))
+    }
+
+    fn qaoa_circuit(graph: &Graph) -> Circuit {
+        let n = graph.num_vertices();
+        let mut c = Circuit::new(n, n);
+        for v in 0..n {
+            c.h(q(v));
+        }
+        for (u, v) in graph.edges() {
+            c.rzz(0.7, q(u), q(v));
+        }
+        for v in 0..n {
+            c.rx(0.6, q(v));
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn spec_extraction() {
+        let g = gen::random_graph(6, 0.4, 1);
+        let c = qaoa_circuit(&g);
+        let spec = CommutingSpec::from_circuit(&c).unwrap();
+        assert_eq!(spec.num_qubits(), 6);
+        assert_eq!(spec.edges().len(), g.num_edges());
+        assert_eq!(spec.interaction_graph(), g);
+        for v in 0..6 {
+            assert_eq!(spec.prologue[v], vec![Gate::H]);
+            assert_eq!(spec.epilogue[v].len(), 1);
+            assert_eq!(spec.measure_clbit[v], Some(v));
+        }
+    }
+
+    #[test]
+    fn non_commuting_rejected() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(0), q(1));
+        assert!(CommutingSpec::from_circuit(&c).is_err());
+
+        // Two-layer QAOA breaks the single-layer shape.
+        let mut c2 = Circuit::new(2, 0);
+        c2.rzz(0.1, q(0), q(1));
+        c2.rx(0.2, q(0));
+        c2.rzz(0.1, q(0), q(1));
+        assert!(CommutingSpec::from_circuit(&c2).is_err());
+    }
+
+    #[test]
+    fn pairs_validation() {
+        // Path 0-1-2: 0 and 2 do not interact.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        assert!(spec.pairs_valid(&[pair(0, 2)]));
+        assert!(spec.pairs_valid(&[pair(2, 0)]));
+        // Interacting pair fails Condition 1.
+        assert!(!spec.pairs_valid(&[pair(0, 1)]));
+        // Duplicate donor.
+        assert!(!spec.pairs_valid(&[pair(0, 2), pair(0, 1)]));
+    }
+
+    #[test]
+    fn mutual_reuse_cycle_rejected() {
+        // 0-1, 2-3 disjoint: (0 -> 2) and (2 -> 0) together cycle.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        assert!(spec.pairs_valid(&[pair(0, 2)]));
+        assert!(!spec.pairs_valid(&[pair(0, 2), pair(2, 0)]));
+    }
+
+    #[test]
+    fn isolated_qubit_mutual_reuse_rejected() {
+        // Vertices 2 and 3 have no gates at all; a mutual reuse between
+        // them is invisible to the gate-level cycle test but must still be
+        // rejected (wire assignment would be circular). Regression test
+        // for a hang in the sweet-spot search.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        assert!(spec.pairs_valid(&[pair(2, 3)]));
+        assert!(!spec.pairs_valid(&[pair(2, 3), pair(3, 2)]));
+        // Longer gate-free chains that loop are also rejected.
+        let mut g5 = Graph::new(5);
+        g5.add_edge(0, 1);
+        let spec5 = CommutingSpec::from_circuit(&qaoa_circuit(&g5)).unwrap();
+        assert!(!spec5.pairs_valid(&[pair(2, 3), pair(3, 4), pair(4, 2)]));
+    }
+
+    #[test]
+    fn schedule_covers_all_edges() {
+        let g = gen::random_graph(8, 0.4, 2);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        for matcher in [Matcher::Blossom, Matcher::Greedy] {
+            let rounds = schedule(&spec, &[], matcher).unwrap();
+            let mut seen: Vec<usize> = rounds.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..spec.edges().len()).collect::<Vec<_>>());
+            // Each round is a matching: no endpoint repeats.
+            for round in &rounds {
+                let mut used = std::collections::BTreeSet::new();
+                for &ei in round {
+                    let (a, b, _) = spec.edges()[ei];
+                    assert!(used.insert(a), "round reuses q{a}");
+                    assert!(used.insert(b), "round reuses q{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_with_pairs_respects_dependence() {
+        // Path 0-1, 2-3; pair (1 -> 2): gate (2,3) must come after (0,1).
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let rounds = schedule(&spec, &[pair(1, 2)], Matcher::Blossom).unwrap();
+        let edge01 = spec.edges().iter().position(|&(a, b, _)| (a, b) == (0, 1)).unwrap();
+        let round_of = |ei: usize| rounds.iter().position(|r| r.contains(&ei)).unwrap();
+        let edge23 = spec.edges().iter().position(|&(a, b, _)| (a, b) == (2, 3)).unwrap();
+        assert!(round_of(edge01) < round_of(edge23));
+    }
+
+    #[test]
+    fn schedule_deadlock_returns_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        assert!(schedule(&spec, &[pair(0, 2), pair(2, 0)], Matcher::Blossom).is_none());
+    }
+
+    #[test]
+    fn emit_without_pairs_preserves_semantics() {
+        use caqr_sim::exact;
+        let g = gen::random_graph(5, 0.4, 3);
+        let original = qaoa_circuit(&g);
+        let spec = CommutingSpec::from_circuit(&original).unwrap();
+        let rounds = schedule(&spec, &[], Matcher::Blossom).unwrap();
+        let (emitted, wire_of) = emit(&spec, &[], &rounds);
+        assert_eq!(emitted.num_qubits(), 5);
+        assert_eq!(wire_of, vec![0, 1, 2, 3, 4]);
+        let d1 = exact::distribution(&original).unwrap();
+        let d2 = exact::distribution(&emitted).unwrap();
+        let m1: std::collections::BTreeMap<u64, f64> = d1.into_iter().collect();
+        for (v, p) in d2 {
+            let expect = m1.get(&v).copied().unwrap_or(0.0);
+            assert!((p - expect).abs() < 1e-9, "value {v:b}");
+        }
+    }
+
+    #[test]
+    fn emit_with_pair_reduces_wires_and_inserts_reset() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let pairs = [pair(0, 2)];
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let (emitted, wire_of) = emit(&spec, &pairs, &rounds);
+        assert_eq!(emitted.num_qubits(), 3);
+        assert_eq!(wire_of[0], wire_of[2]);
+        assert_eq!(emitted.mid_circuit_measurement_count(), 1);
+        assert_eq!(
+            emitted.iter().filter(|i| i.condition.is_some()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn emit_reuse_preserves_marginals() {
+        // The transformed QAOA circuit must give the same distribution over
+        // the original clbits.
+        use caqr_sim::exact;
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let original = qaoa_circuit(&g);
+        let spec = CommutingSpec::from_circuit(&original).unwrap();
+        let pairs = [pair(0, 2)];
+        assert!(spec.pairs_valid(&pairs));
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let (emitted, _) = emit(&spec, &pairs, &rounds);
+        let d1: std::collections::BTreeMap<u64, f64> =
+            exact::distribution(&original).unwrap().into_iter().collect();
+        let d2 = exact::distribution(&emitted).unwrap();
+        let mut merged: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for (v, p) in d2 {
+            *merged.entry(v & 0b1111).or_insert(0.0) += p;
+        }
+        for (v, p) in &d1 {
+            let got = merged.get(v).copied().unwrap_or(0.0);
+            assert!((got - p).abs() < 1e-9, "value {v:04b}: want {p}, got {got}");
+        }
+    }
+
+    #[test]
+    fn chained_pairs_emit() {
+        // Triangle-free path: 0-1, 2-3, 4-5; chain 0 -> 2 -> 4.
+        let g = Graph::from_edges(6, [(0, 1), (2, 3), (4, 5)]);
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let pairs = [pair(0, 2), pair(2, 4)];
+        assert!(spec.pairs_valid(&pairs));
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let (emitted, wire_of) = emit(&spec, &pairs, &rounds);
+        assert_eq!(emitted.num_qubits(), 4);
+        assert_eq!(wire_of[0], wire_of[2]);
+        assert_eq!(wire_of[2], wire_of[4]);
+    }
+
+    #[test]
+    fn isolated_vertices_still_emitted() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1); // vertex 2 isolated
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let rounds = schedule(&spec, &[], Matcher::Blossom).unwrap();
+        let (emitted, _) = emit(&spec, &[], &rounds);
+        // All three qubits have H + RX + measure.
+        assert_eq!(
+            emitted.count_gates(|g| matches!(g, Gate::Measure)),
+            3
+        );
+    }
+}

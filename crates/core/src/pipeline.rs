@@ -1,0 +1,309 @@
+//! One-call compilation pipelines and the per-circuit report the paper's
+//! tables are built from.
+
+use crate::commuting::CommutingSpec;
+use crate::router::RouteError;
+use crate::{baseline, esp, qs, sr};
+use caqr_arch::Device;
+use caqr_circuit::depth::duration_dt;
+use caqr_circuit::Circuit;
+use std::fmt;
+
+/// Which compiler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No-reuse baseline (Qiskit-O3 stand-in).
+    Baseline,
+    /// QS-CaQR at the maximum achievable reuse ("Ours with Maximal Reuse").
+    QsMaxReuse,
+    /// QS-CaQR at the sweep point with minimum compiled depth ("Ours with
+    /// Minimal Depth").
+    QsMinDepth,
+    /// QS-CaQR at the sweep point with the fewest SWAPs (Table 2's
+    /// "QS-CaQR (MIN-SWAP)" column).
+    QsMinSwap,
+    /// QS-CaQR at the sweep point with the best estimated success
+    /// probability — the paper's fidelity-objective selection (§3.2.1).
+    QsMaxEsp,
+    /// SR-CaQR.
+    Sr,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Strategy::Baseline => "baseline",
+            Strategy::QsMaxReuse => "qs-max-reuse",
+            Strategy::QsMinDepth => "qs-min-depth",
+            Strategy::QsMinSwap => "qs-min-swap",
+            Strategy::QsMaxEsp => "qs-max-esp",
+            Strategy::Sr => "sr",
+        })
+    }
+}
+
+/// The metrics row the paper reports per compiled circuit.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Strategy that produced this circuit.
+    pub strategy: Strategy,
+    /// Physical qubits used.
+    pub qubits: usize,
+    /// Compiled circuit depth.
+    pub depth: usize,
+    /// Compiled duration in `dt`.
+    pub duration_dt: u64,
+    /// SWAP gates inserted.
+    pub swaps: usize,
+    /// Total two-qubit gates (CX/CZ/RZZ/CP + SWAPs).
+    pub two_qubit_gates: usize,
+    /// Estimated success probability.
+    pub esp: f64,
+    /// The hardware-compliant compiled circuit.
+    pub circuit: Circuit,
+}
+
+impl CompileReport {
+    fn from_routed(
+        strategy: Strategy,
+        routed: crate::router::RoutedCircuit,
+        device: &Device,
+    ) -> Self {
+        let circuit = routed.circuit;
+        CompileReport {
+            strategy,
+            qubits: routed.physical_qubits_used,
+            depth: circuit.depth(),
+            duration_dt: duration_dt(&circuit, &device.duration_model()),
+            swaps: routed.swap_count,
+            two_qubit_gates: circuit.two_qubit_gate_count(),
+            esp: esp::estimate(&circuit, device),
+            circuit,
+        }
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: qubits={} depth={} duration={}dt swaps={} 2q={} esp={:.4}",
+            self.strategy,
+            self.qubits,
+            self.depth,
+            self.duration_dt,
+            self.swaps,
+            self.two_qubit_gates,
+            self.esp
+        )
+    }
+}
+
+/// Generates the QS sweep (regular or commuting path, chosen by circuit
+/// shape) as *logical* circuits, then routes each onto the device. The
+/// paper's QS flow: logical transform first, hardware mapping second.
+fn qs_sweep_routed(
+    circuit: &Circuit,
+    device: &Device,
+) -> Result<Vec<(usize, crate::router::RoutedCircuit)>, RouteError> {
+    let points = match CommutingSpec::from_circuit(circuit) {
+        Ok(spec) => qs::commuting::sweep(&spec, sr::default_matcher(&spec)),
+        Err(_) => qs::regular::sweep(circuit, &device.logical_duration_model()),
+    };
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let routed = baseline::compile(&p.circuit, device)?;
+        out.push((p.qubits, routed));
+    }
+    Ok(out)
+}
+
+/// Compiles `circuit` onto `device` under `strategy` and reports the
+/// paper's metrics.
+///
+/// # Errors
+///
+/// Returns [`RouteError::OutOfQubits`] when the circuit cannot fit the
+/// device under the chosen strategy.
+pub fn compile(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+) -> Result<CompileReport, RouteError> {
+    // Peephole cleanup first (inverse cancellation, rotation merging) —
+    // the "optimization level 3" behaviour every strategy shares.
+    let circuit = &caqr_circuit::optimize::peephole(circuit);
+    match strategy {
+        Strategy::Baseline => {
+            let routed = baseline::compile(circuit, device)?;
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+        Strategy::Sr => {
+            let routed = if CommutingSpec::from_circuit(circuit).is_ok() {
+                sr::compile_commuting(circuit, device, 0.1)?
+            } else {
+                sr::compile(circuit, device)?
+            };
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+        Strategy::QsMaxReuse => {
+            let sweep = qs_sweep_routed(circuit, device)?;
+            let (_, routed) = sweep
+                .into_iter()
+                .min_by_key(|(qubits, _)| *qubits)
+                .expect("sweep contains at least the original circuit");
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+        Strategy::QsMinDepth => {
+            let sweep = qs_sweep_routed(circuit, device)?;
+            let (_, routed) = sweep
+                .into_iter()
+                .min_by_key(|(_, r)| (r.circuit.depth(), r.physical_qubits_used))
+                .expect("sweep contains at least the original circuit");
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+        Strategy::QsMinSwap => {
+            let sweep = qs_sweep_routed(circuit, device)?;
+            let (_, routed) = sweep
+                .into_iter()
+                .min_by_key(|(_, r)| (r.swap_count, r.circuit.depth()))
+                .expect("sweep contains at least the original circuit");
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+        Strategy::QsMaxEsp => {
+            let sweep = qs_sweep_routed(circuit, device)?;
+            let (_, routed) = sweep
+                .into_iter()
+                .max_by(|(_, a), (_, b)| {
+                    esp::estimate(&a.circuit, device)
+                        .total_cmp(&esp::estimate(&b.circuit, device))
+                })
+                .expect("sweep contains at least the original circuit");
+            Ok(CompileReport::from_routed(strategy, routed, device))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn bv(n: usize) -> Circuit {
+        let data = n - 1;
+        let mut c = Circuit::new(n, data);
+        for i in 0..data {
+            c.h(q(i));
+        }
+        c.x(q(data));
+        c.h(q(data));
+        for i in 0..data {
+            c.cx(q(i), q(data));
+            c.h(q(i));
+        }
+        for i in 0..data {
+            c.measure(q(i), Clbit::new(i));
+        }
+        c
+    }
+
+    #[test]
+    fn all_strategies_produce_compliant_circuits() {
+        let dev = Device::mumbai(7);
+        let c = bv(6);
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::QsMaxReuse,
+            Strategy::QsMinDepth,
+            Strategy::QsMinSwap,
+            Strategy::QsMaxEsp,
+            Strategy::Sr,
+        ] {
+            let report = compile(&c, &dev, strategy).unwrap();
+            for instr in &report.circuit {
+                if instr.is_two_qubit() {
+                    assert!(
+                        dev.topology()
+                            .are_coupled(instr.qubits[0].index(), instr.qubits[1].index()),
+                        "{strategy}: non-coupled 2q gate"
+                    );
+                }
+            }
+            assert!(report.esp > 0.0 && report.esp <= 1.0);
+            assert!(report.swaps <= report.two_qubit_gates);
+        }
+    }
+
+    #[test]
+    fn max_reuse_minimizes_qubits() {
+        let dev = Device::mumbai(7);
+        let c = bv(6);
+        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
+        let base = compile(&c, &dev, Strategy::Baseline).unwrap();
+        assert_eq!(max.qubits, 2, "BV always compresses to 2 qubits");
+        assert_eq!(base.qubits, 6);
+        // The trade-off: fewer qubits, deeper circuit.
+        assert!(max.depth >= base.depth / 2);
+    }
+
+    #[test]
+    fn min_depth_never_deeper_than_max_reuse() {
+        let dev = Device::mumbai(7);
+        let c = bv(8);
+        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
+        let min_depth = compile(&c, &dev, Strategy::QsMinDepth).unwrap();
+        assert!(min_depth.depth <= max.depth);
+    }
+
+    #[test]
+    fn min_swap_never_more_swaps() {
+        let dev = Device::mumbai(7);
+        let c = bv(8);
+        let min_swap = compile(&c, &dev, Strategy::QsMinSwap).unwrap();
+        for s in [Strategy::Baseline, Strategy::QsMaxReuse] {
+            let other = compile(&c, &dev, s).unwrap();
+            assert!(
+                min_swap.swaps <= other.swaps,
+                "min-swap {} vs {s} {}",
+                min_swap.swaps,
+                other.swaps
+            );
+        }
+    }
+
+    #[test]
+    fn report_display() {
+        let dev = Device::mumbai(7);
+        let r = compile(&bv(5), &dev, Strategy::Baseline).unwrap();
+        let s = format!("{r}");
+        assert!(s.contains("baseline"));
+        assert!(s.contains("qubits="));
+    }
+
+    #[test]
+    fn qaoa_goes_through_commuting_path() {
+        let dev = Device::mumbai(7);
+        let g = caqr_graph::gen::random_graph(6, 0.3, 3);
+        let mut c = Circuit::new(6, 6);
+        for v in 0..6 {
+            c.h(q(v));
+        }
+        for (u, v) in g.edges() {
+            c.rzz(0.6, q(u), q(v));
+        }
+        for v in 0..6 {
+            c.rx(0.5, q(v));
+        }
+        c.measure_all();
+        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
+        let bound = crate::qs::commuting::min_qubits(
+            &CommutingSpec::from_circuit(&c).unwrap(),
+        );
+        assert!(max.qubits <= 6);
+        assert!(max.qubits + 1 >= bound);
+    }
+}

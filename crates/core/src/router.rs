@@ -1,0 +1,831 @@
+//! The shared layout-and-routing engine.
+//!
+//! Both SR-CaQR (§3.3) and the Qiskit-O3 stand-in baseline compile a
+//! logical circuit onto a device by walking the dependence DAG layer by
+//! layer, mapping logical qubits to physical ones and inserting SWAPs when
+//! a two-qubit gate spans non-adjacent qubits. They differ only in policy,
+//! captured by [`RouterOptions`]:
+//!
+//! * `delay_off_critical` — SR-CaQR delays frontier gates off the critical
+//!   path so their qubits map later, onto better (or reclaimed) physical
+//!   qubits (§3.3.1 Step 2).
+//! * `reclaim` — SR-CaQR returns a physical qubit to the free list once its
+//!   logical qubit retires, inserting the measure + conditional-reset
+//!   sequence when the wire is handed to a new logical qubit (Step 4).
+//! * `preplace` — the baseline maps every logical qubit up front
+//!   (interaction-degree placement); SR-CaQR maps on demand.
+//!
+//! Physical-qubit choices and SWAP insertion are error-variability aware:
+//! ties break toward smaller readout error and more reliable CNOT links,
+//! per the paper's Step 2/3 heuristics.
+
+use caqr_arch::Device;
+use caqr_circuit::{Circuit, CircuitDag, Clbit, Gate, Instruction, Qubit};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Routing policy knobs; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterOptions {
+    /// Delay mapping for frontier gates off the critical path.
+    pub delay_off_critical: bool,
+    /// Reclaim physical qubits whose logical qubit has retired.
+    pub reclaim: bool,
+    /// Map every logical qubit before routing (baseline behaviour).
+    pub preplace: bool,
+}
+
+impl RouterOptions {
+    /// SR-CaQR policy: delay + reclaim, on-demand mapping.
+    pub fn sr() -> Self {
+        RouterOptions {
+            delay_off_critical: true,
+            reclaim: true,
+            preplace: false,
+        }
+    }
+
+    /// Baseline (no-reuse) policy: eager placement, no reclamation.
+    pub fn baseline() -> Self {
+        RouterOptions {
+            delay_off_critical: false,
+            reclaim: false,
+            preplace: true,
+        }
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// More concurrently-live logical qubits than physical qubits.
+    OutOfQubits {
+        /// Logical qubits in the input circuit.
+        logical: usize,
+        /// Physical qubits on the device.
+        physical: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::OutOfQubits { logical, physical } => write!(
+                f,
+                "cannot place {logical} live logical qubits on {physical} physical qubits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A hardware-compliant compiled circuit.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The physical circuit (wires are device qubits).
+    pub circuit: Circuit,
+    /// SWAPs inserted.
+    pub swap_count: usize,
+    /// Distinct physical qubits touched — the paper's "qubit usage" for
+    /// compiled circuits.
+    pub physical_qubits_used: usize,
+    /// First physical qubit assigned to each logical qubit.
+    pub initial_layout: Vec<Option<usize>>,
+    /// Physical qubit holding each logical qubit after its last gate.
+    pub final_layout: Vec<Option<usize>>,
+}
+
+impl RoutedCircuit {
+    /// Checks hardware compliance: every two-qubit gate on a coupling edge.
+    pub fn is_hardware_compliant(&self, device: &Device) -> bool {
+        self.circuit.iter().all(|i| {
+            !i.is_two_qubit()
+                || device
+                    .topology()
+                    .are_coupled(i.qubits[0].index(), i.qubits[1].index())
+        })
+    }
+}
+
+/// State of a physical qubit between logical assignments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PhysState {
+    /// Never used: known |0>.
+    Fresh,
+    /// Previously used; needs a reset before reuse. If the retired logical
+    /// qubit's last gate was a measurement, its clbit suffices for a
+    /// conditional reset; otherwise a fresh measurement is required.
+    Dirty { measured: Option<Clbit> },
+}
+
+struct Router<'a> {
+    device: &'a Device,
+    opts: RouterOptions,
+    circuit: &'a Circuit,
+    interaction: caqr_graph::Graph,
+    // DAG state.
+    indeg: Vec<usize>,
+    scheduled: Vec<bool>,
+    critical: Vec<bool>,
+    // Mapping state.
+    log2phys: Vec<Option<usize>>,
+    phys2log: Vec<Option<usize>>,
+    phys_state: Vec<PhysState>,
+    free: BTreeSet<usize>,
+    used_ever: BTreeSet<usize>,
+    remaining: Vec<usize>,
+    initial_layout: Vec<Option<usize>>,
+    final_layout: Vec<Option<usize>>,
+    // Output.
+    out: Vec<Instruction>,
+    next_clbit: usize,
+    swap_count: usize,
+}
+
+impl<'a> Router<'a> {
+    fn new(circuit: &'a Circuit, device: &'a Device, opts: RouterOptions) -> Self {
+        let dag = CircuitDag::of(circuit);
+        let durations: Vec<u64> = {
+            let model = device.logical_duration_model();
+            use caqr_circuit::depth::DurationModel;
+            circuit.iter().map(|i| model.duration(i)).collect()
+        };
+        let critical = dag.on_critical_path(&durations);
+        let indeg = (0..circuit.len())
+            .map(|v| dag.graph().in_degree(v))
+            .collect();
+        let mut remaining = vec![0usize; circuit.num_qubits()];
+        for instr in circuit {
+            for q in &instr.qubits {
+                remaining[q.index()] += 1;
+            }
+        }
+        let p = device.num_qubits();
+        Router {
+            device,
+            opts,
+            circuit,
+            interaction: caqr_circuit::interaction::interaction_graph(circuit),
+            indeg,
+            scheduled: vec![false; circuit.len()],
+            critical,
+            log2phys: vec![None; circuit.num_qubits()],
+            phys2log: vec![None; p],
+            phys_state: vec![PhysState::Fresh; p],
+            free: (0..p).collect(),
+            used_ever: BTreeSet::new(),
+            remaining,
+            initial_layout: vec![None; circuit.num_qubits()],
+            final_layout: vec![None; circuit.num_qubits()],
+            out: Vec::new(),
+            next_clbit: circuit.num_clbits(),
+            swap_count: 0,
+        }
+    }
+
+    fn dag_successors(&self) -> CircuitDag {
+        CircuitDag::of(self.circuit)
+    }
+
+    /// Chooses a free physical qubit for logical `l` (the paper's Step 2):
+    /// distance to `anchor` (the gate partner, when mapped) dominates, then
+    /// lookahead — summed distance to `l`'s already-mapped future partners
+    /// — then room (free neighbors), then readout / link error.
+    fn pick_for(&self, l: usize, anchor: Option<usize>) -> Option<usize> {
+        let topo = self.device.topology();
+        let cal = self.device.calibration();
+        let partners: Vec<usize> = self
+            .interaction
+            .neighbors(l)
+            .filter_map(|m| self.log2phys[m])
+            .collect();
+        let score = |p: usize| {
+            let d_anchor = anchor.map_or(0, |x| topo.distance(x, p));
+            let d_partners: u32 = partners.iter().map(|&q| topo.distance(p, q)).sum();
+            let free_neighbors = topo.neighbors(p).filter(|n| self.free.contains(n)).count();
+            let err = match anchor {
+                Some(x) if topo.distance(x, p) == 1 => cal.cx_error(x, p),
+                _ => cal.readout_error(p),
+            };
+            (d_anchor, d_partners, std::cmp::Reverse(free_neighbors), err, p)
+        };
+        self.free.iter().copied().min_by(|&a, &b| {
+            let (a0, a1, a2, a3, a4) = score(a);
+            let (b0, b1, b2, b3, b4) = score(b);
+            (a0, a1, a2)
+                .cmp(&(b0, b1, b2))
+                .then(a3.total_cmp(&b3))
+                .then(a4.cmp(&b4))
+        })
+    }
+
+    /// Assigns logical `l` to physical `p`, inserting the reuse reset when
+    /// the wire is dirty.
+    fn assign(&mut self, l: usize, p: usize) {
+        let was_free = self.free.remove(&p);
+        debug_assert!(was_free, "physical qubit must be free");
+        if let PhysState::Dirty { measured } = self.phys_state[p] {
+            let clbit = match measured {
+                Some(c) => c,
+                None => {
+                    let c = Clbit::new(self.next_clbit);
+                    self.next_clbit += 1;
+                    self.out.push(Instruction {
+                        gate: Gate::Measure,
+                        qubits: vec![Qubit::new(p)],
+                        clbit: Some(c),
+                        condition: None,
+                    });
+                    c
+                }
+            };
+            self.out.push(Instruction {
+                gate: Gate::X,
+                qubits: vec![Qubit::new(p)],
+                clbit: None,
+                condition: Some(clbit),
+            });
+        }
+        self.phys_state[p] = PhysState::Fresh;
+        self.phys2log[p] = Some(l);
+        self.log2phys[l] = Some(p);
+        self.used_ever.insert(p);
+        if self.initial_layout[l].is_none() {
+            self.initial_layout[l] = Some(p);
+        }
+    }
+
+    /// Maps any unmapped operands of `node` per the paper's Step 2 rules.
+    fn map_operands(&mut self, node: usize) -> Result<(), RouteError> {
+        let instr = &self.circuit.instructions()[node];
+        let unmapped: Vec<usize> = instr
+            .qubits
+            .iter()
+            .map(|q| q.index())
+            .filter(|&l| self.log2phys[l].is_none())
+            .collect();
+        match (unmapped.len(), instr.qubits.len()) {
+            (0, _) => Ok(()),
+            (1, 1) => {
+                let l = unmapped[0];
+                let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+                self.assign(l, p);
+                Ok(())
+            }
+            (1, 2) => {
+                let l = unmapped[0];
+                let partner = instr
+                    .qubits
+                    .iter()
+                    .map(|q| q.index())
+                    .find(|&x| x != l)
+                    .expect("two-qubit gate has a partner");
+                let anchor = self.log2phys[partner].expect("partner is mapped");
+                let p = self.pick_for(l, Some(anchor)).ok_or(self.out_of_qubits())?;
+                self.assign(l, p);
+                Ok(())
+            }
+            (2, 2) => {
+                // Map the busier qubit first, to a well-connected spot.
+                let (a, b) = (unmapped[0], unmapped[1]);
+                let (first, second) = if self.remaining[a] >= self.remaining[b] {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let p1 = self.pick_for(first, None).ok_or(self.out_of_qubits())?;
+                self.assign(first, p1);
+                let p2 = self
+                    .pick_for(second, Some(p1))
+                    .ok_or(self.out_of_qubits())?;
+                self.assign(second, p2);
+                Ok(())
+            }
+            _ => unreachable!("gates have 1 or 2 qubits"),
+        }
+    }
+
+    fn out_of_qubits(&self) -> RouteError {
+        RouteError::OutOfQubits {
+            logical: self.circuit.num_qubits(),
+            physical: self.device.num_qubits(),
+        }
+    }
+
+    /// Emits `node` remapped to physical wires and updates DAG/mapping
+    /// state.
+    fn complete(&mut self, node: usize, dag: &CircuitDag) {
+        let instr = &self.circuit.instructions()[node];
+        let mut ni = instr.clone();
+        ni.qubits = instr
+            .qubits
+            .iter()
+            .map(|q| Qubit::new(self.log2phys[q.index()].expect("operand is mapped")))
+            .collect();
+        self.out.push(ni);
+        self.scheduled[node] = true;
+        for s in dag.graph().successors(node) {
+            self.indeg[s] -= 1;
+        }
+        for q in &instr.qubits {
+            let l = q.index();
+            self.remaining[l] -= 1;
+            if self.remaining[l] == 0 {
+                let p = self.log2phys[l].expect("operand is mapped");
+                self.final_layout[l] = Some(p);
+                if self.opts.reclaim {
+                    let measured = (instr.gate == Gate::Measure && instr.qubits[0].index() == l)
+                        .then(|| instr.clbit.expect("measure has a clbit"));
+                    self.phys_state[p] = PhysState::Dirty { measured };
+                    self.phys2log[p] = None;
+                    self.log2phys[l] = None;
+                    self.free.insert(p);
+                }
+            }
+        }
+    }
+
+    /// Chooses and applies the best single SWAP for the set of
+    /// routing-pending two-qubit gates (all operands mapped, none
+    /// adjacent). Candidates are scored frontier-wide, SABRE-style: the
+    /// swap minimizing the *summed* distance of every pending gate wins
+    /// (ties: avoid touching fresh qubits, then the more reliable link).
+    /// When no swap shrinks the total, the first pending gate is routed
+    /// greedily (a distance-reducing swap for a single gate always exists
+    /// on a connected topology), which guarantees progress.
+    fn insert_swap_for_frontier(&mut self, pending: &[usize]) {
+        let topo = self.device.topology();
+        let cal = self.device.calibration();
+        let gate_phys: Vec<(usize, usize)> = pending
+            .iter()
+            .map(|&node| {
+                let instr = &self.circuit.instructions()[node];
+                (
+                    self.log2phys[instr.qubits[0].index()].expect("mapped"),
+                    self.log2phys[instr.qubits[1].index()].expect("mapped"),
+                )
+            })
+            .collect();
+        let total = |swap: Option<(usize, usize)>| -> u32 {
+            let remap = |p: usize| match swap {
+                Some((x, y)) if p == x => y,
+                Some((x, y)) if p == y => x,
+                _ => p,
+            };
+            gate_phys
+                .iter()
+                .map(|&(a, b)| topo.distance(remap(a), remap(b)))
+                .sum()
+        };
+        let before = total(None);
+
+        type Cand = (u32, bool, f64, usize, usize); // (total_after, fresh, err, from, to)
+        let mut best: Option<Cand> = None;
+        let mut endpoints: Vec<usize> = gate_phys.iter().flat_map(|&(a, b)| [a, b]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        for &from in &endpoints {
+            for to in topo.neighbors(from) {
+                let after = total(Some((from, to)));
+                if after >= before {
+                    continue;
+                }
+                let fresh = !self.used_ever.contains(&to);
+                let err = cal.cx_error(from, to);
+                let cand = (after, fresh, err, from, to);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (cand.0, cand.1)
+                            .cmp(&(b.0, b.1))
+                            .then(cand.2.total_cmp(&b.2))
+                            .then((cand.3, cand.4).cmp(&(b.3, b.4)))
+                            .is_lt()
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        // Fallback: shrink the first gate's distance directly.
+        let (from, to) = match best {
+            Some((_, _, _, from, to)) => (from, to),
+            None => {
+                let (pa, pb) = gate_phys[0];
+                let cur = topo.distance(pa, pb);
+                let mut fallback: Option<(u32, f64, usize, usize)> = None;
+                for (anchor, other) in [(pa, pb), (pb, pa)] {
+                    for n in topo.neighbors(anchor) {
+                        let nd = topo.distance(n, other);
+                        if nd >= cur {
+                            continue;
+                        }
+                        let err = cal.cx_error(anchor, n);
+                        let cand = (nd, err, anchor, n);
+                        let better = match &fallback {
+                            None => true,
+                            Some(b) => {
+                                cand.0
+                                    .cmp(&b.0)
+                                    .then(cand.1.total_cmp(&b.1))
+                                    .then((cand.2, cand.3).cmp(&(b.2, b.3)))
+                                    .is_lt()
+                            }
+                        };
+                        if better {
+                            fallback = Some(cand);
+                        }
+                    }
+                }
+                let (_, _, from, to) = fallback
+                    .expect("a distance-reducing swap always exists on a connected topology");
+                (from, to)
+            }
+        };
+        self.out.push(Instruction::gate(
+            Gate::Swap,
+            vec![Qubit::new(from), Qubit::new(to)],
+        ));
+        self.swap_count += 1;
+        // Update mapping: whatever sits on `from` and `to` trades places.
+        let lf = self.phys2log[from];
+        let lt = self.phys2log[to];
+        self.phys2log[from] = lt;
+        self.phys2log[to] = lf;
+        if let Some(l) = lt {
+            self.log2phys[l] = Some(from);
+        }
+        if let Some(l) = lf {
+            self.log2phys[l] = Some(to);
+        }
+        self.phys_state.swap(from, to);
+        self.used_ever.insert(from);
+        self.used_ever.insert(to);
+        // Free-set bookkeeping follows occupancy.
+        match (self.free.contains(&from), self.free.contains(&to)) {
+            (false, true) => {
+                self.free.remove(&to);
+                self.free.insert(from);
+            }
+            (true, false) => {
+                self.free.remove(&from);
+                self.free.insert(to);
+            }
+            _ => {}
+        }
+    }
+
+    /// Places logical qubits per an explicit seed layout (used by the
+    /// bidirectional layout refinement).
+    fn preplace_seeded(&mut self, layout: &[Option<usize>]) -> Result<(), RouteError> {
+        for (l, &p) in layout.iter().enumerate().take(self.circuit.num_qubits()) {
+            if let Some(p) = p {
+                if self.free.contains(&p) {
+                    self.assign(l, p);
+                }
+            }
+        }
+        // Any logical qubit the seed missed falls back to the heuristic.
+        for l in 0..self.circuit.num_qubits() {
+            if self.log2phys[l].is_none() {
+                let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+                self.assign(l, p);
+            }
+        }
+        Ok(())
+    }
+
+    /// The baseline's eager placement: logical qubits by interaction
+    /// degree, each placed to minimize distance to already-placed partners.
+    fn preplace_all(&mut self) -> Result<(), RouteError> {
+        let mut order: Vec<usize> = (0..self.circuit.num_qubits()).collect();
+        order.sort_by(|&a, &b| {
+            self.interaction
+                .degree(b)
+                .cmp(&self.interaction.degree(a))
+                .then(a.cmp(&b))
+        });
+        for l in order {
+            let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+            self.assign(l, p);
+        }
+        Ok(())
+    }
+
+    fn run(mut self, seed_layout: Option<&[Option<usize>]>) -> Result<RoutedCircuit, RouteError> {
+        if self.opts.preplace {
+            match seed_layout {
+                Some(layout) => self.preplace_seeded(layout)?,
+                None => self.preplace_all()?,
+            }
+        }
+        let dag = self.dag_successors();
+        let total = self.circuit.len();
+        let mut done = 0usize;
+        while done < total {
+            let frontier: Vec<usize> = (0..total)
+                .filter(|&v| !self.scheduled[v] && self.indeg[v] == 0)
+                .collect();
+            debug_assert!(!frontier.is_empty(), "acyclic DAG always has a frontier");
+
+            // Pass A: emit every frontier gate that is ready as-is.
+            let mut progressed = false;
+            for &node in &frontier {
+                let instr = &self.circuit.instructions()[node];
+                let mapped = instr
+                    .qubits
+                    .iter()
+                    .all(|q| self.log2phys[q.index()].is_some());
+                if !mapped {
+                    continue;
+                }
+                let ready = !instr.is_two_qubit() || {
+                    let (a, b) = (
+                        self.log2phys[instr.qubits[0].index()].expect("mapped"),
+                        self.log2phys[instr.qubits[1].index()].expect("mapped"),
+                    );
+                    self.device.topology().are_coupled(a, b)
+                };
+                if ready {
+                    self.complete(node, &dag);
+                    done += 1;
+                    progressed = true;
+                }
+            }
+            if progressed {
+                continue;
+            }
+
+            // Pass B: route the mapped-but-distant frontier a step closer
+            // with one frontier-scored SWAP.
+            let pending: Vec<usize> = frontier
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let instr = &self.circuit.instructions()[v];
+                    instr.is_two_qubit()
+                        && instr
+                            .qubits
+                            .iter()
+                            .all(|q| self.log2phys[q.index()].is_some())
+                })
+                .collect();
+            if !pending.is_empty() {
+                self.insert_swap_for_frontier(&pending);
+                continue;
+            }
+
+            // Pass C: map operands — critical-path gates first; delay the
+            // rest unless nothing else can move (forced progress).
+            let needs_mapping: Vec<usize> = frontier
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    self.circuit.instructions()[v]
+                        .qubits
+                        .iter()
+                        .any(|q| self.log2phys[q.index()].is_none())
+                })
+                .collect();
+            debug_assert!(!needs_mapping.is_empty(), "otherwise pass A or B progressed");
+            let chosen = if self.opts.delay_off_critical {
+                needs_mapping
+                    .iter()
+                    .copied()
+                    .find(|&v| self.critical[v])
+                    .unwrap_or(needs_mapping[0])
+            } else {
+                needs_mapping[0]
+            };
+            self.map_operands(chosen)?;
+        }
+
+        let mut circuit = Circuit::new(self.device.num_qubits(), self.next_clbit);
+        for instr in self.out {
+            circuit.push(instr);
+        }
+        Ok(RoutedCircuit {
+            circuit,
+            swap_count: self.swap_count,
+            physical_qubits_used: self.used_ever.len(),
+            initial_layout: self.initial_layout,
+            final_layout: self.final_layout,
+        })
+    }
+}
+
+/// Routes `circuit` onto `device` under the given policy.
+///
+/// # Errors
+///
+/// Returns [`RouteError::OutOfQubits`] when the live logical qubits cannot
+/// fit on the device.
+pub fn route(
+    circuit: &Circuit,
+    device: &Device,
+    opts: RouterOptions,
+) -> Result<RoutedCircuit, RouteError> {
+    route_seeded(circuit, device, opts, None)
+}
+
+/// Routes with an explicit initial layout (`layout[l]` = physical qubit
+/// for logical `l`; `None` entries fall back to the heuristic). Used by
+/// the bidirectional (SABRE-style) layout refinement in
+/// [`crate::baseline`].
+///
+/// # Errors
+///
+/// Returns [`RouteError::OutOfQubits`] when the circuit cannot fit.
+pub fn route_seeded(
+    circuit: &Circuit,
+    device: &Device,
+    opts: RouterOptions,
+    layout: Option<&[Option<usize>]>,
+) -> Result<RoutedCircuit, RouteError> {
+    if opts.preplace && circuit.num_qubits() > device.num_qubits() {
+        return Err(RouteError::OutOfQubits {
+            logical: circuit.num_qubits(),
+            physical: device.num_qubits(),
+        });
+    }
+    Router::new(circuit, device, opts).run(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_arch::Topology;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn bv5() -> Circuit {
+        let mut c = Circuit::new(5, 4);
+        for i in 0..4 {
+            c.h(q(i));
+        }
+        c.x(q(4));
+        c.h(q(4));
+        for i in 0..4 {
+            c.cx(q(i), q(4));
+            c.h(q(i));
+        }
+        for i in 0..4 {
+            c.measure(q(i), Clbit::new(i));
+        }
+        c
+    }
+
+    fn device5() -> Device {
+        Device::with_synthetic_calibration(Topology::five_qubit_t(), 3)
+    }
+
+    #[test]
+    fn baseline_routes_bv5_compliantly() {
+        let c = bv5();
+        let r = route(&c, &device5(), RouterOptions::baseline()).unwrap();
+        assert!(r.is_hardware_compliant(&device5()));
+        // Star of degree 4 cannot embed in a degree-3 device: SWAPs needed
+        // (the paper's Fig. 5 argument).
+        assert!(r.swap_count >= 1, "expected SWAPs, got {}", r.swap_count);
+        assert_eq!(r.physical_qubits_used, 5);
+    }
+
+    #[test]
+    fn sr_uses_fewer_qubits_on_bv() {
+        let c = bv5();
+        let r = route(&c, &device5(), RouterOptions::sr()).unwrap();
+        assert!(r.is_hardware_compliant(&device5()));
+        // Reclaiming lets data qubits share wires.
+        assert!(
+            r.physical_qubits_used < 5,
+            "SR should reuse wires, used {}",
+            r.physical_qubits_used
+        );
+    }
+
+    #[test]
+    fn sr_semantics_preserved() {
+        use caqr_sim::Executor;
+        let c = bv5();
+        let dev = device5();
+        for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
+            let r = route(&c, &dev, opts).unwrap();
+            let counts = Executor::ideal().run_shots(&r.circuit, 80, 2);
+            assert_eq!(
+                counts.get(0b1111),
+                80,
+                "opts {opts:?} corrupted the circuit: {counts}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_gates_all_coupled_on_mumbai() {
+        use caqr_sim::Executor;
+        let dev = Device::mumbai(5);
+        let mut c = Circuit::new(8, 8);
+        // A ring of CXs — needs routing on heavy-hex.
+        for i in 0..8 {
+            c.h(q(i));
+        }
+        for i in 0..8 {
+            c.cx(q(i), q((i + 3) % 8));
+        }
+        c.measure_all();
+        for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
+            let r = route(&c, &dev, opts).unwrap();
+            assert!(r.is_hardware_compliant(&dev), "{opts:?}");
+            // Still runs (no structural corruption).
+            let (compact, _) = r.circuit.compact_qubits();
+            let counts = Executor::ideal().run_shots(&compact, 10, 3);
+            assert_eq!(counts.total(), 10);
+        }
+    }
+
+    #[test]
+    fn reclaimed_wire_gets_reset() {
+        // Two disjoint sequential stages that can share wires under SR.
+        let dev = Device::with_synthetic_calibration(Topology::line(3), 1);
+        let mut c = Circuit::new(4, 4);
+        c.h(q(0));
+        c.cx(q(0), q(1));
+        c.measure(q(0), Clbit::new(0));
+        c.measure(q(1), Clbit::new(1));
+        c.h(q(2));
+        c.cx(q(2), q(3));
+        c.measure(q(2), Clbit::new(2));
+        c.measure(q(3), Clbit::new(3));
+        let r = route(&c, &dev, RouterOptions::sr()).unwrap();
+        assert!(r.physical_qubits_used <= 3);
+        // Conditional resets appear where wires were handed over.
+        let resets = r.circuit.iter().filter(|i| i.condition.is_some()).count();
+        assert!(resets >= 1, "expected reuse resets");
+        // And the result still samples a valid Bell-pair pattern on both
+        // stages (00/11 on clbits {0,1} and {2,3}).
+        use caqr_sim::Executor;
+        let counts = Executor::ideal().run_shots(&r.circuit, 400, 7);
+        for (v, n) in counts.iter() {
+            let first = v & 0b11;
+            let second = v >> 2 & 0b11;
+            assert!(first == 0 || first == 3, "{v:04b} x{n}");
+            assert!(second == 0 || second == 3, "{v:04b} x{n}");
+        }
+    }
+
+    #[test]
+    fn baseline_rejects_oversized_circuit() {
+        let dev = Device::with_synthetic_calibration(Topology::line(2), 1);
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0));
+        c.h(q(1));
+        c.h(q(2));
+        let err = route(&c, &dev, RouterOptions::baseline()).unwrap_err();
+        assert!(matches!(err, RouteError::OutOfQubits { .. }));
+        assert!(format!("{err}").contains("cannot place"));
+    }
+
+    #[test]
+    fn sr_fits_oversized_circuit_with_disjoint_lifetimes() {
+        // 4 logical qubits, 2 physical — but lifetimes are sequential, so
+        // reclamation makes it fit. This is the paper's capacity argument.
+        let dev = Device::with_synthetic_calibration(Topology::line(2), 1);
+        let mut c = Circuit::new(4, 4);
+        for pair in [(0usize, 1usize), (2, 3)] {
+            c.h(q(pair.0));
+            c.cx(q(pair.0), q(pair.1));
+            c.measure(q(pair.0), Clbit::new(pair.0));
+            c.measure(q(pair.1), Clbit::new(pair.1));
+        }
+        let r = route(&c, &dev, RouterOptions::sr()).unwrap();
+        assert_eq!(r.physical_qubits_used, 2);
+        assert!(r.is_hardware_compliant(&dev));
+    }
+
+    #[test]
+    fn layouts_recorded() {
+        let c = bv5();
+        let r = route(&c, &device5(), RouterOptions::baseline()).unwrap();
+        for l in 0..5 {
+            assert!(r.initial_layout[l].is_some());
+            assert!(r.final_layout[l].is_some());
+        }
+        // Initial layout is injective.
+        let mut seen = std::collections::BTreeSet::new();
+        for p in r.initial_layout.iter().flatten() {
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn already_compliant_circuit_needs_no_swaps() {
+        let dev = Device::with_synthetic_calibration(Topology::line(3), 1);
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(0), q(1));
+        let r = route(&c, &dev, RouterOptions::baseline()).unwrap();
+        assert_eq!(r.swap_count, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Live-width analysis: how many qubits a circuit *must* keep alive.
+//!
+//! Qubit reuse cannot shrink a circuit below its **live width** — the
+//! maximum number of simultaneously-live qubits over the best admissible
+//! gate order. For commuting circuits this equals pathwidth + 1 of the
+//! interaction graph (NP-hard in general), which explains why the
+//! chromatic bound of §3.2.2 is a lower bound rather than always
+//! achievable: a 30%-dense graph has large pathwidth no matter how it is
+//! colored.
+//!
+//! This module provides the two sides of the sandwich:
+//!
+//! * [`live_width`] — the width a *given* circuit order realizes (an upper
+//!   bound on the optimum, and the exact width QS-CaQR's output uses);
+//! * [`degeneracy_lower_bound`] — a cheap pathwidth lower bound via graph
+//!   degeneracy, which also lower-bounds any reuse transform.
+
+use caqr_circuit::{Circuit, Qubit};
+use caqr_graph::Graph;
+
+/// The number of simultaneously-live qubits the circuit's own order
+/// realizes: a qubit is live from its first instruction until its last.
+///
+/// For a reuse-transformed circuit this equals its wire count; for the
+/// original circuit it tells how much headroom a transform has.
+///
+/// # Examples
+///
+/// ```
+/// use caqr::width::live_width;
+/// use caqr_circuit::{Circuit, Qubit};
+///
+/// // Two disjoint sequential Bell pairs: only 2 live at once.
+/// let mut c = Circuit::new(4, 0);
+/// c.h(Qubit::new(0));
+/// c.cx(Qubit::new(0), Qubit::new(1));
+/// c.h(Qubit::new(2));
+/// c.cx(Qubit::new(2), Qubit::new(3));
+/// assert_eq!(live_width(&c), 2);
+/// ```
+pub fn live_width(circuit: &Circuit) -> usize {
+    let n = circuit.num_qubits();
+    let mut first = vec![usize::MAX; n];
+    let mut last = vec![0usize; n];
+    for (idx, instr) in circuit.iter().enumerate() {
+        for q in &instr.qubits {
+            let q = q.index();
+            first[q] = first[q].min(idx);
+            last[q] = last[q].max(idx);
+        }
+    }
+    // Sweep instruction positions, counting open intervals.
+    let mut events: Vec<(usize, i32)> = Vec::new();
+    for q in 0..n {
+        if first[q] != usize::MAX {
+            events.push((first[q], 1));
+            events.push((last[q] + 1, -1));
+        }
+    }
+    events.sort();
+    let mut live = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in events {
+        live += delta;
+        max = max.max(live);
+    }
+    max as usize
+}
+
+/// The degeneracy of a graph: the largest `k` such that some subgraph has
+/// minimum degree `k`. Degeneracy lower-bounds pathwidth, and
+/// `pathwidth + 1` lower-bounds the qubit count any reuse transform of a
+/// commuting circuit can reach.
+pub fn degeneracy(graph: &Graph) -> usize {
+    let n = graph.num_vertices();
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut degen = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("vertices remain");
+        degen = degen.max(degree[v]);
+        removed[v] = true;
+        for u in graph.neighbors(v) {
+            if !removed[u] {
+                degree[u] -= 1;
+            }
+        }
+    }
+    degen
+}
+
+/// A lower bound on the qubits any reuse transform of `circuit` can use:
+/// `degeneracy(interaction graph) + 1` (and at least 2 when any two-qubit
+/// gate exists).
+pub fn degeneracy_lower_bound(circuit: &Circuit) -> usize {
+    let int = caqr_circuit::interaction::interaction_graph(circuit);
+    let base = degeneracy(&int) + 1;
+    if circuit.two_qubit_gate_count() > 0 {
+        base.max(2)
+    } else {
+        base.max(1).min(circuit.active_qubits().len().max(1))
+    }
+}
+
+/// The set of qubits live at instruction `idx` under the circuit's order.
+pub fn live_at(circuit: &Circuit, idx: usize) -> Vec<Qubit> {
+    let n = circuit.num_qubits();
+    let mut first = vec![usize::MAX; n];
+    let mut last = vec![0usize; n];
+    for (i, instr) in circuit.iter().enumerate() {
+        for q in &instr.qubits {
+            let q = q.index();
+            first[q] = first[q].min(i);
+            last[q] = last[q].max(i);
+        }
+    }
+    (0..n)
+        .filter(|&q| first[q] != usize::MAX && first[q] <= idx && idx <= last[q])
+        .map(Qubit::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::Clbit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn live_width_of_sequential_blocks() {
+        let mut c = Circuit::new(6, 0);
+        for block in 0..3 {
+            let a = q(2 * block);
+            let b = q(2 * block + 1);
+            c.h(a);
+            c.cx(a, b);
+        }
+        assert_eq!(live_width(&c), 2);
+    }
+
+    #[test]
+    fn live_width_of_interleaved_blocks() {
+        // All activations before any retirement: every qubit overlaps.
+        let mut c = Circuit::new(4, 0);
+        for i in 0..4 {
+            c.h(q(i));
+        }
+        c.cx(q(0), q(1));
+        c.cx(q(2), q(3));
+        assert_eq!(live_width(&c), 4);
+    }
+
+    #[test]
+    fn reuse_transform_realizes_live_width() {
+        // After QS-CaQR, the wire count equals the live width by
+        // construction (every wire hosts back-to-back lifetimes).
+        use caqr_circuit::depth::UnitDurations;
+        let mut c = Circuit::new(5, 4);
+        for i in 0..4 {
+            c.h(q(i));
+        }
+        c.x(q(4));
+        c.h(q(4));
+        for i in 0..4 {
+            c.cx(q(i), q(4));
+            c.h(q(i));
+        }
+        for i in 0..4 {
+            c.measure(q(i), Clbit::new(i));
+        }
+        let smallest = crate::qs::regular::sweep(&c, &UnitDurations)
+            .pop()
+            .unwrap()
+            .circuit;
+        assert_eq!(live_width(&smallest), smallest.num_qubits());
+    }
+
+    #[test]
+    fn degeneracy_values() {
+        // A tree has degeneracy 1; a cycle 2; K5 has 4.
+        let tree = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        assert_eq!(degeneracy(&tree), 1);
+        let mut cyc = Graph::new(5);
+        for i in 0..5 {
+            cyc.add_edge(i, (i + 1) % 5);
+        }
+        assert_eq!(degeneracy(&cyc), 2);
+        let mut k5 = Graph::new(5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                k5.add_edge(i, j);
+            }
+        }
+        assert_eq!(degeneracy(&k5), 4);
+    }
+
+    #[test]
+    fn lower_bound_respected_by_sweep() {
+        // The QS sweep can never beat the degeneracy bound.
+        use caqr_circuit::depth::UnitDurations;
+        let mut c = Circuit::new(4, 0);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                c.cz(q(i), q(j));
+            }
+        }
+        let bound = degeneracy_lower_bound(&c);
+        assert_eq!(bound, 4, "K4 interaction");
+        let min = crate::qs::regular::min_qubits(&c, &UnitDurations);
+        assert!(min >= bound);
+    }
+
+    #[test]
+    fn live_at_reports_open_intervals() {
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0)); // 0
+        c.cx(q(0), q(1)); // 1
+        c.h(q(2)); // 2
+        let live = live_at(&c, 1);
+        assert!(live.contains(&q(0)));
+        assert!(live.contains(&q(1)));
+        assert!(!live.contains(&q(2)));
+    }
+
+    #[test]
+    fn empty_circuit_zero_width() {
+        assert_eq!(live_width(&Circuit::new(3, 0)), 0);
+        assert_eq!(degeneracy(&Graph::new(0)), 0);
+    }
+}

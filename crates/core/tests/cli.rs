@@ -1,0 +1,105 @@
+//! End-to-end tests of the `caqr` command line.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BV3_QASM: &str = "OPENQASM 2.0;
+include \"qelib1.inc\";
+qreg q[3];
+creg c[2];
+h q[0];
+h q[1];
+x q[2];
+h q[2];
+cx q[0], q[2];
+h q[0];
+cx q[1], q[2];
+h q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+";
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_caqr"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn info_reports_stats() {
+    let (stdout, _, ok) = run(&["info", "-"], BV3_QASM);
+    assert!(ok);
+    assert!(stdout.contains("qubits: 3"));
+    assert!(stdout.contains("two-qubit gates: 2"));
+}
+
+#[test]
+fn advise_finds_the_reuse_opportunity() {
+    // BV_3 has exactly one valid pair (small circuit -> "marginal"); the
+    // plumbing matters here, not the verdict strength.
+    let (stdout, _, ok) = run(&["advise", "-"], BV3_QASM);
+    assert!(ok);
+    assert!(
+        stdout.contains("1 reuse pairs"),
+        "expected the single BV_3 pair: {stdout}"
+    );
+    assert!(!stdout.contains("not applicable"), "{stdout}");
+}
+
+#[test]
+fn sweep_reaches_two_qubits() {
+    let (stdout, _, ok) = run(&["sweep", "-"], BV3_QASM);
+    assert!(ok);
+    let last = stdout.lines().last().expect("has rows");
+    assert!(last.trim_start().starts_with('2'), "{stdout}");
+}
+
+#[test]
+fn compile_emits_valid_qasm() {
+    let (stdout, _, ok) = run(
+        &["compile", "-", "--strategy", "qs-max", "--emit"],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("qs-max-reuse:"));
+    // Re-parse the emitted QASM.
+    let qasm_start = stdout.find("OPENQASM").expect("emitted QASM");
+    let circuit = caqr_circuit::qasm::from_qasm(&stdout[qasm_start..]).expect("valid QASM");
+    assert!(circuit.num_qubits() >= 2);
+}
+
+#[test]
+fn compile_on_custom_device() {
+    let (stdout, _, ok) = run(
+        &["compile", "-", "--strategy", "baseline", "--device", "line:5"],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("baseline:"));
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = run(&["bogus", "-"], BV3_QASM);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+    let (_, stderr, ok) = run(&["compile", "-", "--strategy", "nope"], BV3_QASM);
+    assert!(!ok);
+    assert!(stderr.contains("unknown strategy"));
+}

@@ -1,0 +1,253 @@
+//! Undirected simple graphs stored as adjacency lists.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected simple graph over vertices `0..n`.
+///
+/// Self-loops and parallel edges are rejected. Adjacency is kept sorted so
+/// iteration order (and therefore every algorithm in this crate) is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(1, 0));
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    adj: Vec<BTreeSet<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, sizing it to `n` vertices.
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.adj.len()
+        );
+        let fresh = self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        if fresh {
+            self.num_edges += 1;
+        }
+        fresh
+    }
+
+    /// Removes the edge `{u, v}`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.adj.len() || v >= self.adj.len() {
+            return false;
+        }
+        let present = self.adj[u].remove(&v);
+        self.adj[v].remove(&u);
+        if present {
+            self.num_edges -= 1;
+        }
+        present
+    }
+
+    /// Returns `true` if the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.adj.len() && self.adj[u].contains(&v)
+    }
+
+    /// The degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over the neighbors of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// Iterates over all edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ns)| ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+    }
+
+    /// Edge density: `|E| / (n choose 2)`, or 0 for graphs with < 2 vertices.
+    pub fn density(&self) -> f64 {
+        let n = self.adj.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.num_edges as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Appends a fresh isolated vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(BTreeSet::new());
+        self.adj.len() - 1
+    }
+
+    /// Returns the subgraph induced by keeping only edges accepted by `keep`.
+    pub fn filter_edges(&self, mut keep: impl FnMut(usize, usize) -> bool) -> Graph {
+        let mut g = Graph::new(self.num_vertices());
+        for (u, v) in self.edges() {
+            if keep(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges=[",
+            self.num_vertices(),
+            self.num_edges
+        )?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}-{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 3));
+        assert!(!g.add_edge(3, 0));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iteration_is_sorted_and_unique() {
+        let g = Graph::from_edges(4, [(2, 1), (0, 3), (1, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn density() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3), (0, 2)]);
+        assert!((g.density() - 0.5).abs() < 1e-12);
+        assert_eq!(Graph::new(1).density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn filter_edges_keeps_subset() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let sub = g.filter_edges(|u, _| u != 1);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn add_vertex_grows() {
+        let mut g = Graph::new(2);
+        let v = g.add_vertex();
+        assert_eq!(v, 2);
+        g.add_edge(0, v);
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let s = format!("{g}");
+        assert!(s.contains("0-1"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Graph coloring.
+//!
+//! For commuting-gate circuits (QAOA) the paper observes that the minimum
+//! number of physical wires equals a proper coloring of the qubit
+//! interaction graph: two qubits may share a wire iff they never interact
+//! (no edge), which is exactly the coloring constraint (§3.2.2, Fig. 10).
+//!
+//! We provide the classic DSATUR heuristic (good in practice, optimal on
+//! many structured graphs) and a plain greedy pass for comparison.
+
+use crate::adj::Graph;
+
+/// A proper vertex coloring: `color[v]` for each vertex, colors `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+impl Coloring {
+    /// Wraps a color assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` is non-empty and its maximum does not equal
+    /// `num_colors - 1` (colors must be contiguous from 0).
+    pub fn new(colors: Vec<usize>, num_colors: usize) -> Self {
+        if let Some(&max) = colors.iter().max() {
+            assert_eq!(max + 1, num_colors, "colors must be contiguous from 0");
+        }
+        Coloring { colors, num_colors }
+    }
+
+    /// The color of vertex `v`.
+    pub fn color(&self, v: usize) -> usize {
+        self.colors[v]
+    }
+
+    /// The number of distinct colors used.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// The full assignment, indexed by vertex.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Groups vertices by color: `groups()[c]` lists the vertices colored `c`.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_colors];
+        for (v, &c) in self.colors.iter().enumerate() {
+            groups[c].push(v);
+        }
+        groups
+    }
+
+    /// Checks that no edge of `g` joins two same-colored vertices.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        g.edges().all(|(u, v)| self.colors[u] != self.colors[v])
+    }
+}
+
+/// DSATUR coloring: repeatedly colors the vertex with the highest
+/// *saturation* (number of distinct neighbor colors), breaking ties by
+/// degree then index.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::{coloring, Graph};
+///
+/// // A triangle plus a pendant vertex: chromatic number 3.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+/// assert_eq!(coloring::dsatur(&g).num_colors(), 3);
+/// ```
+pub fn dsatur(g: &Graph) -> Coloring {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Coloring::new(Vec::new(), 0);
+    }
+    const UNCOLORED: usize = usize::MAX;
+    let mut color = vec![UNCOLORED; n];
+    let mut neighbor_colors: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); n];
+    let mut num_colors = 0;
+
+    for _ in 0..n {
+        // Pick uncolored vertex with max saturation, tie-break by degree desc,
+        // then index asc.
+        let v = (0..n)
+            .filter(|&v| color[v] == UNCOLORED)
+            .max_by(|&a, &b| {
+                neighbor_colors[a]
+                    .len()
+                    .cmp(&neighbor_colors[b].len())
+                    .then(g.degree(a).cmp(&g.degree(b)))
+                    .then(b.cmp(&a))
+            })
+            .expect("an uncolored vertex remains");
+        // Smallest color absent among neighbors.
+        let c = (0..).find(|c| !neighbor_colors[v].contains(c)).unwrap();
+        color[v] = c;
+        num_colors = num_colors.max(c + 1);
+        for u in g.neighbors(v) {
+            neighbor_colors[u].insert(c);
+        }
+    }
+    Coloring::new(color, num_colors)
+}
+
+/// The exact chromatic number by branch-and-bound, for small graphs.
+///
+/// Used in tests to validate the DSATUR heuristic and in analyses where
+/// the exact reuse lower bound matters.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 16 vertices (exponential blow-up).
+pub fn chromatic_number(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    assert!(n <= 16, "exact coloring is limited to 16 vertices");
+    if n == 0 {
+        return 0;
+    }
+    // Upper bound from DSATUR; search for anything better.
+    let mut best = dsatur(g).num_colors();
+    let mut colors = vec![usize::MAX; n];
+
+    fn assignable(g: &Graph, colors: &[usize], v: usize, c: usize) -> bool {
+        g.neighbors(v).all(|u| colors[u] != c)
+    }
+
+    fn solve(
+        g: &Graph,
+        colors: &mut Vec<usize>,
+        v: usize,
+        used: usize,
+        best: &mut usize,
+    ) {
+        if used >= *best {
+            return; // cannot improve
+        }
+        if v == g.num_vertices() {
+            *best = used;
+            return;
+        }
+        for c in 0..=used.min(*best - 1) {
+            if c < used && !assignable(g, colors, v, c) {
+                continue;
+            }
+            if c >= used && used + 1 >= *best {
+                break;
+            }
+            colors[v] = c;
+            solve(g, colors, v + 1, used.max(c + 1), best);
+            colors[v] = usize::MAX;
+        }
+    }
+
+    solve(g, &mut colors, 0, 0, &mut best);
+    best
+}
+
+/// Plain greedy coloring in vertex-index order (first-fit).
+pub fn greedy(g: &Graph) -> Coloring {
+    let n = g.num_vertices();
+    const UNCOLORED: usize = usize::MAX;
+    let mut color = vec![UNCOLORED; n];
+    let mut num_colors = 0;
+    for v in 0..n {
+        let used: std::collections::BTreeSet<usize> = g
+            .neighbors(v)
+            .filter_map(|u| (color[u] != UNCOLORED).then_some(color[u]))
+            .collect();
+        let c = (0..).find(|c| !used.contains(c)).unwrap();
+        color[v] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring::new(color, num_colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn dsatur_complete_graph_needs_n() {
+        for n in 1..6 {
+            let c = dsatur(&complete(n));
+            assert_eq!(c.num_colors(), n);
+            assert!(c.is_proper(&complete(n)));
+        }
+    }
+
+    #[test]
+    fn dsatur_bipartite_needs_two() {
+        // K_{3,3}
+        let mut g = Graph::new(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                g.add_edge(i, j);
+            }
+        }
+        let c = dsatur(&g);
+        assert_eq!(c.num_colors(), 2);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn dsatur_odd_cycle_needs_three() {
+        let mut g = Graph::new(7);
+        for i in 0..7 {
+            g.add_edge(i, (i + 1) % 7);
+        }
+        let c = dsatur(&g);
+        assert_eq!(c.num_colors(), 3);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn greedy_is_proper() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let c = greedy(&g);
+        assert!(c.is_proper(&g));
+        assert!(c.num_colors() >= 3);
+    }
+
+    #[test]
+    fn empty_graph_one_color_per_isolated_vertex() {
+        let g = Graph::new(4);
+        let c = dsatur(&g);
+        assert_eq!(c.num_colors(), 1);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let c = dsatur(&Graph::new(0));
+        assert_eq!(c.num_colors(), 0);
+    }
+
+    #[test]
+    fn paper_fig10_star_like_coloring() {
+        // Fig. 10: a 5-vertex QAOA graph colorable with 3 colors where
+        // {q0, q2, q4} share one color.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        let c = dsatur(&g);
+        assert_eq!(c.num_colors(), 3);
+        assert!(c.is_proper(&g));
+        // q0, q2, q4 are pairwise non-adjacent, so a 3-coloring exists that
+        // groups them; DSATUR should find *a* 3-coloring (grouping may vary).
+        assert_eq!(c.color(0) == c.color(4), c.groups().iter().any(|grp| grp.contains(&0) && grp.contains(&4)));
+    }
+
+    #[test]
+    fn chromatic_number_exact_values() {
+        assert_eq!(chromatic_number(&Graph::new(0)), 0);
+        assert_eq!(chromatic_number(&Graph::new(3)), 1);
+        assert_eq!(chromatic_number(&complete(5)), 5);
+        // Odd cycle: 3.
+        let mut c7 = Graph::new(7);
+        for i in 0..7 {
+            c7.add_edge(i, (i + 1) % 7);
+        }
+        assert_eq!(chromatic_number(&c7), 3);
+        // Petersen graph: 3.
+        let mut pet = Graph::new(10);
+        for i in 0..5 {
+            pet.add_edge(i, (i + 1) % 5);
+            pet.add_edge(5 + i, 5 + (i + 2) % 5);
+            pet.add_edge(i, 5 + i);
+        }
+        assert_eq!(chromatic_number(&pet), 3);
+    }
+
+    #[test]
+    fn dsatur_close_to_exact_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..15 {
+            let n = rng.gen_range(4..10);
+            let mut g = Graph::new(n);
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+            let exact = chromatic_number(&g);
+            let heuristic = dsatur(&g).num_colors();
+            assert!(heuristic >= exact);
+            assert!(
+                heuristic <= exact + 1,
+                "DSATUR {heuristic} vs exact {exact} on {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = complete(4);
+        let c = dsatur(&g);
+        let total: usize = c.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_colors_rejected() {
+        Coloring::new(vec![0, 2], 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Shortest-path distances over unweighted graphs.
+//!
+//! Routing (SWAP insertion) and SR-CaQR's physical-qubit selection both
+//! score candidates by coupling-graph distance; an all-pairs BFS table makes
+//! those lookups O(1).
+
+use crate::adj::Graph;
+
+/// Distance not defined (vertices in different components).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// All-pairs shortest-path distances (hop counts) of an unweighted graph.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::{dist::DistanceMatrix, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let d = DistanceMatrix::of(&g);
+/// assert_eq!(d.get(0, 3), 3);
+/// assert_eq!(d.get(2, 2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes the matrix with one BFS per vertex: `O(V * (V + E))`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                let dv = row[v];
+                for u in g.neighbors(v) {
+                    if row[u] == UNREACHABLE {
+                        row[u] = dv + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// The hop distance from `u` to `v`, or [`UNREACHABLE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn get(&self, u: usize, v: usize) -> u32 {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        self.dist[u * self.n + v]
+    }
+
+    /// The number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The eccentricity-maximum (graph diameter), ignoring unreachable pairs.
+    pub fn diameter(&self) -> u32 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = DistanceMatrix::of(&g);
+        assert_eq!(d.get(0, 4), 4);
+        assert_eq!(d.get(4, 0), 4);
+        assert_eq!(d.get(1, 3), 2);
+        assert_eq!(d.diameter(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let d = DistanceMatrix::of(&g);
+        assert_eq!(d.get(0, 2), UNREACHABLE);
+        assert_eq!(d.get(0, 1), 1);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        let d = DistanceMatrix::of(&g);
+        assert_eq!(d.get(0, 3), 3);
+        assert_eq!(d.get(0, 5), 1);
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let d = DistanceMatrix::of(&Graph::new(1));
+        assert_eq!(d.get(0, 0), 0);
+        assert_eq!(d.diameter(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Random graph generators for the QAOA problem instances.
+//!
+//! The paper evaluates QAOA max-cut on two input families, both at a fixed
+//! edge density (30% unless stated otherwise):
+//!
+//! * **random graphs** — Erdős–Rényi-style `G(n, m)` with `m` chosen to hit
+//!   the density exactly;
+//! * **power-law graphs** — preferential-attachment (Barabási–Albert) graphs
+//!   whose degree distribution is heavy-tailed: a few hubs with high degree
+//!   and many low-degree leaves. The paper notes these have far more reuse
+//!   potential because low-degree qubits finish early (§4.2.2).
+//!
+//! Both generators are deterministic given a seed.
+
+use crate::adj::Graph;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of edges implied by `density` on `n` vertices (rounded).
+pub fn edges_for_density(n: usize, density: f64) -> usize {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    ((max_edges as f64) * density).round() as usize
+}
+
+/// Uniform random graph with exactly the edge count implied by `density`.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::gen;
+///
+/// let g = gen::random_graph(16, 0.3, 42);
+/// assert_eq!(g.num_vertices(), 16);
+/// assert!((g.density() - 0.3).abs() < 0.02);
+/// ```
+pub fn random_graph(n: usize, density: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let target = edges_for_density(n, density);
+    let mut all: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    all.shuffle(&mut rng);
+    Graph::from_edges(n, all.into_iter().take(target))
+}
+
+/// Classic Barabási–Albert scale-free graph: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree.
+///
+/// Unlike [`power_law_graph`], no density adjustment is applied, so small
+/// `m` gives the sparse hub-and-leaf structure (low pathwidth) where qubit
+/// reuse shines: leaves retire quickly while a few hubs live long.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m == 0` or `m >= n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!(m >= 1 && m < n, "attachment count must be in 1..n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut endpoints: Vec<usize> = Vec::new();
+    let core = (m + 1).min(n);
+    for i in 0..core {
+        for j in i + 1..core {
+            g.add_edge(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in core..n {
+        let mut attached = 0;
+        let mut guard = 0;
+        while attached < m && guard < 50 * m + 100 {
+            guard += 1;
+            let &t = endpoints
+                .get(rng.gen_range(0..endpoints.len()))
+                .expect("endpoint list is non-empty");
+            if t != v && g.add_edge(v, t) {
+                endpoints.push(v);
+                endpoints.push(t);
+                attached += 1;
+            }
+        }
+    }
+    g
+}
+
+/// Power-law (preferential attachment) graph adjusted to the edge count
+/// implied by `density`.
+///
+/// Starts from a small clique, attaches each new vertex to `m` existing
+/// vertices with probability proportional to degree, then adds or removes
+/// uniformly random edges to hit the exact target count. The degree skew —
+/// the property CaQR's analysis cares about — survives the adjustment.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]` or `n < 2`.
+pub fn power_law_graph(n: usize, density: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    assert!(n >= 2, "power-law graph needs at least 2 vertices");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let target = edges_for_density(n, density);
+    // Attachment count per new vertex, chosen so the BA phase lands near the
+    // target edge count.
+    let m = ((target as f64 / n as f64).round() as usize).clamp(1, n - 1);
+
+    let mut g = Graph::new(n);
+    // Repeated-endpoint list implements preferential attachment cheaply.
+    let mut endpoints: Vec<usize> = Vec::new();
+    let core = (m + 1).min(n);
+    for i in 0..core {
+        for j in i + 1..core {
+            g.add_edge(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in core..n {
+        let mut attached = 0;
+        let mut guard = 0;
+        while attached < m && guard < 50 * m + 100 {
+            guard += 1;
+            let &t = endpoints
+                .get(rng.gen_range(0..endpoints.len()))
+                .expect("endpoint list is non-empty");
+            if t != v && g.add_edge(v, t) {
+                endpoints.push(v);
+                endpoints.push(t);
+                attached += 1;
+            }
+        }
+    }
+    adjust_to_target(&mut g, target, &mut rng);
+    g
+}
+
+/// Adds or removes uniformly random edges until `g` has exactly `target`.
+fn adjust_to_target(g: &mut Graph, target: usize, rng: &mut ChaCha8Rng) {
+    let n = g.num_vertices();
+    while g.num_edges() > target {
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        // Removing a uniformly random edge slightly biases against hubs
+        // (they touch more edges) which keeps the tail heavy.
+        let &(u, v) = edges.choose(rng).expect("graph has edges to remove");
+        g.remove_edge(u, v);
+    }
+    let mut guard = 0;
+    while g.num_edges() < target && guard < 100_000 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+}
+
+/// Degree histogram of `g`: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_hits_density() {
+        for n in [16, 32, 64] {
+            let g = random_graph(n, 0.3, 1);
+            assert_eq!(g.num_edges(), edges_for_density(n, 0.3));
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic() {
+        let a = random_graph(20, 0.3, 99);
+        let b = random_graph(20, 0.3, 99);
+        assert_eq!(a, b);
+        let c = random_graph(20, 0.3, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_law_hits_density() {
+        for n in [16, 32, 64, 128] {
+            let g = power_law_graph(n, 0.3, 7);
+            assert_eq!(g.num_edges(), edges_for_density(n, 0.3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed_vs_random() {
+        // The power-law graph should have a larger max degree than the
+        // random graph at the same density.
+        let pl = power_law_graph(64, 0.3, 3);
+        let er = random_graph(64, 0.3, 3);
+        assert!(
+            pl.max_degree() > er.max_degree(),
+            "power-law max degree {} should exceed random {}",
+            pl.max_degree(),
+            er.max_degree()
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let g = barabasi_albert(64, 2, 5);
+        // m edges per arrival past the initial triangle.
+        assert!(g.num_edges() <= 3 + 2 * 61);
+        assert!(g.num_edges() >= 2 * 61 - 5);
+        // Scale-free skew: the hubs dominate.
+        assert!(g.max_degree() >= 8, "max degree {}", g.max_degree());
+        // Deterministic.
+        assert_eq!(g, barabasi_albert(64, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "attachment")]
+    fn barabasi_albert_bad_m() {
+        barabasi_albert(4, 0, 0);
+    }
+
+    #[test]
+    fn density_extremes() {
+        let empty = random_graph(10, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = random_graph(10, 1.0, 1);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = power_law_graph(32, 0.3, 5);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_panics() {
+        random_graph(10, 1.5, 0);
+    }
+
+    #[test]
+    fn small_graphs() {
+        let g = power_law_graph(2, 1.0, 0);
+        assert_eq!(g.num_edges(), 1);
+        let g = random_graph(5, 0.3, 0);
+        assert_eq!(g.num_edges(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Graph algorithm substrate for the CaQR reproduction.
+//!
+//! CaQR (ASPLOS 2023) leans on a handful of classical graph algorithms:
+//!
+//! * **Graph coloring** ([`coloring`]) gives the minimum qubit count for
+//!   commuting-gate circuits (QAOA): qubits sharing a color can share a wire.
+//! * **Maximum matching** ([`matching`]) schedules one layer of commuting
+//!   two-qubit gates; the paper uses Edmonds' blossom algorithm with priority
+//!   weights on gates that unblock qubit reuse.
+//! * **Reachability / cycle detection** ([`closure`], [`digraph`]) validates
+//!   reuse pairs against the paper's Condition 2.
+//! * **Random graph generators** ([`gen`]) produce the QAOA problem instances
+//!   (Erdős–Rényi "random" and Barabási–Albert "power-law" graphs at a given
+//!   density) used throughout the evaluation.
+//!
+//! The crate is self-contained (no quantum types) so it can be tested and
+//! benchmarked in isolation.
+//!
+//! # Examples
+//!
+//! ```
+//! use caqr_graph::{coloring, Graph};
+//!
+//! // A 5-cycle needs 3 colors.
+//! let mut g = Graph::new(5);
+//! for i in 0..5 {
+//!     g.add_edge(i, (i + 1) % 5);
+//! }
+//! let coloring = coloring::dsatur(&g);
+//! assert_eq!(coloring.num_colors(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod coloring;
+pub mod digraph;
+pub mod dist;
+pub mod gen;
+pub mod matching;
+pub mod pathwidth;
+
+mod adj;
+
+pub use adj::Graph;
+pub use bitset::BitSet;
+pub use coloring::Coloring;
+pub use digraph::DiGraph;
+pub use matching::Matching;

@@ -1,0 +1,485 @@
+//! Maximum matching in general graphs (Edmonds' blossom algorithm).
+//!
+//! CaQR's commuting-gate scheduler (§3.2.2, Step 3) schedules one layer of
+//! QAOA gates per round by computing a maximum matching of the remaining
+//! qubit-interaction graph — as many non-overlapping two-qubit gates as
+//! possible — while *prioritizing* edges whose completion unblocks a qubit
+//! reuse. The paper uses Edmonds' blossom algorithm with edge weights
+//! `|E_int| > 1` on priority edges and `1` elsewhere, and notes a greedy
+//! maximal matching as a cheaper near-optimal alternative (§3.4).
+//!
+//! This module provides all three:
+//!
+//! * [`maximum`] — blossom maximum-cardinality matching, `O(V^3)`.
+//! * [`priority_maximum`] — two-phase matching that first maximizes the
+//!   number of priority edges, then extends to a maximum matching.
+//! * [`greedy_maximal`] — sort-by-weight greedy maximal matching.
+
+use crate::adj::Graph;
+
+/// A matching: a set of vertex-disjoint edges, stored as `mate[v]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    mate: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Matching {
+            mate: vec![None; n],
+        }
+    }
+
+    /// The partner of `v`, if matched.
+    pub fn mate(&self, v: usize) -> Option<usize> {
+        self.mate[v]
+    }
+
+    /// Returns `true` if `v` is matched.
+    pub fn is_matched(&self, v: usize) -> bool {
+        self.mate[v].is_some()
+    }
+
+    /// The number of edges in the matching.
+    pub fn len(&self) -> usize {
+        self.mate.iter().flatten().count() / 2
+    }
+
+    /// Returns `true` if the matching has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.mate.iter().all(Option::is_none)
+    }
+
+    /// The matched edges as `(u, v)` pairs with `u < v`, ascending.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &m)| m.filter(|&v| u < v).map(|v| (u, v)))
+            .collect()
+    }
+
+    /// Verifies this is a valid matching of `g`: symmetric, vertex-disjoint,
+    /// and every matched pair is an edge of `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.mate.len() == g.num_vertices()
+            && self.mate.iter().enumerate().all(|(u, &m)| match m {
+                None => true,
+                Some(v) => v < self.mate.len() && self.mate[v] == Some(u) && g.has_edge(u, v),
+            })
+    }
+
+    fn set(&mut self, u: usize, v: usize) {
+        self.mate[u] = Some(v);
+        self.mate[v] = Some(u);
+    }
+}
+
+/// Blossom-algorithm state for one augmenting-path search.
+struct Blossom<'g> {
+    g: &'g Graph,
+    mate: Vec<Option<usize>>,
+    parent: Vec<Option<usize>>,
+    base: Vec<usize>,
+    in_queue: Vec<bool>,
+    in_blossom: Vec<bool>,
+}
+
+impl<'g> Blossom<'g> {
+    fn new(g: &'g Graph, mate: Vec<Option<usize>>) -> Self {
+        let n = g.num_vertices();
+        Blossom {
+            g,
+            mate,
+            parent: vec![None; n],
+            base: (0..n).collect(),
+            in_queue: vec![false; n],
+            in_blossom: vec![false; n],
+        }
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the alternating forest,
+    /// walking through blossom bases.
+    fn lca(&self, a: usize, b: usize) -> usize {
+        let n = self.g.num_vertices();
+        let mut seen = vec![false; n];
+        let mut cur = a;
+        loop {
+            cur = self.base[cur];
+            seen[cur] = true;
+            match self.mate[cur] {
+                None => break,
+                Some(m) => match self.parent[m] {
+                    None => break,
+                    Some(p) => cur = p,
+                },
+            }
+        }
+        let mut cur = b;
+        loop {
+            cur = self.base[cur];
+            if seen[cur] {
+                return cur;
+            }
+            cur = self.parent[self.mate[cur].expect("inner vertex is matched")]
+                .expect("inner vertex has a parent");
+        }
+    }
+
+    fn mark_path(&mut self, mut v: usize, blossom_base: usize, mut child: usize) {
+        while self.base[v] != blossom_base {
+            let m = self.mate[v].expect("blossom vertex is matched");
+            self.in_blossom[self.base[v]] = true;
+            self.in_blossom[self.base[m]] = true;
+            self.parent[v] = Some(child);
+            child = m;
+            v = self.parent[m].expect("blossom path continues");
+        }
+    }
+
+    fn contract(&mut self, v: usize, to: usize, queue: &mut Vec<usize>) {
+        let b = self.lca(v, to);
+        self.in_blossom.iter_mut().for_each(|x| *x = false);
+        self.mark_path(v, b, to);
+        self.mark_path(to, b, v);
+        for i in 0..self.g.num_vertices() {
+            if self.in_blossom[self.base[i]] {
+                self.base[i] = b;
+                if !self.in_queue[i] {
+                    self.in_queue[i] = true;
+                    queue.push(i);
+                }
+            }
+        }
+    }
+
+    /// BFS from `root` for an augmenting path; augments `self.mate` and
+    /// returns `true` if one is found.
+    fn try_augment(&mut self, root: usize) -> bool {
+        let n = self.g.num_vertices();
+        self.parent.iter_mut().for_each(|p| *p = None);
+        self.in_queue.iter_mut().for_each(|x| *x = false);
+        self.base = (0..n).collect();
+        self.in_queue[root] = true;
+        let mut queue = vec![root];
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let neighbors: Vec<usize> = self.g.neighbors(v).collect();
+            for to in neighbors {
+                if self.base[v] == self.base[to] || self.mate[v] == Some(to) {
+                    continue;
+                }
+                let to_is_root = to == root;
+                let to_is_inner_labeled = self
+                    .mate[to]
+                    .is_some_and(|m| self.parent[m].is_some());
+                if to_is_root || to_is_inner_labeled {
+                    // Odd cycle: contract the blossom.
+                    self.contract(v, to, &mut queue);
+                } else if self.parent[to].is_none() {
+                    self.parent[to] = Some(v);
+                    match self.mate[to] {
+                        None => {
+                            // Exposed vertex: augment along the path to root.
+                            let mut u = Some(to);
+                            while let Some(x) = u {
+                                let pv = self.parent[x].expect("path leads to root");
+                                let next = self.mate[pv];
+                                self.mate[x] = Some(pv);
+                                self.mate[pv] = Some(x);
+                                u = next;
+                            }
+                            return true;
+                        }
+                        Some(m) => {
+                            if !self.in_queue[m] {
+                                self.in_queue[m] = true;
+                                queue.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Maximum-cardinality matching via Edmonds' blossom algorithm, seeded from
+/// `initial` (which must be a valid matching of `g`).
+///
+/// # Panics
+///
+/// Panics if `initial` is not a valid matching of `g`.
+pub fn maximum_from(g: &Graph, initial: Matching) -> Matching {
+    assert!(initial.is_valid(g), "initial matching is invalid");
+    let mut bl = Blossom::new(g, initial.mate);
+    for v in 0..g.num_vertices() {
+        if bl.mate[v].is_none() {
+            bl.try_augment(v);
+        }
+    }
+    Matching { mate: bl.mate }
+}
+
+/// Maximum-cardinality matching via Edmonds' blossom algorithm.
+///
+/// A greedy matching seeds the search, so typical instances need few
+/// augmenting phases.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::{matching, Graph};
+///
+/// // A 5-cycle has a maximum matching of size 2.
+/// let mut g = Graph::new(5);
+/// for i in 0..5 {
+///     g.add_edge(i, (i + 1) % 5);
+/// }
+/// assert_eq!(matching::maximum(&g).len(), 2);
+/// ```
+pub fn maximum(g: &Graph) -> Matching {
+    maximum_from(g, greedy_seed(g))
+}
+
+fn greedy_seed(g: &Graph) -> Matching {
+    let mut m = Matching::empty(g.num_vertices());
+    for (u, v) in g.edges() {
+        if !m.is_matched(u) && !m.is_matched(v) {
+            m.set(u, v);
+        }
+    }
+    m
+}
+
+/// Two-phase priority matching.
+///
+/// Phase 1 computes a maximum matching restricted to the edges where
+/// `is_priority(u, v)` holds — these are the paper's weight-`|E_int|` gates
+/// whose completion unblocks a qubit reuse. Phase 2 extends that matching to
+/// a maximum-cardinality matching of the whole graph.
+///
+/// This realizes the effect of the paper's maximum *weight* matching with
+/// two weight classes: priority gates are scheduled as early as possible
+/// without sacrificing layer parallelism.
+pub fn priority_maximum(g: &Graph, mut is_priority: impl FnMut(usize, usize) -> bool) -> Matching {
+    let priority_subgraph = g.filter_edges(&mut is_priority);
+    let phase1 = maximum(&priority_subgraph);
+    maximum_from(g, phase1)
+}
+
+/// Greedy maximal matching over edges sorted by descending weight
+/// (ties broken by edge order). The cheap alternative the paper suggests in
+/// §3.4; used by the `ablation_matching` experiment.
+pub fn greedy_maximal(g: &Graph, mut weight: impl FnMut(usize, usize) -> u64) -> Matching {
+    let mut edges: Vec<(usize, usize, u64)> =
+        g.edges().map(|(u, v)| (u, v, weight(u, v))).collect();
+    edges.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut m = Matching::empty(g.num_vertices());
+    for (u, v, _) in edges {
+        if !m.is_matched(u) && !m.is_matched(v) {
+            m.set(u, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_matching_on_even_cycle() {
+        let g = cycle(8);
+        let m = maximum(&g);
+        assert_eq!(m.len(), 4);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn odd_cycle_leaves_one_exposed() {
+        let g = cycle(9);
+        let m = maximum(&g);
+        assert_eq!(m.len(), 4);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 2..8 {
+            let g = complete(n);
+            let m = maximum(&g);
+            assert_eq!(m.len(), n / 2, "K_{n}");
+            assert!(m.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        // The Petersen graph: outer 5-cycle, inner 5-star, spokes.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        let m = maximum(&g);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn blossom_requires_contraction() {
+        // A triangle with two pendants, where greedy matching of the
+        // triangle edge forces an augmentation through the odd cycle:
+        // 3 - 0, 0 - 1, 1 - 2, 2 - 0, 2 - 4. Maximum matching = 2.
+        let g = Graph::from_edges(5, [(3, 0), (0, 1), (1, 2), (2, 0), (2, 4)]);
+        let m = maximum(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid(&g));
+        // Exactly one of the five vertices stays exposed.
+        assert_eq!((0..5).filter(|&v| m.is_matched(v)).count(), 4);
+    }
+
+    #[test]
+    fn nested_blossoms() {
+        // Two triangles sharing paths plus pendants, forcing nested
+        // contractions: classic stress case.
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let m = maximum(&g);
+        assert!(m.is_valid(&g));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn star_graph_matches_one_edge() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(maximum(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(4);
+        let m = maximum(&g);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn priority_edges_preferred() {
+        // Path 0-1-2-3: both {0-1, 2-3} and {1-2} are matchings; maximum
+        // picks two edges. If 1-2 is priority, phase 1 matches it; phase 2
+        // must then still find a maximum matching (which requires flipping
+        // 1-2 out — cardinality wins, by design).
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let m = priority_maximum(&g, |u, v| (u, v) == (1, 2));
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn priority_breaks_ties_toward_priority_edge() {
+        // Triangle: any single edge is a maximum matching. Priority edge
+        // (1, 2) should be the one chosen.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let m = priority_maximum(&g, |u, v| (u, v) == (1, 2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mate(1), Some(2));
+    }
+
+    #[test]
+    fn greedy_maximal_respects_weights() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        // Heavy middle edge wins greedy even though it blocks cardinality 2.
+        let m = greedy_maximal(&g, |u, v| if (u, v) == (1, 2) { 10 } else { 1 });
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mate(1), Some(2));
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let g = complete(6);
+        let m = greedy_maximal(&g, |_, _| 1);
+        // Maximal on K6 is also maximum.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn maximum_from_preserves_validity() {
+        let g = cycle(6);
+        let mut seed = Matching::empty(6);
+        seed.set(0, 1);
+        let m = maximum_from(&g, seed);
+        assert_eq!(m.len(), 3);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn maximum_from_rejects_bogus_seed() {
+        let g = Graph::new(3);
+        let mut seed = Matching::empty(3);
+        seed.set(0, 1); // not an edge of g
+        maximum_from(&g, seed);
+    }
+
+    #[test]
+    fn random_graphs_match_greedy_lower_bound() {
+        // Maximum matching must be >= any greedy maximal matching.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for n in [5usize, 9, 14] {
+            for _ in 0..20 {
+                let mut g = Graph::new(n);
+                for i in 0..n {
+                    for j in i + 1..n {
+                        if rng.gen_bool(0.3) {
+                            g.add_edge(i, j);
+                        }
+                    }
+                }
+                let max = maximum(&g);
+                let greedy = greedy_maximal(&g, |_, _| 1);
+                assert!(max.is_valid(&g));
+                assert!(max.len() >= greedy.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Exact pathwidth (vertex separation number) for small graphs.
+//!
+//! The minimum qubit count reachable by reusing qubits in a commuting
+//! circuit equals the pathwidth of its interaction graph plus one: a gate
+//! order is a linear arrangement of vertex lifetimes, and the number of
+//! simultaneously-live qubits at a cut is exactly the vertex separation.
+//! This module computes the exact value by subset dynamic programming,
+//! `O(2^n * n)`, to validate the heuristics in `caqr::width` and the
+//! commuting sweep's floors.
+
+use crate::adj::Graph;
+
+/// The exact vertex separation number of `g` (equals pathwidth).
+///
+/// `f(S)` = the minimum, over orderings that place the vertices of `S`
+/// first, of the maximum boundary seen so far, where the boundary of `S`
+/// is the set of vertices in `S` with a neighbor outside `S`.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 20 vertices.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_graph::{pathwidth, Graph};
+///
+/// // A path has pathwidth 1; a cycle has 2.
+/// let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(pathwidth::exact(&path), 1);
+/// let mut cycle = Graph::new(4);
+/// for i in 0..4 {
+///     cycle.add_edge(i, (i + 1) % 4);
+/// }
+/// assert_eq!(pathwidth::exact(&cycle), 2);
+/// ```
+pub fn exact(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    assert!(n <= 20, "exact pathwidth is limited to 20 vertices");
+    if n == 0 {
+        return 0;
+    }
+    // Neighbor masks.
+    let nbr: Vec<u32> = (0..n)
+        .map(|v| g.neighbors(v).fold(0u32, |m, u| m | (1 << u)))
+        .collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let boundary_size = |s: u32| -> u32 {
+        let outside = full & !s;
+        (0..n)
+            .filter(|&v| s >> v & 1 == 1 && nbr[v] & outside != 0)
+            .count() as u32
+    };
+    let mut f = vec![u32::MAX; 1usize << n];
+    f[0] = 0;
+    for s in 1u32..=full {
+        let b = boundary_size(s);
+        let mut best = u32::MAX;
+        let mut rest = s;
+        while rest != 0 {
+            let v = rest.trailing_zeros();
+            rest &= rest - 1;
+            let prev = f[(s & !(1 << v)) as usize];
+            // Placing v last within S: the boundary right after placing v
+            // is boundary(S); the cost is the max along the way.
+            best = best.min(prev.max(b));
+        }
+        f[s as usize] = best;
+    }
+    f[full as usize] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn classic_values() {
+        // Empty / edgeless.
+        assert_eq!(exact(&Graph::new(0)), 0);
+        assert_eq!(exact(&Graph::new(5)), 0);
+        // Paths: 1. Cycles: 2. Cliques: n - 1.
+        assert_eq!(exact(&Graph::from_edges(6, (0..5).map(|i| (i, i + 1)))), 1);
+        assert_eq!(exact(&cycle(6)), 2);
+        for n in 2..7 {
+            assert_eq!(exact(&complete(n)), n - 1, "K{n}");
+        }
+    }
+
+    #[test]
+    fn star_has_pathwidth_one() {
+        let g = Graph::from_edges(7, (1..7).map(|i| (0, i)));
+        assert_eq!(exact(&g), 1);
+    }
+
+    #[test]
+    fn complete_bipartite() {
+        // pw(K_{3,3}) = 3.
+        let mut g = Graph::new(6);
+        for i in 0..3 {
+            for j in 3..6 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(exact(&g), 3);
+    }
+
+    #[test]
+    fn binary_tree_pathwidth() {
+        // A complete binary tree of height 3 (15 vertices) has pathwidth 2.
+        let mut g = Graph::new(15);
+        for i in 1..15 {
+            g.add_edge(i, (i - 1) / 2);
+        }
+        assert_eq!(exact(&g), 2);
+    }
+
+    #[test]
+    fn grid_pathwidth() {
+        // pw of a 3x3 grid is 3.
+        let mut g = Graph::new(9);
+        for r in 0..3 {
+            for c in 0..3 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < 3 {
+                    g.add_edge(v, v + 3);
+                }
+            }
+        }
+        assert_eq!(exact(&g), 3);
+    }
+
+    #[test]
+    fn degeneracy_is_a_lower_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..10);
+            let mut g = Graph::new(n);
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rng.gen_bool(0.35) {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+            // Degeneracy <= pathwidth (classic sandwich).
+            let pw = exact(&g);
+            let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+            let mut removed = vec![false; n];
+            let mut degen = 0;
+            for _ in 0..n {
+                let v = (0..n)
+                    .filter(|&v| !removed[v])
+                    .min_by_key(|&v| degree[v])
+                    .unwrap();
+                degen = degen.max(degree[v]);
+                removed[v] = true;
+                for u in g.neighbors(v) {
+                    if !removed[u] {
+                        degree[u] -= 1;
+                    }
+                }
+            }
+            assert!(degen <= pw, "degeneracy {degen} > pathwidth {pw}");
+        }
+    }
+}

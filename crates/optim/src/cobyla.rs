@@ -1,0 +1,244 @@
+//! A COBYLA-style linear-approximation trust-region minimizer.
+//!
+//! COBYLA (Powell 1994) maintains a simplex of `n + 1` points, interpolates
+//! a linear model of the objective through them, and minimizes the model
+//! inside a trust region whose radius shrinks as the model stops helping.
+//! This implementation keeps that core loop (it omits Powell's general
+//! inequality-constraint machinery, which the QAOA parameter search never
+//! uses) — the same role Qiskit's default COBYLA plays in the paper's
+//! Figs. 15/16.
+
+use crate::{OptResult, Options, Tracker};
+
+/// Minimizes `f` from `x0` with the linear-approximation trust-region loop.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &Options) -> OptResult {
+    assert!(!x0.is_empty(), "need at least one parameter");
+    let n = x0.len();
+    let mut tracker = Tracker::new(f);
+    let mut rho = opts.initial_step;
+
+    // Simplex vertices: best point + rho steps along each axis.
+    let mut vertices: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += rho;
+        vertices.push(p);
+    }
+    let mut values: Vec<f64> = vertices.iter().map(|p| tracker.eval(p)).collect();
+
+    while tracker.evals < opts.max_evals && rho > opts.tolerance {
+        let best = argmin(&values);
+        // Fit the linear model f(x) ~ c + g . (x - x_best) through the
+        // simplex: rows are (vertex - best), rhs the value differences.
+        let base = vertices[best].clone();
+        let fbase = values[best];
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut rhs: Vec<f64> = Vec::with_capacity(n);
+        for (i, v) in vertices.iter().enumerate() {
+            if i == best {
+                continue;
+            }
+            rows.push(v.iter().zip(&base).map(|(a, b)| a - b).collect());
+            rhs.push(values[i] - fbase);
+        }
+        let gradient = match solve(&mut rows, &mut rhs) {
+            Some(g) => g,
+            None => {
+                // Degenerate simplex: rebuild around the best point.
+                rebuild(&mut vertices, &mut values, best, rho, &mut tracker);
+                rho *= 0.5;
+                continue;
+            }
+        };
+        let gnorm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if gnorm < 1e-15 {
+            rho *= 0.5;
+            rebuild(&mut vertices, &mut values, best, rho, &mut tracker);
+            continue;
+        }
+
+        // Trust-region step: full radius along -gradient.
+        let candidate: Vec<f64> = base
+            .iter()
+            .zip(&gradient)
+            .map(|(&x, &g)| x - rho * g / gnorm)
+            .collect();
+        let fc = tracker.eval(&candidate);
+        let predicted = rho * gnorm; // model decrease
+        let actual = fbase - fc;
+
+        if actual > 0.1 * predicted {
+            // Good step: replace the worst vertex.
+            let worst = argmax(&values);
+            vertices[worst] = candidate;
+            values[worst] = fc;
+            if actual > 0.7 * predicted {
+                rho = (rho * 1.6).min(opts.initial_step * 4.0);
+            }
+        } else {
+            // Poor model: shrink the trust region and refresh the simplex.
+            rho *= 0.5;
+            let keep = argmin(&values);
+            rebuild(&mut vertices, &mut values, keep, rho, &mut tracker);
+        }
+    }
+
+    let best = argmin(&values);
+    OptResult {
+        x: vertices[best].clone(),
+        fx: values[best],
+        evals: tracker.evals,
+        history: tracker.history,
+    }
+}
+
+fn rebuild<F: FnMut(&[f64]) -> f64>(
+    vertices: &mut Vec<Vec<f64>>,
+    values: &mut Vec<f64>,
+    best: usize,
+    rho: f64,
+    tracker: &mut Tracker<F>,
+) {
+    let base = vertices[best].clone();
+    let fbase = values[best];
+    let n = base.len();
+    vertices.clear();
+    values.clear();
+    vertices.push(base.clone());
+    values.push(fbase);
+    for i in 0..n {
+        let mut p = base.clone();
+        p[i] += rho;
+        values.push(tracker.eval(&p));
+        vertices.push(p);
+    }
+}
+
+fn argmin(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty")
+        .0
+}
+
+/// Gaussian elimination with partial pivoting; returns `None` when the
+/// system is (near-)singular.
+fn solve(rows: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &b| rows[a][col].abs().total_cmp(&rows[b][col].abs()))?;
+        if rows[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        rows.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for r in col + 1..n {
+            let factor = rows[r][col] / rows[col][col];
+            for c in col..n {
+                rows[r][c] -= factor * rows[col][c];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r];
+        for c in r + 1..n {
+            acc -= rows[r][c] * x[c];
+        }
+        x[r] = acc / rows[r][r];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = minimize(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &Options::default(),
+        );
+        assert!(r.fx < 1e-3, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let r = minimize(|x| (x[0] - 3.5).powi(2), &[0.0], &Options::default());
+        assert!((r.x[0] - 3.5).abs() < 0.05, "x = {}", r.x[0]);
+    }
+
+    #[test]
+    fn periodic_objective_like_qaoa() {
+        // QAOA landscapes are trigonometric; check we find a good minimum.
+        let f = |x: &[f64]| -((x[0]).sin() * (x[1]).cos());
+        let opts = Options {
+            max_evals: 300,
+            ..Options::default()
+        };
+        let r = minimize(f, &[0.5, 0.5], &opts);
+        assert!(r.fx < -0.9, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn budget_respected_and_history_complete() {
+        let opts = Options {
+            max_evals: 25,
+            ..Options::default()
+        };
+        let r = minimize(|x| x[0].abs(), &[4.0], &opts);
+        assert!(r.evals <= 26 + 1);
+        assert_eq!(r.history.len(), r.evals);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0], "history must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let mut rows = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let mut rhs = vec![5.0, 10.0];
+        let x = solve(&mut rows, &mut rhs).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let mut rows = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut rhs = vec![1.0, 2.0];
+        assert!(solve(&mut rows, &mut rhs).is_none());
+    }
+
+    #[test]
+    fn noisy_objective_still_improves() {
+        // Shot noise on top of a quadratic: final value should still be far
+        // below the start.
+        let mut k = 0u64;
+        let f = move |x: &[f64]| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((k >> 33) as f64 / 2f64.powi(31) - 0.5) * 0.05;
+            x[0] * x[0] + x[1] * x[1] + noise
+        };
+        let r = minimize(f, &[2.0, -2.0], &Options::default());
+        assert!(r.fx < 1.0, "fx = {}", r.fx);
+    }
+}

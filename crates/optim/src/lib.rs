@@ -1,0 +1,126 @@
+//! Derivative-free classical optimizers for variational quantum loops.
+//!
+//! The paper's QAOA experiments (Figs. 15/16) drive the circuit parameters
+//! with Qiskit's default COBYLA optimizer and plot the best objective value
+//! per optimization round. This crate provides:
+//!
+//! * [`cobyla`] — a COBYLA-style linear-approximation trust-region method
+//!   (simplex interpolation of a linear model, trust-radius shrink on
+//!   failure). Constraints are limited to the implicit trust region, which
+//!   is all the QAOA loop uses.
+//! * [`nelder_mead`] — the classic simplex method, as a cross-check.
+//!
+//! Both record the running-best objective per iteration, which is exactly
+//! the series the paper's convergence figures plot.
+//!
+//! # Examples
+//!
+//! ```
+//! use caqr_optim::{cobyla, Options};
+//!
+//! // Minimize a shifted quadratic.
+//! let result = cobyla::minimize(
+//!     |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+//!     &[0.0, 0.0],
+//!     &Options::default(),
+//! );
+//! assert!((result.x[0] - 1.0).abs() < 1e-2);
+//! assert!((result.x[1] + 2.0).abs() < 1e-2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cobyla;
+pub mod nelder_mead;
+
+/// Options shared by the optimizers.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Initial step / trust radius.
+    pub initial_step: f64,
+    /// Terminate when the step / trust radius falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_evals: 400,
+            initial_step: 0.5,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Running best objective after each evaluation — the per-round series
+    /// the paper's convergence plots use.
+    pub history: Vec<f64>,
+}
+
+/// Tracks evaluations and the running-best history for an objective.
+pub(crate) struct Tracker<F> {
+    f: F,
+    pub evals: usize,
+    pub history: Vec<f64>,
+    best: f64,
+}
+
+impl<F: FnMut(&[f64]) -> f64> Tracker<F> {
+    pub fn new(f: F) -> Self {
+        Tracker {
+            f,
+            evals: 0,
+            history: Vec::new(),
+            best: f64::INFINITY,
+        }
+    }
+
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        let v = (self.f)(x);
+        self.evals += 1;
+        if v < self.best {
+            self.best = v;
+        }
+        self.history.push(self.best);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_records_running_best() {
+        let values = std::cell::Cell::new(0);
+        let mut t = Tracker::new(|_: &[f64]| {
+            let v = [5.0, 3.0, 4.0, 1.0][values.get()];
+            values.set(values.get() + 1);
+            v
+        });
+        for _ in 0..4 {
+            t.eval(&[0.0]);
+        }
+        assert_eq!(t.history, vec![5.0, 3.0, 3.0, 1.0]);
+        assert_eq!(t.evals, 4);
+    }
+
+    #[test]
+    fn default_options_sane() {
+        let o = Options::default();
+        assert!(o.max_evals > 0);
+        assert!(o.initial_step > o.tolerance);
+    }
+}

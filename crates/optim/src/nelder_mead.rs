@@ -1,0 +1,177 @@
+//! Nelder–Mead simplex minimization.
+
+use crate::{OptResult, Options, Tracker};
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead simplex method
+/// (standard reflection/expansion/contraction/shrink coefficients).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize(f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &Options) -> OptResult {
+    assert!(!x0.is_empty(), "need at least one parameter");
+    let n = x0.len();
+    let mut tracker = Tracker::new(f);
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += opts.initial_step;
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| tracker.eval(p)).collect();
+
+    while tracker.evals < opts.max_evals {
+        // Order ascending by value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let (best, second_worst, worst) = (order[0], order[n - 1], order[n]);
+
+        // Convergence: simplex diameter below tolerance.
+        let diameter = simplex
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if diameter < opts.tolerance {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (i, p) in simplex.iter().enumerate() {
+            if i != worst {
+                for (c, &v) in centroid.iter_mut().zip(p) {
+                    *c += v / n as f64;
+                }
+            }
+        }
+        let blend = |alpha: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(&c, &w)| c + alpha * (c - w))
+                .collect()
+        };
+
+        let reflected = blend(1.0);
+        let fr = tracker.eval(&reflected);
+        if fr < values[best] {
+            // Try expanding.
+            let expanded = blend(2.0);
+            let fe = tracker.eval(&expanded);
+            if fe < fr {
+                simplex[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            // Contract (outside if the reflection helped at all).
+            let contracted = if fr < values[worst] {
+                blend(0.5)
+            } else {
+                blend(-0.5)
+            };
+            let fc = tracker.eval(&contracted);
+            if fc < values[worst].min(fr) {
+                simplex[worst] = contracted;
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                let anchor = simplex[best].clone();
+                for (i, p) in simplex.iter_mut().enumerate() {
+                    if i != best {
+                        for (v, &a) in p.iter_mut().zip(&anchor) {
+                            *v = a + 0.5 * (*v - a);
+                        }
+                        values[i] = tracker.eval(p);
+                        if tracker.evals >= opts.max_evals {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let best_idx = (0..=n)
+        .min_by(|&a, &b| values[a].total_cmp(&values[b]))
+        .expect("simplex is non-empty");
+    OptResult {
+        x: simplex[best_idx].clone(),
+        fx: values[best_idx],
+        evals: tracker.evals,
+        history: tracker.history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = minimize(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[3.0, -2.0],
+            &Options::default(),
+        );
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+        assert!(r.x.iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let rosen = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let opts = Options {
+            max_evals: 2000,
+            ..Options::default()
+        };
+        let r = minimize(rosen, &[-1.2, 1.0], &opts);
+        assert!(r.fx < 1e-4, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let opts = Options {
+            max_evals: 30,
+            ..Options::default()
+        };
+        let r = minimize(|x| x[0] * x[0], &[5.0], &opts);
+        assert!(r.evals <= 31, "used {} evals", r.evals);
+        assert_eq!(r.history.len(), r.evals);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let r = minimize(
+            |x| (x[0] - 2.0).powi(2) + 1.0,
+            &[0.0],
+            &Options::default(),
+        );
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!((r.fx - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter")]
+    fn empty_x0_rejected() {
+        minimize(|_| 0.0, &[], &Options::default());
+    }
+}

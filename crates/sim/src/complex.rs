@@ -1,0 +1,155 @@
+//! A minimal complex-number type.
+//!
+//! The workspace policy avoids extra dependencies, and the simulator only
+//! needs a handful of operations, so we carry our own `C64` instead of
+//! pulling in `num-complex`.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_sim::C64;
+///
+/// let i = C64::new(0.0, 1.0);
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert!((C64::new(3.0, 4.0).abs2() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Builds `re + im*i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A real number.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude `|z|^2`.
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        let z = C64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-12);
+        assert!((z.im - 1.0).abs() < 1e-12);
+        assert!((C64::cis(1.234).abs2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_scale() {
+        let z = C64::new(2.0, 3.0);
+        assert_eq!(z.conj(), C64::new(2.0, -3.0));
+        assert_eq!(z.scale(2.0), C64::new(4.0, 6.0));
+        assert_eq!((z * z.conj()).re, z.abs2());
+    }
+
+    #[test]
+    fn from_f64() {
+        let z: C64 = 2.5.into();
+        assert_eq!(z, C64::new(2.5, 0.0));
+    }
+}

@@ -1,0 +1,287 @@
+//! Exact (noiseless) output distributions, including for dynamic circuits.
+//!
+//! TVD needs the ideal distribution as the reference (Table 3). For static
+//! circuits that is one state-vector pass; mid-circuit measurements require
+//! branching on outcomes. We branch only where we must:
+//!
+//! * a maximal *terminal suffix* of measurements is resolved directly from
+//!   the final state's amplitudes (no branching), and
+//! * interior measurements/resets branch, with zero-probability branches
+//!   pruned — in practice reuse circuits like BV collapse to a handful of
+//!   branches because their mid-circuit outcomes are (near-)deterministic.
+
+use crate::state::StateVector;
+use caqr_circuit::{Circuit, Gate};
+use std::collections::BTreeMap;
+
+/// Hard cap on explored branches; prevents pathological blow-ups.
+const MAX_BRANCHES: usize = 1 << 14;
+
+/// An error from [`distribution`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchLimitError {
+    branches: usize,
+}
+
+impl std::fmt::Display for BranchLimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exact simulation exceeded {} measurement branches",
+            self.branches
+        )
+    }
+}
+
+impl std::error::Error for BranchLimitError {}
+
+/// The exact output distribution over the classical register.
+///
+/// Returns `(value, probability)` pairs with probability > 1e-12, summing
+/// to 1 (within rounding).
+///
+/// # Errors
+///
+/// Returns [`BranchLimitError`] if interior measurements force more than
+/// `2^14` live branches.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_circuit::{Circuit, Qubit};
+/// use caqr_sim::exact;
+///
+/// let mut c = Circuit::new(2, 2);
+/// c.h(Qubit::new(0));
+/// c.cx(Qubit::new(0), Qubit::new(1));
+/// c.measure_all();
+/// let dist = exact::distribution(&c).unwrap();
+/// assert_eq!(dist.len(), 2); // 00 and 11
+/// ```
+pub fn distribution(circuit: &Circuit) -> Result<Vec<(u64, f64)>, BranchLimitError> {
+    // Find the terminal measurement suffix: a trailing run of Measure
+    // instructions (these never need branching).
+    let mut suffix_start = circuit.len();
+    while suffix_start > 0 && circuit.instructions()[suffix_start - 1].gate == Gate::Measure {
+        suffix_start -= 1;
+    }
+
+    struct Branch {
+        state: StateVector,
+        clreg: u64,
+        prob: f64,
+    }
+
+    let mut branches = vec![Branch {
+        state: StateVector::zero(circuit.num_qubits()),
+        clreg: 0,
+        prob: 1.0,
+    }];
+
+    for instr in &circuit.instructions()[..suffix_start] {
+        let mut next: Vec<Branch> = Vec::with_capacity(branches.len());
+        for mut br in branches {
+            if let Some(cond) = instr.condition {
+                if br.clreg >> cond.index() & 1 == 0 {
+                    next.push(br);
+                    continue;
+                }
+            }
+            let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+            match instr.gate {
+                Gate::Measure | Gate::Reset => {
+                    let q = operands[0];
+                    let p1 = br.state.prob_one(q);
+                    for outcome in [false, true] {
+                        let p = if outcome { p1 } else { 1.0 - p1 };
+                        if p <= 1e-12 {
+                            continue;
+                        }
+                        let mut state = br.state.clone();
+                        state.project(q, outcome);
+                        let mut clreg = br.clreg;
+                        if instr.gate == Gate::Measure {
+                            let c = instr.clbit.expect("measure has a clbit").index();
+                            if outcome {
+                                clreg |= 1 << c;
+                            } else {
+                                clreg &= !(1 << c);
+                            }
+                        } else if outcome {
+                            // Reset: flip back to |0>.
+                            state.apply_gate(&Gate::X, &[q]);
+                        }
+                        next.push(Branch {
+                            state,
+                            clreg,
+                            prob: br.prob * p,
+                        });
+                    }
+                }
+                ref gate => {
+                    br.state.apply_gate(gate, &operands);
+                    next.push(br);
+                }
+            }
+            if next.len() > MAX_BRANCHES {
+                return Err(BranchLimitError {
+                    branches: MAX_BRANCHES,
+                });
+            }
+        }
+        branches = next;
+    }
+
+    // Resolve the terminal measurement suffix amplitude-wise.
+    let suffix = &circuit.instructions()[suffix_start..];
+    let mut dist: BTreeMap<u64, f64> = BTreeMap::new();
+    for br in branches {
+        if suffix.is_empty() {
+            *dist.entry(br.clreg).or_insert(0.0) += br.prob;
+            continue;
+        }
+        let dim = 1usize << circuit.num_qubits();
+        for basis in 0..dim {
+            let p = br.state.probability_of(basis);
+            if p <= 1e-14 {
+                continue;
+            }
+            let mut clreg = br.clreg;
+            for m in suffix {
+                let q = m.qubits[0].index();
+                let c = m.clbit.expect("measure has a clbit").index();
+                if basis >> q & 1 == 1 {
+                    clreg |= 1 << c;
+                } else {
+                    clreg &= !(1 << c);
+                }
+            }
+            *dist.entry(clreg).or_insert(0.0) += br.prob * p;
+        }
+    }
+
+    Ok(dist.into_iter().filter(|&(_, p)| p > 1e-12).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    fn total(dist: &[(u64, f64)]) -> f64 {
+        dist.iter().map(|&(_, p)| p).sum()
+    }
+
+    #[test]
+    fn deterministic_x() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        let d = distribution(&circ).unwrap();
+        assert_eq!(d, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn bell_distribution() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.measure_all();
+        let d = distribution(&circ).unwrap();
+        assert_eq!(d.len(), 2);
+        for (v, p) in d {
+            assert!(v == 0 || v == 3);
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mid_circuit_branching() {
+        // H then measure: 50/50; conditional X restores |0> either way, so
+        // the second measurement is always 0.
+        let mut circ = Circuit::new(1, 2);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        circ.measure(q(0), c(1));
+        let d = distribution(&circ).unwrap();
+        assert!((total(&d) - 1.0).abs() < 1e-12);
+        // Outcomes: c0 in {0,1}, c1 = 0.
+        assert_eq!(d.len(), 2);
+        for (v, p) in d {
+            assert_eq!(v >> 1 & 1, 0);
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_branches_without_clbits() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0));
+        circ.reset(q(0));
+        circ.measure(q(0), c(0));
+        let d = distribution(&circ).unwrap();
+        assert_eq!(d, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn deterministic_mid_measure_stays_single_branch() {
+        // |1> measured mid-circuit: only one branch survives pruning.
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        circ.h(q(0)); // wire reused
+        circ.h(q(0));
+        circ.measure(q(0), c(1));
+        let d = distribution(&circ).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 0b01);
+        assert!((d[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_sampling() {
+        use crate::exec::Executor;
+        let mut circ = Circuit::new(3, 3);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.rx(0.7, q(2));
+        circ.cz(q(1), q(2));
+        circ.h(q(2));
+        circ.measure_all();
+        let d = distribution(&circ).unwrap();
+        let counts = Executor::ideal().run_shots(&circ, 20_000, 11);
+        for (v, p) in d {
+            let emp = counts.probability(v);
+            assert!(
+                (emp - p).abs() < 0.02,
+                "value {v}: exact {p} vs sampled {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut circ = Circuit::new(3, 3);
+        circ.h(q(0));
+        circ.h(q(1));
+        circ.cp(0.3, q(0), q(1));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        circ.h(q(0));
+        circ.cx(q(0), q(2));
+        circ.measure(q(1), c(1));
+        circ.measure(q(2), c(2));
+        let d = distribution(&circ).unwrap();
+        assert!((total(&d) - 1.0).abs() < 1e-9);
+    }
+}

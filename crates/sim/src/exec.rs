@@ -1,0 +1,327 @@
+//! Circuit execution: ideal and noisy Monte-Carlo shots.
+
+use crate::counts::Counts;
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+use caqr_circuit::depth::Schedule;
+use caqr_circuit::{Circuit, Gate};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Executes circuits shot by shot, with optional calibration-driven noise.
+///
+/// Each noisy shot is one Monte-Carlo trajectory: stochastic Pauli errors
+/// are inserted according to the [`NoiseModel`], so averaging over shots
+/// samples the noisy output distribution.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_circuit::{Circuit, Qubit};
+/// use caqr_sim::Executor;
+///
+/// let mut c = Circuit::new(1, 1);
+/// c.x(Qubit::new(0));
+/// c.measure(Qubit::new(0), caqr_circuit::Clbit::new(0));
+/// let counts = Executor::ideal().run_shots(&c, 100, 0);
+/// assert_eq!(counts.get(1), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    noise: Option<NoiseModel>,
+}
+
+impl Executor {
+    /// A noiseless executor.
+    pub fn ideal() -> Self {
+        Executor { noise: None }
+    }
+
+    /// A noisy executor driven by `model`.
+    pub fn noisy(model: NoiseModel) -> Self {
+        Executor { noise: Some(model) }
+    }
+
+    /// The noise model, if any.
+    pub fn noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
+    }
+
+    /// Runs `shots` shots and histograms the classical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the dense simulator limit or has
+    /// more than 64 classical bits.
+    pub fn run_shots(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = Counts::new(circuit.num_clbits());
+        // The idle-noise schedule depends only on the circuit; hoist it.
+        let schedule = self
+            .noise
+            .as_ref()
+            .map(|n| Schedule::asap(circuit, &n.device().duration_model()));
+        for _ in 0..shots {
+            counts.record(self.run_single(circuit, schedule.as_ref(), &mut rng));
+        }
+        counts
+    }
+
+    /// Runs one shot and returns the final classical register value.
+    pub fn run_once(&self, circuit: &Circuit, seed: u64) -> u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let schedule = self
+            .noise
+            .as_ref()
+            .map(|n| Schedule::asap(circuit, &n.device().duration_model()));
+        self.run_single(circuit, schedule.as_ref(), &mut rng)
+    }
+
+    fn run_single(
+        &self,
+        circuit: &Circuit,
+        schedule: Option<&Schedule>,
+        rng: &mut impl Rng,
+    ) -> u64 {
+        let mut state = StateVector::zero(circuit.num_qubits());
+        let mut clreg: u64 = 0;
+        let mut busy_until = vec![0u64; circuit.num_qubits()];
+
+        for (idx, instr) in circuit.iter().enumerate() {
+            // Idle decoherence over the gap since each operand last worked.
+            if let (Some(noise), Some(schedule)) = (&self.noise, schedule) {
+                let start = schedule.start(idx);
+                for q in &instr.qubits {
+                    let gap = start.saturating_sub(busy_until[q.index()]);
+                    match noise.idle_channel() {
+                        crate::noise::IdleChannel::PauliTwirl => {
+                            let p = noise.idle_error(q.index(), gap);
+                            if p > 0.0 && rng.gen_bool(p) {
+                                state.apply_gate(&NoiseModel::random_pauli(rng), &[q.index()]);
+                            }
+                        }
+                        crate::noise::IdleChannel::ThermalRelaxation => {
+                            let gamma = noise.idle_gamma(q.index(), gap);
+                            if gamma > 0.0 {
+                                state.amplitude_damp(q.index(), gamma, rng);
+                            }
+                            let pz = noise.idle_dephase(q.index(), gap);
+                            if pz > 0.0 && rng.gen_bool(pz) {
+                                state.apply_gate(&Gate::Z, &[q.index()]);
+                            }
+                        }
+                    }
+                    busy_until[q.index()] = schedule.finish(idx);
+                }
+            }
+
+            // Conditional gates consult the (possibly misread) register.
+            if let Some(cond) = instr.condition {
+                if clreg >> cond.index() & 1 == 0 {
+                    continue;
+                }
+            }
+
+            let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+            match instr.gate {
+                Gate::Measure => {
+                    let q = operands[0];
+                    let mut bit = state.measure(q, rng);
+                    if let Some(noise) = &self.noise {
+                        let p = noise.readout_error(q);
+                        if p > 0.0 && rng.gen_bool(p) {
+                            bit = !bit;
+                        }
+                    }
+                    let c = instr.clbit.expect("measure has a clbit").index();
+                    if bit {
+                        clreg |= 1 << c;
+                    } else {
+                        clreg &= !(1 << c);
+                    }
+                }
+                Gate::Reset => state.reset(operands[0], rng),
+                ref gate => {
+                    state.apply_gate(gate, &operands);
+                    if let Some(noise) = &self.noise {
+                        let p = noise.gate_error(instr);
+                        for &q in &operands {
+                            if p > 0.0 && rng.gen_bool(p) {
+                                state.apply_gate(&NoiseModel::random_pauli(rng), &[q]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        clreg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_arch::Device;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn deterministic_circuit() {
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0));
+        circ.measure_all();
+        let counts = Executor::ideal().run_shots(&circ, 50, 1);
+        assert_eq!(counts.get(0b01), 50);
+    }
+
+    #[test]
+    fn bell_pair_correlated() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.measure_all();
+        let counts = Executor::ideal().run_shots(&circ, 1000, 2);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0);
+        let p00 = counts.probability(0b00);
+        assert!((0.4..0.6).contains(&p00), "p00 = {p00}");
+    }
+
+    #[test]
+    fn mid_circuit_measure_and_conditional_reset() {
+        // Put q0 in |1>, measure-and-reset it, then use it again: the wire
+        // must behave as a fresh |0>.
+        let mut circ = Circuit::new(1, 2);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0)); // resets to |0>
+        circ.measure(q(0), c(1)); // must read 0
+        let counts = Executor::ideal().run_shots(&circ, 100, 3);
+        assert_eq!(counts.get(0b01), 100, "{counts}");
+    }
+
+    #[test]
+    fn reuse_wire_runs_second_qubits_gates() {
+        // BV-style reuse on 2 wires standing in for 3 logical qubits.
+        let mut circ = Circuit::new(2, 3);
+        // Logical q0 on wire 0: H . CX into target . H -> deterministic |1>
+        // (hidden-string bit 1).
+        circ.h(q(0));
+        circ.x(q(1));
+        circ.h(q(1));
+        circ.cx(q(0), q(1));
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        // Logical q2 reuses wire 0.
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.h(q(0));
+        circ.measure(q(0), c(1));
+        let counts = Executor::ideal().run_shots(&circ, 200, 4);
+        // Both data bits read 1 (hidden string 11).
+        assert_eq!(counts.get(0b011), 200, "{counts}");
+    }
+
+    #[test]
+    fn builtin_reset_equivalent() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0));
+        circ.reset(q(0));
+        circ.measure(q(0), c(0));
+        let counts = Executor::ideal().run_shots(&circ, 100, 5);
+        assert_eq!(counts.get(0), 100);
+    }
+
+    #[test]
+    fn noise_degrades_fidelity() {
+        // A long CX ladder on Mumbai qubits 0-1: ideal output is |00>.
+        let mut circ = Circuit::new(2, 2);
+        for _ in 0..20 {
+            circ.cx(q(0), q(1));
+        }
+        circ.measure_all();
+        let dev = Device::mumbai(0);
+        let noisy = Executor::noisy(NoiseModel::from_device(dev));
+        let counts = noisy.run_shots(&circ, 500, 6);
+        let p_correct = counts.probability(0b00);
+        assert!(p_correct < 1.0, "noise must disturb some shots");
+        assert!(p_correct > 0.5, "20 CXs should not destroy the state");
+    }
+
+    #[test]
+    fn noise_scale_zero_is_ideal() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.measure_all();
+        let dev = Device::mumbai(0);
+        let quiet = Executor::noisy(NoiseModel::from_device(dev).with_scale(0.0));
+        let counts = quiet.run_shots(&circ, 400, 7);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0);
+    }
+
+    #[test]
+    fn thermal_relaxation_channel_biases_toward_zero() {
+        use crate::noise::IdleChannel;
+        // A qubit prepared in |1> that idles a long time while the other
+        // wire burns through measurements: under thermal relaxation it
+        // decays toward |0>; under the ideal executor it stays |1>.
+        let mut circ = Circuit::new(2, 3);
+        circ.x(q(1));
+        circ.measure(q(0), c(0));
+        circ.measure(q(0), c(1));
+        circ.measure(q(1), c(2));
+        let dev = Device::mumbai(0);
+        let noisy = Executor::noisy(
+            NoiseModel::from_device(dev).with_scale(30.0).with_idle_channel(IdleChannel::ThermalRelaxation),
+        );
+        let counts = noisy.run_shots(&circ, 600, 17);
+        let decayed: usize = counts
+            .iter()
+            .filter(|(v, _)| v >> 2 & 1 == 0)
+            .map(|(_, n)| n)
+            .sum();
+        assert!(decayed > 0, "expected some T1 decay: {counts}");
+    }
+
+    #[test]
+    fn run_once_reproducible() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        let e = Executor::ideal();
+        assert_eq!(e.run_once(&circ, 42), e.run_once(&circ, 42));
+    }
+
+    #[test]
+    fn misread_feed_forward_uses_recorded_bit() {
+        // With 100% readout error the recorded bit is always wrong; the
+        // conditional X keys off the *recorded* value, leaving the qubit in
+        // |1> when it measured 1 (recorded 0 -> no flip) etc.
+        let dev = Device::mumbai(0);
+        // scale such that readout error saturates at clamp 0.75; instead
+        // verify statistically: high noise increases 11/00 confusion.
+        let noisy = Executor::noisy(NoiseModel::from_device(dev).with_scale(10.0));
+        let mut circ = Circuit::new(1, 2);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        circ.measure(q(0), c(1));
+        let counts = noisy.run_shots(&circ, 500, 8);
+        // In the ideal world c1 is always 0; with heavy readout noise it
+        // sometimes reads 1.
+        let ones: usize = counts
+            .iter()
+            .filter(|(v, _)| v >> 1 & 1 == 1)
+            .map(|(_, n)| n)
+            .sum();
+        assert!(ones > 0, "heavy noise should corrupt the reset");
+    }
+}

@@ -1,0 +1,50 @@
+//! Capacity planner: "can my N-qubit circuit run on an M-qubit machine?"
+//!
+//! QS-CaQR's qubit-budget interface answers yes/no per budget and hands
+//! back the transformed circuit — the paper's pitch that reuse lets small
+//! machines run large programs.
+//!
+//! ```sh
+//! cargo run --example capacity_planner
+//! ```
+
+use caqr::qs;
+use caqr_benchmarks::{bv, revlib, suite::Benchmark};
+use caqr_circuit::depth::UnitDurations;
+
+fn plan(bench: &Benchmark, budget: usize) {
+    let width = bench.circuit.num_qubits();
+    match qs::regular::to_target(&bench.circuit, budget, &UnitDurations) {
+        Some(c) => println!(
+            "{:<12} {width:>2} qubits -> budget {budget:>2}: YES (depth {} -> {})",
+            bench.name,
+            bench.circuit.depth(),
+            c.depth()
+        ),
+        None => println!("{:<12} {width:>2} qubits -> budget {budget:>2}: no", bench.name),
+    }
+}
+
+fn main() {
+    println!("Can it fit? QS-CaQR qubit-budget planning\n");
+    let benches = [
+        bv::bv_all_ones(10),
+        revlib::multiply_13(),
+        revlib::system_9(),
+        revlib::cc_10(),
+        revlib::xor_5(),
+    ];
+    for bench in &benches {
+        let floor = qs::regular::min_qubits(&bench.circuit, &UnitDurations);
+        println!(
+            "{} — {} qubits, reuse floor {}:",
+            bench.name,
+            bench.circuit.num_qubits(),
+            floor
+        );
+        for budget in [2usize, 4, 6, 8] {
+            plan(bench, budget);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: compress a Bernstein–Vazirani circuit with QS-CaQR and run
+//! it on the simulator (the paper's Fig. 1 walkthrough).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use caqr::qs;
+use caqr_benchmarks::bv;
+use caqr_circuit::depth::UnitDurations;
+use caqr_sim::Executor;
+
+fn main() {
+    // The 5-qubit BV instance with hidden string 1111 (Fig. 1a).
+    let bench = bv::bv_all_ones(5);
+    let hidden = bench.correct_output.expect("BV is deterministic");
+    println!(
+        "original circuit: {} qubits, depth {}",
+        bench.circuit.num_qubits(),
+        bench.circuit.depth()
+    );
+
+    // Sweep every achievable qubit count. BV always reaches 2 qubits.
+    let sweep = qs::regular::sweep(&bench.circuit, &UnitDurations);
+    for point in &sweep {
+        println!(
+            "  {} qubits -> depth {} ({} reuses)",
+            point.qubits,
+            point.depth(),
+            point.reuses
+        );
+    }
+
+    // The smallest version still computes the same function.
+    let smallest = &sweep.last().expect("sweep is non-empty").circuit;
+    println!(
+        "\ntransformed circuit ({} qubits):\n{smallest}",
+        smallest.num_qubits()
+    );
+    let counts = Executor::ideal().run_shots(smallest, 1000, 42);
+    println!("1000 ideal shots: {counts}");
+    assert_eq!(counts.get(hidden), 1000);
+    println!("hidden string recovered: {hidden:04b}");
+}

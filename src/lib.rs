@@ -1,0 +1,13 @@
+//! Umbrella crate for the CaQR reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! one coherent namespace. Library users should depend on the individual
+//! crates ([`caqr`], [`caqr_circuit`], ...) directly.
+
+pub use caqr;
+pub use caqr_arch;
+pub use caqr_benchmarks;
+pub use caqr_circuit;
+pub use caqr_graph;
+pub use caqr_optim;
+pub use caqr_sim;

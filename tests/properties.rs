@@ -1,0 +1,191 @@
+//! Property-based tests over the core invariants, on randomly generated
+//! circuits and graphs.
+
+use caqr::analysis::ReuseAnalysis;
+use caqr::router::{route, RouterOptions};
+use caqr::transform::{self, ReusePlan};
+use caqr_arch::Device;
+use caqr_circuit::{Circuit, Clbit, Gate, Qubit};
+use caqr_graph::{coloring, gen, matching};
+use caqr_sim::exact;
+use proptest::prelude::*;
+
+/// A random shallow circuit on `n` qubits ending in measure-all.
+fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, proptest::collection::vec((0..6u8, 0..100usize, 0..100usize), 1..max_gates))
+        .prop_map(|(n, ops)| {
+            let mut c = Circuit::new(n, n);
+            for (kind, a, b) in ops {
+                let qa = Qubit::new(a % n);
+                let qb = Qubit::new(b % n);
+                match kind {
+                    0 => c.h(qa),
+                    1 => c.t(qa),
+                    2 => c.x(qa),
+                    3 if qa != qb => c.cx(qa, qb),
+                    4 if qa != qb => c.cz(qa, qb),
+                    5 => c.rz(0.3 + a as f64 / 50.0, qa),
+                    _ => c.h(qa),
+                }
+            }
+            c.measure_all();
+            c
+        })
+}
+
+fn distributions_match(a: &Circuit, b: &Circuit, mask_bits: usize) -> bool {
+    let da: std::collections::BTreeMap<u64, f64> =
+        exact::distribution(a).unwrap().into_iter().collect();
+    let db = exact::distribution(b).unwrap();
+    let mask = (1u64 << mask_bits) - 1;
+    let mut merged: std::collections::BTreeMap<u64, f64> = Default::default();
+    for (v, p) in db {
+        *merged.entry(v & mask).or_insert(0.0) += p;
+    }
+    da.iter().all(|(v, p)| {
+        let got = merged.get(v).copied().unwrap_or(0.0);
+        (got - p).abs() < 1e-6
+    }) && merged.iter().all(|(v, p)| {
+        let want = da.get(v).copied().unwrap_or(0.0);
+        (want - p).abs() < 1e-6
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Applying any single valid reuse pair preserves the output
+    /// distribution over the original classical bits.
+    #[test]
+    fn reuse_transform_preserves_distribution(circuit in arb_circuit(5, 14)) {
+        let analysis = ReuseAnalysis::of(&circuit);
+        for pair in analysis.candidate_pairs().into_iter().take(3) {
+            let t = transform::apply(&circuit, &ReusePlan::from_pairs([pair]))
+                .expect("valid pairs apply cleanly");
+            prop_assert!(t.circuit.num_qubits() < circuit.num_qubits()
+                || circuit.active_qubits().len() < circuit.num_qubits());
+            prop_assert!(
+                distributions_match(&circuit, &t.circuit, circuit.num_clbits()),
+                "pair {pair} changed the distribution"
+            );
+        }
+    }
+
+    /// Valid reuse pairs never create a dependence cycle; invalid ones are
+    /// rejected by the transform.
+    #[test]
+    fn candidate_pairs_always_apply(circuit in arb_circuit(6, 18)) {
+        let analysis = ReuseAnalysis::of(&circuit);
+        for pair in analysis.candidate_pairs() {
+            prop_assert!(
+                transform::apply(&circuit, &ReusePlan::from_pairs([pair])).is_ok(),
+                "analysis said {pair} is valid but the transform rejected it"
+            );
+        }
+    }
+
+    /// Depth never decreases when a reuse dependency is added.
+    #[test]
+    fn reuse_never_shrinks_logical_depth(circuit in arb_circuit(5, 14)) {
+        let analysis = ReuseAnalysis::of(&circuit);
+        let d0 = circuit.depth();
+        for pair in analysis.candidate_pairs().into_iter().take(3) {
+            let t = transform::apply(&circuit, &ReusePlan::from_pairs([pair])).unwrap();
+            prop_assert!(t.circuit.depth() >= d0);
+        }
+    }
+
+    /// Both routers always produce hardware-compliant circuits that keep
+    /// the output distribution (over the original clbits) intact.
+    #[test]
+    fn routing_is_sound(circuit in arb_circuit(4, 10)) {
+        let device = Device::mumbai(11);
+        for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
+            let routed = route(&circuit, &device, opts).unwrap();
+            prop_assert!(routed.is_hardware_compliant(&device));
+            let (compact, _) = routed.circuit.compact_qubits();
+            prop_assert!(
+                distributions_match(&circuit, &compact, circuit.num_clbits()),
+                "routing with {opts:?} changed the distribution"
+            );
+        }
+    }
+
+    /// Graph-algorithm invariants on random graphs.
+    #[test]
+    fn coloring_and_matching_invariants(n in 3usize..12, density in 0.1f64..0.7, seed in 0u64..500) {
+        let g = gen::random_graph(n, density, seed);
+        let col = coloring::dsatur(&g);
+        prop_assert!(col.is_proper(&g));
+        prop_assert!(col.num_colors() <= g.max_degree() + 1, "Brooks-style bound");
+        let m = matching::maximum(&g);
+        prop_assert!(m.is_valid(&g));
+        let greedy = matching::greedy_maximal(&g, |_, _| 1);
+        prop_assert!(m.len() >= greedy.len());
+        // Greedy maximal is at least half of maximum.
+        prop_assert!(2 * greedy.len() >= m.len());
+    }
+
+    /// Peephole optimization never changes the output distribution and
+    /// never grows the circuit.
+    #[test]
+    fn peephole_preserves_distribution(circuit in arb_circuit(4, 16)) {
+        let opt = caqr_circuit::optimize::peephole(&circuit);
+        prop_assert!(opt.len() <= circuit.len());
+        prop_assert!(
+            distributions_match(&circuit, &opt, circuit.num_clbits()),
+            "peephole changed semantics"
+        );
+        // Idempotent.
+        let again = caqr_circuit::optimize::peephole(&opt);
+        prop_assert_eq!(again.len(), opt.len());
+    }
+
+    /// TVD is a metric-ish quantity: within [0, 1], zero on identical
+    /// histograms.
+    #[test]
+    fn tvd_bounds(values in proptest::collection::vec(0u64..8, 1..50)) {
+        use caqr_sim::{metrics, Counts};
+        let mut counts = Counts::new(3);
+        for v in &values {
+            counts.record(*v);
+        }
+        prop_assert!(metrics::tvd_counts(&counts, &counts) < 1e-12);
+        let mut other = Counts::new(3);
+        other.record(values[0] ^ 0b111);
+        let d = metrics::tvd_counts(&counts, &other);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+/// Non-proptest regression: mid-circuit measurement bookkeeping through
+/// the whole stack on a hand-built dynamic circuit.
+#[test]
+fn dynamic_circuit_pipeline_regression() {
+    let mut c = Circuit::new(3, 4);
+    c.h(Qubit::new(0));
+    c.cx(Qubit::new(0), Qubit::new(1));
+    c.measure(Qubit::new(0), Clbit::new(0));
+    c.cond_x(Qubit::new(0), Clbit::new(0));
+    c.h(Qubit::new(0));
+    c.cx(Qubit::new(0), Qubit::new(2));
+    c.measure(Qubit::new(0), Clbit::new(3));
+    c.measure(Qubit::new(1), Clbit::new(1));
+    c.measure(Qubit::new(2), Clbit::new(2));
+    assert_eq!(c.mid_circuit_measurement_count(), 1);
+    assert_eq!(c.count_gates(|g| *g == Gate::Measure), 4);
+    let device = Device::mumbai(1);
+    let routed = route(&c, &device, RouterOptions::sr()).unwrap();
+    assert!(routed.is_hardware_compliant(&device));
+    let (compact, _) = routed.circuit.compact_qubits();
+    let da = exact::distribution(&c).unwrap();
+    let db = exact::distribution(&compact).unwrap();
+    let ma: std::collections::BTreeMap<u64, f64> = da.into_iter().collect();
+    let mut mb: std::collections::BTreeMap<u64, f64> = Default::default();
+    for (v, p) in db {
+        *mb.entry(v & 0b1111).or_insert(0.0) += p;
+    }
+    for (v, p) in &ma {
+        assert!((mb.get(v).copied().unwrap_or(0.0) - p).abs() < 1e-9, "{v:04b}");
+    }
+}

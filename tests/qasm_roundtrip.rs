@@ -1,0 +1,60 @@
+//! QASM round-trips for every benchmark circuit: export, re-import, and
+//! verify both structure and exact output distribution survive.
+
+use caqr_benchmarks::{extra, suite};
+use caqr_circuit::qasm;
+use caqr_sim::exact;
+
+fn assert_roundtrip(name: &str, circuit: &caqr_circuit::Circuit) {
+    let text = qasm::to_qasm(circuit);
+    let parsed = qasm::from_qasm(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(parsed.num_qubits(), circuit.num_qubits(), "{name}");
+    assert_eq!(parsed.len(), circuit.len(), "{name}");
+    // Distributions must agree exactly (both are noiseless).
+    if circuit.num_qubits() <= 13 {
+        let a = exact::distribution(circuit).unwrap();
+        let b: std::collections::BTreeMap<u64, f64> =
+            exact::distribution(&parsed).unwrap().into_iter().collect();
+        for (v, p) in a {
+            let got = b.get(&v).copied().unwrap_or(0.0);
+            assert!((got - p).abs() < 1e-9, "{name}: outcome {v:b}");
+        }
+    }
+}
+
+#[test]
+fn regular_suite_round_trips() {
+    for bench in suite::regular_suite() {
+        assert_roundtrip(&bench.name, &bench.circuit);
+    }
+}
+
+#[test]
+fn qaoa_suite_round_trips() {
+    for bench in suite::qaoa_table_suite(3) {
+        // Structure only for the wide ones (handled inside the helper).
+        assert_roundtrip(&bench.name, &bench.circuit);
+    }
+}
+
+#[test]
+fn extra_benchmarks_round_trip() {
+    assert_roundtrip("GHZ_6", &extra::ghz(6).circuit);
+    assert_roundtrip("QFT_5", &extra::qft(5, 0b101).circuit);
+    assert_roundtrip("Mirror", &extra::mirror(5, 3, 7).circuit);
+}
+
+#[test]
+fn transformed_circuits_round_trip() {
+    // Dynamic-circuit output (mid-circuit measure + conditional X) must
+    // survive the text format too.
+    use caqr::qs;
+    use caqr_circuit::depth::UnitDurations;
+    let bench = caqr_benchmarks::bv::bv_all_ones(6);
+    let smallest = qs::regular::sweep(&bench.circuit, &UnitDurations)
+        .pop()
+        .unwrap()
+        .circuit;
+    assert!(smallest.mid_circuit_measurement_count() > 0);
+    assert_roundtrip("BV_6 transformed", &smallest);
+}
