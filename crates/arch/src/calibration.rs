@@ -9,6 +9,7 @@
 //! preserved. All values are drawn deterministically from a seed.
 
 use crate::topology::Topology;
+use caqr_circuit::fingerprint::{Fingerprint, StableHasher};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
@@ -174,6 +175,46 @@ impl Calibration {
     pub fn num_qubits(&self) -> usize {
         self.readout_error.len()
     }
+
+    /// A stable content fingerprint of the full calibration tables.
+    ///
+    /// Folds every per-link and per-qubit value in sorted (BTree) order, so
+    /// two calibrations agree exactly when all their numbers agree bit for
+    /// bit — the device half of the engine's content-addressed cache key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_usize(self.cx_error.len());
+        for (&(u, v), &e) in &self.cx_error {
+            h.write_usize(u);
+            h.write_usize(v);
+            h.write_f64(e);
+        }
+        for (&(u, v), &d) in &self.cx_duration {
+            h.write_usize(u);
+            h.write_usize(v);
+            h.write_u64(d);
+        }
+        for table in [
+            &self.readout_error,
+            &self.sq_error,
+            &self.t1_dt,
+            &self.t2_dt,
+        ] {
+            h.write_usize(table.len());
+            for &x in table.iter() {
+                h.write_f64(x);
+            }
+        }
+        for d in [
+            self.sq_duration,
+            self.measure_duration,
+            self.condx_duration,
+            self.builtin_reset_duration,
+        ] {
+            h.write_u64(d);
+        }
+        h.finish()
+    }
 }
 
 fn median_f64(values: impl Iterator<Item = f64>) -> f64 {
@@ -242,8 +283,7 @@ mod tests {
         assert_eq!(c.measure_plus_reset_duration(), 33_179);
         assert_eq!(c.measure_plus_condx_duration(), 16_467);
         // ~50% reduction, as the paper reports.
-        let ratio =
-            c.measure_plus_condx_duration() as f64 / c.measure_plus_reset_duration() as f64;
+        let ratio = c.measure_plus_condx_duration() as f64 / c.measure_plus_reset_duration() as f64;
         assert!((0.45..0.55).contains(&ratio));
     }
 

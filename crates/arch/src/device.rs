@@ -3,6 +3,7 @@
 use crate::calibration::Calibration;
 use crate::topology::Topology;
 use caqr_circuit::depth::DurationModel;
+use caqr_circuit::fingerprint::{Fingerprint, StableHasher};
 use caqr_circuit::{Gate, Instruction};
 use std::fmt;
 
@@ -85,6 +86,23 @@ impl Device {
     /// constants.
     pub fn duration_model(&self) -> DeviceDurations<'_> {
         DeviceDurations { device: self }
+    }
+
+    /// A stable content fingerprint of this device: topology (name, size,
+    /// sorted edge list) combined with the full calibration tables. Used
+    /// as the device half of the engine's compile-cache key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_str(self.topology.name());
+        h.write_usize(self.topology.num_qubits());
+        let mut edges: Vec<(usize, usize)> = self.topology.edges().collect();
+        edges.sort_unstable();
+        h.write_usize(edges.len());
+        for (u, v) in edges {
+            h.write_usize(u);
+            h.write_usize(v);
+        }
+        h.finish().combine(self.calibration.fingerprint())
     }
 
     /// A [`DurationModel`] for *logical* circuits (no mapping yet): uses
@@ -188,8 +206,14 @@ mod tests {
         c.x(Qubit::new(0));
         c.cond_x(Qubit::new(0), Clbit::new(0));
         let m = d.duration_model();
-        assert_eq!(m.duration(&c.instructions()[0]), d.calibration().sq_duration());
-        assert_eq!(m.duration(&c.instructions()[1]), d.calibration().condx_duration());
+        assert_eq!(
+            m.duration(&c.instructions()[0]),
+            d.calibration().sq_duration()
+        );
+        assert_eq!(
+            m.duration(&c.instructions()[1]),
+            d.calibration().condx_duration()
+        );
     }
 
     #[test]
@@ -216,5 +240,22 @@ mod tests {
         let t27 = Topology::heavy_hex_falcon27();
         let cal = Calibration::synthetic(&t27, 0);
         Device::new(Topology::line(5), cal);
+    }
+
+    #[test]
+    fn fingerprint_tracks_identity() {
+        // Same topology + seed => same fingerprint.
+        assert_eq!(
+            Device::mumbai(7).fingerprint(),
+            Device::mumbai(7).fingerprint()
+        );
+        // Calibration seed changes it.
+        assert_ne!(
+            Device::mumbai(7).fingerprint(),
+            Device::mumbai(8).fingerprint()
+        );
+        // Topology changes it even under the same seed.
+        let line = Device::with_synthetic_calibration(Topology::line(27), 7);
+        assert_ne!(Device::mumbai(7).fingerprint(), line.fingerprint());
     }
 }

@@ -1,0 +1,101 @@
+//! Criterion benches of the batch-compilation engine: sequential vs pooled
+//! execution, and cold vs warm compile cache.
+//!
+//! On a single-core container the pooled numbers will track the sequential
+//! ones; on a multicore host the `pooled_*` benches show the worker-pool
+//! speedup and `warm_cache` shows the content-addressed cache turning
+//! repeat compiles into lookups.
+
+use caqr::Strategy;
+use caqr_benchmarks::suite;
+use caqr_engine::{BatchOptions, BatchRequest, CompileJob, Engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// The regular suite crossed with two strategies — a realistic experiment
+/// batch (14 jobs, mixed sizes).
+fn batch_jobs() -> Vec<CompileJob> {
+    let mut jobs = Vec::new();
+    for bench in suite::regular_suite() {
+        let device = caqr_bench::device_for(bench.circuit.num_qubits());
+        for strategy in [Strategy::Baseline, Strategy::Sr] {
+            jobs.push(CompileJob::new(
+                bench.name.clone(),
+                bench.circuit.clone(),
+                device.clone(),
+                strategy,
+            ));
+        }
+    }
+    jobs
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_pool");
+    group.sample_size(10);
+    let jobs = batch_jobs();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let request =
+                        BatchRequest::new(black_box(jobs.clone())).with_options(BatchOptions {
+                            workers,
+                            cache_capacity: 0,
+                        });
+                    black_box(Engine::run(&request))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+    // The same suite twice over: the second half is pure cache hits when
+    // caching is on, full recompiles when it is off.
+    let doubled: Vec<CompileJob> = batch_jobs().into_iter().chain(batch_jobs()).collect();
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let request =
+                BatchRequest::new(black_box(doubled.clone())).with_options(BatchOptions {
+                    workers: 1,
+                    cache_capacity: 0,
+                });
+            black_box(Engine::run(&request))
+        })
+    });
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let request =
+                BatchRequest::new(black_box(doubled.clone())).with_options(BatchOptions {
+                    workers: 1,
+                    cache_capacity: 64,
+                });
+            black_box(Engine::run(&request))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_fingerprint");
+    for bench in [
+        suite::by_name("bv_10", 1).unwrap(),
+        suite::by_name("multiply_13", 1).unwrap(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&bench.name),
+            &bench.circuit,
+            |b, circuit| b.iter(|| black_box(black_box(circuit).fingerprint())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_scaling, bench_cache, bench_fingerprint);
+criterion_main!(benches);

@@ -106,9 +106,8 @@ fn bench_transform_and_width(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("transform");
     let circuit = bv::bv_all_ones(16).circuit;
-    let plan = ReusePlan::from_pairs(
-        (0..10).map(|i| ReusePair::new(Qubit::new(i), Qubit::new(i + 1))),
-    );
+    let plan =
+        ReusePlan::from_pairs((0..10).map(|i| ReusePair::new(Qubit::new(i), Qubit::new(i + 1))));
     group.bench_function("apply_10_pairs_bv16", |b| {
         b.iter(|| black_box(transform::apply(black_box(&circuit), &plan)))
     });

@@ -5,8 +5,8 @@
 //! differ from the depth pick — typically favoring slightly deeper
 //! circuits that avoid bad links or long idles.
 
-use caqr::{compile, Strategy};
-use caqr_bench::{device_for, format_dt, Table};
+use caqr::Strategy;
+use caqr_bench::{compile_grid, format_dt, Table};
 use caqr_benchmarks::suite;
 
 fn main() {
@@ -17,10 +17,10 @@ fn main() {
         "max-esp (q/depth/dur/esp)",
         "same pick?",
     ]);
-    for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
-        let device = device_for(bench.circuit.num_qubits());
-        let d = compile(&bench.circuit, &device, Strategy::QsMinDepth);
-        let e = compile(&bench.circuit, &device, Strategy::QsMaxEsp);
+    let benches = suite::full_table_suite(caqr_bench::EXPERIMENT_SEED);
+    let grid = compile_grid(&benches, &[Strategy::QsMinDepth, Strategy::QsMaxEsp]);
+    for (bench, row) in benches.iter().zip(grid) {
+        let [d, e] = <[_; 2]>::try_from(row).expect("two strategies");
         match (d, e) {
             (Ok(d), Ok(e)) => {
                 let fmt = |r: &caqr::CompileReport| {

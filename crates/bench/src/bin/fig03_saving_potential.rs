@@ -29,7 +29,10 @@ fn sweep_for(kind: GraphKind, label: &str) {
         t.row(&[
             p.qubits.to_string(),
             p.depth().to_string(),
-            format!("{:+.1}%", 100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)
+            ),
             format!("{:.1}%", 100.0 * (1.0 - p.qubits as f64 / 64.0)),
         ]);
     }
@@ -37,8 +40,10 @@ fn sweep_for(kind: GraphKind, label: &str) {
 
     // The paper's headline claims.
     let min_qubits = points.last().map(|p| p.qubits).unwrap_or(64);
-    println!("minimum qubits reached: {min_qubits} (saving {:.0}%)",
-        100.0 * (1.0 - min_qubits as f64 / 64.0));
+    println!(
+        "minimum qubits reached: {min_qubits} (saving {:.0}%)",
+        100.0 * (1.0 - min_qubits as f64 / 64.0)
+    );
     if let Some(p80) = points.iter().rev().find(|p| p.qubits as f64 <= 64.0 * 0.2) {
         println!(
             ">=80% saving point: {} qubits at {:+.1}% depth",
@@ -73,7 +78,10 @@ fn sweep_sparse_scale_free() {
         t.row(&[
             p.qubits.to_string(),
             p.depth().to_string(),
-            format!("{:+.1}%", 100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)
+            ),
             format!("{:.1}%", 100.0 * (1.0 - p.qubits as f64 / 64.0)),
         ]);
     }

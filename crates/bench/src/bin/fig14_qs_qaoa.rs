@@ -33,7 +33,10 @@ fn sweep(n: usize, kind: GraphKind, label: &str) {
         t.row(&[
             p.qubits.to_string(),
             p.depth().to_string(),
-            format!("{:+.1}%", 100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (p.depth() as f64 / base_depth as f64 - 1.0)
+            ),
             format!("{:.1}%", 100.0 * (1.0 - p.qubits as f64 / n as f64)),
         ]);
     }

@@ -18,7 +18,14 @@ fn main() {
     println!("§3.4 — pass overheads (wall clock, release build)\n");
 
     println!("regular path (BV_n):");
-    let mut t = Table::new(&["n", "gates", "analysis ms", "qs sweep ms", "sr ms", "baseline ms"]);
+    let mut t = Table::new(&[
+        "n",
+        "gates",
+        "analysis ms",
+        "qs sweep ms",
+        "sr ms",
+        "baseline ms",
+    ]);
     for n in [8usize, 12, 16, 20] {
         let bench = bv::bv_all_ones(n);
         let device = device_for(n);

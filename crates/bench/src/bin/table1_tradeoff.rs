@@ -1,18 +1,25 @@
 //! Table 1: the QS-CaQR trade-off — baseline vs maximal reuse vs minimal
 //! depth, reporting qubits / depth / duration / SWAPs for the full suite
 //! (seven regular applications + QAOA{5,10,15,20,25}-0.3).
+//!
+//! All `suite x strategy` compiles run through the batch engine (worker
+//! pool + compile cache); the printed numbers are identical to sequential
+//! per-circuit compilation.
 
-use caqr::{compile, Strategy};
-use caqr_bench::{device_for, format_dt, Table};
+use caqr::Strategy;
+use caqr_bench::{compile_grid, format_dt, Table};
 use caqr_benchmarks::suite;
 
 fn main() {
     println!("Table 1 — QS-CaQR versions vs baseline\n");
-    for strategy in [
+    let strategies = [
         Strategy::Baseline,
         Strategy::QsMaxReuse,
         Strategy::QsMinDepth,
-    ] {
+    ];
+    let benches = suite::full_table_suite(caqr_bench::EXPERIMENT_SEED);
+    let grid = compile_grid(&benches, &strategies);
+    for (column, strategy) in strategies.iter().enumerate() {
         let title = match strategy {
             Strategy::Baseline => "Baseline (No Reuse)",
             Strategy::QsMaxReuse => "Ours with Maximal Reuse",
@@ -21,9 +28,8 @@ fn main() {
         };
         println!("{title}:");
         let mut t = Table::new(&["benchmark", "qubit", "depth", "duration", "SWAP"]);
-        for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
-            let device = device_for(bench.circuit.num_qubits());
-            match compile(&bench.circuit, &device, strategy) {
+        for (bench, row) in benches.iter().zip(&grid) {
+            match &row[column] {
                 Ok(report) => t.row(&[
                     bench.name.clone(),
                     report.qubits.to_string(),

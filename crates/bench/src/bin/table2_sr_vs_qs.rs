@@ -3,9 +3,12 @@
 //!
 //! Expected shape: SR-CaQR matches or beats the best QS sweep point on
 //! SWAPs everywhere, with the gap widening on the larger QAOA instances.
+//!
+//! Both strategies for every benchmark run through the batch engine in one
+//! request; printed numbers match sequential compilation.
 
-use caqr::{compile, Strategy};
-use caqr_bench::{device_for, format_dt, Table};
+use caqr::Strategy;
+use caqr_bench::{compile_grid, format_dt, Table};
 use caqr_benchmarks::suite;
 
 fn main() {
@@ -18,11 +21,10 @@ fn main() {
         "SR duration",
         "SR qubits",
     ]);
-    for bench in suite::full_table_suite(caqr_bench::EXPERIMENT_SEED) {
-        let device = device_for(bench.circuit.num_qubits());
-        let qs = compile(&bench.circuit, &device, Strategy::QsMinSwap);
-        let sr = compile(&bench.circuit, &device, Strategy::Sr);
-        match (qs, sr) {
+    let benches = suite::full_table_suite(caqr_bench::EXPERIMENT_SEED);
+    let grid = compile_grid(&benches, &[Strategy::QsMinSwap, Strategy::Sr]);
+    for (bench, row) in benches.iter().zip(&grid) {
+        match (&row[0], &row[1]) {
             (Ok(qs), Ok(sr)) => t.row(&[
                 bench.name.clone(),
                 qs.swaps.to_string(),
@@ -33,9 +35,13 @@ fn main() {
             ]),
             (qs, sr) => t.row(&[
                 bench.name.clone(),
-                qs.map(|r| r.swaps.to_string()).unwrap_or_else(|e| e.to_string()),
+                qs.as_ref()
+                    .map(|r| r.swaps.to_string())
+                    .unwrap_or_else(|e| e.clone()),
                 String::new(),
-                sr.map(|r| r.swaps.to_string()).unwrap_or_else(|e| e.to_string()),
+                sr.as_ref()
+                    .map(|r| r.swaps.to_string())
+                    .unwrap_or_else(|e| e.clone()),
                 String::new(),
                 String::new(),
             ]),

@@ -70,5 +70,7 @@ fn main() {
     run(&revlib::cc_10(), &device, &mut t);
     run(&revlib::cc_13(), &device, &mut t);
     t.print();
-    println!("\npaper: Multiply_13 0.76 -> 0.61, BV_10 0.64 -> 0.48, CC_10 0.61 -> 0.44 (~17% avg)");
+    println!(
+        "\npaper: Multiply_13 0.76 -> 0.61, BV_10 0.64 -> 0.48, CC_10 0.61 -> 0.44 (~17% avg)"
+    );
 }

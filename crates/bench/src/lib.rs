@@ -10,7 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use caqr::Strategy;
 use caqr_arch::Device;
+use caqr_benchmarks::Benchmark;
+use caqr_engine::{BatchRequest, CompileJob, Engine};
 
 /// The seed every experiment binary uses unless it sweeps seeds — keeps
 /// printed numbers reproducible run to run.
@@ -29,6 +32,46 @@ pub fn device_for(n: usize) -> Device {
     } else {
         Device::scaled_heavy_hex(n, EXPERIMENT_SEED)
     }
+}
+
+/// Compiles every `benchmark x strategy` pair through the batch engine
+/// (worker pool + content-addressed compile cache) and returns the reports
+/// as a grid: one row per benchmark, one column per strategy, in input
+/// order. Errors are stringified so table binaries can print them inline.
+///
+/// Each benchmark is compiled on [`device_for`] its width, exactly as the
+/// sequential table binaries did — the engine only changes *how* the work
+/// runs (pooled, cached, instrumented), never the numbers.
+pub fn compile_grid(
+    benches: &[Benchmark],
+    strategies: &[Strategy],
+) -> Vec<Vec<Result<caqr::CompileReport, String>>> {
+    let mut jobs = Vec::with_capacity(benches.len() * strategies.len());
+    for bench in benches {
+        let device = device_for(bench.circuit.num_qubits());
+        for &strategy in strategies {
+            jobs.push(CompileJob::new(
+                bench.name.clone(),
+                bench.circuit.clone(),
+                device.clone(),
+                strategy,
+            ));
+        }
+    }
+    let report = Engine::run(&BatchRequest::new(jobs));
+    let mut results = report.results.into_iter();
+    benches
+        .iter()
+        .map(|_| {
+            strategies
+                .iter()
+                .map(|_| match results.next().expect("one result per job") {
+                    Ok(outcome) => Ok(outcome.report),
+                    Err(failed) => Err(failed.error.to_string()),
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// A minimal fixed-width table printer for harness output.
@@ -137,5 +180,25 @@ mod tests {
     fn device_for_sizes() {
         assert_eq!(device_for(10).num_qubits(), 27);
         assert!(device_for(64).num_qubits() >= 64);
+    }
+
+    #[test]
+    fn compile_grid_matches_direct_compiles() {
+        let benches = vec![caqr_benchmarks::bv::bv_all_ones(4)];
+        let strategies = [Strategy::Baseline, Strategy::Sr];
+        let grid = compile_grid(&benches, &strategies);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].len(), 2);
+        for (strategy, cell) in strategies.iter().zip(&grid[0]) {
+            let direct = caqr::compile(
+                &benches[0].circuit,
+                &device_for(benches[0].circuit.num_qubits()),
+                *strategy,
+            )
+            .expect("fits");
+            let batched = cell.as_ref().expect("fits");
+            assert_eq!(batched.circuit, direct.circuit);
+            assert_eq!(batched.swaps, direct.swaps);
+        }
     }
 }

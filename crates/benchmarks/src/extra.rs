@@ -156,5 +156,4 @@ mod tests {
         let g = caqr_circuit::interaction::interaction_graph(&b.circuit);
         assert_eq!(g.num_edges(), 10, "K5");
     }
-
 }

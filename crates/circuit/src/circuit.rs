@@ -1,5 +1,6 @@
 //! Circuits, instructions, and the qubit/clbit index newtypes.
 
+use crate::fingerprint::{Fingerprint, StableHasher};
 use crate::gate::Gate;
 use std::fmt;
 
@@ -371,7 +372,10 @@ impl Circuit {
         for (idx, instr) in self.instrs.iter().enumerate() {
             if instr.gate == Gate::Measure {
                 let q = instr.qubits[0];
-                if self.instrs[idx + 1..].iter().any(|later| later.uses_qubit(q)) {
+                if self.instrs[idx + 1..]
+                    .iter()
+                    .any(|later| later.uses_qubit(q))
+                {
                     count += 1;
                 }
             }
@@ -454,6 +458,65 @@ impl Circuit {
     /// Counts instructions whose gate satisfies `pred`.
     pub fn count_gates(&self, mut pred: impl FnMut(&Gate) -> bool) -> usize {
         self.instrs.iter().filter(|i| pred(&i.gate)).count()
+    }
+
+    /// A stable 128-bit content fingerprint of this circuit.
+    ///
+    /// Covers the register sizes and every instruction in program order:
+    /// gate mnemonic, exact angle bit patterns, operand qubits, classical
+    /// destination, and classical condition. Two circuits built through
+    /// the same sequence of instructions always agree; any semantic
+    /// difference (gate, order, operand, angle, register width) produces a
+    /// different fingerprint. The value is independent of process,
+    /// platform, and release — suitable as a content-addressed cache key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caqr_circuit::{Circuit, Qubit};
+    ///
+    /// let mut a = Circuit::new(2, 0);
+    /// a.h(Qubit::new(0));
+    /// let mut b = Circuit::new(2, 0);
+    /// b.h(Qubit::new(0));
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// b.h(Qubit::new(1));
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_usize(self.num_qubits);
+        h.write_usize(self.num_clbits);
+        h.write_usize(self.instrs.len());
+        for instr in &self.instrs {
+            h.write_str(instr.gate.name());
+            if let Gate::U(theta, phi, lambda) = instr.gate {
+                h.write_f64(theta);
+                h.write_f64(phi);
+                h.write_f64(lambda);
+            } else if let Some(angle) = instr.gate.angle() {
+                h.write_f64(angle);
+            }
+            h.write_usize(instr.qubits.len());
+            for q in &instr.qubits {
+                h.write_u32(q.index() as u32);
+            }
+            match instr.clbit {
+                Some(c) => {
+                    h.write_u8(1);
+                    h.write_u32(c.index() as u32);
+                }
+                None => h.write_u8(0),
+            }
+            match instr.condition {
+                Some(c) => {
+                    h.write_u8(1);
+                    h.write_u32(c.index() as u32);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        h.finish()
     }
 
     /// The adjoint circuit: gates inverted, order reversed. Returns `None`
@@ -759,6 +822,60 @@ mod tests {
         let (compacted, mapping) = circ.compact_qubits();
         assert_eq!(compacted, circ);
         assert_eq!(mapping, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_rebuilds() {
+        let build = || {
+            let mut circ = Circuit::new(3, 3);
+            circ.h(q(0));
+            circ.cx(q(0), q(1));
+            circ.rz(0.25, q(2));
+            circ.measure_and_reset(q(1), c(1));
+            circ
+        };
+        assert_eq!(build().fingerprint(), build().fingerprint());
+        assert_eq!(build().fingerprint(), build().clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_semantics() {
+        let mut base = Circuit::new(3, 3);
+        base.h(q(0));
+        base.cx(q(0), q(1));
+        let fp = base.fingerprint();
+
+        // Different operand.
+        let mut other = Circuit::new(3, 3);
+        other.h(q(0));
+        other.cx(q(0), q(2));
+        assert_ne!(fp, other.fingerprint());
+
+        // Different gate order.
+        let mut reordered = Circuit::new(3, 3);
+        reordered.cx(q(0), q(1));
+        reordered.h(q(0));
+        assert_ne!(fp, reordered.fingerprint());
+
+        // Different register width, same instructions.
+        let mut wider = Circuit::new(4, 3);
+        wider.h(q(0));
+        wider.cx(q(0), q(1));
+        assert_ne!(fp, wider.fingerprint());
+
+        // Different angle bits.
+        let mut a = Circuit::new(1, 0);
+        a.rz(0.5, q(0));
+        let mut b = Circuit::new(1, 0);
+        b.rz(0.5 + f64::EPSILON, q(0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Conditioned vs unconditioned X.
+        let mut plain = Circuit::new(1, 1);
+        plain.x(q(0));
+        let mut conditioned = Circuit::new(1, 1);
+        conditioned.cond_x(q(0), c(0));
+        assert_ne!(plain.fingerprint(), conditioned.fingerprint());
     }
 
     #[test]

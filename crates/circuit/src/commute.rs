@@ -97,8 +97,14 @@ mod tests {
 
     #[test]
     fn diagonal_gates_commute_on_shared_qubits() {
-        assert!(commutes(&gi(Gate::Cp(0.5), &[0, 1]), &gi(Gate::Cp(0.9), &[1, 2])));
-        assert!(commutes(&gi(Gate::Rzz(0.5), &[0, 1]), &gi(Gate::Rz(0.2), &[0])));
+        assert!(commutes(
+            &gi(Gate::Cp(0.5), &[0, 1]),
+            &gi(Gate::Cp(0.9), &[1, 2])
+        ));
+        assert!(commutes(
+            &gi(Gate::Rzz(0.5), &[0, 1]),
+            &gi(Gate::Rz(0.2), &[0])
+        ));
         assert!(commutes(&gi(Gate::Cz, &[0, 1]), &gi(Gate::Cz, &[0, 1])));
     }
 
@@ -106,7 +112,10 @@ mod tests {
     fn non_commuting_pairs() {
         assert!(!commutes(&gi(Gate::H, &[0]), &gi(Gate::X, &[0])));
         assert!(!commutes(&gi(Gate::Cx, &[0, 1]), &gi(Gate::Cx, &[1, 0])));
-        assert!(!commutes(&gi(Gate::Rz(0.3), &[0]), &gi(Gate::Rx(0.3), &[0])));
+        assert!(!commutes(
+            &gi(Gate::Rz(0.3), &[0]),
+            &gi(Gate::Rx(0.3), &[0])
+        ));
     }
 
     #[test]

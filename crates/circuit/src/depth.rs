@@ -55,7 +55,11 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics if `dag` was not built from `circuit` or any duration is zero.
-    pub fn asap_with_dag(circuit: &Circuit, dag: &CircuitDag, durations: &impl DurationModel) -> Self {
+    pub fn asap_with_dag(
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        durations: &impl DurationModel,
+    ) -> Self {
         assert_eq!(dag.len(), circuit.len(), "DAG does not match circuit");
         let weights: Vec<u64> = circuit
             .iter()
@@ -66,11 +70,7 @@ impl Schedule {
             })
             .collect();
         let finish = dag.longest_path_to(&weights);
-        let start: Vec<u64> = finish
-            .iter()
-            .zip(&weights)
-            .map(|(f, w)| f - w)
-            .collect();
+        let start: Vec<u64> = finish.iter().zip(&weights).map(|(f, w)| f - w).collect();
         let makespan = finish.iter().copied().max().unwrap_or(0);
         Schedule {
             start,
@@ -100,7 +100,11 @@ impl Schedule {
         let makespan = dag.weighted_critical_path(&weights);
         // Longest path from each node (inclusive) gives its latest finish.
         let from = dag.longest_path_from(&weights);
-        let finish: Vec<u64> = from.iter().zip(&weights).map(|(f, w)| makespan - (f - w)).collect();
+        let finish: Vec<u64> = from
+            .iter()
+            .zip(&weights)
+            .map(|(f, w)| makespan - (f - w))
+            .collect();
         let start: Vec<u64> = finish.iter().zip(&weights).map(|(f, w)| f - w).collect();
         Schedule {
             start,

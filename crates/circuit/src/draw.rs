@@ -48,8 +48,8 @@ pub fn to_ascii(circuit: &Circuit) -> String {
                     let (la, lb) = label_2q(&instr.gate);
                     cell[a][col] = la;
                     cell[b][col] = lb;
-                    for r in a.min(b) + 1..a.max(b) {
-                        connect[r][col] = true;
+                    for row in &mut connect[a.min(b) + 1..a.max(b)] {
+                        row[col] = true;
                     }
                 }
                 _ => unreachable!("gates have 1 or 2 qubits"),
@@ -59,13 +59,7 @@ pub fn to_ascii(circuit: &Circuit) -> String {
 
     // Column widths.
     let width: Vec<usize> = (0..cols.len())
-        .map(|c| {
-            (0..n)
-                .map(|q| cell[q][c].len())
-                .max()
-                .unwrap_or(1)
-                .max(1)
-        })
+        .map(|c| (0..n).map(|q| cell[q][c].len()).max().unwrap_or(1).max(1))
         .collect();
 
     let mut out = String::new();
@@ -163,7 +157,7 @@ mod tests {
         let art = to_ascii(&c);
         // One layer only: each row has exactly one gate label.
         for line in art.lines() {
-            let labels = line.matches(|ch: char| ch == 'H' || ch == 'X').count();
+            let labels = line.matches(['H', 'X']).count();
             assert_eq!(labels, 1);
         }
     }

@@ -1,0 +1,194 @@
+//! Stable content-addressed fingerprints.
+//!
+//! The batch-compilation engine caches compile results under a key derived
+//! from the circuit, the device calibration, and the strategy. That key
+//! must be *stable*: identical across runs, processes, platforms, and
+//! releases — which rules out `std::hash` (SipHash keys are an
+//! implementation detail) and anything derived from memory layout. This
+//! module provides a 128-bit FNV-1a hasher with explicit, canonical
+//! encodings for the primitive types the IR is made of, plus the
+//! [`Fingerprint`] value it produces.
+
+use std::fmt;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit stable content hash.
+///
+/// Displayed as 32 hex digits. The width makes accidental collisions
+/// across realistic workloads (thousands of circuits) negligible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// A shortened 64-bit form (upper XOR lower half), for compact display.
+    pub fn short(self) -> u64 {
+        (self.0 >> 64) as u64 ^ self.0 as u64
+    }
+
+    /// Mixes another fingerprint in, producing a combined key.
+    ///
+    /// Non-commutative (order matters), so `a.combine(b) != b.combine(a)`.
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u128(self.0);
+        h.write_u128(other.0);
+        h.finish()
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// An FNV-1a 128-bit hasher with canonical encodings.
+///
+/// All multi-byte values are folded in little-endian; floats hash their
+/// IEEE-754 bit patterns (so `-0.0` and `0.0` differ, and `NaN` payloads
+/// are honored — canonicalization beyond that is the caller's job).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Folds a `u8` in.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Folds a `u32` in (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` in (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u128` in (little-endian).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` in, widened to 64 bits so 32- and 64-bit platforms
+    /// agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` in via its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string in, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hash_is_offset_basis() {
+        assert_eq!(StableHasher::new().finish().as_u128(), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a 128 of "a" = offset ^ 'a' then * prime.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        let expected = (FNV128_OFFSET ^ b'a' as u128).wrapping_mul(FNV128_PRIME);
+        assert_eq!(h.finish().as_u128(), expected);
+    }
+
+    #[test]
+    fn stable_across_instances() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        for h in [&mut a, &mut b] {
+            h.write_u64(42);
+            h.write_f64(0.25);
+            h.write_str("cx");
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let mut a = StableHasher::new();
+        a.write_u8(1);
+        a.write_u8(2);
+        let mut b = StableHasher::new();
+        b.write_u8(2);
+        b.write_u8(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collision() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let x = Fingerprint(1);
+        let y = Fingerprint(2);
+        assert_ne!(x.combine(y), y.combine(x));
+        assert_eq!(x.combine(y), x.combine(y));
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let s = Fingerprint(0xdead_beef).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.ends_with("deadbeef"));
+        let _ = Fingerprint(0xdead_beef).short();
+    }
+}

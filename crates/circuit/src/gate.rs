@@ -134,7 +134,11 @@ impl Gate {
     /// The rotation angle for parameterized gates.
     pub fn angle(&self) -> Option<f64> {
         match self {
-            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) | Gate::Cp(a)
+            Gate::Rx(a)
+            | Gate::Ry(a)
+            | Gate::Rz(a)
+            | Gate::Phase(a)
+            | Gate::Cp(a)
             | Gate::Rzz(a) => Some(*a),
             _ => None,
         }

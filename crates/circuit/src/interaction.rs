@@ -53,9 +53,9 @@ pub fn interaction_weights(circuit: &Circuit) -> std::collections::BTreeMap<(usi
 /// paper's Condition 1 test (a qubit cannot be reused by a qubit it
 /// interacts with).
 pub fn qubits_interact(circuit: &Circuit, a: Qubit, b: Qubit) -> bool {
-    circuit.iter().any(|instr| {
-        instr.is_two_qubit() && instr.uses_qubit(a) && instr.uses_qubit(b)
-    })
+    circuit
+        .iter()
+        .any(|instr| instr.is_two_qubit() && instr.uses_qubit(a) && instr.uses_qubit(b))
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ pub mod commute;
 pub mod dag;
 pub mod depth;
 pub mod draw;
+pub mod fingerprint;
 pub mod interaction;
 pub mod optimize;
 pub mod qasm;
@@ -58,4 +59,5 @@ mod gate;
 
 pub use circuit::{Circuit, Clbit, Instruction, Qubit};
 pub use dag::CircuitDag;
+pub use fingerprint::Fingerprint;
 pub use gate::Gate;

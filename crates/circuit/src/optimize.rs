@@ -64,9 +64,8 @@ fn pass(circuit: &Circuit) -> (Circuit, bool) {
             if let Some(pi) = prev {
                 if let Some(prev_instr) = slots[pi].clone() {
                     let same_operands = prev_instr.qubits == instr.qubits;
-                    let symmetric_match = instr.gate.is_symmetric()
-                        && prev_instr.gate.is_symmetric()
-                        && {
+                    let symmetric_match =
+                        instr.gate.is_symmetric() && prev_instr.gate.is_symmetric() && {
                             let mut a = prev_instr.qubits.clone();
                             let mut b = instr.qubits.clone();
                             a.sort();
@@ -87,10 +86,7 @@ fn pass(circuit: &Circuit) -> (Circuit, bool) {
                                     }
                                 }
                                 Some(gate) => {
-                                    slots[pi] = Some(Instruction {
-                                        gate,
-                                        ..prev_instr
-                                    });
+                                    slots[pi] = Some(Instruction { gate, ..prev_instr });
                                 }
                             }
                             continue;
@@ -131,7 +127,9 @@ fn combine(first: &Gate, second: &Gate, same_order: bool) -> Option<Option<Gate>
         (Gate::Cz, Gate::Cz) | (Gate::Swap, Gate::Swap) => cancels(None),
         (Gate::Cx, Gate::Cx) if same_order => cancels(None),
         // Inverse pairs.
-        (Gate::S, Gate::Sdg) | (Gate::Sdg, Gate::S) | (Gate::T, Gate::Tdg)
+        (Gate::S, Gate::Sdg)
+        | (Gate::Sdg, Gate::S)
+        | (Gate::T, Gate::Tdg)
         | (Gate::Tdg, Gate::T) => cancels(None),
         // Rotation merging (same axis).
         (Gate::Rx(a), Gate::Rx(b)) => merged(Gate::Rx(a + b), (a + b).abs() < EPS),

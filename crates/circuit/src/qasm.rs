@@ -85,7 +85,11 @@ impl ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -185,8 +189,7 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                     .ok_or_else(|| ParseQasmError::new(lineno, "unterminated angle"))?;
                 let angles: Result<Vec<f64>, _> =
                     a.split(',').map(|s| s.trim().parse::<f64>()).collect();
-                let angles =
-                    angles.map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
+                let angles = angles.map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
                 (n, angles)
             }
             None => (head, Vec::new()),
@@ -345,7 +348,10 @@ mod tests {
             ref g => panic!("expected U, got {g}"),
         }
         // Qiskit legacy spellings.
-        let c = from_qasm("qreg q[1];\nu1(0.5) q[0];\nu2(0.1,0.2) q[0];\nu3(1.0,2.0,3.0) q[0];\nid q[0];").unwrap();
+        let c = from_qasm(
+            "qreg q[1];\nu1(0.5) q[0];\nu2(0.1,0.2) q[0];\nu3(1.0,2.0,3.0) q[0];\nid q[0];",
+        )
+        .unwrap();
         assert_eq!(c.len(), 4);
         assert!(matches!(c.instructions()[0].gate, Gate::Phase(_)));
         assert!(matches!(c.instructions()[1].gate, Gate::U(..)));
@@ -362,7 +368,8 @@ mod tests {
 
     #[test]
     fn gate_definitions_are_skipped() {
-        let text = "OPENQASM 2.0;\nqreg q[2];\ngate mygate a, b {\n  cx a, b;\n  h a;\n}\nh q[0];\n";
+        let text =
+            "OPENQASM 2.0;\nqreg q[2];\ngate mygate a, b {\n  cx a, b;\n  h a;\n}\nh q[0];\n";
         let c = from_qasm(text).unwrap();
         assert_eq!(c.len(), 1);
         // One-line definitions too.

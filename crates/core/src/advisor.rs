@@ -149,11 +149,7 @@ fn lifetime_slack(circuit: &Circuit) -> f64 {
     if active.is_empty() {
         return 0.0;
     }
-    active
-        .iter()
-        .map(|&f| 1.0 - f as f64 / total)
-        .sum::<f64>()
-        / active.len() as f64
+    active.iter().map(|&f| 1.0 - f as f64 / total).sum::<f64>() / active.len() as f64
 }
 
 #[cfg(test)]

@@ -89,8 +89,7 @@ impl CommutingSpec {
                         return Err(NotCommutingError::new(format!("q{q} measured twice")));
                     }
                     phase[q] = Phase::Measured;
-                    spec.measure_clbit[q] =
-                        Some(instr.clbit.expect("measure has a clbit").index());
+                    spec.measure_clbit[q] = Some(instr.clbit.expect("measure has a clbit").index());
                 }
                 g if g.is_two_qubit() => {
                     if !g.is_diagonal() {
@@ -225,7 +224,11 @@ pub enum Matcher {
 /// Per round: gates blocked by unresolved reuse dependencies are removed
 /// (Step 2), edges touching a pending donor get priority weight (`|E|`),
 /// and a maximum matching selects the round's gates (Step 3).
-pub fn schedule(spec: &CommutingSpec, pairs: &[ReusePair], matcher: Matcher) -> Option<Vec<Vec<usize>>> {
+pub fn schedule(
+    spec: &CommutingSpec,
+    pairs: &[ReusePair],
+    matcher: Matcher,
+) -> Option<Vec<Vec<usize>>> {
     let n = spec.num_qubits();
     let mut donor_of: Vec<Option<usize>> = vec![None; n];
     let mut is_donor = vec![false; n];
@@ -285,8 +288,7 @@ pub fn schedule(spec: &CommutingSpec, pairs: &[ReusePair], matcher: Matcher) -> 
         }
         // Step 3: priority maximum matching. Priority edges touch a donor
         // that still has gates (finishing them unblocks a reuse).
-        let is_priority =
-            |u: usize, v: usize| -> bool { is_donor[u] || is_donor[v] };
+        let is_priority = |u: usize, v: usize| -> bool { is_donor[u] || is_donor[v] };
         let matched = match matcher {
             Matcher::Blossom => matching::priority_maximum(&g, is_priority),
             Matcher::Greedy => matching::greedy_maximal(&g, |u, v| {
@@ -347,17 +349,15 @@ fn live_pairs_with(spec: &CommutingSpec, finish_bias: bool) -> Vec<ReusePair> {
     let mut pool: Vec<usize> = Vec::new(); // retired qubits with reusable wires
     let mut pairs: Vec<ReusePair> = Vec::new();
 
-    let activate = |q: usize,
-                        alive: &mut Vec<bool>,
-                        pool: &mut Vec<usize>,
-                        pairs: &mut Vec<ReusePair>| {
-        if !alive[q] {
-            alive[q] = true;
-            if let Some(donor) = pool.pop() {
-                pairs.push(ReusePair::new(Qubit::new(donor), Qubit::new(q)));
+    let activate =
+        |q: usize, alive: &mut Vec<bool>, pool: &mut Vec<usize>, pairs: &mut Vec<ReusePair>| {
+            if !alive[q] {
+                alive[q] = true;
+                if let Some(donor) = pool.pop() {
+                    pairs.push(ReusePair::new(Qubit::new(donor), Qubit::new(q)));
+                }
             }
-        }
-    };
+        };
 
     while !unscheduled.is_empty() {
         // Pick the cheapest edge: fewest activations, most retirements,
@@ -377,8 +377,7 @@ fn live_pairs_with(spec: &CommutingSpec, finish_bias: bool) -> Vec<ReusePair> {
                 let (a, b, _) = spec.edges()[ei];
                 let on_focus = focus.is_some_and(|f| a == f || b == f);
                 let activations = usize::from(!alive[a]) + usize::from(!alive[b]);
-                let retirements =
-                    usize::from(remaining[a] == 1) + usize::from(remaining[b] == 1);
+                let retirements = usize::from(remaining[a] == 1) + usize::from(remaining[b] == 1);
                 let load = remaining[a] + remaining[b];
                 (
                     std::cmp::Reverse(on_focus),
@@ -436,14 +435,14 @@ pub fn emit(
     let mut wire_index: Vec<Option<usize>> = vec![None; n];
     let mut num_wires = 0;
     let mut wire_of = vec![0usize; n];
-    for q in 0..n {
+    for (q, wire) in wire_of.iter_mut().enumerate() {
         let r = root(q);
         let w = *wire_index[r].get_or_insert_with(|| {
             let w = num_wires;
             num_wires += 1;
             w
         });
-        wire_of[q] = w;
+        *wire = w;
     }
 
     // Classical bits: measured qubits keep theirs; unmeasured donors get
@@ -457,9 +456,7 @@ pub fn emit(
         .unwrap_or(0);
     let reset_clbit: Vec<Option<usize>> = (0..n)
         .map(|q| {
-            if receiver_of[q].is_none() {
-                return None;
-            }
+            receiver_of[q]?;
             Some(match spec.measure_clbit[q] {
                 Some(c) => c,
                 None => {
@@ -481,6 +478,7 @@ pub fn emit(
     }
 
     // Recursively (iteratively) start a qubit: donors must finish first.
+    #[allow(clippy::too_many_arguments)]
     fn start(
         q: usize,
         spec: &CommutingSpec,
@@ -509,9 +507,7 @@ pub fn emit(
         }
         // A qubit with no edges finishes immediately.
         if remaining_on[q] == 0 {
-            finish(
-                q, spec, wire_of, finished, reset_clbit, receiver_of, c,
-            );
+            finish(q, spec, wire_of, finished, reset_clbit, receiver_of, c);
         }
     }
 
@@ -599,7 +595,7 @@ pub fn emit(
     while progress {
         progress = false;
         for q in 0..n {
-            if !started[q] && donor_of[q].map_or(true, |d| finished[d]) {
+            if !started[q] && donor_of[q].is_none_or(|d| finished[d]) {
                 start(
                     q,
                     spec,
@@ -749,9 +745,17 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
         let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
         let rounds = schedule(&spec, &[pair(1, 2)], Matcher::Blossom).unwrap();
-        let edge01 = spec.edges().iter().position(|&(a, b, _)| (a, b) == (0, 1)).unwrap();
+        let edge01 = spec
+            .edges()
+            .iter()
+            .position(|&(a, b, _)| (a, b) == (0, 1))
+            .unwrap();
         let round_of = |ei: usize| rounds.iter().position(|r| r.contains(&ei)).unwrap();
-        let edge23 = spec.edges().iter().position(|&(a, b, _)| (a, b) == (2, 3)).unwrap();
+        let edge23 = spec
+            .edges()
+            .iter()
+            .position(|&(a, b, _)| (a, b) == (2, 3))
+            .unwrap();
         assert!(round_of(edge01) < round_of(edge23));
     }
 
@@ -791,10 +795,7 @@ mod tests {
         assert_eq!(emitted.num_qubits(), 3);
         assert_eq!(wire_of[0], wire_of[2]);
         assert_eq!(emitted.mid_circuit_measurement_count(), 1);
-        assert_eq!(
-            emitted.iter().filter(|i| i.condition.is_some()).count(),
-            1
-        );
+        assert_eq!(emitted.iter().filter(|i| i.condition.is_some()).count(), 1);
     }
 
     #[test]
@@ -809,8 +810,10 @@ mod tests {
         assert!(spec.pairs_valid(&pairs));
         let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
         let (emitted, _) = emit(&spec, &pairs, &rounds);
-        let d1: std::collections::BTreeMap<u64, f64> =
-            exact::distribution(&original).unwrap().into_iter().collect();
+        let d1: std::collections::BTreeMap<u64, f64> = exact::distribution(&original)
+            .unwrap()
+            .into_iter()
+            .collect();
         let d2 = exact::distribution(&emitted).unwrap();
         let mut merged: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
         for (v, p) in d2 {
@@ -844,9 +847,6 @@ mod tests {
         let rounds = schedule(&spec, &[], Matcher::Blossom).unwrap();
         let (emitted, _) = emit(&spec, &[], &rounds);
         // All three qubits have H + RX + measure.
-        assert_eq!(
-            emitted.count_gates(|g| matches!(g, Gate::Measure)),
-            3
-        );
+        assert_eq!(emitted.count_gates(|g| matches!(g, Gate::Measure)), 3);
     }
 }

@@ -68,5 +68,5 @@ pub mod sr;
 pub mod transform;
 pub mod width;
 
-pub use pipeline::{compile, CompileReport, Strategy};
+pub use pipeline::{compile, compile_traced, CompileReport, Stage, StageTrace, Strategy};
 pub use transform::{ReuseError, ReusePlan, TransformedCircuit};

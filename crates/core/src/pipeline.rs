@@ -8,6 +8,7 @@ use caqr_arch::Device;
 use caqr_circuit::depth::duration_dt;
 use caqr_circuit::Circuit;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Which compiler to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,17 +100,102 @@ impl fmt::Display for CompileReport {
     }
 }
 
-/// Generates the QS sweep (regular or commuting path, chosen by circuit
-/// shape) as *logical* circuits, then routes each onto the device. The
-/// paper's QS flow: logical transform first, hardware mapping second.
-fn qs_sweep_routed(
-    circuit: &Circuit,
+/// A pipeline stage, as reported by [`compile_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Peephole cleanup: inverse cancellation, rotation merging.
+    Optimize,
+    /// Circuit-shape analysis: commuting-region detection (which decides
+    /// between the regular and QAOA paths) and width analysis.
+    Analysis,
+    /// The reuse transform: QS sweep generation (regular or
+    /// matching-scheduled commuting path).
+    Reuse,
+    /// Hardware mapping: SWAP-inserting routing (baseline router, or the
+    /// dynamic-circuit-aware SR router which fuses reuse into routing).
+    Routing,
+    /// Sweep-point selection and report assembly (depth/duration/ESP
+    /// scoring of the candidates).
+    Selection,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Optimize,
+        Stage::Analysis,
+        Stage::Reuse,
+        Stage::Routing,
+        Stage::Selection,
+    ];
+
+    /// A short stable identifier (used in metric tables and JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Optimize => "optimize",
+            Stage::Analysis => "analysis",
+            Stage::Reuse => "reuse",
+            Stage::Routing => "routing",
+            Stage::Selection => "selection",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-stage wall-clock spans recorded while compiling one circuit.
+///
+/// A stage may appear more than once (QS routes every sweep point);
+/// [`StageTrace::stage_total`] aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct StageTrace {
+    spans: Vec<(Stage, Duration)>,
+}
+
+impl StageTrace {
+    /// Records one span.
+    pub fn record(&mut self, stage: Stage, elapsed: Duration) {
+        self.spans.push((stage, elapsed));
+    }
+
+    /// Runs `f`, recording its wall-clock under `stage`.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(stage, start.elapsed());
+        out
+    }
+
+    /// All recorded spans, in execution order.
+    pub fn spans(&self) -> &[(Stage, Duration)] {
+        &self.spans
+    }
+
+    /// Total time attributed to `stage`.
+    pub fn stage_total(&self, stage: Stage) -> Duration {
+        self.spans
+            .iter()
+            .filter(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Total traced time across all stages.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Routes every QS sweep point onto the device. The paper's QS flow:
+/// logical transform first, hardware mapping second.
+fn route_sweep(
+    points: Vec<qs::SweepPoint>,
     device: &Device,
 ) -> Result<Vec<(usize, crate::router::RoutedCircuit)>, RouteError> {
-    let points = match CommutingSpec::from_circuit(circuit) {
-        Ok(spec) => qs::commuting::sweep(&spec, sr::default_matcher(&spec)),
-        Err(_) => qs::regular::sweep(circuit, &device.logical_duration_model()),
-    };
     let mut out = Vec::with_capacity(points.len());
     for p in points {
         let routed = baseline::compile(&p.circuit, device)?;
@@ -130,58 +216,84 @@ pub fn compile(
     device: &Device,
     strategy: Strategy,
 ) -> Result<CompileReport, RouteError> {
+    compile_traced(circuit, device, strategy).0
+}
+
+/// [`compile`], additionally reporting where the wall-clock went.
+///
+/// The [`StageTrace`] is returned even when compilation fails, so callers
+/// can attribute the cost of failed jobs too. This is the entry point the
+/// batch-compilation engine (`caqr-engine`) builds its per-stage metrics
+/// on.
+pub fn compile_traced(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+) -> (Result<CompileReport, RouteError>, StageTrace) {
+    let mut trace = StageTrace::default();
     // Peephole cleanup first (inverse cancellation, rotation merging) —
     // the "optimization level 3" behaviour every strategy shares.
-    let circuit = &caqr_circuit::optimize::peephole(circuit);
-    match strategy {
-        Strategy::Baseline => {
-            let routed = baseline::compile(circuit, device)?;
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
-        Strategy::Sr => {
-            let routed = if CommutingSpec::from_circuit(circuit).is_ok() {
-                sr::compile_commuting(circuit, device, 0.1)?
-            } else {
-                sr::compile(circuit, device)?
-            };
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
-        Strategy::QsMaxReuse => {
-            let sweep = qs_sweep_routed(circuit, device)?;
-            let (_, routed) = sweep
-                .into_iter()
-                .min_by_key(|(qubits, _)| *qubits)
-                .expect("sweep contains at least the original circuit");
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
-        Strategy::QsMinDepth => {
-            let sweep = qs_sweep_routed(circuit, device)?;
-            let (_, routed) = sweep
-                .into_iter()
-                .min_by_key(|(_, r)| (r.circuit.depth(), r.physical_qubits_used))
-                .expect("sweep contains at least the original circuit");
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
-        Strategy::QsMinSwap => {
-            let sweep = qs_sweep_routed(circuit, device)?;
-            let (_, routed) = sweep
-                .into_iter()
-                .min_by_key(|(_, r)| (r.swap_count, r.circuit.depth()))
-                .expect("sweep contains at least the original circuit");
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
-        Strategy::QsMaxEsp => {
-            let sweep = qs_sweep_routed(circuit, device)?;
-            let (_, routed) = sweep
-                .into_iter()
-                .max_by(|(_, a), (_, b)| {
-                    esp::estimate(&a.circuit, device)
-                        .total_cmp(&esp::estimate(&b.circuit, device))
-                })
-                .expect("sweep contains at least the original circuit");
-            Ok(CompileReport::from_routed(strategy, routed, device))
-        }
+    let circuit = trace.time(Stage::Optimize, || {
+        caqr_circuit::optimize::peephole(circuit)
+    });
+    let result = compile_stages(&circuit, device, strategy, &mut trace);
+    (result, trace)
+}
+
+fn compile_stages(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+    trace: &mut StageTrace,
+) -> Result<CompileReport, RouteError> {
+    if strategy == Strategy::Baseline {
+        let routed = trace.time(Stage::Routing, || baseline::compile(circuit, device))?;
+        return Ok(trace.time(Stage::Selection, || {
+            CompileReport::from_routed(strategy, routed, device)
+        }));
     }
+
+    // Commuting-region detection decides between the regular path and the
+    // QAOA matching-scheduler path for both SR and QS.
+    let spec = trace.time(Stage::Analysis, || CommutingSpec::from_circuit(circuit));
+
+    if strategy == Strategy::Sr {
+        // SR-CaQR fuses reuse into its dynamic-circuit-aware router, so the
+        // whole pass is attributed to routing.
+        let routed = trace.time(Stage::Routing, || match &spec {
+            Ok(_) => sr::compile_commuting(circuit, device, 0.1),
+            Err(_) => sr::compile(circuit, device),
+        })?;
+        return Ok(trace.time(Stage::Selection, || {
+            CompileReport::from_routed(strategy, routed, device)
+        }));
+    }
+
+    // QS-CaQR: generate the reuse sweep as logical circuits, route every
+    // point, then pick the point the strategy asks for.
+    let points = trace.time(Stage::Reuse, || match &spec {
+        Ok(spec) => qs::commuting::sweep(spec, sr::default_matcher(spec)),
+        Err(_) => qs::regular::sweep(circuit, &device.logical_duration_model()),
+    });
+    let sweep = trace.time(Stage::Routing, || route_sweep(points, device))?;
+    let routed = trace.time(Stage::Selection, || {
+        let picked = match strategy {
+            Strategy::QsMaxReuse => sweep.into_iter().min_by_key(|(qubits, _)| *qubits),
+            Strategy::QsMinDepth => sweep
+                .into_iter()
+                .min_by_key(|(_, r)| (r.circuit.depth(), r.physical_qubits_used)),
+            Strategy::QsMinSwap => sweep
+                .into_iter()
+                .min_by_key(|(_, r)| (r.swap_count, r.circuit.depth())),
+            Strategy::QsMaxEsp => sweep.into_iter().max_by(|(_, a), (_, b)| {
+                esp::estimate(&a.circuit, device).total_cmp(&esp::estimate(&b.circuit, device))
+            }),
+            Strategy::Baseline | Strategy::Sr => unreachable!("handled above"),
+        };
+        let (_, routed) = picked.expect("sweep contains at least the original circuit");
+        routed
+    });
+    Ok(CompileReport::from_routed(strategy, routed, device))
 }
 
 #[cfg(test)]
@@ -276,6 +388,48 @@ mod tests {
     }
 
     #[test]
+    fn traced_compile_matches_untraced_and_attributes_time() {
+        let dev = Device::mumbai(7);
+        let c = bv(6);
+        for strategy in [Strategy::Baseline, Strategy::QsMaxReuse, Strategy::Sr] {
+            let plain = compile(&c, &dev, strategy).unwrap();
+            let (traced, trace) = compile_traced(&c, &dev, strategy);
+            let traced = traced.unwrap();
+            assert_eq!(plain.circuit, traced.circuit, "{strategy}");
+            assert_eq!(plain.qubits, traced.qubits);
+            assert!(!trace.spans().is_empty());
+            assert!(trace.total() >= trace.stage_total(Stage::Routing));
+            // Every strategy routes; only QS records a reuse span.
+            assert!(
+                trace.stage_total(Stage::Routing) > Duration::ZERO,
+                "{strategy}"
+            );
+            if strategy == Strategy::QsMaxReuse {
+                assert!(trace.spans().iter().any(|(s, _)| *s == Stage::Reuse));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_survives_failure() {
+        // 10 logical qubits cannot fit a 3-qubit line under baseline.
+        let dev = Device::with_synthetic_calibration(caqr_arch::Topology::line(3), 1);
+        let (result, trace) = compile_traced(&bv(10), &dev, Strategy::Baseline);
+        assert!(result.is_err());
+        assert!(trace.spans().iter().any(|(s, _)| *s == Stage::Optimize));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["optimize", "analysis", "reuse", "routing", "selection"]
+        );
+        assert_eq!(format!("{}", Stage::Routing), "routing");
+    }
+
+    #[test]
     fn report_display() {
         let dev = Device::mumbai(7);
         let r = compile(&bv(5), &dev, Strategy::Baseline).unwrap();
@@ -300,9 +454,7 @@ mod tests {
         }
         c.measure_all();
         let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
-        let bound = crate::qs::commuting::min_qubits(
-            &CommutingSpec::from_circuit(&c).unwrap(),
-        );
+        let bound = crate::qs::commuting::min_qubits(&CommutingSpec::from_circuit(&c).unwrap());
         assert!(max.qubits <= 6);
         assert!(max.qubits + 1 >= bound);
     }

@@ -82,15 +82,13 @@ pub mod regular {
                 let makespan = Schedule::asap(&t.circuit, durations).makespan();
                 let surviving = match order {
                     PairOrder::Quality => 0,
-                    PairOrder::Feasibility => {
-                        ReuseAnalysis::of(&t.circuit).candidate_pairs().len()
-                    }
+                    PairOrder::Feasibility => ReuseAnalysis::of(&t.circuit).candidate_pairs().len(),
                 };
                 Some((makespan, surviving, t.circuit))
             })
             .collect();
         match order {
-            PairOrder::Quality => out.sort_by(|a, b| a.0.cmp(&b.0)),
+            PairOrder::Quality => out.sort_by_key(|a| a.0),
             PairOrder::Feasibility => out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0))),
         }
         out.into_iter().map(|(m, _, c)| (m, c)).collect()
@@ -98,10 +96,7 @@ pub mod regular {
 
     /// Applies the single best reuse pair (minimum resulting makespan under
     /// `durations`). Returns `None` when no valid pair exists.
-    pub fn reduce_by_one(
-        circuit: &Circuit,
-        durations: &impl DurationModel,
-    ) -> Option<Circuit> {
+    pub fn reduce_by_one(circuit: &Circuit, durations: &impl DurationModel) -> Option<Circuit> {
         reductions(circuit, durations, PairOrder::Quality)
             .into_iter()
             .next()
@@ -152,7 +147,10 @@ pub mod regular {
             let mut tail = descend(&next, target, durations, order, budget, seen);
             tail.insert(0, next);
             if tail.len() > best.len() {
-                let done = tail.last().map(|c| c.num_qubits() <= target).unwrap_or(false);
+                let done = tail
+                    .last()
+                    .map(|c| c.num_qubits() <= target)
+                    .unwrap_or(false);
                 best = tail;
                 if done {
                     break;
@@ -169,11 +167,7 @@ pub mod regular {
     /// backtracking; if that cannot reach `target`, a feasibility-first
     /// pass (keep the most reuse opportunities alive) retries, and the
     /// deeper chain wins.
-    fn search(
-        circuit: &Circuit,
-        target: usize,
-        durations: &impl DurationModel,
-    ) -> Vec<Circuit> {
+    fn search(circuit: &Circuit, target: usize, durations: &impl DurationModel) -> Vec<Circuit> {
         let mut budget = SEARCH_BUDGET;
         let mut seen = std::collections::HashSet::new();
         let quality = descend(
@@ -184,10 +178,7 @@ pub mod regular {
             &mut budget,
             &mut seen,
         );
-        if quality
-            .last()
-            .is_some_and(|c| c.num_qubits() <= target)
-        {
+        if quality.last().is_some_and(|c| c.num_qubits() <= target) {
             return quality;
         }
         let mut budget = SEARCH_BUDGET;
@@ -416,11 +407,7 @@ pub mod commuting {
     }
 
     /// Transforms to at most `target` qubits, or `None` if unreachable.
-    pub fn to_target(
-        spec: &CommutingSpec,
-        target: usize,
-        matcher: Matcher,
-    ) -> Option<Circuit> {
+    pub fn to_target(spec: &CommutingSpec, target: usize, matcher: Matcher) -> Option<Circuit> {
         sweep(spec, matcher)
             .into_iter()
             .find(|p| p.qubits <= target)
@@ -498,12 +485,7 @@ mod tests {
         let c = bv(5, hidden);
         for point in regular::sweep(&c, &UnitDurations) {
             let counts = Executor::ideal().run_shots(&point.circuit, 60, 9);
-            assert_eq!(
-                counts.get(hidden),
-                60,
-                "{} qubits: {counts}",
-                point.qubits
-            );
+            assert_eq!(counts.get(hidden), 60, "{} qubits: {counts}", point.qubits);
         }
     }
 
@@ -541,8 +523,7 @@ mod tests {
         let analysis = crate::analysis::ReuseAnalysis::of(&c);
         for pair in analysis.candidate_pairs() {
             if let Ok(t) = crate::transform::apply(&c, &ReusePlan::from_pairs([pair])) {
-                let m =
-                    caqr_circuit::depth::Schedule::asap(&t.circuit, &UnitDurations).makespan();
+                let m = caqr_circuit::depth::Schedule::asap(&t.circuit, &UnitDurations).makespan();
                 assert!(best_makespan <= m, "pair {pair} beats chosen one");
             }
         }
@@ -626,11 +607,16 @@ mod tests {
     fn commuting_to_target() {
         let g = gen::random_graph(8, 0.3, 7);
         let spec = qaoa(&g);
-        let min = commuting::sweep(&spec, Matcher::Greedy).last().unwrap().qubits;
+        let min = commuting::sweep(&spec, Matcher::Greedy)
+            .last()
+            .unwrap()
+            .qubits;
         let c = commuting::to_target(&spec, min, Matcher::Greedy).unwrap();
         assert_eq!(c.num_qubits(), min);
-        assert!(commuting::to_target(&spec, min.saturating_sub(1).max(1), Matcher::Greedy).is_none()
-            || min == 1);
+        assert!(
+            commuting::to_target(&spec, min.saturating_sub(1).max(1), Matcher::Greedy).is_none()
+                || min == 1
+        );
     }
 
     #[test]

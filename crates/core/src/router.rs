@@ -208,7 +208,13 @@ impl<'a> Router<'a> {
                 Some(x) if topo.distance(x, p) == 1 => cal.cx_error(x, p),
                 _ => cal.readout_error(p),
             };
-            (d_anchor, d_partners, std::cmp::Reverse(free_neighbors), err, p)
+            (
+                d_anchor,
+                d_partners,
+                std::cmp::Reverse(free_neighbors),
+                err,
+                p,
+            )
         };
         self.free.iter().copied().min_by(|&a, &b| {
             let (a0, a1, a2, a3, a4) = score(a);
@@ -396,13 +402,11 @@ impl<'a> Router<'a> {
                 let cand = (after, fresh, err, from, to);
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        (cand.0, cand.1)
-                            .cmp(&(b.0, b.1))
-                            .then(cand.2.total_cmp(&b.2))
-                            .then((cand.3, cand.4).cmp(&(b.3, b.4)))
-                            .is_lt()
-                    }
+                    Some(b) => (cand.0, cand.1)
+                        .cmp(&(b.0, b.1))
+                        .then(cand.2.total_cmp(&b.2))
+                        .then((cand.3, cand.4).cmp(&(b.3, b.4)))
+                        .is_lt(),
                 };
                 if better {
                     best = Some(cand);
@@ -426,13 +430,12 @@ impl<'a> Router<'a> {
                         let cand = (nd, err, anchor, n);
                         let better = match &fallback {
                             None => true,
-                            Some(b) => {
-                                cand.0
-                                    .cmp(&b.0)
-                                    .then(cand.1.total_cmp(&b.1))
-                                    .then((cand.2, cand.3).cmp(&(b.2, b.3)))
-                                    .is_lt()
-                            }
+                            Some(b) => cand
+                                .0
+                                .cmp(&b.0)
+                                .then(cand.1.total_cmp(&b.1))
+                                .then((cand.2, cand.3).cmp(&(b.2, b.3)))
+                                .is_lt(),
                         };
                         if better {
                             fallback = Some(cand);
@@ -589,7 +592,10 @@ impl<'a> Router<'a> {
                         .any(|q| self.log2phys[q.index()].is_none())
                 })
                 .collect();
-            debug_assert!(!needs_mapping.is_empty(), "otherwise pass A or B progressed");
+            debug_assert!(
+                !needs_mapping.is_empty(),
+                "otherwise pass A or B progressed"
+            );
             let chosen = if self.opts.delay_off_critical {
                 needs_mapping
                     .iter()

@@ -31,8 +31,8 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Rout
     let mut last_err = None;
     let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
     let consider = |candidate: Result<RoutedCircuit, RouteError>,
-                        best: &mut Option<RoutedCircuit>,
-                        last_err: &mut Option<RouteError>| {
+                    best: &mut Option<RoutedCircuit>,
+                    last_err: &mut Option<RouteError>| {
         match candidate {
             Ok(routed) => {
                 if best.as_ref().is_none_or(|b| key(&routed) < key(b)) {
@@ -138,8 +138,8 @@ pub fn compile_commuting(
     let mut last_err = None;
     let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
     let consider = |candidate: Result<RoutedCircuit, RouteError>,
-                        best: &mut Option<RoutedCircuit>,
-                        last_err: &mut Option<RouteError>| {
+                    best: &mut Option<RoutedCircuit>,
+                    last_err: &mut Option<RouteError>| {
         match candidate {
             Ok(routed) => {
                 if best.as_ref().is_none_or(|b| key(&routed) < key(b)) {
@@ -251,9 +251,7 @@ mod tests {
         let dev = Device::mumbai(2);
         let r = compile(&bv(6), &dev).unwrap();
         let (compact, _) = r.circuit.compact_qubits();
-        let counts = Executor::ideal()
-            .run_shots(&compact, 60, 3)
-            .marginal(5);
+        let counts = Executor::ideal().run_shots(&compact, 60, 3).marginal(5);
         assert_eq!(counts.get(0b11111), 60, "{counts}");
     }
 

@@ -190,9 +190,9 @@ pub fn apply(circuit: &Circuit, plan: &ReusePlan) -> Result<TransformedCircuit, 
     }
     // Idle qubits keep a sentinel; give them stable wires past the active
     // ones so the vector is total.
-    for q in 0..n {
-        if wire_of[q] == usize::MAX {
-            wire_of[q] = num_wires;
+    for wire in &mut wire_of {
+        if *wire == usize::MAX {
+            *wire = num_wires;
         }
     }
 
@@ -300,11 +300,7 @@ mod tests {
         assert_ne!(t.wire_of[0], t.wire_of[4]);
         // Three reuse points: three conditional resets, no fresh measures
         // (data qubits already measure terminally).
-        let cond_x = t
-            .circuit
-            .iter()
-            .filter(|i| i.condition.is_some())
-            .count();
+        let cond_x = t.circuit.iter().filter(|i| i.condition.is_some()).count();
         assert_eq!(cond_x, 3);
         assert_eq!(t.circuit.mid_circuit_measurement_count(), 3);
     }
@@ -352,9 +348,7 @@ mod tests {
         assert_eq!(t.circuit.num_qubits(), 2);
         // Fresh clbit allocated beyond the original two.
         assert_eq!(t.circuit.num_clbits(), 3);
-        let measures = t
-            .circuit
-            .count_gates(|g| matches!(g, Gate::Measure));
+        let measures = t.circuit.count_gates(|g| matches!(g, Gate::Measure));
         assert_eq!(measures, 3);
         // Distribution over the original clbits is preserved.
         let orig = exact::distribution(&c).unwrap();

@@ -1,0 +1,277 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small but real wall-clock benchmarking harness with criterion's API
+//! shape: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark
+//! is warmed up, then timed over adaptively chosen iteration counts, and a
+//! `name  time: [min mean max]` line is printed — enough to track the perf
+//! trajectory PR over PR, without the statistical machinery (no HTML
+//! reports, no regression detection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured wall-clock budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards extra CLI args (e.g. `--bench`, a name
+        // filter); accept a bare string as a substring filter and ignore
+        // the flags criterion would consume.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        run_benchmark(self.criterion, &name, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size;
+        run_benchmark(self.criterion, &full, samples, f);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id labelled only by its parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, recording nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Choose an iteration count per sample so all samples together
+        // roughly fill the measurement budget.
+        let budget = MEASURE_BUDGET.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget / self.samples as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+        let mut per_sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let min = per_sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_sample_ns.iter().copied().fold(0.0, f64::max);
+        let mean = per_sample_ns.iter().sum::<f64>() / per_sample_ns.len() as f64;
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => println!(
+            "{name:<50} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        ),
+        None => println!("{name:<50} time: [no measurement]"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { filter: None };
+        let mut ran = false;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_function("noop", |b| {
+                b.iter(|| black_box(1 + 1));
+                ran = true;
+            });
+            group.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion {
+            filter: Some("wanted".into()),
+        };
+        assert!(c.matches("group/wanted/3"));
+        assert!(!c.matches("group/other/3"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("bv", 10).to_string(), "bv/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,339 @@
+//! The `caqr` command line: compile, analyze, and sweep OpenQASM circuits
+//! with qubit reuse.
+//!
+//! ```text
+//! caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]
+//! caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]
+//!                    [--device D] [--seed N] [--jobs N] [--cache N]
+//!                    [--metrics] [--json]
+//! caqr advise  <file.qasm> [--device D] [--seed N]
+//! caqr sweep   <file.qasm>
+//! caqr info    <file.qasm>
+//!
+//! strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
+//! devices:    mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
+//! suites:     regular | qaoa | full (the paper's benchmark tables)
+//! ```
+
+use caqr::{advisor, compile, qs, Strategy};
+use caqr_arch::{Device, Topology};
+use caqr_circuit::depth::UnitDurations;
+use caqr_circuit::{qasm, Circuit};
+use caqr_engine::{BatchOptions, BatchRequest, CompileJob, Engine};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("caqr: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]");
+            eprintln!("  caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]");
+            eprintln!("                     [--device D] [--seed N] [--jobs N] [--cache N] [--metrics] [--json]");
+            eprintln!("  caqr advise  <file.qasm> [--device D] [--seed N]");
+            eprintln!("  caqr sweep   <file.qasm>");
+            eprintln!("  caqr info    <file.qasm>");
+            eprintln!();
+            eprintln!(
+                "strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr"
+            );
+            eprintln!("devices: mumbai | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>");
+            eprintln!("suites: regular | qaoa | full");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    if command == "compile-batch" {
+        return compile_batch(&args[1..]);
+    }
+    let file = args.get(1).ok_or("missing input file")?;
+    let circuit = load(file)?;
+    let opts = Flags::parse(&args[2..])?;
+
+    match command.as_str() {
+        "compile" => {
+            let device = opts.device()?;
+            let report = compile(&circuit, &device, opts.strategy)
+                .map_err(|e| format!("compilation failed: {e}"))?;
+            println!("{report}");
+            if opts.emit {
+                print!("{}", qasm::to_qasm(&report.circuit));
+            }
+            Ok(())
+        }
+        "advise" => {
+            let device = opts.device()?;
+            println!("{}", advisor::advise(&circuit, &device));
+            Ok(())
+        }
+        "sweep" => {
+            let points = qs::regular::sweep(&circuit, &UnitDurations);
+            println!("qubits  depth  reuses");
+            for p in points {
+                println!("{:<7} {:<6} {}", p.qubits, p.depth(), p.reuses);
+            }
+            Ok(())
+        }
+        "info" => {
+            println!(
+                "qubits: {}\nclbits: {}\ngates: {}\ntwo-qubit gates: {}\ndepth: {}\nmid-circuit measurements: {}",
+                circuit.num_qubits(),
+                circuit.num_clbits(),
+                circuit.len(),
+                circuit.two_qubit_gate_count(),
+                circuit.depth(),
+                circuit.mid_circuit_measurement_count(),
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// `caqr compile-batch`: compile many (circuit, strategy) pairs through the
+/// engine's worker pool, with content-addressed caching and optional
+/// instrumentation output.
+fn compile_batch(args: &[String]) -> Result<(), String> {
+    let (files, rest) = split_positional(args);
+    let opts = BatchFlags::parse(rest)?;
+    let device = opts.flags.device()?;
+
+    let mut inputs: Vec<(String, Circuit)> = Vec::new();
+    for file in files {
+        inputs.push((file.clone(), load(file)?));
+    }
+    if let Some(suite) = &opts.suite {
+        for bench in suite_by_name(suite, opts.flags.seed)? {
+            inputs.push((bench.name, bench.circuit));
+        }
+    }
+    if inputs.is_empty() {
+        return Err("compile-batch needs at least one input file or --suite".into());
+    }
+
+    let mut jobs: Vec<CompileJob> = Vec::with_capacity(inputs.len() * opts.strategies.len());
+    for (name, circuit) in &inputs {
+        for &strategy in &opts.strategies {
+            jobs.push(CompileJob::new(
+                name.clone(),
+                circuit.clone(),
+                device.clone(),
+                strategy,
+            ));
+        }
+    }
+
+    let request = BatchRequest::new(jobs).with_options(BatchOptions {
+        workers: opts.jobs,
+        cache_capacity: opts.cache,
+    });
+    let report = Engine::run(&request);
+
+    if opts.json {
+        print!("{}", report.to_json_lines());
+    } else {
+        print!("{}", report.render_table());
+        if opts.metrics {
+            println!();
+            print!("{}", report.metrics.render_table());
+        }
+    }
+    if report.failed_count() > 0 && report.ok_count() == 0 {
+        return Err("every job in the batch failed".into());
+    }
+    Ok(())
+}
+
+/// Splits leading non-flag arguments (input files) from the flag tail.
+fn split_positional(args: &[String]) -> (&[String], &[String]) {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    (&args[..split], &args[split..])
+}
+
+fn suite_by_name(name: &str, seed: u64) -> Result<Vec<caqr_benchmarks::suite::Benchmark>, String> {
+    match name {
+        "regular" => Ok(caqr_benchmarks::suite::regular_suite()),
+        "qaoa" => Ok(caqr_benchmarks::suite::qaoa_table_suite(seed)),
+        "full" => Ok(caqr_benchmarks::suite::full_table_suite(seed)),
+        other => Err(format!("unknown suite '{other}' (regular | qaoa | full)")),
+    }
+}
+
+fn parse_strategy(v: &str) -> Result<Strategy, String> {
+    match v {
+        "baseline" => Ok(Strategy::Baseline),
+        "qs-max" => Ok(Strategy::QsMaxReuse),
+        "qs-min-depth" => Ok(Strategy::QsMinDepth),
+        "qs-min-swap" => Ok(Strategy::QsMinSwap),
+        "qs-max-esp" => Ok(Strategy::QsMaxEsp),
+        "sr" => Ok(Strategy::Sr),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    qasm::from_qasm(&text).map_err(|e| format!("{e}"))
+}
+
+struct Flags {
+    strategy: Strategy,
+    device_spec: String,
+    seed: u64,
+    emit: bool,
+}
+
+impl Flags {
+    fn parse(rest: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            strategy: Strategy::Sr,
+            device_spec: "mumbai".to_string(),
+            seed: 2023,
+            emit: false,
+        };
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--strategy" => {
+                    let v = it.next().ok_or("--strategy needs a value")?;
+                    flags.strategy = parse_strategy(v)?;
+                }
+                "--device" => {
+                    flags.device_spec = it.next().ok_or("--device needs a value")?.clone();
+                }
+                "--seed" => {
+                    flags.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad seed")?;
+                }
+                "--emit" => flags.emit = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn device(&self) -> Result<Device, String> {
+        let spec = self.device_spec.as_str();
+        if spec == "mumbai" {
+            return Ok(Device::mumbai(self.seed));
+        }
+        if let Some(n) = spec.strip_prefix("heavy-hex:") {
+            let n: usize = n.parse().map_err(|_| "bad heavy-hex size")?;
+            return Ok(Device::scaled_heavy_hex(n, self.seed));
+        }
+        if let Some(n) = spec.strip_prefix("line:") {
+            let n: usize = n.parse().map_err(|_| "bad line size")?;
+            return Ok(Device::with_synthetic_calibration(
+                Topology::line(n),
+                self.seed,
+            ));
+        }
+        if let Some(dims) = spec.strip_prefix("grid:") {
+            let (r, c) = dims.split_once('x').ok_or("grid wants <r>x<c>")?;
+            let r: usize = r.parse().map_err(|_| "bad grid rows")?;
+            let c: usize = c.parse().map_err(|_| "bad grid cols")?;
+            return Ok(Device::with_synthetic_calibration(
+                Topology::grid(r, c),
+                self.seed,
+            ));
+        }
+        Err(format!("unknown device '{spec}'"))
+    }
+}
+
+/// Flags specific to `compile-batch`, layered over the shared [`Flags`].
+struct BatchFlags {
+    flags: Flags,
+    strategies: Vec<Strategy>,
+    suite: Option<String>,
+    jobs: usize,
+    cache: usize,
+    metrics: bool,
+    json: bool,
+}
+
+impl BatchFlags {
+    fn parse(rest: &[String]) -> Result<BatchFlags, String> {
+        let mut out = BatchFlags {
+            flags: Flags {
+                strategy: Strategy::Sr,
+                device_spec: "mumbai".to_string(),
+                seed: 2023,
+                emit: false,
+            },
+            strategies: vec![Strategy::Sr],
+            suite: None,
+            jobs: 0,
+            cache: 256,
+            metrics: false,
+            json: false,
+        };
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--strategy" => {
+                    let v = it.next().ok_or("--strategy needs a value")?;
+                    out.strategies = v
+                        .split(',')
+                        .map(parse_strategy)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if out.strategies.is_empty() {
+                        return Err("--strategy needs at least one value".into());
+                    }
+                }
+                "--device" => {
+                    out.flags.device_spec = it.next().ok_or("--device needs a value")?.clone();
+                }
+                "--seed" => {
+                    out.flags.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad seed")?;
+                }
+                "--suite" => {
+                    out.suite = Some(it.next().ok_or("--suite needs a value")?.clone());
+                }
+                "--jobs" => {
+                    out.jobs = it
+                        .next()
+                        .ok_or("--jobs needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --jobs value")?;
+                }
+                "--cache" => {
+                    out.cache = it
+                        .next()
+                        .ok_or("--cache needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --cache value")?;
+                }
+                "--metrics" => out.metrics = true,
+                "--json" => out.json = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,208 @@
+//! The content-addressed compile cache.
+//!
+//! Compile results are cached under a [`Fingerprint`] of the canonical
+//! circuit content, the device (topology + full calibration tables), and
+//! the strategy — so a hit is only possible when every input that can
+//! influence the output is bit-identical. Eviction is LRU with a fixed
+//! entry capacity; hits, misses, insertions, and evictions are counted so
+//! batch reports can prove a warm run recompiled nothing.
+
+use caqr::CompileReport;
+use caqr_circuit::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Counters describing cache behaviour so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached report.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Reports inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    report: CompileReport,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u128, Entry>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache of compile reports keyed by content
+/// fingerprint.
+///
+/// All methods take `&self`; the cache is shared freely across worker
+/// threads.
+#[derive(Debug)]
+pub struct CompileCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — use no cache at all instead.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CompileCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// The maximum number of cached reports.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of currently cached reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Returns `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, cloning the report on a hit and refreshing its
+    /// recency.
+    pub fn get(&self, key: Fingerprint) -> Option<CompileReport> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key.as_u128()) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let report = entry.report.clone();
+                inner.stats.hits += 1;
+                Some(report)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `report` under `key`, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&self, key: Fingerprint, report: CompileReport) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key.as_u128()) {
+            if let Some(&lru_key) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&lru_key);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.stats.insertions += 1;
+        inner.map.insert(
+            key.as_u128(),
+            Entry {
+                report,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr::Strategy;
+    use caqr_arch::Device;
+    use caqr_circuit::{Circuit, Qubit};
+
+    fn report_for(tag: usize) -> CompileReport {
+        let mut c = Circuit::new(2, 0);
+        for _ in 0..tag {
+            c.h(Qubit::new(0));
+        }
+        caqr::compile(&c, &Device::mumbai(1), Strategy::Baseline).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_equal_report() {
+        let cache = CompileCache::new(4);
+        let key = Fingerprint(1);
+        let report = report_for(1);
+        cache.insert(key, report.clone());
+        let got = cache.get(key).expect("hit");
+        assert_eq!(got.circuit, report.circuit);
+        assert_eq!(got.depth, report.depth);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let cache = CompileCache::new(4);
+        assert!(cache.get(Fingerprint(9)).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                misses: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let cache = CompileCache::new(2);
+        cache.insert(Fingerprint(1), report_for(1));
+        cache.insert(Fingerprint(2), report_for(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(Fingerprint(1)).is_some());
+        cache.insert(Fingerprint(3), report_for(3));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(Fingerprint(1)).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.get(Fingerprint(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(Fingerprint(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = CompileCache::new(2);
+        cache.insert(Fingerprint(1), report_for(1));
+        cache.insert(Fingerprint(2), report_for(2));
+        cache.insert(Fingerprint(2), report_for(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        CompileCache::new(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The batch job model: what to compile, and what came back.
+
+use crate::metrics::EngineMetrics;
+use caqr::router::RouteError;
+use caqr::{CompileReport, StageTrace, Strategy};
+use caqr_arch::Device;
+use caqr_circuit::fingerprint::Fingerprint;
+use caqr_circuit::Circuit;
+use std::fmt;
+use std::time::Duration;
+
+/// One unit of work: compile `circuit` onto `device` under `strategy`.
+#[derive(Debug, Clone)]
+pub struct CompileJob {
+    /// Display name (benchmark name, file name, ...); carried into reports.
+    pub name: String,
+    /// The logical circuit to compile.
+    pub circuit: Circuit,
+    /// The target device.
+    pub device: Device,
+    /// The compiler to run.
+    pub strategy: Strategy,
+}
+
+impl CompileJob {
+    /// Builds a job.
+    pub fn new(
+        name: impl Into<String>,
+        circuit: Circuit,
+        device: Device,
+        strategy: Strategy,
+    ) -> Self {
+        CompileJob {
+            name: name.into(),
+            circuit,
+            device,
+            strategy,
+        }
+    }
+
+    /// The content-addressed cache key: circuit content x device
+    /// (topology + calibration) x strategy. Jobs with equal keys are
+    /// guaranteed to produce identical compile reports, so the engine may
+    /// serve one from the other's cached result.
+    pub fn key(&self) -> Fingerprint {
+        let mut h = caqr_circuit::fingerprint::StableHasher::new();
+        h.write_str(&self.strategy.to_string());
+        h.finish()
+            .combine(self.circuit.fingerprint())
+            .combine(self.device.fingerprint())
+    }
+}
+
+/// How a batch should be executed.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available CPU core.
+    pub workers: usize,
+    /// Compile-cache entries to keep (LRU); `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 0,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options running on `workers` threads (0 = one per core).
+    pub fn with_workers(workers: usize) -> Self {
+        BatchOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// A batch of compile jobs plus execution options.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRequest {
+    /// The jobs, in result order.
+    pub jobs: Vec<CompileJob>,
+    /// Execution knobs.
+    pub options: BatchOptions,
+}
+
+impl BatchRequest {
+    /// A request with default options.
+    pub fn new(jobs: Vec<CompileJob>) -> Self {
+        BatchRequest {
+            jobs,
+            options: BatchOptions::default(),
+        }
+    }
+
+    /// Sets the options.
+    pub fn with_options(mut self, options: BatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Why a job produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The pipeline reported an error (circuit does not fit, ...).
+    Route(RouteError),
+    /// The job panicked; the batch continued without it.
+    Panic(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Route(e) => write!(f, "route error: {e}"),
+            JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A completed job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job name, copied from the request.
+    pub name: String,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// The compile report (identical whether served cold or from cache).
+    pub report: CompileReport,
+    /// `true` when served from the compile cache.
+    pub cache_hit: bool,
+    /// Wall-clock spent on this job inside its worker.
+    pub wall: Duration,
+    /// Per-stage timings (empty for cache hits).
+    pub trace: StageTrace,
+}
+
+/// A failed job, keeping its identity for the report.
+#[derive(Debug, Clone)]
+pub struct FailedJob {
+    /// Job name, copied from the request.
+    pub name: String,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// What went wrong.
+    pub error: JobError,
+}
+
+/// The result of one batch run: per-job results in request order, plus
+/// aggregated metrics.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One entry per requested job, in request order.
+    pub results: Vec<Result<JobOutcome, FailedJob>>,
+    /// Aggregated counters and stage timings.
+    pub metrics: EngineMetrics,
+}
+
+impl BatchReport {
+    /// Number of successful jobs.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of failed jobs.
+    pub fn failed_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// The fixed-width result table.
+    ///
+    /// Deliberately excludes wall-clock columns: the table is byte-identical
+    /// across runs and worker counts, which is what batch-level determinism
+    /// tests (and diffable experiment logs) need. Timings live in
+    /// [`EngineMetrics`] and the JSON lines.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<[String; 8]> = Vec::with_capacity(self.results.len());
+        for result in &self.results {
+            match result {
+                Ok(out) => rows.push([
+                    out.name.clone(),
+                    out.strategy.to_string(),
+                    out.report.qubits.to_string(),
+                    out.report.depth.to_string(),
+                    out.report.duration_dt.to_string(),
+                    out.report.swaps.to_string(),
+                    out.report.two_qubit_gates.to_string(),
+                    format!("{:.4}", out.report.esp),
+                ]),
+                Err(failed) => rows.push([
+                    failed.name.clone(),
+                    failed.strategy.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("error: {}", failed.error),
+                ]),
+            }
+        }
+        let header = [
+            "benchmark",
+            "strategy",
+            "qubits",
+            "depth",
+            "dur_dt",
+            "swaps",
+            "2q",
+            "esp",
+        ];
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in header.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON object per job (in request order), then one metrics object —
+    /// the machine-readable twin of [`BatchReport::render_table`] +
+    /// [`EngineMetrics::to_json`]. Job lines include wall-clock, so this
+    /// form is *not* byte-stable across runs.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for result in &self.results {
+            match result {
+                Ok(o) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"ok\":true,\
+                         \"qubits\":{},\"depth\":{},\"duration_dt\":{},\"swaps\":{},\
+                         \"two_qubit_gates\":{},\"esp\":{:.6},\"cache_hit\":{},\"wall_us\":{}}}\n",
+                        json_string(&o.name),
+                        o.strategy,
+                        o.report.qubits,
+                        o.report.depth,
+                        o.report.duration_dt,
+                        o.report.swaps,
+                        o.report.two_qubit_gates,
+                        o.report.esp,
+                        o.cache_hit,
+                        o.wall.as_micros(),
+                    ));
+                }
+                Err(f) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"ok\":false,\
+                         \"error\":{}}}\n",
+                        json_string(&f.name),
+                        f.strategy,
+                        json_string(&f.error.to_string()),
+                    ));
+                }
+            }
+        }
+        out.push_str(&self.metrics.to_json());
+        out.push('\n');
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_arch::Device;
+    use caqr_circuit::Qubit;
+
+    fn job(name: &str, strategy: Strategy) -> CompileJob {
+        let mut c = Circuit::new(2, 2);
+        c.h(Qubit::new(0));
+        c.cx(Qubit::new(0), Qubit::new(1));
+        c.measure_all();
+        CompileJob::new(name, c, Device::mumbai(3), strategy)
+    }
+
+    #[test]
+    fn key_depends_on_every_input() {
+        let a = job("a", Strategy::Baseline);
+        assert_eq!(
+            a.key(),
+            job("renamed", Strategy::Baseline).key(),
+            "name is not content"
+        );
+        assert_ne!(a.key(), job("a", Strategy::Sr).key(), "strategy is content");
+        let mut different_circuit = job("a", Strategy::Baseline);
+        different_circuit.circuit.h(Qubit::new(1));
+        assert_ne!(a.key(), different_circuit.key());
+        let mut different_device = job("a", Strategy::Baseline);
+        different_device.device = Device::mumbai(4);
+        assert_ne!(a.key(), different_device.key());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn job_error_displays() {
+        let e = JobError::Panic("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let r = JobError::Route(RouteError::OutOfQubits {
+            logical: 9,
+            physical: 3,
+        });
+        assert!(r.to_string().contains("route error"));
+    }
+}

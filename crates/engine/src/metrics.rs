@@ -1,0 +1,163 @@
+//! Aggregated batch instrumentation: per-stage wall-clock totals plus
+//! compile counters, rendered as a human table or a JSON object.
+
+use caqr::{Stage, StageTrace};
+use caqr_circuit::{Circuit, Gate};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+
+/// Counters and stage timings aggregated over one batch run.
+///
+/// Stage totals are *CPU work* summed across workers, so with `--jobs 8`
+/// they can legitimately exceed the batch wall-clock.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Total time spent in each pipeline stage, summed over all jobs.
+    pub stage_totals: BTreeMap<Stage, Duration>,
+    /// Jobs submitted.
+    pub jobs_total: usize,
+    /// Jobs that produced a report.
+    pub jobs_ok: usize,
+    /// Jobs that failed (route error or panic).
+    pub jobs_failed: usize,
+    /// Jobs served from the compile cache.
+    pub jobs_from_cache: usize,
+    /// SWAP gates inserted across all successful jobs.
+    pub swaps_inserted: usize,
+    /// Qubit-reuse pairs realized across all successful jobs (counted as
+    /// mid-circuit resets in the compiled circuits).
+    pub reuse_pairs: usize,
+    /// Cache counters for the run (zero when caching is disabled).
+    pub cache: CacheStats,
+    /// End-to-end batch wall-clock.
+    pub batch_wall: Duration,
+}
+
+impl EngineMetrics {
+    /// Folds one successful job into the totals.
+    pub(crate) fn record_success(&mut self, trace: &StageTrace, swaps: usize, circuit: &Circuit) {
+        self.jobs_ok += 1;
+        self.swaps_inserted += swaps;
+        self.reuse_pairs += reuse_pairs_in(circuit);
+        for &(stage, span) in trace.spans() {
+            *self.stage_totals.entry(stage).or_default() += span;
+        }
+    }
+
+    /// The human-readable metrics table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metric                 value\n");
+        out.push_str(&format!("jobs_total             {}\n", self.jobs_total));
+        out.push_str(&format!("jobs_ok                {}\n", self.jobs_ok));
+        out.push_str(&format!("jobs_failed            {}\n", self.jobs_failed));
+        out.push_str(&format!(
+            "jobs_from_cache        {}\n",
+            self.jobs_from_cache
+        ));
+        out.push_str(&format!("swaps_inserted         {}\n", self.swaps_inserted));
+        out.push_str(&format!("reuse_pairs            {}\n", self.reuse_pairs));
+        out.push_str(&format!("cache_hits             {}\n", self.cache.hits));
+        out.push_str(&format!("cache_misses           {}\n", self.cache.misses));
+        out.push_str(&format!(
+            "cache_evictions        {}\n",
+            self.cache.evictions
+        ));
+        for stage in Stage::ALL {
+            let total = self.stage_totals.get(&stage).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "stage_{:<16} {:.3} ms\n",
+                stage.name(),
+                total.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "batch_wall             {:.3} ms\n",
+            self.batch_wall.as_secs_f64() * 1e3,
+        ));
+        out
+    }
+
+    /// One JSON object with every counter and stage total (microseconds).
+    pub fn to_json(&self) -> String {
+        let mut stages = String::new();
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                stages.push(',');
+            }
+            let total = self.stage_totals.get(stage).copied().unwrap_or_default();
+            stages.push_str(&format!("\"{}\":{}", stage.name(), total.as_micros()));
+        }
+        format!(
+            "{{\"type\":\"metrics\",\"jobs_total\":{},\"jobs_ok\":{},\"jobs_failed\":{},\
+             \"jobs_from_cache\":{},\"swaps_inserted\":{},\"reuse_pairs\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"stage_us\":{{{}}},\"batch_wall_us\":{}}}",
+            self.jobs_total,
+            self.jobs_ok,
+            self.jobs_failed,
+            self.jobs_from_cache,
+            self.swaps_inserted,
+            self.reuse_pairs,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            stages,
+            self.batch_wall.as_micros(),
+        )
+    }
+}
+
+/// Counts realized reuse pairs in a compiled circuit. Each reuse point
+/// hands a physical qubit from a finished logical qubit to a fresh one via
+/// the paper's fast conditional reset (a classically conditioned X) or a
+/// plain `Reset`.
+pub fn reuse_pairs_in(circuit: &Circuit) -> usize {
+    circuit
+        .instructions()
+        .iter()
+        .filter(|inst| inst.condition.is_some() || matches!(inst.gate, Gate::Reset))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::Qubit;
+
+    #[test]
+    fn reuse_pairs_counts_conditional_resets() {
+        let mut c = Circuit::new(2, 1);
+        c.h(Qubit::new(0));
+        assert_eq!(reuse_pairs_in(&c), 0);
+        c.reset(Qubit::new(0));
+        c.cond_x(Qubit::new(1), caqr_circuit::Clbit::new(0));
+        assert_eq!(reuse_pairs_in(&c), 2);
+    }
+
+    #[test]
+    fn json_includes_every_stage() {
+        let metrics = EngineMetrics::default();
+        let json = metrics.to_json();
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\":", stage.name())), "{json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn table_lists_all_counters() {
+        let table = EngineMetrics::default().render_table();
+        for key in [
+            "jobs_total",
+            "swaps_inserted",
+            "reuse_pairs",
+            "cache_hits",
+            "batch_wall",
+        ] {
+            assert!(table.contains(key), "missing {key} in:\n{table}");
+        }
+    }
+}

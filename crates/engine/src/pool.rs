@@ -1,0 +1,359 @@
+//! The batch executor: a fixed worker pool over `std::thread::scope`,
+//! with per-job panic isolation, an optional shared compile cache, and
+//! deterministic result ordering.
+
+use crate::cache::CompileCache;
+use crate::job::{BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome};
+use crate::metrics::EngineMetrics;
+use caqr::router::RouteError;
+use caqr::{CompileReport, StageTrace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// The signature of the per-job compiler the pool drives. The production
+/// engine uses [`caqr::compile_traced`]; tests inject panicking or
+/// counting stand-ins.
+pub trait JobCompiler: Sync {
+    /// Compiles one job, returning the report (or error) plus stage
+    /// timings.
+    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, RouteError>, StageTrace);
+}
+
+impl<F> JobCompiler for F
+where
+    F: Fn(&CompileJob) -> (Result<CompileReport, RouteError>, StageTrace) + Sync,
+{
+    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, RouteError>, StageTrace) {
+        self(job)
+    }
+}
+
+/// The batch-compilation engine.
+///
+/// Stateless apart from configuration: every [`Engine::run`] call builds
+/// its own cache (if enabled) and worker pool, so runs are independent
+/// and results depend only on the request.
+#[derive(Debug, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Runs `request` through the full CaQR pipeline.
+    pub fn run(request: &BatchRequest) -> BatchReport {
+        Self::run_with(request, &|job: &CompileJob| {
+            caqr::compile_traced(&job.circuit, &job.device, job.strategy)
+        })
+    }
+
+    /// Runs `request` with a custom per-job compiler (test seam).
+    pub fn run_with<C: JobCompiler>(request: &BatchRequest, compiler: &C) -> BatchReport {
+        let started = Instant::now();
+        let workers = effective_workers(request.options.workers, request.jobs.len());
+        let cache = match request.options.cache_capacity {
+            0 => None,
+            capacity => Some(CompileCache::new(capacity)),
+        };
+
+        let mut slots: Vec<Option<Result<JobOutcome, FailedJob>>> =
+            (0..request.jobs.len()).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<JobOutcome, FailedJob>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let jobs = &request.jobs;
+                let cache = cache.as_ref();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let result = run_one(job, cache, compiler);
+                    if tx.send((index, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (index, result) in rx {
+                slots[index] = Some(result);
+            }
+        });
+
+        let results: Vec<Result<JobOutcome, FailedJob>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index produced a result"))
+            .collect();
+
+        let mut metrics = EngineMetrics {
+            jobs_total: request.jobs.len(),
+            ..Default::default()
+        };
+        for result in &results {
+            match result {
+                Ok(outcome) => {
+                    metrics.record_success(
+                        &outcome.trace,
+                        outcome.report.swaps,
+                        &outcome.report.circuit,
+                    );
+                    if outcome.cache_hit {
+                        metrics.jobs_from_cache += 1;
+                    }
+                }
+                Err(_) => metrics.jobs_failed += 1,
+            }
+        }
+        if let Some(cache) = &cache {
+            metrics.cache = cache.stats();
+        }
+        metrics.batch_wall = started.elapsed();
+
+        BatchReport { results, metrics }
+    }
+}
+
+/// Resolves a `--jobs` value: 0 means one worker per available core,
+/// clamped to the number of jobs (and at least 1).
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    workers.clamp(1, jobs.max(1))
+}
+
+/// Compiles one job with cache lookup and panic isolation.
+fn run_one<C: JobCompiler>(
+    job: &CompileJob,
+    cache: Option<&CompileCache>,
+    compiler: &C,
+) -> Result<JobOutcome, FailedJob> {
+    let started = Instant::now();
+    let key = cache.map(|cache| {
+        let key = job.key();
+        (cache, key)
+    });
+
+    if let Some((cache, key)) = key {
+        if let Some(report) = cache.get(key) {
+            return Ok(JobOutcome {
+                name: job.name.clone(),
+                strategy: job.strategy,
+                report,
+                cache_hit: true,
+                wall: started.elapsed(),
+                trace: StageTrace::default(),
+            });
+        }
+    }
+
+    let compiled = catch_unwind(AssertUnwindSafe(|| compiler.compile(job)));
+    match compiled {
+        Ok((Ok(report), trace)) => {
+            if let Some((cache, fingerprint)) = key {
+                cache.insert(fingerprint, report.clone());
+            }
+            Ok(JobOutcome {
+                name: job.name.clone(),
+                strategy: job.strategy,
+                report,
+                cache_hit: false,
+                wall: started.elapsed(),
+                trace,
+            })
+        }
+        Ok((Err(error), _)) => Err(FailedJob {
+            name: job.name.clone(),
+            strategy: job.strategy,
+            error: JobError::Route(error),
+        }),
+        Err(payload) => Err(FailedJob {
+            name: job.name.clone(),
+            strategy: job.strategy,
+            error: JobError::Panic(panic_message(payload)),
+        }),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::BatchOptions;
+    use caqr::Strategy;
+    use caqr_arch::Device;
+    use caqr_circuit::{Circuit, Qubit};
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    fn bv(secret_bits: usize) -> Circuit {
+        let n = secret_bits + 1;
+        let mut c = Circuit::new(n, secret_bits);
+        for i in 0..secret_bits {
+            c.h(Qubit::new(i));
+        }
+        c.x(Qubit::new(secret_bits));
+        c.h(Qubit::new(secret_bits));
+        for i in 0..secret_bits {
+            c.cx(Qubit::new(i), Qubit::new(secret_bits));
+            c.h(Qubit::new(i));
+        }
+        for i in 0..secret_bits {
+            c.measure(Qubit::new(i), caqr_circuit::Clbit::new(i));
+        }
+        c
+    }
+
+    fn jobs() -> Vec<CompileJob> {
+        vec![
+            CompileJob::new("bv3", bv(3), Device::mumbai(5), Strategy::Baseline),
+            CompileJob::new("bv3-qs", bv(3), Device::mumbai(5), Strategy::QsMaxReuse),
+            CompileJob::new("bv4", bv(4), Device::mumbai(6), Strategy::Baseline),
+        ]
+    }
+
+    #[test]
+    fn results_follow_request_order() {
+        let report = Engine::run(&BatchRequest::new(jobs()));
+        let names: Vec<&str> = report
+            .results
+            .iter()
+            .map(|r| match r {
+                Ok(o) => o.name.as_str(),
+                Err(f) => f.name.as_str(),
+            })
+            .collect();
+        assert_eq!(names, ["bv3", "bv3-qs", "bv4"]);
+        assert_eq!(report.ok_count(), 3);
+        assert_eq!(report.metrics.jobs_total, 3);
+        assert_eq!(report.metrics.jobs_ok, 3);
+    }
+
+    #[test]
+    fn route_error_is_reported_not_fatal() {
+        let tiny = Device::with_synthetic_calibration(caqr_arch::Topology::line(3), 0);
+        let mut all = jobs();
+        all.insert(
+            1,
+            CompileJob::new("too-big", bv(9), tiny, Strategy::Baseline),
+        );
+        let report = Engine::run(&BatchRequest::new(all));
+        assert_eq!(report.ok_count(), 3);
+        assert_eq!(report.failed_count(), 1);
+        let failed = report.results[1].as_ref().unwrap_err();
+        assert_eq!(failed.name, "too-big");
+        assert!(
+            matches!(failed.error, JobError::Route(_)),
+            "{:?}",
+            failed.error
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_batch() {
+        let panicking = |job: &CompileJob| {
+            if job.name == "boom" {
+                panic!("injected failure in {}", job.name);
+            }
+            caqr::compile_traced(&job.circuit, &job.device, job.strategy)
+        };
+        let mut all = jobs();
+        all.insert(
+            0,
+            CompileJob::new("boom", bv(3), Device::mumbai(5), Strategy::Baseline),
+        );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = Engine::run_with(
+            &BatchRequest::new(all).with_options(BatchOptions::with_workers(2)),
+            &panicking,
+        );
+        std::panic::set_hook(hook);
+        assert_eq!(report.ok_count(), 3);
+        let failed = report.results[0].as_ref().unwrap_err();
+        assert_eq!(failed.name, "boom");
+        match &failed.error {
+            JobError::Panic(msg) => assert!(msg.contains("injected failure"), "{msg}"),
+            other => panic!("expected panic error, got {other}"),
+        }
+        assert_eq!(report.metrics.jobs_failed, 1);
+    }
+
+    #[test]
+    fn cache_suppresses_duplicate_compiles() {
+        let compiles = Counter::new(0);
+        let counting = |job: &CompileJob| {
+            compiles.fetch_add(1, Ordering::SeqCst);
+            caqr::compile_traced(&job.circuit, &job.device, job.strategy)
+        };
+        let duplicated: Vec<CompileJob> = jobs().into_iter().chain(jobs()).collect();
+        let request = BatchRequest::new(duplicated).with_options(BatchOptions {
+            workers: 1,
+            cache_capacity: 16,
+        });
+        let report = Engine::run_with(&request, &counting);
+        assert_eq!(report.ok_count(), 6);
+        assert_eq!(
+            compiles.load(Ordering::SeqCst),
+            3,
+            "second halves were cache hits"
+        );
+        assert_eq!(report.metrics.jobs_from_cache, 3);
+        assert_eq!(report.metrics.cache.hits, 3);
+        assert_eq!(report.metrics.cache.misses, 3);
+    }
+
+    #[test]
+    fn cache_hit_equals_cold_compile() {
+        let warm_request = BatchRequest::new(jobs().into_iter().chain(jobs()).collect::<Vec<_>>());
+        let report = Engine::run(&warm_request);
+        for (cold, warm) in report.results[..3].iter().zip(&report.results[3..]) {
+            let (cold, warm) = (cold.as_ref().unwrap(), warm.as_ref().unwrap());
+            assert!(warm.cache_hit);
+            assert_eq!(cold.report.circuit, warm.report.circuit);
+            assert_eq!(cold.report.depth, warm.report.depth);
+            assert_eq!(cold.report.esp, warm.report.esp);
+        }
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let request = BatchRequest::new(jobs().into_iter().chain(jobs()).collect::<Vec<_>>())
+            .with_options(BatchOptions {
+                workers: 1,
+                cache_capacity: 0,
+            });
+        let report = Engine::run(&request);
+        assert_eq!(report.metrics.jobs_from_cache, 0);
+        assert_eq!(report.metrics.cache.hits, 0);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_sensibly() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = Engine::run(&BatchRequest::new(Vec::new()));
+        assert!(report.results.is_empty());
+        assert_eq!(report.metrics.jobs_total, 0);
+    }
+}

@@ -87,11 +87,88 @@ fn compile_emits_valid_qasm() {
 #[test]
 fn compile_on_custom_device() {
     let (stdout, _, ok) = run(
-        &["compile", "-", "--strategy", "baseline", "--device", "line:5"],
+        &[
+            "compile",
+            "-",
+            "--strategy",
+            "baseline",
+            "--device",
+            "line:5",
+        ],
         BV3_QASM,
     );
     assert!(ok, "{stdout}");
     assert!(stdout.contains("baseline:"));
+}
+
+#[test]
+fn compile_batch_over_suite() {
+    let (stdout, _, ok) = run(
+        &[
+            "compile-batch",
+            "--suite",
+            "regular",
+            "--strategy",
+            "baseline,sr",
+            "--jobs",
+            "2",
+            "--metrics",
+        ],
+        "",
+    );
+    assert!(ok, "{stdout}");
+    // 7 regular benchmarks x 2 strategies, plus the header.
+    assert_eq!(
+        stdout.lines().take_while(|l| !l.is_empty()).count(),
+        15,
+        "{stdout}"
+    );
+    assert!(stdout.contains("BV_10"));
+    assert!(stdout.contains("jobs_ok                14"), "{stdout}");
+    assert!(stdout.contains("stage_routing"), "{stdout}");
+}
+
+#[test]
+fn compile_batch_json_lines_are_parseable_shape() {
+    let (stdout, _, ok) = run(
+        &["compile-batch", "-", "--strategy", "baseline,sr", "--json"],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "two job lines + one metrics line: {stdout}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(lines[0].contains("\"type\":\"job\""));
+    assert!(lines[2].contains("\"type\":\"metrics\""));
+    assert!(lines[2].contains("\"cache_misses\":2"));
+}
+
+#[test]
+fn compile_batch_table_is_identical_across_worker_counts() {
+    let args = |jobs: &'static str| {
+        vec![
+            "compile-batch",
+            "--suite",
+            "regular",
+            "--strategy",
+            "baseline,qs-min-depth,sr",
+            "--jobs",
+            jobs,
+        ]
+    };
+    let (one, _, ok1) = run(&args("1"), "");
+    let (eight, _, ok8) = run(&args("8"), "");
+    assert!(ok1 && ok8);
+    assert_eq!(one, eight, "batch table must not depend on --jobs");
+}
+
+#[test]
+fn compile_batch_needs_input() {
+    let (_, stderr, ok) = run(&["compile-batch", "--jobs", "2"], "");
+    assert!(!ok);
+    assert!(stderr.contains("at least one input"), "{stderr}");
 }
 
 #[test]

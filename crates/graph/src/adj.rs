@@ -124,10 +124,12 @@ impl Graph {
 
     /// Iterates over all edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, ns)| ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Edge density: `|E| / (n choose 2)`, or 0 for graphs with < 2 vertices.

@@ -71,7 +71,9 @@ impl TransitiveClosure {
             }
             s
         };
-        sources.iter().any(|&u| self.reach[u].intersects(&target_set))
+        sources
+            .iter()
+            .any(|&u| self.reach[u].intersects(&target_set))
     }
 
     /// The number of vertices the closure covers.

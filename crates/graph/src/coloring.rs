@@ -131,13 +131,7 @@ pub fn chromatic_number(g: &Graph) -> usize {
         g.neighbors(v).all(|u| colors[u] != c)
     }
 
-    fn solve(
-        g: &Graph,
-        colors: &mut Vec<usize>,
-        v: usize,
-        used: usize,
-        best: &mut usize,
-    ) {
+    fn solve(g: &Graph, colors: &mut Vec<usize>, v: usize, used: usize, best: &mut usize) {
         if used >= *best {
             return; // cannot improve
         }
@@ -260,7 +254,12 @@ mod tests {
         assert!(c.is_proper(&g));
         // q0, q2, q4 are pairwise non-adjacent, so a 3-coloring exists that
         // groups them; DSATUR should find *a* 3-coloring (grouping may vary).
-        assert_eq!(c.color(0) == c.color(4), c.groups().iter().any(|grp| grp.contains(&0) && grp.contains(&4)));
+        assert_eq!(
+            c.color(0) == c.color(4),
+            c.groups()
+                .iter()
+                .any(|grp| grp.contains(&0) && grp.contains(&4))
+        );
     }
 
     #[test]

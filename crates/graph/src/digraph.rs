@@ -139,8 +139,7 @@ impl DiGraph {
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let n = self.num_vertices();
         let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
-        let mut ready: BTreeSet<usize> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(&v) = ready.iter().next() {
             ready.remove(&v);

@@ -173,9 +173,7 @@ impl<'g> Blossom<'g> {
                     continue;
                 }
                 let to_is_root = to == root;
-                let to_is_inner_labeled = self
-                    .mate[to]
-                    .is_some_and(|m| self.parent[m].is_some());
+                let to_is_inner_labeled = self.mate[to].is_some_and(|m| self.parent[m].is_some());
                 if to_is_root || to_is_inner_labeled {
                     // Odd cycle: contract the blossom.
                     self.contract(v, to, &mut queue);

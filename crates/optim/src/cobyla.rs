@@ -147,12 +147,14 @@ fn solve(rows: &mut [Vec<f64>], rhs: &mut [f64]) -> Option<Vec<f64>> {
         }
         rows.swap(col, pivot);
         rhs.swap(col, pivot);
-        for r in col + 1..n {
-            let factor = rows[r][col] / rows[col][col];
-            for c in col..n {
-                rows[r][c] -= factor * rows[col][c];
+        let (pivot_rows, rest) = rows.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (r, row) in rest.iter_mut().take(n - col - 1).enumerate() {
+            let factor = row[col] / pivot_row[col];
+            for (x, &p) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
-            rhs[r] -= factor * rhs[col];
+            rhs[col + 1 + r] -= factor * rhs[col];
         }
     }
     let mut x = vec![0.0; n];
@@ -234,7 +236,9 @@ mod tests {
         // below the start.
         let mut k = 0u64;
         let f = move |x: &[f64]| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((k >> 33) as f64 / 2f64.powi(31) - 0.5) * 0.05;
             x[0] * x[0] + x[1] * x[1] + noise
         };

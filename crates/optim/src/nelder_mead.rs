@@ -158,11 +158,7 @@ mod tests {
 
     #[test]
     fn history_is_monotone_nonincreasing() {
-        let r = minimize(
-            |x| (x[0] - 2.0).powi(2) + 1.0,
-            &[0.0],
-            &Options::default(),
-        );
+        let r = minimize(|x| (x[0] - 2.0).powi(2) + 1.0, &[0.0], &Options::default());
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0]);
         }

@@ -1,0 +1,290 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses:
+//! the [`Strategy`] trait over integer/float ranges, tuples, and
+//! [`collection::vec`]; the [`proptest!`] test macro; and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Semantics: each generated test runs [`ProptestConfig::cases`] random
+//! cases from a ChaCha8 stream seeded by the test's name, so runs are
+//! deterministic. There is no shrinking — a failing case reports its
+//! case number and seed instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+pub use rand_chacha::ChaCha8Rng;
+
+/// Per-`proptest!` configuration (only the `cases` knob is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Strategies over collections (`proptest::collection`).
+pub mod collection {
+    use super::{ChaCha8Rng, Strategy};
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import module.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Builds the deterministic per-test random stream (used by the
+/// [`proptest!`] expansion so consuming crates need no direct `rand` dep).
+pub fn rng_for(seed: u64) -> ChaCha8Rng {
+    use rand::SeedableRng as _;
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A stable 64-bit FNV-1a hash of the test name, used to seed each test's
+/// random stream.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_for_test(stringify!($name));
+            let mut rng = $crate::rng_for(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(message) = outcome {
+                    panic!(
+                        "proptest case {case}/{} failed (seed {seed:#x}): {message}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` for [`proptest!`] bodies: fails only the current case, with
+/// the case's context attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..12, x in 0u8..6, f in 0.1f64..0.7) {
+            prop_assert!((3..12).contains(&n));
+            prop_assert!(x < 6);
+            prop_assert!((0.1..0.7).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u8..4, 0usize..10), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 10);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0usize..50).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 100);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::seed_for_test("a"), crate::seed_for_test("b"));
+        assert_eq!(crate::seed_for_test("a"), crate::seed_for_test("a"));
+    }
+}

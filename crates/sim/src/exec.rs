@@ -280,7 +280,9 @@ mod tests {
         circ.measure(q(1), c(2));
         let dev = Device::mumbai(0);
         let noisy = Executor::noisy(
-            NoiseModel::from_device(dev).with_scale(30.0).with_idle_channel(IdleChannel::ThermalRelaxation),
+            NoiseModel::from_device(dev)
+                .with_scale(30.0)
+                .with_idle_channel(IdleChannel::ThermalRelaxation),
         );
         let counts = noisy.run_shots(&circ, 600, 17);
         let decayed: usize = counts

@@ -24,8 +24,7 @@ use caqr_graph::Graph;
 /// assert!(metrics::tvd(&ideal, &counts) < 1e-12);
 /// ```
 pub fn tvd(ideal: &[(u64, f64)], counts: &Counts) -> f64 {
-    let mut support: std::collections::BTreeSet<u64> =
-        ideal.iter().map(|&(v, _)| v).collect();
+    let mut support: std::collections::BTreeSet<u64> = ideal.iter().map(|&(v, _)| v).collect();
     support.extend(counts.iter().map(|(v, _)| v));
     let lookup: std::collections::BTreeMap<u64, f64> = ideal.iter().copied().collect();
     0.5 * support
@@ -94,7 +93,7 @@ pub fn parity_expectation(counts: &Counts, mask: u64) -> f64 {
     counts
         .iter()
         .map(|(v, c)| {
-            let sign = if (v & mask).count_ones() % 2 == 0 {
+            let sign = if (v & mask).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0

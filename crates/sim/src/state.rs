@@ -91,20 +91,11 @@ impl StateVector {
                 let s = std::f64::consts::FRAC_1_SQRT_2;
                 self.apply_1q(
                     qubits[0],
-                    [
-                        [C64::real(s), C64::real(s)],
-                        [C64::real(s), C64::real(-s)],
-                    ],
+                    [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]],
                 );
             }
-            Gate::X => self.apply_1q(
-                qubits[0],
-                [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]],
-            ),
-            Gate::Y => self.apply_1q(
-                qubits[0],
-                [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]],
-            ),
+            Gate::X => self.apply_1q(qubits[0], [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]),
+            Gate::Y => self.apply_1q(qubits[0], [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]),
             Gate::Z => self.phase_1q(qubits[0], C64::real(-1.0)),
             Gate::S => self.phase_1q(qubits[0], C64::I),
             Gate::Sdg => self.phase_1q(qubits[0], -C64::I),
@@ -124,10 +115,7 @@ impl StateVector {
                 let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
                 self.apply_1q(
                     qubits[0],
-                    [
-                        [C64::real(c), C64::real(-s)],
-                        [C64::real(s), C64::real(c)],
-                    ],
+                    [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]],
                 );
             }
             Gate::Rz(a) => {
@@ -141,10 +129,7 @@ impl StateVector {
                     qubits[0],
                     [
                         [C64::real(c), -(C64::cis(lambda).scale(s))],
-                        [
-                            C64::cis(phi).scale(s),
-                            C64::cis(phi + lambda).scale(c),
-                        ],
+                        [C64::cis(phi).scale(s), C64::cis(phi + lambda).scale(c)],
                     ],
                 );
             }
@@ -393,7 +378,10 @@ mod tests {
         b.apply_gate(&Gate::Rz(theta), &[1]);
         b.apply_gate(&Gate::Cx, &[0, 1]);
         for i in 0..4 {
-            assert!((a.amplitude(i) - b.amplitude(i)).abs2() < 1e-20, "index {i}");
+            assert!(
+                (a.amplitude(i) - b.amplitude(i)).abs2() < 1e-20,
+                "index {i}"
+            );
         }
     }
 

@@ -21,7 +21,10 @@ fn plan(bench: &Benchmark, budget: usize) {
             bench.circuit.depth(),
             c.depth()
         ),
-        None => println!("{:<12} {width:>2} qubits -> budget {budget:>2}: no", bench.name),
+        None => println!(
+            "{:<12} {width:>2} qubits -> budget {budget:>2}: no",
+            bench.name
+        ),
     }
 }
 

@@ -63,7 +63,9 @@ fn deterministic_benchmarks_stay_correct_through_every_strategy() {
                 bench.name,
                 compact.num_qubits()
             );
-            let counts = Executor::ideal().run_shots(&compact, 25, 7).marginal(clbits);
+            let counts = Executor::ideal()
+                .run_shots(&compact, 25, 7)
+                .marginal(clbits);
             assert_eq!(
                 counts.get(correct),
                 25,
@@ -125,15 +127,13 @@ fn qaoa_exact_distribution_preserved_through_qs() {
     use caqr::qs;
     use caqr_sim::exact;
 
-    let bench = caqr_benchmarks::qaoa::qaoa_benchmark(
-        6,
-        0.3,
-        caqr_benchmarks::qaoa::GraphKind::Random,
-        9,
-    );
+    let bench =
+        caqr_benchmarks::qaoa::qaoa_benchmark(6, 0.3, caqr_benchmarks::qaoa::GraphKind::Random, 9);
     let spec = CommutingSpec::from_circuit(&bench.circuit).unwrap();
-    let reference: std::collections::BTreeMap<u64, f64> =
-        exact::distribution(&bench.circuit).unwrap().into_iter().collect();
+    let reference: std::collections::BTreeMap<u64, f64> = exact::distribution(&bench.circuit)
+        .unwrap()
+        .into_iter()
+        .collect();
     let mask = (1u64 << 6) - 1;
     for point in qs::commuting::sweep(&spec, Matcher::Blossom) {
         let dist = exact::distribution(&point.circuit).unwrap();

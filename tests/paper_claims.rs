@@ -58,7 +58,10 @@ fn fig5_one_reuse_removes_swaps_on_bv5() {
     let device = Device::with_synthetic_calibration(Topology::five_qubit_t(), 7);
     let bench = bv::bv_all_ones(5);
     let base = compile(&bench.circuit, &device, Strategy::Baseline).unwrap();
-    assert!(base.swaps >= 1, "degree-4 star needs SWAPs on a degree-3 device");
+    assert!(
+        base.swaps >= 1,
+        "degree-4 star needs SWAPs on a degree-3 device"
+    );
     let sr = compile(&bench.circuit, &device, Strategy::Sr).unwrap();
     assert_eq!(sr.swaps, 0, "one reuse makes BV_5 embeddable");
     assert!(sr.qubits <= 4);
@@ -93,8 +96,7 @@ fn fig14_qaoa_saves_half() {
         let mut floors = Vec::new();
         for kind in [GraphKind::Random, GraphKind::PowerLaw] {
             let graph = kind.generate(n, 0.3, 17);
-            let spec =
-                CommutingSpec::from_circuit(&maxcut_circuit(&graph, &[(0.7, 0.3)])).unwrap();
+            let spec = CommutingSpec::from_circuit(&maxcut_circuit(&graph, &[(0.7, 0.3)])).unwrap();
             let points = qs::commuting::sweep(&spec, Matcher::Greedy);
             let min = points.last().unwrap().qubits;
             assert!(
@@ -179,14 +181,16 @@ fn commuting_sweep_floor_near_exact_pathwidth() {
     use caqr_graph::pathwidth;
     for seed in [3u64, 9, 21] {
         let graph = caqr_graph::gen::random_graph(9, 0.3, seed);
-        let spec =
-            CommutingSpec::from_circuit(&maxcut_circuit(&graph, &[(0.7, 0.3)])).unwrap();
+        let spec = CommutingSpec::from_circuit(&maxcut_circuit(&graph, &[(0.7, 0.3)])).unwrap();
         let floor = qs::commuting::sweep(&spec, Matcher::Blossom)
             .last()
             .unwrap()
             .qubits;
         let optimum = pathwidth::exact(&graph) + 1;
-        assert!(floor >= optimum, "floor {floor} below pathwidth bound {optimum}");
+        assert!(
+            floor >= optimum,
+            "floor {floor} below pathwidth bound {optimum}"
+        );
         assert!(
             floor <= optimum + 1,
             "seed {seed}: sweep floor {floor} vs exact optimum {optimum}"

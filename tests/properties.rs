@@ -12,7 +12,10 @@ use proptest::prelude::*;
 
 /// A random shallow circuit on `n` qubits ending in measure-all.
 fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    (2..=max_qubits, proptest::collection::vec((0..6u8, 0..100usize, 0..100usize), 1..max_gates))
+    (
+        2..=max_qubits,
+        proptest::collection::vec((0..6u8, 0..100usize, 0..100usize), 1..max_gates),
+    )
         .prop_map(|(n, ops)| {
             let mut c = Circuit::new(n, n);
             for (kind, a, b) in ops {
@@ -186,6 +189,9 @@ fn dynamic_circuit_pipeline_regression() {
         *mb.entry(v & 0b1111).or_insert(0.0) += p;
     }
     for (v, p) in &ma {
-        assert!((mb.get(v).copied().unwrap_or(0.0) - p).abs() < 1e-9, "{v:04b}");
+        assert!(
+            (mb.get(v).copied().unwrap_or(0.0) - p).abs() < 1e-9,
+            "{v:04b}"
+        );
     }
 }
