@@ -7,7 +7,9 @@
 //! (interaction-degree placement) and no qubit reclamation — so deltas
 //! against QS/SR-CaQR measure exactly the value of qubit reuse.
 
-use crate::router::{self, RouteError, RoutedCircuit, RouterOptions};
+use crate::error::CaqrError;
+use crate::pass::AnalysisCache;
+use crate::router::{self, RoutedCircuit, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
 
@@ -15,30 +17,33 @@ use caqr_circuit::Circuit;
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when the circuit is wider than the
+/// Returns [`CaqrError::OutOfQubits`] when the circuit is wider than the
 /// device.
-pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, RouteError> {
+pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, CaqrError> {
     router::route(circuit, device, RouterOptions::baseline())
 }
 
 /// SABRE-style bidirectional layout refinement: route forward, route the
 /// *reversed* circuit seeded with the forward pass's final layout, then
 /// route forward again from where the reverse pass ended. The best of the
-/// first and final forward passes (by SWAPs, then depth) wins.
+/// first and final forward passes (by SWAPs, then depth) wins. The forward
+/// and refined passes route the same circuit, so they share one
+/// [`AnalysisCache`].
 ///
 /// Exposed alongside [`compile`] so the routing-quality ablation can
 /// quantify what the extra passes buy.
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when the circuit is wider than the
+/// Returns [`CaqrError::OutOfQubits`] when the circuit is wider than the
 /// device.
 pub fn compile_bidirectional(
     circuit: &Circuit,
     device: &Device,
-) -> Result<RoutedCircuit, RouteError> {
+) -> Result<RoutedCircuit, CaqrError> {
     let opts = RouterOptions::baseline();
-    let forward = router::route(circuit, device, opts)?;
+    let mut analyses = AnalysisCache::new();
+    let forward = router::route_cached(circuit, device, opts, None, &mut analyses)?;
 
     // Reverse the instruction list; only the two-qubit structure matters
     // for layout search, so measures and conditionals ride along.
@@ -47,7 +52,13 @@ pub fn compile_bidirectional(
         reversed.push(instr.clone());
     }
     let backward = router::route_seeded(&reversed, device, opts, Some(&forward.final_layout))?;
-    let refined = router::route_seeded(circuit, device, opts, Some(&backward.final_layout))?;
+    let refined = router::route_cached(
+        circuit,
+        device,
+        opts,
+        Some(&backward.final_layout),
+        &mut analyses,
+    )?;
 
     let key = |r: &RoutedCircuit| (r.swap_count, r.circuit.depth());
     Ok(if key(&refined) <= key(&forward) {
@@ -63,8 +74,10 @@ mod tests {
     use caqr_arch::Topology;
     use caqr_circuit::{Clbit, Qubit};
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn compiles_and_is_compliant() {
+    fn compiles_and_is_compliant() -> TestResult {
         let dev = Device::mumbai(1);
         let mut c = Circuit::new(6, 6);
         for i in 0..6 {
@@ -74,7 +87,7 @@ mod tests {
             c.cx(Qubit::new(i), Qubit::new(i + 1));
         }
         c.measure_all();
-        let r = compile(&c, &dev).unwrap();
+        let r = compile(&c, &dev)?;
         assert!(r.is_hardware_compliant(&dev));
         assert_eq!(r.physical_qubits_used, 6);
         // No reuse: no conditional resets.
@@ -82,26 +95,28 @@ mod tests {
             r.circuit.iter().filter(|i| i.condition.is_some()).count(),
             0
         );
+        Ok(())
     }
 
     #[test]
-    fn line_circuit_on_line_device_is_swap_free() {
+    fn line_circuit_on_line_device_is_swap_free() -> TestResult {
         let dev = Device::with_synthetic_calibration(Topology::line(4), 2);
         let mut c = Circuit::new(4, 0);
         for i in 0..3 {
             c.cx(Qubit::new(i), Qubit::new(i + 1));
         }
-        let r = compile(&c, &dev).unwrap();
+        let r = compile(&c, &dev)?;
         assert_eq!(r.swap_count, 0);
+        Ok(())
     }
 
     #[test]
-    fn bidirectional_never_worse_and_still_correct() {
+    fn bidirectional_never_worse_and_still_correct() -> TestResult {
         use caqr_sim::Executor;
         let dev = Device::mumbai(9);
         let bench = caqr_benchmarks::bv::bv_all_ones(8);
-        let single = compile(&bench.circuit, &dev).unwrap();
-        let refined = compile_bidirectional(&bench.circuit, &dev).unwrap();
+        let single = compile(&bench.circuit, &dev)?;
+        let refined = compile_bidirectional(&bench.circuit, &dev)?;
         assert!(refined.is_hardware_compliant(&dev));
         assert!(
             refined.swap_count <= single.swap_count,
@@ -111,11 +126,13 @@ mod tests {
         );
         let (compact, _) = refined.circuit.compact_qubits();
         let counts = Executor::ideal().run_shots(&compact, 40, 5).marginal(7);
-        assert_eq!(counts.get(bench.correct_output.unwrap()), 40);
+        let correct = bench.correct_output.ok_or("bv has a correct output")?;
+        assert_eq!(counts.get(correct), 40);
+        Ok(())
     }
 
     #[test]
-    fn preserves_deterministic_output() {
+    fn preserves_deterministic_output() -> TestResult {
         use caqr_sim::Executor;
         let dev = Device::mumbai(4);
         let mut c = Circuit::new(4, 4);
@@ -125,9 +142,10 @@ mod tests {
         for i in 0..4 {
             c.measure(Qubit::new(i), Clbit::new(i));
         }
-        let r = compile(&c, &dev).unwrap();
+        let r = compile(&c, &dev)?;
         let (compact, _) = r.circuit.compact_qubits();
         let counts = Executor::ideal().run_shots(&compact, 60, 5);
         assert_eq!(counts.get(0b1011), 60, "{counts}");
+        Ok(())
     }
 }

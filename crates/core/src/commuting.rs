@@ -89,7 +89,10 @@ impl CommutingSpec {
                         return Err(NotCommutingError::new(format!("q{q} measured twice")));
                     }
                     phase[q] = Phase::Measured;
-                    spec.measure_clbit[q] = Some(instr.clbit.expect("measure has a clbit").index());
+                    let clbit = instr
+                        .clbit
+                        .ok_or_else(|| NotCommutingError::new("measure without a clbit"))?;
+                    spec.measure_clbit[q] = Some(clbit.index());
                 }
                 g if g.is_two_qubit() => {
                     if !g.is_diagonal() {
@@ -370,24 +373,22 @@ fn live_pairs_with(spec: &CommutingSpec, finish_bias: bool) -> Vec<ReusePair> {
         } else {
             None
         };
-        let best = unscheduled
-            .iter()
-            .copied()
-            .min_by_key(|&ei| {
-                let (a, b, _) = spec.edges()[ei];
-                let on_focus = focus.is_some_and(|f| a == f || b == f);
-                let activations = usize::from(!alive[a]) + usize::from(!alive[b]);
-                let retirements = usize::from(remaining[a] == 1) + usize::from(remaining[b] == 1);
-                let load = remaining[a] + remaining[b];
-                (
-                    std::cmp::Reverse(on_focus),
-                    activations,
-                    std::cmp::Reverse(retirements),
-                    load,
-                    ei,
-                )
-            })
-            .expect("edges remain");
+        let Some(best) = unscheduled.iter().copied().min_by_key(|&ei| {
+            let (a, b, _) = spec.edges()[ei];
+            let on_focus = focus.is_some_and(|f| a == f || b == f);
+            let activations = usize::from(!alive[a]) + usize::from(!alive[b]);
+            let retirements = usize::from(remaining[a] == 1) + usize::from(remaining[b] == 1);
+            let load = remaining[a] + remaining[b];
+            (
+                std::cmp::Reverse(on_focus),
+                activations,
+                std::cmp::Reverse(retirements),
+                load,
+                ei,
+            )
+        }) else {
+            break;
+        };
         let (a, b, _) = spec.edges()[best];
         activate(a, &mut alive, &mut pool, &mut pairs);
         activate(b, &mut alive, &mut pool, &mut pairs);
@@ -488,7 +489,6 @@ pub fn emit(
         finished: &mut [bool],
         remaining_on: &[usize],
         reset_clbit: &[Option<usize>],
-        receiver_of: &[Option<usize>],
         c: &mut Circuit,
     ) {
         if started[q] {
@@ -507,7 +507,7 @@ pub fn emit(
         }
         // A qubit with no edges finishes immediately.
         if remaining_on[q] == 0 {
-            finish(q, spec, wire_of, finished, reset_clbit, receiver_of, c);
+            finish(q, spec, wire_of, finished, reset_clbit, c);
         }
     }
 
@@ -517,7 +517,6 @@ pub fn emit(
         wire_of: &[usize],
         finished: &mut [bool],
         reset_clbit: &[Option<usize>],
-        receiver_of: &[Option<usize>],
         c: &mut Circuit,
     ) {
         if finished[q] {
@@ -531,8 +530,10 @@ pub fn emit(
         if let Some(cl) = spec.measure_clbit[q] {
             c.measure(w, Clbit::new(cl));
         }
-        if receiver_of[q].is_some() {
-            let cl = reset_clbit[q].expect("donor has a reset clbit");
+        // `reset_clbit[q]` is Some exactly when q is a donor (it was
+        // built by mapping over `receiver_of`), so this single check
+        // covers "is this qubit handed to a receiver".
+        if let Some(cl) = reset_clbit[q] {
             if spec.measure_clbit[q].is_none() {
                 c.measure(w, Clbit::new(cl));
             }
@@ -564,7 +565,6 @@ pub fn emit(
                         &mut finished,
                         &remaining_on,
                         &reset_clbit,
-                        &receiver_of,
                         &mut c,
                     );
                 }
@@ -574,15 +574,7 @@ pub fn emit(
             for q in [a, b] {
                 remaining_on[q] -= 1;
                 if remaining_on[q] == 0 {
-                    finish(
-                        q,
-                        spec,
-                        &wire_of,
-                        &mut finished,
-                        &reset_clbit,
-                        &receiver_of,
-                        &mut c,
-                    );
+                    finish(q, spec, &wire_of, &mut finished, &reset_clbit, &mut c);
                 }
             }
         }
@@ -605,7 +597,6 @@ pub fn emit(
                     &mut finished,
                     &remaining_on,
                     &reset_clbit,
-                    &receiver_of,
                     &mut c,
                 );
                 progress = true;
@@ -649,11 +640,13 @@ mod tests {
         c
     }
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn spec_extraction() {
+    fn spec_extraction() -> TestResult {
         let g = gen::random_graph(6, 0.4, 1);
         let c = qaoa_circuit(&g);
-        let spec = CommutingSpec::from_circuit(&c).unwrap();
+        let spec = CommutingSpec::from_circuit(&c)?;
         assert_eq!(spec.num_qubits(), 6);
         assert_eq!(spec.edges().len(), g.num_edges());
         assert_eq!(spec.interaction_graph(), g);
@@ -662,6 +655,7 @@ mod tests {
             assert_eq!(spec.epilogue[v].len(), 1);
             assert_eq!(spec.measure_clbit[v], Some(v));
         }
+        Ok(())
     }
 
     #[test]
@@ -679,51 +673,54 @@ mod tests {
     }
 
     #[test]
-    fn pairs_validation() {
+    fn pairs_validation() -> TestResult {
         // Path 0-1-2: 0 and 2 do not interact.
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         assert!(spec.pairs_valid(&[pair(0, 2)]));
         assert!(spec.pairs_valid(&[pair(2, 0)]));
         // Interacting pair fails Condition 1.
         assert!(!spec.pairs_valid(&[pair(0, 1)]));
         // Duplicate donor.
         assert!(!spec.pairs_valid(&[pair(0, 2), pair(0, 1)]));
+        Ok(())
     }
 
     #[test]
-    fn mutual_reuse_cycle_rejected() {
+    fn mutual_reuse_cycle_rejected() -> TestResult {
         // 0-1, 2-3 disjoint: (0 -> 2) and (2 -> 0) together cycle.
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         assert!(spec.pairs_valid(&[pair(0, 2)]));
         assert!(!spec.pairs_valid(&[pair(0, 2), pair(2, 0)]));
+        Ok(())
     }
 
     #[test]
-    fn isolated_qubit_mutual_reuse_rejected() {
+    fn isolated_qubit_mutual_reuse_rejected() -> TestResult {
         // Vertices 2 and 3 have no gates at all; a mutual reuse between
         // them is invisible to the gate-level cycle test but must still be
         // rejected (wire assignment would be circular). Regression test
         // for a hang in the sweet-spot search.
         let mut g = Graph::new(4);
         g.add_edge(0, 1);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         assert!(spec.pairs_valid(&[pair(2, 3)]));
         assert!(!spec.pairs_valid(&[pair(2, 3), pair(3, 2)]));
         // Longer gate-free chains that loop are also rejected.
         let mut g5 = Graph::new(5);
         g5.add_edge(0, 1);
-        let spec5 = CommutingSpec::from_circuit(&qaoa_circuit(&g5)).unwrap();
+        let spec5 = CommutingSpec::from_circuit(&qaoa_circuit(&g5))?;
         assert!(!spec5.pairs_valid(&[pair(2, 3), pair(3, 4), pair(4, 2)]));
+        Ok(())
     }
 
     #[test]
-    fn schedule_covers_all_edges() {
+    fn schedule_covers_all_edges() -> TestResult {
         let g = gen::random_graph(8, 0.4, 2);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         for matcher in [Matcher::Blossom, Matcher::Greedy] {
-            let rounds = schedule(&spec, &[], matcher).unwrap();
+            let rounds = schedule(&spec, &[], matcher).ok_or("schedule exists")?;
             let mut seen: Vec<usize> = rounds.iter().flatten().copied().collect();
             seen.sort_unstable();
             assert_eq!(seen, (0..spec.edges().len()).collect::<Vec<_>>());
@@ -737,84 +734,89 @@ mod tests {
                 }
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn schedule_with_pairs_respects_dependence() {
+    fn schedule_with_pairs_respects_dependence() -> TestResult {
         // Path 0-1, 2-3; pair (1 -> 2): gate (2,3) must come after (0,1).
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
-        let rounds = schedule(&spec, &[pair(1, 2)], Matcher::Blossom).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
+        let rounds = schedule(&spec, &[pair(1, 2)], Matcher::Blossom).ok_or("schedule exists")?;
         let edge01 = spec
             .edges()
             .iter()
             .position(|&(a, b, _)| (a, b) == (0, 1))
-            .unwrap();
-        let round_of = |ei: usize| rounds.iter().position(|r| r.contains(&ei)).unwrap();
+            .ok_or("edge (0,1) exists")?;
         let edge23 = spec
             .edges()
             .iter()
             .position(|&(a, b, _)| (a, b) == (2, 3))
-            .unwrap();
-        assert!(round_of(edge01) < round_of(edge23));
+            .ok_or("edge (2,3) exists")?;
+        let round_of = |ei: usize| rounds.iter().position(|r| r.contains(&ei));
+        let r01 = round_of(edge01).ok_or("edge (0,1) scheduled")?;
+        let r23 = round_of(edge23).ok_or("edge (2,3) scheduled")?;
+        assert!(r01 < r23);
+        Ok(())
     }
 
     #[test]
-    fn schedule_deadlock_returns_none() {
+    fn schedule_deadlock_returns_none() -> TestResult {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         assert!(schedule(&spec, &[pair(0, 2), pair(2, 0)], Matcher::Blossom).is_none());
+        Ok(())
     }
 
     #[test]
-    fn emit_without_pairs_preserves_semantics() {
+    fn emit_without_pairs_preserves_semantics() -> TestResult {
         use caqr_sim::exact;
         let g = gen::random_graph(5, 0.4, 3);
         let original = qaoa_circuit(&g);
-        let spec = CommutingSpec::from_circuit(&original).unwrap();
-        let rounds = schedule(&spec, &[], Matcher::Blossom).unwrap();
+        let spec = CommutingSpec::from_circuit(&original)?;
+        let rounds = schedule(&spec, &[], Matcher::Blossom).ok_or("schedule exists")?;
         let (emitted, wire_of) = emit(&spec, &[], &rounds);
         assert_eq!(emitted.num_qubits(), 5);
         assert_eq!(wire_of, vec![0, 1, 2, 3, 4]);
-        let d1 = exact::distribution(&original).unwrap();
-        let d2 = exact::distribution(&emitted).unwrap();
+        let d1 = exact::distribution(&original)?;
+        let d2 = exact::distribution(&emitted)?;
         let m1: std::collections::BTreeMap<u64, f64> = d1.into_iter().collect();
         for (v, p) in d2 {
             let expect = m1.get(&v).copied().unwrap_or(0.0);
             assert!((p - expect).abs() < 1e-9, "value {v:b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn emit_with_pair_reduces_wires_and_inserts_reset() {
+    fn emit_with_pair_reduces_wires_and_inserts_reset() -> TestResult {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         let pairs = [pair(0, 2)];
-        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).ok_or("schedule exists")?;
         let (emitted, wire_of) = emit(&spec, &pairs, &rounds);
         assert_eq!(emitted.num_qubits(), 3);
         assert_eq!(wire_of[0], wire_of[2]);
         assert_eq!(emitted.mid_circuit_measurement_count(), 1);
         assert_eq!(emitted.iter().filter(|i| i.condition.is_some()).count(), 1);
+        Ok(())
     }
 
     #[test]
-    fn emit_reuse_preserves_marginals() {
+    fn emit_reuse_preserves_marginals() -> TestResult {
         // The transformed QAOA circuit must give the same distribution over
         // the original clbits.
         use caqr_sim::exact;
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         let original = qaoa_circuit(&g);
-        let spec = CommutingSpec::from_circuit(&original).unwrap();
+        let spec = CommutingSpec::from_circuit(&original)?;
         let pairs = [pair(0, 2)];
         assert!(spec.pairs_valid(&pairs));
-        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).ok_or("schedule exists")?;
         let (emitted, _) = emit(&spec, &pairs, &rounds);
-        let d1: std::collections::BTreeMap<u64, f64> = exact::distribution(&original)
-            .unwrap()
-            .into_iter()
-            .collect();
-        let d2 = exact::distribution(&emitted).unwrap();
+        let d1: std::collections::BTreeMap<u64, f64> =
+            exact::distribution(&original)?.into_iter().collect();
+        let d2 = exact::distribution(&emitted)?;
         let mut merged: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
         for (v, p) in d2 {
             *merged.entry(v & 0b1111).or_insert(0.0) += p;
@@ -823,30 +825,33 @@ mod tests {
             let got = merged.get(v).copied().unwrap_or(0.0);
             assert!((got - p).abs() < 1e-9, "value {v:04b}: want {p}, got {got}");
         }
+        Ok(())
     }
 
     #[test]
-    fn chained_pairs_emit() {
+    fn chained_pairs_emit() -> TestResult {
         // Triangle-free path: 0-1, 2-3, 4-5; chain 0 -> 2 -> 4.
         let g = Graph::from_edges(6, [(0, 1), (2, 3), (4, 5)]);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
         let pairs = [pair(0, 2), pair(2, 4)];
         assert!(spec.pairs_valid(&pairs));
-        let rounds = schedule(&spec, &pairs, Matcher::Blossom).unwrap();
+        let rounds = schedule(&spec, &pairs, Matcher::Blossom).ok_or("schedule exists")?;
         let (emitted, wire_of) = emit(&spec, &pairs, &rounds);
         assert_eq!(emitted.num_qubits(), 4);
         assert_eq!(wire_of[0], wire_of[2]);
         assert_eq!(wire_of[2], wire_of[4]);
+        Ok(())
     }
 
     #[test]
-    fn isolated_vertices_still_emitted() {
+    fn isolated_vertices_still_emitted() -> TestResult {
         let mut g = Graph::new(3);
         g.add_edge(0, 1); // vertex 2 isolated
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g)).unwrap();
-        let rounds = schedule(&spec, &[], Matcher::Blossom).unwrap();
+        let spec = CommutingSpec::from_circuit(&qaoa_circuit(&g))?;
+        let rounds = schedule(&spec, &[], Matcher::Blossom).ok_or("schedule exists")?;
         let (emitted, _) = emit(&spec, &[], &rounds);
         // All three qubits have H + RX + measure.
         assert_eq!(emitted.count_gates(|g| matches!(g, Gate::Measure)), 3);
+        Ok(())
     }
 }

@@ -1,0 +1,190 @@
+//! The unified error hierarchy for every fallible compilation entry point.
+//!
+//! Every public function in `caqr-core` that can fail returns
+//! [`CaqrError`]; the panicking paths the pre-pass-manager pipeline had
+//! (placement `expect`s, `unreachable!` arms, empty-sweep selection) are
+//! surfaced here instead so a batch engine can report them per job rather
+//! than aborting the process.
+
+use crate::transform::ReuseError;
+use std::fmt;
+
+/// Any failure the CaQR compilation pipeline can report.
+///
+/// Hand-rolled `thiserror`-style: every variant carries the context needed
+/// to act on it (the offending qubits, the gate index, the pass name), and
+/// the `Display` form is what the CLI prints before exiting non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaqrError {
+    /// More concurrently-live logical qubits than physical qubits.
+    ///
+    /// Where the router knows them, `qubit` is the logical qubit whose
+    /// placement failed and `gate_index` the instruction (input-circuit
+    /// index) that needed it mapped. The up-front width check reports
+    /// `None` for both: no specific gate was at fault, the circuit is
+    /// simply wider than the device.
+    OutOfQubits {
+        /// Logical qubits in the input circuit.
+        logical: usize,
+        /// Physical qubits on the device.
+        physical: usize,
+        /// The logical qubit that could not be placed, when known.
+        qubit: Option<usize>,
+        /// The instruction index that required the placement, when known.
+        gate_index: Option<usize>,
+    },
+    /// A reuse plan was structurally invalid.
+    Reuse(ReuseError),
+    /// A sweep/selection pass found no candidate to select from.
+    EmptySweep {
+        /// The pass that expected candidates.
+        pass: &'static str,
+    },
+    /// A pass-sequence recipe referenced a pass that is not registered.
+    UnknownPass {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A pass ran before the pass that produces its input artifact.
+    MissingArtifact {
+        /// The pass that needed the artifact.
+        pass: &'static str,
+        /// What was missing (e.g. `"routed circuit"`).
+        artifact: &'static str,
+    },
+    /// An internal invariant was violated. Reported instead of panicking
+    /// so one bad job cannot take down a batch.
+    Internal {
+        /// What went wrong, in invariant terms.
+        detail: String,
+    },
+}
+
+impl CaqrError {
+    /// Shorthand for an [`CaqrError::Internal`] invariant violation.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        CaqrError::Internal {
+            detail: detail.into(),
+        }
+    }
+
+    /// The logical qubit at fault, when the error pinpoints one.
+    pub fn qubit(&self) -> Option<usize> {
+        match self {
+            CaqrError::OutOfQubits { qubit, .. } => *qubit,
+            _ => None,
+        }
+    }
+
+    /// The instruction index at fault, when the error pinpoints one.
+    pub fn gate_index(&self) -> Option<usize> {
+        match self {
+            CaqrError::OutOfQubits { gate_index, .. } => *gate_index,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CaqrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaqrError::OutOfQubits {
+                logical,
+                physical,
+                qubit,
+                gate_index,
+            } => {
+                write!(
+                    f,
+                    "cannot place {logical} live logical qubits on {physical} physical qubits"
+                )?;
+                if let Some(q) = qubit {
+                    write!(f, " (logical qubit {q}")?;
+                    if let Some(g) = gate_index {
+                        write!(f, " at gate {g}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            CaqrError::Reuse(e) => write!(f, "invalid reuse plan: {e}"),
+            CaqrError::EmptySweep { pass } => {
+                write!(f, "pass '{pass}' had no sweep candidates to select from")
+            }
+            CaqrError::UnknownPass { name } => write!(f, "unknown pass '{name}'"),
+            CaqrError::MissingArtifact { pass, artifact } => {
+                write!(
+                    f,
+                    "pass '{pass}' needs a {artifact} produced by an earlier pass"
+                )
+            }
+            CaqrError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CaqrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaqrError::Reuse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReuseError> for CaqrError {
+    fn from(e: ReuseError) -> Self {
+        CaqrError::Reuse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_qubits_display_includes_context() {
+        let bare = CaqrError::OutOfQubits {
+            logical: 9,
+            physical: 3,
+            qubit: None,
+            gate_index: None,
+        };
+        assert_eq!(
+            bare.to_string(),
+            "cannot place 9 live logical qubits on 3 physical qubits"
+        );
+        let full = CaqrError::OutOfQubits {
+            logical: 9,
+            physical: 3,
+            qubit: Some(7),
+            gate_index: Some(12),
+        };
+        let s = full.to_string();
+        assert!(s.contains("logical qubit 7"), "{s}");
+        assert!(s.contains("at gate 12"), "{s}");
+        assert_eq!(full.qubit(), Some(7));
+        assert_eq!(full.gate_index(), Some(12));
+    }
+
+    #[test]
+    fn other_variants_display() {
+        assert!(CaqrError::EmptySweep { pass: "select" }
+            .to_string()
+            .contains("select"));
+        assert!(CaqrError::UnknownPass {
+            name: "nope".into()
+        }
+        .to_string()
+        .contains("nope"));
+        assert!(CaqrError::MissingArtifact {
+            pass: "report",
+            artifact: "routed circuit"
+        }
+        .to_string()
+        .contains("routed circuit"));
+        assert!(CaqrError::internal("broken").to_string().contains("broken"));
+        assert_eq!(CaqrError::internal("x").qubit(), None);
+        assert_eq!(CaqrError::internal("x").gate_index(), None);
+    }
+}

@@ -13,8 +13,25 @@
 //! per-link CNOT errors and per-qubit readout errors apply exactly.
 
 use caqr_arch::Device;
-use caqr_circuit::depth::Schedule;
-use caqr_circuit::{Circuit, Gate};
+use caqr_circuit::depth::{DurationModel, Schedule};
+use caqr_circuit::{Circuit, Gate, Instruction};
+
+/// The error probability of one physical instruction on `device`.
+fn gate_error(cal: &caqr_arch::Calibration, instr: &Instruction) -> f64 {
+    match instr.gate {
+        Gate::Measure => cal.readout_error(instr.qubits[0].index()),
+        Gate::Reset => cal.readout_error(instr.qubits[0].index()),
+        Gate::Swap => {
+            let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
+            1.0 - (1.0 - cal.cx_error(a, b)).powi(3)
+        }
+        g if g.is_two_qubit() => {
+            let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
+            cal.cx_error(a, b)
+        }
+        _ => cal.sq_error(instr.qubits[0].index()),
+    }
+}
 
 /// Estimated success probability of a physical circuit on `device`.
 ///
@@ -23,20 +40,7 @@ pub fn estimate(circuit: &Circuit, device: &Device) -> f64 {
     let cal = device.calibration();
     let mut log_esp = 0.0f64;
     for instr in circuit {
-        let e = match instr.gate {
-            Gate::Measure => cal.readout_error(instr.qubits[0].index()),
-            Gate::Reset => cal.readout_error(instr.qubits[0].index()),
-            Gate::Swap => {
-                let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
-                1.0 - (1.0 - cal.cx_error(a, b)).powi(3)
-            }
-            g if g.is_two_qubit() => {
-                let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
-                cal.cx_error(a, b)
-            }
-            _ => cal.sq_error(instr.qubits[0].index()),
-        };
-        log_esp += (1.0 - e).ln();
+        log_esp += (1.0 - gate_error(cal, instr)).ln();
     }
     // Idle decoherence from the gaps in each qubit's timeline.
     let schedule = Schedule::asap(circuit, &device.duration_model());
@@ -52,6 +56,106 @@ pub fn estimate(circuit: &Circuit, device: &Device) -> f64 {
         }
     }
     log_esp.exp()
+}
+
+/// Every report metric of a compiled circuit, from one traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitStats {
+    /// Logical depth (gate layers through qubit and classical wires).
+    pub depth: usize,
+    /// Duration in `dt` under the device's physical duration model.
+    pub duration_dt: u64,
+    /// Two-qubit gate count (including SWAPs).
+    pub two_qubit_gates: usize,
+    /// Estimated success probability.
+    pub esp: f64,
+}
+
+/// Computes depth, duration, two-qubit count, and ESP in a **single**
+/// walk of the circuit.
+///
+/// The separate metrics walk the instruction list once each (and the
+/// schedule-based ones rebuild the dependency DAG); this fused version
+/// propagates per-wire fronts — an unweighted front for depth, a
+/// `dt`-weighted front for the ASAP schedule — in one pass. The wire
+/// fronts are exactly the last-writer dependencies the DAG encodes, and
+/// `u64` max/add is exact, so depth and duration are identical to
+/// [`Circuit::depth`] and [`caqr_circuit::depth::duration_dt`].
+///
+/// ESP bit-identity with [`estimate`] requires matching its floating-point
+/// accumulation order: all gate-error terms in instruction order first,
+/// then all idle terms in instruction order. Gate terms are accumulated
+/// during the walk; idle terms are collected and folded in afterwards.
+pub fn circuit_stats(circuit: &Circuit, device: &Device) -> CircuitStats {
+    let cal = device.calibration();
+    let model = device.duration_model();
+    let mut qlevel = vec![0usize; circuit.num_qubits()];
+    let mut clevel = vec![0usize; circuit.num_clbits()];
+    let mut depth = 0usize;
+    let mut qtime = vec![0u64; circuit.num_qubits()];
+    let mut ctime = vec![0u64; circuit.num_clbits()];
+    let mut makespan = 0u64;
+    let mut busy_until = vec![0u64; circuit.num_qubits()];
+    let mut two_qubit_gates = 0usize;
+    let mut log_esp = 0.0f64;
+    let mut idle_terms = Vec::new();
+    for instr in circuit {
+        log_esp += (1.0 - gate_error(cal, instr)).ln();
+        if instr.is_two_qubit() {
+            two_qubit_gates += 1;
+        }
+        let clbits = || instr.clbit.iter().chain(instr.condition.iter());
+        // Depth: unweighted wire fronts.
+        let mut level = 0;
+        for q in &instr.qubits {
+            level = level.max(qlevel[q.index()]);
+        }
+        for c in clbits() {
+            level = level.max(clevel[c.index()]);
+        }
+        let level = level + 1;
+        for q in &instr.qubits {
+            qlevel[q.index()] = level;
+        }
+        for c in clbits() {
+            clevel[c.index()] = level;
+        }
+        depth = depth.max(level);
+        // ASAP schedule: dt-weighted wire fronts.
+        let mut start = 0u64;
+        for q in &instr.qubits {
+            start = start.max(qtime[q.index()]);
+        }
+        for c in clbits() {
+            start = start.max(ctime[c.index()]);
+        }
+        let finish = start + model.duration(instr);
+        for q in &instr.qubits {
+            qtime[q.index()] = finish;
+        }
+        for c in clbits() {
+            ctime[c.index()] = finish;
+        }
+        makespan = makespan.max(finish);
+        // Idle decoherence, deferred to preserve estimate()'s term order.
+        for q in &instr.qubits {
+            let gap = start.saturating_sub(busy_until[q.index()]);
+            if gap > 0 {
+                let rate = 0.5 * (1.0 / cal.t1_dt(q.index()) + 1.0 / cal.t2_dt(q.index()));
+                idle_terms.push(-(gap as f64) * rate);
+            }
+            busy_until[q.index()] = finish;
+        }
+    }
+    for term in idle_terms {
+        log_esp += term;
+    }
+    CircuitStats {
+        depth,
+        duration_dt: makespan,
+        two_qubit_gates,
+        esp: log_esp.exp(),
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +230,50 @@ mod tests {
         c.measure_all();
         let esp = estimate(&c, &dev);
         assert!(esp > 0.0 && esp <= 1.0, "esp = {esp}");
+    }
+
+    #[test]
+    fn fused_stats_are_bit_identical_to_separate_metrics() {
+        let dev = Device::mumbai(1);
+        let mut circuits = Vec::new();
+        circuits.push(Circuit::new(3, 0));
+        let mut c = Circuit::new(5, 5);
+        for i in 0..5 {
+            c.h(q(i));
+        }
+        for i in 0..4 {
+            c.cx(q(i), q(i + 1));
+        }
+        c.swap(q(0), q(1));
+        c.measure_all();
+        circuits.push(c);
+        let mut dynamic = Circuit::new(3, 2);
+        dynamic.h(q(0));
+        dynamic.cx(q(0), q(1));
+        dynamic.measure(q(0), Clbit::new(0));
+        dynamic.cond_x(q(0), Clbit::new(0));
+        dynamic.cx(q(0), q(2));
+        dynamic.measure(q(2), Clbit::new(1));
+        circuits.push(dynamic);
+        for (i, c) in circuits.iter().enumerate() {
+            let stats = circuit_stats(c, &dev);
+            assert_eq!(stats.depth, c.depth(), "circuit {i}: depth");
+            assert_eq!(
+                stats.duration_dt,
+                caqr_circuit::depth::duration_dt(c, &dev.duration_model()),
+                "circuit {i}: duration"
+            );
+            assert_eq!(
+                stats.two_qubit_gates,
+                c.two_qubit_gate_count(),
+                "circuit {i}: 2q count"
+            );
+            assert_eq!(
+                stats.esp.to_bits(),
+                estimate(c, &dev).to_bits(),
+                "circuit {i}: esp must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -20,14 +20,20 @@
 //!   gates, maps fresh logical qubits onto reclaimed physical qubits, and
 //!   picks physical qubits by distance and error variability (§3.3).
 //!
+//! Both are organised as a **pass pipeline**: [`pass`] defines the
+//! [`Pass`] trait and the [`CompileCtx`] / [`AnalysisCache`] every pass
+//! operates on, [`manager`] runs named pass sequences (each [`Strategy`]
+//! is a declarative recipe), and [`error`] is the unified [`CaqrError`]
+//! hierarchy every fallible entry point returns.
+//!
 //! Supporting machinery: [`analysis`] (the reuse Conditions 1 and 2),
 //! [`transform`] (applying a reuse plan to a circuit), [`baseline`] (a
 //! SABRE-style no-reuse compiler standing in for Qiskit optimization
 //! level 3), [`router`] (shared SWAP insertion), [`esp`] (estimated
-//! success probability), [`advisor`] (the paper's "will reuse help this
-//! application?" pre-check), and [`pipeline`] (one-call compilation +
-//! reporting). The `caqr` binary wraps all of it behind a QASM-in /
-//! QASM-out command line.
+//! success probability + fused report metrics), [`advisor`] (the paper's
+//! "will reuse help this application?" pre-check), and [`pipeline`]
+//! (one-call compilation + reporting). The `caqr` binary wraps all of it
+//! behind a QASM-in / QASM-out command line.
 //!
 //! # Examples
 //!
@@ -60,7 +66,10 @@ pub mod advisor;
 pub mod analysis;
 pub mod baseline;
 pub mod commuting;
+pub mod error;
 pub mod esp;
+pub mod manager;
+pub mod pass;
 pub mod pipeline;
 pub mod qs;
 pub mod router;
@@ -68,5 +77,8 @@ pub mod sr;
 pub mod transform;
 pub mod width;
 
+pub use error::CaqrError;
+pub use manager::{create_pass, PassManager, PassObserver, REGISTERED_PASSES};
+pub use pass::{AnalysisCache, CompileCtx, Pass};
 pub use pipeline::{compile, compile_traced, CompileReport, Stage, StageTrace, Strategy};
 pub use transform::{ReuseError, ReusePlan, TransformedCircuit};

@@ -1,0 +1,222 @@
+//! The `PassManager`: runs a named sequence of passes over a
+//! [`CompileCtx`], with an observer hook for per-pass instrumentation.
+//!
+//! Every [`Strategy`] is a declarative recipe — a list of registered pass
+//! names — so strategies, CLI `--passes` overrides, and future custom
+//! pipelines all flow through the same machinery. `compile_traced` is a
+//! thin wrapper that installs a [`StageTrace`]-recording observer.
+
+use crate::error::CaqrError;
+use crate::pass::{
+    BaselineRoutePass, CommutingAnalysisPass, CompileCtx, OptimizePass, Pass, QsSweepPass,
+    ReportPass, RouteSweepPass, SelectObjective, SelectPass, SrRoutePass,
+};
+use crate::pipeline::{CompileReport, Stage, StageTrace, Strategy};
+use caqr_arch::Device;
+use caqr_circuit::Circuit;
+use std::time::{Duration, Instant};
+
+/// Instrumentation hook invoked as the pass manager runs.
+///
+/// `pass_complete` fires after every pass attempt — including a failing
+/// one — with the wall time the pass consumed, so a trace survives a
+/// mid-pipeline failure with all time attributed.
+pub trait PassObserver {
+    /// Called once per executed pass, in execution order.
+    fn pass_complete(&mut self, name: &'static str, stage: Stage, elapsed: Duration);
+}
+
+/// An observer that records nothing.
+pub struct NoopObserver;
+
+impl PassObserver for NoopObserver {
+    fn pass_complete(&mut self, _name: &'static str, _stage: Stage, _elapsed: Duration) {}
+}
+
+impl PassObserver for StageTrace {
+    fn pass_complete(&mut self, name: &'static str, stage: Stage, elapsed: Duration) {
+        self.record(stage, elapsed);
+        self.record_pass(name, elapsed);
+    }
+}
+
+/// Resolves a registered pass name to a pass instance.
+///
+/// # Errors
+///
+/// [`CaqrError::UnknownPass`] when `name` is not in the registry.
+pub fn create_pass(name: &str) -> Result<Box<dyn Pass>, CaqrError> {
+    Ok(match name {
+        "optimize" => Box::new(OptimizePass),
+        "commuting-analysis" => Box::new(CommutingAnalysisPass),
+        "qs-sweep" => Box::new(QsSweepPass),
+        "route-sweep" => Box::new(RouteSweepPass),
+        "select-max-reuse" => Box::new(SelectPass {
+            objective: SelectObjective::MaxReuse,
+        }),
+        "select-min-depth" => Box::new(SelectPass {
+            objective: SelectObjective::MinDepth,
+        }),
+        "select-min-swap" => Box::new(SelectPass {
+            objective: SelectObjective::MinSwap,
+        }),
+        "select-max-esp" => Box::new(SelectPass {
+            objective: SelectObjective::MaxEsp,
+        }),
+        "baseline-route" => Box::new(BaselineRoutePass),
+        "sr-route" => Box::new(SrRoutePass),
+        "report" => Box::new(ReportPass),
+        _ => {
+            return Err(CaqrError::UnknownPass {
+                name: name.to_string(),
+            })
+        }
+    })
+}
+
+/// Every pass name the registry resolves, in a stable order (for CLI
+/// help text and docs).
+pub const REGISTERED_PASSES: [&str; 11] = [
+    "optimize",
+    "commuting-analysis",
+    "qs-sweep",
+    "route-sweep",
+    "select-max-reuse",
+    "select-min-depth",
+    "select-min-swap",
+    "select-max-esp",
+    "baseline-route",
+    "sr-route",
+    "report",
+];
+
+/// An ordered sequence of passes, ready to compile circuits.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// The recipe for `strategy` — the declarative replacement for the
+    /// old hard-coded `match` in `compile_stages`.
+    pub fn for_strategy(strategy: Strategy) -> Self {
+        let names = strategy.pass_names();
+        let passes = names
+            .iter()
+            .map(|n| create_pass(n).expect("strategy recipes only name registered passes"))
+            .collect();
+        PassManager { passes }
+    }
+
+    /// Builds a manager from explicit pass names (the CLI `--passes`
+    /// entry point).
+    ///
+    /// # Errors
+    ///
+    /// [`CaqrError::UnknownPass`] on the first unresolvable name.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Result<Self, CaqrError> {
+        let passes = names
+            .into_iter()
+            .map(create_pass)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PassManager { passes })
+    }
+
+    /// The names of the passes this manager will run, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Compiles `circuit` for `device`, labelling the report with
+    /// `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// The first pass failure, or [`CaqrError::MissingArtifact`] if the
+    /// sequence finished without producing a report.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        strategy: Strategy,
+    ) -> Result<CompileReport, CaqrError> {
+        self.run_observed(circuit, device, strategy, &mut NoopObserver)
+    }
+
+    /// [`PassManager::run`] with per-pass instrumentation.
+    ///
+    /// The observer sees every executed pass — including the failing one,
+    /// with its elapsed time — before the error propagates.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PassManager::run`].
+    pub fn run_observed(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        strategy: Strategy,
+        observer: &mut dyn PassObserver,
+    ) -> Result<CompileReport, CaqrError> {
+        let mut ctx = CompileCtx::new(circuit.clone(), device, strategy);
+        for pass in &self.passes {
+            let start = Instant::now();
+            let result = pass.run(&mut ctx);
+            observer.pass_complete(pass.name(), pass.stage(), start.elapsed());
+            result?;
+        }
+        ctx.report.take().ok_or(CaqrError::MissingArtifact {
+            pass: "pass-manager",
+            artifact: "compile report",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_pass_resolves() {
+        for name in REGISTERED_PASSES {
+            let pass = create_pass(name).expect("registered pass must resolve");
+            assert_eq!(pass.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_pass_is_a_typed_error() {
+        match create_pass("no-such-pass") {
+            Err(CaqrError::UnknownPass { name }) => assert_eq!(name, "no-such-pass"),
+            Err(other) => panic!("expected UnknownPass, got {other:?}"),
+            Ok(_) => panic!("expected UnknownPass, got a pass"),
+        }
+    }
+
+    #[test]
+    fn strategy_recipes_resolve_and_end_in_report() {
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::QsMaxReuse,
+            Strategy::QsMinDepth,
+            Strategy::QsMinSwap,
+            Strategy::QsMaxEsp,
+            Strategy::Sr,
+        ] {
+            let pm = PassManager::for_strategy(strategy);
+            let names = pm.pass_names();
+            assert_eq!(names.first(), Some(&"optimize"), "{strategy}: {names:?}");
+            assert_eq!(names.last(), Some(&"report"), "{strategy}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn from_names_rejects_unknown() {
+        assert!(matches!(
+            PassManager::from_names(["optimize", "bogus"]),
+            Err(CaqrError::UnknownPass { .. })
+        ));
+        let pm =
+            PassManager::from_names(["optimize", "baseline-route", "report"]).expect("valid names");
+        assert_eq!(pm.pass_names().len(), 3);
+    }
+}

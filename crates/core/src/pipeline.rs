@@ -1,11 +1,16 @@
 //! One-call compilation pipelines and the per-circuit report the paper's
 //! tables are built from.
+//!
+//! Since the pass-manager refactor this module is a thin veneer: every
+//! [`Strategy`] maps to a declarative pass-name recipe
+//! ([`Strategy::pass_names`]) executed by [`crate::manager::PassManager`],
+//! and [`compile_traced`] is the same run with a [`StageTrace`]-recording
+//! observer installed.
 
-use crate::commuting::CommutingSpec;
-use crate::router::RouteError;
-use crate::{baseline, esp, qs, sr};
+use crate::error::CaqrError;
+use crate::esp;
+use crate::manager::PassManager;
 use caqr_arch::Device;
-use caqr_circuit::depth::duration_dt;
 use caqr_circuit::Circuit;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -28,6 +33,59 @@ pub enum Strategy {
     QsMaxEsp,
     /// SR-CaQR.
     Sr,
+}
+
+impl Strategy {
+    /// Every strategy, in table order.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Baseline,
+        Strategy::QsMaxReuse,
+        Strategy::QsMinDepth,
+        Strategy::QsMinSwap,
+        Strategy::QsMaxEsp,
+        Strategy::Sr,
+    ];
+
+    /// The pass-sequence recipe this strategy declares: the registered
+    /// pass names, in execution order.
+    pub fn pass_names(self) -> &'static [&'static str] {
+        match self {
+            Strategy::Baseline => &["optimize", "baseline-route", "report"],
+            Strategy::Sr => &["optimize", "commuting-analysis", "sr-route", "report"],
+            Strategy::QsMaxReuse => &[
+                "optimize",
+                "commuting-analysis",
+                "qs-sweep",
+                "route-sweep",
+                "select-max-reuse",
+                "report",
+            ],
+            Strategy::QsMinDepth => &[
+                "optimize",
+                "commuting-analysis",
+                "qs-sweep",
+                "route-sweep",
+                "select-min-depth",
+                "report",
+            ],
+            Strategy::QsMinSwap => &[
+                "optimize",
+                "commuting-analysis",
+                "qs-sweep",
+                "route-sweep",
+                "select-min-swap",
+                "report",
+            ],
+            Strategy::QsMaxEsp => &[
+                "optimize",
+                "commuting-analysis",
+                "qs-sweep",
+                "route-sweep",
+                "select-max-esp",
+                "report",
+            ],
+        }
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -65,20 +123,24 @@ pub struct CompileReport {
 }
 
 impl CompileReport {
-    fn from_routed(
+    /// Builds the report row from a routed circuit, computing every
+    /// derived metric (depth, duration, 2q count, ESP) in one traversal
+    /// via [`esp::circuit_stats`].
+    pub(crate) fn from_routed(
         strategy: Strategy,
         routed: crate::router::RoutedCircuit,
         device: &Device,
     ) -> Self {
         let circuit = routed.circuit;
+        let stats = esp::circuit_stats(&circuit, device);
         CompileReport {
             strategy,
             qubits: routed.physical_qubits_used,
-            depth: circuit.depth(),
-            duration_dt: duration_dt(&circuit, &device.duration_model()),
+            depth: stats.depth,
+            duration_dt: stats.duration_dt,
             swaps: routed.swap_count,
-            two_qubit_gates: circuit.two_qubit_gate_count(),
-            esp: esp::estimate(&circuit, device),
+            two_qubit_gates: stats.two_qubit_gates,
+            esp: stats.esp,
             circuit,
         }
     }
@@ -100,7 +162,8 @@ impl fmt::Display for CompileReport {
     }
 }
 
-/// A pipeline stage, as reported by [`compile_traced`].
+/// A coarse pipeline stage, as reported by [`compile_traced`]. Every pass
+/// belongs to exactly one stage; per-pass spans are recorded alongside.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
     /// Peephole cleanup: inverse cancellation, rotation merging.
@@ -147,19 +210,28 @@ impl fmt::Display for Stage {
     }
 }
 
-/// Per-stage wall-clock spans recorded while compiling one circuit.
+/// Per-stage and per-pass wall-clock spans recorded while compiling one
+/// circuit.
 ///
 /// A stage may appear more than once (QS routes every sweep point);
-/// [`StageTrace::stage_total`] aggregates.
+/// [`StageTrace::stage_total`] aggregates. Since the pass-manager
+/// refactor, each span also carries the pass name that produced it —
+/// [`StageTrace::pass_spans`] exposes the fine-grained view.
 #[derive(Debug, Clone, Default)]
 pub struct StageTrace {
     spans: Vec<(Stage, Duration)>,
+    passes: Vec<(&'static str, Duration)>,
 }
 
 impl StageTrace {
     /// Records one span.
     pub fn record(&mut self, stage: Stage, elapsed: Duration) {
         self.spans.push((stage, elapsed));
+    }
+
+    /// Records one named pass span (in addition to its stage span).
+    pub fn record_pass(&mut self, name: &'static str, elapsed: Duration) {
+        self.passes.push((name, elapsed));
     }
 
     /// Runs `f`, recording its wall-clock under `stage`.
@@ -175,11 +247,25 @@ impl StageTrace {
         &self.spans
     }
 
+    /// All recorded named pass spans, in execution order.
+    pub fn pass_spans(&self) -> &[(&'static str, Duration)] {
+        &self.passes
+    }
+
     /// Total time attributed to `stage`.
     pub fn stage_total(&self, stage: Stage) -> Duration {
         self.spans
             .iter()
             .filter(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Total time attributed to the pass named `name`.
+    pub fn pass_total(&self, name: &str) -> Duration {
+        self.passes
+            .iter()
+            .filter(|(n, _)| *n == name)
             .map(|(_, d)| *d)
             .sum()
     }
@@ -190,116 +276,46 @@ impl StageTrace {
     }
 }
 
-/// Routes every QS sweep point onto the device. The paper's QS flow:
-/// logical transform first, hardware mapping second.
-fn route_sweep(
-    points: Vec<qs::SweepPoint>,
-    device: &Device,
-) -> Result<Vec<(usize, crate::router::RoutedCircuit)>, RouteError> {
-    let mut out = Vec::with_capacity(points.len());
-    for p in points {
-        let routed = baseline::compile(&p.circuit, device)?;
-        out.push((p.qubits, routed));
-    }
-    Ok(out)
-}
-
 /// Compiles `circuit` onto `device` under `strategy` and reports the
 /// paper's metrics.
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when the circuit cannot fit the
+/// Returns [`CaqrError::OutOfQubits`] when the circuit cannot fit the
 /// device under the chosen strategy.
 pub fn compile(
     circuit: &Circuit,
     device: &Device,
     strategy: Strategy,
-) -> Result<CompileReport, RouteError> {
-    compile_traced(circuit, device, strategy).0
+) -> Result<CompileReport, CaqrError> {
+    PassManager::for_strategy(strategy).run(circuit, device, strategy)
 }
 
 /// [`compile`], additionally reporting where the wall-clock went.
 ///
-/// The [`StageTrace`] is returned even when compilation fails, so callers
-/// can attribute the cost of failed jobs too. This is the entry point the
-/// batch-compilation engine (`caqr-engine`) builds its per-stage metrics
-/// on.
+/// The [`StageTrace`] is returned even when compilation fails — the
+/// observer hook fires after every executed pass, including the failing
+/// one — so callers can attribute the cost of failed jobs too. This is the
+/// entry point the batch-compilation engine (`caqr-engine`) builds its
+/// per-stage and per-pass metrics on.
 pub fn compile_traced(
     circuit: &Circuit,
     device: &Device,
     strategy: Strategy,
-) -> (Result<CompileReport, RouteError>, StageTrace) {
+) -> (Result<CompileReport, CaqrError>, StageTrace) {
     let mut trace = StageTrace::default();
-    // Peephole cleanup first (inverse cancellation, rotation merging) —
-    // the "optimization level 3" behaviour every strategy shares.
-    let circuit = trace.time(Stage::Optimize, || {
-        caqr_circuit::optimize::peephole(circuit)
-    });
-    let result = compile_stages(&circuit, device, strategy, &mut trace);
+    let result =
+        PassManager::for_strategy(strategy).run_observed(circuit, device, strategy, &mut trace);
     (result, trace)
-}
-
-fn compile_stages(
-    circuit: &Circuit,
-    device: &Device,
-    strategy: Strategy,
-    trace: &mut StageTrace,
-) -> Result<CompileReport, RouteError> {
-    if strategy == Strategy::Baseline {
-        let routed = trace.time(Stage::Routing, || baseline::compile(circuit, device))?;
-        return Ok(trace.time(Stage::Selection, || {
-            CompileReport::from_routed(strategy, routed, device)
-        }));
-    }
-
-    // Commuting-region detection decides between the regular path and the
-    // QAOA matching-scheduler path for both SR and QS.
-    let spec = trace.time(Stage::Analysis, || CommutingSpec::from_circuit(circuit));
-
-    if strategy == Strategy::Sr {
-        // SR-CaQR fuses reuse into its dynamic-circuit-aware router, so the
-        // whole pass is attributed to routing.
-        let routed = trace.time(Stage::Routing, || match &spec {
-            Ok(_) => sr::compile_commuting(circuit, device, 0.1),
-            Err(_) => sr::compile(circuit, device),
-        })?;
-        return Ok(trace.time(Stage::Selection, || {
-            CompileReport::from_routed(strategy, routed, device)
-        }));
-    }
-
-    // QS-CaQR: generate the reuse sweep as logical circuits, route every
-    // point, then pick the point the strategy asks for.
-    let points = trace.time(Stage::Reuse, || match &spec {
-        Ok(spec) => qs::commuting::sweep(spec, sr::default_matcher(spec)),
-        Err(_) => qs::regular::sweep(circuit, &device.logical_duration_model()),
-    });
-    let sweep = trace.time(Stage::Routing, || route_sweep(points, device))?;
-    let routed = trace.time(Stage::Selection, || {
-        let picked = match strategy {
-            Strategy::QsMaxReuse => sweep.into_iter().min_by_key(|(qubits, _)| *qubits),
-            Strategy::QsMinDepth => sweep
-                .into_iter()
-                .min_by_key(|(_, r)| (r.circuit.depth(), r.physical_qubits_used)),
-            Strategy::QsMinSwap => sweep
-                .into_iter()
-                .min_by_key(|(_, r)| (r.swap_count, r.circuit.depth())),
-            Strategy::QsMaxEsp => sweep.into_iter().max_by(|(_, a), (_, b)| {
-                esp::estimate(&a.circuit, device).total_cmp(&esp::estimate(&b.circuit, device))
-            }),
-            Strategy::Baseline | Strategy::Sr => unreachable!("handled above"),
-        };
-        let (_, routed) = picked.expect("sweep contains at least the original circuit");
-        routed
-    });
-    Ok(CompileReport::from_routed(strategy, routed, device))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::commuting::CommutingSpec;
     use caqr_circuit::{Clbit, Qubit};
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn q(i: usize) -> Qubit {
         Qubit::new(i)
@@ -324,18 +340,11 @@ mod tests {
     }
 
     #[test]
-    fn all_strategies_produce_compliant_circuits() {
+    fn all_strategies_produce_compliant_circuits() -> TestResult {
         let dev = Device::mumbai(7);
         let c = bv(6);
-        for strategy in [
-            Strategy::Baseline,
-            Strategy::QsMaxReuse,
-            Strategy::QsMinDepth,
-            Strategy::QsMinSwap,
-            Strategy::QsMaxEsp,
-            Strategy::Sr,
-        ] {
-            let report = compile(&c, &dev, strategy).unwrap();
+        for strategy in Strategy::ALL {
+            let report = compile(&c, &dev, strategy)?;
             for instr in &report.circuit {
                 if instr.is_two_qubit() {
                     assert!(
@@ -348,36 +357,39 @@ mod tests {
             assert!(report.esp > 0.0 && report.esp <= 1.0);
             assert!(report.swaps <= report.two_qubit_gates);
         }
+        Ok(())
     }
 
     #[test]
-    fn max_reuse_minimizes_qubits() {
+    fn max_reuse_minimizes_qubits() -> TestResult {
         let dev = Device::mumbai(7);
         let c = bv(6);
-        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
-        let base = compile(&c, &dev, Strategy::Baseline).unwrap();
+        let max = compile(&c, &dev, Strategy::QsMaxReuse)?;
+        let base = compile(&c, &dev, Strategy::Baseline)?;
         assert_eq!(max.qubits, 2, "BV always compresses to 2 qubits");
         assert_eq!(base.qubits, 6);
         // The trade-off: fewer qubits, deeper circuit.
         assert!(max.depth >= base.depth / 2);
+        Ok(())
     }
 
     #[test]
-    fn min_depth_never_deeper_than_max_reuse() {
+    fn min_depth_never_deeper_than_max_reuse() -> TestResult {
         let dev = Device::mumbai(7);
         let c = bv(8);
-        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
-        let min_depth = compile(&c, &dev, Strategy::QsMinDepth).unwrap();
+        let max = compile(&c, &dev, Strategy::QsMaxReuse)?;
+        let min_depth = compile(&c, &dev, Strategy::QsMinDepth)?;
         assert!(min_depth.depth <= max.depth);
+        Ok(())
     }
 
     #[test]
-    fn min_swap_never_more_swaps() {
+    fn min_swap_never_more_swaps() -> TestResult {
         let dev = Device::mumbai(7);
         let c = bv(8);
-        let min_swap = compile(&c, &dev, Strategy::QsMinSwap).unwrap();
+        let min_swap = compile(&c, &dev, Strategy::QsMinSwap)?;
         for s in [Strategy::Baseline, Strategy::QsMaxReuse] {
-            let other = compile(&c, &dev, s).unwrap();
+            let other = compile(&c, &dev, s)?;
             assert!(
                 min_swap.swaps <= other.swaps,
                 "min-swap {} vs {s} {}",
@@ -385,16 +397,17 @@ mod tests {
                 other.swaps
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn traced_compile_matches_untraced_and_attributes_time() {
+    fn traced_compile_matches_untraced_and_attributes_time() -> TestResult {
         let dev = Device::mumbai(7);
         let c = bv(6);
         for strategy in [Strategy::Baseline, Strategy::QsMaxReuse, Strategy::Sr] {
-            let plain = compile(&c, &dev, strategy).unwrap();
+            let plain = compile(&c, &dev, strategy)?;
             let (traced, trace) = compile_traced(&c, &dev, strategy);
-            let traced = traced.unwrap();
+            let traced = traced?;
             assert_eq!(plain.circuit, traced.circuit, "{strategy}");
             assert_eq!(plain.qubits, traced.qubits);
             assert!(!trace.spans().is_empty());
@@ -407,7 +420,11 @@ mod tests {
             if strategy == Strategy::QsMaxReuse {
                 assert!(trace.spans().iter().any(|(s, _)| *s == Stage::Reuse));
             }
+            // Per-pass spans mirror the strategy's recipe exactly.
+            let executed: Vec<&str> = trace.pass_spans().iter().map(|(n, _)| *n).collect();
+            assert_eq!(executed, strategy.pass_names(), "{strategy}");
         }
+        Ok(())
     }
 
     #[test]
@@ -417,6 +434,11 @@ mod tests {
         let (result, trace) = compile_traced(&bv(10), &dev, Strategy::Baseline);
         assert!(result.is_err());
         assert!(trace.spans().iter().any(|(s, _)| *s == Stage::Optimize));
+        // The failing pass itself is recorded too.
+        assert!(trace
+            .pass_spans()
+            .iter()
+            .any(|(n, _)| *n == "baseline-route"));
     }
 
     #[test]
@@ -430,16 +452,17 @@ mod tests {
     }
 
     #[test]
-    fn report_display() {
+    fn report_display() -> TestResult {
         let dev = Device::mumbai(7);
-        let r = compile(&bv(5), &dev, Strategy::Baseline).unwrap();
+        let r = compile(&bv(5), &dev, Strategy::Baseline)?;
         let s = format!("{r}");
         assert!(s.contains("baseline"));
         assert!(s.contains("qubits="));
+        Ok(())
     }
 
     #[test]
-    fn qaoa_goes_through_commuting_path() {
+    fn qaoa_goes_through_commuting_path() -> TestResult {
         let dev = Device::mumbai(7);
         let g = caqr_graph::gen::random_graph(6, 0.3, 3);
         let mut c = Circuit::new(6, 6);
@@ -453,9 +476,11 @@ mod tests {
             c.rx(0.5, q(v));
         }
         c.measure_all();
-        let max = compile(&c, &dev, Strategy::QsMaxReuse).unwrap();
-        let bound = crate::qs::commuting::min_qubits(&CommutingSpec::from_circuit(&c).unwrap());
+        let max = compile(&c, &dev, Strategy::QsMaxReuse)?;
+        let spec = CommutingSpec::from_circuit(&c).map_err(|e| e.to_string())?;
+        let bound = crate::qs::commuting::min_qubits(&spec);
         assert!(max.qubits <= 6);
         assert!(max.qubits + 1 >= bound);
+        Ok(())
     }
 }

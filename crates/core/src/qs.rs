@@ -435,7 +435,7 @@ pub mod commuting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::commuting::{CommutingSpec, Matcher};
+    use crate::commuting::{CommutingSpec, Matcher, NotCommutingError};
     use caqr_circuit::depth::UnitDurations;
     use caqr_circuit::{Clbit, Qubit};
     use caqr_graph::{gen, Graph};
@@ -465,18 +465,21 @@ mod tests {
         c
     }
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn bv_sweeps_to_two_qubits() {
+    fn bv_sweeps_to_two_qubits() -> TestResult {
         let c = bv(5, 0b1111);
         let points = regular::sweep(&c, &UnitDurations);
-        assert_eq!(points.first().unwrap().qubits, 5);
-        assert_eq!(points.last().unwrap().qubits, 2);
+        assert_eq!(points.first().ok_or("sweep is non-empty")?.qubits, 5);
+        assert_eq!(points.last().ok_or("sweep is non-empty")?.qubits, 2);
         assert_eq!(points.len(), 4);
         // Qubit counts strictly decrease; depth never decreases.
         for w in points.windows(2) {
             assert_eq!(w[1].qubits + 1, w[0].qubits);
             assert!(w[1].depth() >= w[0].depth());
         }
+        Ok(())
     }
 
     #[test]
@@ -490,15 +493,16 @@ mod tests {
     }
 
     #[test]
-    fn to_target_budget() {
+    fn to_target_budget() -> TestResult {
         let c = bv(6, 0b11111);
-        let three = regular::to_target(&c, 3, &UnitDurations).unwrap();
+        let three = regular::to_target(&c, 3, &UnitDurations).ok_or("3 qubits reachable")?;
         assert_eq!(three.num_qubits(), 3);
         // Impossible budget: BV floor is 2 qubits.
         assert!(regular::to_target(&c, 1, &UnitDurations).is_none());
         // Trivial budget returns the circuit unchanged.
-        let same = regular::to_target(&c, 10, &UnitDurations).unwrap();
+        let same = regular::to_target(&c, 10, &UnitDurations).ok_or("trivial budget")?;
         assert_eq!(same.num_qubits(), 6);
+        Ok(())
     }
 
     #[test]
@@ -507,7 +511,7 @@ mod tests {
     }
 
     #[test]
-    fn reduce_prefers_less_harmful_pair() {
+    fn reduce_prefers_less_harmful_pair() -> TestResult {
         // Two independent CX chains of different length; donating from the
         // short chain should beat extending the long one. Just verify the
         // choice made is makespan-minimal vs all alternatives.
@@ -517,7 +521,7 @@ mod tests {
         }
         c.cx(q(2), q(3)); // short
         c.h(q(4));
-        let best = regular::reduce_by_one(&c, &UnitDurations).unwrap();
+        let best = regular::reduce_by_one(&c, &UnitDurations).ok_or("a reduction exists")?;
         let best_makespan = caqr_circuit::depth::Schedule::asap(&best, &UnitDurations).makespan();
         // Exhaustive check.
         let analysis = crate::analysis::ReuseAnalysis::of(&c);
@@ -527,9 +531,10 @@ mod tests {
                 assert!(best_makespan <= m, "pair {pair} beats chosen one");
             }
         }
+        Ok(())
     }
 
-    fn qaoa(graph: &Graph) -> CommutingSpec {
+    fn qaoa(graph: &Graph) -> Result<CommutingSpec, NotCommutingError> {
         let n = graph.num_vertices();
         let mut c = Circuit::new(n, n);
         for v in 0..n {
@@ -542,26 +547,27 @@ mod tests {
             c.rx(0.4, q(v));
         }
         c.measure_all();
-        CommutingSpec::from_circuit(&c).unwrap()
+        CommutingSpec::from_circuit(&c)
     }
 
     #[test]
-    fn commuting_min_qubits_is_coloring() {
+    fn commuting_min_qubits_is_coloring() -> TestResult {
         // 5-cycle: chromatic number 3.
         let mut g = Graph::new(5);
         for i in 0..5 {
             g.add_edge(i, (i + 1) % 5);
         }
-        assert_eq!(commuting::min_qubits(&qaoa(&g)), 3);
+        assert_eq!(commuting::min_qubits(&qaoa(&g)?), 3);
+        Ok(())
     }
 
     #[test]
-    fn commuting_sweep_reaches_coloring_bound() {
+    fn commuting_sweep_reaches_coloring_bound() -> TestResult {
         let g = gen::random_graph(8, 0.3, 4);
-        let spec = qaoa(&g);
+        let spec = qaoa(&g)?;
         let points = commuting::sweep(&spec, Matcher::Blossom);
-        assert_eq!(points.first().unwrap().qubits, 8);
-        let last = points.last().unwrap();
+        assert_eq!(points.first().ok_or("sweep is non-empty")?.qubits, 8);
+        let last = points.last().ok_or("sweep is non-empty")?;
         // Greedy pair selection may not hit chi exactly, but must get close
         // and always respects the coloring lower bound.
         assert!(last.qubits >= commuting::min_qubits(&spec).min(last.qubits));
@@ -571,22 +577,22 @@ mod tests {
             last.qubits,
             commuting::min_qubits(&spec)
         );
+        Ok(())
     }
 
     #[test]
-    fn commuting_sweep_points_simulate_correctly() {
+    fn commuting_sweep_points_simulate_correctly() -> TestResult {
         use caqr_sim::exact;
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let spec = qaoa(&g);
+        let spec = qaoa(&g)?;
         let reference: std::collections::BTreeMap<u64, f64> = {
             let points = commuting::sweep(&spec, Matcher::Blossom);
-            exact::distribution(&points[0].circuit)
-                .unwrap()
+            exact::distribution(&points[0].circuit)?
                 .into_iter()
                 .collect()
         };
         for point in commuting::sweep(&spec, Matcher::Blossom) {
-            let d = exact::distribution(&point.circuit).unwrap();
+            let d = exact::distribution(&point.circuit)?;
             let mask = (1u64 << 5) - 1;
             let mut merged: std::collections::BTreeMap<u64, f64> = Default::default();
             for (v, p) in d {
@@ -601,39 +607,46 @@ mod tests {
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn commuting_to_target() {
+    fn commuting_to_target() -> TestResult {
         let g = gen::random_graph(8, 0.3, 7);
-        let spec = qaoa(&g);
+        let spec = qaoa(&g)?;
         let min = commuting::sweep(&spec, Matcher::Greedy)
             .last()
-            .unwrap()
+            .ok_or("sweep is non-empty")?
             .qubits;
-        let c = commuting::to_target(&spec, min, Matcher::Greedy).unwrap();
+        let c = commuting::to_target(&spec, min, Matcher::Greedy).ok_or("min is reachable")?;
         assert_eq!(c.num_qubits(), min);
         assert!(
             commuting::to_target(&spec, min.saturating_sub(1).max(1), Matcher::Greedy).is_none()
                 || min == 1
         );
+        Ok(())
     }
 
     #[test]
-    fn sweet_spot_within_slack() {
+    fn sweet_spot_within_slack() -> TestResult {
         let g = gen::random_graph(8, 0.3, 11);
-        let spec = qaoa(&g);
+        let spec = qaoa(&g)?;
         let pairs = commuting::sweet_spot_pairs(&spec, Matcher::Greedy, 0.15);
         assert!(spec.pairs_valid(&pairs));
+        Ok(())
     }
 
     #[test]
-    fn matchers_agree_on_coverage() {
+    fn matchers_agree_on_coverage() -> TestResult {
         let g = gen::random_graph(10, 0.3, 5);
-        let spec = qaoa(&g);
+        let spec = qaoa(&g)?;
         let a = commuting::sweep(&spec, Matcher::Blossom);
         let b = commuting::sweep(&spec, Matcher::Greedy);
         // Same saving reach (pair selection identical), similar depths.
-        assert_eq!(a.last().unwrap().qubits, b.last().unwrap().qubits);
+        assert_eq!(
+            a.last().ok_or("sweep is non-empty")?.qubits,
+            b.last().ok_or("sweep is non-empty")?.qubits
+        );
+        Ok(())
     }
 }

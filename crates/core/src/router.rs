@@ -18,11 +18,19 @@
 //! Physical-qubit choices and SWAP insertion are error-variability aware:
 //! ties break toward smaller readout error and more reliable CNOT links,
 //! per the paper's Step 2/3 heuristics.
+//!
+//! The DAG, interaction graph, and critical-path marks the router consumes
+//! come from an [`AnalysisCache`]: callers that route the same circuit
+//! more than once (SR's policy comparison, the bidirectional refinement)
+//! pass a shared cache via [`route_cached`] so the analyses are built once.
 
+use crate::error::CaqrError;
+use crate::pass::AnalysisCache;
 use caqr_arch::Device;
 use caqr_circuit::{Circuit, CircuitDag, Clbit, Gate, Instruction, Qubit};
+use caqr_graph::Graph;
 use std::collections::BTreeSet;
-use std::fmt;
+use std::rc::Rc;
 
 /// Routing policy knobs; see the module docs.
 #[derive(Debug, Clone, Copy)]
@@ -54,31 +62,6 @@ impl RouterOptions {
         }
     }
 }
-
-/// Routing failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RouteError {
-    /// More concurrently-live logical qubits than physical qubits.
-    OutOfQubits {
-        /// Logical qubits in the input circuit.
-        logical: usize,
-        /// Physical qubits on the device.
-        physical: usize,
-    },
-}
-
-impl fmt::Display for RouteError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RouteError::OutOfQubits { logical, physical } => write!(
-                f,
-                "cannot place {logical} live logical qubits on {physical} physical qubits"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for RouteError {}
 
 /// A hardware-compliant compiled circuit.
 #[derive(Debug, Clone)]
@@ -123,11 +106,12 @@ struct Router<'a> {
     device: &'a Device,
     opts: RouterOptions,
     circuit: &'a Circuit,
-    interaction: caqr_graph::Graph,
+    interaction: Rc<Graph>,
     // DAG state.
+    dag: Rc<CircuitDag>,
     indeg: Vec<usize>,
     scheduled: Vec<bool>,
-    critical: Vec<bool>,
+    critical: Rc<Vec<bool>>,
     // Mapping state.
     log2phys: Vec<Option<usize>>,
     phys2log: Vec<Option<usize>>,
@@ -144,14 +128,15 @@ struct Router<'a> {
 }
 
 impl<'a> Router<'a> {
-    fn new(circuit: &'a Circuit, device: &'a Device, opts: RouterOptions) -> Self {
-        let dag = CircuitDag::of(circuit);
-        let durations: Vec<u64> = {
-            let model = device.logical_duration_model();
-            use caqr_circuit::depth::DurationModel;
-            circuit.iter().map(|i| model.duration(i)).collect()
-        };
-        let critical = dag.on_critical_path(&durations);
+    fn new(
+        circuit: &'a Circuit,
+        device: &'a Device,
+        opts: RouterOptions,
+        analyses: &mut AnalysisCache,
+    ) -> Self {
+        let dag = analyses.dag(circuit);
+        let critical = analyses.critical_path(circuit, device);
+        let interaction = analyses.interaction(circuit);
         let indeg = (0..circuit.len())
             .map(|v| dag.graph().in_degree(v))
             .collect();
@@ -166,7 +151,8 @@ impl<'a> Router<'a> {
             device,
             opts,
             circuit,
-            interaction: caqr_circuit::interaction::interaction_graph(circuit),
+            interaction,
+            dag,
             indeg,
             scheduled: vec![false; circuit.len()],
             critical,
@@ -182,10 +168,6 @@ impl<'a> Router<'a> {
             next_clbit: circuit.num_clbits(),
             swap_count: 0,
         }
-    }
-
-    fn dag_successors(&self) -> CircuitDag {
-        CircuitDag::of(self.circuit)
     }
 
     /// Chooses a free physical qubit for logical `l` (the paper's Step 2):
@@ -263,7 +245,7 @@ impl<'a> Router<'a> {
     }
 
     /// Maps any unmapped operands of `node` per the paper's Step 2 rules.
-    fn map_operands(&mut self, node: usize) -> Result<(), RouteError> {
+    fn map_operands(&mut self, node: usize) -> Result<(), CaqrError> {
         let instr = &self.circuit.instructions()[node];
         let unmapped: Vec<usize> = instr
             .qubits
@@ -275,7 +257,9 @@ impl<'a> Router<'a> {
             (0, _) => Ok(()),
             (1, 1) => {
                 let l = unmapped[0];
-                let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+                let p = self
+                    .pick_for(l, None)
+                    .ok_or_else(|| self.out_of_qubits(l, Some(node)))?;
                 self.assign(l, p);
                 Ok(())
             }
@@ -286,9 +270,12 @@ impl<'a> Router<'a> {
                     .iter()
                     .map(|q| q.index())
                     .find(|&x| x != l)
-                    .expect("two-qubit gate has a partner");
-                let anchor = self.log2phys[partner].expect("partner is mapped");
-                let p = self.pick_for(l, Some(anchor)).ok_or(self.out_of_qubits())?;
+                    .ok_or_else(|| CaqrError::internal("two-qubit gate has no second operand"))?;
+                let anchor = self.log2phys[partner]
+                    .ok_or_else(|| CaqrError::internal("gate partner is unmapped"))?;
+                let p = self
+                    .pick_for(l, Some(anchor))
+                    .ok_or_else(|| self.out_of_qubits(l, Some(node)))?;
                 self.assign(l, p);
                 Ok(())
             }
@@ -300,37 +287,50 @@ impl<'a> Router<'a> {
                 } else {
                     (b, a)
                 };
-                let p1 = self.pick_for(first, None).ok_or(self.out_of_qubits())?;
+                let p1 = self
+                    .pick_for(first, None)
+                    .ok_or_else(|| self.out_of_qubits(first, Some(node)))?;
                 self.assign(first, p1);
                 let p2 = self
                     .pick_for(second, Some(p1))
-                    .ok_or(self.out_of_qubits())?;
+                    .ok_or_else(|| self.out_of_qubits(second, Some(node)))?;
                 self.assign(second, p2);
                 Ok(())
             }
-            _ => unreachable!("gates have 1 or 2 qubits"),
+            _ => Err(CaqrError::internal(format!(
+                "gate with {} operands (1 or 2 expected)",
+                instr.qubits.len()
+            ))),
         }
     }
 
-    fn out_of_qubits(&self) -> RouteError {
-        RouteError::OutOfQubits {
+    /// The out-of-capacity error, pinpointing the logical qubit whose
+    /// placement failed and (when routing, not preplacing) the
+    /// instruction that needed it.
+    fn out_of_qubits(&self, qubit: usize, gate_index: Option<usize>) -> CaqrError {
+        CaqrError::OutOfQubits {
             logical: self.circuit.num_qubits(),
             physical: self.device.num_qubits(),
+            qubit: Some(qubit),
+            gate_index,
         }
     }
 
     /// Emits `node` remapped to physical wires and updates DAG/mapping
     /// state.
-    fn complete(&mut self, node: usize, dag: &CircuitDag) {
+    fn complete(&mut self, node: usize) -> Result<(), CaqrError> {
         let instr = &self.circuit.instructions()[node];
         let mut ni = instr.clone();
-        ni.qubits = instr
-            .qubits
-            .iter()
-            .map(|q| Qubit::new(self.log2phys[q.index()].expect("operand is mapped")))
-            .collect();
+        let mut qubits = Vec::with_capacity(instr.qubits.len());
+        for q in &instr.qubits {
+            let p = self.log2phys[q.index()]
+                .ok_or_else(|| CaqrError::internal("emitting a gate with an unmapped operand"))?;
+            qubits.push(Qubit::new(p));
+        }
+        ni.qubits = qubits;
         self.out.push(ni);
         self.scheduled[node] = true;
+        let dag = Rc::clone(&self.dag);
         for s in dag.graph().successors(node) {
             self.indeg[s] -= 1;
         }
@@ -338,11 +338,17 @@ impl<'a> Router<'a> {
             let l = q.index();
             self.remaining[l] -= 1;
             if self.remaining[l] == 0 {
-                let p = self.log2phys[l].expect("operand is mapped");
+                let p = self.log2phys[l]
+                    .ok_or_else(|| CaqrError::internal("retiring an unmapped logical qubit"))?;
                 self.final_layout[l] = Some(p);
                 if self.opts.reclaim {
-                    let measured = (instr.gate == Gate::Measure && instr.qubits[0].index() == l)
-                        .then(|| instr.clbit.expect("measure has a clbit"));
+                    let measured = if instr.gate == Gate::Measure && instr.qubits[0].index() == l {
+                        Some(instr.clbit.ok_or_else(|| {
+                            CaqrError::internal("measure instruction has no clbit")
+                        })?)
+                    } else {
+                        None
+                    };
                     self.phys_state[p] = PhysState::Dirty { measured };
                     self.phys2log[p] = None;
                     self.log2phys[l] = None;
@@ -350,6 +356,7 @@ impl<'a> Router<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Chooses and applies the best single SWAP for the set of
@@ -360,19 +367,18 @@ impl<'a> Router<'a> {
     /// When no swap shrinks the total, the first pending gate is routed
     /// greedily (a distance-reducing swap for a single gate always exists
     /// on a connected topology), which guarantees progress.
-    fn insert_swap_for_frontier(&mut self, pending: &[usize]) {
+    fn insert_swap_for_frontier(&mut self, pending: &[usize]) -> Result<(), CaqrError> {
         let topo = self.device.topology();
         let cal = self.device.calibration();
-        let gate_phys: Vec<(usize, usize)> = pending
-            .iter()
-            .map(|&node| {
-                let instr = &self.circuit.instructions()[node];
-                (
-                    self.log2phys[instr.qubits[0].index()].expect("mapped"),
-                    self.log2phys[instr.qubits[1].index()].expect("mapped"),
-                )
-            })
-            .collect();
+        let mut gate_phys: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
+        for &node in pending {
+            let instr = &self.circuit.instructions()[node];
+            let a = self.log2phys[instr.qubits[0].index()]
+                .ok_or_else(|| CaqrError::internal("pending gate has an unmapped operand"))?;
+            let b = self.log2phys[instr.qubits[1].index()]
+                .ok_or_else(|| CaqrError::internal("pending gate has an unmapped operand"))?;
+            gate_phys.push((a, b));
+        }
         let total = |swap: Option<(usize, usize)>| -> u32 {
             let remap = |p: usize| match swap {
                 Some((x, y)) if p == x => y,
@@ -442,8 +448,11 @@ impl<'a> Router<'a> {
                         }
                     }
                 }
-                let (_, _, from, to) = fallback
-                    .expect("a distance-reducing swap always exists on a connected topology");
+                let (_, _, from, to) = fallback.ok_or_else(|| {
+                    CaqrError::internal(
+                        "no distance-reducing swap exists; device topology is disconnected",
+                    )
+                })?;
                 (from, to)
             }
         };
@@ -478,11 +487,12 @@ impl<'a> Router<'a> {
             }
             _ => {}
         }
+        Ok(())
     }
 
     /// Places logical qubits per an explicit seed layout (used by the
     /// bidirectional layout refinement).
-    fn preplace_seeded(&mut self, layout: &[Option<usize>]) -> Result<(), RouteError> {
+    fn preplace_seeded(&mut self, layout: &[Option<usize>]) -> Result<(), CaqrError> {
         for (l, &p) in layout.iter().enumerate().take(self.circuit.num_qubits()) {
             if let Some(p) = p {
                 if self.free.contains(&p) {
@@ -493,7 +503,9 @@ impl<'a> Router<'a> {
         // Any logical qubit the seed missed falls back to the heuristic.
         for l in 0..self.circuit.num_qubits() {
             if self.log2phys[l].is_none() {
-                let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+                let p = self
+                    .pick_for(l, None)
+                    .ok_or_else(|| self.out_of_qubits(l, None))?;
                 self.assign(l, p);
             }
         }
@@ -502,7 +514,7 @@ impl<'a> Router<'a> {
 
     /// The baseline's eager placement: logical qubits by interaction
     /// degree, each placed to minimize distance to already-placed partners.
-    fn preplace_all(&mut self) -> Result<(), RouteError> {
+    fn preplace_all(&mut self) -> Result<(), CaqrError> {
         let mut order: Vec<usize> = (0..self.circuit.num_qubits()).collect();
         order.sort_by(|&a, &b| {
             self.interaction
@@ -511,20 +523,21 @@ impl<'a> Router<'a> {
                 .then(a.cmp(&b))
         });
         for l in order {
-            let p = self.pick_for(l, None).ok_or(self.out_of_qubits())?;
+            let p = self
+                .pick_for(l, None)
+                .ok_or_else(|| self.out_of_qubits(l, None))?;
             self.assign(l, p);
         }
         Ok(())
     }
 
-    fn run(mut self, seed_layout: Option<&[Option<usize>]>) -> Result<RoutedCircuit, RouteError> {
+    fn run(mut self, seed_layout: Option<&[Option<usize>]>) -> Result<RoutedCircuit, CaqrError> {
         if self.opts.preplace {
             match seed_layout {
                 Some(layout) => self.preplace_seeded(layout)?,
                 None => self.preplace_all()?,
             }
         }
-        let dag = self.dag_successors();
         let total = self.circuit.len();
         let mut done = 0usize;
         while done < total {
@@ -537,22 +550,21 @@ impl<'a> Router<'a> {
             let mut progressed = false;
             for &node in &frontier {
                 let instr = &self.circuit.instructions()[node];
-                let mapped = instr
+                let phys: Vec<Option<usize>> = instr
                     .qubits
                     .iter()
-                    .all(|q| self.log2phys[q.index()].is_some());
-                if !mapped {
+                    .map(|q| self.log2phys[q.index()])
+                    .collect();
+                if phys.iter().any(|p| p.is_none()) {
                     continue;
                 }
-                let ready = !instr.is_two_qubit() || {
-                    let (a, b) = (
-                        self.log2phys[instr.qubits[0].index()].expect("mapped"),
-                        self.log2phys[instr.qubits[1].index()].expect("mapped"),
-                    );
-                    self.device.topology().are_coupled(a, b)
-                };
+                let ready = !instr.is_two_qubit()
+                    || match (phys[0], phys[1]) {
+                        (Some(a), Some(b)) => self.device.topology().are_coupled(a, b),
+                        _ => false,
+                    };
                 if ready {
-                    self.complete(node, &dag);
+                    self.complete(node)?;
                     done += 1;
                     progressed = true;
                 }
@@ -576,7 +588,7 @@ impl<'a> Router<'a> {
                 })
                 .collect();
             if !pending.is_empty() {
-                self.insert_swap_for_frontier(&pending);
+                self.insert_swap_for_frontier(&pending)?;
                 continue;
             }
 
@@ -626,13 +638,13 @@ impl<'a> Router<'a> {
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when the live logical qubits cannot
+/// Returns [`CaqrError::OutOfQubits`] when the live logical qubits cannot
 /// fit on the device.
 pub fn route(
     circuit: &Circuit,
     device: &Device,
     opts: RouterOptions,
-) -> Result<RoutedCircuit, RouteError> {
+) -> Result<RoutedCircuit, CaqrError> {
     route_seeded(circuit, device, opts, None)
 }
 
@@ -643,26 +655,53 @@ pub fn route(
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when the circuit cannot fit.
+/// Returns [`CaqrError::OutOfQubits`] when the circuit cannot fit.
 pub fn route_seeded(
     circuit: &Circuit,
     device: &Device,
     opts: RouterOptions,
     layout: Option<&[Option<usize>]>,
-) -> Result<RoutedCircuit, RouteError> {
+) -> Result<RoutedCircuit, CaqrError> {
+    let mut analyses = AnalysisCache::new();
+    route_cached(circuit, device, opts, layout, &mut analyses)
+}
+
+/// [`route_seeded`] against a shared [`AnalysisCache`] describing
+/// `circuit`: the DAG, interaction graph, and critical-path marks are
+/// taken from (or built into) the cache instead of recomputed, so routing
+/// the same circuit under several policies pays for its analyses once.
+///
+/// The cache must describe `circuit` — pass a fresh cache (or one
+/// invalidated since the last mutation) or the routing result is
+/// undefined.
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] when the circuit cannot fit.
+pub fn route_cached(
+    circuit: &Circuit,
+    device: &Device,
+    opts: RouterOptions,
+    layout: Option<&[Option<usize>]>,
+    analyses: &mut AnalysisCache,
+) -> Result<RoutedCircuit, CaqrError> {
     if opts.preplace && circuit.num_qubits() > device.num_qubits() {
-        return Err(RouteError::OutOfQubits {
+        return Err(CaqrError::OutOfQubits {
             logical: circuit.num_qubits(),
             physical: device.num_qubits(),
+            qubit: None,
+            gate_index: None,
         });
     }
-    Router::new(circuit, device, opts).run(layout)
+    Router::new(circuit, device, opts, analyses).run(layout)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use caqr_arch::Topology;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn q(i: usize) -> Qubit {
         Qubit::new(i)
@@ -690,20 +729,21 @@ mod tests {
     }
 
     #[test]
-    fn baseline_routes_bv5_compliantly() {
+    fn baseline_routes_bv5_compliantly() -> TestResult {
         let c = bv5();
-        let r = route(&c, &device5(), RouterOptions::baseline()).unwrap();
+        let r = route(&c, &device5(), RouterOptions::baseline())?;
         assert!(r.is_hardware_compliant(&device5()));
         // Star of degree 4 cannot embed in a degree-3 device: SWAPs needed
         // (the paper's Fig. 5 argument).
         assert!(r.swap_count >= 1, "expected SWAPs, got {}", r.swap_count);
         assert_eq!(r.physical_qubits_used, 5);
+        Ok(())
     }
 
     #[test]
-    fn sr_uses_fewer_qubits_on_bv() {
+    fn sr_uses_fewer_qubits_on_bv() -> TestResult {
         let c = bv5();
-        let r = route(&c, &device5(), RouterOptions::sr()).unwrap();
+        let r = route(&c, &device5(), RouterOptions::sr())?;
         assert!(r.is_hardware_compliant(&device5()));
         // Reclaiming lets data qubits share wires.
         assert!(
@@ -711,15 +751,16 @@ mod tests {
             "SR should reuse wires, used {}",
             r.physical_qubits_used
         );
+        Ok(())
     }
 
     #[test]
-    fn sr_semantics_preserved() {
+    fn sr_semantics_preserved() -> TestResult {
         use caqr_sim::Executor;
         let c = bv5();
         let dev = device5();
         for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
-            let r = route(&c, &dev, opts).unwrap();
+            let r = route(&c, &dev, opts)?;
             let counts = Executor::ideal().run_shots(&r.circuit, 80, 2);
             assert_eq!(
                 counts.get(0b1111),
@@ -727,10 +768,11 @@ mod tests {
                 "opts {opts:?} corrupted the circuit: {counts}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn routed_gates_all_coupled_on_mumbai() {
+    fn routed_gates_all_coupled_on_mumbai() -> TestResult {
         use caqr_sim::Executor;
         let dev = Device::mumbai(5);
         let mut c = Circuit::new(8, 8);
@@ -743,17 +785,18 @@ mod tests {
         }
         c.measure_all();
         for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
-            let r = route(&c, &dev, opts).unwrap();
+            let r = route(&c, &dev, opts)?;
             assert!(r.is_hardware_compliant(&dev), "{opts:?}");
             // Still runs (no structural corruption).
             let (compact, _) = r.circuit.compact_qubits();
             let counts = Executor::ideal().run_shots(&compact, 10, 3);
             assert_eq!(counts.total(), 10);
         }
+        Ok(())
     }
 
     #[test]
-    fn reclaimed_wire_gets_reset() {
+    fn reclaimed_wire_gets_reset() -> TestResult {
         // Two disjoint sequential stages that can share wires under SR.
         let dev = Device::with_synthetic_calibration(Topology::line(3), 1);
         let mut c = Circuit::new(4, 4);
@@ -765,7 +808,7 @@ mod tests {
         c.cx(q(2), q(3));
         c.measure(q(2), Clbit::new(2));
         c.measure(q(3), Clbit::new(3));
-        let r = route(&c, &dev, RouterOptions::sr()).unwrap();
+        let r = route(&c, &dev, RouterOptions::sr())?;
         assert!(r.physical_qubits_used <= 3);
         // Conditional resets appear where wires were handed over.
         let resets = r.circuit.iter().filter(|i| i.condition.is_some()).count();
@@ -780,22 +823,46 @@ mod tests {
             assert!(first == 0 || first == 3, "{v:04b} x{n}");
             assert!(second == 0 || second == 3, "{v:04b} x{n}");
         }
+        Ok(())
     }
 
     #[test]
-    fn baseline_rejects_oversized_circuit() {
+    fn baseline_rejects_oversized_circuit() -> TestResult {
         let dev = Device::with_synthetic_calibration(Topology::line(2), 1);
         let mut c = Circuit::new(3, 0);
         c.h(q(0));
         c.h(q(1));
         c.h(q(2));
-        let err = route(&c, &dev, RouterOptions::baseline()).unwrap_err();
-        assert!(matches!(err, RouteError::OutOfQubits { .. }));
+        let Err(err) = route(&c, &dev, RouterOptions::baseline()) else {
+            return Err("oversized circuit must not route".into());
+        };
+        assert!(matches!(err, CaqrError::OutOfQubits { .. }));
         assert!(format!("{err}").contains("cannot place"));
+        Ok(())
     }
 
     #[test]
-    fn sr_fits_oversized_circuit_with_disjoint_lifetimes() {
+    fn on_demand_placement_failure_names_qubit_and_gate() -> TestResult {
+        // SR (no preplace, no up-front width check) runs out of physical
+        // qubits mid-routing: the error must say which logical qubit and
+        // which instruction hit the wall.
+        let dev = Device::with_synthetic_calibration(Topology::line(2), 1);
+        let mut c = Circuit::new(3, 0);
+        // All three logical qubits concurrently live.
+        c.cx(q(0), q(1));
+        c.cx(q(1), q(2));
+        c.cx(q(0), q(2));
+        let Err(err) = route(&c, &dev, RouterOptions::sr()) else {
+            return Err("3 live qubits cannot fit on 2".into());
+        };
+        assert!(matches!(err, CaqrError::OutOfQubits { .. }), "{err:?}");
+        assert!(err.qubit().is_some(), "error must name the logical qubit");
+        assert!(err.gate_index().is_some(), "error must name the gate index");
+        Ok(())
+    }
+
+    #[test]
+    fn sr_fits_oversized_circuit_with_disjoint_lifetimes() -> TestResult {
         // 4 logical qubits, 2 physical — but lifetimes are sequential, so
         // reclamation makes it fit. This is the paper's capacity argument.
         let dev = Device::with_synthetic_calibration(Topology::line(2), 1);
@@ -806,15 +873,16 @@ mod tests {
             c.measure(q(pair.0), Clbit::new(pair.0));
             c.measure(q(pair.1), Clbit::new(pair.1));
         }
-        let r = route(&c, &dev, RouterOptions::sr()).unwrap();
+        let r = route(&c, &dev, RouterOptions::sr())?;
         assert_eq!(r.physical_qubits_used, 2);
         assert!(r.is_hardware_compliant(&dev));
+        Ok(())
     }
 
     #[test]
-    fn layouts_recorded() {
+    fn layouts_recorded() -> TestResult {
         let c = bv5();
-        let r = route(&c, &device5(), RouterOptions::baseline()).unwrap();
+        let r = route(&c, &device5(), RouterOptions::baseline())?;
         for l in 0..5 {
             assert!(r.initial_layout[l].is_some());
             assert!(r.final_layout[l].is_some());
@@ -824,14 +892,38 @@ mod tests {
         for p in r.initial_layout.iter().flatten() {
             assert!(seen.insert(p));
         }
+        Ok(())
     }
 
     #[test]
-    fn already_compliant_circuit_needs_no_swaps() {
+    fn already_compliant_circuit_needs_no_swaps() -> TestResult {
         let dev = Device::with_synthetic_calibration(Topology::line(3), 1);
         let mut c = Circuit::new(2, 0);
         c.cx(q(0), q(1));
-        let r = route(&c, &dev, RouterOptions::baseline()).unwrap();
+        let r = route(&c, &dev, RouterOptions::baseline())?;
         assert_eq!(r.swap_count, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn cached_route_matches_fresh_route() -> TestResult {
+        let c = bv5();
+        let dev = device5();
+        let fresh = route(&c, &dev, RouterOptions::sr())?;
+        let mut cache = AnalysisCache::new();
+        // Route twice through the same cache: both must match the fresh
+        // result exactly (the cache only saves rebuilds, never changes
+        // results).
+        for _ in 0..2 {
+            let cached = route_cached(&c, &dev, RouterOptions::sr(), None, &mut cache)?;
+            assert_eq!(
+                cached.circuit.fingerprint(),
+                fresh.circuit.fingerprint(),
+                "cached analyses must not change routing output"
+            );
+            assert_eq!(cached.swap_count, fresh.swap_count);
+        }
+        assert!(cache.cached_count() > 0, "route_cached must fill the cache");
+        Ok(())
     }
 }

@@ -8,12 +8,38 @@
 //! as a side effect. The commuting-gate variant first imposes a partial
 //! gate order using QS-CaQR's sweet-spot reuse pairs (§3.3.2 Step 1), then
 //! runs the same mapper.
+//!
+//! Every candidate version is routed under two policies; each candidate
+//! circuit gets one shared [`AnalysisCache`] so its DAG, interaction
+//! graph, and critical-path marks are built once, not once per policy.
 
 use crate::commuting::{CommutingSpec, Matcher};
+use crate::error::CaqrError;
+use crate::pass::AnalysisCache;
 use crate::qs;
-use crate::router::{self, RouteError, RoutedCircuit, RouterOptions};
+use crate::router::{self, RoutedCircuit, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
+
+/// Routes `circuit` under each policy in order, sharing one analysis
+/// cache, feeding every result to `consider`.
+fn route_versions(
+    circuit: &Circuit,
+    device: &Device,
+    policies: [RouterOptions; 2],
+    mut consider: impl FnMut(Result<RoutedCircuit, CaqrError>),
+) {
+    let mut analyses = AnalysisCache::new();
+    for opts in policies {
+        consider(router::route_cached(
+            circuit,
+            device,
+            opts,
+            None,
+            &mut analyses,
+        ));
+    }
+}
 
 /// Compiles a regular circuit with SR-CaQR (§3.3.1): the delay/reclaim
 /// mapper routes the original circuit *and* each QS-CaQR sweep point, the
@@ -25,14 +51,14 @@ use caqr_circuit::Circuit;
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when no version fits the device.
-pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, RouteError> {
+/// Returns [`CaqrError::OutOfQubits`] when no version fits the device.
+pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, CaqrError> {
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
     let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
-    let consider = |candidate: Result<RoutedCircuit, RouteError>,
+    let consider = |candidate: Result<RoutedCircuit, CaqrError>,
                     best: &mut Option<RoutedCircuit>,
-                    last_err: &mut Option<RouteError>| {
+                    last_err: &mut Option<CaqrError>| {
         match candidate {
             Ok(routed) => {
                 if best.as_ref().is_none_or(|b| key(&routed) < key(b)) {
@@ -42,31 +68,48 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Rout
             Err(e) => *last_err = Some(e),
         }
     };
-    for opts in [RouterOptions::sr(), RouterOptions::baseline()] {
-        consider(
-            router::route(circuit, device, opts),
-            &mut best,
-            &mut last_err,
-        );
-    }
+    route_versions(
+        circuit,
+        device,
+        [RouterOptions::sr(), RouterOptions::baseline()],
+        |c| consider(c, &mut best, &mut last_err),
+    );
     for point in qs::regular::sweep(circuit, &device.logical_duration_model()) {
         if point.reuses == 0 {
             continue; // the original was handled above
         }
-        for opts in [RouterOptions::sr(), RouterOptions::baseline()] {
-            consider(
-                router::route(&point.circuit, device, opts),
-                &mut best,
-                &mut last_err,
-            );
+        route_versions(
+            &point.circuit,
+            device,
+            [RouterOptions::sr(), RouterOptions::baseline()],
+            |c| consider(c, &mut best, &mut last_err),
+        );
+    }
+    finish(best, last_err)
+}
+
+/// Resolves the best candidate, or the last routing error when every
+/// version failed.
+fn finish(
+    best: Option<RoutedCircuit>,
+    last_err: Option<CaqrError>,
+) -> Result<RoutedCircuit, CaqrError> {
+    match best {
+        Some(b) => Ok(b),
+        None => {
+            Err(last_err
+                .unwrap_or_else(|| CaqrError::internal("version selection saw no candidates")))
         }
     }
-    best.ok_or_else(|| last_err.expect("at least one version was attempted"))
 }
 
 /// Routes with the delay/reclaim mapper only — the raw §3.3.1 algorithm
 /// without version selection, exposed for ablations.
-pub fn route_only(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, RouteError> {
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] when the circuit cannot fit.
+pub fn route_only(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, CaqrError> {
     router::route(circuit, device, RouterOptions::sr())
 }
 
@@ -79,14 +122,14 @@ pub fn route_only(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, R
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] when no version fits the device.
+/// Returns [`CaqrError::OutOfQubits`] when no version fits the device.
 pub fn compile_for_fidelity(
     circuit: &Circuit,
     device: &Device,
-) -> Result<RoutedCircuit, RouteError> {
+) -> Result<RoutedCircuit, CaqrError> {
     let mut best: Option<(f64, RoutedCircuit)> = None;
     let mut last_err = None;
-    let mut consider = |candidate: Result<RoutedCircuit, RouteError>| match candidate {
+    let mut consider = |candidate: Result<RoutedCircuit, CaqrError>| match candidate {
         Ok(routed) => {
             let esp = crate::esp::estimate(&routed.circuit, device);
             if best.as_ref().is_none_or(|(b, _)| esp > *b) {
@@ -95,20 +138,25 @@ pub fn compile_for_fidelity(
         }
         Err(e) => last_err = Some(e),
     };
-    for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
-        consider(router::route(circuit, device, opts));
-    }
+    route_versions(
+        circuit,
+        device,
+        [RouterOptions::baseline(), RouterOptions::sr()],
+        &mut consider,
+    );
     let points = match CommutingSpec::from_circuit(circuit) {
         Ok(spec) => qs::commuting::sweep(&spec, default_matcher(&spec)),
         Err(_) => qs::regular::sweep(circuit, &device.logical_duration_model()),
     };
     for point in points {
-        for opts in [RouterOptions::sr(), RouterOptions::baseline()] {
-            consider(router::route(&point.circuit, device, opts));
-        }
+        route_versions(
+            &point.circuit,
+            device,
+            [RouterOptions::sr(), RouterOptions::baseline()],
+            &mut consider,
+        );
     }
-    best.map(|(_, r)| r)
-        .ok_or_else(|| last_err.expect("at least one version was attempted"))
+    finish(best.map(|(_, r)| r), last_err)
 }
 
 /// Compiles a commuting-gate circuit with SR-CaQR (§3.3.2): QS-CaQR finds
@@ -124,22 +172,37 @@ pub fn compile_for_fidelity(
 ///
 /// # Errors
 ///
-/// Returns [`RouteError::OutOfQubits`] as for [`compile`].
+/// Returns [`CaqrError::OutOfQubits`] as for [`compile`].
 pub fn compile_commuting(
     circuit: &Circuit,
     device: &Device,
     _slack: f64,
-) -> Result<RoutedCircuit, RouteError> {
+) -> Result<RoutedCircuit, CaqrError> {
     let Ok(spec) = CommutingSpec::from_circuit(circuit) else {
         return compile(circuit, device);
     };
-    let matcher = default_matcher(&spec);
+    compile_commuting_with(circuit, device, &spec)
+}
+
+/// [`compile_commuting`] with a precomputed [`CommutingSpec`] — the entry
+/// point the pass pipeline uses so the `commuting-analysis` artifact is
+/// not recomputed.
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] as for [`compile`].
+pub fn compile_commuting_with(
+    circuit: &Circuit,
+    device: &Device,
+    spec: &CommutingSpec,
+) -> Result<RoutedCircuit, CaqrError> {
+    let matcher = default_matcher(spec);
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
     let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
-    let consider = |candidate: Result<RoutedCircuit, RouteError>,
+    let consider = |candidate: Result<RoutedCircuit, CaqrError>,
                     best: &mut Option<RoutedCircuit>,
-                    last_err: &mut Option<RouteError>| {
+                    last_err: &mut Option<CaqrError>| {
         match candidate {
             Ok(routed) => {
                 if best.as_ref().is_none_or(|b| key(&routed) < key(b)) {
@@ -150,26 +213,24 @@ pub fn compile_commuting(
         }
     };
     // The untouched input (original gate order) under both policies.
-    for opts in [RouterOptions::baseline(), RouterOptions::sr()] {
-        consider(
-            router::route(circuit, device, opts),
-            &mut best,
-            &mut last_err,
-        );
-    }
+    route_versions(
+        circuit,
+        device,
+        [RouterOptions::baseline(), RouterOptions::sr()],
+        |c| consider(c, &mut best, &mut last_err),
+    );
     // Every QS sweep point (scheduler-ordered, 0..max reuse) under both
     // policies — a strict superset of the QS-min-SWAP candidate set, so
     // SR never loses Table 2's comparison by construction.
-    for point in qs::commuting::sweep(&spec, matcher) {
-        for opts in [RouterOptions::sr(), RouterOptions::baseline()] {
-            consider(
-                router::route(&point.circuit, device, opts),
-                &mut best,
-                &mut last_err,
-            );
-        }
+    for point in qs::commuting::sweep(spec, matcher) {
+        route_versions(
+            &point.circuit,
+            device,
+            [RouterOptions::sr(), RouterOptions::baseline()],
+            |c| consider(c, &mut best, &mut last_err),
+        );
     }
-    best.ok_or_else(|| last_err.expect("at least one version was attempted"))
+    finish(best, last_err)
 }
 
 /// Blossom matching for small instances; the §3.4 greedy alternative once
@@ -188,6 +249,8 @@ mod tests {
     use crate::baseline;
     use caqr_circuit::{Clbit, Qubit};
     use caqr_graph::gen;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn q(i: usize) -> Qubit {
         Qubit::new(i)
@@ -228,13 +291,13 @@ mod tests {
     }
 
     #[test]
-    fn sr_beats_baseline_swaps_on_bv10() {
+    fn sr_beats_baseline_swaps_on_bv10() -> TestResult {
         // The Fig. 4/5 argument at scale: BV's star graph strains the
         // heavy-hex degree-3 coupling; reuse relieves it.
         let dev = Device::mumbai(2);
         let c = bv(10);
-        let base = baseline::compile(&c, &dev).unwrap();
-        let sr = compile(&c, &dev).unwrap();
+        let base = baseline::compile(&c, &dev)?;
+        let sr = compile(&c, &dev)?;
         assert!(sr.is_hardware_compliant(&dev));
         assert!(
             sr.swap_count <= base.swap_count,
@@ -243,28 +306,30 @@ mod tests {
             base.swap_count
         );
         assert!(sr.physical_qubits_used <= base.physical_qubits_used);
+        Ok(())
     }
 
     #[test]
-    fn sr_preserves_bv_semantics() {
+    fn sr_preserves_bv_semantics() -> TestResult {
         use caqr_sim::Executor;
         let dev = Device::mumbai(2);
-        let r = compile(&bv(6), &dev).unwrap();
+        let r = compile(&bv(6), &dev)?;
         let (compact, _) = r.circuit.compact_qubits();
         let counts = Executor::ideal().run_shots(&compact, 60, 3).marginal(5);
         assert_eq!(counts.get(0b11111), 60, "{counts}");
+        Ok(())
     }
 
     #[test]
-    fn commuting_path_compiles_qaoa() {
+    fn commuting_path_compiles_qaoa() -> TestResult {
         let dev = Device::mumbai(3);
         let c = qaoa_circuit(8, 0.3, 5);
-        let r = compile_commuting(&c, &dev, 0.1).unwrap();
+        let r = compile_commuting(&c, &dev, 0.1)?;
         assert!(r.is_hardware_compliant(&dev));
         // Version selection guarantees SR is never worse than the no-reuse
         // compilation on SWAPs, and usage stays at or below the baseline
         // (swap-through qubits count as used, so compare compilations).
-        let base = baseline::compile(&c, &dev).unwrap();
+        let base = baseline::compile(&c, &dev)?;
         assert!(
             r.swap_count <= base.swap_count,
             "SR {} swaps vs baseline {}",
@@ -277,21 +342,41 @@ mod tests {
             r.physical_qubits_used,
             base.physical_qubits_used
         );
+        Ok(())
     }
 
     #[test]
-    fn commuting_falls_back_for_regular_circuits() {
+    fn commuting_with_spec_matches_recomputed_spec() -> TestResult {
+        let dev = Device::mumbai(3);
+        let c = qaoa_circuit(8, 0.3, 5);
+        let spec = CommutingSpec::from_circuit(&c).map_err(|e| e.to_string())?;
+        let with = compile_commuting_with(&c, &dev, &spec)?;
+        let recomputed = compile_commuting(&c, &dev, 0.1)?;
+        assert_eq!(
+            with.circuit.fingerprint(),
+            recomputed.circuit.fingerprint(),
+            "precomputed spec must not change the result"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn commuting_falls_back_for_regular_circuits() -> TestResult {
         let dev = Device::mumbai(3);
         let c = bv(5);
-        let r = compile_commuting(&c, &dev, 0.1).unwrap();
+        let r = compile_commuting(&c, &dev, 0.1)?;
         assert!(r.is_hardware_compliant(&dev));
+        Ok(())
     }
 
     #[test]
-    fn matcher_cutoff() {
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(8, 0.3, 1)).unwrap();
+    fn matcher_cutoff() -> TestResult {
+        let spec =
+            CommutingSpec::from_circuit(&qaoa_circuit(8, 0.3, 1)).map_err(|e| e.to_string())?;
         assert_eq!(default_matcher(&spec), Matcher::Blossom);
-        let spec = CommutingSpec::from_circuit(&qaoa_circuit(30, 0.2, 1)).unwrap();
+        let spec =
+            CommutingSpec::from_circuit(&qaoa_circuit(30, 0.2, 1)).map_err(|e| e.to_string())?;
         assert_eq!(default_matcher(&spec), Matcher::Greedy);
+        Ok(())
     }
 }

@@ -196,25 +196,25 @@ pub fn apply(circuit: &Circuit, plan: &ReusePlan) -> Result<TransformedCircuit, 
         }
     }
 
-    // Reuse points: pick the clbit for each donor's reset.
+    // Reuse points: pick the clbit for each donor's reset. A donor with
+    // no gates never left |0>, so its handoff needs no measure or reset
+    // at all (`None`).
     let mut num_clbits = circuit.num_clbits();
     // (needs_fresh_measure, clbit) per pair.
-    let resets: Vec<(bool, Clbit)> = plan
+    let resets: Vec<Option<(bool, Clbit)>> = plan
         .pairs()
         .iter()
         .map(|pair| {
-            let last = gates_on[pair.donor.index()]
-                .last()
-                .copied()
-                .expect("active donors have gates");
+            let last = gates_on[pair.donor.index()].last().copied()?;
             let last_instr = &circuit.instructions()[last];
-            if last_instr.gate == Gate::Measure {
-                (false, last_instr.clbit.expect("measure has a clbit"))
-            } else {
-                let c = Clbit::new(num_clbits);
-                num_clbits += 1;
-                (true, c)
-            }
+            Some(match (last_instr.gate, last_instr.clbit) {
+                (Gate::Measure, Some(clbit)) => (false, clbit),
+                _ => {
+                    let c = Clbit::new(num_clbits);
+                    num_clbits += 1;
+                    (true, c)
+                }
+            })
         })
         .collect();
 
@@ -231,17 +231,17 @@ pub fn apply(circuit: &Circuit, plan: &ReusePlan) -> Result<TransformedCircuit, 
                 .collect();
             out.push(ni);
         } else {
-            let k = d_nodes
-                .iter()
-                .position(|&d| d == node)
-                .expect("node is a D node");
+            // D nodes were added to the graph in pair order, directly
+            // after the circuit's own instruction nodes.
+            let k = node - circuit.len();
             let pair = plan.pairs()[k];
             let wire = Qubit::new(wire_of[pair.donor.index()]);
-            let (fresh, clbit) = resets[k];
-            if fresh {
-                out.measure(wire, clbit);
+            if let Some((fresh, clbit)) = resets[k] {
+                if fresh {
+                    out.measure(wire, clbit);
+                }
+                out.cond_x(wire, clbit);
             }
-            out.cond_x(wire, clbit);
         }
     }
 
@@ -287,11 +287,13 @@ mod tests {
         c
     }
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn bv5_full_chain_gives_two_wires() {
+    fn bv5_full_chain_gives_two_wires() -> TestResult {
         let c = bv(5, 0b1111);
         let plan = ReusePlan::from_pairs([pair(0, 1), pair(1, 2), pair(2, 3)]);
-        let t = apply(&c, &plan).unwrap();
+        let t = apply(&c, &plan)?;
         assert_eq!(t.circuit.num_qubits(), 2);
         assert_eq!(t.qubits_saved(), 3);
         // All data qubits share wire 0; target on wire 1.
@@ -303,38 +305,42 @@ mod tests {
         let cond_x = t.circuit.iter().filter(|i| i.condition.is_some()).count();
         assert_eq!(cond_x, 3);
         assert_eq!(t.circuit.mid_circuit_measurement_count(), 3);
+        Ok(())
     }
 
     #[test]
-    fn bv_semantics_preserved() {
+    fn bv_semantics_preserved() -> TestResult {
         for hidden in [0b1111u64, 0b1010, 0b0011] {
             let c = bv(5, hidden);
             let plan = ReusePlan::from_pairs([pair(0, 1), pair(1, 2), pair(2, 3)]);
-            let t = apply(&c, &plan).unwrap();
+            let t = apply(&c, &plan)?;
             let counts = Executor::ideal().run_shots(&t.circuit, 100, 3);
             assert_eq!(counts.get(hidden), 100, "hidden {hidden:04b}: {counts}");
         }
+        Ok(())
     }
 
     #[test]
-    fn single_pair_saves_one() {
+    fn single_pair_saves_one() -> TestResult {
         let c = bv(5, 0b1111);
-        let t = apply(&c, &ReusePlan::from_pairs([pair(0, 3)])).unwrap();
+        let t = apply(&c, &ReusePlan::from_pairs([pair(0, 3)]))?;
         assert_eq!(t.circuit.num_qubits(), 4);
         let counts = Executor::ideal().run_shots(&t.circuit, 50, 1);
         assert_eq!(counts.get(0b1111), 50);
+        Ok(())
     }
 
     #[test]
-    fn empty_plan_is_identity_up_to_compaction() {
+    fn empty_plan_is_identity_up_to_compaction() -> TestResult {
         let c = bv(5, 0b0110);
-        let t = apply(&c, &ReusePlan::new()).unwrap();
+        let t = apply(&c, &ReusePlan::new())?;
         assert_eq!(t.circuit.num_qubits(), 5);
         assert_eq!(t.circuit.len(), c.len());
+        Ok(())
     }
 
     #[test]
-    fn donor_without_measure_gets_fresh_one() {
+    fn donor_without_measure_gets_fresh_one() -> TestResult {
         // q0 entangles with q1 but is never measured; reusing it for q2
         // must insert a fresh measure + conditional reset.
         let mut c = Circuit::new(3, 2);
@@ -344,15 +350,15 @@ mod tests {
         c.cx(q(2), q(1));
         c.measure(q(1), Clbit::new(0));
         c.measure(q(2), Clbit::new(1));
-        let t = apply(&c, &ReusePlan::from_pairs([pair(0, 2)])).unwrap();
+        let t = apply(&c, &ReusePlan::from_pairs([pair(0, 2)]))?;
         assert_eq!(t.circuit.num_qubits(), 2);
         // Fresh clbit allocated beyond the original two.
         assert_eq!(t.circuit.num_clbits(), 3);
         let measures = t.circuit.count_gates(|g| matches!(g, Gate::Measure));
         assert_eq!(measures, 3);
         // Distribution over the original clbits is preserved.
-        let orig = exact::distribution(&c).unwrap();
-        let new = exact::distribution(&t.circuit).unwrap();
+        let orig = exact::distribution(&c)?;
+        let new = exact::distribution(&t.circuit)?;
         // Marginalize the fresh clbit (bit 2) out of the transformed dist.
         let mut marginal = std::collections::BTreeMap::new();
         for (v, p) in new {
@@ -362,59 +368,101 @@ mod tests {
             let got = marginal.get(&v).copied().unwrap_or(0.0);
             assert!((got - p).abs() < 1e-9, "value {v:02b}: {p} vs {got}");
         }
+        Ok(())
+    }
+
+    /// Asserts that `apply` rejects `plan` with exactly `want`.
+    fn assert_rejected(c: &Circuit, plan: ReusePlan, want: ReuseError) -> TestResult {
+        match apply(c, &plan) {
+            Err(err) => {
+                assert_eq!(err, want);
+                Ok(())
+            }
+            Ok(_) => Err(format!("plan accepted, expected {want}").into()),
+        }
     }
 
     #[test]
-    fn invalid_pair_rejected_as_cycle() {
+    fn invalid_pair_rejected_as_cycle() -> TestResult {
         // Fig. 7 shape: reusing q0's wire for q3 is invalid.
         let mut c = Circuit::new(4, 0);
         c.cx(q(3), q(1));
         c.cx(q(1), q(2));
         c.cx(q(2), q(0));
-        let err = apply(&c, &ReusePlan::from_pairs([pair(0, 3)])).unwrap_err();
-        assert_eq!(err, ReuseError::CyclicDependence);
+        assert_rejected(
+            &c,
+            ReusePlan::from_pairs([pair(0, 3)]),
+            ReuseError::CyclicDependence,
+        )
     }
 
     #[test]
-    fn condition1_violation_rejected() {
+    fn condition1_violation_rejected() -> TestResult {
         let mut c = Circuit::new(2, 0);
         c.cx(q(0), q(1));
-        let err = apply(&c, &ReusePlan::from_pairs([pair(0, 1)])).unwrap_err();
-        assert_eq!(err, ReuseError::CyclicDependence);
+        assert_rejected(
+            &c,
+            ReusePlan::from_pairs([pair(0, 1)]),
+            ReuseError::CyclicDependence,
+        )
     }
 
     #[test]
-    fn duplicate_donor_rejected() {
+    fn duplicate_donor_rejected() -> TestResult {
         let c = bv(5, 0b1111);
-        let err = apply(&c, &ReusePlan::from_pairs([pair(0, 1), pair(0, 2)])).unwrap_err();
-        assert_eq!(err, ReuseError::DuplicateDonor(q(0)));
+        assert_rejected(
+            &c,
+            ReusePlan::from_pairs([pair(0, 1), pair(0, 2)]),
+            ReuseError::DuplicateDonor(q(0)),
+        )
     }
 
     #[test]
-    fn duplicate_receiver_rejected() {
+    fn duplicate_receiver_rejected() -> TestResult {
         let c = bv(5, 0b1111);
-        let err = apply(&c, &ReusePlan::from_pairs([pair(0, 3), pair(1, 3)])).unwrap_err();
-        assert_eq!(err, ReuseError::DuplicateReceiver(q(3)));
+        assert_rejected(
+            &c,
+            ReusePlan::from_pairs([pair(0, 3), pair(1, 3)]),
+            ReuseError::DuplicateReceiver(q(3)),
+        )
     }
 
     #[test]
-    fn out_of_range_rejected() {
+    fn out_of_range_rejected() -> TestResult {
         let c = bv(3, 0b11);
-        let err = apply(&c, &ReusePlan::from_pairs([pair(0, 9)])).unwrap_err();
-        assert_eq!(err, ReuseError::OutOfRange(q(9)));
+        assert_rejected(
+            &c,
+            ReusePlan::from_pairs([pair(0, 9)]),
+            ReuseError::OutOfRange(q(9)),
+        )
     }
 
     #[test]
-    fn depth_grows_with_reuse() {
+    fn depth_grows_with_reuse() -> TestResult {
         // The paper's core trade-off: fewer qubits, longer circuit.
         let c = bv(5, 0b1111);
         let d0 = c.depth();
         let t = apply(
             &c,
             &ReusePlan::from_pairs([pair(0, 1), pair(1, 2), pair(2, 3)]),
-        )
-        .unwrap();
+        )?;
         assert!(t.circuit.depth() > d0);
+        Ok(())
+    }
+
+    #[test]
+    fn gateless_donor_needs_no_reset() -> TestResult {
+        // q0 has no gates at all; handing its wire to q1 must not emit a
+        // measure or conditional reset (the wire never left |0>).
+        let mut c = Circuit::new(2, 1);
+        c.h(q(1));
+        c.measure(q(1), Clbit::new(0));
+        let t = apply(&c, &ReusePlan::from_pairs([pair(0, 1)]))?;
+        assert_eq!(
+            t.circuit.iter().filter(|i| i.condition.is_some()).count(),
+            0
+        );
+        Ok(())
     }
 
     #[test]

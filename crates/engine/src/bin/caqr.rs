@@ -2,7 +2,8 @@
 //! with qubit reuse.
 //!
 //! ```text
-//! caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]
+//! caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D]
+//!              [--seed N] [--emit]
 //! caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]
 //!                    [--device D] [--seed N] [--jobs N] [--cache N]
 //!                    [--metrics] [--json]
@@ -13,9 +14,11 @@
 //! strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
 //! devices:    mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
 //! suites:     regular | qaoa | full (the paper's benchmark tables)
+//! passes:     any comma-separated subset of the registered pass names
+//!             (see `caqr::REGISTERED_PASSES`); overrides --strategy's recipe
 //! ```
 
-use caqr::{advisor, compile, qs, Strategy};
+use caqr::{advisor, compile, qs, PassManager, Strategy, REGISTERED_PASSES};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::depth::UnitDurations;
 use caqr_circuit::{qasm, Circuit};
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
             eprintln!("caqr: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  caqr compile <file.qasm> [--strategy S] [--device D] [--seed N] [--emit]");
+            eprintln!("  caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D] [--seed N] [--emit]");
             eprintln!("  caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]");
             eprintln!("                     [--device D] [--seed N] [--jobs N] [--cache N] [--metrics] [--json]");
             eprintln!("  caqr advise  <file.qasm> [--device D] [--seed N]");
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
             );
             eprintln!("devices: mumbai | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>");
             eprintln!("suites: regular | qaoa | full");
+            eprintln!("passes: {}", REGISTERED_PASSES.join(" | "));
             ExitCode::FAILURE
         }
     }
@@ -59,8 +63,22 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "compile" => {
             let device = opts.device()?;
-            let report = compile(&circuit, &device, opts.strategy)
-                .map_err(|e| format!("compilation failed: {e}"))?;
+            let report = match &opts.passes {
+                // A custom pass sequence: run it through the same
+                // PassManager the strategy recipes use, labelled with
+                // whatever --strategy says (for the report header only).
+                Some(names) => {
+                    let manager = PassManager::from_names(names.iter().map(String::as_str))
+                        .map_err(|e| {
+                            format!("{e} (registered: {})", REGISTERED_PASSES.join(", "))
+                        })?;
+                    manager
+                        .run(&circuit, &device, opts.strategy)
+                        .map_err(|e| format!("compilation failed: {e}"))?
+                }
+                None => compile(&circuit, &device, opts.strategy)
+                    .map_err(|e| format!("compilation failed: {e}"))?,
+            };
             println!("{report}");
             if opts.emit {
                 print!("{}", qasm::to_qasm(&report.circuit));
@@ -196,6 +214,7 @@ fn load(path: &str) -> Result<Circuit, String> {
 
 struct Flags {
     strategy: Strategy,
+    passes: Option<Vec<String>>,
     device_spec: String,
     seed: u64,
     emit: bool,
@@ -205,6 +224,7 @@ impl Flags {
     fn parse(rest: &[String]) -> Result<Flags, String> {
         let mut flags = Flags {
             strategy: Strategy::Sr,
+            passes: None,
             device_spec: "mumbai".to_string(),
             seed: 2023,
             emit: false,
@@ -215,6 +235,19 @@ impl Flags {
                 "--strategy" => {
                     let v = it.next().ok_or("--strategy needs a value")?;
                     flags.strategy = parse_strategy(v)?;
+                }
+                "--passes" => {
+                    let v = it.next().ok_or("--passes needs a value")?;
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if names.is_empty() {
+                        return Err("--passes needs at least one pass name".into());
+                    }
+                    flags.passes = Some(names);
                 }
                 "--device" => {
                     flags.device_spec = it.next().ok_or("--device needs a value")?.clone();
@@ -278,6 +311,7 @@ impl BatchFlags {
         let mut out = BatchFlags {
             flags: Flags {
                 strategy: Strategy::Sr,
+                passes: None,
                 device_spec: "mumbai".to_string(),
                 seed: 2023,
                 emit: false,

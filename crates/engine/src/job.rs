@@ -1,8 +1,7 @@
 //! The batch job model: what to compile, and what came back.
 
 use crate::metrics::EngineMetrics;
-use caqr::router::RouteError;
-use caqr::{CompileReport, StageTrace, Strategy};
+use caqr::{CaqrError, CompileReport, StageTrace, Strategy};
 use caqr_arch::Device;
 use caqr_circuit::fingerprint::Fingerprint;
 use caqr_circuit::Circuit;
@@ -105,10 +104,12 @@ impl BatchRequest {
 }
 
 /// Why a job produced no report.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
-    /// The pipeline reported an error (circuit does not fit, ...).
-    Route(RouteError),
+    /// The pipeline reported a typed error (circuit does not fit, ...);
+    /// the full [`CaqrError`] context (offending qubit, gate index) is
+    /// preserved for the report.
+    Compile(CaqrError),
     /// The job panicked; the batch continued without it.
     Panic(String),
 }
@@ -116,13 +117,20 @@ pub enum JobError {
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JobError::Route(e) => write!(f, "route error: {e}"),
+            JobError::Compile(e) => write!(f, "compile error: {e}"),
             JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }
 
-impl std::error::Error for JobError {}
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Compile(e) => Some(e),
+            JobError::Panic(_) => None,
+        }
+    }
+}
 
 /// A completed job.
 #[derive(Debug, Clone)]
@@ -338,10 +346,14 @@ mod tests {
     fn job_error_displays() {
         let e = JobError::Panic("boom".into());
         assert!(e.to_string().contains("boom"));
-        let r = JobError::Route(RouteError::OutOfQubits {
+        let r = JobError::Compile(CaqrError::OutOfQubits {
             logical: 9,
             physical: 3,
+            qubit: Some(7),
+            gate_index: Some(12),
         });
-        assert!(r.to_string().contains("route error"));
+        let s = r.to_string();
+        assert!(s.contains("compile error"), "{s}");
+        assert!(s.contains("logical qubit 7"), "context must survive: {s}");
     }
 }

@@ -16,6 +16,11 @@ use crate::cache::CacheStats;
 pub struct EngineMetrics {
     /// Total time spent in each pipeline stage, summed over all jobs.
     pub stage_totals: BTreeMap<Stage, Duration>,
+    /// Total time spent in each named pass, summed over all jobs. Finer
+    /// grained than [`EngineMetrics::stage_totals`]: a stage may span
+    /// several passes (e.g. the sweep stage runs `qs-sweep`,
+    /// `route-sweep`, and a `select-*` pass).
+    pub pass_totals: BTreeMap<&'static str, Duration>,
     /// Jobs submitted.
     pub jobs_total: usize,
     /// Jobs that produced a report.
@@ -43,6 +48,9 @@ impl EngineMetrics {
         self.reuse_pairs += reuse_pairs_in(circuit);
         for &(stage, span) in trace.spans() {
             *self.stage_totals.entry(stage).or_default() += span;
+        }
+        for &(name, span) in trace.pass_spans() {
+            *self.pass_totals.entry(name).or_default() += span;
         }
     }
 
@@ -73,6 +81,13 @@ impl EngineMetrics {
                 total.as_secs_f64() * 1e3,
             ));
         }
+        for (name, total) in &self.pass_totals {
+            out.push_str(&format!(
+                "pass_{:<17} {:.3} ms\n",
+                name,
+                total.as_secs_f64() * 1e3,
+            ));
+        }
         out.push_str(&format!(
             "batch_wall             {:.3} ms\n",
             self.batch_wall.as_secs_f64() * 1e3,
@@ -90,11 +105,18 @@ impl EngineMetrics {
             let total = self.stage_totals.get(stage).copied().unwrap_or_default();
             stages.push_str(&format!("\"{}\":{}", stage.name(), total.as_micros()));
         }
+        let mut passes = String::new();
+        for (i, (name, total)) in self.pass_totals.iter().enumerate() {
+            if i > 0 {
+                passes.push(',');
+            }
+            passes.push_str(&format!("\"{}\":{}", name, total.as_micros()));
+        }
         format!(
             "{{\"type\":\"metrics\",\"jobs_total\":{},\"jobs_ok\":{},\"jobs_failed\":{},\
              \"jobs_from_cache\":{},\"swaps_inserted\":{},\"reuse_pairs\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
-             \"stage_us\":{{{}}},\"batch_wall_us\":{}}}",
+             \"stage_us\":{{{}}},\"pass_us\":{{{}}},\"batch_wall_us\":{}}}",
             self.jobs_total,
             self.jobs_ok,
             self.jobs_failed,
@@ -105,6 +127,7 @@ impl EngineMetrics {
             self.cache.misses,
             self.cache.evictions,
             stages,
+            passes,
             self.batch_wall.as_micros(),
         )
     }
@@ -145,6 +168,25 @@ mod tests {
             assert!(json.contains(&format!("\"{}\":", stage.name())), "{json}");
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn pass_totals_surface_in_table_and_json() {
+        let mut metrics = EngineMetrics::default();
+        metrics
+            .pass_totals
+            .insert("baseline-route", Duration::from_micros(1500));
+        metrics
+            .pass_totals
+            .insert("optimize", Duration::from_micros(250));
+        let table = metrics.render_table();
+        assert!(table.contains("pass_baseline-route"), "{table}");
+        assert!(table.contains("pass_optimize"), "{table}");
+        let json = metrics.to_json();
+        assert!(
+            json.contains("\"pass_us\":{\"baseline-route\":1500,\"optimize\":250}"),
+            "{json}"
+        );
     }
 
     #[test]

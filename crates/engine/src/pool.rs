@@ -5,8 +5,7 @@
 use crate::cache::CompileCache;
 use crate::job::{BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome};
 use crate::metrics::EngineMetrics;
-use caqr::router::RouteError;
-use caqr::{CompileReport, StageTrace};
+use caqr::{CaqrError, CompileReport, StageTrace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -18,14 +17,14 @@ use std::time::Instant;
 pub trait JobCompiler: Sync {
     /// Compiles one job, returning the report (or error) plus stage
     /// timings.
-    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, RouteError>, StageTrace);
+    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, CaqrError>, StageTrace);
 }
 
 impl<F> JobCompiler for F
 where
-    F: Fn(&CompileJob) -> (Result<CompileReport, RouteError>, StageTrace) + Sync,
+    F: Fn(&CompileJob) -> (Result<CompileReport, CaqrError>, StageTrace) + Sync,
 {
-    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, RouteError>, StageTrace) {
+    fn compile(&self, job: &CompileJob) -> (Result<CompileReport, CaqrError>, StageTrace) {
         self(job)
     }
 }
@@ -170,7 +169,7 @@ fn run_one<C: JobCompiler>(
         Ok((Err(error), _)) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
-            error: JobError::Route(error),
+            error: JobError::Compile(error),
         }),
         Err(payload) => Err(FailedJob {
             name: job.name.clone(),
@@ -244,7 +243,7 @@ mod tests {
     }
 
     #[test]
-    fn route_error_is_reported_not_fatal() {
+    fn compile_error_is_reported_not_fatal() {
         let tiny = Device::with_synthetic_calibration(caqr_arch::Topology::line(3), 0);
         let mut all = jobs();
         all.insert(
@@ -257,7 +256,7 @@ mod tests {
         let failed = report.results[1].as_ref().unwrap_err();
         assert_eq!(failed.name, "too-big");
         assert!(
-            matches!(failed.error, JobError::Route(_)),
+            matches!(failed.error, JobError::Compile(_)),
             "{:?}",
             failed.error
         );

@@ -1,0 +1,79 @@
+//! Panic-isolation acceptance suite: the equivalence corpus crossed with
+//! every strategy must flow through the engine with zero panics. Failures
+//! of any kind would surface as `JobError` entries (the engine isolates
+//! panics with `catch_unwind`), so a clean batch proves the typed-error
+//! refactor left no panicking paths on the compile route.
+
+use caqr::Strategy;
+use caqr_arch::Device;
+use caqr_benchmarks::qaoa::{qaoa_benchmark, GraphKind};
+use caqr_benchmarks::{bv, revlib, Benchmark};
+use caqr_engine::{BatchRequest, CompileJob, Engine, JobError};
+
+const STRATEGIES: [Strategy; 6] = [
+    Strategy::Baseline,
+    Strategy::QsMaxReuse,
+    Strategy::QsMinDepth,
+    Strategy::QsMinSwap,
+    Strategy::QsMaxEsp,
+    Strategy::Sr,
+];
+
+fn corpus() -> Vec<Benchmark> {
+    vec![
+        revlib::xor_5(),
+        revlib::four_mod5(),
+        revlib::rd32(),
+        bv::bv_all_ones(5),
+        bv::bv_all_ones(8),
+        qaoa_benchmark(6, 0.3, GraphKind::Random, 2029),
+        qaoa_benchmark(8, 0.3, GraphKind::Random, 2031),
+    ]
+}
+
+#[test]
+fn suite_compiles_without_panics_or_errors() {
+    let device = Device::mumbai(2023);
+    let jobs: Vec<CompileJob> = corpus()
+        .into_iter()
+        .flat_map(|bench| {
+            STRATEGIES.map(|strategy| {
+                CompileJob::new(
+                    format!("{}/{}", bench.name, strategy),
+                    bench.circuit.clone(),
+                    device.clone(),
+                    strategy,
+                )
+            })
+        })
+        .collect();
+    let expected = jobs.len();
+
+    let report = Engine::run(&BatchRequest::new(jobs));
+
+    let panics: Vec<String> = report
+        .results
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .filter(|f| matches!(f.error, JobError::Panic(_)))
+        .map(|f| format!("{}: {}", f.name, f.error))
+        .collect();
+    assert!(panics.is_empty(), "jobs panicked:\n{}", panics.join("\n"));
+    assert_eq!(
+        report.failed_count(),
+        0,
+        "jobs failed: {:?}",
+        report
+            .results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .map(|f| format!("{}: {}", f.name, f.error))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.ok_count(), expected);
+    // Every executed pass should have accumulated wall time.
+    assert!(
+        !report.metrics.pass_totals.is_empty(),
+        "per-pass timings recorded"
+    );
+}

@@ -126,7 +126,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
