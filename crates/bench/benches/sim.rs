@@ -1,0 +1,100 @@
+//! Criterion benches of the Monte-Carlo simulator engine: shot-throughput
+//! vs thread count, fused/specialized kernels vs the generic reference
+//! path, and prefix snapshotting on a deep Bernstein-Vazirani circuit.
+//!
+//! On a single-core container the thread-scaling numbers track the
+//! 1-thread case; the kernel and snapshot wins are per-core and show up
+//! everywhere. `cargo bench --bench sim` prints the usual Criterion
+//! estimates; the committed `BENCH_sim.json` baseline is produced by the
+//! `bench_sim_baseline` binary instead (plain wall-clock, CI-friendly).
+
+use caqr::{compile, Strategy};
+use caqr_bench::{mumbai, EXPERIMENT_SEED};
+use caqr_benchmarks::bv;
+use caqr_circuit::Circuit;
+use caqr_sim::{Executor, NoiseModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// The Table 3 noisy workload: BV_10 routed for Mumbai, compacted to its
+/// used wires.
+fn table3_circuit() -> Circuit {
+    let bench = bv::bv_all_ones(10);
+    let report = compile(&bench.circuit, &mumbai(), Strategy::Baseline).expect("fits");
+    report.circuit.compact_qubits().0
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_threads");
+    group.sample_size(10);
+    let circuit = table3_circuit();
+    let model = NoiseModel::from_device(mumbai());
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("shots2000", threads),
+            &threads,
+            |b, &threads| {
+                let exec = Executor::noisy(model.clone()).with_threads(threads);
+                b.iter(|| black_box(exec.run_shots(black_box(&circuit), 2000, EXPERIMENT_SEED)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernels");
+    group.sample_size(10);
+    let circuit = table3_circuit();
+    let model = NoiseModel::from_device(mumbai());
+    // Noisy: specialized kernels + hoisted noise tables vs the naive
+    // per-instruction path (which also pays schedule/noise recomputation
+    // per gate application style of the reference executor).
+    group.bench_function("noisy_kernels", |b| {
+        let exec = Executor::noisy(model.clone()).with_threads(1);
+        b.iter(|| black_box(exec.run_shots(black_box(&circuit), 500, EXPERIMENT_SEED)));
+    });
+    group.bench_function("noisy_reference", |b| {
+        let exec = Executor::noisy(model.clone()).reference();
+        b.iter(|| black_box(exec.run_shots(black_box(&circuit), 500, EXPERIMENT_SEED)));
+    });
+    // Ideal: fusion collapses 1q runs, so the fused/unfused gap is widest
+    // without noise interleaving.
+    group.bench_function("ideal_fused", |b| {
+        let exec = Executor::ideal().with_threads(1).with_snapshot(false);
+        b.iter(|| black_box(exec.run_shots(black_box(&circuit), 500, EXPERIMENT_SEED)));
+    });
+    group.bench_function("ideal_reference", |b| {
+        let exec = Executor::ideal().reference().with_snapshot(false);
+        b.iter(|| black_box(exec.run_shots(black_box(&circuit), 500, EXPERIMENT_SEED)));
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_snapshot");
+    group.sample_size(10);
+    // Deep BV: a long measurement-free prefix, so the snapshot skips
+    // almost the whole circuit for event-free shots.
+    let circuit = {
+        let bench = bv::bv_all_ones(16);
+        bench.circuit.clone()
+    };
+    let model = NoiseModel::from_device(mumbai());
+    for (label, snapshot) in [("on", true), ("off", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("deep_bv16", label),
+            &snapshot,
+            |b, &snapshot| {
+                let exec = Executor::noisy(model.clone())
+                    .with_threads(1)
+                    .with_snapshot(snapshot);
+                b.iter(|| black_box(exec.run_shots(black_box(&circuit), 500, EXPERIMENT_SEED)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_kernels, bench_snapshot);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 
 use caqr::{compile, Strategy};
 use caqr_arch::Device;
-use caqr_bench::{mumbai, Table, EXPERIMENT_SEED};
+use caqr_bench::{mumbai, SimArgs, Table, EXPERIMENT_SEED};
 use caqr_benchmarks::qaoa::maxcut_circuit;
 use caqr_benchmarks::qaoa::GraphKind;
 use caqr_circuit::{Circuit, Gate};
@@ -20,7 +20,7 @@ use caqr_graph::Graph;
 use caqr_optim::{cobyla, Options};
 use caqr_sim::{metrics, Executor, NoiseModel};
 
-const SHOTS: usize = 384;
+const DEFAULT_SHOTS: usize = 384;
 const ROUNDS: usize = 50;
 const MARKER_GAMMA: f64 = 0.123456789;
 const MARKER_BETA: f64 = 0.987654321;
@@ -40,7 +40,12 @@ fn substitute(compiled: &Circuit, gamma: f64, beta: f64) -> Circuit {
     out
 }
 
-fn converge(graph: &Graph, device: &Device, strategy: Strategy) -> (Vec<f64>, usize) {
+fn converge(
+    graph: &Graph,
+    device: &Device,
+    strategy: Strategy,
+    args: SimArgs,
+) -> (Vec<f64>, usize) {
     let template = maxcut_circuit(graph, &[(MARKER_GAMMA, MARKER_BETA)]);
     // The SR curve uses the fidelity-objective version selection (the
     // reuse level with the best ESP), matching the paper's end-to-end
@@ -55,14 +60,14 @@ fn converge(graph: &Graph, device: &Device, strategy: Strategy) -> (Vec<f64>, us
         (report.circuit, q)
     };
     let (compact, _) = compiled.compact_qubits();
-    let noisy = Executor::noisy(NoiseModel::from_device(device.clone()));
+    let noisy = Executor::noisy(NoiseModel::from_device(device.clone())).with_threads(args.threads);
     let mut eval = 0u64;
     let result = cobyla::minimize(
         |x| {
             eval += 1;
             let circuit = substitute(&compact, x[0], x[1]);
             let counts = noisy
-                .run_shots(&circuit, SHOTS, EXPERIMENT_SEED + eval)
+                .run_shots(&circuit, args.shots, EXPERIMENT_SEED + eval)
                 .marginal(graph.num_vertices());
             -metrics::expected_cut(graph, &counts)
         },
@@ -76,7 +81,7 @@ fn converge(graph: &Graph, device: &Device, strategy: Strategy) -> (Vec<f64>, us
     (result.history, qubits)
 }
 
-fn run(density: f64) {
+fn run(density: f64, args: SimArgs) {
     let device = mumbai();
     let graph = GraphKind::Random.generate(10, density, EXPERIMENT_SEED);
     let max_cut = metrics::max_cut_brute_force(&graph);
@@ -84,8 +89,8 @@ fn run(density: f64) {
         "\nQAOA 10-{density}: |E| = {}, brute-force max cut = {max_cut}",
         graph.num_edges()
     );
-    let (base_hist, base_q) = converge(&graph, &device, Strategy::Baseline);
-    let (sr_hist, sr_q) = converge(&graph, &device, Strategy::Sr);
+    let (base_hist, base_q) = converge(&graph, &device, Strategy::Baseline, args);
+    let (sr_hist, sr_q) = converge(&graph, &device, Strategy::Sr, args);
     println!("baseline uses {base_q} qubits; SR-CaQR uses {sr_q} qubits");
     let mut t = Table::new(&["round", "baseline -<cut>", "SR-CaQR -<cut>"]);
     let len = base_hist.len().max(sr_hist.len());
@@ -107,10 +112,14 @@ fn run(density: f64) {
 }
 
 fn main() {
+    let args = SimArgs::parse(DEFAULT_SHOTS);
     println!("Figs. 15/16 — QAOA convergence, COBYLA, noisy Mumbai simulator");
-    println!("({SHOTS} shots per evaluation, {ROUNDS} evaluations)");
-    run(0.3);
-    run(0.5);
+    println!(
+        "({} shots per evaluation, {ROUNDS} evaluations)",
+        args.shots
+    );
+    run(0.3, args);
+    run(0.5, args);
     println!("\npaper shape: the SR-CaQR curve sits below the baseline and converges faster.");
     println!("note: our noise model has no spectator/readout crosstalk, which is the main");
     println!("physical mechanism rewarding fewer live qubits on hardware — expect the SR");

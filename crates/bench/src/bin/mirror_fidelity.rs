@@ -7,14 +7,18 @@
 //! comparison especially clean.
 
 use caqr::{compile, Strategy};
-use caqr_bench::{mumbai, Table, EXPERIMENT_SEED};
+use caqr_bench::{mumbai, SimArgs, Table, EXPERIMENT_SEED};
 use caqr_benchmarks::extra;
 use caqr_sim::{Executor, NoiseModel};
 
-const SHOTS: usize = 2000;
+const DEFAULT_SHOTS: usize = 2000;
 
 fn main() {
-    println!("Mirror-circuit fidelity (ideal output |0...0>, {SHOTS} shots)\n");
+    let args = SimArgs::parse(DEFAULT_SHOTS);
+    println!(
+        "Mirror-circuit fidelity (ideal output |0...0>, {} shots)\n",
+        args.shots
+    );
     let device = mumbai();
     let mut t = Table::new(&[
         "circuit",
@@ -27,11 +31,12 @@ fn main() {
         let bench = extra::mirror(n, layers, EXPERIMENT_SEED + n as u64);
         let base = compile(&bench.circuit, &device, Strategy::Baseline).expect("fits");
         let sr = compile(&bench.circuit, &device, Strategy::Sr).expect("fits");
-        let noisy = Executor::noisy(NoiseModel::from_device(device.clone()));
+        let noisy =
+            Executor::noisy(NoiseModel::from_device(device.clone())).with_threads(args.threads);
         let survival = |c: &caqr_circuit::Circuit, seed: u64| {
             let (compact, _) = c.compact_qubits();
             noisy
-                .run_shots(&compact, SHOTS, seed)
+                .run_shots(&compact, args.shots, seed)
                 .marginal(n)
                 .probability(0)
         };

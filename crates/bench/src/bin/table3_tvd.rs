@@ -12,25 +12,31 @@
 use caqr::pipeline::CompileReport;
 use caqr::{compile, Strategy};
 use caqr_arch::Device;
-use caqr_bench::{mumbai, Table, EXPERIMENT_SEED};
+use caqr_bench::{mumbai, SimArgs, Table, EXPERIMENT_SEED};
 use caqr_benchmarks::{bv, revlib, Benchmark};
 use caqr_sim::{exact, metrics, Counts, Executor, NoiseModel};
 
-const SHOTS: usize = 2000;
+const DEFAULT_SHOTS: usize = 2000;
 
-fn noisy_counts(report: &CompileReport, device: &Device, clbits: usize, seed: u64) -> Counts {
+fn noisy_counts(
+    report: &CompileReport,
+    device: &Device,
+    clbits: usize,
+    seed: u64,
+    args: SimArgs,
+) -> Counts {
     let (compact, _) = report.circuit.compact_qubits();
-    let noisy = Executor::noisy(NoiseModel::from_device(device.clone()));
-    noisy.run_shots(&compact, SHOTS, seed).marginal(clbits)
+    let noisy = Executor::noisy(NoiseModel::from_device(device.clone())).with_threads(args.threads);
+    noisy.run_shots(&compact, args.shots, seed).marginal(clbits)
 }
 
-fn run(bench: &Benchmark, device: &Device, t: &mut Table) {
+fn run(bench: &Benchmark, device: &Device, args: SimArgs, t: &mut Table) {
     let ideal = exact::distribution(&bench.circuit).expect("reference distribution");
     let clbits = bench.circuit.num_clbits();
     let base = compile(&bench.circuit, device, Strategy::Baseline).expect("fits");
     let sr = compile(&bench.circuit, device, Strategy::Sr).expect("fits");
-    let counts_base = noisy_counts(&base, device, clbits, EXPERIMENT_SEED);
-    let counts_sr = noisy_counts(&sr, device, clbits, EXPERIMENT_SEED + 1);
+    let counts_base = noisy_counts(&base, device, clbits, EXPERIMENT_SEED, args);
+    let counts_sr = noisy_counts(&sr, device, clbits, EXPERIMENT_SEED + 1, args);
     let tvd_base = metrics::tvd(&ideal, &counts_base);
     let tvd_sr = metrics::tvd(&ideal, &counts_sr);
     let success = bench
@@ -54,7 +60,11 @@ fn run(bench: &Benchmark, device: &Device, t: &mut Table) {
 }
 
 fn main() {
-    println!("Table 3 — TVD on the noisy Mumbai simulator ({SHOTS} shots)\n");
+    let args = SimArgs::parse(DEFAULT_SHOTS);
+    println!(
+        "Table 3 — TVD on the noisy Mumbai simulator ({} shots)\n",
+        args.shots
+    );
     let device = mumbai();
     let mut t = Table::new(&[
         "benchmark",
@@ -64,11 +74,11 @@ fn main() {
         "success base -> SR",
         "qubits base -> SR",
     ]);
-    run(&bv::bv_all_ones(5), &device, &mut t);
-    run(&bv::bv_all_ones(10), &device, &mut t);
-    run(&revlib::multiply_13(), &device, &mut t);
-    run(&revlib::cc_10(), &device, &mut t);
-    run(&revlib::cc_13(), &device, &mut t);
+    run(&bv::bv_all_ones(5), &device, args, &mut t);
+    run(&bv::bv_all_ones(10), &device, args, &mut t);
+    run(&revlib::multiply_13(), &device, args, &mut t);
+    run(&revlib::cc_10(), &device, args, &mut t);
+    run(&revlib::cc_13(), &device, args, &mut t);
     t.print();
     println!(
         "\npaper: Multiply_13 0.76 -> 0.61, BV_10 0.64 -> 0.48, CC_10 0.61 -> 0.44 (~17% avg)"

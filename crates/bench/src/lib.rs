@@ -19,6 +19,75 @@ use caqr_engine::{BatchRequest, CompileJob, Engine};
 /// printed numbers reproducible run to run.
 pub const EXPERIMENT_SEED: u64 = 2023;
 
+/// Command-line options shared by the simulation-heavy experiment
+/// binaries: `--shots N` and `--threads N`.
+///
+/// The executor's histograms are bit-identical at every thread count, so
+/// `--threads` only changes wall-clock time; `--shots` changes the
+/// statistics (each binary documents its default).
+#[derive(Debug, Clone, Copy)]
+pub struct SimArgs {
+    /// Shots per simulated circuit.
+    pub shots: usize,
+    /// Simulator worker threads; 0 (default) = one per core.
+    pub threads: usize,
+}
+
+impl SimArgs {
+    /// Parses `std::env::args()`, exiting with a usage message on
+    /// unrecognized input or `--help`.
+    pub fn parse(default_shots: usize) -> Self {
+        match Self::from_args(default_shots, std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--shots N] [--threads N]   (threads 0 = one per core)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (test seam).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first unrecognized or malformed
+    /// argument.
+    pub fn from_args(
+        default_shots: usize,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
+        let mut parsed = SimArgs {
+            shots: default_shots,
+            threads: 0,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |name: &str| {
+                inline
+                    .clone()
+                    .or_else(|| args.next())
+                    .ok_or_else(|| format!("{name} requires a value"))
+                    .and_then(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| format!("{name} expects a number, got '{v}'"))
+                    })
+            };
+            match flag.as_str() {
+                "--shots" => parsed.shots = value("--shots")?.max(1),
+                "--threads" => parsed.threads = value("--threads")?,
+                "--help" | "-h" => return Err("experiment binary options:".to_string()),
+                other => return Err(format!("unrecognized argument '{other}'")),
+            }
+        }
+        Ok(parsed)
+    }
+}
+
 /// The IBM Mumbai stand-in used by the real-machine experiments.
 pub fn mumbai() -> Device {
     Device::mumbai(EXPERIMENT_SEED)
@@ -167,6 +236,20 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn row_width_checked() {
         Table::new(&["a"]).row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn sim_args_defaults_and_overrides() {
+        let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let d = SimArgs::from_args(2000, strs(&[])).unwrap();
+        assert_eq!((d.shots, d.threads), (2000, 0));
+        let a = SimArgs::from_args(2000, strs(&["--shots", "50", "--threads", "4"])).unwrap();
+        assert_eq!((a.shots, a.threads), (50, 4));
+        let eq = SimArgs::from_args(2000, strs(&["--shots=7", "--threads=2"])).unwrap();
+        assert_eq!((eq.shots, eq.threads), (7, 2));
+        assert!(SimArgs::from_args(10, strs(&["--bogus"])).is_err());
+        assert!(SimArgs::from_args(10, strs(&["--shots"])).is_err());
+        assert!(SimArgs::from_args(10, strs(&["--shots", "many"])).is_err());
     }
 
     #[test]

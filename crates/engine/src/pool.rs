@@ -6,6 +6,7 @@ use crate::cache::CompileCache;
 use crate::job::{BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome};
 use crate::metrics::EngineMetrics;
 use caqr::{CaqrError, CompileReport, StageTrace};
+use caqr_sim::effective_workers;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -111,19 +112,6 @@ impl Engine {
 
         BatchReport { results, metrics }
     }
-}
-
-/// Resolves a `--jobs` value: 0 means one worker per available core,
-/// clamped to the number of jobs (and at least 1).
-fn effective_workers(requested: usize, jobs: usize) -> usize {
-    let workers = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
-    workers.clamp(1, jobs.max(1))
 }
 
 /// Compiles one job with cache lookup and panic isolation.

@@ -55,6 +55,16 @@ impl Counts {
         self.total += 1;
     }
 
+    /// Adds every outcome of `other` into this histogram. Merging is
+    /// commutative and associative, so per-worker histograms combine into
+    /// the same result regardless of shard order or count.
+    pub fn merge(&mut self, other: &Counts) {
+        for (v, c) in other.iter() {
+            *self.histogram.entry(v).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
     /// The number of shots that produced `value`.
     pub fn get(&self, value: u64) -> usize {
         self.histogram.get(&value).copied().unwrap_or(0)

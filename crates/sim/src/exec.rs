@@ -1,18 +1,54 @@
 //! Circuit execution: ideal and noisy Monte-Carlo shots.
+//!
+//! This is the hot path behind every "real machine" number in the
+//! reproduction (Table 3, Figs. 15/16, mirror fidelity), so the executor
+//! is built around three optimizations — all invisible in the results:
+//!
+//! 1. **Deterministic shot parallelism** — each shot draws from its own
+//!    ChaCha8 stream keyed by `(seed, shot_index)`
+//!    ([`crate::parallel::shot_rng`]), shots are sharded over scoped
+//!    threads, and histograms merge by addition, so the output is
+//!    bit-identical at any thread count.
+//! 2. **Precompiled kernels** — the circuit is compiled once into
+//!    specialized stride kernels ([`crate::kernels`]); in noiseless runs,
+//!    consecutive single-qubit gates on a wire fuse into one matrix. All
+//!    noise probabilities (gate, idle, readout) are likewise hoisted into
+//!    tables before the first shot.
+//! 3. **Prefix snapshotting** — everything before the first measurement or
+//!    reset is deterministic unless a stochastic noise event fires, so the
+//!    prefix is simulated once and snapshotted. A shot first walks only
+//!    the prefix's Bernoulli draws (no state work); if none fire — always,
+//!    for ideal runs — it forks from the snapshot. Shots where an error
+//!    does fire replay in full from |0...0> with a fresh copy of their
+//!    stream, so they remain bit-exact.
+//! 4. **Deferred measurement sampling** — a measurement whose qubit and
+//!    classical bit are never consulted afterwards commutes past the rest
+//!    of the circuit, so such measurements move to the end of the program
+//!    and are sampled *without collapsing*: each bit draws against a
+//!    conditional probability computed from masked amplitude sums
+//!    (`StateVector::masked_sum`), replacing two full projection sweeps
+//!    per measurement with read-only walks over shrinking subsets. On
+//!    compiled benchmark circuits (no feed-forward) every measurement
+//!    qualifies, which also extends the snapshot prefix across the whole
+//!    unitary body. Sampling is disabled under the thermal-relaxation
+//!    channel, whose state-dependent draws do not commute trivially.
+//!
+//! Each noisy shot is one Monte-Carlo trajectory: stochastic Pauli errors
+//! are inserted according to the [`NoiseModel`], so averaging over shots
+//! samples the noisy output distribution.
 
 use crate::counts::Counts;
-use crate::noise::NoiseModel;
+use crate::kernels::{CompiledCircuit, Op};
+use crate::noise::{IdleDraw, NoiseModel, NoiseTables};
+use crate::parallel::{self, shot_rng};
 use crate::state::StateVector;
 use caqr_circuit::depth::Schedule;
 use caqr_circuit::{Circuit, Gate};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
 
 /// Executes circuits shot by shot, with optional calibration-driven noise.
-///
-/// Each noisy shot is one Monte-Carlo trajectory: stochastic Pauli errors
-/// are inserted according to the [`NoiseModel`], so averaging over shots
-/// samples the noisy output distribution.
 ///
 /// # Examples
 ///
@@ -29,17 +65,67 @@ use rand_chacha::ChaCha8Rng;
 #[derive(Debug, Clone)]
 pub struct Executor {
     noise: Option<NoiseModel>,
+    /// Worker threads for `run_shots`; 0 = one per core.
+    threads: usize,
+    /// Specialized/fused kernels (true) or the naive per-instruction
+    /// dense-matrix reference path (false).
+    kernels: bool,
+    /// Noiseless-prefix snapshotting.
+    snapshot: bool,
+    /// Collapse-free sampling of deferred terminal measurements.
+    sampling: bool,
+}
+
+/// Instrumentation from one [`Executor::run_shots_traced`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShotReport {
+    /// Shots executed.
+    pub shots: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Unitary gates in the source circuit.
+    pub gates_in: usize,
+    /// Kernels after fusion (equals `gates_in` when fusion is off).
+    pub kernels_out: usize,
+    /// Compiled ops in the snapshotted deterministic prefix (0 = snapshot
+    /// disabled or inapplicable).
+    pub prefix_ops: usize,
+    /// Shots that forked from the snapshot instead of replaying the
+    /// prefix.
+    pub snapshot_forks: usize,
+    /// Measurements deferred to the program tail and sampled without
+    /// collapse (0 = sampling disabled or inapplicable).
+    pub deferred_measures: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl ShotReport {
+    /// Shots per wall-clock second.
+    pub fn shots_per_sec(&self) -> f64 {
+        self.shots as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
 }
 
 impl Executor {
-    /// A noiseless executor.
+    /// A noiseless executor with kernels, snapshotting, deferred-measure
+    /// sampling, and auto threads.
     pub fn ideal() -> Self {
-        Executor { noise: None }
+        Executor {
+            noise: None,
+            threads: 0,
+            kernels: true,
+            snapshot: true,
+            sampling: true,
+        }
     }
 
     /// A noisy executor driven by `model`.
     pub fn noisy(model: NoiseModel) -> Self {
-        Executor { noise: Some(model) }
+        Executor {
+            noise: Some(model),
+            ..Executor::ideal()
+        }
     }
 
     /// The noise model, if any.
@@ -47,114 +133,618 @@ impl Executor {
         self.noise.as_ref()
     }
 
+    /// Sets the worker-thread count for [`Executor::run_shots`]; 0 (the
+    /// default) means one worker per available core. The histogram does
+    /// not depend on this value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the specialized/fused kernel path. Disabled,
+    /// every gate goes through the generic dense matrix product — the
+    /// reference the kernel path is property-tested against.
+    pub fn with_kernels(mut self, on: bool) -> Self {
+        self.kernels = on;
+        self
+    }
+
+    /// Enables or disables noiseless-prefix snapshotting.
+    pub fn with_snapshot(mut self, on: bool) -> Self {
+        self.snapshot = on;
+        self
+    }
+
+    /// Enables or disables deferred-measurement sampling. Disabled, every
+    /// measurement collapses the state in program order. The two settings
+    /// draw the same probabilities in a different stream order, so they
+    /// agree in distribution but not bit for bit.
+    pub fn with_sampling(mut self, on: bool) -> Self {
+        self.sampling = on;
+        self
+    }
+
+    /// The reference configuration: sequential, generic gate application,
+    /// no snapshotting, collapse-based measurement. Same per-shot streams,
+    /// none of the fast paths.
+    pub fn reference(self) -> Self {
+        self.with_threads(1)
+            .with_kernels(false)
+            .with_snapshot(false)
+            .with_sampling(false)
+    }
+
     /// Runs `shots` shots and histograms the classical register.
+    ///
+    /// For a fixed `(circuit, shots, seed)` the histogram is bit-identical
+    /// at every thread count; shot `i` always consumes the stream
+    /// [`crate::parallel::shot_rng`]`(seed, i)`.
     ///
     /// # Panics
     ///
     /// Panics if the circuit is wider than the dense simulator limit or has
     /// more than 64 classical bits.
     pub fn run_shots(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.run_shots_traced(circuit, shots, seed).0
+    }
+
+    /// [`Executor::run_shots`] plus throughput/fusion/snapshot
+    /// instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the dense simulator limit or has
+    /// more than 64 classical bits.
+    pub fn run_shots_traced(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> (Counts, ShotReport) {
+        let started = Instant::now();
+        let plan = self.plan(circuit);
+        let workers = parallel::effective_workers(self.threads, shots);
+        let shards = parallel::run_shards(workers, shots, |range| {
+            let mut counts = Counts::new(circuit.num_clbits());
+            let mut scratch = StateVector::zero(circuit.num_qubits());
+            let mut forks = 0usize;
+            for shot in range {
+                let (value, forked) = plan.run_shot(seed, shot as u64, &mut scratch);
+                counts.record(value);
+                forks += usize::from(forked);
+            }
+            (counts, forks)
+        });
         let mut counts = Counts::new(circuit.num_clbits());
-        // The idle-noise schedule depends only on the circuit; hoist it.
-        let schedule = self
-            .noise
-            .as_ref()
-            .map(|n| Schedule::asap(circuit, &n.device().duration_model()));
-        for _ in 0..shots {
-            counts.record(self.run_single(circuit, schedule.as_ref(), &mut rng));
+        let mut forks = 0;
+        for (shard, shard_forks) in &shards {
+            counts.merge(shard);
+            forks += shard_forks;
         }
-        counts
+        let stats = plan.program.stats();
+        let report = ShotReport {
+            shots,
+            threads: workers,
+            gates_in: stats.gates_in,
+            kernels_out: stats.kernels_out,
+            prefix_ops: if plan.snapshot.is_some() {
+                plan.boundary_op
+            } else {
+                0
+            },
+            snapshot_forks: forks,
+            deferred_measures: plan.tail.tail_len,
+            wall: started.elapsed(),
+        };
+        (counts, report)
     }
 
     /// Runs one shot and returns the final classical register value.
+    ///
+    /// Equivalent to shot 0 of [`Executor::run_shots`] with the same seed.
     pub fn run_once(&self, circuit: &Circuit, seed: u64) -> u64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let schedule = self
-            .noise
-            .as_ref()
-            .map(|n| Schedule::asap(circuit, &n.device().duration_model()));
-        self.run_single(circuit, schedule.as_ref(), &mut rng)
+        let plan = self.plan(circuit);
+        let mut scratch = StateVector::zero(circuit.num_qubits());
+        plan.run_shot(seed, 0, &mut scratch).0
     }
 
-    fn run_single(
-        &self,
-        circuit: &Circuit,
-        schedule: Option<&Schedule>,
-        rng: &mut impl Rng,
-    ) -> u64 {
-        let mut state = StateVector::zero(circuit.num_qubits());
-        let mut clreg: u64 = 0;
-        let mut busy_until = vec![0u64; circuit.num_qubits()];
+    /// Builds the per-circuit execution plan: compiled kernels, hoisted
+    /// noise tables, the deferred-measurement order, and (when legal) the
+    /// prefix snapshot.
+    fn plan<'c>(&self, circuit: &'c Circuit) -> ShotPlan<'c> {
+        let tables = self.noise.as_ref().map(|n| {
+            let schedule = Schedule::asap(circuit, &n.device().duration_model());
+            NoiseTables::precompute(n, circuit, &schedule)
+        });
+        // Deferring a measurement commutes it past Pauli-twirl noise on
+        // other qubits; thermal relaxation mutates the state against
+        // state-dependent probabilities, so it keeps program order.
+        let samplable = match &tables {
+            None => true,
+            Some(t) => matches!(t.channel, crate::noise::IdleChannel::PauliTwirl),
+        };
+        let tail = if self.sampling && samplable {
+            deferral_order(circuit)
+        } else {
+            DeferredTail {
+                order: (0..circuit.len()).collect(),
+                ..DeferredTail::default()
+            }
+        };
+        // Fusion moves gates across their neighbours, which is only sound
+        // when nothing stochastic sits between instructions.
+        let fused = self.kernels && self.noise.is_none();
+        let program = if fused {
+            CompiledCircuit::compile_fused_ordered(circuit, &tail.order)
+        } else {
+            CompiledCircuit::compile_ordered(circuit, &tail.order)
+        };
+        let boundary_op = program.prefix_ops();
+        // Execution-order position of the first measurement or reset; the
+        // instructions before it are the snapshot prefix.
+        let instrs = circuit.instructions();
+        let boundary_pos = tail
+            .order
+            .iter()
+            .position(|&i| matches!(instrs[i].gate, Gate::Measure | Gate::Reset))
+            .unwrap_or(tail.order.len());
+        // Prefix forking is legal when the prefix draws can be walked
+        // without the state: always for no noise, for the Pauli-twirl
+        // channel (fixed probabilities), and for any channel whose prefix
+        // probabilities are all zero. Thermal relaxation draws against
+        // state-dependent probabilities, so it only qualifies when silent.
+        // (Under thermal relaxation the order is the identity, so the
+        // execution-order position doubles as the instruction bound.)
+        let forkable = match &tables {
+            None => true,
+            Some(t) => match t.channel {
+                crate::noise::IdleChannel::PauliTwirl => true,
+                crate::noise::IdleChannel::ThermalRelaxation => t.is_zero_before(boundary_pos),
+            },
+        };
+        let mut plan = ShotPlan {
+            circuit,
+            tables,
+            program,
+            kernels: self.kernels,
+            tail,
+            boundary_op,
+            boundary_pos,
+            snapshot: None,
+        };
+        if self.snapshot && forkable && boundary_op > 0 {
+            let mut state = StateVector::zero(circuit.num_qubits());
+            // The classical register is still all-zero before the first
+            // measurement, so conditioned prefix gates never execute.
+            for op in &plan.program.ops()[..boundary_op] {
+                if let Op::Unitary { cond: Some(_), .. } = op {
+                    continue;
+                }
+                plan.apply_unitary_op(op, &mut state);
+            }
+            plan.snapshot = Some(state);
+        }
+        plan
+    }
+}
 
-        for (idx, instr) in circuit.iter().enumerate() {
-            // Idle decoherence over the gap since each operand last worked.
-            if let (Some(noise), Some(schedule)) = (&self.noise, schedule) {
-                let start = schedule.start(idx);
-                for q in &instr.qubits {
-                    let gap = start.saturating_sub(busy_until[q.index()]);
-                    match noise.idle_channel() {
-                        crate::noise::IdleChannel::PauliTwirl => {
-                            let p = noise.idle_error(q.index(), gap);
+/// The deferred-measurement execution plan: a permutation of instruction
+/// indices with deferrable measurements moved (order-preserved) to the
+/// tail, plus the bookkeeping needed to sample them at the end.
+#[derive(Debug, Default)]
+struct DeferredTail {
+    /// Execution order: body instructions, then deferred measurements.
+    order: Vec<usize>,
+    /// Number of deferred measurements at the end of `order`.
+    tail_len: usize,
+    /// Wire each tail measurement reads at the end, after relabeling
+    /// through the SWAPs it commuted past.
+    tail_wires: Vec<usize>,
+    /// Deterministic outcome flips (bit `k` = tail measurement `k`): set
+    /// when the measurement commuted past an odd number of circuit X/Y
+    /// gates on its wire.
+    base_flips: u64,
+    /// `carry_idle[j][s]` / `carry_gate[j][s]`: tail measurements whose
+    /// reported outcome flips when an X/Y noise event fires on operand
+    /// slot `s` of body instruction `j` — before (idle) or after (gate
+    /// noise) the gate acts. The two differ only across a SWAP, where the
+    /// dead state changes wires mid-instruction.
+    carry_idle: Vec<Vec<u64>>,
+    carry_gate: Vec<Vec<u64>>,
+}
+
+/// A successful deferral walk: the final wire carrying the dead state,
+/// the deterministic outcome flip, and the `(instr, slot, is_post_gate)`
+/// positions where a stochastic X/Y would flip the reported bit.
+type DeferralTrace = (usize, bool, Vec<(usize, usize, bool)>);
+
+/// Decides whether the measurement at `start` commutes to the end of the
+/// circuit. Walks forward tracking the wire that carries the measured
+/// (logically dead) state: SWAPs relabel it, Z-diagonal gates commute
+/// exactly, X/Y gates flip the eventual outcome deterministically, and
+/// further measurements of the wire are Z-projectors that commute too.
+/// Anything else that touches the wire — entangling two-qubit gates,
+/// non-diagonal rotations, resets — blocks deferral. Returns the final
+/// wire, the deterministic flip, and every `(instr, slot, pre/post)`
+/// where a stochastic X/Y on the wire would flip the reported outcome.
+fn trace_deferral(instrs: &[caqr_circuit::Instruction], start: usize) -> Option<DeferralTrace> {
+    let mut wire = instrs[start].qubits[0].index();
+    let mut flip = false;
+    // (instruction, operand slot, is_post_gate)
+    let mut touches: Vec<(usize, usize, bool)> = Vec::new();
+    for (j, instr) in instrs.iter().enumerate().skip(start + 1) {
+        let Some(slot) = instr.qubits.iter().position(|q| q.index() == wire) else {
+            continue;
+        };
+        match instr.gate {
+            Gate::Swap if instr.condition.is_none() => {
+                touches.push((j, slot, false));
+                wire = instr.qubits[1 - slot].index();
+                touches.push((j, 1 - slot, true));
+            }
+            Gate::X | Gate::Y if instr.condition.is_none() => {
+                touches.push((j, slot, false));
+                touches.push((j, slot, true));
+                flip = !flip;
+            }
+            // Z-diagonal single-qubit gates commute with the deferred
+            // Z-projector whether or not their condition fires.
+            Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_) => {
+                touches.push((j, slot, false));
+                touches.push((j, slot, true));
+            }
+            // A later Z-measurement of the same wire commutes with ours;
+            // only its pre-measurement idle noise can flip us.
+            Gate::Measure => touches.push((j, slot, false)),
+            _ => return None,
+        }
+    }
+    Some((wire, flip, touches))
+}
+
+/// Computes the deferred-measurement execution order. A measurement
+/// defers when (a) its classical bit is never read by a condition nor
+/// rewritten by a later measurement, and (b) every later touch of its
+/// wire commutes with the Z-projector (see [`trace_deferral`]).
+fn deferral_order(circuit: &Circuit) -> DeferredTail {
+    let instrs = circuit.instructions();
+    // Last position each clbit is read by a condition / written by a
+    // measurement: a deferrable measurement must be the final writer of
+    // an unread-afterwards bit.
+    let mut last_read = vec![0usize; circuit.num_clbits()];
+    let mut last_write = vec![0usize; circuit.num_clbits()];
+    for (j, instr) in instrs.iter().enumerate() {
+        if let Some(c) = instr.condition {
+            last_read[c.index()] = last_read[c.index()].max(j);
+        }
+        if matches!(instr.gate, Gate::Measure) {
+            let c = instr.clbit.expect("measure has a clbit").index();
+            last_write[c] = last_write[c].max(j);
+        }
+    }
+    let mut out = DeferredTail {
+        carry_idle: instrs.iter().map(|i| vec![0u64; i.qubits.len()]).collect(),
+        carry_gate: instrs.iter().map(|i| vec![0u64; i.qubits.len()]).collect(),
+        ..DeferredTail::default()
+    };
+    let mut deferred = vec![false; instrs.len()];
+    let mut tail: Vec<usize> = Vec::new();
+    for (i, instr) in instrs.iter().enumerate() {
+        if !matches!(instr.gate, Gate::Measure) || instr.condition.is_some() {
+            continue;
+        }
+        let c = instr.clbit.expect("measure has a clbit").index();
+        if last_read[c] > i || last_write[c] > i || tail.len() >= 64 {
+            continue;
+        }
+        let Some((wire, flip, touches)) = trace_deferral(instrs, i) else {
+            continue;
+        };
+        let k = tail.len();
+        deferred[i] = true;
+        tail.push(i);
+        out.tail_wires.push(wire);
+        if flip {
+            out.base_flips |= 1 << k;
+        }
+        for (j, slot, post) in touches {
+            if post {
+                out.carry_gate[j][slot] |= 1 << k;
+            } else {
+                out.carry_idle[j][slot] |= 1 << k;
+            }
+        }
+    }
+    out.order = (0..instrs.len()).filter(|&i| !deferred[i]).collect();
+    out.tail_len = tail.len();
+    out.order.extend(tail);
+    out
+}
+
+/// Everything `run_shots` precomputes once per circuit.
+struct ShotPlan<'c> {
+    circuit: &'c Circuit,
+    tables: Option<NoiseTables>,
+    program: CompiledCircuit,
+    kernels: bool,
+    /// Execution order plus deferred-tail sampling bookkeeping.
+    tail: DeferredTail,
+    /// Ops before the first measurement/reset.
+    boundary_op: usize,
+    /// Execution-order position of the first measurement/reset.
+    boundary_pos: usize,
+    /// State after the deterministic prefix, when forking is enabled.
+    snapshot: Option<StateVector>,
+}
+
+impl ShotPlan<'_> {
+    /// Runs one shot; returns `(clreg, forked_from_snapshot)`.
+    fn run_shot(&self, seed: u64, shot: u64, scratch: &mut StateVector) -> (u64, bool) {
+        let mut rng = shot_rng(seed, shot);
+        if let Some(snapshot) = &self.snapshot {
+            if self.prefix_event_free(&mut rng) {
+                scratch.load(snapshot);
+                let value = self.finish_shot(self.boundary_op, &mut rng, scratch);
+                return (value, true);
+            }
+            // A prefix error fired: replay in full with a fresh copy of
+            // this shot's stream so the draw sequence matches exactly.
+            rng = shot_rng(seed, shot);
+        }
+        scratch.set_zero();
+        (self.finish_shot(0, &mut rng, scratch), false)
+    }
+
+    /// Runs the program body from op `start`, then samples the deferred
+    /// tail; returns the final classical register.
+    fn finish_shot(&self, start: usize, rng: &mut ChaCha8Rng, state: &mut StateVector) -> u64 {
+        let (mut clreg, body_flips) = self.run_ops(start, rng, state);
+        if self.tail.tail_len > 0 {
+            self.sample_tail(rng, state, body_flips, &mut clreg);
+        }
+        clreg
+    }
+
+    /// Walks the prefix's Bernoulli draws without touching the state;
+    /// returns `true` when no stochastic event fires. The draw sequence
+    /// mirrors [`ShotPlan::run_ops`] over the same instructions, so a
+    /// clean walk leaves the stream exactly where a clean replay would.
+    fn prefix_event_free(&self, rng: &mut ChaCha8Rng) -> bool {
+        let Some(tables) = &self.tables else {
+            return true;
+        };
+        for &idx in &self.tail.order[..self.boundary_pos] {
+            for draw in &tables.idle[idx] {
+                match *draw {
+                    IdleDraw::Twirl(p) => {
+                        if p > 0.0 && rng.gen_bool(p) {
+                            return false;
+                        }
+                    }
+                    // Only reachable when the prefix is probability-zero
+                    // (see `plan`), so there is nothing to draw.
+                    IdleDraw::Thermal { .. } => {}
+                }
+            }
+            let instr = &self.circuit.instructions()[idx];
+            if instr.condition.is_some() {
+                // Skipped deterministically: no measurement has run, so
+                // the register — and therefore the condition bit — is 0.
+                continue;
+            }
+            let p = tables.gate[idx];
+            if p > 0.0 {
+                for _ in 0..instr.qubits.len() {
+                    if rng.gen_bool(p) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Executes compiled ops from `start` to the start of the deferred
+    /// tail; returns `(clreg, body_flips)`, where bit `k` of `body_flips`
+    /// records that an X/Y noise event landed on the dead wire of tail
+    /// measurement `k` — the sampler XORs it out of the reported bit.
+    fn run_ops(&self, start: usize, rng: &mut ChaCha8Rng, state: &mut StateVector) -> (u64, u64) {
+        let mut clreg: u64 = 0;
+        let mut body_flips: u64 = 0;
+        let ops = self.program.ops();
+        for op in &ops[start..ops.len() - self.tail.tail_len] {
+            // Idle decoherence over the gaps preceding this instruction.
+            // (Fused programs carry no tables — fusion requires no noise.)
+            if let Some(tables) = &self.tables {
+                let index = op_index(op);
+                let instr = &self.circuit.instructions()[index];
+                for (slot, (draw, q)) in tables.idle[index].iter().zip(&instr.qubits).enumerate() {
+                    match *draw {
+                        IdleDraw::Twirl(p) => {
                             if p > 0.0 && rng.gen_bool(p) {
-                                state.apply_gate(&NoiseModel::random_pauli(rng), &[q.index()]);
+                                let pauli = NoiseModel::random_pauli(rng);
+                                if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
+                                    body_flips ^= self.tail.carry_idle[index][slot];
+                                }
+                                state.apply_gate(&pauli, &[q.index()]);
                             }
                         }
-                        crate::noise::IdleChannel::ThermalRelaxation => {
-                            let gamma = noise.idle_gamma(q.index(), gap);
+                        IdleDraw::Thermal { gamma, pz } => {
                             if gamma > 0.0 {
                                 state.amplitude_damp(q.index(), gamma, rng);
                             }
-                            let pz = noise.idle_dephase(q.index(), gap);
                             if pz > 0.0 && rng.gen_bool(pz) {
                                 state.apply_gate(&Gate::Z, &[q.index()]);
                             }
                         }
                     }
-                    busy_until[q.index()] = schedule.finish(idx);
                 }
             }
-
-            // Conditional gates consult the (possibly misread) register.
-            if let Some(cond) = instr.condition {
-                if clreg >> cond.index() & 1 == 0 {
-                    continue;
-                }
-            }
-
-            let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
-            match instr.gate {
-                Gate::Measure => {
-                    let q = operands[0];
-                    let mut bit = state.measure(q, rng);
-                    if let Some(noise) = &self.noise {
-                        let p = noise.readout_error(q);
-                        if p > 0.0 && rng.gen_bool(p) {
-                            bit = !bit;
+            match op {
+                Op::Unitary { cond, index, .. } => {
+                    // Conditional gates consult the (possibly misread)
+                    // register.
+                    if let Some(bit) = cond {
+                        if clreg >> bit & 1 == 0 {
+                            continue;
                         }
                     }
-                    let c = instr.clbit.expect("measure has a clbit").index();
-                    if bit {
-                        clreg |= 1 << c;
-                    } else {
-                        clreg &= !(1 << c);
-                    }
-                }
-                Gate::Reset => state.reset(operands[0], rng),
-                ref gate => {
-                    state.apply_gate(gate, &operands);
-                    if let Some(noise) = &self.noise {
-                        let p = noise.gate_error(instr);
-                        for &q in &operands {
-                            if p > 0.0 && rng.gen_bool(p) {
-                                state.apply_gate(&NoiseModel::random_pauli(rng), &[q]);
+                    self.apply_unitary_op(op, state);
+                    if let Some(tables) = &self.tables {
+                        let p = tables.gate[*index];
+                        if p > 0.0 {
+                            let instr = &self.circuit.instructions()[*index];
+                            for (slot, q) in instr.qubits.iter().enumerate() {
+                                if rng.gen_bool(p) {
+                                    let pauli = NoiseModel::random_pauli(rng);
+                                    if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0
+                                    {
+                                        body_flips ^= self.tail.carry_gate[*index][slot];
+                                    }
+                                    state.apply_gate(&pauli, &[q.index()]);
+                                }
                             }
                         }
                     }
                 }
+                Op::Measure { q, clbit, index } => {
+                    let mut bit = state.measure(*q, rng);
+                    if let Some(tables) = &self.tables {
+                        let p = tables.readout[*index];
+                        if p > 0.0 && rng.gen_bool(p) {
+                            bit = !bit;
+                        }
+                    }
+                    if bit {
+                        clreg |= 1 << clbit;
+                    } else {
+                        clreg &= !(1 << clbit);
+                    }
+                }
+                Op::Reset { q, .. } => state.reset(*q, rng),
             }
         }
-        clreg
+        (clreg, body_flips)
+    }
+
+    /// Samples the deferred measurement tail without collapsing `state`.
+    ///
+    /// Bits are drawn sequentially against conditional probabilities: the
+    /// mass of the fixed assignment so far (`kept`) and the mass of its
+    /// `q = 1` refinement are masked amplitude sums over shrinking,
+    /// read-only subsets — no projection or renormalization sweeps. A
+    /// Pauli-twirl X/Y that fires on a tail qubit is tracked as a
+    /// classical flip of that qubit's outcome (Z leaves probabilities
+    /// untouched), which is exactly its action this late in the circuit.
+    ///
+    /// Each measurement reads its *final* wire — the one its dead state
+    /// sits on after the SWAPs it commuted past — and the reported bit is
+    /// XOR-corrected by the deterministic flips from crossed X/Y gates
+    /// (`base_flips`) and this shot's stochastic flips from body noise on
+    /// the dead wire (`body_flips`, accumulated by [`ShotPlan::run_ops`]).
+    fn sample_tail(
+        &self,
+        rng: &mut ChaCha8Rng,
+        state: &StateVector,
+        body_flips: u64,
+        clreg: &mut u64,
+    ) {
+        let ops = self.program.ops();
+        let mut mask = 0usize;
+        let mut value = 0usize;
+        let mut kept = f64::NAN;
+        let mut flips = 0u64;
+        let tail_start = ops.len() - self.tail.tail_len;
+        for (k, op) in ops[tail_start..].iter().enumerate() {
+            let Op::Measure { clbit, index, .. } = op else {
+                unreachable!("the deferred tail contains only measurements");
+            };
+            let q = self.tail.tail_wires[k];
+            if let Some(tables) = &self.tables {
+                for draw in &tables.idle[*index] {
+                    match *draw {
+                        IdleDraw::Twirl(p) => {
+                            if p > 0.0 && rng.gen_bool(p) {
+                                match NoiseModel::random_pauli(rng) {
+                                    Gate::X | Gate::Y => flips ^= 1 << q,
+                                    _ => {}
+                                }
+                            }
+                        }
+                        // Deferral is disabled under thermal relaxation.
+                        IdleDraw::Thermal { .. } => {
+                            unreachable!("thermal relaxation never defers measurements")
+                        }
+                    }
+                }
+            }
+            // Masks address physical amplitude bits: the wire's position
+            // under the state's SWAP-absorbing permutation. The tail holds
+            // no swaps, so the permutation is stable while sampling.
+            let qb = 1usize << state.phys_bit(q);
+            // `one` is the mass of the q = 1 refinement when q is fresh;
+            // a repeat read of an already-fixed qubit is deterministic.
+            let (p_raw, one) = if mask & qb != 0 {
+                (f64::from(u8::from(value & qb != 0)), None)
+            } else {
+                if kept.is_nan() {
+                    kept = state.masked_sum(0, 0);
+                }
+                let one = state.masked_sum(mask | qb, value | qb);
+                let p = if kept > 0.0 { one / kept } else { 0.0 };
+                (p, Some(one))
+            };
+            let flipped = flips >> q & 1 == 1;
+            let p1 = if flipped { 1.0 - p_raw } else { p_raw };
+            let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+            let raw = outcome != flipped;
+            if let Some(one) = one {
+                mask |= qb;
+                if raw {
+                    value |= qb;
+                    kept = one;
+                } else {
+                    kept = (kept - one).max(0.0);
+                }
+            }
+            // Undo the flips accumulated after the measurement's original
+            // position to recover the outcome it would have read in place.
+            let undo = (self.tail.base_flips ^ body_flips) >> k & 1 == 1;
+            let mut bit = outcome != undo;
+            if let Some(tables) = &self.tables {
+                let p = tables.readout[*index];
+                if p > 0.0 && rng.gen_bool(p) {
+                    bit = !bit;
+                }
+            }
+            if bit {
+                *clreg |= 1 << clbit;
+            } else {
+                *clreg &= !(1 << clbit);
+            }
+        }
+    }
+
+    /// Applies one unitary op (condition already checked by the caller)
+    /// through the kernel or the generic reference path.
+    fn apply_unitary_op(&self, op: &Op, state: &mut StateVector) {
+        let Op::Unitary { kernel, index, .. } = op else {
+            unreachable!("apply_unitary_op on a non-unitary op");
+        };
+        if self.kernels {
+            kernel.apply(state);
+        } else {
+            let instr = &self.circuit.instructions()[*index];
+            let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+            state.apply_gate(&instr.gate, &operands);
+        }
+    }
+}
+
+/// The originating instruction index of a compiled op.
+fn op_index(op: &Op) -> usize {
+    match op {
+        Op::Unitary { index, .. } | Op::Measure { index, .. } | Op::Reset { index, .. } => *index,
     }
 }
 
@@ -325,5 +915,271 @@ mod tests {
             .map(|(_, n)| n)
             .sum();
         assert!(ones > 0, "heavy noise should corrupt the reset");
+    }
+
+    /// A noisy mid-circuit workload exercising idle gaps, feed-forward,
+    /// readout flips, and resets — the adversarial case for every fast
+    /// path.
+    fn stress_circuit() -> Circuit {
+        let mut circ = Circuit::new(3, 4);
+        circ.h(q(0));
+        circ.rz(0.37, q(0));
+        circ.h(q(0));
+        circ.x(q(1));
+        circ.cx(q(0), q(1));
+        circ.cx(q(1), q(2));
+        circ.measure(q(0), c(0));
+        circ.cond_x(q(0), c(0));
+        circ.h(q(0));
+        circ.swap(q(0), q(2));
+        circ.reset(q(1));
+        circ.h(q(1));
+        circ.cx(q(1), q(2));
+        circ.measure(q(0), c(1));
+        circ.measure(q(1), c(2));
+        circ.measure(q(2), c(3));
+        circ
+    }
+
+    #[test]
+    fn histograms_bit_identical_across_thread_counts() {
+        let circ = stress_circuit();
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(4.0);
+        for exec in [Executor::ideal(), Executor::noisy(noisy)] {
+            let reference = exec.clone().with_threads(1).run_shots(&circ, 513, 11);
+            for threads in [2, 8] {
+                let counts = exec.clone().with_threads(threads).run_shots(&circ, 513, 11);
+                assert_eq!(counts, reference, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_on_off_bit_identical() {
+        let circ = stress_circuit();
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(4.0);
+        for exec in [Executor::ideal(), Executor::noisy(noisy)] {
+            let on = exec.clone().with_snapshot(true).run_shots(&circ, 400, 13);
+            let off = exec.clone().with_snapshot(false).run_shots(&circ, 400, 13);
+            assert_eq!(on, off);
+        }
+    }
+
+    #[test]
+    fn kernels_match_generic_reference_bit_exactly() {
+        // Unfused kernels perform the same arithmetic as the dense path
+        // (identity multiplications are exact), so even measurement
+        // thresholds agree bit for bit on a noisy circuit.
+        let circ = stress_circuit();
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(4.0);
+        let fast = Executor::noisy(noisy.clone()).run_shots(&circ, 400, 19);
+        let slow = Executor::noisy(noisy)
+            .with_kernels(false)
+            .run_shots(&circ, 400, 19);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fused_ideal_matches_reference_histogram() {
+        let circ = stress_circuit();
+        let fast = Executor::ideal().run_shots(&circ, 400, 23);
+        let slow = Executor::ideal()
+            .with_kernels(false)
+            .run_shots(&circ, 400, 23);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn sampling_on_off_agree_statistically() {
+        // Deferred sampling draws the same probabilities in a different
+        // stream order, so it matches collapse-based execution in
+        // distribution (not bit for bit): compare histograms by total
+        // variation distance.
+        let circ = stress_circuit();
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(2.0);
+        let shots = 4000usize;
+        let on = Executor::noisy(noisy.clone()).run_shots(&circ, shots, 43);
+        let off = Executor::noisy(noisy)
+            .with_sampling(false)
+            .run_shots(&circ, shots, 44);
+        let tvd: f64 = (0..16u64)
+            .map(|v| (on.probability(v) - off.probability(v)).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tvd < 0.08, "sampled vs collapsed TVD = {tvd}");
+    }
+
+    #[test]
+    fn sampling_preserves_entanglement_correlations() {
+        // Both Bell measurements defer; the conditional draw of the second
+        // bit must honour the first exactly.
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.measure_all();
+        let counts = Executor::ideal().run_shots(&circ, 2000, 47);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0, "{counts}");
+        let p00 = counts.probability(0b00);
+        assert!((0.4..0.6).contains(&p00), "p00 = {p00}");
+    }
+
+    #[test]
+    fn repeated_deferred_measurement_is_deterministic() {
+        // The same qubit measured twice into different clbits: the second
+        // (deferred) read must repeat the first outcome.
+        let mut circ = Circuit::new(1, 2);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.measure(q(0), c(1));
+        let counts = Executor::ideal().run_shots(&circ, 500, 53);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0, "{counts}");
+    }
+
+    #[test]
+    fn clbit_overwrite_order_survives_deferral() {
+        // Two measurements write the same clbit; the later one must win
+        // even though deferral is in play: |1> reads 1, X flips to |0>,
+        // the final read overwrites c0 with 0.
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        let counts = Executor::ideal().run_shots(&circ, 200, 59);
+        assert_eq!(counts.get(0), 200, "{counts}");
+    }
+
+    /// GHZ state, then the first wire is measured, swapped away, flipped,
+    /// phased, and re-measured — every commutation rule at once.
+    fn commuting_circuit() -> Circuit {
+        let mut circ = Circuit::new(3, 4);
+        circ.h(q(0));
+        circ.cx(q(0), q(1));
+        circ.cx(q(1), q(2));
+        circ.measure(q(0), c(0));
+        circ.swap(q(0), q(2));
+        circ.x(q(2));
+        circ.t(q(2));
+        circ.measure(q(2), c(1));
+        circ.measure(q(0), c(2));
+        circ.measure(q(1), c(3));
+        circ
+    }
+
+    #[test]
+    fn deferral_commutes_past_swaps_diagonals_and_flips() {
+        // All four measurements defer: c0 relabels through the SWAP onto
+        // wire 2 and crosses the X (deterministic flip) and T (diagonal).
+        // GHZ collapse bit b gives c0 = b, c1 = !b (post-X re-read),
+        // c2 = b (the GHZ partner swapped onto wire 0), c3 = b.
+        let circ = commuting_circuit();
+        let (counts, report) = Executor::ideal().run_shots_traced(&circ, 2000, 67);
+        assert_eq!(report.deferred_measures, 4);
+        assert_eq!(counts.get(0b0010) + counts.get(0b1101), 2000, "{counts}");
+        assert!(counts.get(0b0010) > 400, "{counts}");
+        assert!(counts.get(0b1101) > 400, "{counts}");
+    }
+
+    #[test]
+    fn commuted_sampling_matches_collapse_statistically() {
+        // Under Pauli-twirl noise the deferred path must XOR-correct the
+        // reported bits for X/Y events that land on the dead wire after
+        // the measurement's original position (the carry masks); compare
+        // against in-place collapse by total variation distance. The
+        // threshold is calibrated to bite: with these seeds the correct
+        // implementation measures 0.020 and dropping the body-flip
+        // correction measures 0.069.
+        let circ = commuting_circuit();
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(6.0);
+        let shots = 4000usize;
+        let on = Executor::noisy(noisy.clone()).run_shots(&circ, shots, 71);
+        let off = Executor::noisy(noisy)
+            .with_sampling(false)
+            .run_shots(&circ, shots, 73);
+        let tvd: f64 = (0..16u64)
+            .map(|v| (on.probability(v) - off.probability(v)).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tvd < 0.045, "sampled vs collapsed TVD = {tvd}");
+    }
+
+    #[test]
+    fn deferred_measures_reported() {
+        let circ = stress_circuit();
+        // The three terminal measurements defer; c0 feeds a conditional
+        // and stays inline.
+        let (_, report) = Executor::ideal().run_shots_traced(&circ, 16, 61);
+        assert_eq!(report.deferred_measures, 3);
+        let (_, off) = Executor::ideal()
+            .with_sampling(false)
+            .run_shots_traced(&circ, 16, 61);
+        assert_eq!(off.deferred_measures, 0);
+        use crate::noise::IdleChannel;
+        let thermal = NoiseModel::from_device(Device::mumbai(0))
+            .with_idle_channel(IdleChannel::ThermalRelaxation);
+        let (_, t) = Executor::noisy(thermal).run_shots_traced(&circ, 16, 61);
+        assert_eq!(t.deferred_measures, 0, "thermal relaxation never defers");
+    }
+
+    #[test]
+    fn run_once_is_shot_zero_of_run_shots() {
+        let circ = stress_circuit();
+        let exec = Executor::noisy(NoiseModel::from_device(Device::mumbai(0)).with_scale(4.0));
+        let single = exec.run_once(&circ, 29);
+        let counts = exec.run_shots(&circ, 1, 29);
+        assert_eq!(counts.get(single), 1);
+    }
+
+    #[test]
+    fn snapshot_forks_are_reported() {
+        // Ideal deep prefix: every shot forks from the snapshot.
+        let mut circ = Circuit::new(2, 2);
+        for i in 0..10 {
+            circ.h(q(0));
+            circ.rz(0.1 * i as f64, q(0));
+            circ.h(q(0));
+            circ.cx(q(0), q(1));
+        }
+        circ.measure_all();
+        let (_, report) = Executor::ideal().run_shots_traced(&circ, 64, 31);
+        assert!(report.prefix_ops > 0);
+        assert_eq!(report.snapshot_forks, 64);
+        assert!(
+            report.kernels_out < report.gates_in,
+            "fusion should shrink the H.CX ladder"
+        );
+        let (_, off) = Executor::ideal()
+            .with_snapshot(false)
+            .run_shots_traced(&circ, 64, 31);
+        assert_eq!(off.prefix_ops, 0);
+        assert_eq!(off.snapshot_forks, 0);
+    }
+
+    #[test]
+    fn thermal_relaxation_disables_prefix_fork() {
+        use crate::noise::IdleChannel;
+        let circ = stress_circuit();
+        let model = NoiseModel::from_device(Device::mumbai(0))
+            .with_idle_channel(IdleChannel::ThermalRelaxation);
+        let (_, report) = Executor::noisy(model).run_shots_traced(&circ, 32, 37);
+        assert_eq!(
+            report.prefix_ops, 0,
+            "state-dependent draws cannot fast-forward"
+        );
+    }
+
+    #[test]
+    fn silent_thermal_relaxation_still_forks() {
+        use crate::noise::IdleChannel;
+        let circ = stress_circuit();
+        let model = NoiseModel::from_device(Device::mumbai(0))
+            .with_scale(0.0)
+            .with_idle_channel(IdleChannel::ThermalRelaxation);
+        let (_, report) = Executor::noisy(model).run_shots_traced(&circ, 32, 41);
+        assert!(
+            report.prefix_ops > 0,
+            "zero-probability prefix is deterministic"
+        );
+        assert_eq!(report.snapshot_forks, 32);
     }
 }

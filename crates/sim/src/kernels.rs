@@ -1,0 +1,723 @@
+//! Specialized gate kernels and single-qubit gate fusion.
+//!
+//! [`StateVector::apply_gate`](crate::StateVector::apply_gate) routes every
+//! gate through a generic dispatch that re-derives the gate's matrix (trig
+//! included) on every application. The Monte-Carlo executor replays the same
+//! circuit thousands of times, so this module compiles a circuit **once**
+//! into a list of [`Kernel`]s:
+//!
+//! * **diagonal kernels** (`Z`/`S`/`T`/`Rz`/`Phase`/`CZ`/`CP`/`RZZ`) are pure
+//!   phase multiplications — no amplitude mixing, and phase gates touch only
+//!   the `|1>` half of the state;
+//! * **permutation kernels** (`X`/`CX`/`SWAP`) are index bit-flips — element
+//!   swaps with no arithmetic at all;
+//! * **general 1q kernels** carry a precomputed 2x2 matrix, so `Rx`/`Ry`/`U`
+//!   pay their trig once per circuit instead of once per shot.
+//!
+//! On top of specialization, [`CompiledCircuit::compile_fused`] merges runs of consecutive
+//! single-qubit gates on the same wire into one 2x2 matrix (gates on other
+//! wires may interleave — disjoint-support unitaries commute). Fusion never
+//! crosses a measurement, reset, or classically-conditioned instruction.
+
+use crate::complex::C64;
+use crate::state::StateVector;
+use caqr_circuit::{Circuit, Gate, Instruction};
+
+/// One precompiled state-vector operation.
+///
+/// Every kernel is unitary; measurement and reset stay in the executor,
+/// which owns the randomness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kernel {
+    /// A general single-qubit unitary (possibly a fused run of gates).
+    U1 {
+        /// Target qubit.
+        q: usize,
+        /// Row-major 2x2 matrix.
+        m: [[C64; 2]; 2],
+    },
+    /// A diagonal single-qubit gate `diag(m0, m1)` with `m0 != 1`.
+    Diag {
+        /// Target qubit.
+        q: usize,
+        /// Factor on the `|0>` amplitudes.
+        m0: C64,
+        /// Factor on the `|1>` amplitudes.
+        m1: C64,
+    },
+    /// A phase gate `diag(1, m1)`: only the `|1>` half is touched.
+    Phase {
+        /// Target qubit.
+        q: usize,
+        /// Factor on the `|1>` amplitudes.
+        m1: C64,
+    },
+    /// Pauli-X as an index bit-flip (no arithmetic).
+    FlipX {
+        /// Target qubit.
+        q: usize,
+    },
+    /// Hadamard as lane-wise sums and a real scale (no complex products).
+    Had {
+        /// Target qubit.
+        q: usize,
+    },
+    /// CNOT as a conditional index bit-flip.
+    Cx {
+        /// Control qubit.
+        c: usize,
+        /// Target qubit.
+        t: usize,
+    },
+    /// SWAP as a pairwise index exchange.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Controlled phase on the `|11>` subspace.
+    CPhase {
+        /// First qubit (symmetric).
+        a: usize,
+        /// Second qubit.
+        b: usize,
+        /// Phase factor.
+        phase: C64,
+    },
+    /// `exp(-i angle/2 Z (x) Z)`: a phase keyed on the parity of two bits.
+    Rzz {
+        /// First qubit (symmetric).
+        a: usize,
+        /// Second qubit.
+        b: usize,
+        /// Factor on even-parity basis states.
+        even: C64,
+        /// Factor on odd-parity basis states.
+        odd: C64,
+    },
+}
+
+impl Kernel {
+    /// Compiles a unitary gate into its specialized kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Measure`/`Reset` — those are not unitary kernels.
+    pub fn from_gate(gate: &Gate, qubits: &[usize]) -> Kernel {
+        match *gate {
+            Gate::X => Kernel::FlipX { q: qubits[0] },
+            Gate::Z => Kernel::Phase {
+                q: qubits[0],
+                m1: C64::real(-1.0),
+            },
+            Gate::S => Kernel::Phase {
+                q: qubits[0],
+                m1: C64::I,
+            },
+            Gate::Sdg => Kernel::Phase {
+                q: qubits[0],
+                m1: -C64::I,
+            },
+            Gate::T => Kernel::Phase {
+                q: qubits[0],
+                m1: C64::cis(std::f64::consts::FRAC_PI_4),
+            },
+            Gate::Tdg => Kernel::Phase {
+                q: qubits[0],
+                m1: C64::cis(-std::f64::consts::FRAC_PI_4),
+            },
+            Gate::Phase(a) => Kernel::Phase {
+                q: qubits[0],
+                m1: C64::cis(a),
+            },
+            Gate::Rz(a) => Kernel::Diag {
+                q: qubits[0],
+                m0: C64::cis(-a / 2.0),
+                m1: C64::cis(a / 2.0),
+            },
+            Gate::H => Kernel::Had { q: qubits[0] },
+            Gate::Y | Gate::Rx(_) | Gate::Ry(_) | Gate::U(..) => Kernel::U1 {
+                q: qubits[0],
+                m: gate_matrix(gate),
+            },
+            Gate::Cx => Kernel::Cx {
+                c: qubits[0],
+                t: qubits[1],
+            },
+            Gate::Cz => Kernel::CPhase {
+                a: qubits[0],
+                b: qubits[1],
+                phase: C64::real(-1.0),
+            },
+            Gate::Cp(a) => Kernel::CPhase {
+                a: qubits[0],
+                b: qubits[1],
+                phase: C64::cis(a),
+            },
+            Gate::Rzz(a) => Kernel::Rzz {
+                a: qubits[0],
+                b: qubits[1],
+                even: C64::cis(-a / 2.0),
+                odd: C64::cis(a / 2.0),
+            },
+            Gate::Swap => Kernel::Swap {
+                a: qubits[0],
+                b: qubits[1],
+            },
+            Gate::Measure | Gate::Reset => panic!("non-unitary {gate} has no kernel"),
+        }
+    }
+
+    /// Applies the kernel to `state`.
+    pub fn apply(&self, state: &mut StateVector) {
+        match *self {
+            Kernel::U1 { q, m } => state.apply_1q(q, m),
+            Kernel::Diag { q, m0, m1 } => state.diag_1q(q, m0, m1),
+            Kernel::Phase { q, m1 } => state.phase_1q(q, m1),
+            Kernel::FlipX { q } => state.flip_1q(q),
+            Kernel::Had { q } => state.apply_h(q),
+            Kernel::Cx { c, t } => state.apply_cx(c, t),
+            Kernel::Swap { a, b } => state.apply_swap(a, b),
+            Kernel::CPhase { a, b, phase } => state.apply_cphase(a, b, phase),
+            Kernel::Rzz { a, b, even, odd } => state.apply_rzz_factors(a, b, even, odd),
+        }
+    }
+}
+
+/// The 2x2 matrix of a single-qubit gate (same formulas as the generic
+/// `apply_gate` path, so kernelized and generic execution agree bit for bit
+/// on unfused gates).
+fn gate_matrix(gate: &Gate) -> [[C64; 2]; 2] {
+    let s2 = std::f64::consts::FRAC_1_SQRT_2;
+    match *gate {
+        Gate::H => [
+            [C64::real(s2), C64::real(s2)],
+            [C64::real(s2), C64::real(-s2)],
+        ],
+        Gate::X => [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]],
+        Gate::Y => [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]],
+        Gate::Z => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::real(-1.0)]],
+        Gate::S => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]],
+        Gate::Sdg => [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::I]],
+        Gate::T => [
+            [C64::ONE, C64::ZERO],
+            [C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+        ],
+        Gate::Tdg => [
+            [C64::ONE, C64::ZERO],
+            [C64::ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)],
+        ],
+        Gate::Rx(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            [
+                [C64::real(c), C64::new(0.0, -s)],
+                [C64::new(0.0, -s), C64::real(c)],
+            ]
+        }
+        Gate::Ry(a) => {
+            let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+            [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
+        }
+        Gate::Rz(a) => [
+            [C64::cis(-a / 2.0), C64::ZERO],
+            [C64::ZERO, C64::cis(a / 2.0)],
+        ],
+        Gate::Phase(a) => [[C64::ONE, C64::ZERO], [C64::ZERO, C64::cis(a)]],
+        Gate::U(theta, phi, lambda) => {
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            [
+                [C64::real(c), -(C64::cis(lambda).scale(s))],
+                [C64::cis(phi).scale(s), C64::cis(phi + lambda).scale(c)],
+            ]
+        }
+        _ => panic!("{gate} is not a single-qubit unitary"),
+    }
+}
+
+/// `b * a` for row-major 2x2 complex matrices (`a` applied first).
+fn mat_mul(b: [[C64; 2]; 2], a: [[C64; 2]; 2]) -> [[C64; 2]; 2] {
+    let mut out = [[C64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = b[i][0] * a[0][j] + b[i][1] * a[1][j];
+        }
+    }
+    out
+}
+
+/// One step of a compiled circuit: a unitary kernel (optionally
+/// classically conditioned) or a stochastic boundary.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A unitary kernel. `cond` is the classical bit that gates it, and
+    /// `index` is the originating instruction index (the *last* fused
+    /// instruction) — the noisy executor uses it to look up error rates.
+    Unitary {
+        /// The precompiled kernel.
+        kernel: Kernel,
+        /// Classical condition bit, if any.
+        cond: Option<usize>,
+        /// Originating instruction index.
+        index: usize,
+    },
+    /// A projective measurement.
+    Measure {
+        /// Measured qubit.
+        q: usize,
+        /// Destination classical bit.
+        clbit: usize,
+        /// Originating instruction index.
+        index: usize,
+    },
+    /// An unconditional reset to `|0>`.
+    Reset {
+        /// Reset qubit.
+        q: usize,
+        /// Originating instruction index.
+        index: usize,
+    },
+}
+
+/// Fusion statistics for instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Unitary gates in the source circuit.
+    pub gates_in: usize,
+    /// Unitary kernels emitted after fusion.
+    pub kernels_out: usize,
+}
+
+/// A circuit compiled into kernels, ready for repeated replay.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    ops: Vec<Op>,
+    num_qubits: usize,
+    stats: FuseStats,
+}
+
+impl CompiledCircuit {
+    /// Compiles `circuit` one instruction per kernel (no fusion). This is
+    /// the representation the **noisy** executor needs: stochastic error
+    /// channels interleave between instructions, so gates cannot merge
+    /// across them, but each still gets its specialized kernel and its
+    /// matrix/trig precomputed once.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let order: Vec<usize> = (0..circuit.len()).collect();
+        Self::compile_ordered(circuit, &order)
+    }
+
+    /// [`CompiledCircuit::compile`] over an explicit execution order.
+    ///
+    /// `order` is a permutation of instruction indices; each emitted op
+    /// keeps its **original** index, so noise tables precomputed on the
+    /// source schedule still line up. The executor uses this to defer
+    /// measurements of retired qubits to the end of the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` indexes out of range.
+    pub fn compile_ordered(circuit: &Circuit, order: &[usize]) -> Self {
+        let instrs = circuit.instructions();
+        let mut ops = Vec::with_capacity(order.len());
+        let mut stats = FuseStats::default();
+        for &index in order {
+            let instr = &instrs[index];
+            ops.push(match instr.gate {
+                Gate::Measure => Op::Measure {
+                    q: instr.qubits[0].index(),
+                    clbit: instr.clbit.expect("measure has a clbit").index(),
+                    index,
+                },
+                Gate::Reset => Op::Reset {
+                    q: instr.qubits[0].index(),
+                    index,
+                },
+                ref gate => {
+                    stats.gates_in += 1;
+                    stats.kernels_out += 1;
+                    Op::Unitary {
+                        kernel: Kernel::from_gate(gate, &operand_indices(instr)),
+                        cond: instr.condition.map(|c| c.index()),
+                        index,
+                    }
+                }
+            });
+        }
+        CompiledCircuit {
+            ops,
+            num_qubits: circuit.num_qubits(),
+            stats,
+        }
+    }
+
+    /// Compiles `circuit` with single-qubit fusion: runs of unconditioned
+    /// 1q gates on the same wire collapse into one kernel, floating past
+    /// interleaved operations on *other* wires (disjoint-support unitaries
+    /// commute). Every pending run flushes at a measurement, reset, or
+    /// conditioned instruction, so no kernel crosses a stochastic or
+    /// classically-dependent boundary. Only valid for **noiseless**
+    /// execution, where nothing stochastic sits between gates.
+    pub fn compile_fused(circuit: &Circuit) -> Self {
+        let order: Vec<usize> = (0..circuit.len()).collect();
+        Self::compile_fused_ordered(circuit, &order)
+    }
+
+    /// [`CompiledCircuit::compile_fused`] over an explicit execution order
+    /// (see [`CompiledCircuit::compile_ordered`]). Fusion operates on the
+    /// reordered sequence: with measurements deferred to the tail, runs on
+    /// a wire fuse across points where a measurement of another qubit used
+    /// to sit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` indexes out of range.
+    pub fn compile_fused_ordered(circuit: &Circuit, order: &[usize]) -> Self {
+        let instrs = circuit.instructions();
+        let mut fuser = Fuser::new(circuit.num_qubits());
+        let mut ops: Vec<Op> = Vec::with_capacity(order.len());
+        let mut stats = FuseStats::default();
+        for &index in order {
+            let instr = &instrs[index];
+            match instr.gate {
+                Gate::Measure => {
+                    fuser.flush_all(&mut ops, &mut stats);
+                    ops.push(Op::Measure {
+                        q: instr.qubits[0].index(),
+                        clbit: instr.clbit.expect("measure has a clbit").index(),
+                        index,
+                    });
+                }
+                Gate::Reset => {
+                    fuser.flush_all(&mut ops, &mut stats);
+                    ops.push(Op::Reset {
+                        q: instr.qubits[0].index(),
+                        index,
+                    });
+                }
+                ref gate if instr.condition.is_some() => {
+                    // A conditioned gate depends on the classical record;
+                    // nothing may float past it, and it never fuses.
+                    fuser.flush_all(&mut ops, &mut stats);
+                    stats.gates_in += 1;
+                    stats.kernels_out += 1;
+                    ops.push(Op::Unitary {
+                        kernel: Kernel::from_gate(gate, &operand_indices(instr)),
+                        cond: instr.condition.map(|c| c.index()),
+                        index,
+                    });
+                }
+                ref gate if gate.is_two_qubit() => {
+                    let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
+                    fuser.flush_wire(a, &mut ops, &mut stats);
+                    fuser.flush_wire(b, &mut ops, &mut stats);
+                    stats.gates_in += 1;
+                    stats.kernels_out += 1;
+                    ops.push(Op::Unitary {
+                        kernel: Kernel::from_gate(gate, &[a, b]),
+                        cond: None,
+                        index,
+                    });
+                }
+                ref gate => {
+                    stats.gates_in += 1;
+                    fuser.absorb(instr.qubits[0].index(), gate, index);
+                }
+            }
+        }
+        fuser.flush_all(&mut ops, &mut stats);
+        CompiledCircuit {
+            ops,
+            num_qubits: circuit.num_qubits(),
+            stats,
+        }
+    }
+
+    /// The compiled operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The width of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Fusion statistics.
+    pub fn stats(&self) -> FuseStats {
+        self.stats
+    }
+
+    /// The number of leading ops before the first measurement or reset —
+    /// the deterministic prefix a noiseless executor may snapshot.
+    pub fn prefix_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .position(|op| matches!(op, Op::Measure { .. } | Op::Reset { .. }))
+            .unwrap_or(self.ops.len())
+    }
+
+    /// Applies every unitary op to `state`, skipping conditioned kernels
+    /// whose bit is 0 in `clreg` and panicking on measurement/reset —
+    /// a convenience for tests and for building prefix snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program contains a measurement or reset.
+    pub fn apply_unitaries(&self, state: &mut StateVector, clreg: u64) {
+        for op in &self.ops {
+            match op {
+                Op::Unitary { kernel, cond, .. } => {
+                    if let Some(bit) = cond {
+                        if clreg >> bit & 1 == 0 {
+                            continue;
+                        }
+                    }
+                    kernel.apply(state);
+                }
+                Op::Measure { .. } | Op::Reset { .. } => {
+                    panic!("apply_unitaries on a circuit with measurements")
+                }
+            }
+        }
+    }
+}
+
+/// Per-wire pending fusion state: the accumulated 2x2 matrix, whether any
+/// absorbed gate was non-diagonal, and the first/last instruction indices
+/// of the run.
+struct Pending {
+    m: [[C64; 2]; 2],
+    diagonal: bool,
+    first: usize,
+    last: usize,
+}
+
+/// Greedy single-qubit fuser.
+struct Fuser {
+    pending: Vec<Option<Pending>>,
+}
+
+impl Fuser {
+    fn new(num_qubits: usize) -> Self {
+        Fuser {
+            pending: (0..num_qubits).map(|_| None).collect(),
+        }
+    }
+
+    fn absorb(&mut self, q: usize, gate: &Gate, index: usize) {
+        let m = gate_matrix(gate);
+        match &mut self.pending[q] {
+            Some(p) => {
+                p.m = mat_mul(m, p.m);
+                p.diagonal &= gate.is_diagonal();
+                p.last = index;
+            }
+            slot => {
+                *slot = Some(Pending {
+                    m,
+                    diagonal: gate.is_diagonal(),
+                    first: index,
+                    last: index,
+                });
+            }
+        }
+    }
+
+    fn flush_wire(&mut self, q: usize, ops: &mut Vec<Op>, stats: &mut FuseStats) {
+        if let Some(p) = self.pending[q].take() {
+            stats.kernels_out += 1;
+            ops.push(Op::Unitary {
+                kernel: specialize(q, &p),
+                cond: None,
+                index: p.last,
+            });
+        }
+    }
+
+    /// Flushes every pending run, in order of each run's first gate, so
+    /// emission is deterministic (the runs act on disjoint wires, so any
+    /// order is mathematically equivalent).
+    fn flush_all(&mut self, ops: &mut Vec<Op>, stats: &mut FuseStats) {
+        let mut runs: Vec<(usize, Pending)> = Vec::new();
+        for (q, slot) in self.pending.iter_mut().enumerate() {
+            if let Some(p) = slot.take() {
+                runs.push((q, p));
+            }
+        }
+        runs.sort_by_key(|(_, p)| p.first);
+        for (q, p) in runs {
+            stats.kernels_out += 1;
+            ops.push(Op::Unitary {
+                kernel: specialize(q, &p),
+                cond: None,
+                index: p.last,
+            });
+        }
+    }
+}
+
+/// Picks the cheapest kernel for a fused run: phase-only when the matrix
+/// stayed diagonal with a unit `|0>` factor, diagonal when off-diagonals
+/// vanished, the lane-wise Hadamard when the product is exactly H,
+/// general otherwise.
+fn specialize(q: usize, p: &Pending) -> Kernel {
+    if p.diagonal {
+        if p.m[0][0] == C64::ONE {
+            Kernel::Phase { q, m1: p.m[1][1] }
+        } else {
+            Kernel::Diag {
+                q,
+                m0: p.m[0][0],
+                m1: p.m[1][1],
+            }
+        }
+    } else {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]];
+        if p.m == h {
+            Kernel::Had { q }
+        } else {
+            Kernel::U1 { q, m: p.m }
+        }
+    }
+}
+
+fn operand_indices(instr: &Instruction) -> Vec<usize> {
+    instr.qubits.iter().map(|q| q.index()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    /// Reference: run the circuit's unitaries through the generic path.
+    fn reference_state(circuit: &Circuit) -> StateVector {
+        let mut s = StateVector::zero(circuit.num_qubits());
+        for instr in circuit.iter() {
+            let ops: Vec<usize> = instr.qubits.iter().map(|x| x.index()).collect();
+            s.apply_gate(&instr.gate, &ops);
+        }
+        s
+    }
+
+    fn assert_states_close(a: &StateVector, b: &StateVector, tol: f64) {
+        for i in 0..1usize << a.num_qubits() {
+            let d = (a.amplitude(i) - b.amplitude(i)).abs2();
+            assert!(d < tol * tol, "index {i}: |diff|^2 = {d}");
+        }
+    }
+
+    fn mixed_circuit() -> Circuit {
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0));
+        c.t(q(0));
+        c.rz(0.3, q(1));
+        c.z(q(1));
+        c.cx(q(0), q(1));
+        c.ry(0.7, q(2));
+        c.rx(0.2, q(2));
+        c.swap(q(1), q(2));
+        c.cp(0.9, q(0), q(2));
+        c.rzz(1.1, q(0), q(1));
+        c.x(q(0));
+        c.h(q(0));
+        c
+    }
+
+    #[test]
+    fn unfused_kernels_match_generic_apply() {
+        let c = mixed_circuit();
+        let mut s = StateVector::zero(3);
+        for op in CompiledCircuit::compile(&c).ops() {
+            match op {
+                Op::Unitary { kernel, .. } => kernel.apply(&mut s),
+                _ => unreachable!(),
+            }
+        }
+        // Unfused kernels use identical arithmetic: exact agreement.
+        assert_states_close(&s, &reference_state(&c), 1e-15);
+    }
+
+    #[test]
+    fn fused_program_matches_reference() {
+        let c = mixed_circuit();
+        let compiled = CompiledCircuit::compile_fused(&c);
+        let mut s = StateVector::zero(3);
+        compiled.apply_unitaries(&mut s, 0);
+        assert_states_close(&s, &reference_state(&c), 1e-12);
+        let stats = compiled.stats();
+        assert!(
+            stats.kernels_out < stats.gates_in,
+            "fusion merged nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fusion_merges_runs_across_other_wires() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0));
+        c.rz(0.2, q(1)); // interleaved on another wire
+        c.t(q(0));
+        c.h(q(0));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        // h-t-h on wire 0 fuse to one kernel; rz on wire 1 is its own.
+        assert_eq!(compiled.stats().kernels_out, 2);
+        let mut s = StateVector::zero(2);
+        compiled.apply_unitaries(&mut s, 0);
+        assert_states_close(&s, &reference_state(&c), 1e-12);
+    }
+
+    #[test]
+    fn diagonal_runs_stay_diagonal() {
+        let mut c = Circuit::new(1, 0);
+        c.t(q(0));
+        c.z(q(0));
+        c.rz(0.4, q(0));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert_eq!(compiled.ops().len(), 1);
+        match &compiled.ops()[0] {
+            Op::Unitary {
+                kernel: Kernel::Diag { .. } | Kernel::Phase { .. },
+                ..
+            } => {}
+            other => panic!("expected a diagonal kernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_stops_at_measure_and_condition() {
+        let mut c = Circuit::new(1, 1);
+        c.h(q(0));
+        c.measure(q(0), Clbit::new(0));
+        c.push(Instruction {
+            gate: Gate::X,
+            qubits: vec![q(0)],
+            clbit: None,
+            condition: Some(Clbit::new(0)),
+        });
+        c.h(q(0));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        // h | measure | cond-x | h: nothing fuses.
+        assert_eq!(compiled.ops().len(), 4);
+        assert_eq!(compiled.prefix_ops(), 1);
+    }
+
+    #[test]
+    fn prefix_covers_whole_circuit_without_measurement() {
+        let c = mixed_circuit();
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert_eq!(compiled.prefix_ops(), compiled.ops().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unitary")]
+    fn measure_has_no_kernel() {
+        Kernel::from_gate(&Gate::Measure, &[0]);
+    }
+}

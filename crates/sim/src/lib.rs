@@ -43,12 +43,16 @@ pub mod complex;
 pub mod counts;
 pub mod exact;
 pub mod exec;
+pub mod kernels;
 pub mod metrics;
 pub mod noise;
+pub mod parallel;
 pub mod state;
 
 pub use complex::C64;
 pub use counts::Counts;
-pub use exec::Executor;
+pub use exec::{Executor, ShotReport};
+pub use kernels::CompiledCircuit;
 pub use noise::NoiseModel;
+pub use parallel::{effective_workers, shot_rng};
 pub use state::StateVector;

@@ -18,7 +18,8 @@
 //! accumulated error — the exact trade-off surface CaQR navigates.
 
 use caqr_arch::Device;
-use caqr_circuit::{Gate, Instruction};
+use caqr_circuit::depth::Schedule;
+use caqr_circuit::{Circuit, Gate, Instruction};
 use rand::Rng;
 
 /// How idle decoherence is realized per trajectory.
@@ -139,6 +140,13 @@ impl NoiseModel {
         self.clamp(1.0 - (-(gap_dt as f64) * rate).exp())
     }
 
+    /// Returns `true` when every error probability is exactly zero (the
+    /// `with_scale(0.0)` configuration): the executor may then treat the
+    /// whole circuit as deterministic up to its first measurement.
+    pub fn is_silent(&self) -> bool {
+        self.scale == 0.0
+    }
+
     /// Samples a uniformly random Pauli gate.
     pub fn random_pauli(rng: &mut impl Rng) -> Gate {
         match rng.gen_range(0..3) {
@@ -146,6 +154,100 @@ impl NoiseModel {
             1 => Gate::Y,
             _ => Gate::Z,
         }
+    }
+}
+
+/// One precomputed idle-decoherence draw for a single (instruction,
+/// operand) slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IdleDraw {
+    /// Pauli-twirl: one Bernoulli with this probability.
+    Twirl(f64),
+    /// Thermal relaxation: amplitude damping followed by stochastic
+    /// dephasing.
+    Thermal {
+        /// Amplitude-damping probability.
+        gamma: f64,
+        /// Pure-dephasing Z probability.
+        pz: f64,
+    },
+}
+
+impl IdleDraw {
+    fn is_zero(&self) -> bool {
+        match *self {
+            IdleDraw::Twirl(p) => p == 0.0,
+            IdleDraw::Thermal { gamma, pz } => gamma == 0.0 && pz == 0.0,
+        }
+    }
+}
+
+/// Error probabilities hoisted out of the per-shot loop.
+///
+/// Idle gaps depend only on the schedule (each qubit's `busy_until` is
+/// advanced unconditionally, even for gates a condition later skips), so
+/// every probability the Monte-Carlo loop draws against is a pure function
+/// of the circuit + noise model and can be computed once per `run_shots`
+/// instead of once per shot — this removes all `exp()`/calibration work
+/// from the hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct NoiseTables {
+    /// Per instruction, per operand: the idle-decoherence draw.
+    pub idle: Vec<Vec<IdleDraw>>,
+    /// Per instruction: the post-gate Pauli probability per operand.
+    pub gate: Vec<f64>,
+    /// Per instruction: readout flip probability (measurements only).
+    pub readout: Vec<f64>,
+    /// The idle channel the draws realize.
+    pub channel: IdleChannel,
+}
+
+impl NoiseTables {
+    /// Precomputes every probability `run_shots` will draw against, using
+    /// exactly the same accessor calls the per-shot loop previously made
+    /// (so the draw streams are bit-identical).
+    pub(crate) fn precompute(model: &NoiseModel, circuit: &Circuit, schedule: &Schedule) -> Self {
+        let channel = model.idle_channel();
+        let mut busy = vec![0u64; circuit.num_qubits()];
+        let mut idle = Vec::with_capacity(circuit.len());
+        let mut gate = Vec::with_capacity(circuit.len());
+        let mut readout = Vec::with_capacity(circuit.len());
+        for (idx, instr) in circuit.iter().enumerate() {
+            let start = schedule.start(idx);
+            let mut draws = Vec::with_capacity(instr.qubits.len());
+            for q in &instr.qubits {
+                let gap = start.saturating_sub(busy[q.index()]);
+                draws.push(match channel {
+                    IdleChannel::PauliTwirl => IdleDraw::Twirl(model.idle_error(q.index(), gap)),
+                    IdleChannel::ThermalRelaxation => IdleDraw::Thermal {
+                        gamma: model.idle_gamma(q.index(), gap),
+                        pz: model.idle_dephase(q.index(), gap),
+                    },
+                });
+                busy[q.index()] = schedule.finish(idx);
+            }
+            idle.push(draws);
+            gate.push(model.gate_error(instr));
+            readout.push(if instr.gate == Gate::Measure {
+                model.readout_error(instr.qubits[0].index())
+            } else {
+                0.0
+            });
+        }
+        NoiseTables {
+            idle,
+            gate,
+            readout,
+            channel,
+        }
+    }
+
+    /// Returns `true` when no stochastic draw can occur in instructions
+    /// `0..boundary` — the condition under which prefix fast-forward is
+    /// trivially legal even for state-dependent channels.
+    pub(crate) fn is_zero_before(&self, boundary: usize) -> bool {
+        (0..boundary)
+            .all(|idx| self.gate[idx] == 0.0 && self.idle[idx].iter().all(IdleDraw::is_zero))
     }
 }
 

@@ -1,0 +1,159 @@
+//! Deterministic shot-level parallelism.
+//!
+//! The Monte-Carlo executor owes its reproducibility to one rule: **shot
+//! `i` of seed `s` always consumes the same random stream**, no matter how
+//! many threads run and which thread picks the shot up. [`shot_rng`]
+//! derives an independent ChaCha8 stream from `(seed, shot_index)`, shots
+//! are partitioned into contiguous shards over a scoped-thread pool, and
+//! per-shard histograms are merged at the end — addition commutes, so the
+//! result is bit-identical at any worker count, including 1.
+//!
+//! The worker-sizing rule is shared with the `caqr-engine` batch compiler
+//! ([`effective_workers`]), so `--threads 0` means the same thing — one
+//! worker per core, clamped to the amount of work — everywhere in the
+//! workspace.
+
+use rand::{RngCore, SplitMix64};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Resolves a requested worker count: 0 means one worker per available
+/// core, and the result is clamped to the number of tasks (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use caqr_sim::parallel::effective_workers;
+///
+/// assert_eq!(effective_workers(8, 3), 3);
+/// assert_eq!(effective_workers(2, 100), 2);
+/// assert!(effective_workers(0, 100) >= 1);
+/// assert_eq!(effective_workers(4, 0), 1);
+/// ```
+pub fn effective_workers(requested: usize, tasks: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    workers.clamp(1, tasks.max(1))
+}
+
+/// The independent random stream for one shot: a ChaCha8 generator keyed
+/// by `(seed, shot)`.
+///
+/// The derivation expands `seed` through SplitMix64, perturbs it with the
+/// shot index (multiplied by an odd constant, so distinct shots map to
+/// distinct keys), and expands the result into a 256-bit ChaCha key. Shot
+/// streams are therefore stable across releases, platforms, and thread
+/// counts — the executor's determinism contract rests on this function.
+pub fn shot_rng(seed: u64, shot: u64) -> ChaCha8Rng {
+    let mut expand = SplitMix64::new(seed);
+    let s0 = expand.next_u64();
+    let s1 = expand.next_u64();
+    let mut stream =
+        SplitMix64::new(s0 ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(s1));
+    let mut key = [0u32; 8];
+    for pair in key.chunks_exact_mut(2) {
+        let w = stream.next_u64();
+        pair[0] = w as u32;
+        pair[1] = (w >> 32) as u32;
+    }
+    ChaCha8Rng::from_key(key)
+}
+
+/// Splits `0..tasks` into `shards` contiguous, near-equal ranges (the
+/// first `tasks % shards` ranges are one longer).
+pub(crate) fn partition(tasks: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, tasks.max(1));
+    let base = tasks / shards;
+    let extra = tasks % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `run` over each shard of `0..tasks` on `workers` scoped threads
+/// and returns the per-shard results in shard order. With one worker the
+/// shard runs inline — no thread is spawned, so single-threaded callers
+/// pay nothing.
+pub(crate) fn run_shards<R, F>(workers: usize, tasks: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = partition(tasks, workers);
+    if ranges.len() == 1 {
+        let range = ranges.into_iter().next().expect("one shard");
+        return vec![run(range)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(|| run(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shot worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_clamped_sensibly() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn partition_covers_every_task_once() {
+        for (tasks, shards) in [(10, 3), (7, 7), (5, 8), (0, 4), (1000, 8)] {
+            let ranges = partition(tasks, shards);
+            let mut seen = 0;
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{tasks}/{shards}");
+                next = r.end;
+                seen += r.len();
+            }
+            assert_eq!(seen, tasks);
+            assert_eq!(next, tasks);
+        }
+    }
+
+    #[test]
+    fn shot_streams_are_independent_and_stable() {
+        let mut a = shot_rng(7, 0);
+        let mut a2 = shot_rng(7, 0);
+        let mut b = shot_rng(7, 1);
+        let mut c = shot_rng(8, 0);
+        let (x, x2, y, z) = (a.next_u64(), a2.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, x2, "same (seed, shot) must replay the same stream");
+        assert_ne!(x, y, "different shots must diverge");
+        assert_ne!(x, z, "different seeds must diverge");
+    }
+
+    #[test]
+    fn run_shards_preserves_shard_order() {
+        let results = run_shards(4, 10, |r| (r.start, r.end));
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].0, 0);
+        assert_eq!(results.last().unwrap().1, 10);
+        for w in results.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+}

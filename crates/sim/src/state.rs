@@ -12,6 +12,13 @@ pub const MAX_QUBITS: usize = 24;
 /// Qubit `q` corresponds to bit `q` of the basis-state index (little
 /// endian: index 0b10 means qubit 1 is |1>).
 ///
+/// Internally the amplitudes live under a logical-to-physical bit
+/// permutation: every SWAP gate is absorbed into the permutation in O(1)
+/// instead of exchanging `2^(n-1)` amplitude pairs — routed circuits are
+/// SWAP-heavy, so this removes their single largest cost. The permutation
+/// is invisible from outside: every method taking a qubit or basis index
+/// translates through it.
+///
 /// # Examples
 ///
 /// ```
@@ -29,6 +36,8 @@ pub const MAX_QUBITS: usize = 24;
 pub struct StateVector {
     n: usize,
     amps: Vec<C64>,
+    /// `map[q]` = physical bit position of logical qubit `q`.
+    map: Vec<usize>,
 }
 
 impl StateVector {
@@ -41,7 +50,11 @@ impl StateVector {
         assert!(n <= MAX_QUBITS, "{n} qubits exceed the dense limit");
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
-        StateVector { n, amps }
+        StateVector {
+            n,
+            amps,
+            map: (0..n).collect(),
+        }
     }
 
     /// The number of qubits.
@@ -49,30 +62,87 @@ impl StateVector {
         self.n
     }
 
+    /// The physical bit position of logical qubit `q` under the current
+    /// SWAP-absorbing permutation.
+    pub(crate) fn phys_bit(&self, q: usize) -> usize {
+        self.map[q]
+    }
+
+    /// Translates a logical basis index through the bit permutation.
+    fn phys_index(&self, logical: usize) -> usize {
+        let mut phys = 0usize;
+        for (q, &b) in self.map.iter().enumerate() {
+            phys |= (logical >> q & 1) << b;
+        }
+        phys
+    }
+
     /// The amplitude of basis state `index`.
     pub fn amplitude(&self, index: usize) -> C64 {
-        self.amps[index]
+        self.amps[self.phys_index(index)]
     }
 
     /// The probability of observing basis state `index`.
     pub fn probability_of(&self, index: usize) -> f64 {
-        self.amps[index].abs2()
+        self.amplitude(index).abs2()
     }
 
     /// The probability of qubit `q` reading 1.
+    ///
+    /// Walks the `|1>` half of the state in contiguous stride-`2^q` blocks
+    /// instead of filtering all `2^n` indices.
     pub fn prob_one(&self, q: usize) -> f64 {
-        let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.abs2())
-            .sum()
+        let bit = 1usize << self.map[q];
+        let mut sum = 0.0;
+        if bit == 1 {
+            for pair in self.amps.chunks_exact(2) {
+                sum += pair[1].abs2();
+            }
+            return sum;
+        }
+        for block in self.amps.chunks_exact(bit << 1) {
+            for a in &block[bit..] {
+                sum += a.abs2();
+            }
+        }
+        sum
     }
 
     /// Sum of all probabilities (should stay 1 within rounding).
+    ///
+    /// Accumulates in four independent lanes so the sum pipelines instead
+    /// of serializing on one accumulator.
     pub fn norm(&self) -> f64 {
-        self.amps.iter().map(|a| a.abs2()).sum()
+        let mut acc = [0.0f64; 4];
+        let chunks = self.amps.chunks_exact(4);
+        let tail: f64 = chunks.remainder().iter().map(|a| a.abs2()).sum();
+        for c in chunks {
+            acc[0] += c[0].abs2();
+            acc[1] += c[1].abs2();
+            acc[2] += c[2].abs2();
+            acc[3] += c[3].abs2();
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+
+    /// Overwrites this state with a copy of `src` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn load(&mut self, src: &StateVector) {
+        assert_eq!(self.n, src.n, "state width mismatch");
+        self.amps.copy_from_slice(&src.amps);
+        self.map.copy_from_slice(&src.map);
+    }
+
+    /// Resets this state to |0...0> in place, with an identity permutation.
+    pub fn set_zero(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
+        for (q, b) in self.map.iter_mut().enumerate() {
+            *b = q;
+        }
     }
 
     /// Applies a unitary gate to the given qubits.
@@ -87,15 +157,9 @@ impl StateVector {
             assert!(q < self.n, "qubit {q} out of range");
         }
         match *gate {
-            Gate::H => {
-                let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.apply_1q(
-                    qubits[0],
-                    [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]],
-                );
-            }
-            Gate::X => self.apply_1q(qubits[0], [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]),
-            Gate::Y => self.apply_1q(qubits[0], [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]),
+            Gate::H => self.apply_h(qubits[0]),
+            Gate::X => self.flip_1q(qubits[0]),
+            Gate::Y => self.apply_y(qubits[0]),
             Gate::Z => self.phase_1q(qubits[0], C64::real(-1.0)),
             Gate::S => self.phase_1q(qubits[0], C64::I),
             Gate::Sdg => self.phase_1q(qubits[0], -C64::I),
@@ -144,64 +208,262 @@ impl StateVector {
         }
     }
 
-    fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
-        let bit = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                let j = i | bit;
-                let (a0, a1) = (self.amps[i], self.amps[j]);
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+    /// Applies a general 2x2 matrix to qubit `q`, walking the state in
+    /// stride-`2^q` block pairs (no per-index bit test). Unit-stride pairs
+    /// (`bit == 1`) use a dedicated literal-width chunk loop: the general
+    /// path would otherwise split a fresh slice per amplitude pair.
+    pub(crate) fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                let (a0, a1) = (pair[0], pair[1]);
+                pair[0] = m[0][0] * a0 + m[0][1] * a1;
+                pair[1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            return;
+        }
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (a0, a1) = (*x, *y);
+                *x = m[0][0] * a0 + m[0][1] * a1;
+                *y = m[1][0] * a0 + m[1][1] * a1;
             }
         }
     }
 
-    /// Multiplies the |1> amplitudes of `q` by `phase`.
-    fn phase_1q(&mut self, q: usize, phase: C64) {
-        self.diag_1q(q, C64::ONE, phase);
-    }
-
-    fn diag_1q(&mut self, q: usize, m0: C64, m1: C64) {
-        let bit = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if i & bit == 0 { m0 } else { m1 } * *a;
+    /// Multiplies the |1> amplitudes of `q` by `phase`, leaving the |0>
+    /// half untouched (half the memory traffic of a general diagonal).
+    pub(crate) fn phase_1q(&mut self, q: usize, phase: C64) {
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                pair[1] = phase * pair[1];
+            }
+            return;
         }
-    }
-
-    fn apply_cx(&mut self, control: usize, target: usize) {
-        let (cb, tb) = (1usize << control, 1usize << target);
-        for i in 0..self.amps.len() {
-            if i & cb != 0 && i & tb == 0 {
-                self.amps.swap(i, i | tb);
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            for a in &mut block[bit..] {
+                *a = phase * *a;
             }
         }
     }
 
-    fn apply_cphase(&mut self, a: usize, b: usize, phase: C64) {
-        let (ab, bb) = (1usize << a, 1usize << b);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & ab != 0 && i & bb != 0 {
-                *amp = phase * *amp;
+    /// Hadamard on qubit `q` as lane-wise sums and a real scale —
+    /// no complex multiplies, unlike the general 2x2 path.
+    pub(crate) fn apply_h(&mut self, q: usize) {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                let (a0, a1) = (pair[0], pair[1]);
+                pair[0] = (a0 + a1).scale(s);
+                pair[1] = (a0 - a1).scale(s);
             }
+            return;
+        }
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (a0, a1) = (*x, *y);
+                *x = (a0 + a1).scale(s);
+                *y = (a0 - a1).scale(s);
+            }
+        }
+    }
+
+    /// Pauli-Y on qubit `q`: swap the pair and multiply by `∓i` lane-wise
+    /// (`|0> -> i|1>`, `|1> -> -i|0>`), avoiding general complex products.
+    /// Matters because a third of stochastic Pauli-twirl events are Ys.
+    pub(crate) fn apply_y(&mut self, q: usize) {
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                let (a0, a1) = (pair[0], pair[1]);
+                pair[0] = C64::new(a1.im, -a1.re);
+                pair[1] = C64::new(-a0.im, a0.re);
+            }
+            return;
+        }
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (a0, a1) = (*x, *y);
+                *x = C64::new(a1.im, -a1.re);
+                *y = C64::new(-a0.im, a0.re);
+            }
+        }
+    }
+
+    /// Applies `diag(m0, m1)` on qubit `q` by blocks.
+    pub(crate) fn diag_1q(&mut self, q: usize, m0: C64, m1: C64) {
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                pair[0] = m0 * pair[0];
+                pair[1] = m1 * pair[1];
+            }
+            return;
+        }
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            for a in lo {
+                *a = m0 * *a;
+            }
+            for a in hi {
+                *a = m1 * *a;
+            }
+        }
+    }
+
+    /// Pauli-X on qubit `q` as a pure block swap — no arithmetic.
+    pub(crate) fn flip_1q(&mut self, q: usize) {
+        let bit = 1usize << self.map[q];
+        if bit == 1 {
+            for pair in self.amps.chunks_exact_mut(2) {
+                pair.swap(0, 1);
+            }
+            return;
+        }
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            lo.swap_with_slice(hi);
+        }
+    }
+
+    /// CNOT as nested block swaps: the outer loop walks blocks of the
+    /// larger bit, the inner loop swaps contiguous runs of the smaller
+    /// bit. Unit runs (smaller bit = 1) get a dedicated element-swap loop
+    /// over fixed-width chunks, which vectorizes instead of paying slice
+    /// machinery per amplitude pair.
+    pub(crate) fn apply_cx(&mut self, control: usize, target: usize) {
+        let (cb, tb) = (1usize << self.map[control], 1usize << self.map[target]);
+        let amps = &mut self.amps;
+        if tb > cb {
+            // Target is the outer bit: within each target block pair, swap
+            // the control = 1 elements between the halves.
+            for block in amps.chunks_exact_mut(tb << 1) {
+                let (lo, hi) = block.split_at_mut(tb);
+                if cb == 1 {
+                    for (l, h) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+                        std::mem::swap(&mut l[1], &mut h[1]);
+                    }
+                } else {
+                    for (l, h) in lo
+                        .chunks_exact_mut(cb << 1)
+                        .zip(hi.chunks_exact_mut(cb << 1))
+                    {
+                        l[cb..].swap_with_slice(&mut h[cb..]);
+                    }
+                }
+            }
+        } else {
+            // Control is the outer bit: in each control = 1 half, exchange
+            // the target halves of every target block pair.
+            for block in amps.chunks_exact_mut(cb << 1) {
+                let upper = &mut block[cb..];
+                if tb == 1 {
+                    for pair in upper.chunks_exact_mut(2) {
+                        pair.swap(0, 1);
+                    }
+                } else {
+                    for pair in upper.chunks_exact_mut(tb << 1) {
+                        let (lo, hi) = pair.split_at_mut(tb);
+                        lo.swap_with_slice(hi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Controlled phase: scales the `a = b = 1` quarter of the state,
+    /// visiting it as runs of the smaller bit inside blocks of the larger.
+    pub(crate) fn apply_cphase(&mut self, a: usize, b: usize, phase: C64) {
+        let (ab, bb) = (1usize << self.map[a], 1usize << self.map[b]);
+        let (small, large) = (ab.min(bb), ab.max(bb));
+        let amps = &mut self.amps;
+        for block in amps.chunks_exact_mut(large << 1) {
+            let upper = &mut block[large..];
+            if small == 1 {
+                for pair in upper.chunks_exact_mut(2) {
+                    pair[1] = phase * pair[1];
+                }
+            } else {
+                for run in upper.chunks_exact_mut(small << 1) {
+                    for amp in &mut run[small..] {
+                        *amp = phase * *amp;
+                    }
+                }
+            }
+        }
+    }
+
+    /// RZZ with precomputed even/odd parity factors, applied in a single
+    /// sweep: each larger-bit half scales its smaller-bit halves by the
+    /// matching parity factor (the factor pair flips between halves).
+    pub(crate) fn apply_rzz_factors(&mut self, a: usize, b: usize, even: C64, odd: C64) {
+        fn scale_halves(half: &mut [C64], small: usize, f0: C64, f1: C64) {
+            for run in half.chunks_exact_mut(small << 1) {
+                let (lo, hi) = run.split_at_mut(small);
+                for amp in lo {
+                    *amp = f0 * *amp;
+                }
+                for amp in hi {
+                    *amp = f1 * *amp;
+                }
+            }
+        }
+        let (ab, bb) = (1usize << self.map[a], 1usize << self.map[b]);
+        let (small, large) = (ab.min(bb), ab.max(bb));
+        for block in self.amps.chunks_exact_mut(large << 1) {
+            let (lo, hi) = block.split_at_mut(large);
+            scale_halves(lo, small, even, odd);
+            scale_halves(hi, small, odd, even);
         }
     }
 
     fn apply_rzz(&mut self, a: usize, b: usize, angle: f64) {
-        let (ab, bb) = (1usize << a, 1usize << b);
-        let (even, odd) = (C64::cis(-angle / 2.0), C64::cis(angle / 2.0));
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            let parity = ((i & ab != 0) as u8) ^ ((i & bb != 0) as u8);
-            *amp = if parity == 0 { even } else { odd } * *amp;
-        }
+        self.apply_rzz_factors(a, b, C64::cis(-angle / 2.0), C64::cis(angle / 2.0));
     }
 
-    fn apply_swap(&mut self, a: usize, b: usize) {
-        let (ab, bb) = (1usize << a, 1usize << b);
-        for i in 0..self.amps.len() {
-            if i & ab != 0 && i & bb == 0 {
-                self.amps.swap(i, (i & !ab) | bb);
-            }
+    /// SWAP as an O(1) relabel: the two logical qubits exchange physical
+    /// bit positions and no amplitude moves.
+    pub(crate) fn apply_swap(&mut self, a: usize, b: usize) {
+        self.map.swap(a, b);
+    }
+
+    /// Sum of `|amp|^2` over the basis states whose bits under `mask`
+    /// equal `value`, visiting only matching amplitudes in contiguous
+    /// runs. `mask == 0` sums the whole state.
+    ///
+    /// This powers collapse-free sampling of deferred measurements: the
+    /// conditional probability of a bit given already-sampled bits is a
+    /// ratio of two such sums, with no projection sweeps.
+    pub(crate) fn masked_sum(&self, mask: usize, value: usize) -> f64 {
+        debug_assert_eq!(value & !mask, 0, "value must lie within mask");
+        let amps = &self.amps;
+        if mask == 0 {
+            return amps.iter().map(|a| a.abs2()).sum();
         }
+        // Bits below the lowest fixed bit are free, so matches come in
+        // contiguous runs of this length.
+        let run = 1usize << mask.trailing_zeros();
+        let high_free = (amps.len() - 1) & !mask & !(run - 1);
+        let mut sum = 0.0;
+        // Standard submask walk enumerates every setting of the free high
+        // bits (including zero) exactly once.
+        let mut s = high_free;
+        loop {
+            let start = value | s;
+            for a in &amps[start..start + run] {
+                sum += a.abs2();
+            }
+            if s == 0 {
+                break;
+            }
+            s = (s - 1) & high_free;
+        }
+        sum
     }
 
     /// Projectively measures qubit `q`, collapsing the state. Returns the
@@ -217,20 +479,31 @@ impl StateVector {
     /// Used both by [`StateVector::measure`] and by deterministic branch
     /// exploration in [`crate::exact`].
     pub fn project(&mut self, q: usize, value: bool) {
-        let bit = 1usize << q;
-        let mut keep = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
-            if ((i & bit != 0) == value) && a.abs2() > 0.0 {
-                keep += a.abs2();
+        let bit = 1usize << self.map[q];
+        let keep = if value {
+            self.prob_one(q)
+        } else {
+            let mut sum = 0.0;
+            let mut base = 0;
+            while base < self.amps.len() {
+                for a in &self.amps[base..base + bit] {
+                    sum += a.abs2();
+                }
+                base += bit << 1;
             }
-        }
+            sum
+        };
         let scale = if keep > 0.0 { 1.0 / keep.sqrt() } else { 0.0 };
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if (i & bit != 0) == value {
-                a.scale(scale)
-            } else {
-                C64::ZERO
-            };
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            let (lo, hi) = self.amps[base..base + (bit << 1)].split_at_mut(bit);
+            let (kept, zeroed) = if value { (hi, lo) } else { (lo, hi) };
+            for a in kept {
+                *a = a.scale(scale);
+            }
+            zeroed.fill(C64::ZERO);
+            base += bit << 1;
         }
     }
 
@@ -260,27 +533,36 @@ impl StateVector {
         }
         let p1 = self.prob_one(q);
         let p_jump = (gamma * p1).clamp(0.0, 1.0);
-        let bit = 1usize << q;
+        let bit = 1usize << self.map[q];
+        let len = self.amps.len();
         if p_jump > 0.0 && rng.gen_bool(p_jump) {
             // Jump: K1 = sqrt(gamma) |0><1|, then renormalize by the jump
             // probability.
             let scale = (gamma / p_jump).sqrt();
-            for i in 0..self.amps.len() {
-                if i & bit == 0 {
-                    self.amps[i] = self.amps[i | bit].scale(scale);
-                    self.amps[i | bit] = C64::ZERO;
+            let mut base = 0;
+            while base < len {
+                let (lo, hi) = self.amps[base..base + (bit << 1)].split_at_mut(bit);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    *x = y.scale(scale);
+                    *y = C64::ZERO;
                 }
+                base += bit << 1;
             }
         } else {
             // No jump: K0 = diag(1, sqrt(1 - gamma)), renormalized.
             let damp = (1.0 - gamma).sqrt();
             let norm = (1.0 - p_jump).sqrt();
-            for (i, a) in self.amps.iter_mut().enumerate() {
-                *a = if i & bit == 0 {
-                    a.scale(1.0 / norm)
-                } else {
-                    a.scale(damp / norm)
-                };
+            let (s0, s1) = (1.0 / norm, damp / norm);
+            let mut base = 0;
+            while base < len {
+                let (lo, hi) = self.amps[base..base + (bit << 1)].split_at_mut(bit);
+                for a in lo {
+                    *a = a.scale(s0);
+                }
+                for a in hi {
+                    *a = a.scale(s1);
+                }
+                base += bit << 1;
             }
         }
     }

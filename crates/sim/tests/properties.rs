@@ -1,0 +1,232 @@
+//! Property tests pinning the fast simulator paths to naive references.
+//!
+//! Two contracts are exercised on randomly generated circuits:
+//!
+//! * The specialized/fused kernel pipeline produces the same amplitudes as
+//!   an independent textbook dense-matrix simulator (within 1e-10 — fusion
+//!   reorders floating-point products, so exact equality is not expected).
+//! * `run_shots` histograms are bit-identical across thread counts, for
+//!   both ideal and noisy executors.
+
+use caqr_arch::Device;
+use caqr_circuit::{Circuit, Clbit, Gate, Qubit};
+use caqr_sim::{CompiledCircuit, Executor, NoiseModel, StateVector};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// One (opcode, qubit-selector, angle-millis) triple decodes to one gate.
+type OpSpec = (u8, u32, u32);
+
+/// Decodes a spec into a unitary-only circuit on `n` qubits (with
+/// `clbits` classical bits for callers that append measurements),
+/// covering every unitary `Gate` variant.
+fn unitary_circuit(n: usize, clbits: usize, specs: &[OpSpec]) -> Circuit {
+    let mut c = Circuit::new(n, clbits);
+    for &(op, qsel, amil) in specs {
+        let q0 = qsel as usize % n;
+        let q1 = (qsel as usize / n) % n;
+        let a = f64::from(amil) * 0.006_283;
+        let gate = match op % 18 {
+            0 => Gate::H,
+            1 => Gate::X,
+            2 => Gate::Y,
+            3 => Gate::Z,
+            4 => Gate::S,
+            5 => Gate::Sdg,
+            6 => Gate::T,
+            7 => Gate::Tdg,
+            8 => Gate::Rx(a),
+            9 => Gate::Ry(a),
+            10 => Gate::Rz(a),
+            11 => Gate::Phase(a),
+            12 => Gate::U(a, 0.7 * a, 1.3 * a),
+            13 => Gate::Cx,
+            14 => Gate::Cz,
+            15 => Gate::Cp(a),
+            16 => Gate::Rzz(a),
+            _ => Gate::Swap,
+        };
+        let qubits = if gate.num_qubits() == 2 {
+            if q0 == q1 {
+                continue; // degenerate selector: skip this spec
+            }
+            vec![Qubit::new(q0), Qubit::new(q1)]
+        } else {
+            vec![Qubit::new(q0)]
+        };
+        c.push(caqr_circuit::Instruction::gate(gate, qubits));
+    }
+    c
+}
+
+/// A deliberately naive dense simulator: complex numbers as `(f64, f64)`
+/// tuples, per-index bit tests, no strides, no fusion — independent of
+/// every code path under test.
+struct Reference {
+    amps: Vec<(f64, f64)>,
+}
+
+fn cmul(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cadd(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn cis(a: f64) -> (f64, f64) {
+    (a.cos(), a.sin())
+}
+
+impl Reference {
+    fn zero(n: usize) -> Self {
+        let mut amps = vec![(0.0, 0.0); 1 << n];
+        amps[0] = (1.0, 0.0);
+        Reference { amps }
+    }
+
+    fn apply_m2(&mut self, q: usize, m: [[(f64, f64); 2]; 2]) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let (a0, a1) = (self.amps[i], self.amps[i | bit]);
+                self.amps[i] = cadd(cmul(m[0][0], a0), cmul(m[0][1], a1));
+                self.amps[i | bit] = cadd(cmul(m[1][0], a0), cmul(m[1][1], a1));
+            }
+        }
+    }
+
+    fn apply(&mut self, gate: &Gate, qs: &[usize]) {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let z = (0.0, 0.0);
+        let one = (1.0, 0.0);
+        match *gate {
+            Gate::H => self.apply_m2(qs[0], [[(s, 0.0), (s, 0.0)], [(s, 0.0), (-s, 0.0)]]),
+            Gate::X => self.apply_m2(qs[0], [[z, one], [one, z]]),
+            Gate::Y => self.apply_m2(qs[0], [[z, (0.0, -1.0)], [(0.0, 1.0), z]]),
+            Gate::Z => self.apply_m2(qs[0], [[one, z], [z, (-1.0, 0.0)]]),
+            Gate::S => self.apply_m2(qs[0], [[one, z], [z, (0.0, 1.0)]]),
+            Gate::Sdg => self.apply_m2(qs[0], [[one, z], [z, (0.0, -1.0)]]),
+            Gate::T => self.apply_m2(qs[0], [[one, z], [z, cis(std::f64::consts::FRAC_PI_4)]]),
+            Gate::Tdg => self.apply_m2(qs[0], [[one, z], [z, cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::Rx(a) => {
+                let (c, sn) = ((a / 2.0).cos(), (a / 2.0).sin());
+                self.apply_m2(qs[0], [[(c, 0.0), (0.0, -sn)], [(0.0, -sn), (c, 0.0)]]);
+            }
+            Gate::Ry(a) => {
+                let (c, sn) = ((a / 2.0).cos(), (a / 2.0).sin());
+                self.apply_m2(qs[0], [[(c, 0.0), (-sn, 0.0)], [(sn, 0.0), (c, 0.0)]]);
+            }
+            Gate::Rz(a) => self.apply_m2(qs[0], [[cis(-a / 2.0), z], [z, cis(a / 2.0)]]),
+            Gate::Phase(a) => self.apply_m2(qs[0], [[one, z], [z, cis(a)]]),
+            Gate::U(theta, phi, lambda) => {
+                let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                let m01 = cmul((-sn, 0.0), cis(lambda));
+                let m10 = cmul((sn, 0.0), cis(phi));
+                let m11 = cmul((c, 0.0), cis(phi + lambda));
+                self.apply_m2(qs[0], [[(c, 0.0), m01], [m10, m11]]);
+            }
+            Gate::Cx => {
+                let (cb, tb) = (1usize << qs[0], 1usize << qs[1]);
+                for i in 0..self.amps.len() {
+                    if i & cb != 0 && i & tb == 0 {
+                        self.amps.swap(i, i | tb);
+                    }
+                }
+            }
+            Gate::Cz => self.controlled_phase(qs[0], qs[1], (-1.0, 0.0)),
+            Gate::Cp(a) => self.controlled_phase(qs[0], qs[1], cis(a)),
+            Gate::Rzz(a) => {
+                let (ab, bb) = (1usize << qs[0], 1usize << qs[1]);
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    let parity = (i & ab != 0) ^ (i & bb != 0);
+                    let f = if parity { cis(a / 2.0) } else { cis(-a / 2.0) };
+                    *amp = cmul(f, *amp);
+                }
+            }
+            Gate::Swap => {
+                let (ab, bb) = (1usize << qs[0], 1usize << qs[1]);
+                for i in 0..self.amps.len() {
+                    if i & ab != 0 && i & bb == 0 {
+                        self.amps.swap(i, i ^ ab ^ bb);
+                    }
+                }
+            }
+            Gate::Measure | Gate::Reset => unreachable!("unitary circuits only"),
+        }
+    }
+
+    fn controlled_phase(&mut self, a: usize, b: usize, phase: (f64, f64)) {
+        let (ab, bb) = (1usize << a, 1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & ab != 0 && i & bb != 0 {
+                *amp = cmul(phase, *amp);
+            }
+        }
+    }
+}
+
+/// Runs `circuit` through the compiled-kernel pipeline (optionally fused)
+/// and returns the final amplitudes.
+fn kernel_amplitudes(circuit: &Circuit, fused: bool) -> StateVector {
+    let program = if fused {
+        CompiledCircuit::compile_fused(circuit)
+    } else {
+        CompiledCircuit::compile(circuit)
+    };
+    let mut state = StateVector::zero(circuit.num_qubits());
+    program.apply_unitaries(&mut state, 0);
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_kernels_match_naive_reference(
+        n in 2usize..=10,
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..40),
+    ) {
+        let circuit = unitary_circuit(n, 0, &specs);
+        let mut reference = Reference::zero(n);
+        for instr in &circuit {
+            let qs: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+            reference.apply(&instr.gate, &qs);
+        }
+        for fused in [false, true] {
+            let state = kernel_amplitudes(&circuit, fused);
+            for (i, &(re, im)) in reference.amps.iter().enumerate() {
+                let got = state.amplitude(i);
+                prop_assert!(
+                    (got.re - re).abs() < 1e-10 && (got.im - im).abs() < 1e-10,
+                    "fused={fused} amp[{i}]: kernel ({}, {}) vs reference ({re}, {im})",
+                    got.re,
+                    got.im
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_bit_identical_across_threads(
+        n in 2usize..=6,
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..25),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut circuit = unitary_circuit(n, n, &specs);
+        for q in 0..n {
+            circuit.measure(Qubit::new(q), Clbit::new(q));
+        }
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(3.0);
+        for exec in [Executor::ideal(), Executor::noisy(noisy.clone())] {
+            let reference = exec.clone().with_threads(1).run_shots(&circuit, 96, seed);
+            for threads in [2usize, 8] {
+                let counts = exec
+                    .clone()
+                    .with_threads(threads)
+                    .run_shots(&circuit, 96, seed);
+                prop_assert_eq!(&counts, &reference);
+            }
+        }
+    }
+}
