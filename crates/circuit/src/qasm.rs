@@ -157,7 +157,9 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                     })?;
                 let idx: usize = bit
                     .parse()
-                    .map_err(|_| ParseQasmError::new(lineno, "bad condition bit"))?;
+                    .ok()
+                    .filter(|&n| u32::try_from(n).is_ok())
+                    .ok_or_else(|| ParseQasmError::new(lineno, "bad condition bit"))?;
                 (Some(Clbit::new(idx)), rest[close + 1..].trim())
             }
             None => (None, stmt),
@@ -204,6 +206,12 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         if qubits.len() != gate.num_qubits() {
             return Err(ParseQasmError::new(lineno, "operand count mismatch"));
         }
+        if qubits.len() == 2 && qubits[0] == qubits[1] {
+            return Err(ParseQasmError::new(
+                lineno,
+                "two-qubit gate operands must differ",
+            ));
+        }
         instrs.push(Instruction {
             gate,
             qubits,
@@ -236,10 +244,14 @@ fn parse_reg_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
 
 fn parse_index(token: &str, reg: char, lineno: usize) -> Result<usize, ParseQasmError> {
     let expect = format!("{reg}[");
+    // The u32 bound mirrors the Qubit/Clbit newtypes: checking here turns
+    // an adversarial `h q[99999999999999];` into a parse error instead of
+    // a panic inside `Qubit::new`.
     token
         .strip_prefix(&expect)
         .and_then(|r| r.strip_suffix(']'))
         .and_then(|n| n.parse().ok())
+        .filter(|&n: &usize| u32::try_from(n).is_ok())
         .ok_or_else(|| ParseQasmError::new(lineno, format!("expected {reg}[i], got '{token}'")))
 }
 
@@ -325,6 +337,21 @@ mod tests {
         assert!(from_qasm("qreg q[2];\nh q[0]").is_err()); // missing ;
         let err = from_qasm("qreg q[1];\nh q[5];");
         assert!(err.is_err()); // out of range
+    }
+
+    #[test]
+    fn hostile_statements_error_instead_of_panicking() {
+        // Duplicate two-qubit operands would trip Instruction::validate
+        // downstream; the parser must reject them itself.
+        assert!(from_qasm("qreg q[2];\ncx q[0], q[0];").is_err());
+        assert!(from_qasm("qreg q[3];\nswap q[2], q[2];").is_err());
+        // Indices beyond u32 would panic inside Qubit::new/Clbit::new.
+        assert!(from_qasm("qreg q[2];\nh q[99999999999999];").is_err());
+        assert!(from_qasm("qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[99999999999999];").is_err());
+        assert!(from_qasm("qreg q[1];\ncreg c[1];\nif(c[99999999999999]==1) x q[0];").is_err());
+        // Oversized register declarations parse but leave every operand
+        // out of range rather than allocating.
+        assert!(from_qasm("qreg q[18446744073709551615];\nh q[0];").is_ok());
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub enum CaqrError {
         /// What went wrong, in invariant terms.
         detail: String,
     },
+    /// Work was cancelled at a cooperative checkpoint — either its
+    /// deadline passed or the caller cancelled the
+    /// [`crate::cancel::CancelToken`] explicitly. `caqr-serve` maps this
+    /// to HTTP 504.
+    DeadlineExceeded {
+        /// The checkpoint that observed the cancellation (e.g. a pass
+        /// name, or `"simulate"`).
+        phase: &'static str,
+    },
 }
 
 impl CaqrError {
@@ -119,6 +128,9 @@ impl fmt::Display for CaqrError {
                 )
             }
             CaqrError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+            CaqrError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded (cancelled at '{phase}')")
+            }
         }
     }
 }
@@ -184,6 +196,9 @@ mod tests {
         .to_string()
         .contains("routed circuit"));
         assert!(CaqrError::internal("broken").to_string().contains("broken"));
+        assert!(CaqrError::DeadlineExceeded { phase: "qs-sweep" }
+            .to_string()
+            .contains("qs-sweep"));
         assert_eq!(CaqrError::internal("x").qubit(), None);
         assert_eq!(CaqrError::internal("x").gate_index(), None);
     }

@@ -65,6 +65,7 @@
 pub mod advisor;
 pub mod analysis;
 pub mod baseline;
+pub mod cancel;
 pub mod commuting;
 pub mod error;
 pub mod esp;
@@ -77,8 +78,11 @@ pub mod sr;
 pub mod transform;
 pub mod width;
 
+pub use cancel::CancelToken;
 pub use error::CaqrError;
 pub use manager::{create_pass, PassManager, PassObserver, REGISTERED_PASSES};
 pub use pass::{AnalysisCache, CompileCtx, Pass};
-pub use pipeline::{compile, compile_traced, CompileReport, Stage, StageTrace, Strategy};
+pub use pipeline::{
+    compile, compile_traced, compile_traced_cancellable, CompileReport, Stage, StageTrace, Strategy,
+};
 pub use transform::{ReuseError, ReusePlan, TransformedCircuit};

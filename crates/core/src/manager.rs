@@ -6,6 +6,7 @@
 //! pipelines all flow through the same machinery. `compile_traced` is a
 //! thin wrapper that installs a [`StageTrace`]-recording observer.
 
+use crate::cancel::CancelToken;
 use crate::error::CaqrError;
 use crate::pass::{
     BaselineRoutePass, CommutingAnalysisPass, CompileCtx, OptimizePass, Pass, QsSweepPass,
@@ -157,8 +158,32 @@ impl PassManager {
         strategy: Strategy,
         observer: &mut dyn PassObserver,
     ) -> Result<CompileReport, CaqrError> {
+        self.run_observed_cancellable(circuit, device, strategy, observer, &CancelToken::new())
+    }
+
+    /// [`PassManager::run_observed`] under a [`CancelToken`].
+    ///
+    /// The token is checked before every pass: a tripped token (explicit
+    /// cancel or elapsed deadline) stops the pipeline at the next pass
+    /// boundary with [`CaqrError::DeadlineExceeded`] naming the pass that
+    /// would have run. Passes themselves are never interrupted mid-flight,
+    /// so overrun is bounded by the slowest single pass.
+    ///
+    /// # Errors
+    ///
+    /// [`CaqrError::DeadlineExceeded`] on cancellation, otherwise the same
+    /// contract as [`PassManager::run`].
+    pub fn run_observed_cancellable(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        strategy: Strategy,
+        observer: &mut dyn PassObserver,
+        cancel: &CancelToken,
+    ) -> Result<CompileReport, CaqrError> {
         let mut ctx = CompileCtx::new(circuit.clone(), device, strategy);
         for pass in &self.passes {
+            cancel.check(pass.name())?;
             let start = Instant::now();
             let result = pass.run(&mut ctx);
             observer.pass_complete(pass.name(), pass.stage(), start.elapsed());
@@ -207,6 +232,27 @@ mod tests {
             assert_eq!(names.first(), Some(&"optimize"), "{strategy}: {names:?}");
             assert_eq!(names.last(), Some(&"report"), "{strategy}: {names:?}");
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_the_first_pass() {
+        let mut c = Circuit::new(2, 2);
+        c.h(caqr_circuit::Qubit::new(0));
+        c.cx(caqr_circuit::Qubit::new(0), caqr_circuit::Qubit::new(1));
+        c.measure_all();
+        let device = Device::with_synthetic_calibration(caqr_arch::Topology::line(4), 7);
+        let token = CancelToken::new();
+        token.cancel();
+        let pm = PassManager::for_strategy(Strategy::QsMaxReuse);
+        let err = pm
+            .run_observed_cancellable(&c, &device, Strategy::QsMaxReuse, &mut NoopObserver, &token)
+            .unwrap_err();
+        assert_eq!(err, CaqrError::DeadlineExceeded { phase: "optimize" });
+        // An untripped token compiles normally.
+        let live = CancelToken::new();
+        assert!(pm
+            .run_observed_cancellable(&c, &device, Strategy::QsMaxReuse, &mut NoopObserver, &live)
+            .is_ok());
     }
 
     #[test]

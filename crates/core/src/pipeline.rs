@@ -303,9 +303,30 @@ pub fn compile_traced(
     device: &Device,
     strategy: Strategy,
 ) -> (Result<CompileReport, CaqrError>, StageTrace) {
+    compile_traced_cancellable(
+        circuit,
+        device,
+        strategy,
+        &crate::cancel::CancelToken::new(),
+    )
+}
+
+/// [`compile_traced`] under a [`crate::cancel::CancelToken`], checked at
+/// every pass boundary.
+///
+/// This is the entry point `caqr-serve` drives: a request deadline becomes
+/// a token, and a tripped token surfaces as
+/// [`CaqrError::DeadlineExceeded`] (HTTP 504) with the partial
+/// [`StageTrace`] still attributing the time already spent.
+pub fn compile_traced_cancellable(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+    cancel: &crate::cancel::CancelToken,
+) -> (Result<CompileReport, CaqrError>, StageTrace) {
     let mut trace = StageTrace::default();
-    let result =
-        PassManager::for_strategy(strategy).run_observed(circuit, device, strategy, &mut trace);
+    let result = PassManager::for_strategy(strategy)
+        .run_observed_cancellable(circuit, device, strategy, &mut trace, cancel);
     (result, trace)
 }
 

@@ -143,8 +143,13 @@ pub struct JobOutcome {
     pub report: CompileReport,
     /// `true` when served from the compile cache.
     pub cache_hit: bool,
-    /// Wall-clock spent on this job inside its worker.
+    /// Wall-clock spent on this job inside its worker (cache lookup plus
+    /// compile). Excludes [`JobOutcome::queue_wait`].
     pub wall: Duration,
+    /// Time the job sat in the batch queue before a worker picked it up.
+    /// Disjoint from [`JobOutcome::wall`]; the two sum to the job's
+    /// end-to-end latency inside the engine.
+    pub queue_wait: Duration,
     /// Per-stage timings (empty for cache hits).
     pub trace: StageTrace,
 }
@@ -158,6 +163,8 @@ pub struct FailedJob {
     pub strategy: Strategy,
     /// What went wrong.
     pub error: JobError,
+    /// Time the job sat in the batch queue before a worker picked it up.
+    pub queue_wait: Duration,
 }
 
 /// The result of one batch run: per-job results in request order, plus
@@ -255,7 +262,8 @@ impl BatchReport {
                     out.push_str(&format!(
                         "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"ok\":true,\
                          \"qubits\":{},\"depth\":{},\"duration_dt\":{},\"swaps\":{},\
-                         \"two_qubit_gates\":{},\"esp\":{:.6},\"cache_hit\":{},\"wall_us\":{}}}\n",
+                         \"two_qubit_gates\":{},\"esp\":{:.6},\"cache_hit\":{},\"wall_us\":{},\
+                         \"queue_wait_us\":{}}}\n",
                         json_string(&o.name),
                         o.strategy,
                         o.report.qubits,
@@ -266,6 +274,7 @@ impl BatchReport {
                         o.report.esp,
                         o.cache_hit,
                         o.wall.as_micros(),
+                        o.queue_wait.as_micros(),
                     ));
                 }
                 Err(f) => {

@@ -36,6 +36,14 @@ pub struct EngineMetrics {
     pub reuse_pairs: usize,
     /// Cache counters for the run (zero when caching is disabled).
     pub cache: CacheStats,
+    /// Total time jobs sat in the batch queue before a worker picked them
+    /// up, summed over all jobs (including failed ones). Disjoint from
+    /// [`EngineMetrics::compile_total`]: a job under a saturated pool
+    /// accrues queue wait without accruing compile time.
+    pub queue_wait_total: Duration,
+    /// Total worker time spent on jobs (cache lookup + compile), summed
+    /// over successful jobs.
+    pub compile_total: Duration,
     /// End-to-end batch wall-clock.
     pub batch_wall: Duration,
 }
@@ -50,6 +58,29 @@ impl EngineMetrics {
             *self.stage_totals.entry(stage).or_default() += span;
         }
         for &(name, span) in trace.pass_spans() {
+            *self.pass_totals.entry(name).or_default() += span;
+        }
+    }
+
+    /// Folds another run's metrics into this one — the accumulation
+    /// `caqr-serve` uses to keep one cumulative `/metrics` view across
+    /// requests. Counters and time totals add; `cache` is overwritten by
+    /// `other`'s snapshot (a shared cache's stats are already cumulative).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.jobs_total += other.jobs_total;
+        self.jobs_ok += other.jobs_ok;
+        self.jobs_failed += other.jobs_failed;
+        self.jobs_from_cache += other.jobs_from_cache;
+        self.swaps_inserted += other.swaps_inserted;
+        self.reuse_pairs += other.reuse_pairs;
+        self.queue_wait_total += other.queue_wait_total;
+        self.compile_total += other.compile_total;
+        self.batch_wall += other.batch_wall;
+        self.cache = other.cache;
+        for (&stage, &span) in &other.stage_totals {
+            *self.stage_totals.entry(stage).or_default() += span;
+        }
+        for (&name, &span) in &other.pass_totals {
             *self.pass_totals.entry(name).or_default() += span;
         }
     }
@@ -89,6 +120,14 @@ impl EngineMetrics {
             ));
         }
         out.push_str(&format!(
+            "queue_wait             {:.3} ms\n",
+            self.queue_wait_total.as_secs_f64() * 1e3,
+        ));
+        out.push_str(&format!(
+            "compile                {:.3} ms\n",
+            self.compile_total.as_secs_f64() * 1e3,
+        ));
+        out.push_str(&format!(
             "batch_wall             {:.3} ms\n",
             self.batch_wall.as_secs_f64() * 1e3,
         ));
@@ -116,7 +155,8 @@ impl EngineMetrics {
             "{{\"type\":\"metrics\",\"jobs_total\":{},\"jobs_ok\":{},\"jobs_failed\":{},\
              \"jobs_from_cache\":{},\"swaps_inserted\":{},\"reuse_pairs\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
-             \"stage_us\":{{{}}},\"pass_us\":{{{}}},\"batch_wall_us\":{}}}",
+             \"stage_us\":{{{}}},\"pass_us\":{{{}}},\"queue_wait_us\":{},\"compile_us\":{},\
+             \"batch_wall_us\":{}}}",
             self.jobs_total,
             self.jobs_ok,
             self.jobs_failed,
@@ -128,6 +168,8 @@ impl EngineMetrics {
             self.cache.evictions,
             stages,
             passes,
+            self.queue_wait_total.as_micros(),
+            self.compile_total.as_micros(),
             self.batch_wall.as_micros(),
         )
     }
@@ -197,9 +239,62 @@ mod tests {
             "swaps_inserted",
             "reuse_pairs",
             "cache_hits",
+            "queue_wait",
+            "compile",
             "batch_wall",
         ] {
             assert!(table.contains(key), "missing {key} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn queue_wait_and_compile_surface_in_json() {
+        let metrics = EngineMetrics {
+            queue_wait_total: Duration::from_micros(120),
+            compile_total: Duration::from_micros(3400),
+            ..Default::default()
+        };
+        let json = metrics.to_json();
+        assert!(json.contains("\"queue_wait_us\":120"), "{json}");
+        assert!(json.contains("\"compile_us\":3400"), "{json}");
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_timings() {
+        let mut total = EngineMetrics {
+            jobs_total: 2,
+            jobs_ok: 2,
+            queue_wait_total: Duration::from_micros(10),
+            compile_total: Duration::from_micros(100),
+            batch_wall: Duration::from_micros(500),
+            ..Default::default()
+        };
+        total
+            .pass_totals
+            .insert("optimize", Duration::from_micros(40));
+        let mut other = EngineMetrics {
+            jobs_total: 3,
+            jobs_ok: 2,
+            jobs_failed: 1,
+            swaps_inserted: 4,
+            queue_wait_total: Duration::from_micros(5),
+            compile_total: Duration::from_micros(60),
+            batch_wall: Duration::from_micros(200),
+            ..Default::default()
+        };
+        other
+            .pass_totals
+            .insert("optimize", Duration::from_micros(10));
+        other.pass_totals.insert("report", Duration::from_micros(3));
+        total.merge(&other);
+        assert_eq!(total.jobs_total, 5);
+        assert_eq!(total.jobs_ok, 4);
+        assert_eq!(total.jobs_failed, 1);
+        assert_eq!(total.swaps_inserted, 4);
+        assert_eq!(total.queue_wait_total, Duration::from_micros(15));
+        assert_eq!(total.compile_total, Duration::from_micros(160));
+        assert_eq!(total.batch_wall, Duration::from_micros(700));
+        assert_eq!(total.pass_totals["optimize"], Duration::from_micros(50));
+        assert_eq!(total.pass_totals["report"], Duration::from_micros(3));
     }
 }

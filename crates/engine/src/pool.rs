@@ -5,7 +5,7 @@
 use crate::cache::CompileCache;
 use crate::job::{BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome};
 use crate::metrics::EngineMetrics;
-use caqr::{CaqrError, CompileReport, StageTrace};
+use caqr::{CancelToken, CaqrError, CompileReport, StageTrace};
 use caqr_sim::effective_workers;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,12 +48,46 @@ impl Engine {
 
     /// Runs `request` with a custom per-job compiler (test seam).
     pub fn run_with<C: JobCompiler>(request: &BatchRequest, compiler: &C) -> BatchReport {
-        let started = Instant::now();
-        let workers = effective_workers(request.options.workers, request.jobs.len());
-        let cache = match request.options.cache_capacity {
+        let local = match request.options.cache_capacity {
             0 => None,
             capacity => Some(CompileCache::new(capacity)),
         };
+        Self::run_impl(request, local.as_ref(), compiler, &CancelToken::new())
+    }
+
+    /// Runs `request` against a caller-owned cache, under a
+    /// [`CancelToken`] — the entry point `caqr-serve` drives.
+    ///
+    /// The shared cache outlives the call (so repeat submissions across
+    /// requests hit), and `request.options.cache_capacity` is ignored in
+    /// favour of it. A tripped token stops compilation at the next pass
+    /// boundary; jobs not yet started fail with
+    /// [`CaqrError::DeadlineExceeded`] without running at all. With a
+    /// shared cache, `metrics.cache` reports the cache's *cumulative*
+    /// counters, not this run's delta.
+    pub fn run_shared(
+        request: &BatchRequest,
+        cache: Option<&CompileCache>,
+        cancel: &CancelToken,
+    ) -> BatchReport {
+        Self::run_impl(
+            request,
+            cache,
+            &|job: &CompileJob| {
+                caqr::compile_traced_cancellable(&job.circuit, &job.device, job.strategy, cancel)
+            },
+            cancel,
+        )
+    }
+
+    fn run_impl<C: JobCompiler>(
+        request: &BatchRequest,
+        cache: Option<&CompileCache>,
+        compiler: &C,
+        cancel: &CancelToken,
+    ) -> BatchReport {
+        let started = Instant::now();
+        let workers = effective_workers(request.options.workers, request.jobs.len());
 
         let mut slots: Vec<Option<Result<JobOutcome, FailedJob>>> =
             (0..request.jobs.len()).map(|_| None).collect();
@@ -65,11 +99,22 @@ impl Engine {
                 let tx = tx.clone();
                 let next = &next;
                 let jobs = &request.jobs;
-                let cache = cache.as_ref();
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else { break };
-                    let result = run_one(job, cache, compiler);
+                    let queue_wait = started.elapsed();
+                    let result = if cancel.is_cancelled() {
+                        Err(FailedJob {
+                            name: job.name.clone(),
+                            strategy: job.strategy,
+                            error: JobError::Compile(CaqrError::DeadlineExceeded {
+                                phase: "queued",
+                            }),
+                            queue_wait,
+                        })
+                    } else {
+                        run_one(job, cache, compiler, queue_wait)
+                    };
                     if tx.send((index, result)).is_err() {
                         break;
                     }
@@ -101,8 +146,13 @@ impl Engine {
                     if outcome.cache_hit {
                         metrics.jobs_from_cache += 1;
                     }
+                    metrics.compile_total += outcome.wall;
+                    metrics.queue_wait_total += outcome.queue_wait;
                 }
-                Err(_) => metrics.jobs_failed += 1,
+                Err(failed) => {
+                    metrics.jobs_failed += 1;
+                    metrics.queue_wait_total += failed.queue_wait;
+                }
             }
         }
         if let Some(cache) = &cache {
@@ -119,6 +169,7 @@ fn run_one<C: JobCompiler>(
     job: &CompileJob,
     cache: Option<&CompileCache>,
     compiler: &C,
+    queue_wait: std::time::Duration,
 ) -> Result<JobOutcome, FailedJob> {
     let started = Instant::now();
     let key = cache.map(|cache| {
@@ -134,6 +185,7 @@ fn run_one<C: JobCompiler>(
                 report,
                 cache_hit: true,
                 wall: started.elapsed(),
+                queue_wait,
                 trace: StageTrace::default(),
             });
         }
@@ -151,6 +203,7 @@ fn run_one<C: JobCompiler>(
                 report,
                 cache_hit: false,
                 wall: started.elapsed(),
+                queue_wait,
                 trace,
             })
         }
@@ -158,11 +211,13 @@ fn run_one<C: JobCompiler>(
             name: job.name.clone(),
             strategy: job.strategy,
             error: JobError::Compile(error),
+            queue_wait,
         }),
         Err(payload) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
             error: JobError::Panic(panic_message(payload)),
+            queue_wait,
         }),
     }
 }
@@ -335,6 +390,59 @@ mod tests {
         assert_eq!(effective_workers(2, 100), 2);
         assert!(effective_workers(0, 100) >= 1);
         assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn queue_wait_and_compile_time_are_disjoint() {
+        let report = Engine::run(&BatchRequest::new(jobs()));
+        for result in &report.results {
+            let outcome = result.as_ref().unwrap();
+            assert!(outcome.wall > std::time::Duration::ZERO || outcome.cache_hit);
+        }
+        assert!(report.metrics.compile_total > std::time::Duration::ZERO);
+        // queue_wait sums every job's pickup delay; with instant pickup it
+        // can be tiny but it is always recorded.
+        let per_job: std::time::Duration = report
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().queue_wait)
+            .sum();
+        assert_eq!(report.metrics.queue_wait_total, per_job);
+    }
+
+    #[test]
+    fn shared_cache_hits_across_runs() {
+        let cache = CompileCache::new(64);
+        let token = CancelToken::new();
+        let cold = Engine::run_shared(&BatchRequest::new(jobs()), Some(&cache), &token);
+        assert_eq!(cold.metrics.jobs_from_cache, 0);
+        let warm = Engine::run_shared(&BatchRequest::new(jobs()), Some(&cache), &token);
+        assert_eq!(warm.metrics.jobs_from_cache, 3, "second run is all hits");
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(c.report.circuit, w.report.circuit);
+        }
+        assert_eq!(warm.metrics.cache.hits, 3);
+    }
+
+    #[test]
+    fn cancelled_token_fails_jobs_without_running_them() {
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Engine::run_shared(&BatchRequest::new(jobs()), None, &token);
+        assert_eq!(report.ok_count(), 0);
+        assert_eq!(report.failed_count(), 3);
+        for result in &report.results {
+            let failed = result.as_ref().unwrap_err();
+            assert!(
+                matches!(
+                    failed.error,
+                    JobError::Compile(CaqrError::DeadlineExceeded { .. })
+                ),
+                "{:?}",
+                failed.error
+            );
+        }
     }
 
     #[test]

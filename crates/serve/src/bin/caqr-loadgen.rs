@@ -1,0 +1,277 @@
+//! `caqr-loadgen`: a closed-loop load generator for `caqr-serve`.
+//!
+//! ```text
+//! caqr-loadgen (--url HOST:PORT | --port N) [--connections N]
+//!              [--duration-ms N] [--quick] [--check] [--json]
+//! ```
+//!
+//! Each connection is one thread running a closed loop (send, wait,
+//! repeat) over a mixed workload drawn from the paper's benchmark suite:
+//! compile requests cycling over (circuit x strategy) plus a simulate
+//! request every fourth iteration. Reports throughput and latency
+//! percentiles as a table or JSON (`--json`); `--check` exits non-zero
+//! unless throughput is non-zero and no 5xx was seen (the CI smoke gate).
+
+use caqr_serve::client::Client;
+use caqr_wire::{circuit::circuit_to_value, Value};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: SocketAddr,
+    connections: usize,
+    duration: Duration,
+    check: bool,
+    json: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(passed) => {
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("caqr-loadgen: {message}");
+            eprintln!();
+            eprintln!("usage: caqr-loadgen (--url HOST:PORT | --port N) [--connections N]");
+            eprintln!("                    [--duration-ms N] [--quick] [--check] [--json]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut url: Option<String> = None;
+    let mut connections = 4usize;
+    let mut duration_ms = 5000u64;
+    let mut quick = false;
+    let mut check = false;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--url" => url = Some(it.next().ok_or("--url needs a value")?.clone()),
+            "--port" => {
+                let port: u16 = it
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --port value")?;
+                url = Some(format!("127.0.0.1:{port}"));
+            }
+            "--connections" => {
+                connections = it
+                    .next()
+                    .ok_or("--connections needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --connections value")?;
+            }
+            "--duration-ms" => {
+                duration_ms = it
+                    .next()
+                    .ok_or("--duration-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --duration-ms value")?;
+            }
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let url = url.ok_or("--url or --port is required")?;
+    let addr = url
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve '{url}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{url}' resolved to no address"))?;
+    if quick {
+        duration_ms = duration_ms.min(1500);
+        connections = connections.min(2);
+    }
+    Ok(Options {
+        addr,
+        connections: connections.clamp(1, 64),
+        duration: Duration::from_millis(duration_ms.clamp(100, 600_000)),
+        check,
+        json,
+    })
+}
+
+/// One prepared request: path + body, reused across the run.
+struct Shot {
+    path: &'static str,
+    body: String,
+}
+
+/// The mixed workload: every benchmark under three strategies, plus a
+/// simulate request per circuit. Compile bodies repeat, so the server's
+/// shared cache gets realistic hit traffic.
+fn workload() -> Vec<Shot> {
+    let mut shots = Vec::new();
+    let benches = [
+        caqr_benchmarks::revlib::xor_5(),
+        caqr_benchmarks::revlib::four_mod5(),
+        caqr_benchmarks::revlib::rd32(),
+        caqr_benchmarks::bv::bv_all_ones(5),
+    ];
+    for bench in &benches {
+        let circuit = circuit_to_value(&bench.circuit).encode();
+        for strategy in ["sr", "baseline", "qs-max"] {
+            shots.push(Shot {
+                path: "/v1/compile",
+                body: format!(
+                    r#"{{"circuit":{circuit},"strategy":"{strategy}","name":"{}"}}"#,
+                    bench.name
+                ),
+            });
+        }
+        shots.push(Shot {
+            path: "/v1/simulate",
+            body: format!(r#"{{"circuit":{circuit},"shots":256,"seed":11}}"#),
+        });
+    }
+    shots
+}
+
+struct Sample {
+    status: u16,
+    latency_us: u64,
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let options = parse(args)?;
+    let shots = Arc::new(workload());
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let deadline = started + options.duration;
+
+    let mut threads = Vec::new();
+    for _ in 0..options.connections {
+        let shots = Arc::clone(&shots);
+        let next = Arc::clone(&next);
+        let addr = options.addr;
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).with_timeout(Duration::from_secs(30));
+            let mut samples = Vec::new();
+            while Instant::now() < deadline {
+                let index = next.fetch_add(1, Ordering::Relaxed) % shots.len();
+                let shot = &shots[index];
+                let sent = Instant::now();
+                match client.post(shot.path, shot.body.as_bytes()) {
+                    Ok(response) => samples.push(Sample {
+                        status: response.status,
+                        latency_us: sent.elapsed().as_micros() as u64,
+                    }),
+                    Err(_) => samples.push(Sample {
+                        status: 0,
+                        latency_us: sent.elapsed().as_micros() as u64,
+                    }),
+                }
+            }
+            samples
+        }));
+    }
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for thread in threads {
+        samples.extend(thread.join().map_err(|_| "a load thread panicked")?);
+    }
+    let wall = started.elapsed();
+
+    let total = samples.len();
+    let ok = samples
+        .iter()
+        .filter(|s| (200..300).contains(&s.status))
+        .count();
+    let e4xx = samples
+        .iter()
+        .filter(|s| (400..500).contains(&s.status))
+        .count();
+    let e5xx = samples
+        .iter()
+        .filter(|s| (500..600).contains(&s.status))
+        .count();
+    let transport = samples.iter().filter(|s| s.status == 0).count();
+
+    let mut latencies: Vec<u64> = samples
+        .iter()
+        .filter(|s| (200..300).contains(&s.status))
+        .map(|s| s.latency_us)
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let (p50, p90, p99) = (pct(0.50), pct(0.90), pct(0.99));
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    let throughput = ok as f64 / wall.as_secs_f64();
+
+    if options.json {
+        let report = Value::obj(vec![
+            ("requests", Value::num(total as u64)),
+            ("ok", Value::num(ok as u64)),
+            ("errors_4xx", Value::num(e4xx as u64)),
+            ("errors_5xx", Value::num(e5xx as u64)),
+            ("transport_errors", Value::num(transport as u64)),
+            ("connections", Value::num(options.connections as u64)),
+            ("duration_ms", Value::num(wall.as_millis() as u64)),
+            ("throughput_rps", Value::Num(throughput)),
+            (
+                "latency_us",
+                Value::obj(vec![
+                    ("p50", Value::num(p50)),
+                    ("p90", Value::num(p90)),
+                    ("p99", Value::num(p99)),
+                    ("mean", Value::num(mean)),
+                ]),
+            ),
+        ]);
+        println!("{}", report.encode());
+    } else {
+        println!("connections      {}", options.connections);
+        println!("duration         {:.2} s", wall.as_secs_f64());
+        println!("requests         {total}");
+        println!("ok               {ok}");
+        println!("errors (4xx)     {e4xx}");
+        println!("errors (5xx)     {e5xx}");
+        println!("transport errors {transport}");
+        println!("throughput       {throughput:.1} req/s");
+        println!("latency p50      {:.2} ms", p50 as f64 / 1e3);
+        println!("latency p90      {:.2} ms", p90 as f64 / 1e3);
+        println!("latency p99      {:.2} ms", p99 as f64 / 1e3);
+        println!("latency mean     {:.2} ms", mean as f64 / 1e3);
+    }
+
+    if options.check {
+        if ok == 0 {
+            eprintln!("caqr-loadgen: check FAILED: no successful responses");
+            return Ok(false);
+        }
+        if e5xx > 0 || transport > 0 {
+            eprintln!(
+                "caqr-loadgen: check FAILED: {e5xx} server errors, {transport} transport errors"
+            );
+            return Ok(false);
+        }
+        eprintln!("caqr-loadgen: check passed");
+    }
+    Ok(true)
+}

@@ -1,0 +1,96 @@
+//! The `caqr-serve` binary: bind, print the address, serve until SIGTERM.
+//!
+//! ```text
+//! caqr-serve [--port N] [--addr HOST] [--workers N] [--queue N]
+//!            [--cache N] [--default-timeout-ms N]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port; the chosen address is
+//! printed as the first stdout line (`listening on 127.0.0.1:PORT`) so
+//! scripts and the load generator can pick it up. SIGTERM/SIGINT trigger
+//! the graceful drain; the process exits 0 once every in-flight request
+//! has been answered.
+
+use caqr_serve::{signal, Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("caqr-serve: {message}");
+            eprintln!();
+            eprintln!("usage: caqr-serve [--port N] [--addr HOST] [--workers N] [--queue N]");
+            eprintln!("                  [--cache N] [--default-timeout-ms N]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 0u16;
+    let mut config = ServerConfig::default();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--port" => {
+                port = it
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --port value")?;
+            }
+            "--addr" => {
+                host = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --workers value")?;
+            }
+            "--queue" => {
+                config.queue_capacity = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --queue value")?;
+            }
+            "--cache" => {
+                config.cache_capacity = it
+                    .next()
+                    .ok_or("--cache needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --cache value")?;
+            }
+            "--default-timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--default-timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --default-timeout-ms value")?;
+                config.request_limits.default_timeout = Duration::from_millis(ms);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    config.addr = format!("{host}:{port}");
+
+    signal::install_handlers();
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", server.local_addr());
+
+    let handle = server.shutdown_handle();
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("caqr-serve: shutdown requested, draining");
+    handle.shutdown();
+    server.join();
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! A minimal blocking HTTP/1.1 client for the load generator and the
+//! integration suite. Speaks exactly the dialect the server emits:
+//! status line + headers + `Content-Length` body, keep-alive by default.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response as seen by the client.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lower-cased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — for assertions and display).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Creates a client for `addr`; connections are opened lazily.
+    pub fn connect(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+            conn: None,
+        }
+    }
+
+    /// Overrides the per-operation socket timeout (default 30 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn stream(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("connection just created"))
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures; the connection is dropped
+    /// so the next call reconnects.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures; the connection is dropped
+    /// so the next call reconnects.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        // One transparent retry: a keep-alive connection the server closed
+        // (idle expiry, drain) surfaces as an error on first use.
+        let had_conn = self.conn.is_some();
+        match self.request_once(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) if had_conn => {
+                let _ = e;
+                self.conn = None;
+                self.request_once(method, path, body)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let reader = self.stream()?;
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: caqr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let result = (|| {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+            read_response(reader)
+        })();
+        match result {
+            Ok(response) => {
+                if response
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|_| version.starts_with("HTTP/1."))
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line '{status_line}'"),
+            )
+        })?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        if headers.len() > 256 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+    }
+
+    let mut response = ClientResponse {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = response.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        response.body = body;
+    }
+    Ok(response)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in line"));
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 line"));
+        }
+        let take = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(take);
+        if buf.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+    }
+}

@@ -1,0 +1,711 @@
+//! Request routing and the five endpoint handlers.
+//!
+//! Handlers are pure functions from ([`AppState`], [`Request`]) to
+//! [`Response`]; the transport (connection lifecycle, panic isolation,
+//! draining) lives in [`crate::server`]. Status mapping:
+//!
+//! * `400` — the body is not valid JSON, or required fields are missing;
+//! * `422` — well-formed JSON describing something uncompilable: a bad
+//!   circuit, an unknown strategy/device, an out-of-range shot count;
+//! * `504` — the request's deadline fired ([`CaqrError::DeadlineExceeded`]
+//!   from a pass boundary, or the simulator's shot-chunk check);
+//! * `500` — a handler panic (mapped by the worker, not here).
+
+use crate::http::{Request, Response};
+use crate::metrics::ServerMetrics;
+use caqr::{CancelToken, CaqrError, Strategy};
+use caqr_arch::{Device, Topology};
+use caqr_circuit::{qasm, Circuit};
+use caqr_engine::{
+    BatchOptions, BatchRequest, CompileCache, CompileJob, Engine, EngineMetrics, FailedJob,
+    JobError, JobOutcome,
+};
+use caqr_sim::{Executor, NoiseModel};
+use caqr_wire::{circuit, Value};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Caps on what one request may ask for.
+#[derive(Debug, Clone)]
+pub struct RequestLimits {
+    /// Deadline applied when the request names none.
+    pub default_timeout: Duration,
+    /// Hard ceiling on any requested `timeout_ms`.
+    pub max_timeout: Duration,
+    /// Hard ceiling on `shots` for `/v1/simulate`.
+    pub max_shots: usize,
+    /// Hard ceiling on `jobs` for `/v1/compile-batch`.
+    pub max_batch_jobs: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            default_timeout: Duration::from_secs(30),
+            max_timeout: Duration::from_secs(120),
+            max_shots: 1 << 16,
+            max_batch_jobs: 256,
+        }
+    }
+}
+
+/// Everything the handlers share across requests.
+#[derive(Debug)]
+pub struct AppState {
+    /// The cross-request compile cache (content-addressed, LRU).
+    pub cache: CompileCache,
+    /// Cumulative engine metrics, merged after every compile run.
+    pub engine_metrics: Mutex<EngineMetrics>,
+    /// Serving counters.
+    pub metrics: ServerMetrics,
+    /// Per-request caps.
+    pub limits: RequestLimits,
+}
+
+impl AppState {
+    /// State with `cache_capacity` compile-cache entries.
+    pub fn new(cache_capacity: usize, limits: RequestLimits) -> Self {
+        AppState {
+            cache: CompileCache::new(cache_capacity.max(1)),
+            engine_metrics: Mutex::new(EngineMetrics::default()),
+            metrics: ServerMetrics::default(),
+            limits,
+        }
+    }
+
+    fn merge_engine_metrics(&self, metrics: &EngineMetrics) {
+        // Survive a poisoned lock: a panic elsewhere must not take
+        // /metrics down with it.
+        let mut guard = self
+            .engine_metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.merge(metrics);
+    }
+}
+
+/// Routes one request to its handler.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#.as_bytes().to_vec()),
+        ("GET", "/metrics") => metrics(state),
+        ("POST", "/v1/compile") => compile(state, &request.body),
+        ("POST", "/v1/compile-batch") => compile_batch(state, &request.body),
+        ("POST", "/v1/simulate") => simulate(state, &request.body),
+        (_, "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// `GET /metrics`: the engine object is [`EngineMetrics::to_json`]
+/// verbatim — the same bytes `caqr compile-batch --metrics --json` prints
+/// — wrapped next to the serving counters.
+fn metrics(state: &AppState) -> Response {
+    let engine = state
+        .engine_metrics
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .to_json();
+    let server = state.metrics.to_value().encode();
+    let body = format!("{{\"engine\":{engine},\"server\":{server}}}");
+    Response::json(200, body.into_bytes())
+}
+
+/// A request the handler rejected before (or instead of) doing work.
+struct Reject {
+    status: u16,
+    message: String,
+}
+
+impl Reject {
+    fn bad(message: impl Into<String>) -> Reject {
+        Reject {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn unprocessable(message: impl Into<String>) -> Reject {
+        Reject {
+            status: 422,
+            message: message.into(),
+        }
+    }
+
+    fn into_response(self) -> Response {
+        Response::error(self.status, &self.message)
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, Reject> {
+    let text = std::str::from_utf8(body).map_err(|_| Reject::bad("body is not UTF-8"))?;
+    let value = caqr_wire::parse(text).map_err(|e| Reject::bad(format!("invalid JSON: {e}")))?;
+    if value.as_object().is_none() {
+        return Err(Reject::bad("request body must be a JSON object"));
+    }
+    Ok(value)
+}
+
+/// Extracts the circuit from `"circuit"` (wire form) or `"qasm"` (OpenQASM
+/// 2.0 text) — exactly one must be present.
+fn circuit_field(body: &Value) -> Result<Circuit, Reject> {
+    match (body.get("circuit"), body.get("qasm")) {
+        (Some(_), Some(_)) => Err(Reject::bad("give either 'circuit' or 'qasm', not both")),
+        (Some(wire), None) => circuit::circuit_from_value(wire)
+            .map_err(|e| Reject::unprocessable(format!("bad circuit: {e}"))),
+        (None, Some(qasm_text)) => {
+            let text = qasm_text
+                .as_str()
+                .ok_or_else(|| Reject::bad("'qasm' must be a string"))?;
+            qasm::from_qasm(text).map_err(|e| Reject::unprocessable(format!("bad QASM: {e}")))
+        }
+        (None, None) => Err(Reject::bad("missing 'circuit' or 'qasm'")),
+    }
+}
+
+fn strategy_field(body: &Value, key: &str, default: Strategy) -> Result<Strategy, Reject> {
+    let Some(value) = body.get(key) else {
+        return Ok(default);
+    };
+    let name = value
+        .as_str()
+        .ok_or_else(|| Reject::bad(format!("'{key}' must be a string")))?;
+    parse_strategy(name).ok_or_else(|| {
+        Reject::unprocessable(format!(
+            "unknown strategy '{name}' (baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr)"
+        ))
+    })
+}
+
+/// The CLI's strategy names, plus each [`Strategy`]'s `Display` form so a
+/// strategy string read from a response round-trips.
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    match name {
+        "baseline" => Some(Strategy::Baseline),
+        "qs-max" | "qs-max-reuse" => Some(Strategy::QsMaxReuse),
+        "qs-min-depth" => Some(Strategy::QsMinDepth),
+        "qs-min-swap" => Some(Strategy::QsMinSwap),
+        "qs-max-esp" => Some(Strategy::QsMaxEsp),
+        "sr" => Some(Strategy::Sr),
+        _ => None,
+    }
+}
+
+/// The CLI's device grammar: `mumbai | heavy-hex:<n> | line:<n> |
+/// grid:<r>x<c>`, seeded by `seed`.
+fn parse_device(spec: &str, seed: u64) -> Result<Device, Reject> {
+    if spec == "mumbai" {
+        return Ok(Device::mumbai(seed));
+    }
+    let parsed = spec.strip_prefix("heavy-hex:").map(|n| {
+        n.parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=2048).contains(&n))
+            .map(|n| Device::scaled_heavy_hex(n, seed))
+    });
+    if let Some(device) = parsed {
+        return device
+            .ok_or_else(|| Reject::unprocessable(format!("bad heavy-hex size in '{spec}'")));
+    }
+    if let Some(n) = spec.strip_prefix("line:") {
+        let n = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| (1..=4096).contains(&n))
+            .ok_or_else(|| Reject::unprocessable(format!("bad line size in '{spec}'")))?;
+        return Ok(Device::with_synthetic_calibration(Topology::line(n), seed));
+    }
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        let parsed = dims.split_once('x').and_then(|(r, c)| {
+            let r = r
+                .parse::<usize>()
+                .ok()
+                .filter(|&r| (1..=256).contains(&r))?;
+            let c = c
+                .parse::<usize>()
+                .ok()
+                .filter(|&c| (1..=256).contains(&c))?;
+            Some((r, c))
+        });
+        let (r, c) =
+            parsed.ok_or_else(|| Reject::unprocessable(format!("bad grid spec in '{spec}'")))?;
+        return Ok(Device::with_synthetic_calibration(
+            Topology::grid(r, c),
+            seed,
+        ));
+    }
+    Err(Reject::unprocessable(format!(
+        "unknown device '{spec}' (mumbai | heavy-hex:<n> | line:<n> | grid:<r>x<c>)"
+    )))
+}
+
+fn device_field(body: &Value, seed: u64) -> Result<Device, Reject> {
+    let spec = match body.get("device") {
+        None => "mumbai",
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| Reject::bad("'device' must be a string"))?,
+    };
+    parse_device(spec, seed)
+}
+
+fn u64_field(body: &Value, key: &str, default: u64) -> Result<u64, Reject> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| Reject::bad(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+/// The request's [`CancelToken`]: `timeout_ms` clamped to the server's
+/// ceiling, or the default deadline when absent.
+fn deadline_token(body: &Value, limits: &RequestLimits) -> Result<CancelToken, Reject> {
+    let timeout = match body.get("timeout_ms") {
+        None => limits.default_timeout,
+        Some(value) => {
+            let ms = value
+                .as_u64()
+                .ok_or_else(|| Reject::bad("'timeout_ms' must be a non-negative integer"))?;
+            Duration::from_millis(ms).min(limits.max_timeout)
+        }
+    };
+    Ok(CancelToken::with_timeout(timeout))
+}
+
+/// One successful job as a wire object (compile + batch share the shape).
+fn outcome_value(outcome: &JobOutcome) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("name", Value::str(outcome.name.clone())),
+        ("strategy", Value::str(outcome.strategy.to_string())),
+        ("qubits", Value::num(outcome.report.qubits as u64)),
+        ("depth", Value::num(outcome.report.depth as u64)),
+        ("duration_dt", Value::num(outcome.report.duration_dt)),
+        ("swaps", Value::num(outcome.report.swaps as u64)),
+        (
+            "two_qubit_gates",
+            Value::num(outcome.report.two_qubit_gates as u64),
+        ),
+        ("esp", Value::Num(outcome.report.esp)),
+        ("cache_hit", Value::Bool(outcome.cache_hit)),
+        (
+            "circuit",
+            circuit::circuit_to_value(&outcome.report.circuit),
+        ),
+    ])
+}
+
+fn failure_value(failed: &FailedJob) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("name", Value::str(failed.name.clone())),
+        ("strategy", Value::str(failed.strategy.to_string())),
+        ("error", Value::str(failed.error.to_string())),
+    ])
+}
+
+/// Maps one failed job to a whole-request error response.
+fn failure_response(failed: &FailedJob) -> Response {
+    match &failed.error {
+        JobError::Compile(CaqrError::DeadlineExceeded { phase }) => {
+            Response::error(504, &format!("deadline exceeded (in '{phase}')"))
+        }
+        JobError::Compile(e) => Response::error(422, &format!("compile error: {e}")),
+        JobError::Panic(msg) => Response::error(500, &format!("compile panicked: {msg}")),
+    }
+}
+
+/// `POST /v1/compile`: one circuit through the engine (and the shared
+/// cache), returning the full report with the compiled circuit in wire
+/// form.
+fn compile(state: &AppState, body: &[u8]) -> Response {
+    match compile_inner(state, body) {
+        Ok(response) => response,
+        Err(reject) => reject.into_response(),
+    }
+}
+
+fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
+    let body = parse_body(body)?;
+    let circuit = circuit_field(&body)?;
+    let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
+    let seed = u64_field(&body, "seed", 2023)?;
+    let device = device_field(&body, seed)?;
+    let name = match body.get("name") {
+        None => "request".to_string(),
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| Reject::bad("'name' must be a string"))?
+            .to_string(),
+    };
+    let token = deadline_token(&body, &state.limits)?;
+
+    let request = BatchRequest::new(vec![CompileJob::new(name, circuit, device, strategy)])
+        .with_options(BatchOptions::with_workers(1));
+    let report = Engine::run_shared(&request, Some(&state.cache), &token);
+    state.merge_engine_metrics(&report.metrics);
+
+    Ok(match &report.results[0] {
+        Ok(outcome) => Response::json(200, outcome_value(outcome).encode().into_bytes()),
+        Err(failed) => failure_response(failed),
+    })
+}
+
+/// `POST /v1/compile-batch`: a job array through the engine pool. Job
+/// failures are reported per-entry; the request only fails wholesale when
+/// the batch-level deadline fires.
+fn compile_batch(state: &AppState, body: &[u8]) -> Response {
+    match compile_batch_inner(state, body) {
+        Ok(response) => response,
+        Err(reject) => reject.into_response(),
+    }
+}
+
+fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
+    let body = parse_body(body)?;
+    let default_strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
+    let seed = u64_field(&body, "seed", 2023)?;
+    let device = device_field(&body, seed)?;
+    let workers = u64_field(&body, "workers", 0)? as usize;
+    let token = deadline_token(&body, &state.limits)?;
+
+    let entries = body
+        .get("jobs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| Reject::bad("missing 'jobs' array"))?;
+    if entries.is_empty() {
+        return Err(Reject::bad("'jobs' must not be empty"));
+    }
+    if entries.len() > state.limits.max_batch_jobs {
+        return Err(Reject::unprocessable(format!(
+            "{} jobs exceeds the per-request limit of {}",
+            entries.len(),
+            state.limits.max_batch_jobs
+        )));
+    }
+
+    let mut jobs = Vec::with_capacity(entries.len());
+    for (index, entry) in entries.iter().enumerate() {
+        if entry.as_object().is_none() {
+            return Err(Reject::bad(format!("jobs[{index}] must be an object")));
+        }
+        let circuit = circuit_field(entry).map_err(|r| Reject {
+            status: r.status,
+            message: format!("jobs[{index}]: {}", r.message),
+        })?;
+        let strategy = strategy_field(entry, "strategy", default_strategy).map_err(|r| Reject {
+            status: r.status,
+            message: format!("jobs[{index}]: {}", r.message),
+        })?;
+        let name = match entry.get("name") {
+            None => format!("job-{index}"),
+            Some(value) => value
+                .as_str()
+                .ok_or_else(|| Reject::bad(format!("jobs[{index}]: 'name' must be a string")))?
+                .to_string(),
+        };
+        jobs.push(CompileJob::new(name, circuit, device.clone(), strategy));
+    }
+
+    let request = BatchRequest::new(jobs).with_options(BatchOptions::with_workers(workers.min(16)));
+    let report = Engine::run_shared(&request, Some(&state.cache), &token);
+    state.merge_engine_metrics(&report.metrics);
+
+    // A deadline that cancelled the whole batch answers 504; individual
+    // compile errors stay per-entry so one bad job cannot hide the rest.
+    if report.ok_count() == 0 {
+        if let Some(Err(failed)) = report.results.first() {
+            if matches!(
+                failed.error,
+                JobError::Compile(CaqrError::DeadlineExceeded { .. })
+            ) {
+                return Ok(failure_response(failed));
+            }
+        }
+    }
+
+    let results: Vec<Value> = report
+        .results
+        .iter()
+        .map(|result| match result {
+            Ok(outcome) => outcome_value(outcome),
+            Err(failed) => failure_value(failed),
+        })
+        .collect();
+    let body = format!(
+        "{{\"results\":{},\"metrics\":{}}}",
+        Value::Arr(results).encode(),
+        report.metrics.to_json()
+    );
+    Ok(Response::json(200, body.into_bytes()))
+}
+
+/// `POST /v1/simulate`: Monte-Carlo shots over a circuit, ideal or with
+/// the device noise model, under the request deadline.
+fn simulate(state: &AppState, body: &[u8]) -> Response {
+    match simulate_inner(state, body) {
+        Ok(response) => response,
+        Err(reject) => reject.into_response(),
+    }
+}
+
+fn simulate_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
+    let body = parse_body(body)?;
+    let circuit = circuit_field(&body)?;
+    if circuit.num_qubits() > caqr_sim::state::MAX_QUBITS {
+        return Err(Reject::unprocessable(format!(
+            "{} qubits exceeds the simulator's limit of {}",
+            circuit.num_qubits(),
+            caqr_sim::state::MAX_QUBITS
+        )));
+    }
+    if circuit.num_clbits() > 64 {
+        return Err(Reject::unprocessable(format!(
+            "{} clbits exceeds the simulator's limit of 64",
+            circuit.num_clbits()
+        )));
+    }
+    let shots = u64_field(&body, "shots", 1024)? as usize;
+    if shots == 0 || shots > state.limits.max_shots {
+        return Err(Reject::unprocessable(format!(
+            "'shots' must be between 1 and {}",
+            state.limits.max_shots
+        )));
+    }
+    let seed = u64_field(&body, "seed", 2023)?;
+    let token = deadline_token(&body, &state.limits)?;
+
+    let executor = match body.get("noise").map(|v| v.as_str()) {
+        None | Some(Some("ideal")) => Executor::ideal(),
+        Some(Some("device")) => {
+            Executor::noisy(NoiseModel::from_device(device_field(&body, seed)?))
+        }
+        Some(Some(other)) => {
+            return Err(Reject::unprocessable(format!(
+                "unknown noise model '{other}' (ideal | device)"
+            )))
+        }
+        Some(None) => return Err(Reject::bad("'noise' must be a string")),
+    };
+
+    let run = executor.run_shots_cancellable(&circuit, shots, seed, &|| token.is_cancelled());
+    let (counts, shot_report) = match run {
+        Ok(done) => done,
+        Err(_) => return Ok(Response::error(504, "deadline exceeded (in 'simulate')")),
+    };
+
+    let histogram: Vec<(String, Value)> = counts
+        .iter()
+        .map(|(value, n)| (value.to_string(), Value::num(n as u64)))
+        .collect();
+    let response = Value::obj(vec![
+        ("shots", Value::num(shot_report.shots as u64)),
+        ("counts", Value::Obj(histogram)),
+    ]);
+    Ok(Response::json(200, response.encode().into_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::Qubit;
+
+    fn state() -> AppState {
+        AppState::new(64, RequestLimits::default())
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn bell_wire() -> String {
+        let mut c = Circuit::new(2, 2);
+        c.h(Qubit::new(0));
+        c.cx(Qubit::new(0), Qubit::new(1));
+        c.measure_all();
+        circuit::circuit_to_value(&c).encode()
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let state = state();
+        let ok = handle(
+            &state,
+            &Request {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(ok.status, 200);
+        let missing = handle(&state, &post("/nope", "{}"));
+        assert_eq!(missing.status, 404);
+        let wrong_method = handle(&state, &post("/healthz", "{}"));
+        assert_eq!(wrong_method.status, 405);
+    }
+
+    #[test]
+    fn compile_roundtrip_and_cache_hit() {
+        let state = state();
+        let body = format!(r#"{{"circuit":{},"strategy":"sr"}}"#, bell_wire());
+        let first = handle(&state, &post("/v1/compile", &body));
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("cache_hit").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert!(parsed.get("circuit").is_some());
+
+        let second = handle(&state, &post("/v1/compile", &body));
+        let parsed = caqr_wire::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cache_hit").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn malformed_and_unprocessable_bodies() {
+        let state = state();
+        assert_eq!(handle(&state, &post("/v1/compile", "{nope")).status, 400);
+        assert_eq!(handle(&state, &post("/v1/compile", "[]")).status, 400);
+        assert_eq!(handle(&state, &post("/v1/compile", "{}")).status, 400);
+        let bad_strategy = format!(r#"{{"circuit":{},"strategy":"wat"}}"#, bell_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/compile", &bad_strategy)).status,
+            422
+        );
+        let bad_device = format!(r#"{{"circuit":{},"device":"torus:9"}}"#, bell_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/compile", &bad_device)).status,
+            422
+        );
+        let bad_qasm = r#"{"qasm":"OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];"}"#;
+        assert_eq!(handle(&state, &post("/v1/compile", bad_qasm)).status, 422);
+    }
+
+    #[test]
+    fn expired_deadline_is_504() {
+        let state = state();
+        let body = format!(r#"{{"circuit":{},"timeout_ms":0}}"#, bell_wire());
+        let response = handle(&state, &post("/v1/compile", &body));
+        assert_eq!(
+            response.status,
+            504,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert_eq!(
+            state.engine_metrics.lock().unwrap().jobs_failed,
+            1,
+            "the failed job still lands in the engine metrics"
+        );
+    }
+
+    #[test]
+    fn batch_mixes_success_and_failure() {
+        let state = state();
+        let body = format!(
+            r#"{{"jobs":[{{"circuit":{},"name":"good"}},{{"qasm":"broken","name":"bad"}}]}}"#,
+            bell_wire()
+        );
+        // A bad entry is rejected up front (422), not half-compiled.
+        assert_eq!(
+            handle(&state, &post("/v1/compile-batch", &body)).status,
+            422
+        );
+
+        let body = format!(
+            r#"{{"jobs":[{{"circuit":{},"name":"a"}},{{"circuit":{},"strategy":"baseline","name":"b"}}]}}"#,
+            bell_wire(),
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile-batch", &body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let results = parsed.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("name").and_then(Value::as_str), Some("a"));
+        assert_eq!(
+            results[1].get("strategy").and_then(Value::as_str),
+            Some("baseline")
+        );
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(metrics.get("jobs_total").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn simulate_bell_is_correlated() {
+        let state = state();
+        let body = format!(r#"{{"circuit":{},"shots":256,"seed":7}}"#, bell_wire());
+        let response = handle(&state, &post("/v1/simulate", &body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("shots").and_then(Value::as_u64), Some(256));
+        let counts = parsed.get("counts").and_then(Value::as_object).unwrap();
+        let total: u64 = counts.iter().map(|(_, v)| v.as_u64().unwrap()).sum();
+        assert_eq!(total, 256);
+        for (key, _) in counts {
+            assert!(
+                key == "0" || key == "3",
+                "bell outputs 00/11 only, got {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_guards() {
+        let state = state();
+        let big = circuit::circuit_to_value(&Circuit::new(30, 1)).encode();
+        let body = format!(r#"{{"circuit":{}}}"#, big);
+        assert_eq!(handle(&state, &post("/v1/simulate", &body)).status, 422);
+        let zero_shots = format!(r#"{{"circuit":{},"shots":0}}"#, bell_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/simulate", &zero_shots)).status,
+            422
+        );
+        let bad_noise = format!(r#"{{"circuit":{},"noise":"cosmic"}}"#, bell_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/simulate", &bad_noise)).status,
+            422
+        );
+    }
+
+    #[test]
+    fn metrics_embeds_the_engine_json_shape() {
+        let state = state();
+        let body = format!(r#"{{"circuit":{}}}"#, bell_wire());
+        handle(&state, &post("/v1/compile", &body));
+        let response = metrics(&state);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let engine = parsed.get("engine").unwrap();
+        assert_eq!(engine.get("type").and_then(Value::as_str), Some("metrics"));
+        assert_eq!(engine.get("jobs_total").and_then(Value::as_u64), Some(1));
+        assert!(engine.get("queue_wait_us").is_some());
+        assert!(engine.get("compile_us").is_some());
+        assert!(parsed.get("server").is_some());
+    }
+}

@@ -1,0 +1,324 @@
+//! A minimal, defensive HTTP/1.1 implementation over blocking sockets.
+//!
+//! Supports exactly what the service needs: request-line + headers +
+//! `Content-Length` bodies, keep-alive, and hard limits on header and body
+//! size so a hostile peer cannot make the server allocate unboundedly.
+//! Chunked transfer encoding is deliberately rejected.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Caps applied while reading one request.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum bytes for the request line plus all headers.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request target, e.g. `/v1/compile`.
+    pub path: String,
+    /// Header name/value pairs, in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the client asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why [`read_request`] returned no request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NoRequest {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The wait callback asked us to stop (idle keep-alive timeout or
+    /// shutdown drain) before any request bytes arrived.
+    StopWaiting,
+}
+
+/// A malformed or oversized request. The server answers 400 (or 431) and
+/// closes.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+/// The result of one read attempt on a connection.
+pub type ReadResult = Result<Result<Request, NoRequest>, BadRequest>;
+
+/// Reads one request.
+///
+/// The stream must already carry a read timeout; while *no* byte of a new
+/// request has arrived, each timeout tick calls `keep_waiting` — return
+/// `false` to give up (idle keep-alive expiry, shutdown drain). Once the
+/// first byte is in, a timeout is a slow/stalled client and fails the
+/// read.
+///
+/// # Errors
+///
+/// [`BadRequest`] on malformed syntax, unsupported framing, or exceeded
+/// [`HttpLimits`]; I/O problems and stalls map to [`NoRequest::Closed`].
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    limits: &HttpLimits,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> ReadResult {
+    let mut head_bytes = 0usize;
+
+    // Request line — the only read allowed to wait around. `partial`
+    // persists across timeout ticks so a slowly-arriving line is never
+    // dropped.
+    let mut partial = Vec::new();
+    let line = loop {
+        match read_line(reader, &mut partial, limits.max_head_bytes) {
+            Ok(Some(line)) if line.is_empty() => continue, // stray CRLF between requests
+            Ok(Some(line)) => break line,
+            Ok(None) => return Ok(Err(NoRequest::Closed)),
+            Err(e) if is_timeout(&e) => {
+                if !partial.is_empty() {
+                    return Ok(Err(NoRequest::Closed)); // stalled mid-request
+                }
+                if !keep_waiting() {
+                    return Ok(Err(NoRequest::StopWaiting));
+                }
+            }
+            Err(_) => return Ok(Err(NoRequest::Closed)),
+        }
+    };
+    head_bytes += line.len();
+
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(BadRequest(format!("malformed request line '{line}'")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let mut partial = Vec::new();
+        let cap = limits.max_head_bytes.saturating_sub(head_bytes).max(2);
+        let line = match read_line(reader, &mut partial, cap) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(Err(NoRequest::Closed)),
+            Err(e) if is_timeout(&e) => return Ok(Err(NoRequest::Closed)),
+            Err(_) => return Ok(Err(NoRequest::Closed)),
+        };
+        head_bytes += line.len() + 2;
+        if head_bytes > limits.max_head_bytes {
+            return Err(BadRequest("headers too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(BadRequest(format!("malformed header '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > 64 {
+            return Err(BadRequest("too many headers".into()));
+        }
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(BadRequest("chunked transfer encoding not supported".into()));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| BadRequest("bad content-length".into()))?;
+        if len > limits.max_body_bytes {
+            return Err(BadRequest(format!(
+                "body of {len} bytes exceeds the {}-byte limit",
+                limits.max_body_bytes
+            )));
+        }
+        let mut body = vec![0u8; len];
+        if reader.read_exact(&mut body).is_err() {
+            return Ok(Err(NoRequest::Closed)); // truncated or stalled body
+        }
+        request.body = body;
+    }
+    Ok(Ok(request))
+}
+
+/// Reads one CRLF (or LF) terminated line into `buf`, returning it
+/// without the terminator. `Ok(None)` on clean EOF before any byte. On a
+/// timeout the bytes read so far stay in `buf`, so the caller can retry
+/// without losing them.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<Option<String>> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in line"))
+            };
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8(std::mem::take(buf))
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 line"))?;
+            return Ok(Some(line));
+        }
+        let take = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(take);
+        if buf.len() > cap {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// One response, ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `Content-Length`, `Connection` are
+    /// emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// The standard error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = caqr_wire::Value::obj(vec![("error", caqr_wire::Value::str(message))]).encode();
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// Writes `response`, declaring `Connection: keep-alive` or `close`.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller drops the connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// The reason phrase for every status the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Polls `deadline` for [`read_request`]'s wait callback: `true` while
+/// `now < deadline` and `stop` has not fired.
+pub fn wait_until(deadline: Instant, stop: &dyn Fn() -> bool) -> impl Fn() -> bool + '_ {
+    move || Instant::now() < deadline && !stop()
+}
+
+/// A conservative per-tick socket timeout for polling reads: long enough
+/// to avoid busy-waiting, short enough that shutdown and idle expiry are
+/// observed promptly.
+pub const POLL_TICK: Duration = Duration::from_millis(100);

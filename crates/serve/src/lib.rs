@@ -1,0 +1,49 @@
+//! caqr-serve: the CaQR compile-and-simulate network service.
+//!
+//! A hand-rolled HTTP/1.1 server on `std::net` (the build environment
+//! vendors no async runtime or HTTP stack) exposing the batch engine and
+//! the Monte-Carlo simulator over five endpoints:
+//!
+//! | endpoint | method | body |
+//! |---|---|---|
+//! | `/v1/compile` | POST | one circuit (wire JSON or OpenQASM) + strategy/device |
+//! | `/v1/compile-batch` | POST | a job array, compiled by the shared engine pool |
+//! | `/v1/simulate` | POST | circuit + shots/seed/noise |
+//! | `/healthz` | GET | — |
+//! | `/metrics` | GET | — |
+//!
+//! The serving qualities, each with a dedicated mechanism:
+//!
+//! * **Admission control** — accepted connections enter a bounded queue;
+//!   when it is full the acceptor answers `429` with `Retry-After` instead
+//!   of letting latency collapse ([`server`]).
+//! * **Deadlines** — every request gets a [`caqr::CancelToken`] deadline;
+//!   compilation checks it between passes, simulation between shot chunks,
+//!   and an overrun answers `504` while the worker survives to take the
+//!   next request ([`handlers`]).
+//! * **Panic isolation** — each request runs under `catch_unwind`; a panic
+//!   answers `500`, and a supervisor replaces any worker thread that dies
+//!   anyway ([`server`]).
+//! * **Graceful shutdown** — SIGTERM (or [`server::ShutdownHandle`]) stops
+//!   the acceptor, drains queued and in-flight requests, answers `503` to
+//!   keep-alive requests arriving mid-drain, then exits 0 ([`signal`],
+//!   [`server`]).
+//!
+//! Compile responses embed the compiled circuit in wire form with exact
+//! float round-tripping, so the bytes a client decodes are bit-identical
+//! to an in-process [`caqr_engine::Engine::run`] — the property the
+//! integration suite pins across the full golden corpus.
+
+// The one unsafe exception lives in `signal`: registering a SIGTERM
+// handler needs libc's `signal(2)`, which std links but does not expose.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,90 @@
+//! Lock-free server counters, exported on `GET /metrics`.
+
+use caqr_wire::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative serving counters. All atomics with relaxed ordering —
+/// `/metrics` is an observability snapshot, not a synchronization point.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests fully read and dispatched to a handler.
+    pub requests_total: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with a 4xx status (excluding admission 429s, which never
+    /// reach a worker).
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// Connections refused at the door because the accept queue was full.
+    pub rejected_429: AtomicU64,
+    /// Requests that hit their deadline and answered 504.
+    pub deadline_504: AtomicU64,
+    /// Requests whose handler panicked (answered 500, worker survived).
+    pub handler_panics: AtomicU64,
+    /// Requests answered 503 because they arrived during shutdown drain.
+    pub draining_503: AtomicU64,
+    /// Worker threads replaced by the supervisor after dying.
+    pub workers_replaced: AtomicU64,
+    /// Connections accepted into the queue.
+    pub connections_accepted: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Bumps the status-class counter for one response.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if status == 504 {
+            self.deadline_504.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 503 {
+            self.draining_503.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The `"server"` object for `GET /metrics`.
+    pub fn to_value(&self) -> Value {
+        let n = |a: &AtomicU64| Value::num(a.load(Ordering::Relaxed));
+        Value::obj(vec![
+            ("requests_total", n(&self.requests_total)),
+            ("responses_2xx", n(&self.responses_2xx)),
+            ("responses_4xx", n(&self.responses_4xx)),
+            ("responses_5xx", n(&self.responses_5xx)),
+            ("rejected_429", n(&self.rejected_429)),
+            ("deadline_504", n(&self.deadline_504)),
+            ("handler_panics", n(&self.handler_panics)),
+            ("draining_503", n(&self.draining_503)),
+            ("workers_replaced", n(&self.workers_replaced)),
+            ("connections_accepted", n(&self.connections_accepted)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes_and_special_counters() {
+        let m = ServerMetrics::default();
+        m.record_status(200);
+        m.record_status(201);
+        m.record_status(422);
+        m.record_status(503);
+        m.record_status(504);
+        m.record_status(500);
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 3);
+        assert_eq!(m.deadline_504.load(Ordering::Relaxed), 1);
+        assert_eq!(m.draining_503.load(Ordering::Relaxed), 1);
+        let v = m.to_value();
+        assert_eq!(v.get("responses_5xx").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("deadline_504").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Process-signal plumbing for graceful shutdown.
+//!
+//! On Unix this registers handlers for SIGTERM and SIGINT that set a
+//! process-wide flag; the server binary polls [`shutdown_requested`] and
+//! begins its drain sequence when it flips. Elsewhere the functions exist
+//! but never fire, so callers need no platform branches.
+//!
+//! The build environment vendors no `libc`/`signal-hook` crate, so the
+//! Unix path declares `signal(2)` itself — std already links libc. The
+//! handler body only stores to an atomic, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a termination signal has been received (or
+/// [`request_shutdown`] was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag programmatically — what a signal would do.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that performs a single atomic
+        // store; no allocation, locking, or I/O happens in signal context.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op off Unix). Idempotent.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_flips_the_flag() {
+        // Runs in-process with other tests; only assert the one-way flip.
+        install_handlers();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

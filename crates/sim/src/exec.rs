@@ -46,7 +46,30 @@ use caqr_circuit::depth::Schedule;
 use caqr_circuit::{Circuit, Gate};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// A cancellable run observed its stop callback and abandoned the
+/// remaining shots. No partial histogram is returned — a truncated
+/// histogram would silently break the deterministic-shot contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("shot execution interrupted by the stop callback")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Shots each worker executes between stop-callback checks in
+/// [`Executor::run_shots_cancellable`]. Small enough that a deadline
+/// overruns by at most a few dozen shots per worker, large enough that
+/// the check (often an `Instant::now` behind a `CancelToken`) stays off
+/// the per-shot hot path.
+const CANCEL_CHUNK: usize = 32;
 
 /// Executes circuits shot by shot, with optional calibration-driven noise.
 ///
@@ -201,20 +224,58 @@ impl Executor {
         shots: usize,
         seed: u64,
     ) -> (Counts, ShotReport) {
+        self.run_shots_cancellable(circuit, shots, seed, &|| false)
+            .expect("a never-stopping run cannot be interrupted")
+    }
+
+    /// [`Executor::run_shots_traced`] under a cooperative stop callback,
+    /// checked every `CANCEL_CHUNK` (32) shots on every worker.
+    ///
+    /// When the callback returns `true`, a shared flag tells every shard
+    /// to abandon its remaining shots at the next checkpoint and the whole
+    /// run reports [`Interrupted`] — no partial histogram escapes. This is
+    /// the hook `caqr-serve` drives with per-request deadlines; it keeps
+    /// the uncancelled hot path free of atomics beyond one relaxed load
+    /// per chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`Interrupted`] when the stop callback fired before the last shot
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the dense simulator limit or has
+    /// more than 64 classical bits.
+    pub fn run_shots_cancellable(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Result<(Counts, ShotReport), Interrupted> {
         let started = Instant::now();
         let plan = self.plan(circuit);
         let workers = parallel::effective_workers(self.threads, shots);
+        let stopped = AtomicBool::new(false);
         let shards = parallel::run_shards(workers, shots, |range| {
             let mut counts = Counts::new(circuit.num_clbits());
             let mut scratch = StateVector::zero(circuit.num_qubits());
             let mut forks = 0usize;
-            for shot in range {
+            for (done, shot) in range.enumerate() {
+                if done % CANCEL_CHUNK == 0 && (stopped.load(Ordering::Relaxed) || should_stop()) {
+                    stopped.store(true, Ordering::Relaxed);
+                    break;
+                }
                 let (value, forked) = plan.run_shot(seed, shot as u64, &mut scratch);
                 counts.record(value);
                 forks += usize::from(forked);
             }
             (counts, forks)
         });
+        if stopped.load(Ordering::Relaxed) {
+            return Err(Interrupted);
+        }
         let mut counts = Counts::new(circuit.num_clbits());
         let mut forks = 0;
         for (shard, shard_forks) in &shards {
@@ -236,7 +297,7 @@ impl Executor {
             deferred_measures: plan.tail.tail_len,
             wall: started.elapsed(),
         };
-        (counts, report)
+        Ok((counts, report))
     }
 
     /// Runs one shot and returns the final classical register value.
@@ -1128,6 +1189,41 @@ mod tests {
         let single = exec.run_once(&circ, 29);
         let counts = exec.run_shots(&circ, 1, 29);
         assert_eq!(counts.get(single), 1);
+    }
+
+    #[test]
+    fn cancellable_run_matches_uncancelled() {
+        let circ = stress_circuit();
+        let exec = Executor::ideal();
+        let (cancellable, _) = exec
+            .run_shots_cancellable(&circ, 300, 11, &|| false)
+            .expect("never-stopping");
+        assert_eq!(cancellable, exec.run_shots(&circ, 300, 11));
+    }
+
+    #[test]
+    fn tripped_stop_callback_interrupts() {
+        let circ = stress_circuit();
+        let err = Executor::ideal()
+            .run_shots_cancellable(&circ, 10_000, 13, &|| true)
+            .unwrap_err();
+        assert_eq!(err, Interrupted);
+        assert!(err.to_string().contains("interrupted"));
+    }
+
+    #[test]
+    fn mid_run_stop_interrupts_all_shards() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let circ = stress_circuit();
+        let calls = AtomicUsize::new(0);
+        // Fire after a few checkpoints so some shots have already run.
+        let result =
+            Executor::ideal()
+                .with_threads(4)
+                .run_shots_cancellable(&circ, 50_000, 17, &|| {
+                    calls.fetch_add(1, Ordering::Relaxed) >= 4
+                });
+        assert_eq!(result.unwrap_err(), Interrupted);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod state;
 
 pub use complex::C64;
 pub use counts::Counts;
-pub use exec::{Executor, ShotReport};
+pub use exec::{Executor, Interrupted, ShotReport};
 pub use kernels::CompiledCircuit;
 pub use noise::NoiseModel;
 pub use parallel::{effective_workers, shot_rng};

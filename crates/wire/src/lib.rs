@@ -1,0 +1,37 @@
+//! caqr-wire: the JSON wire format behind `caqr-serve`.
+//!
+//! The serving environment vendors no serde, so this crate is a small,
+//! std-only JSON implementation built for hostile input:
+//!
+//! * [`parse()`] / [`parse_with`] — a strict RFC 8259 parser with explicit
+//!   [`Limits`] on input size, nesting depth, and node count. Every
+//!   rejection is a typed [`WireError`] carrying the byte offset; no input
+//!   can make the parser panic or allocate unboundedly.
+//! * [`Value`] — the parsed document plus a compact encoder
+//!   ([`Value::encode`]). Floats round-trip exactly: the encoder writes
+//!   Rust's shortest round-trip form and the parser reads it back bit for
+//!   bit, which is what lets the compile service promise byte-identical
+//!   results over the wire.
+//! * [`circuit`] — the circuit codec: a lossless `Circuit` ⇄ JSON mapping
+//!   with validation caps ([`circuit::DecodeLimits`]) so an adversarial
+//!   payload cannot request a 2^40-qubit allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use caqr_wire::{parse, Value};
+//!
+//! let v = parse(r#"{"shots": 100, "name": "bell"}"#).unwrap();
+//! assert_eq!(v.get("shots").and_then(Value::as_u64), Some(100));
+//! assert_eq!(v.get("name").and_then(Value::as_str), Some("bell"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod parse;
+pub mod value;
+
+pub use parse::{parse, parse_with, Limits, WireError};
+pub use value::Value;

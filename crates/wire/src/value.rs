@@ -1,0 +1,261 @@
+//! The JSON document model and compact encoder.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (they are a `Vec` of pairs, not a
+/// map): encoding a decoded document reproduces the member order, and the
+/// service's responses render deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Stored as `f64`; integers up to 2^53 are exact.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order. Duplicate keys are rejected at parse
+    /// time.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer: rejects
+    /// negatives, fractions, and anything at or above 2^53 (where `f64`
+    /// stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`Value::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Compact (no-whitespace) JSON encoding.
+    ///
+    /// Finite floats use Rust's shortest round-trip formatting, so
+    /// `parse(v.encode())` reproduces `v` bit for bit. Non-finite numbers
+    /// have no JSON form and encode as `null`.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => out.push_str(&encode_number(*n)),
+            Value::Str(s) => encode_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Builder: an object from key/value pairs.
+    pub fn obj(members: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builder: a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builder: a numeric value from an unsigned integer.
+    pub fn num(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Encodes one number. Integers in the exact range print without a
+/// fractional part; other finite values use shortest round-trip `{}`
+/// formatting (always containing a `.` or an exponent, so it re-parses as
+/// the same f64).
+fn encode_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        return format!("{}", n as i64);
+    }
+    let s = format!("{n}");
+    // Display already round-trips; guard the (impossible with fract != 0)
+    // case of an integer-looking rendering anyway.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Encodes one JSON string literal, escaping the mandatory set.
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::obj(vec![
+            ("n", Value::num(7)),
+            ("s", Value::str("hi")),
+            ("b", Value::Bool(true)),
+            ("a", Value::Arr(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+        assert!(v.as_object().is_some());
+        assert!(Value::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn as_u64_rejects_inexact() {
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Num(1.5).as_u64(), None);
+        assert_eq!(Value::Num(9_007_199_254_740_992.0).as_u64(), None);
+        assert_eq!(
+            Value::Num(9_007_199_254_740_991.0).as_u64(),
+            Some((1 << 53) - 1)
+        );
+    }
+
+    #[test]
+    fn encoding_is_compact_and_escaped() {
+        let v = Value::obj(vec![
+            ("k", Value::str("a\"b\\c\nd\u{1}")),
+            ("arr", Value::Arr(vec![Value::num(1), Value::Bool(false)])),
+        ]);
+        assert_eq!(
+            v.encode(),
+            "{\"k\":\"a\\\"b\\\\c\\nd\\u0001\",\"arr\":[1,false]}"
+        );
+        assert_eq!(format!("{v}"), v.encode());
+    }
+
+    #[test]
+    fn number_encoding_round_trips() {
+        for n in [0.0, 1.0, -3.0, 0.1, 1e-12, std::f64::consts::PI, 1e300] {
+            let text = encode_number(n);
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n} -> {text}");
+        }
+        assert_eq!(encode_number(f64::INFINITY), "null");
+        assert_eq!(encode_number(f64::NAN), "null");
+        assert_eq!(encode_number(5.0), "5");
+    }
+}
