@@ -1,0 +1,335 @@
+//! Typed logical↔physical qubit layout with reuse bookkeeping.
+//!
+//! Routing needs four pieces of state that must stay mutually consistent:
+//! the logical→physical map, its inverse, the free-list of unoccupied
+//! physical wires, and each wire's dirty/reset state for qubit reuse.
+//! Historically the router kept these as four parallel fields and updated
+//! them ad hoc; [`Layout`] owns them behind a small mutation API
+//! ([`Layout::assign`], [`Layout::release`], [`Layout::swap_phys`]) and
+//! re-checks the invariants after every mutation in debug builds.
+//!
+//! Invariants (see [`Layout::check_invariants`]):
+//!
+//! * **Bijectivity** — `log2phys` and `phys2log` are mutually inverse on
+//!   every assigned qubit.
+//! * **Free-list exactness** — a physical wire is in the free-list if and
+//!   only if no logical qubit occupies it.
+//! * **Usage monotonicity** — every currently occupied wire has been
+//!   marked used; `used_ever` never shrinks.
+
+use std::collections::BTreeSet;
+
+/// Reset state of a physical wire between logical assignments.
+///
+/// A wire that has hosted a logical qubit is *dirty*: before a new logical
+/// qubit can start there it must be returned to |0⟩. CaQR's Fig. 2
+/// optimization makes the reset cheap when the retiring qubit ended in a
+/// measurement — a classically conditioned X on the existing outcome —
+/// and otherwise requires a fresh measurement first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireState {
+    /// Never used, or reset since last use: known |0⟩.
+    Fresh,
+    /// Hosted a logical qubit that has since retired.
+    Dirty {
+        /// Classical bit index holding the retiring qubit's measurement
+        /// outcome, when its final gate was a measurement of itself; a
+        /// conditional X on this bit completes the reset. `None` means a
+        /// fresh measurement must be inserted before the conditional X.
+        measured: Option<usize>,
+    },
+}
+
+/// A bidirectional logical↔physical map with a free-list and per-wire
+/// dirty/reset state.
+///
+/// All mutation goes through [`Layout::assign`], [`Layout::release`], and
+/// [`Layout::swap_phys`]; each re-validates the structural invariants in
+/// debug builds (`debug_assertions`), so any routing bug that desynchronizes
+/// the maps fails loudly at the mutation that introduced it.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    log2phys: Vec<Option<usize>>,
+    phys2log: Vec<Option<usize>>,
+    state: Vec<WireState>,
+    free: BTreeSet<usize>,
+    used_ever: BTreeSet<usize>,
+    initial: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// An empty layout: no logical qubit mapped, every physical wire free
+    /// and fresh.
+    pub fn new(num_logical: usize, num_physical: usize) -> Self {
+        Self {
+            log2phys: vec![None; num_logical],
+            phys2log: vec![None; num_physical],
+            state: vec![WireState::Fresh; num_physical],
+            free: (0..num_physical).collect(),
+            used_ever: BTreeSet::new(),
+            initial: vec![None; num_logical],
+        }
+    }
+
+    /// Number of logical qubits this layout tracks.
+    pub fn num_logical(&self) -> usize {
+        self.log2phys.len()
+    }
+
+    /// Number of physical wires this layout tracks.
+    pub fn num_physical(&self) -> usize {
+        self.phys2log.len()
+    }
+
+    /// Physical wire currently hosting logical qubit `l`, if any.
+    pub fn phys_of(&self, l: usize) -> Option<usize> {
+        self.log2phys[l]
+    }
+
+    /// Logical qubit currently occupying physical wire `p`, if any.
+    pub fn logical_at(&self, p: usize) -> Option<usize> {
+        self.phys2log[p]
+    }
+
+    /// Whether physical wire `p` is unoccupied.
+    pub fn is_free(&self, p: usize) -> bool {
+        self.free.contains(&p)
+    }
+
+    /// Unoccupied physical wires in ascending order.
+    pub fn free_wires(&self) -> impl Iterator<Item = usize> + '_ {
+        self.free.iter().copied()
+    }
+
+    /// Number of unoccupied physical wires.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether physical wire `p` has ever hosted a logical qubit (or been
+    /// touched by a SWAP).
+    pub fn was_used(&self, p: usize) -> bool {
+        self.used_ever.contains(&p)
+    }
+
+    /// Number of distinct physical wires ever used.
+    pub fn used_count(&self) -> usize {
+        self.used_ever.len()
+    }
+
+    /// Reset state of physical wire `p`.
+    pub fn wire_state(&self, p: usize) -> WireState {
+        self.state[p]
+    }
+
+    /// First physical wire each logical qubit was assigned to, `None` for
+    /// qubits never assigned. SWAPs do not rewrite history here.
+    pub fn initial_layout(&self) -> &[Option<usize>] {
+        &self.initial
+    }
+
+    /// Assigns logical qubit `l` to physical wire `p`, returning the
+    /// wire's state *before* the assignment so the caller can emit the
+    /// reset sequence a dirty wire requires. The wire becomes occupied,
+    /// fresh, and used; the first assignment of `l` is recorded in the
+    /// initial layout.
+    ///
+    /// `l` must be unmapped and `p` free (checked in debug builds).
+    pub fn assign(&mut self, l: usize, p: usize) -> WireState {
+        debug_assert!(self.log2phys[l].is_none(), "logical {l} already mapped");
+        let was_free = self.free.remove(&p);
+        debug_assert!(was_free, "assigning logical {l} to occupied physical {p}");
+        let prior = self.state[p];
+        self.state[p] = WireState::Fresh;
+        self.log2phys[l] = Some(p);
+        self.phys2log[p] = Some(l);
+        self.used_ever.insert(p);
+        if self.initial[l].is_none() {
+            self.initial[l] = Some(p);
+        }
+        self.debug_check();
+        prior
+    }
+
+    /// Retires logical qubit `l`: unmaps it, marks its wire dirty (with
+    /// `measured` as the reusable measurement outcome, if any), and returns
+    /// the wire to the free-list. Returns the freed physical wire, or
+    /// `None` when `l` was not mapped.
+    pub fn release(&mut self, l: usize, measured: Option<usize>) -> Option<usize> {
+        let p = self.log2phys[l].take()?;
+        self.phys2log[p] = None;
+        self.state[p] = WireState::Dirty { measured };
+        self.free.insert(p);
+        self.debug_check();
+        Some(p)
+    }
+
+    /// Applies a SWAP between physical wires `a` and `b`: occupants, wire
+    /// states, and free-list membership all travel with the wires, and both
+    /// wires are marked used.
+    pub fn swap_phys(&mut self, a: usize, b: usize) {
+        let la = self.phys2log[a];
+        let lb = self.phys2log[b];
+        self.phys2log[a] = lb;
+        self.phys2log[b] = la;
+        if let Some(l) = la {
+            self.log2phys[l] = Some(b);
+        }
+        if let Some(l) = lb {
+            self.log2phys[l] = Some(a);
+        }
+        self.state.swap(a, b);
+        self.used_ever.insert(a);
+        self.used_ever.insert(b);
+        match (self.free.contains(&a), self.free.contains(&b)) {
+            (true, false) => {
+                self.free.remove(&a);
+                self.free.insert(b);
+            }
+            (false, true) => {
+                self.free.remove(&b);
+                self.free.insert(a);
+            }
+            _ => {}
+        }
+        self.debug_check();
+    }
+
+    /// Validates every structural invariant, panicking with a description
+    /// of the first violation. Mutating methods call this automatically in
+    /// debug builds; tests may call it directly.
+    pub fn check_invariants(&self) {
+        for (l, &slot) in self.log2phys.iter().enumerate() {
+            if let Some(p) = slot {
+                assert!(
+                    p < self.phys2log.len(),
+                    "logical {l} mapped to out-of-range physical {p}"
+                );
+                assert_eq!(
+                    self.phys2log[p],
+                    Some(l),
+                    "logical {l} -> physical {p} has no inverse entry"
+                );
+                assert!(
+                    self.used_ever.contains(&p),
+                    "occupied physical {p} missing from used_ever"
+                );
+            }
+        }
+        for (p, &slot) in self.phys2log.iter().enumerate() {
+            if let Some(l) = slot {
+                assert_eq!(
+                    self.log2phys[l],
+                    Some(p),
+                    "physical {p} -> logical {l} has no inverse entry"
+                );
+            }
+            assert_eq!(
+                self.free.contains(&p),
+                slot.is_none(),
+                "free-list disagrees with occupancy at physical {p}"
+            );
+        }
+        for &p in &self.free {
+            assert!(p < self.phys2log.len(), "free-list holds out-of-range {p}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check(&self) {
+        self.check_invariants();
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_layout_is_all_free_and_fresh() {
+        let layout = Layout::new(3, 5);
+        assert_eq!(layout.num_logical(), 3);
+        assert_eq!(layout.num_physical(), 5);
+        assert_eq!(layout.free_count(), 5);
+        assert_eq!(layout.used_count(), 0);
+        assert_eq!(layout.wire_state(0), WireState::Fresh);
+        assert_eq!(layout.phys_of(0), None);
+        layout.check_invariants();
+    }
+
+    #[test]
+    fn assign_release_cycle_tracks_dirty_state() {
+        let mut layout = Layout::new(2, 3);
+        assert_eq!(layout.assign(0, 1), WireState::Fresh);
+        assert_eq!(layout.phys_of(0), Some(1));
+        assert_eq!(layout.logical_at(1), Some(0));
+        assert!(!layout.is_free(1));
+        assert!(layout.was_used(1));
+
+        assert_eq!(layout.release(0, Some(7)), Some(1));
+        assert!(layout.is_free(1));
+        assert_eq!(layout.wire_state(1), WireState::Dirty { measured: Some(7) });
+
+        // Reassigning the dirty wire reports the prior state and resets it.
+        assert_eq!(layout.assign(1, 1), WireState::Dirty { measured: Some(7) });
+        assert_eq!(layout.wire_state(1), WireState::Fresh);
+    }
+
+    #[test]
+    fn release_unmapped_is_none() {
+        let mut layout = Layout::new(2, 2);
+        assert_eq!(layout.release(0, None), None);
+    }
+
+    #[test]
+    fn initial_layout_records_first_assignment_only() {
+        let mut layout = Layout::new(1, 4);
+        layout.assign(0, 2);
+        layout.release(0, None);
+        layout.assign(0, 3);
+        assert_eq!(layout.initial_layout(), &[Some(2)]);
+    }
+
+    #[test]
+    fn swap_moves_occupant_state_and_free_membership() {
+        let mut layout = Layout::new(2, 4);
+        layout.assign(0, 0);
+        layout.assign(1, 1);
+        layout.release(1, Some(0)); // wire 1 free + dirty
+
+        // Occupied <-> free swap: occupancy and dirty state travel.
+        layout.swap_phys(0, 1);
+        assert_eq!(layout.phys_of(0), Some(1));
+        assert_eq!(layout.logical_at(1), Some(0));
+        assert!(layout.is_free(0));
+        assert!(!layout.is_free(1));
+        assert_eq!(layout.wire_state(0), WireState::Dirty { measured: Some(0) });
+        assert!(layout.was_used(0) && layout.was_used(1));
+
+        // Free <-> free swap marks both used but changes no occupancy.
+        layout.swap_phys(0, 2);
+        assert!(layout.is_free(0) && layout.is_free(2));
+        assert_eq!(layout.wire_state(2), WireState::Dirty { measured: Some(0) });
+        assert!(layout.was_used(2));
+    }
+
+    #[test]
+    fn free_wires_iterates_ascending() {
+        let mut layout = Layout::new(2, 5);
+        layout.assign(0, 2);
+        let free: Vec<usize> = layout.free_wires().collect();
+        assert_eq!(free, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied physical")]
+    #[cfg(debug_assertions)]
+    fn assigning_occupied_wire_panics_in_debug() {
+        let mut layout = Layout::new(2, 2);
+        layout.assign(0, 0);
+        layout.assign(1, 0);
+    }
+}

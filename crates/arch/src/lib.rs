@@ -15,6 +15,9 @@
 //!   Falcon-generation distributions, deterministically from a seed.
 //! * [`Device`] — a topology paired with calibration, the unit every
 //!   compiler pass takes as input.
+//! * [`Layout`] — the typed logical↔physical qubit map (with free-list and
+//!   dirty/reset state) that routing mutates, invariant-checked in debug
+//!   builds.
 //!
 //! # Examples
 //!
@@ -31,8 +34,10 @@
 
 mod calibration;
 mod device;
+mod layout;
 mod topology;
 
 pub use calibration::{Calibration, DT_NANOSECONDS};
 pub use device::Device;
+pub use layout::{Layout, WireState};
 pub use topology::Topology;

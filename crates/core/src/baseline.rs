@@ -9,7 +9,7 @@
 
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
-use crate::router::{self, RoutedCircuit, RouterOptions};
+use crate::router::{self, CostModelSpec, RoutedCircuit, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
 
@@ -21,6 +21,24 @@ use caqr_circuit::Circuit;
 /// device.
 pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, CaqrError> {
     router::route(circuit, device, RouterOptions::baseline())
+}
+
+/// [`compile`] under an explicit swap-scoring [`CostModelSpec`].
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] when the circuit is wider than the
+/// device.
+pub fn compile_with(
+    circuit: &Circuit,
+    device: &Device,
+    cost_model: CostModelSpec,
+) -> Result<RoutedCircuit, CaqrError> {
+    router::route(
+        circuit,
+        device,
+        RouterOptions::baseline().with_cost_model(cost_model),
+    )
 }
 
 /// SABRE-style bidirectional layout refinement: route forward, route the

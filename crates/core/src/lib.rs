@@ -83,6 +83,8 @@ pub use error::CaqrError;
 pub use manager::{create_pass, PassManager, PassObserver, REGISTERED_PASSES};
 pub use pass::{AnalysisCache, CompileCtx, Pass};
 pub use pipeline::{
-    compile, compile_traced, compile_traced_cancellable, CompileReport, Stage, StageTrace, Strategy,
+    compile, compile_traced, compile_traced_cancellable, compile_traced_cancellable_with,
+    compile_traced_with, compile_with, CompileReport, Stage, StageTrace, Strategy,
 };
+pub use router::{CostModel, CostModelSpec, COST_MODEL_GRAMMAR};
 pub use transform::{ReuseError, ReusePlan, TransformedCircuit};

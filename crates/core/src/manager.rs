@@ -13,6 +13,7 @@ use crate::pass::{
     ReportPass, RouteSweepPass, SelectObjective, SelectPass, SrRoutePass,
 };
 use crate::pipeline::{CompileReport, Stage, StageTrace, Strategy};
+use crate::router::CostModelSpec;
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
 use std::time::{Duration, Instant};
@@ -181,7 +182,35 @@ impl PassManager {
         observer: &mut dyn PassObserver,
         cancel: &CancelToken,
     ) -> Result<CompileReport, CaqrError> {
-        let mut ctx = CompileCtx::new(circuit.clone(), device, strategy);
+        self.run_observed_cancellable_with(
+            circuit,
+            device,
+            strategy,
+            CostModelSpec::Hop,
+            observer,
+            cancel,
+        )
+    }
+
+    /// [`PassManager::run_observed_cancellable`] under an explicit
+    /// swap-scoring [`CostModelSpec`]: every routing pass in the recipe
+    /// (baseline route, SR route, the sweep router) ranks SWAP candidates
+    /// with this model instead of the default hop distance.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PassManager::run_observed_cancellable`].
+    pub fn run_observed_cancellable_with(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        strategy: Strategy,
+        cost_model: CostModelSpec,
+        observer: &mut dyn PassObserver,
+        cancel: &CancelToken,
+    ) -> Result<CompileReport, CaqrError> {
+        let mut ctx =
+            CompileCtx::new(circuit.clone(), device, strategy).with_cost_model(cost_model);
         for pass in &self.passes {
             cancel.check(pass.name())?;
             let start = Instant::now();

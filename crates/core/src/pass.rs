@@ -19,7 +19,7 @@ use crate::commuting::{CommutingSpec, NotCommutingError};
 use crate::error::CaqrError;
 use crate::pipeline::{CompileReport, Stage, Strategy};
 use crate::qs::SweepPoint;
-use crate::router::RoutedCircuit;
+use crate::router::{CostModelSpec, RoutedCircuit};
 use caqr_arch::Device;
 use caqr_circuit::depth::DurationModel;
 use caqr_circuit::{Circuit, CircuitDag};
@@ -114,6 +114,7 @@ impl AnalysisCache {
 pub struct CompileCtx<'d> {
     device: &'d Device,
     strategy: Strategy,
+    cost_model: CostModelSpec,
     circuit: Circuit,
     analyses: AnalysisCache,
     /// Commuting-region analysis: `Some(Ok(_))` for QAOA-shaped circuits,
@@ -134,11 +135,13 @@ pub struct CompileCtx<'d> {
 }
 
 impl<'d> CompileCtx<'d> {
-    /// A fresh context owning `circuit`, targeting `device`.
+    /// A fresh context owning `circuit`, targeting `device`, routing with
+    /// the default ([`CostModelSpec::Hop`]) swap-scoring model.
     pub fn new(circuit: Circuit, device: &'d Device, strategy: Strategy) -> Self {
         CompileCtx {
             device,
             strategy,
+            cost_model: CostModelSpec::Hop,
             circuit,
             analyses: AnalysisCache::new(),
             commuting: None,
@@ -149,6 +152,12 @@ impl<'d> CompileCtx<'d> {
         }
     }
 
+    /// The same context routing under a different swap-scoring model.
+    pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
     /// The target device.
     pub fn device(&self) -> &'d Device {
         self.device
@@ -157,6 +166,11 @@ impl<'d> CompileCtx<'d> {
     /// The strategy label the final report will carry.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The swap-scoring model every routing pass in this compilation uses.
+    pub fn cost_model(&self) -> CostModelSpec {
+        self.cost_model
     }
 
     /// The current working circuit (read-only).
@@ -302,8 +316,9 @@ impl Pass for RouteSweepPass {
             artifact: "reuse sweep",
         })?;
         let mut out = Vec::with_capacity(points.len());
+        let cost = ctx.cost_model();
         for p in points {
-            let routed = crate::baseline::compile(&p.circuit, ctx.device())?;
+            let routed = crate::baseline::compile_with(&p.circuit, ctx.device(), cost)?;
             out.push((p.qubits, routed));
         }
         ctx.routed_sweep = Some(out);
@@ -396,11 +411,12 @@ impl Pass for BaselineRoutePass {
     }
 
     fn run(&self, ctx: &mut CompileCtx<'_>) -> Result<(), CaqrError> {
+        let cost = ctx.cost_model();
         let (circuit, analyses, device) = ctx.circuit_and_analyses();
         let routed = crate::router::route_cached(
             circuit,
             device,
-            crate::router::RouterOptions::baseline(),
+            crate::router::RouterOptions::baseline().with_cost_model(cost),
             None,
             analyses,
         )?;
@@ -428,9 +444,12 @@ impl Pass for SrRoutePass {
             pass: "sr-route",
             artifact: "commuting analysis",
         })?;
+        let cost = ctx.cost_model();
         let routed = match spec {
-            Ok(spec) => crate::sr::compile_commuting_with(ctx.circuit(), ctx.device(), spec)?,
-            Err(_) => crate::sr::compile(ctx.circuit(), ctx.device())?,
+            Ok(spec) => {
+                crate::sr::compile_commuting_with_cost(ctx.circuit(), ctx.device(), spec, cost)?
+            }
+            Err(_) => crate::sr::compile_with(ctx.circuit(), ctx.device(), cost)?,
         };
         ctx.routed = Some(routed);
         Ok(())

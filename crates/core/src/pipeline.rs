@@ -291,6 +291,30 @@ pub fn compile(
     PassManager::for_strategy(strategy).run(circuit, device, strategy)
 }
 
+/// [`compile`] under an explicit swap-scoring
+/// [`CostModelSpec`](crate::router::CostModelSpec): every routing pass in
+/// the strategy's recipe ranks SWAP candidates with this model instead of
+/// the default hop distance.
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_with(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+    cost_model: crate::router::CostModelSpec,
+) -> Result<CompileReport, CaqrError> {
+    compile_traced_cancellable_with(
+        circuit,
+        device,
+        strategy,
+        cost_model,
+        &crate::cancel::CancelToken::new(),
+    )
+    .0
+}
+
 /// [`compile`], additionally reporting where the wall-clock went.
 ///
 /// The [`StageTrace`] is returned even when compilation fails — the
@@ -311,6 +335,23 @@ pub fn compile_traced(
     )
 }
 
+/// [`compile_traced`] under an explicit swap-scoring
+/// [`CostModelSpec`](crate::router::CostModelSpec).
+pub fn compile_traced_with(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+    cost_model: crate::router::CostModelSpec,
+) -> (Result<CompileReport, CaqrError>, StageTrace) {
+    compile_traced_cancellable_with(
+        circuit,
+        device,
+        strategy,
+        cost_model,
+        &crate::cancel::CancelToken::new(),
+    )
+}
+
 /// [`compile_traced`] under a [`crate::cancel::CancelToken`], checked at
 /// every pass boundary.
 ///
@@ -324,9 +365,29 @@ pub fn compile_traced_cancellable(
     strategy: Strategy,
     cancel: &crate::cancel::CancelToken,
 ) -> (Result<CompileReport, CaqrError>, StageTrace) {
+    compile_traced_cancellable_with(
+        circuit,
+        device,
+        strategy,
+        crate::router::CostModelSpec::Hop,
+        cancel,
+    )
+}
+
+/// [`compile_traced_cancellable`] under an explicit swap-scoring
+/// [`CostModelSpec`](crate::router::CostModelSpec) — the fully general
+/// entry point the batch engine and HTTP service drive: strategy, routing
+/// policy, deadline token, and instrumentation all in one call.
+pub fn compile_traced_cancellable_with(
+    circuit: &Circuit,
+    device: &Device,
+    strategy: Strategy,
+    cost_model: crate::router::CostModelSpec,
+    cancel: &crate::cancel::CancelToken,
+) -> (Result<CompileReport, CaqrError>, StageTrace) {
     let mut trace = StageTrace::default();
     let result = PassManager::for_strategy(strategy)
-        .run_observed_cancellable(circuit, device, strategy, &mut trace, cancel);
+        .run_observed_cancellable_with(circuit, device, strategy, cost_model, &mut trace, cancel);
     (result, trace)
 }
 

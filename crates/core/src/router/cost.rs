@@ -1,0 +1,507 @@
+//! Pluggable swap-scoring cost models.
+//!
+//! The router's swap *admission* rule is fixed: a candidate SWAP is only
+//! considered when it strictly reduces the summed hop distance of the
+//! routing-pending frontier (`after < before`), which is what guarantees
+//! termination. Cost models only *rank* the admitted candidates — a model
+//! returns an `f64` score per candidate and the router picks the minimum
+//! (ties break identically for every model: prefer already-used qubits,
+//! then the more reliable link, then the smaller `(from, to)` pair).
+//!
+//! Three models ship:
+//!
+//! * [`CostModelSpec::Hop`] — score = frontier hop distance after the
+//!   swap. Exactly the historical behaviour: `u32 → f64` is order-exact,
+//!   so Hop routing is byte-identical to the pre-trait router (pinned by
+//!   the golden corpus).
+//! * [`CostModelSpec::Lookahead`] — SABRE-style: adds a decayed average
+//!   hop distance over an *extended set* of upcoming two-qubit gates
+//!   (DAG successors of the frontier), so a swap that also helps the next
+//!   few gates beats one that only helps the frontier.
+//! * [`CostModelSpec::NoiseAware`] — adds the calibration CX-error mass
+//!   the candidate commits to (three CXs on the swap's own link, one on
+//!   each landing link of frontier gates the swap makes executable, all
+//!   normalized by the device's median CX error) plus a small duration
+//!   term, steering traffic onto reliable, fast edges.
+
+use caqr_arch::Device;
+use std::fmt;
+
+/// Human-readable grammar for [`CostModelSpec::parse`].
+pub const COST_MODEL_GRAMMAR: &str = "hop | lookahead[:window[:decay]] | noise-aware";
+
+/// Which swap-scoring cost model the router uses, with its parameters.
+///
+/// The spec is plain data (`Copy`, comparable, printable) so it can ride
+/// inside [`RouterOptions`](crate::router::RouterOptions), CLI flags, wire
+/// requests, and cache keys; [`CostModelSpec::build`] turns it into the
+/// scoring object against a concrete device.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CostModelSpec {
+    /// Frontier hop distance only — the historical router behaviour.
+    #[default]
+    Hop,
+    /// Frontier hop distance plus a decayed extended-set term.
+    Lookahead {
+        /// Maximum number of upcoming two-qubit gates in the extended set.
+        window: usize,
+        /// Weight of the extended-set average distance (0 disables it).
+        decay: f64,
+    },
+    /// Frontier hop distance plus calibration-weighted link penalties.
+    NoiseAware,
+}
+
+impl CostModelSpec {
+    /// Default extended-set size for [`CostModelSpec::Lookahead`].
+    pub const DEFAULT_LOOKAHEAD_WINDOW: usize = 8;
+    /// Default extended-set weight for [`CostModelSpec::Lookahead`].
+    pub const DEFAULT_LOOKAHEAD_DECAY: f64 = 0.5;
+
+    /// The lookahead model with its default parameters.
+    pub fn lookahead() -> Self {
+        CostModelSpec::Lookahead {
+            window: Self::DEFAULT_LOOKAHEAD_WINDOW,
+            decay: Self::DEFAULT_LOOKAHEAD_DECAY,
+        }
+    }
+
+    /// Every model with default parameters, in stable report order.
+    pub const ALL_DEFAULT: [&'static str; 3] = ["hop", "lookahead", "noise-aware"];
+
+    /// Parses the `--cost-model` / wire `router` grammar:
+    /// `hop | lookahead[:window[:decay]] | noise-aware`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field (unknown model name,
+    /// unparsable window/decay, non-finite or negative decay).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let spec = match head {
+            "hop" => CostModelSpec::Hop,
+            "noise-aware" | "noise" => CostModelSpec::NoiseAware,
+            "lookahead" => {
+                let window = match parts.next() {
+                    None => Self::DEFAULT_LOOKAHEAD_WINDOW,
+                    Some(w) => w
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad lookahead window '{w}' in '{s}'"))?,
+                };
+                let decay = match parts.next() {
+                    None => Self::DEFAULT_LOOKAHEAD_DECAY,
+                    Some(d) => d
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad lookahead decay '{d}' in '{s}'"))?,
+                };
+                if !decay.is_finite() || decay < 0.0 {
+                    return Err(format!(
+                        "lookahead decay must be finite and >= 0, got '{decay}'"
+                    ));
+                }
+                CostModelSpec::Lookahead { window, decay }
+            }
+            _ => {
+                return Err(format!(
+                    "unknown cost model '{s}' (expected {COST_MODEL_GRAMMAR})"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing parameters in cost model '{s}'"));
+        }
+        Ok(spec)
+    }
+
+    /// The bare model name, without parameters.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModelSpec::Hop => "hop",
+            CostModelSpec::Lookahead { .. } => "lookahead",
+            CostModelSpec::NoiseAware => "noise-aware",
+        }
+    }
+
+    /// A stable cache-key component covering every scoring parameter
+    /// bit-exactly (the decay is rendered from its IEEE bits, so two specs
+    /// that could route differently never share a tag).
+    pub fn cache_tag(self) -> String {
+        match self {
+            CostModelSpec::Hop => "hop".into(),
+            CostModelSpec::Lookahead { window, decay } => {
+                format!("lookahead:{window}:{:016x}", decay.to_bits())
+            }
+            CostModelSpec::NoiseAware => "noise-aware".into(),
+        }
+    }
+
+    /// Builds the scoring object for `device`. `NoiseAware` precomputes
+    /// the device's median CX error/duration here so scoring is O(1).
+    pub fn build(self, device: &Device) -> Box<dyn CostModel> {
+        match self {
+            CostModelSpec::Hop => Box::new(HopCost),
+            CostModelSpec::Lookahead { window, decay } => Box::new(LookaheadCost { window, decay }),
+            CostModelSpec::NoiseAware => Box::new(NoiseAwareCost::new(device)),
+        }
+    }
+}
+
+impl fmt::Display for CostModelSpec {
+    /// Round-trips through [`CostModelSpec::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CostModelSpec::Hop => f.write_str("hop"),
+            CostModelSpec::Lookahead { window, decay } => {
+                write!(f, "lookahead:{window}:{decay}")
+            }
+            CostModelSpec::NoiseAware => f.write_str("noise-aware"),
+        }
+    }
+}
+
+/// Per-candidate context handed to [`CostModel::score`].
+pub struct SwapScoreCtx<'a> {
+    /// The target device (topology + calibration).
+    pub device: &'a Device,
+    /// Physical endpoints of the routing-pending frontier gates — the
+    /// pairs whose summed distance the admission rule shrinks.
+    pub frontier: &'a [(usize, usize)],
+    /// Physical endpoints of upcoming two-qubit gates (the extended set),
+    /// in DAG breadth-first order. Empty unless the model requested a
+    /// window via [`CostModel::lookahead_window`].
+    pub lookahead: &'a [(usize, usize)],
+}
+
+/// Ranks admitted SWAP candidates. Implementations must be deterministic:
+/// the same inputs always produce the same score.
+pub trait CostModel {
+    /// The spec this model was built from.
+    fn spec(&self) -> CostModelSpec;
+
+    /// How many upcoming two-qubit gates the router should collect into
+    /// [`SwapScoreCtx::lookahead`]. Zero (the default) skips the DAG walk
+    /// entirely.
+    fn lookahead_window(&self) -> usize {
+        0
+    }
+
+    /// Scores one admitted candidate; lower is better. `frontier_after`
+    /// is the summed frontier hop distance after applying `swap` — the
+    /// quantity the admission rule already proved smaller than the
+    /// pre-swap distance.
+    fn score(&self, ctx: &SwapScoreCtx<'_>, frontier_after: u32, swap: (usize, usize)) -> f64;
+}
+
+/// [`CostModelSpec::Hop`]: score is the frontier distance, nothing else.
+#[derive(Debug)]
+struct HopCost;
+
+impl CostModel for HopCost {
+    fn spec(&self) -> CostModelSpec {
+        CostModelSpec::Hop
+    }
+
+    fn score(&self, _ctx: &SwapScoreCtx<'_>, frontier_after: u32, _swap: (usize, usize)) -> f64 {
+        f64::from(frontier_after)
+    }
+}
+
+/// [`CostModelSpec::Lookahead`]: frontier distance plus the decayed mean
+/// distance of the extended set under the candidate remap.
+#[derive(Debug)]
+struct LookaheadCost {
+    window: usize,
+    decay: f64,
+}
+
+impl CostModel for LookaheadCost {
+    fn spec(&self) -> CostModelSpec {
+        CostModelSpec::Lookahead {
+            window: self.window,
+            decay: self.decay,
+        }
+    }
+
+    fn lookahead_window(&self) -> usize {
+        self.window
+    }
+
+    fn score(&self, ctx: &SwapScoreCtx<'_>, frontier_after: u32, swap: (usize, usize)) -> f64 {
+        let base = f64::from(frontier_after);
+        if ctx.lookahead.is_empty() {
+            return base;
+        }
+        let topo = ctx.device.topology();
+        let (x, y) = swap;
+        let remap = |p: usize| {
+            if p == x {
+                y
+            } else if p == y {
+                x
+            } else {
+                p
+            }
+        };
+        let sum: u32 = ctx
+            .lookahead
+            .iter()
+            .map(|&(a, b)| topo.distance(remap(a), remap(b)))
+            .sum();
+        base + self.decay * f64::from(sum) / ctx.lookahead.len() as f64
+    }
+}
+
+/// Weight of the swap's own CX-error mass in [`NoiseAwareCost`] — the
+/// three CXs a SWAP decomposes into, in median-error units. At 0.2 the
+/// best-to-worst-link gap (~0.9 after the x3) stays just under one hop of
+/// frontier progress, so the swap-link penalty reorders equal-progress
+/// candidates but almost never buys a cleaner link with an extra SWAP —
+/// an extra SWAP costs three CXs of error, a trade that loses on real
+/// calibrations.
+const NOISE_ERROR_WEIGHT: f64 = 0.2;
+/// Weight of the landing-link credit in [`NoiseAwareCost`]: each frontier
+/// gate a candidate makes executable contributes its landing link's error
+/// relative to the median (negative for reliable links). Worth double the
+/// swap-link weight — the landing link is where the program's own CXs
+/// execute, and steering *them* is what actually moves the circuit's
+/// total error mass (swept on the golden corpus: the 2x ridge beats hop
+/// on both SWAP count and CX error mass; heavier landing weights chase
+/// clean links into 20+ extra SWAPs).
+const NOISE_LANDING_WEIGHT: f64 = 0.4;
+/// Weight of the normalized CX duration term in [`NoiseAwareCost`]. An
+/// order of magnitude below the error weights: durations vary far less
+/// across links and should only arbitrate between similarly reliable
+/// candidates.
+const NOISE_DURATION_WEIGHT: f64 = 0.02;
+
+/// [`CostModelSpec::NoiseAware`]: frontier distance plus the CX-error
+/// mass the candidate commits to — three CXs on the swap's own link, one
+/// on the landing link of every frontier gate the swap makes executable —
+/// normalized by the device's median CX error, plus a small duration term.
+#[derive(Debug)]
+struct NoiseAwareCost {
+    median_cx_error: f64,
+    median_cx_duration: f64,
+}
+
+impl NoiseAwareCost {
+    fn new(device: &Device) -> Self {
+        let topo = device.topology();
+        let cal = device.calibration();
+        let mut errs = Vec::new();
+        let mut durs = Vec::new();
+        for a in 0..topo.num_qubits() {
+            for b in topo.neighbors(a) {
+                if a < b {
+                    errs.push(cal.cx_error(a, b));
+                    durs.push(cal.cx_duration(a, b) as f64);
+                }
+            }
+        }
+        NoiseAwareCost {
+            median_cx_error: median(&mut errs),
+            median_cx_duration: median(&mut durs),
+        }
+    }
+}
+
+/// Median of `values` (upper median for even lengths), or 1.0 when the
+/// slice is empty or the median is non-positive — the penalty terms then
+/// degrade gracefully instead of dividing by zero.
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let m = values[values.len() / 2];
+    if m > 0.0 {
+        m
+    } else {
+        1.0
+    }
+}
+
+impl CostModel for NoiseAwareCost {
+    fn spec(&self) -> CostModelSpec {
+        CostModelSpec::NoiseAware
+    }
+
+    fn score(&self, ctx: &SwapScoreCtx<'_>, frontier_after: u32, swap: (usize, usize)) -> f64 {
+        let topo = ctx.device.topology();
+        let cal = ctx.device.calibration();
+        let (from, to) = swap;
+        let remap = |p: usize| {
+            if p == from {
+                to
+            } else if p == to {
+                from
+            } else {
+                p
+            }
+        };
+        // Error mass in median units: the swap itself spends three CXs on
+        // its link, and every frontier gate the swap makes executable will
+        // spend one CX on whatever link it lands on — credit reliable
+        // landing links (below-median error is a negative contribution).
+        let mut error_mass =
+            NOISE_ERROR_WEIGHT * 3.0 * cal.cx_error(from, to) / self.median_cx_error;
+        for &(a, b) in ctx.frontier {
+            let (pa, pb) = (remap(a), remap(b));
+            if topo.distance(pa, pb) == 1 {
+                error_mass +=
+                    NOISE_LANDING_WEIGHT * (cal.cx_error(pa, pb) / self.median_cx_error - 1.0);
+            }
+        }
+        f64::from(frontier_after)
+            + error_mass
+            + NOISE_DURATION_WEIGHT * cal.cx_duration(from, to) as f64 / self.median_cx_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_arch::Topology;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        for s in ["hop", "lookahead:8:0.5", "lookahead:4:0.25", "noise-aware"] {
+            let spec = CostModelSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(CostModelSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_defaults_and_aliases() {
+        assert_eq!(
+            CostModelSpec::parse("lookahead").unwrap(),
+            CostModelSpec::lookahead()
+        );
+        assert_eq!(
+            CostModelSpec::parse("lookahead:4").unwrap(),
+            CostModelSpec::Lookahead {
+                window: 4,
+                decay: CostModelSpec::DEFAULT_LOOKAHEAD_DECAY
+            }
+        );
+        assert_eq!(
+            CostModelSpec::parse("noise").unwrap(),
+            CostModelSpec::NoiseAware
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for s in [
+            "sabre",
+            "hop:1",
+            "noise-aware:2",
+            "lookahead:x",
+            "lookahead:4:nan",
+            "lookahead:4:-1",
+            "lookahead:4:0.5:9",
+            "",
+        ] {
+            assert!(CostModelSpec::parse(s).is_err(), "'{s}' must not parse");
+        }
+    }
+
+    #[test]
+    fn cache_tags_distinguish_parameters() {
+        let tags = [
+            CostModelSpec::Hop.cache_tag(),
+            CostModelSpec::lookahead().cache_tag(),
+            CostModelSpec::Lookahead {
+                window: 8,
+                decay: 0.25,
+            }
+            .cache_tag(),
+            CostModelSpec::Lookahead {
+                window: 4,
+                decay: 0.5,
+            }
+            .cache_tag(),
+            CostModelSpec::NoiseAware.cache_tag(),
+        ];
+        let distinct: std::collections::BTreeSet<&String> = tags.iter().collect();
+        assert_eq!(distinct.len(), tags.len(), "{tags:?}");
+    }
+
+    #[test]
+    fn hop_score_preserves_u32_order() {
+        let device = Device::with_synthetic_calibration(Topology::line(3), 1);
+        let model = CostModelSpec::Hop.build(&device);
+        let ctx = SwapScoreCtx {
+            device: &device,
+            frontier: &[],
+            lookahead: &[],
+        };
+        let mut prev = f64::NEG_INFINITY;
+        for after in [0u32, 1, 2, 1000, u32::MAX] {
+            let s = model.score(&ctx, after, (0, 1));
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn lookahead_prefers_swaps_helping_future_gates() {
+        let device = Device::with_synthetic_calibration(Topology::line(5), 1);
+        let model = CostModelSpec::lookahead().build(&device);
+        assert_eq!(model.lookahead_window(), 8);
+        // Future gate (0, 3): swapping (1, 0) moves wire 0 to 1, cutting
+        // its distance; swapping (1, 2) does not involve it usefully.
+        let ctx = SwapScoreCtx {
+            device: &device,
+            frontier: &[],
+            lookahead: &[(0, 3)],
+        };
+        let helps = model.score(&ctx, 1, (0, 1));
+        let neutral = model.score(&ctx, 1, (3, 4));
+        assert!(helps < neutral, "{helps} vs {neutral}");
+    }
+
+    #[test]
+    fn noise_aware_prefers_reliable_links() {
+        let device = Device::mumbai(2023);
+        let model = CostModelSpec::NoiseAware.build(&device);
+        let ctx = SwapScoreCtx {
+            device: &device,
+            frontier: &[],
+            lookahead: &[],
+        };
+        let topo = device.topology();
+        let cal = device.calibration();
+        // Any two edges with different error rates must score differently
+        // at equal frontier distance, ordered by total penalty.
+        let mut edges = Vec::new();
+        for a in 0..topo.num_qubits() {
+            for b in topo.neighbors(a) {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        // The best and worst edge by raw error must keep that order under
+        // the model (durations are drawn from the same distribution, so
+        // the 10x-smaller duration weight cannot overturn an error-rate
+        // extreme), and every penalty is strictly additive.
+        let by_err = |&(a, b): &(usize, usize)| cal.cx_error(a, b);
+        let best = *edges
+            .iter()
+            .min_by(|x, y| by_err(x).total_cmp(&by_err(y)))
+            .unwrap();
+        let worst = *edges
+            .iter()
+            .max_by(|x, y| by_err(x).total_cmp(&by_err(y)))
+            .unwrap();
+        let s_best = model.score(&ctx, 2, best);
+        let s_worst = model.score(&ctx, 2, worst);
+        assert!(s_best < s_worst, "{s_best} vs {s_worst}");
+        for &e in &edges {
+            assert!(model.score(&ctx, 2, e) > 2.0, "penalties are additive");
+        }
+    }
+}

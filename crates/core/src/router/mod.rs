@@ -14,6 +14,16 @@
 //!   sequence when the wire is handed to a new logical qubit (Step 4).
 //! * `preplace` — the baseline maps every logical qubit up front
 //!   (interaction-degree placement); SR-CaQR maps on demand.
+//! * `cost_model` — how admitted SWAP candidates are ranked
+//!   ([`CostModelSpec`]): plain hop distance (the pinned default), a
+//!   SABRE-style lookahead over upcoming gates, or calibration-weighted
+//!   noise-aware edge costs.
+//!
+//! The module splits by concern: [`cost`] defines the pluggable scoring
+//! models, `swap` the admission/ranking/fallback search, `policy` the
+//! free-qubit placement heuristic, and this file the frontier walk that
+//! ties them to a [`caqr_arch::Layout`] — the typed logical↔physical map
+//! whose invariants are re-checked after every mutation in debug builds.
 //!
 //! Physical-qubit choices and SWAP insertion are error-variability aware:
 //! ties break toward smaller readout error and more reliable CNOT links,
@@ -24,12 +34,18 @@
 //! more than once (SR's policy comparison, the bidirectional refinement)
 //! pass a shared cache via [`route_cached`] so the analyses are built once.
 
+pub mod cost;
+mod policy;
+mod swap;
+
+pub use cost::{CostModel, CostModelSpec, SwapScoreCtx, COST_MODEL_GRAMMAR};
+
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
-use caqr_arch::Device;
+use caqr_arch::{Device, Layout, WireState};
 use caqr_circuit::{Circuit, CircuitDag, Clbit, Gate, Instruction, Qubit};
 use caqr_graph::Graph;
-use std::collections::BTreeSet;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Routing policy knobs; see the module docs.
@@ -41,6 +57,8 @@ pub struct RouterOptions {
     pub reclaim: bool,
     /// Map every logical qubit before routing (baseline behaviour).
     pub preplace: bool,
+    /// How admitted SWAP candidates are ranked; see [`CostModelSpec`].
+    pub cost_model: CostModelSpec,
 }
 
 impl RouterOptions {
@@ -50,6 +68,7 @@ impl RouterOptions {
             delay_off_critical: true,
             reclaim: true,
             preplace: false,
+            cost_model: CostModelSpec::Hop,
         }
     }
 
@@ -59,7 +78,14 @@ impl RouterOptions {
             delay_off_critical: false,
             reclaim: false,
             preplace: true,
+            cost_model: CostModelSpec::Hop,
         }
+    }
+
+    /// The same policy under a different swap-scoring model.
+    pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
+        self.cost_model = cost_model;
+        self
     }
 }
 
@@ -91,20 +117,10 @@ impl RoutedCircuit {
     }
 }
 
-/// State of a physical qubit between logical assignments.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum PhysState {
-    /// Never used: known |0>.
-    Fresh,
-    /// Previously used; needs a reset before reuse. If the retired logical
-    /// qubit's last gate was a measurement, its clbit suffices for a
-    /// conditional reset; otherwise a fresh measurement is required.
-    Dirty { measured: Option<Clbit> },
-}
-
 struct Router<'a> {
     device: &'a Device,
     opts: RouterOptions,
+    cost: Box<dyn CostModel>,
     circuit: &'a Circuit,
     interaction: Rc<Graph>,
     // DAG state.
@@ -112,14 +128,10 @@ struct Router<'a> {
     indeg: Vec<usize>,
     scheduled: Vec<bool>,
     critical: Rc<Vec<bool>>,
-    // Mapping state.
-    log2phys: Vec<Option<usize>>,
-    phys2log: Vec<Option<usize>>,
-    phys_state: Vec<PhysState>,
-    free: BTreeSet<usize>,
-    used_ever: BTreeSet<usize>,
+    // Mapping state: the typed logical<->physical map with free-list and
+    // dirty/reset tracking (invariant-checked in debug builds).
+    layout: Layout,
     remaining: Vec<usize>,
-    initial_layout: Vec<Option<usize>>,
     final_layout: Vec<Option<usize>>,
     // Output.
     out: Vec<Instruction>,
@@ -146,23 +158,18 @@ impl<'a> Router<'a> {
                 remaining[q.index()] += 1;
             }
         }
-        let p = device.num_qubits();
         Router {
             device,
             opts,
+            cost: opts.cost_model.build(device),
             circuit,
             interaction,
             dag,
             indeg,
             scheduled: vec![false; circuit.len()],
             critical,
-            log2phys: vec![None; circuit.num_qubits()],
-            phys2log: vec![None; p],
-            phys_state: vec![PhysState::Fresh; p],
-            free: (0..p).collect(),
-            used_ever: BTreeSet::new(),
+            layout: Layout::new(circuit.num_qubits(), device.num_qubits()),
             remaining,
-            initial_layout: vec![None; circuit.num_qubits()],
             final_layout: vec![None; circuit.num_qubits()],
             out: Vec::new(),
             next_clbit: circuit.num_clbits(),
@@ -170,52 +177,12 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// Chooses a free physical qubit for logical `l` (the paper's Step 2):
-    /// distance to `anchor` (the gate partner, when mapped) dominates, then
-    /// lookahead — summed distance to `l`'s already-mapped future partners
-    /// — then room (free neighbors), then readout / link error.
-    fn pick_for(&self, l: usize, anchor: Option<usize>) -> Option<usize> {
-        let topo = self.device.topology();
-        let cal = self.device.calibration();
-        let partners: Vec<usize> = self
-            .interaction
-            .neighbors(l)
-            .filter_map(|m| self.log2phys[m])
-            .collect();
-        let score = |p: usize| {
-            let d_anchor = anchor.map_or(0, |x| topo.distance(x, p));
-            let d_partners: u32 = partners.iter().map(|&q| topo.distance(p, q)).sum();
-            let free_neighbors = topo.neighbors(p).filter(|n| self.free.contains(n)).count();
-            let err = match anchor {
-                Some(x) if topo.distance(x, p) == 1 => cal.cx_error(x, p),
-                _ => cal.readout_error(p),
-            };
-            (
-                d_anchor,
-                d_partners,
-                std::cmp::Reverse(free_neighbors),
-                err,
-                p,
-            )
-        };
-        self.free.iter().copied().min_by(|&a, &b| {
-            let (a0, a1, a2, a3, a4) = score(a);
-            let (b0, b1, b2, b3, b4) = score(b);
-            (a0, a1, a2)
-                .cmp(&(b0, b1, b2))
-                .then(a3.total_cmp(&b3))
-                .then(a4.cmp(&b4))
-        })
-    }
-
     /// Assigns logical `l` to physical `p`, inserting the reuse reset when
     /// the wire is dirty.
     fn assign(&mut self, l: usize, p: usize) {
-        let was_free = self.free.remove(&p);
-        debug_assert!(was_free, "physical qubit must be free");
-        if let PhysState::Dirty { measured } = self.phys_state[p] {
+        if let WireState::Dirty { measured } = self.layout.assign(l, p) {
             let clbit = match measured {
-                Some(c) => c,
+                Some(c) => Clbit::new(c),
                 None => {
                     let c = Clbit::new(self.next_clbit);
                     self.next_clbit += 1;
@@ -235,13 +202,6 @@ impl<'a> Router<'a> {
                 condition: Some(clbit),
             });
         }
-        self.phys_state[p] = PhysState::Fresh;
-        self.phys2log[p] = Some(l);
-        self.log2phys[l] = Some(p);
-        self.used_ever.insert(p);
-        if self.initial_layout[l].is_none() {
-            self.initial_layout[l] = Some(p);
-        }
     }
 
     /// Maps any unmapped operands of `node` per the paper's Step 2 rules.
@@ -251,7 +211,7 @@ impl<'a> Router<'a> {
             .qubits
             .iter()
             .map(|q| q.index())
-            .filter(|&l| self.log2phys[l].is_none())
+            .filter(|&l| self.layout.phys_of(l).is_none())
             .collect();
         match (unmapped.len(), instr.qubits.len()) {
             (0, _) => Ok(()),
@@ -271,7 +231,9 @@ impl<'a> Router<'a> {
                     .map(|q| q.index())
                     .find(|&x| x != l)
                     .ok_or_else(|| CaqrError::internal("two-qubit gate has no second operand"))?;
-                let anchor = self.log2phys[partner]
+                let anchor = self
+                    .layout
+                    .phys_of(partner)
                     .ok_or_else(|| CaqrError::internal("gate partner is unmapped"))?;
                 let p = self
                     .pick_for(l, Some(anchor))
@@ -304,6 +266,11 @@ impl<'a> Router<'a> {
         }
     }
 
+    /// See [`policy::pick_free_qubit`].
+    fn pick_for(&self, l: usize, anchor: Option<usize>) -> Option<usize> {
+        policy::pick_free_qubit(self.device, &self.layout, &self.interaction, l, anchor)
+    }
+
     /// The out-of-capacity error, pinpointing the logical qubit whose
     /// placement failed and (when routing, not preplacing) the
     /// instruction that needed it.
@@ -323,7 +290,9 @@ impl<'a> Router<'a> {
         let mut ni = instr.clone();
         let mut qubits = Vec::with_capacity(instr.qubits.len());
         for q in &instr.qubits {
-            let p = self.log2phys[q.index()]
+            let p = self
+                .layout
+                .phys_of(q.index())
                 .ok_or_else(|| CaqrError::internal("emitting a gate with an unmapped operand"))?;
             qubits.push(Qubit::new(p));
         }
@@ -338,155 +307,106 @@ impl<'a> Router<'a> {
             let l = q.index();
             self.remaining[l] -= 1;
             if self.remaining[l] == 0 {
-                let p = self.log2phys[l]
+                let p = self
+                    .layout
+                    .phys_of(l)
                     .ok_or_else(|| CaqrError::internal("retiring an unmapped logical qubit"))?;
                 self.final_layout[l] = Some(p);
                 if self.opts.reclaim {
                     let measured = if instr.gate == Gate::Measure && instr.qubits[0].index() == l {
-                        Some(instr.clbit.ok_or_else(|| {
+                        let clbit = instr.clbit.ok_or_else(|| {
                             CaqrError::internal("measure instruction has no clbit")
-                        })?)
+                        })?;
+                        Some(clbit.index())
                     } else {
                         None
                     };
-                    self.phys_state[p] = PhysState::Dirty { measured };
-                    self.phys2log[p] = None;
-                    self.log2phys[l] = None;
-                    self.free.insert(p);
+                    self.layout.release(l, measured);
                 }
             }
         }
         Ok(())
     }
 
+    /// Physical endpoints of upcoming two-qubit gates — DAG successors of
+    /// the pending frontier in breadth-first order, both operands mapped,
+    /// at most `window` of them. This is SABRE's *extended set*, consumed
+    /// by [`CostModel::score`] via [`SwapScoreCtx::lookahead`].
+    fn lookahead_pairs(&self, pending: &[usize], window: usize) -> Vec<(usize, usize)> {
+        let mut seen = vec![false; self.circuit.len()];
+        let mut queue = VecDeque::new();
+        for &node in pending {
+            for s in self.dag.graph().successors(node) {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        let mut pairs = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            if pairs.len() >= window {
+                break;
+            }
+            let instr = &self.circuit.instructions()[v];
+            if !self.scheduled[v] && instr.is_two_qubit() {
+                if let (Some(a), Some(b)) = (
+                    self.layout.phys_of(instr.qubits[0].index()),
+                    self.layout.phys_of(instr.qubits[1].index()),
+                ) {
+                    pairs.push((a, b));
+                }
+            }
+            for s in self.dag.graph().successors(v) {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        pairs
+    }
+
     /// Chooses and applies the best single SWAP for the set of
     /// routing-pending two-qubit gates (all operands mapped, none
-    /// adjacent). Candidates are scored frontier-wide, SABRE-style: the
-    /// swap minimizing the *summed* distance of every pending gate wins
-    /// (ties: avoid touching fresh qubits, then the more reliable link).
-    /// When no swap shrinks the total, the first pending gate is routed
-    /// greedily (a distance-reducing swap for a single gate always exists
-    /// on a connected topology), which guarantees progress.
+    /// adjacent); see [`swap::select_swap`] for admission, ranking, and
+    /// the guaranteed-progress fallback.
     fn insert_swap_for_frontier(&mut self, pending: &[usize]) -> Result<(), CaqrError> {
-        let topo = self.device.topology();
-        let cal = self.device.calibration();
         let mut gate_phys: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
         for &node in pending {
             let instr = &self.circuit.instructions()[node];
-            let a = self.log2phys[instr.qubits[0].index()]
+            let a = self
+                .layout
+                .phys_of(instr.qubits[0].index())
                 .ok_or_else(|| CaqrError::internal("pending gate has an unmapped operand"))?;
-            let b = self.log2phys[instr.qubits[1].index()]
+            let b = self
+                .layout
+                .phys_of(instr.qubits[1].index())
                 .ok_or_else(|| CaqrError::internal("pending gate has an unmapped operand"))?;
             gate_phys.push((a, b));
         }
-        let total = |swap: Option<(usize, usize)>| -> u32 {
-            let remap = |p: usize| match swap {
-                Some((x, y)) if p == x => y,
-                Some((x, y)) if p == y => x,
-                _ => p,
-            };
-            gate_phys
-                .iter()
-                .map(|&(a, b)| topo.distance(remap(a), remap(b)))
-                .sum()
+        let window = self.cost.lookahead_window();
+        let lookahead = if window > 0 {
+            self.lookahead_pairs(pending, window)
+        } else {
+            Vec::new()
         };
-        let before = total(None);
-
-        type Cand = (u32, bool, f64, usize, usize); // (total_after, fresh, err, from, to)
-        let mut best: Option<Cand> = None;
-        let mut endpoints: Vec<usize> = gate_phys.iter().flat_map(|&(a, b)| [a, b]).collect();
-        endpoints.sort_unstable();
-        endpoints.dedup();
-        for &from in &endpoints {
-            for to in topo.neighbors(from) {
-                let after = total(Some((from, to)));
-                if after >= before {
-                    continue;
-                }
-                let fresh = !self.used_ever.contains(&to);
-                let err = cal.cx_error(from, to);
-                let cand = (after, fresh, err, from, to);
-                let better = match &best {
-                    None => true,
-                    Some(b) => (cand.0, cand.1)
-                        .cmp(&(b.0, b.1))
-                        .then(cand.2.total_cmp(&b.2))
-                        .then((cand.3, cand.4).cmp(&(b.3, b.4)))
-                        .is_lt(),
-                };
-                if better {
-                    best = Some(cand);
-                }
-            }
-        }
-        // Fallback: shrink the first gate's distance directly.
-        let (from, to) = match best {
-            Some((_, _, _, from, to)) => (from, to),
-            None => {
-                let (pa, pb) = gate_phys[0];
-                let cur = topo.distance(pa, pb);
-                let mut fallback: Option<(u32, f64, usize, usize)> = None;
-                for (anchor, other) in [(pa, pb), (pb, pa)] {
-                    for n in topo.neighbors(anchor) {
-                        let nd = topo.distance(n, other);
-                        if nd >= cur {
-                            continue;
-                        }
-                        let err = cal.cx_error(anchor, n);
-                        let cand = (nd, err, anchor, n);
-                        let better = match &fallback {
-                            None => true,
-                            Some(b) => cand
-                                .0
-                                .cmp(&b.0)
-                                .then(cand.1.total_cmp(&b.1))
-                                .then((cand.2, cand.3).cmp(&(b.2, b.3)))
-                                .is_lt(),
-                        };
-                        if better {
-                            fallback = Some(cand);
-                        }
-                    }
-                }
-                let (_, _, from, to) = fallback.ok_or_else(|| {
-                    CaqrError::internal(
-                        "no distance-reducing swap exists; device topology is disconnected",
-                    )
-                })?;
-                (from, to)
-            }
-        };
+        let layout = &self.layout;
+        let (from, to) = swap::select_swap(
+            self.device,
+            self.cost.as_ref(),
+            &gate_phys,
+            &lookahead,
+            &|p| layout.was_used(p),
+        )?;
         self.out.push(Instruction::gate(
             Gate::Swap,
             vec![Qubit::new(from), Qubit::new(to)],
         ));
         self.swap_count += 1;
-        // Update mapping: whatever sits on `from` and `to` trades places.
-        let lf = self.phys2log[from];
-        let lt = self.phys2log[to];
-        self.phys2log[from] = lt;
-        self.phys2log[to] = lf;
-        if let Some(l) = lt {
-            self.log2phys[l] = Some(from);
-        }
-        if let Some(l) = lf {
-            self.log2phys[l] = Some(to);
-        }
-        self.phys_state.swap(from, to);
-        self.used_ever.insert(from);
-        self.used_ever.insert(to);
-        // Free-set bookkeeping follows occupancy.
-        match (self.free.contains(&from), self.free.contains(&to)) {
-            (false, true) => {
-                self.free.remove(&to);
-                self.free.insert(from);
-            }
-            (true, false) => {
-                self.free.remove(&from);
-                self.free.insert(to);
-            }
-            _ => {}
-        }
+        // Whatever sits on `from` and `to` trades places; the layout moves
+        // occupants, wire states, and free-list membership together.
+        self.layout.swap_phys(from, to);
         Ok(())
     }
 
@@ -495,14 +415,14 @@ impl<'a> Router<'a> {
     fn preplace_seeded(&mut self, layout: &[Option<usize>]) -> Result<(), CaqrError> {
         for (l, &p) in layout.iter().enumerate().take(self.circuit.num_qubits()) {
             if let Some(p) = p {
-                if self.free.contains(&p) {
+                if self.layout.is_free(p) {
                     self.assign(l, p);
                 }
             }
         }
         // Any logical qubit the seed missed falls back to the heuristic.
         for l in 0..self.circuit.num_qubits() {
-            if self.log2phys[l].is_none() {
+            if self.layout.phys_of(l).is_none() {
                 let p = self
                     .pick_for(l, None)
                     .ok_or_else(|| self.out_of_qubits(l, None))?;
@@ -553,7 +473,7 @@ impl<'a> Router<'a> {
                 let phys: Vec<Option<usize>> = instr
                     .qubits
                     .iter()
-                    .map(|q| self.log2phys[q.index()])
+                    .map(|q| self.layout.phys_of(q.index()))
                     .collect();
                 if phys.iter().any(|p| p.is_none()) {
                     continue;
@@ -584,7 +504,7 @@ impl<'a> Router<'a> {
                         && instr
                             .qubits
                             .iter()
-                            .all(|q| self.log2phys[q.index()].is_some())
+                            .all(|q| self.layout.phys_of(q.index()).is_some())
                 })
                 .collect();
             if !pending.is_empty() {
@@ -601,7 +521,7 @@ impl<'a> Router<'a> {
                     self.circuit.instructions()[v]
                         .qubits
                         .iter()
-                        .any(|q| self.log2phys[q.index()].is_none())
+                        .any(|q| self.layout.phys_of(q.index()).is_none())
                 })
                 .collect();
             debug_assert!(
@@ -627,8 +547,8 @@ impl<'a> Router<'a> {
         Ok(RoutedCircuit {
             circuit,
             swap_count: self.swap_count,
-            physical_qubits_used: self.used_ever.len(),
-            initial_layout: self.initial_layout,
+            physical_qubits_used: self.layout.used_count(),
+            initial_layout: self.layout.initial_layout().to_vec(),
             final_layout: self.final_layout,
         })
     }
@@ -796,6 +716,42 @@ mod tests {
     }
 
     #[test]
+    fn every_cost_model_routes_compliantly() -> TestResult {
+        use caqr_sim::Executor;
+        let dev = Device::mumbai(5);
+        let mut c = Circuit::new(8, 8);
+        for i in 0..8 {
+            c.h(q(i));
+        }
+        for i in 0..8 {
+            c.cx(q(i), q((i + 3) % 8));
+        }
+        c.measure_all();
+        for spec in [
+            CostModelSpec::Hop,
+            CostModelSpec::lookahead(),
+            CostModelSpec::NoiseAware,
+        ] {
+            for base in [RouterOptions::baseline(), RouterOptions::sr()] {
+                let opts = base.with_cost_model(spec);
+                let r = route(&c, &dev, opts)?;
+                assert!(r.is_hardware_compliant(&dev), "{spec} {base:?}");
+                let (compact, _) = r.circuit.compact_qubits();
+                let counts = Executor::ideal().run_shots(&compact, 10, 3);
+                assert_eq!(counts.total(), 10, "{spec}");
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn hop_is_default_cost_model() {
+        assert_eq!(RouterOptions::sr().cost_model, CostModelSpec::Hop);
+        assert_eq!(RouterOptions::baseline().cost_model, CostModelSpec::Hop);
+        assert_eq!(CostModelSpec::default(), CostModelSpec::Hop);
+    }
+
+    #[test]
     fn reclaimed_wire_gets_reset() -> TestResult {
         // Two disjoint sequential stages that can share wires under SR.
         let dev = Device::with_synthetic_calibration(Topology::line(3), 1);
@@ -924,6 +880,34 @@ mod tests {
             assert_eq!(cached.swap_count, fresh.swap_count);
         }
         assert!(cache.cached_count() > 0, "route_cached must fill the cache");
+        Ok(())
+    }
+
+    #[test]
+    fn route_is_deterministic_per_cost_model() -> TestResult {
+        let dev = Device::mumbai(11);
+        let mut c = Circuit::new(6, 6);
+        for i in 0..6 {
+            c.h(q(i));
+        }
+        for i in 0..6 {
+            c.cx(q(i), q((i + 2) % 6));
+        }
+        c.measure_all();
+        for spec in [
+            CostModelSpec::Hop,
+            CostModelSpec::lookahead(),
+            CostModelSpec::NoiseAware,
+        ] {
+            let opts = RouterOptions::sr().with_cost_model(spec);
+            let a = route(&c, &dev, opts)?;
+            let b = route(&c, &dev, opts)?;
+            assert_eq!(
+                a.circuit.fingerprint(),
+                b.circuit.fingerprint(),
+                "{spec} must be deterministic"
+            );
+        }
         Ok(())
     }
 }

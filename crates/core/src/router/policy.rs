@@ -1,0 +1,52 @@
+//! Free-qubit selection policy (the paper's Step 2).
+
+use caqr_arch::{Device, Layout};
+use caqr_graph::Graph;
+
+/// Chooses a free physical qubit for logical `l`: distance to `anchor`
+/// (the gate partner, when mapped) dominates, then lookahead — summed
+/// distance to `l`'s already-mapped future partners from the interaction
+/// graph — then room (free neighbors), then readout / link error, then
+/// the smallest index.
+///
+/// Identical for every cost model: placement quality is orthogonal to
+/// swap scoring, and keeping it fixed preserves the golden corpus for the
+/// default model.
+pub(crate) fn pick_free_qubit(
+    device: &Device,
+    layout: &Layout,
+    interaction: &Graph,
+    l: usize,
+    anchor: Option<usize>,
+) -> Option<usize> {
+    let topo = device.topology();
+    let cal = device.calibration();
+    let partners: Vec<usize> = interaction
+        .neighbors(l)
+        .filter_map(|m| layout.phys_of(m))
+        .collect();
+    let score = |p: usize| {
+        let d_anchor = anchor.map_or(0, |x| topo.distance(x, p));
+        let d_partners: u32 = partners.iter().map(|&q| topo.distance(p, q)).sum();
+        let free_neighbors = topo.neighbors(p).filter(|&n| layout.is_free(n)).count();
+        let err = match anchor {
+            Some(x) if topo.distance(x, p) == 1 => cal.cx_error(x, p),
+            _ => cal.readout_error(p),
+        };
+        (
+            d_anchor,
+            d_partners,
+            std::cmp::Reverse(free_neighbors),
+            err,
+            p,
+        )
+    };
+    layout.free_wires().min_by(|&a, &b| {
+        let (a0, a1, a2, a3, a4) = score(a);
+        let (b0, b1, b2, b3, b4) = score(b);
+        (a0, a1, a2)
+            .cmp(&(b0, b1, b2))
+            .then(a3.total_cmp(&b3))
+            .then(a4.cmp(&b4))
+    })
+}

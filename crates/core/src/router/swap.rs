@@ -1,0 +1,242 @@
+//! Frontier-scored SWAP selection.
+//!
+//! Given the physical endpoints of every routing-pending two-qubit gate,
+//! [`select_swap`] picks one SWAP, SABRE-style:
+//!
+//! 1. **Admission** (model-independent): a candidate must strictly shrink
+//!    the summed hop distance of the pending frontier. This is the
+//!    termination argument — every admitted swap makes measurable
+//!    progress, whatever the cost model prefers among them.
+//! 2. **Ranking**: the active [`CostModel`] scores each admitted
+//!    candidate; the minimum wins. Ties break deterministically: prefer
+//!    already-used physical qubits, then the lower-error link, then the
+//!    numerically smallest `(from, to)` pair.
+//! 3. **Fallback** (no admitted candidate): shrink the *first* pending
+//!    gate's distance directly — candidates are neighbor swaps of either
+//!    endpoint that reduce that single gate's distance, tie-broken by new
+//!    distance, then link error, then `(anchor, neighbor)`. On a
+//!    connected topology such a swap always exists, so routing cannot
+//!    stall.
+
+use super::cost::{CostModel, SwapScoreCtx};
+use crate::error::CaqrError;
+use caqr_arch::Device;
+
+/// Chooses the best SWAP for the pending frontier. `gate_phys` holds the
+/// current physical endpoints of each pending two-qubit gate, `lookahead`
+/// the endpoints of upcoming gates (empty unless the model asked for a
+/// window), and `used_ever(p)` reports whether wire `p` has been touched.
+///
+/// # Errors
+///
+/// Returns an internal error when no distance-reducing swap exists even
+/// for a single gate — i.e. the device topology is disconnected.
+pub(crate) fn select_swap(
+    device: &Device,
+    cost: &dyn CostModel,
+    gate_phys: &[(usize, usize)],
+    lookahead: &[(usize, usize)],
+    used_ever: &dyn Fn(usize) -> bool,
+) -> Result<(usize, usize), CaqrError> {
+    let topo = device.topology();
+    let cal = device.calibration();
+    let total = |swap: Option<(usize, usize)>| -> u32 {
+        let remap = |p: usize| match swap {
+            Some((x, y)) if p == x => y,
+            Some((x, y)) if p == y => x,
+            _ => p,
+        };
+        gate_phys
+            .iter()
+            .map(|&(a, b)| topo.distance(remap(a), remap(b)))
+            .sum()
+    };
+    let before = total(None);
+    let ctx = SwapScoreCtx {
+        device,
+        frontier: gate_phys,
+        lookahead,
+    };
+
+    type Cand = (f64, bool, f64, usize, usize); // (score, fresh, err, from, to)
+    let mut best: Option<Cand> = None;
+    let mut endpoints: Vec<usize> = gate_phys.iter().flat_map(|&(a, b)| [a, b]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    for &from in &endpoints {
+        for to in topo.neighbors(from) {
+            let after = total(Some((from, to)));
+            if after >= before {
+                continue;
+            }
+            let score = cost.score(&ctx, after, (from, to));
+            let fresh = !used_ever(to);
+            let err = cal.cx_error(from, to);
+            let cand = (score, fresh, err, from, to);
+            let better = match &best {
+                None => true,
+                Some(b) => cand
+                    .0
+                    .total_cmp(&b.0)
+                    .then(cand.1.cmp(&b.1))
+                    .then(cand.2.total_cmp(&b.2))
+                    .then((cand.3, cand.4).cmp(&(b.3, b.4)))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    match best {
+        Some((_, _, _, from, to)) => Ok((from, to)),
+        None => fallback_swap(device, gate_phys[0]),
+    }
+}
+
+/// The guaranteed-progress fallback: the best neighbor swap that shrinks
+/// one gate's distance, independent of any cost model.
+fn fallback_swap(device: &Device, gate: (usize, usize)) -> Result<(usize, usize), CaqrError> {
+    let topo = device.topology();
+    let cal = device.calibration();
+    let (pa, pb) = gate;
+    let cur = topo.distance(pa, pb);
+    let mut fallback: Option<(u32, f64, usize, usize)> = None;
+    for (anchor, other) in [(pa, pb), (pb, pa)] {
+        for n in topo.neighbors(anchor) {
+            let nd = topo.distance(n, other);
+            if nd >= cur {
+                continue;
+            }
+            let err = cal.cx_error(anchor, n);
+            let cand = (nd, err, anchor, n);
+            let better = match &fallback {
+                None => true,
+                Some(b) => cand
+                    .0
+                    .cmp(&b.0)
+                    .then(cand.1.total_cmp(&b.1))
+                    .then((cand.2, cand.3).cmp(&(b.2, b.3)))
+                    .is_lt(),
+            };
+            if better {
+                fallback = Some(cand);
+            }
+        }
+    }
+    let (_, _, from, to) = fallback.ok_or_else(|| {
+        CaqrError::internal("no distance-reducing swap exists; device topology is disconnected")
+    })?;
+    Ok((from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::CostModelSpec;
+    use caqr_arch::Topology;
+
+    fn device(topo: Topology, seed: u64) -> Device {
+        Device::with_synthetic_calibration(topo, seed)
+    }
+
+    /// Two crossing gates on a line force the frontier search into a
+    /// stalemate — every neighbor swap leaves the summed distance at or
+    /// above the status quo — so selection must take the fallback path,
+    /// and the fallback must be deterministic.
+    #[test]
+    fn stalemated_frontier_takes_deterministic_fallback() {
+        let dev = device(Topology::line(5), 11);
+        let cal = dev.calibration();
+        let model = CostModelSpec::Hop.build(&dev);
+        // Gates (0,3) and (1,2): before = 3 + 1 = 4. Every neighbor swap
+        // of {0,1,2,3} re-totals to >= 4 (checked by the select itself:
+        // admission finds no candidate), so the fallback routes gate
+        // (0,3) directly: candidates (0->1) and (3->2) both reach
+        // distance 2, leaving the link error as the tie-breaker.
+        let gates = [(0, 3), (1, 2)];
+        let picked = select_swap(&dev, model.as_ref(), &gates, &[], &|_| true).unwrap();
+        let expected = if cal.cx_error(0, 1).total_cmp(&cal.cx_error(3, 2)).is_le() {
+            (0, 1)
+        } else {
+            (3, 2)
+        };
+        assert_eq!(picked, expected);
+        // Stable across repeated calls and across cost models: the
+        // fallback ignores the model by construction.
+        for spec in [
+            CostModelSpec::Hop,
+            CostModelSpec::lookahead(),
+            CostModelSpec::NoiseAware,
+        ] {
+            let m = spec.build(&dev);
+            assert_eq!(
+                select_swap(&dev, m.as_ref(), &gates, &[], &|_| true).unwrap(),
+                expected,
+                "{spec}"
+            );
+        }
+    }
+
+    /// On a 4-ring with one pending gate across the diagonal, all four
+    /// admitted swaps shrink the distance equally; the tie must resolve
+    /// by (fresh, link error, (from, to)) — deterministically.
+    #[test]
+    fn symmetric_tie_breaks_by_error_then_pair() {
+        let dev = device(Topology::ring(4), 7);
+        let cal = dev.calibration();
+        let model = CostModelSpec::Hop.build(&dev);
+        let gates = [(0, 2)]; // distance 2 on the 4-ring
+                              // Candidates: (0,1), (0,3), (2,1), (2,3) — all reach distance 1.
+        let candidates = [(0, 1), (0, 3), (2, 1), (2, 3)];
+        // All wires already used: freshness cannot discriminate.
+        let picked = select_swap(&dev, model.as_ref(), &gates, &[], &|_| true).unwrap();
+        let expected = candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                cal.cx_error(a.0, a.1)
+                    .total_cmp(&cal.cx_error(b.0, b.1))
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+        assert_eq!(picked, expected);
+        // Repeat for good measure: the search is pure.
+        for _ in 0..3 {
+            assert_eq!(
+                select_swap(&dev, model.as_ref(), &gates, &[], &|_| true).unwrap(),
+                picked
+            );
+        }
+    }
+
+    /// Freshness outranks link error: with every wire unused except the
+    /// one a candidate would touch, the used candidate wins even when its
+    /// link is noisier.
+    #[test]
+    fn used_wires_preferred_over_fresh_ones() {
+        let dev = device(Topology::ring(4), 7);
+        let model = CostModelSpec::Hop.build(&dev);
+        let gates = [(0, 2)];
+        // Only wires 0, 2, and 1 have been used: candidates swapping onto
+        // wire 3 are "fresh" and must lose to those staying on {1}.
+        let used = |p: usize| p != 3;
+        let picked = select_swap(&dev, model.as_ref(), &gates, &[], &used).unwrap();
+        assert!(picked.1 != 3, "fresh wire chosen over used: {picked:?}");
+    }
+
+    #[test]
+    fn disconnected_topology_reports_internal_error() {
+        // A 2-qubit "line" has qubits 0-1 coupled; gate endpoints on the
+        // same pair are adjacent, so craft disconnection via a star where
+        // the gate spans two leaves... simplest: two isolated qubits via
+        // grid(1, 2) has them coupled, so use distance-0 self pair on a
+        // single-qubit topology instead.
+        let dev = device(Topology::line(1), 1);
+        let model = CostModelSpec::Hop.build(&dev);
+        // A gate whose endpoints coincide: distance 0, no swap can shrink
+        // it, and the fallback finds no candidates.
+        let err = select_swap(&dev, model.as_ref(), &[(0, 0)], &[], &|_| true).unwrap_err();
+        assert!(format!("{err}").contains("disconnected"), "{err}");
+    }
+}

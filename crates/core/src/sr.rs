@@ -17,7 +17,7 @@ use crate::commuting::{CommutingSpec, Matcher};
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
 use crate::qs;
-use crate::router::{self, RoutedCircuit, RouterOptions};
+use crate::router::{self, CostModelSpec, RoutedCircuit, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
 
@@ -53,6 +53,24 @@ fn route_versions(
 ///
 /// Returns [`CaqrError::OutOfQubits`] when no version fits the device.
 pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, CaqrError> {
+    compile_with(circuit, device, CostModelSpec::Hop)
+}
+
+/// [`compile`] under an explicit swap-scoring [`CostModelSpec`], applied
+/// to every candidate version under both policies.
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] when no version fits the device.
+pub fn compile_with(
+    circuit: &Circuit,
+    device: &Device,
+    cost_model: CostModelSpec,
+) -> Result<RoutedCircuit, CaqrError> {
+    let policies = [
+        RouterOptions::sr().with_cost_model(cost_model),
+        RouterOptions::baseline().with_cost_model(cost_model),
+    ];
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
     let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
@@ -68,22 +86,16 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Caqr
             Err(e) => *last_err = Some(e),
         }
     };
-    route_versions(
-        circuit,
-        device,
-        [RouterOptions::sr(), RouterOptions::baseline()],
-        |c| consider(c, &mut best, &mut last_err),
-    );
+    route_versions(circuit, device, policies, |c| {
+        consider(c, &mut best, &mut last_err)
+    });
     for point in qs::regular::sweep(circuit, &device.logical_duration_model()) {
         if point.reuses == 0 {
             continue; // the original was handled above
         }
-        route_versions(
-            &point.circuit,
-            device,
-            [RouterOptions::sr(), RouterOptions::baseline()],
-            |c| consider(c, &mut best, &mut last_err),
-        );
+        route_versions(&point.circuit, device, policies, |c| {
+            consider(c, &mut best, &mut last_err)
+        });
     }
     finish(best, last_err)
 }
@@ -196,6 +208,22 @@ pub fn compile_commuting_with(
     device: &Device,
     spec: &CommutingSpec,
 ) -> Result<RoutedCircuit, CaqrError> {
+    compile_commuting_with_cost(circuit, device, spec, CostModelSpec::Hop)
+}
+
+/// [`compile_commuting_with`] under an explicit swap-scoring
+/// [`CostModelSpec`], applied to every candidate version under both
+/// policies.
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] as for [`compile`].
+pub fn compile_commuting_with_cost(
+    circuit: &Circuit,
+    device: &Device,
+    spec: &CommutingSpec,
+    cost_model: CostModelSpec,
+) -> Result<RoutedCircuit, CaqrError> {
     let matcher = default_matcher(spec);
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
@@ -216,7 +244,10 @@ pub fn compile_commuting_with(
     route_versions(
         circuit,
         device,
-        [RouterOptions::baseline(), RouterOptions::sr()],
+        [
+            RouterOptions::baseline().with_cost_model(cost_model),
+            RouterOptions::sr().with_cost_model(cost_model),
+        ],
         |c| consider(c, &mut best, &mut last_err),
     );
     // Every QS sweep point (scheduler-ordered, 0..max reuse) under both
@@ -226,7 +257,10 @@ pub fn compile_commuting_with(
         route_versions(
             &point.circuit,
             device,
-            [RouterOptions::sr(), RouterOptions::baseline()],
+            [
+                RouterOptions::sr().with_cost_model(cost_model),
+                RouterOptions::baseline().with_cost_model(cost_model),
+            ],
             |c| consider(c, &mut best, &mut last_err),
         );
     }

@@ -3,22 +3,26 @@
 //!
 //! ```text
 //! caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D]
-//!              [--seed N] [--emit]
+//!              [--seed N] [--cost-model M] [--emit]
 //! caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]
-//!                    [--device D] [--seed N] [--jobs N] [--cache N]
-//!                    [--metrics] [--json]
+//!                    [--device D] [--seed N] [--cost-model M[,M...]]
+//!                    [--jobs N] [--cache N] [--metrics] [--json]
 //! caqr advise  <file.qasm> [--device D] [--seed N]
 //! caqr sweep   <file.qasm>
 //! caqr info    <file.qasm>
 //!
-//! strategies: baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
-//! devices:    mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
-//! suites:     regular | qaoa | full (the paper's benchmark tables)
-//! passes:     any comma-separated subset of the registered pass names
-//!             (see `caqr::REGISTERED_PASSES`); overrides --strategy's recipe
+//! strategies:  baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
+//! devices:     mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
+//! suites:      regular | qaoa | full (the paper's benchmark tables)
+//! cost models: hop (default) | lookahead[:window[:decay]] | noise-aware
+//!              (`--router` is an alias for `--cost-model`)
+//! passes:      any comma-separated subset of the registered pass names
+//!              (see `caqr::REGISTERED_PASSES`); overrides --strategy's recipe
 //! ```
 
-use caqr::{advisor, compile, qs, PassManager, Strategy, REGISTERED_PASSES};
+use caqr::{
+    advisor, qs, CostModelSpec, PassManager, Strategy, COST_MODEL_GRAMMAR, REGISTERED_PASSES,
+};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::depth::UnitDurations;
 use caqr_circuit::{qasm, Circuit};
@@ -33,9 +37,9 @@ fn main() -> ExitCode {
             eprintln!("caqr: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D] [--seed N] [--emit]");
+            eprintln!("  caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D] [--seed N] [--cost-model M] [--emit]");
             eprintln!("  caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]");
-            eprintln!("                     [--device D] [--seed N] [--jobs N] [--cache N] [--metrics] [--json]");
+            eprintln!("                     [--device D] [--seed N] [--cost-model M[,M...]] [--jobs N] [--cache N] [--metrics] [--json]");
             eprintln!("  caqr advise  <file.qasm> [--device D] [--seed N]");
             eprintln!("  caqr sweep   <file.qasm>");
             eprintln!("  caqr info    <file.qasm>");
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
             );
             eprintln!("devices: mumbai | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>");
             eprintln!("suites: regular | qaoa | full");
+            eprintln!("cost models: {COST_MODEL_GRAMMAR} (--router is an alias)");
             eprintln!("passes: {}", REGISTERED_PASSES.join(" | "));
             ExitCode::FAILURE
         }
@@ -73,10 +78,17 @@ fn run(args: &[String]) -> Result<(), String> {
                             format!("{e} (registered: {})", REGISTERED_PASSES.join(", "))
                         })?;
                     manager
-                        .run(&circuit, &device, opts.strategy)
+                        .run_observed_cancellable_with(
+                            &circuit,
+                            &device,
+                            opts.strategy,
+                            opts.cost_model,
+                            &mut caqr::manager::NoopObserver,
+                            &caqr::CancelToken::new(),
+                        )
                         .map_err(|e| format!("compilation failed: {e}"))?
                 }
-                None => compile(&circuit, &device, opts.strategy)
+                None => caqr::compile_with(&circuit, &device, opts.strategy, opts.cost_model)
                     .map_err(|e| format!("compilation failed: {e}"))?,
             };
             println!("{report}");
@@ -135,15 +147,16 @@ fn compile_batch(args: &[String]) -> Result<(), String> {
         return Err("compile-batch needs at least one input file or --suite".into());
     }
 
-    let mut jobs: Vec<CompileJob> = Vec::with_capacity(inputs.len() * opts.strategies.len());
+    let mut jobs: Vec<CompileJob> =
+        Vec::with_capacity(inputs.len() * opts.strategies.len() * opts.cost_models.len());
     for (name, circuit) in &inputs {
         for &strategy in &opts.strategies {
-            jobs.push(CompileJob::new(
-                name.clone(),
-                circuit.clone(),
-                device.clone(),
-                strategy,
-            ));
+            for &cost_model in &opts.cost_models {
+                jobs.push(
+                    CompileJob::new(name.clone(), circuit.clone(), device.clone(), strategy)
+                        .with_cost_model(cost_model),
+                );
+            }
         }
     }
 
@@ -217,6 +230,7 @@ struct Flags {
     passes: Option<Vec<String>>,
     device_spec: String,
     seed: u64,
+    cost_model: CostModelSpec,
     emit: bool,
 }
 
@@ -227,6 +241,7 @@ impl Flags {
             passes: None,
             device_spec: "mumbai".to_string(),
             seed: 2023,
+            cost_model: CostModelSpec::Hop,
             emit: false,
         };
         let mut it = rest.iter();
@@ -258,6 +273,10 @@ impl Flags {
                         .ok_or("--seed needs a value")?
                         .parse()
                         .map_err(|_| "bad seed")?;
+                }
+                "--cost-model" | "--router" => {
+                    let v = it.next().ok_or("--cost-model needs a value")?;
+                    flags.cost_model = CostModelSpec::parse(v)?;
                 }
                 "--emit" => flags.emit = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -299,6 +318,7 @@ impl Flags {
 struct BatchFlags {
     flags: Flags,
     strategies: Vec<Strategy>,
+    cost_models: Vec<CostModelSpec>,
     suite: Option<String>,
     jobs: usize,
     cache: usize,
@@ -314,9 +334,11 @@ impl BatchFlags {
                 passes: None,
                 device_spec: "mumbai".to_string(),
                 seed: 2023,
+                cost_model: CostModelSpec::Hop,
                 emit: false,
             },
             strategies: vec![Strategy::Sr],
+            cost_models: vec![CostModelSpec::Hop],
             suite: None,
             jobs: 0,
             cache: 256,
@@ -345,6 +367,18 @@ impl BatchFlags {
                         .ok_or("--seed needs a value")?
                         .parse()
                         .map_err(|_| "bad seed")?;
+                }
+                "--cost-model" | "--router" => {
+                    let v = it.next().ok_or("--cost-model needs a value")?;
+                    out.cost_models = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(CostModelSpec::parse)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if out.cost_models.is_empty() {
+                        return Err("--cost-model needs at least one value".into());
+                    }
                 }
                 "--suite" => {
                     out.suite = Some(it.next().ok_or("--suite needs a value")?.clone());

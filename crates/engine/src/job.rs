@@ -1,14 +1,15 @@
 //! The batch job model: what to compile, and what came back.
 
 use crate::metrics::EngineMetrics;
-use caqr::{CaqrError, CompileReport, StageTrace, Strategy};
+use caqr::{CaqrError, CompileReport, CostModelSpec, StageTrace, Strategy};
 use caqr_arch::Device;
 use caqr_circuit::fingerprint::Fingerprint;
 use caqr_circuit::Circuit;
 use std::fmt;
 use std::time::Duration;
 
-/// One unit of work: compile `circuit` onto `device` under `strategy`.
+/// One unit of work: compile `circuit` onto `device` under `strategy`,
+/// routing with `cost_model`.
 #[derive(Debug, Clone)]
 pub struct CompileJob {
     /// Display name (benchmark name, file name, ...); carried into reports.
@@ -19,10 +20,13 @@ pub struct CompileJob {
     pub device: Device,
     /// The compiler to run.
     pub strategy: Strategy,
+    /// The swap-scoring model every routing pass uses.
+    pub cost_model: CostModelSpec,
 }
 
 impl CompileJob {
-    /// Builds a job.
+    /// Builds a job routing with the default ([`CostModelSpec::Hop`])
+    /// swap-scoring model.
     pub fn new(
         name: impl Into<String>,
         circuit: Circuit,
@@ -34,16 +38,29 @@ impl CompileJob {
             circuit,
             device,
             strategy,
+            cost_model: CostModelSpec::Hop,
         }
     }
 
+    /// The same job routing under a different swap-scoring model.
+    pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
     /// The content-addressed cache key: circuit content x device
-    /// (topology + calibration) x strategy. Jobs with equal keys are
-    /// guaranteed to produce identical compile reports, so the engine may
-    /// serve one from the other's cached result.
+    /// (topology + calibration) x strategy x routing cost model. Every
+    /// input that can change the compiled output is covered — jobs with
+    /// equal keys are guaranteed to produce identical compile reports, so
+    /// the engine may serve one from the other's cached result.
+    ///
+    /// The cost model enters via [`CostModelSpec::cache_tag`], which
+    /// renders parameters bit-exactly: two lookahead decays differing in
+    /// the last ulp still get distinct keys.
     pub fn key(&self) -> Fingerprint {
         let mut h = caqr_circuit::fingerprint::StableHasher::new();
         h.write_str(&self.strategy.to_string());
+        h.write_str(&self.cost_model.cache_tag());
         h.finish()
             .combine(self.circuit.fingerprint())
             .combine(self.device.fingerprint())
@@ -139,6 +156,8 @@ pub struct JobOutcome {
     pub name: String,
     /// Strategy that ran.
     pub strategy: Strategy,
+    /// Routing cost model the job compiled under.
+    pub cost_model: CostModelSpec,
     /// The compile report (identical whether served cold or from cache).
     pub report: CompileReport,
     /// `true` when served from the compile cache.
@@ -161,6 +180,8 @@ pub struct FailedJob {
     pub name: String,
     /// Strategy that ran.
     pub strategy: Strategy,
+    /// Routing cost model the job would have compiled under.
+    pub cost_model: CostModelSpec,
     /// What went wrong.
     pub error: JobError,
     /// Time the job sat in the batch queue before a worker picked it up.
@@ -195,12 +216,13 @@ impl BatchReport {
     /// tests (and diffable experiment logs) need. Timings live in
     /// [`EngineMetrics`] and the JSON lines.
     pub fn render_table(&self) -> String {
-        let mut rows: Vec<[String; 8]> = Vec::with_capacity(self.results.len());
+        let mut rows: Vec<[String; 9]> = Vec::with_capacity(self.results.len());
         for result in &self.results {
             match result {
                 Ok(out) => rows.push([
                     out.name.clone(),
                     out.strategy.to_string(),
+                    out.cost_model.to_string(),
                     out.report.qubits.to_string(),
                     out.report.depth.to_string(),
                     out.report.duration_dt.to_string(),
@@ -211,6 +233,7 @@ impl BatchReport {
                 Err(failed) => rows.push([
                     failed.name.clone(),
                     failed.strategy.to_string(),
+                    failed.cost_model.to_string(),
                     "-".into(),
                     "-".into(),
                     "-".into(),
@@ -223,6 +246,7 @@ impl BatchReport {
         let header = [
             "benchmark",
             "strategy",
+            "router",
             "qubits",
             "depth",
             "dur_dt",
@@ -260,12 +284,14 @@ impl BatchReport {
             match result {
                 Ok(o) => {
                     out.push_str(&format!(
-                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"ok\":true,\
+                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"router\":\"{}\",\
+                         \"ok\":true,\
                          \"qubits\":{},\"depth\":{},\"duration_dt\":{},\"swaps\":{},\
                          \"two_qubit_gates\":{},\"esp\":{:.6},\"cache_hit\":{},\"wall_us\":{},\
                          \"queue_wait_us\":{}}}\n",
                         json_string(&o.name),
                         o.strategy,
+                        o.cost_model,
                         o.report.qubits,
                         o.report.depth,
                         o.report.duration_dt,
@@ -279,10 +305,11 @@ impl BatchReport {
                 }
                 Err(f) => {
                     out.push_str(&format!(
-                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"ok\":false,\
-                         \"error\":{}}}\n",
+                        "{{\"type\":\"job\",\"name\":{},\"strategy\":\"{}\",\"router\":\"{}\",\
+                         \"ok\":false,\"error\":{}}}\n",
                         json_string(&f.name),
                         f.strategy,
+                        f.cost_model,
                         json_string(&f.error.to_string()),
                     ));
                 }
@@ -342,6 +369,49 @@ mod tests {
         let mut different_device = job("a", Strategy::Baseline);
         different_device.device = Device::mumbai(4);
         assert_ne!(a.key(), different_device.key());
+        assert_ne!(
+            a.key(),
+            job("a", Strategy::Baseline)
+                .with_cost_model(CostModelSpec::NoiseAware)
+                .key(),
+            "routing cost model is content"
+        );
+    }
+
+    /// Two jobs differing *only* in routing policy must never collide in
+    /// the content-addressed cache — a collision would serve one policy's
+    /// compiled circuit as the other's. Covers every model pair and
+    /// parameter-only differences.
+    #[test]
+    fn routing_policy_never_collides_in_cache_key() {
+        let specs = [
+            CostModelSpec::Hop,
+            CostModelSpec::lookahead(),
+            CostModelSpec::Lookahead {
+                window: 4,
+                decay: 0.5,
+            },
+            CostModelSpec::Lookahead {
+                window: 8,
+                decay: 0.25,
+            },
+            CostModelSpec::Lookahead {
+                window: 8,
+                decay: 0.5 + f64::EPSILON,
+            },
+            CostModelSpec::NoiseAware,
+        ];
+        let keys: Vec<Fingerprint> = specs
+            .iter()
+            .map(|&s| job("a", Strategy::Sr).with_cost_model(s).key())
+            .collect();
+        for (i, ki) in keys.iter().enumerate() {
+            for (j, kj) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(ki, kj, "{} vs {} collide", specs[i], specs[j]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,27 @@
 //! Aggregated batch instrumentation: per-stage wall-clock totals plus
 //! compile counters, rendered as a human table or a JSON object.
 
-use caqr::{Stage, StageTrace};
+use caqr::{CompileReport, Stage, StageTrace};
 use caqr_circuit::{Circuit, Gate};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::cache::CacheStats;
+
+/// Per-routing-policy totals over successful jobs, keyed by the policy's
+/// display name (e.g. `hop`, `lookahead:8:0.5`, `noise-aware`). Lets a
+/// mixed-policy batch report which cost model paid for which swaps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyTotals {
+    /// Successful jobs routed under this policy.
+    pub jobs_ok: usize,
+    /// SWAP gates inserted across those jobs.
+    pub swaps: usize,
+    /// Compiled circuit depth, summed across those jobs.
+    pub depth: usize,
+    /// Compiled duration in `dt`, summed across those jobs.
+    pub duration_dt: u64,
+}
 
 /// Counters and stage timings aggregated over one batch run.
 ///
@@ -34,6 +49,9 @@ pub struct EngineMetrics {
     /// Qubit-reuse pairs realized across all successful jobs (counted as
     /// mid-circuit resets in the compiled circuits).
     pub reuse_pairs: usize,
+    /// Per-routing-policy attribution of swaps, depth, and duration over
+    /// successful jobs, keyed by cost-model display name.
+    pub policy_totals: BTreeMap<String, PolicyTotals>,
     /// Cache counters for the run (zero when caching is disabled).
     pub cache: CacheStats,
     /// Total time jobs sat in the batch queue before a worker picked them
@@ -49,11 +67,22 @@ pub struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    /// Folds one successful job into the totals.
-    pub(crate) fn record_success(&mut self, trace: &StageTrace, swaps: usize, circuit: &Circuit) {
+    /// Folds one successful job into the totals, attributing its swaps,
+    /// depth, and duration to `policy` (the job's cost-model name).
+    pub(crate) fn record_success(
+        &mut self,
+        policy: &str,
+        trace: &StageTrace,
+        report: &CompileReport,
+    ) {
         self.jobs_ok += 1;
-        self.swaps_inserted += swaps;
-        self.reuse_pairs += reuse_pairs_in(circuit);
+        self.swaps_inserted += report.swaps;
+        self.reuse_pairs += reuse_pairs_in(&report.circuit);
+        let totals = self.policy_totals.entry(policy.to_string()).or_default();
+        totals.jobs_ok += 1;
+        totals.swaps += report.swaps;
+        totals.depth += report.depth;
+        totals.duration_dt += report.duration_dt;
         for &(stage, span) in trace.spans() {
             *self.stage_totals.entry(stage).or_default() += span;
         }
@@ -83,6 +112,13 @@ impl EngineMetrics {
         for (&name, &span) in &other.pass_totals {
             *self.pass_totals.entry(name).or_default() += span;
         }
+        for (name, theirs) in &other.policy_totals {
+            let totals = self.policy_totals.entry(name.clone()).or_default();
+            totals.jobs_ok += theirs.jobs_ok;
+            totals.swaps += theirs.swaps;
+            totals.depth += theirs.depth;
+            totals.duration_dt += theirs.duration_dt;
+        }
     }
 
     /// The human-readable metrics table.
@@ -98,6 +134,12 @@ impl EngineMetrics {
         ));
         out.push_str(&format!("swaps_inserted         {}\n", self.swaps_inserted));
         out.push_str(&format!("reuse_pairs            {}\n", self.reuse_pairs));
+        for (name, t) in &self.policy_totals {
+            out.push_str(&format!(
+                "policy_{:<16} ok={} swaps={} depth={} duration_dt={}\n",
+                name, t.jobs_ok, t.swaps, t.depth, t.duration_dt,
+            ));
+        }
         out.push_str(&format!("cache_hits             {}\n", self.cache.hits));
         out.push_str(&format!("cache_misses           {}\n", self.cache.misses));
         out.push_str(&format!(
@@ -151,10 +193,21 @@ impl EngineMetrics {
             }
             passes.push_str(&format!("\"{}\":{}", name, total.as_micros()));
         }
+        let mut policies = String::new();
+        for (i, (name, t)) in self.policy_totals.iter().enumerate() {
+            if i > 0 {
+                policies.push(',');
+            }
+            policies.push_str(&format!(
+                "\"{}\":{{\"jobs_ok\":{},\"swaps\":{},\"depth\":{},\"duration_dt\":{}}}",
+                name, t.jobs_ok, t.swaps, t.depth, t.duration_dt,
+            ));
+        }
         format!(
             "{{\"type\":\"metrics\",\"jobs_total\":{},\"jobs_ok\":{},\"jobs_failed\":{},\
              \"jobs_from_cache\":{},\"swaps_inserted\":{},\"reuse_pairs\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"policies\":{{{}}},\
              \"stage_us\":{{{}}},\"pass_us\":{{{}}},\"queue_wait_us\":{},\"compile_us\":{},\
              \"batch_wall_us\":{}}}",
             self.jobs_total,
@@ -166,6 +219,7 @@ impl EngineMetrics {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            policies,
             stages,
             passes,
             self.queue_wait_total.as_micros(),
@@ -229,6 +283,50 @@ mod tests {
             json.contains("\"pass_us\":{\"baseline-route\":1500,\"optimize\":250}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn policy_totals_surface_in_table_json_and_merge() {
+        let mut metrics = EngineMetrics::default();
+        metrics.policy_totals.insert(
+            "hop".to_string(),
+            PolicyTotals {
+                jobs_ok: 2,
+                swaps: 5,
+                depth: 40,
+                duration_dt: 900,
+            },
+        );
+        let table = metrics.render_table();
+        assert!(
+            table.contains("policy_hop") && table.contains("swaps=5"),
+            "{table}"
+        );
+        let json = metrics.to_json();
+        assert!(
+            json.contains(
+                "\"policies\":{\"hop\":{\"jobs_ok\":2,\"swaps\":5,\"depth\":40,\"duration_dt\":900}}"
+            ),
+            "{json}"
+        );
+        let mut other = EngineMetrics::default();
+        other.policy_totals.insert(
+            "hop".to_string(),
+            PolicyTotals {
+                jobs_ok: 1,
+                swaps: 3,
+                depth: 10,
+                duration_dt: 100,
+            },
+        );
+        other
+            .policy_totals
+            .insert("noise-aware".to_string(), PolicyTotals::default());
+        metrics.merge(&other);
+        assert_eq!(metrics.policy_totals["hop"].swaps, 8);
+        assert_eq!(metrics.policy_totals["hop"].jobs_ok, 3);
+        assert_eq!(metrics.policy_totals["hop"].duration_dt, 1000);
+        assert!(metrics.policy_totals.contains_key("noise-aware"));
     }
 
     #[test]

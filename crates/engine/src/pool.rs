@@ -13,7 +13,7 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 /// The signature of the per-job compiler the pool drives. The production
-/// engine uses [`caqr::compile_traced`]; tests inject panicking or
+/// engine uses [`caqr::compile_traced_with`]; tests inject panicking or
 /// counting stand-ins.
 pub trait JobCompiler: Sync {
     /// Compiles one job, returning the report (or error) plus stage
@@ -39,10 +39,11 @@ where
 pub struct Engine;
 
 impl Engine {
-    /// Runs `request` through the full CaQR pipeline.
+    /// Runs `request` through the full CaQR pipeline. Each job routes
+    /// under its own [`CompileJob::cost_model`].
     pub fn run(request: &BatchRequest) -> BatchReport {
         Self::run_with(request, &|job: &CompileJob| {
-            caqr::compile_traced(&job.circuit, &job.device, job.strategy)
+            caqr::compile_traced_with(&job.circuit, &job.device, job.strategy, job.cost_model)
         })
     }
 
@@ -74,7 +75,13 @@ impl Engine {
             request,
             cache,
             &|job: &CompileJob| {
-                caqr::compile_traced_cancellable(&job.circuit, &job.device, job.strategy, cancel)
+                caqr::compile_traced_cancellable_with(
+                    &job.circuit,
+                    &job.device,
+                    job.strategy,
+                    job.cost_model,
+                    cancel,
+                )
             },
             cancel,
         )
@@ -107,6 +114,7 @@ impl Engine {
                         Err(FailedJob {
                             name: job.name.clone(),
                             strategy: job.strategy,
+                            cost_model: job.cost_model,
                             error: JobError::Compile(CaqrError::DeadlineExceeded {
                                 phase: "queued",
                             }),
@@ -135,13 +143,13 @@ impl Engine {
             jobs_total: request.jobs.len(),
             ..Default::default()
         };
-        for result in &results {
+        for (job, result) in request.jobs.iter().zip(&results) {
             match result {
                 Ok(outcome) => {
                     metrics.record_success(
+                        &job.cost_model.to_string(),
                         &outcome.trace,
-                        outcome.report.swaps,
-                        &outcome.report.circuit,
+                        &outcome.report,
                     );
                     if outcome.cache_hit {
                         metrics.jobs_from_cache += 1;
@@ -182,6 +190,7 @@ fn run_one<C: JobCompiler>(
             return Ok(JobOutcome {
                 name: job.name.clone(),
                 strategy: job.strategy,
+                cost_model: job.cost_model,
                 report,
                 cache_hit: true,
                 wall: started.elapsed(),
@@ -200,6 +209,7 @@ fn run_one<C: JobCompiler>(
             Ok(JobOutcome {
                 name: job.name.clone(),
                 strategy: job.strategy,
+                cost_model: job.cost_model,
                 report,
                 cache_hit: false,
                 wall: started.elapsed(),
@@ -210,12 +220,14 @@ fn run_one<C: JobCompiler>(
         Ok((Err(error), _)) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
+            cost_model: job.cost_model,
             error: JobError::Compile(error),
             queue_wait,
         }),
         Err(payload) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
+            cost_model: job.cost_model,
             error: JobError::Panic(panic_message(payload)),
             queue_wait,
         }),
@@ -382,6 +394,23 @@ mod tests {
         let report = Engine::run(&request);
         assert_eq!(report.metrics.jobs_from_cache, 0);
         assert_eq!(report.metrics.cache.hits, 0);
+    }
+
+    #[test]
+    fn mixed_policy_batch_attributes_metrics_per_policy() {
+        let lookahead = caqr::CostModelSpec::parse("lookahead:4:0.5").unwrap();
+        let all = vec![
+            CompileJob::new("bv3-hop", bv(3), Device::mumbai(5), Strategy::Baseline),
+            CompileJob::new("bv3-la", bv(3), Device::mumbai(5), Strategy::Baseline)
+                .with_cost_model(lookahead),
+        ];
+        let report = Engine::run(&BatchRequest::new(all));
+        assert_eq!(report.ok_count(), 2);
+        let totals = &report.metrics.policy_totals;
+        assert_eq!(totals["hop"].jobs_ok, 1);
+        assert_eq!(totals["lookahead:4:0.5"].jobs_ok, 1);
+        let per_policy_swaps: usize = totals.values().map(|t| t.swaps).sum();
+        assert_eq!(per_policy_swaps, report.metrics.swaps_inserted);
     }
 
     #[test]

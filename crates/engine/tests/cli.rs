@@ -165,6 +165,59 @@ fn compile_batch_table_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn compile_batch_crosses_strategies_with_cost_models() {
+    let (stdout, _, ok) = run(
+        &[
+            "compile-batch",
+            "-",
+            "--strategy",
+            "baseline",
+            "--cost-model",
+            "hop,lookahead:4:0.5,noise-aware",
+            "--json",
+        ],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        4,
+        "three job lines + one metrics line: {stdout}"
+    );
+    assert!(lines[0].contains("\"router\":\"hop\""), "{stdout}");
+    assert!(
+        lines[1].contains("\"router\":\"lookahead:4:0.5\""),
+        "{stdout}"
+    );
+    assert!(lines[2].contains("\"router\":\"noise-aware\""), "{stdout}");
+    assert!(
+        lines[3].contains("\"policies\":{\"hop\":"),
+        "per-policy metrics attribution: {stdout}"
+    );
+}
+
+#[test]
+fn compile_accepts_router_alias() {
+    let (stdout, _, ok) = run(
+        &[
+            "compile",
+            "-",
+            "--strategy",
+            "sr",
+            "--router",
+            "noise-aware",
+        ],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sr:"), "{stdout}");
+    let (_, stderr, ok) = run(&["compile", "-", "--cost-model", "nope"], BV3_QASM);
+    assert!(!ok);
+    assert!(stderr.contains("unknown cost model"), "{stderr}");
+}
+
+#[test]
 fn compile_batch_needs_input() {
     let (_, stderr, ok) = run(&["compile-batch", "--jobs", "2"], "");
     assert!(!ok);

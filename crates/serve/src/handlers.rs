@@ -13,7 +13,7 @@
 
 use crate::http::{Request, Response};
 use crate::metrics::ServerMetrics;
-use caqr::{CancelToken, CaqrError, Strategy};
+use caqr::{CancelToken, CaqrError, CostModelSpec, Strategy};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::{qasm, Circuit};
 use caqr_engine::{
@@ -179,6 +179,19 @@ fn strategy_field(body: &Value, key: &str, default: Strategy) -> Result<Strategy
     })
 }
 
+/// The optional `"router"` field: a routing cost-model spec in the CLI's
+/// `--cost-model` grammar. Absent means `default` (the server-wide Hop
+/// default, or the batch-level value inside `jobs[]`).
+fn router_field(body: &Value, default: CostModelSpec) -> Result<CostModelSpec, Reject> {
+    let Some(value) = body.get("router") else {
+        return Ok(default);
+    };
+    let spec = value
+        .as_str()
+        .ok_or_else(|| Reject::bad("'router' must be a string"))?;
+    CostModelSpec::parse(spec).map_err(|e| Reject::unprocessable(format!("bad router: {e}")))
+}
+
 /// The CLI's strategy names, plus each [`Strategy`]'s `Display` form so a
 /// strategy string read from a response round-trips.
 fn parse_strategy(name: &str) -> Option<Strategy> {
@@ -281,6 +294,7 @@ fn outcome_value(outcome: &JobOutcome) -> Value {
         ("ok", Value::Bool(true)),
         ("name", Value::str(outcome.name.clone())),
         ("strategy", Value::str(outcome.strategy.to_string())),
+        ("router", Value::str(outcome.cost_model.to_string())),
         ("qubits", Value::num(outcome.report.qubits as u64)),
         ("depth", Value::num(outcome.report.depth as u64)),
         ("duration_dt", Value::num(outcome.report.duration_dt)),
@@ -303,6 +317,7 @@ fn failure_value(failed: &FailedJob) -> Value {
         ("ok", Value::Bool(false)),
         ("name", Value::str(failed.name.clone())),
         ("strategy", Value::str(failed.strategy.to_string())),
+        ("router", Value::str(failed.cost_model.to_string())),
         ("error", Value::str(failed.error.to_string())),
     ])
 }
@@ -332,6 +347,7 @@ fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     let body = parse_body(body)?;
     let circuit = circuit_field(&body)?;
     let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
+    let router = router_field(&body, CostModelSpec::Hop)?;
     let seed = u64_field(&body, "seed", 2023)?;
     let device = device_field(&body, seed)?;
     let name = match body.get("name") {
@@ -343,8 +359,10 @@ fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     };
     let token = deadline_token(&body, &state.limits)?;
 
-    let request = BatchRequest::new(vec![CompileJob::new(name, circuit, device, strategy)])
-        .with_options(BatchOptions::with_workers(1));
+    let request = BatchRequest::new(vec![
+        CompileJob::new(name, circuit, device, strategy).with_cost_model(router)
+    ])
+    .with_options(BatchOptions::with_workers(1));
     let report = Engine::run_shared(&request, Some(&state.cache), &token);
     state.merge_engine_metrics(&report.metrics);
 
@@ -367,6 +385,7 @@ fn compile_batch(state: &AppState, body: &[u8]) -> Response {
 fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     let body = parse_body(body)?;
     let default_strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
+    let default_router = router_field(&body, CostModelSpec::Hop)?;
     let seed = u64_field(&body, "seed", 2023)?;
     let device = device_field(&body, seed)?;
     let workers = u64_field(&body, "workers", 0)? as usize;
@@ -400,6 +419,10 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
             status: r.status,
             message: format!("jobs[{index}]: {}", r.message),
         })?;
+        let router = router_field(entry, default_router).map_err(|r| Reject {
+            status: r.status,
+            message: format!("jobs[{index}]: {}", r.message),
+        })?;
         let name = match entry.get("name") {
             None => format!("job-{index}"),
             Some(value) => value
@@ -407,7 +430,7 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
                 .ok_or_else(|| Reject::bad(format!("jobs[{index}]: 'name' must be a string")))?
                 .to_string(),
         };
-        jobs.push(CompileJob::new(name, circuit, device.clone(), strategy));
+        jobs.push(CompileJob::new(name, circuit, device.clone(), strategy).with_cost_model(router));
     }
 
     let request = BatchRequest::new(jobs).with_options(BatchOptions::with_workers(workers.min(16)));
@@ -595,6 +618,70 @@ mod tests {
         );
         let bad_qasm = r#"{"qasm":"OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];"}"#;
         assert_eq!(handle(&state, &post("/v1/compile", bad_qasm)).status, 422);
+    }
+
+    #[test]
+    fn unknown_router_is_422_and_routers_do_not_share_cache_entries() {
+        let state = state();
+        let bad = format!(r#"{{"circuit":{},"router":"dijkstra"}}"#, bell_wire());
+        let response = handle(&state, &post("/v1/compile", &bad));
+        assert_eq!(
+            response.status,
+            422,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+
+        // Same circuit + strategy under two routers must compile twice:
+        // the second request may not be served from the first's cache slot.
+        let hop = format!(r#"{{"circuit":{},"router":"hop"}}"#, bell_wire());
+        let first = handle(&state, &post("/v1/compile", &hop));
+        assert_eq!(first.status, 200);
+        let noise = format!(r#"{{"circuit":{},"router":"noise-aware"}}"#, bell_wire());
+        let second = handle(&state, &post("/v1/compile", &noise));
+        assert_eq!(second.status, 200);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("cache_hit").and_then(Value::as_bool),
+            Some(false),
+            "different router, different cache key"
+        );
+        assert_eq!(
+            parsed.get("router").and_then(Value::as_str),
+            Some("noise-aware")
+        );
+    }
+
+    #[test]
+    fn batch_applies_per_job_router_overrides() {
+        let state = state();
+        let body = format!(
+            r#"{{"router":"lookahead","jobs":[{{"circuit":{},"name":"a"}},{{"circuit":{},"name":"b","router":"hop"}}]}}"#,
+            bell_wire(),
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile-batch", &body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let results = parsed.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            results[0].get("router").and_then(Value::as_str),
+            Some("lookahead:8:0.5"),
+            "batch-level default applies and round-trips in canonical form"
+        );
+        assert_eq!(
+            results[1].get("router").and_then(Value::as_str),
+            Some("hop")
+        );
+        let metrics = parsed.get("metrics").unwrap();
+        let policies = metrics.get("policies").unwrap();
+        assert!(policies.get("hop").is_some(), "per-policy attribution");
+        assert!(policies.get("lookahead:8:0.5").is_some());
     }
 
     #[test]
