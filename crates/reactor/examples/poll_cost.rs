@@ -1,0 +1,43 @@
+//! Measures the cost of one `poll(2)` cycle as registration count grows.
+//!
+//! ```text
+//! cargo run --release -p caqr-reactor --example poll_cost
+//! ```
+
+use caqr_reactor::{Event, Interest, Poller, Token};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn main() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+
+    for count in [8usize, 64, 256, 512] {
+        let mut poller = Poller::new()?;
+        let mut pairs = Vec::new();
+        for index in 0..count {
+            let client = TcpStream::connect(addr)?;
+            let (server, _) = listener.accept()?;
+            server.set_nonblocking(true)?;
+            poller.register(&server, Token(index), Interest::READABLE)?;
+            pairs.push((client, server));
+        }
+
+        let mut events: Vec<Event> = Vec::new();
+        let rounds = 2000;
+        let mut worst = Duration::ZERO;
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let lap = Instant::now();
+            poller.poll(&mut events, Some(Duration::ZERO))?;
+            worst = worst.max(lap.elapsed());
+        }
+        let total = started.elapsed();
+        println!(
+            "{count:4} fds: mean {:6.1} us, worst {:8.1} us",
+            total.as_secs_f64() * 1e6 / rounds as f64,
+            worst.as_secs_f64() * 1e6,
+        );
+    }
+    Ok(())
+}

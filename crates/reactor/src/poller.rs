@@ -1,0 +1,285 @@
+//! The readiness core: a `poll(2)`-backed registration set with a
+//! self-pipe [`Waker`] for cross-thread (and signal-context) wakeups.
+//!
+//! Level-triggered: an fd that stays readable keeps reporting readable.
+//! Registrations are keyed by caller-chosen [`Token`]s — small dense
+//! integers indexed straight into a slab, so register/modify/deregister
+//! are O(1) and each [`Poller::poll`] rebuilds the `pollfd` array in one
+//! linear sweep (a few KiB of copying even at 512 connections, far below
+//! the syscall cost it feeds).
+
+use crate::sys;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies one registration. Callers pick the value (slab index,
+/// listener id, ...) and get it back in every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness directions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Neither direction — the registration stays in the set (errors and
+    /// hangups are still reported) but readiness is muted. Used for
+    /// backpressure while a request is with the worker pool.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token.
+    pub token: Token,
+    /// The fd is readable.
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd is in an error state — close it.
+    pub closed: bool,
+}
+
+/// Anything with a pollable file descriptor. Blanket-implemented for every
+/// `AsRawFd` type on Unix; non-Unix builds carry stub impls so the crate
+/// still type-checks (the poller itself reports `Unsupported` there).
+pub trait Source {
+    /// The raw fd to place in the poll set.
+    fn raw_fd(&self) -> i32;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw_fd(&self) -> i32 {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl Source for std::net::TcpListener {
+    fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+#[cfg(not(unix))]
+impl Source for std::net::TcpStream {
+    fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Registration {
+    fd: i32,
+    interest: Interest,
+}
+
+/// A registration set plus the machinery to wait on it.
+#[derive(Debug)]
+pub struct Poller {
+    slots: Vec<Option<Registration>>,
+    live: usize,
+    wake: Arc<sys::WakePipe>,
+    // Scratch reused across polls: the pollfd array and the token of each
+    // entry (index 0 is always the wake pipe).
+    pollfds: Vec<sys::PollFd>,
+    tokens: Vec<usize>,
+}
+
+impl Poller {
+    /// Creates an empty poller (with its internal wake pipe).
+    ///
+    /// # Errors
+    ///
+    /// Pipe creation failure, or `Unsupported` off Unix.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            slots: Vec::new(),
+            live: 0,
+            wake: Arc::new(sys::WakePipe::new()?),
+            pollfds: Vec::new(),
+            tokens: Vec::new(),
+        })
+    }
+
+    /// A handle that interrupts [`Poller::poll`] from any thread.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            pipe: Arc::clone(&self.wake),
+        }
+    }
+
+    /// The number of live registrations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Registers `source` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` if the token is taken.
+    pub fn register(
+        &mut self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        if self.slots.len() <= token.0 {
+            self.slots.resize(token.0 + 1, None);
+        }
+        if self.slots[token.0].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("token {} is already registered", token.0),
+            ));
+        }
+        self.slots[token.0] = Some(Registration {
+            fd: source.raw_fd(),
+            interest,
+        });
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Changes the interest set of an existing registration.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown token.
+    pub fn reregister(&mut self, token: Token, interest: Interest) -> io::Result<()> {
+        match self.slots.get_mut(token.0).and_then(Option::as_mut) {
+            Some(reg) => {
+                reg.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("token {} is not registered", token.0),
+            )),
+        }
+    }
+
+    /// Removes a registration. Unknown tokens are a no-op (closing a
+    /// connection twice must not poison the loop).
+    pub fn deregister(&mut self, token: Token) {
+        if let Some(slot) = self.slots.get_mut(token.0) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Waits for readiness, filling `events`. Returns after the timeout,
+    /// on any readiness, or when a [`Waker`] fires (which yields an empty
+    /// or shorter event list — callers re-check their own state after
+    /// every poll). `None` blocks until something happens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures (`EINTR` is absorbed as a wakeup).
+    pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.pollfds.clear();
+        self.tokens.clear();
+
+        self.pollfds.push(sys::PollFd {
+            fd: self.wake.read_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        self.tokens.push(usize::MAX);
+
+        for (index, slot) in self.slots.iter().enumerate() {
+            let Some(reg) = slot else { continue };
+            let mut mask = 0i16;
+            if reg.interest.readable {
+                mask |= sys::POLLIN;
+            }
+            if reg.interest.writable {
+                mask |= sys::POLLOUT;
+            }
+            self.pollfds.push(sys::PollFd {
+                fd: reg.fd,
+                events: mask,
+                revents: 0,
+            });
+            self.tokens.push(index);
+        }
+
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round UP to whole milliseconds: `poll(2)` has no finer
+            // granularity, and truncating a sub-millisecond timeout to 0
+            // turns every short park into a busy spin — on a single core
+            // that spin starves the very peer being waited on.
+            Some(t) => t.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+        };
+        let ready = sys::poll_fds(&mut self.pollfds, timeout_ms)?;
+        if ready == 0 {
+            return Ok(());
+        }
+
+        if self.pollfds[0].revents != 0 {
+            self.wake.drain();
+        }
+        for (pollfd, &token) in self.pollfds.iter().zip(&self.tokens).skip(1) {
+            let got = pollfd.revents;
+            if got == 0 {
+                continue;
+            }
+            events.push(Event {
+                token: Token(token),
+                readable: got & sys::POLLIN != 0,
+                writable: got & sys::POLLOUT != 0,
+                closed: got & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Interrupts a [`Poller::poll`] wait from another thread. Cloneable and
+/// cheap; wakes are coalesced (a full pipe already means "wake up").
+#[derive(Debug, Clone)]
+pub struct Waker {
+    pipe: Arc<sys::WakePipe>,
+}
+
+impl Waker {
+    /// Wakes the poller this came from.
+    pub fn wake(&self) {
+        self.pipe.notify();
+    }
+}

@@ -1,0 +1,417 @@
+//! The crate's single FFI surface: `poll(2)`, `pipe(2)`/`fcntl(2)` for the
+//! self-pipe wakeup, `socket(2)`/`setsockopt(2)`/`bind(2)`/`listen(2)` for
+//! `SO_REUSEPORT` listener sharding, and `setrlimit(2)` for the
+//! many-connections posture.
+//!
+//! The build environment vendors no `libc` crate, so — mirroring the
+//! `signal(2)` declaration in caqr-serve's signal module — the handful of
+//! syscalls the reactor needs are declared here directly; std already
+//! links libc. Everything unsafe in the crate lives in this module, behind
+//! safe wrappers. Constants are declared per-OS: the Linux values are the
+//! tested path (CI and the benchmark environment); other Unixes get the
+//! BSD-family values on a best-effort basis, and non-Unix builds compile
+//! but report [`std::io::ErrorKind::Unsupported`] at runtime (callers fall
+//! back to blocking I/O — see the crate docs for the portability story).
+
+#[cfg(unix)]
+pub use imp::*;
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::{FromRawFd, RawFd};
+
+    // ---- poll(2) --------------------------------------------------------
+
+    /// `poll(2)` readiness flags (identical across Linux and the BSDs).
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// One `struct pollfd`, laid out exactly as `poll(2)` expects.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = core::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = core::ffi::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    /// Polls `fds` for readiness. `timeout_ms` of `-1` blocks forever.
+    ///
+    /// `EINTR` (a signal landed mid-wait) is reported as `Ok(0)` — callers
+    /// loop anyway, and a signal is exactly the moment to re-check state.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice of repr(C)
+        // pollfd structs; the kernel writes only within its bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        Err(err)
+    }
+
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: i32 = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: i32 = 0x0004;
+
+    fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+        // SAFETY: fcntl on an fd this process owns; F_GETFL/F_SETFL take
+        // one int argument each.
+        let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: as above.
+        if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    // ---- the self-pipe --------------------------------------------------
+
+    /// A non-blocking `pipe(2)` pair used to interrupt a `poll(2)` wait
+    /// from another thread (or from a signal handler — the write side is a
+    /// single `write(2)`, which is async-signal-safe).
+    #[derive(Debug)]
+    pub struct WakePipe {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl WakePipe {
+        /// Creates the pipe with both ends non-blocking.
+        pub fn new() -> io::Result<WakePipe> {
+            let mut fds = [-1i32; 2];
+            // SAFETY: `fds` is a valid 2-int buffer for pipe(2) to fill.
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let this = WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            };
+            set_nonblocking_fd(this.read_fd)?;
+            set_nonblocking_fd(this.write_fd)?;
+            Ok(this)
+        }
+
+        /// The fd to register for readability in a poll set.
+        pub fn read_fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        /// The fd a signal handler may `write(2)` to ([`notify_raw`]).
+        pub fn write_fd(&self) -> RawFd {
+            self.write_fd
+        }
+
+        /// Makes the read end readable, waking any poller parked on it.
+        /// A full pipe means a wakeup is already pending — fine.
+        pub fn notify(&self) {
+            notify_raw(self.write_fd);
+        }
+
+        /// Consumes every pending wakeup byte.
+        pub fn drain(&self) {
+            let mut scratch = [0u8; 64];
+            loop {
+                // SAFETY: reading into a valid stack buffer on an fd we own.
+                let n = unsafe { read(self.read_fd, scratch.as_mut_ptr(), scratch.len()) };
+                if n <= 0 {
+                    return; // EAGAIN (drained), EOF, or a transient error
+                }
+            }
+        }
+
+        /// Parks the calling thread until a notification arrives or
+        /// `timeout_ms` passes (`-1` blocks forever). Returns whether a
+        /// wakeup was consumed — the single-pipe analogue of a full
+        /// `Poller` for threads that only wait on one signal (e.g. the main
+        /// thread parked until shutdown).
+        ///
+        /// # Errors
+        ///
+        /// Propagates `poll(2)` failures.
+        pub fn wait(&self, timeout_ms: i32) -> io::Result<bool> {
+            let mut fds = [PollFd {
+                fd: self.read_fd,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let ready = poll_fds(&mut fds, timeout_ms)?;
+            if ready > 0 && fds[0].revents != 0 {
+                self.drain();
+                return Ok(true);
+            }
+            Ok(false)
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            // SAFETY: closing fds this struct owns exactly once.
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// One best-effort byte down a wake pipe's write end. Only calls
+    /// `write(2)`, so it is safe from signal-handler context.
+    pub fn notify_raw(write_fd: RawFd) {
+        let byte = [1u8];
+        // SAFETY: a single write(2) of one byte from a valid buffer; the
+        // result (including EAGAIN on a full pipe) is deliberately ignored.
+        unsafe {
+            let _ = write(write_fd, byte.as_ptr(), 1);
+        }
+    }
+
+    // ---- SO_REUSEPORT listeners -----------------------------------------
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEADDR: i32 = 2;
+    #[cfg(not(target_os = "linux"))]
+    const SO_REUSEADDR: i32 = 0x0004;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEPORT: i32 = 15;
+    #[cfg(not(target_os = "linux"))]
+    const SO_REUSEPORT: i32 = 0x0200;
+
+    /// `struct sockaddr_in`, Linux layout (16 bytes). The BSD layout has a
+    /// leading length byte folded into the family field; `SIN_FAMILY`
+    /// below encodes the difference.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    #[cfg(target_os = "linux")]
+    fn sin_family() -> u16 {
+        AF_INET as u16
+    }
+    #[cfg(not(target_os = "linux"))]
+    fn sin_family() -> u16 {
+        // BSD sockaddr: u8 len (may be zero) then u8 family; little-endian
+        // struct field order makes `family << 8 | len` the u16 view.
+        (AF_INET as u16) << 8
+    }
+
+    fn set_bool_opt(fd: RawFd, name: i32) -> io::Result<()> {
+        let one: i32 = 1;
+        // SAFETY: setsockopt with a 4-byte int option on an owned fd.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                name,
+                (&one as *const i32).cast::<u8>(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Binds an IPv4 TCP listener with `SO_REUSEPORT` (and `SO_REUSEADDR`)
+    /// set *before* `bind(2)` — the part `std::net::TcpListener::bind`
+    /// cannot do — so N shard listeners can share one port and let the
+    /// kernel spread incoming connections across them.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "SO_REUSEPORT sharding supports IPv4 addresses only",
+            ));
+        };
+
+        // SAFETY: plain socket(2); the fd is owned below (closed on every
+        // error path via the guard).
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        struct FdGuard(RawFd, bool);
+        impl Drop for FdGuard {
+            fn drop(&mut self) {
+                if self.1 {
+                    // SAFETY: closing an fd this guard still owns.
+                    unsafe {
+                        close(self.0);
+                    }
+                }
+            }
+        }
+        let mut guard = FdGuard(fd, true);
+
+        set_bool_opt(fd, SO_REUSEADDR)?;
+        set_bool_opt(fd, SO_REUSEPORT)?;
+
+        let sockaddr = SockAddrIn {
+            family: sin_family(),
+            port_be: v4.port().to_be(),
+            addr_be: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        // SAFETY: `sockaddr` is a valid, fully-initialized sockaddr_in.
+        let rc = unsafe {
+            bind(
+                fd,
+                (&sockaddr as *const SockAddrIn).cast::<u8>(),
+                std::mem::size_of::<SockAddrIn>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: listen(2) on the bound fd.
+        if unsafe { listen(fd, 1024) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+
+        guard.1 = false; // ownership moves into the TcpListener
+                         // SAFETY: `fd` is a freshly-created, bound, listening TCP socket
+                         // that nothing else owns.
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
+    }
+
+    // ---- setrlimit(2) ---------------------------------------------------
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    /// Raises the soft open-file limit to the hard limit and returns the
+    /// resulting soft limit — the "hold thousands of sockets" posture.
+    pub fn raise_nofile_limit() -> io::Result<u64> {
+        let mut rlim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: getrlimit fills the valid struct we hand it.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut rlim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if rlim.cur < rlim.max {
+            rlim.cur = rlim.max;
+            // SAFETY: setrlimit reads the valid struct we hand it.
+            if unsafe { setrlimit(RLIMIT_NOFILE, &rlim) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(rlim.cur)
+    }
+}
+
+#[cfg(not(unix))]
+pub use fallback::*;
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "caqr-reactor readiness I/O requires a Unix platform",
+        )
+    }
+
+    pub fn poll_fds(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    #[derive(Debug)]
+    pub struct WakePipe;
+
+    impl WakePipe {
+        pub fn new() -> io::Result<WakePipe> {
+            Err(unsupported())
+        }
+        pub fn read_fd(&self) -> i32 {
+            -1
+        }
+        pub fn write_fd(&self) -> i32 {
+            -1
+        }
+        pub fn notify(&self) {}
+        pub fn drain(&self) {}
+        pub fn wait(&self, _timeout_ms: i32) -> io::Result<bool> {
+            Err(unsupported())
+        }
+    }
+
+    pub fn notify_raw(_write_fd: i32) {}
+
+    pub fn bind_reuseport(_addr: SocketAddr) -> io::Result<TcpListener> {
+        Err(unsupported())
+    }
+
+    pub fn raise_nofile_limit() -> io::Result<u64> {
+        Ok(0)
+    }
+}

@@ -1,0 +1,144 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The serve tier needs thousands of coarse timers (keep-alive idle
+//! eviction, slow-request stalls) where insert/cancel dominate and firing
+//! a few milliseconds late is fine. A hashed wheel gives O(1) insert and
+//! cancel with a fixed-size slot array; each slot holds the timers whose
+//! deadline hashes onto it, tagged with how many full wheel revolutions
+//! remain.
+
+use std::time::{Duration, Instant};
+
+/// Handle returned by [`TimerWheel::insert`]; pass to [`TimerWheel::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerKey {
+    id: u64,
+    slot: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    id: u64,
+    /// Full revolutions left before this entry fires.
+    rounds: u32,
+    data: u64,
+}
+
+/// Fixed-slot hashed timer wheel. `data` is an opaque caller payload
+/// (typically a connection token) handed back on expiry.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    /// Slot that `anchor` corresponds to; advanced as time passes.
+    cursor: usize,
+    anchor: Instant,
+    next_id: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `tick` granularity. The wheel spans
+    /// `slots * tick` before timers need multiple revolutions; deadlines
+    /// are rounded up to the next tick.
+    pub fn new(slots: usize, tick: Duration) -> TimerWheel {
+        assert!(slots >= 2, "timer wheel needs at least 2 slots");
+        assert!(!tick.is_zero(), "timer wheel tick must be non-zero");
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            anchor: Instant::now(),
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// The number of pending (not cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Arms a timer `after` from now carrying `data`.
+    pub fn insert(&mut self, after: Duration, data: u64) -> TimerKey {
+        // Round up: never fire early.
+        let ticks = after.as_nanos().div_ceil(self.tick.as_nanos()).max(1);
+        let ticks = usize::try_from(ticks).unwrap_or(usize::MAX);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        // `ticks - 1`: at exactly one revolution the cursor arrives back at
+        // this slot after `slots` ticks, so no extra round remains.
+        let rounds = ((ticks - 1) / self.slots.len()) as u32;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots[slot].push(Entry { id, rounds, data });
+        self.live += 1;
+        TimerKey { id, slot }
+    }
+
+    /// Disarms a timer. Harmless on an already-fired or already-cancelled
+    /// key (connection teardown races with expiry).
+    ///
+    /// Removal is eager — tombstoning instead would let a rearm-heavy
+    /// workload (every served request cancels and re-arms an idle timer)
+    /// pile dead entries into the slots faster than the cursor reaps
+    /// them, and [`TimerWheel::next_timeout`] would grind through them
+    /// all on every poll cycle.
+    pub fn cancel(&mut self, key: TimerKey) {
+        let slot = &mut self.slots[key.slot];
+        if let Some(index) = slot.iter().position(|e| e.id == key.id) {
+            slot.swap_remove(index);
+            self.live -= 1;
+        }
+    }
+
+    /// Rotates the wheel up to `now`, pushing the payloads of expired
+    /// timers into `fired` (unordered within a call).
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<u64>) {
+        while now.duration_since(self.anchor) >= self.tick {
+            self.anchor += self.tick;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let slot = &mut self.slots[self.cursor];
+            let mut index = 0;
+            while index < slot.len() {
+                if slot[index].rounds == 0 {
+                    fired.push(slot.swap_remove(index).data);
+                    self.live -= 1;
+                } else {
+                    slot[index].rounds -= 1;
+                    index += 1;
+                }
+            }
+        }
+    }
+
+    /// How long until the earliest pending timer can fire — the poll
+    /// timeout for a loop driving this wheel. `None` when no timers are
+    /// pending (block indefinitely). Scans the live entries so a wheel
+    /// full of long idle timers parks the loop for seconds, not one tick.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.live == 0 {
+            return None;
+        }
+        let n = self.slots.len();
+        let mut min_ticks = usize::MAX;
+        for (index, slot) in self.slots.iter().enumerate() {
+            // Ticks until the cursor reaches this slot (1..=n).
+            let arrival = (index + n - self.cursor - 1) % n + 1;
+            if arrival >= min_ticks {
+                continue;
+            }
+            for entry in slot {
+                let ticks = arrival + entry.rounds as usize * n;
+                min_ticks = min_ticks.min(ticks);
+            }
+        }
+        debug_assert_ne!(min_ticks, usize::MAX, "live > 0 but no entries found");
+        let due = self.anchor + self.tick * min_ticks as u32;
+        Some(due.saturating_duration_since(now))
+    }
+}

@@ -1,0 +1,209 @@
+//! Integration tests for the reactor primitives, against real sockets on
+//! ephemeral ports (the same style as the caqr-serve integration suite).
+
+#![cfg(unix)]
+
+use caqr_reactor::{bind_reuseport, Event, Interest, Poller, TimerWheel, Token};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn poll_until(
+    poller: &mut Poller,
+    events: &mut Vec<Event>,
+    deadline: Duration,
+    mut pred: impl FnMut(&[Event]) -> bool,
+) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        poller
+            .poll(events, Some(Duration::from_millis(100)))
+            .expect("poll failed");
+        if pred(events) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn poller_reports_listener_and_stream_readiness() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    listener.set_nonblocking(true).unwrap();
+
+    let mut poller = Poller::new().unwrap();
+    poller
+        .register(&listener, Token(0), Interest::READABLE)
+        .unwrap();
+    assert_eq!(poller.len(), 1);
+
+    // Nothing connected yet: a short poll should time out empty.
+    let mut events = Vec::new();
+    poller
+        .poll(&mut events, Some(Duration::from_millis(20)))
+        .unwrap();
+    assert!(events.is_empty(), "unexpected readiness: {events:?}");
+
+    // Connect, then the listener must report readable.
+    let mut client = TcpStream::connect(addr).unwrap();
+    assert!(
+        poll_until(&mut poller, &mut events, Duration::from_secs(5), |evs| {
+            evs.iter().any(|e| e.token == Token(0) && e.readable)
+        }),
+        "listener never became readable"
+    );
+
+    let (stream, _) = listener.accept().unwrap();
+    stream.set_nonblocking(true).unwrap();
+    poller
+        .register(&stream, Token(1), Interest::READABLE)
+        .unwrap();
+
+    // The accepted socket is idle; write from the client to make it ready.
+    client.write_all(b"ping").unwrap();
+    assert!(
+        poll_until(&mut poller, &mut events, Duration::from_secs(5), |evs| {
+            evs.iter().any(|e| e.token == Token(1) && e.readable)
+        }),
+        "stream never became readable"
+    );
+    let mut buf = [0u8; 8];
+    let n = (&stream).read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"ping");
+
+    // A fresh socket should be writable immediately.
+    poller.reregister(Token(1), Interest::BOTH).unwrap();
+    assert!(
+        poll_until(&mut poller, &mut events, Duration::from_secs(5), |evs| {
+            evs.iter().any(|e| e.token == Token(1) && e.writable)
+        }),
+        "stream never became writable"
+    );
+
+    // Peer disconnect surfaces as readable and/or closed.
+    drop(client);
+    assert!(
+        poll_until(&mut poller, &mut events, Duration::from_secs(5), |evs| {
+            evs.iter()
+                .any(|e| e.token == Token(1) && (e.readable || e.closed))
+        }),
+        "peer hangup never surfaced"
+    );
+
+    poller.deregister(Token(1));
+    poller.deregister(Token(0));
+    poller.deregister(Token(0)); // double-deregister is a no-op
+    assert!(poller.is_empty());
+}
+
+#[test]
+fn register_rejects_duplicate_tokens() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut poller = Poller::new().unwrap();
+    poller
+        .register(&listener, Token(3), Interest::READABLE)
+        .unwrap();
+    let err = poller
+        .register(&listener, Token(3), Interest::READABLE)
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    let err = poller.reregister(Token(9), Interest::BOTH).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn waker_interrupts_a_blocked_poll_from_another_thread() {
+    let mut poller = Poller::new().unwrap();
+    let waker = poller.waker();
+
+    let handle = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(50));
+        waker.wake();
+    });
+
+    // Block "forever": only the waker can end this poll.
+    let start = Instant::now();
+    let mut events = Vec::new();
+    poller
+        .poll(&mut events, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "waker did not interrupt the poll"
+    );
+    assert!(events.is_empty());
+    handle.join().unwrap();
+
+    // Wakes coalesce and drain: a second poll times out quietly.
+    let start = Instant::now();
+    poller
+        .poll(&mut events, Some(Duration::from_millis(30)))
+        .unwrap();
+    assert!(start.elapsed() >= Duration::from_millis(25));
+}
+
+#[test]
+fn timer_wheel_fires_in_order_and_honors_cancel() {
+    let mut wheel = TimerWheel::new(8, Duration::from_millis(1));
+    let start = Instant::now();
+    let _early = wheel.insert(Duration::from_millis(3), 1);
+    let cancelled = wheel.insert(Duration::from_millis(3), 2);
+    // Beyond one revolution (8 slots x 1ms) to exercise the rounds path.
+    let _late = wheel.insert(Duration::from_millis(20), 3);
+    assert_eq!(wheel.len(), 3);
+
+    wheel.cancel(cancelled);
+    wheel.cancel(cancelled); // double-cancel is a no-op
+    assert_eq!(wheel.len(), 2);
+
+    let mut fired = Vec::new();
+    while fired.len() < 2 && start.elapsed() < Duration::from_secs(5) {
+        if let Some(wait) = wheel.next_timeout(Instant::now()) {
+            thread::sleep(wait.min(Duration::from_millis(5)));
+        }
+        wheel.advance(Instant::now(), &mut fired);
+    }
+    assert_eq!(fired, vec![1, 3], "expected 1 then 3 (2 was cancelled)");
+    assert!(wheel.is_empty());
+    assert!(wheel.next_timeout(Instant::now()).is_none());
+
+    // A timer must never fire early.
+    let elapsed_at_first = start.elapsed();
+    assert!(
+        elapsed_at_first >= Duration::from_millis(3),
+        "fired after {elapsed_at_first:?}"
+    );
+}
+
+#[test]
+fn reuseport_allows_two_listeners_on_one_port() {
+    let first = bind_reuseport("127.0.0.1:0".parse().unwrap()).expect("first reuseport bind");
+    let addr = first.local_addr().unwrap();
+    let second = bind_reuseport(addr).expect("second reuseport bind on the same port");
+
+    // Both listeners accept: connect twice and serve one from each.
+    first.set_nonblocking(true).unwrap();
+    second.set_nonblocking(true).unwrap();
+    let _c1 = TcpStream::connect(addr).unwrap();
+    let _c2 = TcpStream::connect(addr).unwrap();
+
+    let start = Instant::now();
+    let mut accepted = 0;
+    while accepted < 2 && start.elapsed() < Duration::from_secs(5) {
+        for listener in [&first, &second] {
+            match listener.accept() {
+                Ok(_) => accepted += 1,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(accepted, 2, "kernel did not deliver both connections");
+
+    // IPv6 sharding is explicitly unsupported.
+    let err = bind_reuseport("[::1]:0".parse().unwrap()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+}

@@ -1,18 +1,29 @@
-//! `caqr-loadgen`: a closed-loop load generator for `caqr-serve`.
+//! `caqr-loadgen`: a load generator for `caqr-serve`.
 //!
 //! ```text
 //! caqr-loadgen (--url HOST:PORT | --port N) [--connections N]
-//!              [--duration-ms N] [--quick] [--check] [--json]
+//!              [--duration-ms N] [--rate N] [--ramp-ms N]
+//!              [--quick] [--check] [--json]
 //! ```
 //!
-//! Each connection is one thread running a closed loop (send, wait,
-//! repeat) over a mixed workload drawn from the paper's benchmark suite:
-//! compile requests cycling over (circuit x strategy) plus a simulate
-//! request every fourth iteration. Reports throughput and latency
-//! percentiles as a table or JSON (`--json`); `--check` exits non-zero
-//! unless throughput is non-zero and no 5xx was seen (the CI smoke gate).
+//! The workload is a mix drawn from the paper's benchmark suite: compile
+//! requests cycling over (circuit x strategy) plus a simulate request per
+//! circuit. Compile bodies repeat, so the server's caches see realistic
+//! hit traffic.
+//!
+//! Up to 64 connections the generator runs one blocking thread per
+//! connection (closed loop). Above that — or when `--rate`/`--ramp-ms`
+//! asks for arrival pacing — it switches to the event-driven engine
+//! ([`caqr_serve::loadgen`]): one thread, every connection on a readiness
+//! loop, supporting 512+ keep-alive connections, a connection ramp,
+//! open-loop arrivals, and per-connection error accounting.
+//!
+//! Reports a table or JSON (`--json`); `--check` exits non-zero unless
+//! some requests succeeded and no 5xx/transport error was seen (the CI
+//! smoke gate).
 
 use caqr_serve::client::Client;
+use caqr_serve::loadgen::{self, LoadConfig, Shot};
 use caqr_wire::{circuit::circuit_to_value, Value};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -24,6 +35,8 @@ struct Options {
     addr: SocketAddr,
     connections: usize,
     duration: Duration,
+    ramp: Duration,
+    rate: Option<f64>,
     check: bool,
     json: bool,
 }
@@ -42,7 +55,8 @@ fn main() -> ExitCode {
             eprintln!("caqr-loadgen: {message}");
             eprintln!();
             eprintln!("usage: caqr-loadgen (--url HOST:PORT | --port N) [--connections N]");
-            eprintln!("                    [--duration-ms N] [--quick] [--check] [--json]");
+            eprintln!("                    [--duration-ms N] [--rate N] [--ramp-ms N]");
+            eprintln!("                    [--quick] [--check] [--json]");
             ExitCode::FAILURE
         }
     }
@@ -51,7 +65,10 @@ fn main() -> ExitCode {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut url: Option<String> = None;
     let mut connections = 4usize;
+    let mut connections_given = false;
     let mut duration_ms = 5000u64;
+    let mut ramp_ms = 0u64;
+    let mut rate: Option<f64> = None;
     let mut quick = false;
     let mut check = false;
     let mut json = false;
@@ -74,6 +91,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or("--connections needs a value")?
                     .parse()
                     .map_err(|_| "bad --connections value")?;
+                connections_given = true;
             }
             "--duration-ms" => {
                 duration_ms = it
@@ -81,6 +99,24 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or("--duration-ms needs a value")?
                     .parse()
                     .map_err(|_| "bad --duration-ms value")?;
+            }
+            "--ramp-ms" => {
+                ramp_ms = it
+                    .next()
+                    .ok_or("--ramp-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --ramp-ms value")?;
+            }
+            "--rate" => {
+                let parsed: f64 = it
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --rate value")?;
+                if !parsed.is_finite() || parsed <= 0.0 {
+                    return Err("--rate must be positive".into());
+                }
+                rate = Some(parsed);
             }
             "--quick" => quick = true,
             "--check" => check = true,
@@ -96,26 +132,25 @@ fn parse(args: &[String]) -> Result<Options, String> {
         .ok_or_else(|| format!("'{url}' resolved to no address"))?;
     if quick {
         duration_ms = duration_ms.min(1500);
-        connections = connections.min(2);
+        // Only shrink the fleet when the caller did not size it — a CI
+        // smoke run may want `--quick --connections 128` verbatim.
+        if !connections_given {
+            connections = connections.min(2);
+        }
     }
     Ok(Options {
         addr,
-        connections: connections.clamp(1, 64),
+        connections: connections.clamp(1, 4096),
         duration: Duration::from_millis(duration_ms.clamp(100, 600_000)),
+        ramp: Duration::from_millis(ramp_ms.min(60_000)),
+        rate,
         check,
         json,
     })
 }
 
-/// One prepared request: path + body, reused across the run.
-struct Shot {
-    path: &'static str,
-    body: String,
-}
-
 /// The mixed workload: every benchmark under three strategies, plus a
-/// simulate request per circuit. Compile bodies repeat, so the server's
-/// shared cache gets realistic hit traffic.
+/// simulate request per circuit.
 fn workload() -> Vec<Shot> {
     let mut shots = Vec::new();
     let benches = [
@@ -127,30 +162,155 @@ fn workload() -> Vec<Shot> {
     for bench in &benches {
         let circuit = circuit_to_value(&bench.circuit).encode();
         for strategy in ["sr", "baseline", "qs-max"] {
-            shots.push(Shot {
-                path: "/v1/compile",
-                body: format!(
-                    r#"{{"circuit":{circuit},"strategy":"{strategy}","name":"{}"}}"#,
-                    bench.name
-                ),
-            });
+            let body = format!(
+                r#"{{"circuit":{circuit},"strategy":"{strategy}","name":"{}"}}"#,
+                bench.name
+            );
+            shots.push(Shot::post("/v1/compile", body.as_bytes()));
         }
-        shots.push(Shot {
-            path: "/v1/simulate",
-            body: format!(r#"{{"circuit":{circuit},"shots":256,"seed":11}}"#),
-        });
+        let body = format!(r#"{{"circuit":{circuit},"shots":256,"seed":11}}"#);
+        shots.push(Shot::post("/v1/simulate", body.as_bytes()));
     }
     shots
 }
 
-struct Sample {
-    status: u16,
-    latency_us: u64,
+struct Tally {
+    requests: u64,
+    ok: u64,
+    e4xx: u64,
+    e5xx: u64,
+    transport: u64,
+    parked: u64,
+    latencies: Vec<u64>,
+    wall: Duration,
+    mode: &'static str,
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
     let options = parse(args)?;
-    let shots = Arc::new(workload());
+    let shots = workload();
+
+    let event_mode = options.connections > 64 || options.rate.is_some() || !options.ramp.is_zero();
+    let tally = if event_mode {
+        run_event(&options, &shots)?
+    } else {
+        run_threads(&options, &shots)
+    };
+
+    let mut latencies = tally.latencies;
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let (p50, p90, p99) = (pct(0.50), pct(0.90), pct(0.99));
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    let throughput = tally.ok as f64 / tally.wall.as_secs_f64();
+
+    if options.json {
+        let mut fields = vec![
+            ("requests", Value::num(tally.requests)),
+            ("ok", Value::num(tally.ok)),
+            ("errors_4xx", Value::num(tally.e4xx)),
+            ("errors_5xx", Value::num(tally.e5xx)),
+            ("transport_errors", Value::num(tally.transport)),
+            ("parked_connections", Value::num(tally.parked)),
+            ("connections", Value::num(options.connections as u64)),
+            ("mode", Value::str(tally.mode)),
+            ("duration_ms", Value::num(tally.wall.as_millis() as u64)),
+            ("throughput_rps", Value::Num(throughput)),
+            (
+                "latency_us",
+                Value::obj(vec![
+                    ("p50", Value::num(p50)),
+                    ("p90", Value::num(p90)),
+                    ("p99", Value::num(p99)),
+                    ("mean", Value::num(mean)),
+                ]),
+            ),
+        ];
+        if let Some(rate) = options.rate {
+            fields.push(("offered_rate_rps", Value::Num(rate)));
+        }
+        println!("{}", Value::obj(fields).encode());
+    } else {
+        println!("mode             {}", tally.mode);
+        println!("connections      {}", options.connections);
+        if let Some(rate) = options.rate {
+            println!("offered rate     {rate:.1} req/s");
+        }
+        println!("duration         {:.2} s", tally.wall.as_secs_f64());
+        println!("requests         {}", tally.requests);
+        println!("ok               {}", tally.ok);
+        println!("errors (4xx)     {}", tally.e4xx);
+        println!("errors (5xx)     {}", tally.e5xx);
+        println!("transport errors {}", tally.transport);
+        println!("parked conns     {}", tally.parked);
+        println!("throughput       {throughput:.1} req/s");
+        println!("latency p50      {:.2} ms", p50 as f64 / 1e3);
+        println!("latency p90      {:.2} ms", p90 as f64 / 1e3);
+        println!("latency p99      {:.2} ms", p99 as f64 / 1e3);
+        println!("latency mean     {:.2} ms", mean as f64 / 1e3);
+    }
+
+    if options.check {
+        if tally.ok == 0 {
+            eprintln!("caqr-loadgen: check FAILED: no successful responses");
+            return Ok(false);
+        }
+        if tally.e5xx > 0 || tally.transport > 0 {
+            eprintln!(
+                "caqr-loadgen: check FAILED: {} server errors, {} transport errors",
+                tally.e5xx, tally.transport
+            );
+            return Ok(false);
+        }
+        eprintln!("caqr-loadgen: check passed");
+    }
+    Ok(true)
+}
+
+/// The event-driven engine: any connection count, optional open loop.
+fn run_event(options: &Options, shots: &[Shot]) -> Result<Tally, String> {
+    let config = LoadConfig {
+        addr: options.addr,
+        connections: options.connections,
+        duration: options.duration,
+        ramp: options.ramp,
+        rate: options.rate,
+    };
+    let report = loadgen::run(&config, shots).map_err(|e| format!("load engine failed: {e}"))?;
+    Ok(Tally {
+        requests: report.responses + report.transport_errors,
+        ok: report.ok,
+        e4xx: report.errors_4xx,
+        e5xx: report.errors_5xx,
+        transport: report.transport_errors,
+        parked: report.per_conn.iter().filter(|c| c.parked).count() as u64,
+        latencies: report.latencies_us,
+        wall: report.elapsed,
+        mode: if options.rate.is_some() {
+            "event-open-loop"
+        } else {
+            "event-closed-loop"
+        },
+    })
+}
+
+/// The original thread-per-connection closed loop, kept for small runs.
+fn run_threads(options: &Options, shots: &[Shot]) -> Tally {
+    struct Sample {
+        status: u16,
+        latency_us: u64,
+    }
+    let shots: Arc<Vec<Shot>> = Arc::new(shots.to_vec());
     let next = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let deadline = started + options.duration;
@@ -166,8 +326,9 @@ fn run(args: &[String]) -> Result<bool, String> {
             while Instant::now() < deadline {
                 let index = next.fetch_add(1, Ordering::Relaxed) % shots.len();
                 let shot = &shots[index];
+                let (path, body) = split_shot(shot);
                 let sent = Instant::now();
-                match client.post(shot.path, shot.body.as_bytes()) {
+                match client.post(path, body) {
                     Ok(response) => samples.push(Sample {
                         status: response.status,
                         latency_us: sent.elapsed().as_micros() as u64,
@@ -184,94 +345,45 @@ fn run(args: &[String]) -> Result<bool, String> {
 
     let mut samples: Vec<Sample> = Vec::new();
     for thread in threads {
-        samples.extend(thread.join().map_err(|_| "a load thread panicked")?);
+        if let Ok(mine) = thread.join() {
+            samples.extend(mine);
+        }
     }
     let wall = started.elapsed();
 
-    let total = samples.len();
-    let ok = samples
-        .iter()
-        .filter(|s| (200..300).contains(&s.status))
-        .count();
-    let e4xx = samples
-        .iter()
-        .filter(|s| (400..500).contains(&s.status))
-        .count();
-    let e5xx = samples
-        .iter()
-        .filter(|s| (500..600).contains(&s.status))
-        .count();
-    let transport = samples.iter().filter(|s| s.status == 0).count();
-
-    let mut latencies: Vec<u64> = samples
-        .iter()
-        .filter(|s| (200..300).contains(&s.status))
-        .map(|s| s.latency_us)
-        .collect();
-    latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let rank = ((latencies.len() as f64) * p).ceil() as usize;
-        latencies[rank.clamp(1, latencies.len()) - 1]
-    };
-    let (p50, p90, p99) = (pct(0.50), pct(0.90), pct(0.99));
-    let mean = if latencies.is_empty() {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / latencies.len() as u64
-    };
-    let throughput = ok as f64 / wall.as_secs_f64();
-
-    if options.json {
-        let report = Value::obj(vec![
-            ("requests", Value::num(total as u64)),
-            ("ok", Value::num(ok as u64)),
-            ("errors_4xx", Value::num(e4xx as u64)),
-            ("errors_5xx", Value::num(e5xx as u64)),
-            ("transport_errors", Value::num(transport as u64)),
-            ("connections", Value::num(options.connections as u64)),
-            ("duration_ms", Value::num(wall.as_millis() as u64)),
-            ("throughput_rps", Value::Num(throughput)),
-            (
-                "latency_us",
-                Value::obj(vec![
-                    ("p50", Value::num(p50)),
-                    ("p90", Value::num(p90)),
-                    ("p99", Value::num(p99)),
-                    ("mean", Value::num(mean)),
-                ]),
-            ),
-        ]);
-        println!("{}", report.encode());
-    } else {
-        println!("connections      {}", options.connections);
-        println!("duration         {:.2} s", wall.as_secs_f64());
-        println!("requests         {total}");
-        println!("ok               {ok}");
-        println!("errors (4xx)     {e4xx}");
-        println!("errors (5xx)     {e5xx}");
-        println!("transport errors {transport}");
-        println!("throughput       {throughput:.1} req/s");
-        println!("latency p50      {:.2} ms", p50 as f64 / 1e3);
-        println!("latency p90      {:.2} ms", p90 as f64 / 1e3);
-        println!("latency p99      {:.2} ms", p99 as f64 / 1e3);
-        println!("latency mean     {:.2} ms", mean as f64 / 1e3);
+    Tally {
+        requests: samples.len() as u64,
+        ok: samples
+            .iter()
+            .filter(|s| (200..300).contains(&s.status))
+            .count() as u64,
+        e4xx: samples
+            .iter()
+            .filter(|s| (400..500).contains(&s.status))
+            .count() as u64,
+        e5xx: samples
+            .iter()
+            .filter(|s| (500..600).contains(&s.status))
+            .count() as u64,
+        transport: samples.iter().filter(|s| s.status == 0).count() as u64,
+        parked: 0,
+        latencies: samples
+            .iter()
+            .filter(|s| (200..300).contains(&s.status))
+            .map(|s| s.latency_us)
+            .collect(),
+        wall,
+        mode: "threads-closed-loop",
     }
+}
 
-    if options.check {
-        if ok == 0 {
-            eprintln!("caqr-loadgen: check FAILED: no successful responses");
-            return Ok(false);
-        }
-        if e5xx > 0 || transport > 0 {
-            eprintln!(
-                "caqr-loadgen: check FAILED: {e5xx} server errors, {transport} transport errors"
-            );
-            return Ok(false);
-        }
-        eprintln!("caqr-loadgen: check passed");
-    }
-    Ok(true)
+/// Recovers (path, body) from a prebuilt shot for the blocking client.
+fn split_shot(shot: &Shot) -> (&str, &[u8]) {
+    let body_start = shot
+        .bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .unwrap_or(shot.bytes.len());
+    (&shot.path, &shot.bytes[body_start..])
 }

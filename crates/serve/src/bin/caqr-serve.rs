@@ -1,17 +1,21 @@
 //! The `caqr-serve` binary: bind, print the address, serve until SIGTERM.
 //!
 //! ```text
-//! caqr-serve [--port N] [--addr HOST] [--workers N] [--queue N]
+//! caqr-serve [--port N] [--addr HOST] [--backend reactor|threaded|auto]
+//!            [--shards N] [--workers N] [--queue N] [--max-connections N]
 //!            [--cache N] [--default-timeout-ms N]
 //! ```
 //!
 //! `--port 0` (the default) binds an ephemeral port; the chosen address is
 //! printed as the first stdout line (`listening on 127.0.0.1:PORT`) so
-//! scripts and the load generator can pick it up. SIGTERM/SIGINT trigger
-//! the graceful drain; the process exits 0 once every in-flight request
-//! has been answered.
+//! scripts and the load generator can pick it up. `--shards N` runs N
+//! reactor threads, each with its own `SO_REUSEPORT` listener. The process
+//! raises its open-file soft limit at startup (the many-connections
+//! posture) and parks — no polling — until SIGTERM/SIGINT trigger the
+//! graceful drain; it exits 0 once every in-flight request has been
+//! answered.
 
-use caqr_serve::{signal, Server, ServerConfig};
+use caqr_serve::{signal, Backend, Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -22,7 +26,12 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("caqr-serve: {message}");
             eprintln!();
-            eprintln!("usage: caqr-serve [--port N] [--addr HOST] [--workers N] [--queue N]");
+            eprintln!(
+                "usage: caqr-serve [--port N] [--addr HOST] [--backend reactor|threaded|auto]"
+            );
+            eprintln!(
+                "                  [--shards N] [--workers N] [--queue N] [--max-connections N]"
+            );
             eprintln!("                  [--cache N] [--default-timeout-ms N]");
             ExitCode::FAILURE
         }
@@ -47,6 +56,22 @@ fn run(args: &[String]) -> Result<(), String> {
             "--addr" => {
                 host = it.next().ok_or("--addr needs a value")?.clone();
             }
+            "--backend" => {
+                config.backend = match it.next().ok_or("--backend needs a value")?.as_str() {
+                    "reactor" => Backend::Reactor,
+                    "threaded" => Backend::Threaded,
+                    "auto" => Backend::Auto,
+                    other => return Err(format!("unknown backend '{other}'")),
+                };
+            }
+            "--shards" => {
+                config.shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --shards value")?
+                    .clamp(1, 64);
+            }
             "--workers" => {
                 config.workers = it
                     .next()
@@ -60,6 +85,13 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or("--queue needs a value")?
                     .parse()
                     .map_err(|_| "bad --queue value")?;
+            }
+            "--max-connections" => {
+                config.max_connections = it
+                    .next()
+                    .ok_or("--max-connections needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-connections value")?;
             }
             "--cache" => {
                 config.cache_capacity = it
@@ -81,14 +113,16 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     config.addr = format!("{host}:{port}");
 
+    // Best effort: without this, 512-connection runs can exhaust the
+    // default 1024-fd soft limit (connections + pipes + listeners).
+    let _ = caqr_reactor::raise_nofile_limit();
+
     signal::install_handlers();
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("listening on {}", server.local_addr());
 
     let handle = server.shutdown_handle();
-    while !signal::shutdown_requested() {
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    signal::wait_for_shutdown();
     eprintln!("caqr-serve: shutdown requested, draining");
     handle.shutdown();
     server.join();

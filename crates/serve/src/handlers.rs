@@ -12,7 +12,8 @@
 //! * `500` — a handler panic (mapped by the worker, not here).
 
 use crate::http::{Request, Response};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ReactorMetrics, ServerMetrics};
+use crate::respcache::ResponseCache;
 use caqr::{CancelToken, CaqrError, CostModelSpec, Strategy};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::{qasm, Circuit};
@@ -22,7 +23,8 @@ use caqr_engine::{
 };
 use caqr_sim::{Executor, NoiseModel};
 use caqr_wire::{circuit, Value};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Caps on what one request may ask for.
@@ -54,23 +56,66 @@ impl Default for RequestLimits {
 pub struct AppState {
     /// The cross-request compile cache (content-addressed, LRU).
     pub cache: CompileCache,
+    /// Whole-response cache over compute bodies — identical request bytes
+    /// are answered without re-running the engine ([`crate::respcache`]).
+    pub response_cache: ResponseCache,
     /// Cumulative engine metrics, merged after every compile run.
     pub engine_metrics: Mutex<EngineMetrics>,
     /// Serving counters.
     pub metrics: ServerMetrics,
+    /// Reactor counters, installed once by the event-driven backend when
+    /// it starts; `/metrics` includes them when present.
+    pub reactor: OnceLock<Arc<ReactorMetrics>>,
     /// Per-request caps.
     pub limits: RequestLimits,
+    /// Memoized devices by (spec, seed): building `mumbai` costs ~10x a
+    /// whole cache-hit request, and the workload reuses a handful of
+    /// specs. Bounded at [`DEVICE_MEMO_CAP`] entries, evicting the oldest.
+    devices: Mutex<Vec<((String, u64), Device)>>,
 }
 
+/// Memoized device slots — a few specs cover any realistic workload.
+const DEVICE_MEMO_CAP: usize = 16;
+
 impl AppState {
-    /// State with `cache_capacity` compile-cache entries.
+    /// State with `cache_capacity` compile-cache entries and the default
+    /// response-cache size.
     pub fn new(cache_capacity: usize, limits: RequestLimits) -> Self {
+        AppState::with_capacities(cache_capacity, 1024, limits)
+    }
+
+    /// State with explicit compile-cache and response-cache capacities.
+    pub fn with_capacities(
+        cache_capacity: usize,
+        response_capacity: usize,
+        limits: RequestLimits,
+    ) -> Self {
         AppState {
             cache: CompileCache::new(cache_capacity.max(1)),
+            response_cache: ResponseCache::new(response_capacity.max(1)),
             engine_metrics: Mutex::new(EngineMetrics::default()),
             metrics: ServerMetrics::default(),
+            reactor: OnceLock::new(),
             limits,
+            devices: Mutex::new(Vec::new()),
         }
+    }
+
+    /// A device for `spec` at `seed`, built at most once per memo slot.
+    fn device(&self, spec: &str, seed: u64) -> Result<Device, Reject> {
+        let mut memo = self
+            .devices
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((_, device)) = memo.iter().find(|((s, d), _)| s == spec && *d == seed) {
+            return Ok(device.clone());
+        }
+        let device = parse_device(spec, seed)?;
+        if memo.len() >= DEVICE_MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push(((spec.to_string(), seed), device.clone()));
+        Ok(device)
     }
 
     fn merge_engine_metrics(&self, metrics: &EngineMetrics) {
@@ -84,24 +129,105 @@ impl AppState {
     }
 }
 
-/// Routes one request to its handler.
-pub fn handle(state: &AppState, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#.as_bytes().to_vec()),
-        ("GET", "/metrics") => metrics(state),
-        ("POST", "/v1/compile") => compile(state, &request.body),
-        ("POST", "/v1/compile-batch") => compile_batch(state, &request.body),
-        ("POST", "/v1/simulate") => simulate(state, &request.body),
-        (_, "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate") => {
-            Response::error(405, "method not allowed")
+/// The compute endpoints — the work units the reactor hands to worker
+/// threads. Cheap routes (`/healthz`, `/metrics`, cache hits, 404/405)
+/// never become an `Endpoint`; they are answered inline by [`route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/compile`.
+    Compile,
+    /// `POST /v1/compile-batch`.
+    CompileBatch,
+    /// `POST /v1/simulate`.
+    Simulate,
+}
+
+impl Endpoint {
+    /// The response-cache namespace for this endpoint; `None` means the
+    /// endpoint's responses are never cached (see [`crate::respcache`]).
+    fn cache_key(self) -> Option<u8> {
+        match self {
+            Endpoint::Compile => Some(1),
+            Endpoint::Simulate => Some(2),
+            Endpoint::CompileBatch => None,
         }
-        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// The routing decision for one request.
+pub enum Routed {
+    /// Answer now, on the transport thread — no compute involved.
+    Done(Response),
+    /// Real work: run [`execute`] on a worker thread.
+    Dispatch(Endpoint),
+}
+
+/// Routes one request: cheap endpoints and response-cache hits are
+/// answered immediately, compute goes to a worker. Both backends route
+/// through here so caching behaves identically everywhere.
+pub fn route(state: &AppState, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Routed::Done(Response::json(
+            200,
+            r#"{"status":"ok"}"#.as_bytes().to_vec(),
+        )),
+        ("GET", "/metrics") => Routed::Done(metrics(state)),
+        ("POST", "/v1/compile") => route_compute(state, Endpoint::Compile, &request.body),
+        ("POST", "/v1/compile-batch") => Routed::Dispatch(Endpoint::CompileBatch),
+        ("POST", "/v1/simulate") => route_compute(state, Endpoint::Simulate, &request.body),
+        (_, "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate") => {
+            Routed::Done(Response::error(405, "method not allowed"))
+        }
+        _ => Routed::Done(Response::error(404, "no such endpoint")),
+    }
+}
+
+fn route_compute(state: &AppState, endpoint: Endpoint, body: &[u8]) -> Routed {
+    if let Some(key) = endpoint.cache_key() {
+        if let Some(cached) = state.response_cache.lookup(key, body) {
+            state
+                .metrics
+                .response_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Routed::Done(Response::json(200, cached));
+        }
+    }
+    Routed::Dispatch(endpoint)
+}
+
+/// Runs one dispatched compute request, feeding successes back into the
+/// response cache.
+pub fn execute(state: &AppState, endpoint: Endpoint, body: &[u8]) -> Response {
+    let response = match endpoint {
+        Endpoint::Compile => compile(state, body),
+        Endpoint::CompileBatch => compile_batch(state, body),
+        Endpoint::Simulate => simulate(state, body),
+    };
+    if let Some(key) = endpoint.cache_key() {
+        state
+            .metrics
+            .response_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        if response.status == 200 {
+            state.response_cache.store(key, body, &response.body);
+        }
+    }
+    response
+}
+
+/// Routes and, if needed, executes one request in place — the threaded
+/// backend's (and the unit tests') single entry point.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    match route(state, request) {
+        Routed::Done(response) => response,
+        Routed::Dispatch(endpoint) => execute(state, endpoint, &request.body),
     }
 }
 
 /// `GET /metrics`: the engine object is [`EngineMetrics::to_json`]
 /// verbatim — the same bytes `caqr compile-batch --metrics --json` prints
-/// — wrapped next to the serving counters.
+/// — wrapped next to the serving counters (and the reactor counters when
+/// the event-driven backend is running).
 fn metrics(state: &AppState) -> Response {
     let engine = state
         .engine_metrics
@@ -109,7 +235,13 @@ fn metrics(state: &AppState) -> Response {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
         .to_json();
     let server = state.metrics.to_value().encode();
-    let body = format!("{{\"engine\":{engine},\"server\":{server}}}");
+    let body = match state.reactor.get() {
+        None => format!("{{\"engine\":{engine},\"server\":{server}}}"),
+        Some(reactor) => format!(
+            "{{\"engine\":{engine},\"server\":{server},\"reactor\":{}}}",
+            reactor.to_value().encode()
+        ),
+    };
     Response::json(200, body.into_bytes())
 }
 
@@ -254,14 +386,14 @@ fn parse_device(spec: &str, seed: u64) -> Result<Device, Reject> {
     )))
 }
 
-fn device_field(body: &Value, seed: u64) -> Result<Device, Reject> {
+fn device_field(state: &AppState, body: &Value, seed: u64) -> Result<Device, Reject> {
     let spec = match body.get("device") {
         None => "mumbai",
         Some(value) => value
             .as_str()
             .ok_or_else(|| Reject::bad("'device' must be a string"))?,
     };
-    parse_device(spec, seed)
+    state.device(spec, seed)
 }
 
 fn u64_field(body: &Value, key: &str, default: u64) -> Result<u64, Reject> {
@@ -349,7 +481,7 @@ fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
     let router = router_field(&body, CostModelSpec::Hop)?;
     let seed = u64_field(&body, "seed", 2023)?;
-    let device = device_field(&body, seed)?;
+    let device = device_field(state, &body, seed)?;
     let name = match body.get("name") {
         None => "request".to_string(),
         Some(value) => value
@@ -387,7 +519,7 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
     let default_strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
     let default_router = router_field(&body, CostModelSpec::Hop)?;
     let seed = u64_field(&body, "seed", 2023)?;
-    let device = device_field(&body, seed)?;
+    let device = device_field(state, &body, seed)?;
     let workers = u64_field(&body, "workers", 0)? as usize;
     let token = deadline_token(&body, &state.limits)?;
 
@@ -504,7 +636,7 @@ fn simulate_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     let executor = match body.get("noise").map(|v| v.as_str()) {
         None | Some(Some("ideal")) => Executor::ideal(),
         Some(Some("device")) => {
-            Executor::noisy(NoiseModel::from_device(device_field(&body, seed)?))
+            Executor::noisy(NoiseModel::from_device(device_field(state, &body, seed)?))
         }
         Some(Some(other)) => {
             return Err(Reject::unprocessable(format!(

@@ -1,9 +1,14 @@
-//! A minimal, defensive HTTP/1.1 implementation over blocking sockets.
+//! A minimal, defensive HTTP/1.1 implementation.
 //!
 //! Supports exactly what the service needs: request-line + headers +
 //! `Content-Length` bodies, keep-alive, and hard limits on header and body
 //! size so a hostile peer cannot make the server allocate unboundedly.
 //! Chunked transfer encoding is deliberately rejected.
+//!
+//! Two parsing front-ends share these rules: [`read_request`] reads from a
+//! blocking socket (the threaded backend), while [`find_head_end`] +
+//! [`parse_head`] support the reactor backend's incremental per-connection
+//! assembler, which receives bytes as readiness events deliver them.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -231,6 +236,99 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// Finds the end of a request head in `buf`: the index one past the blank
+/// line. Accepts `\r\n\r\n` and the bare-LF forms the blocking parser
+/// tolerates (`\n\n`, `\n\r\n`).
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match (buf.get(i + 1), buf.get(i + 2)) {
+                (Some(b'\n'), _) => return Some(i + 2),
+                (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a complete request head (everything up to and including the
+/// blank line) under the same rules as [`read_request`]: stray leading
+/// CRLFs are skipped, header names are lower-cased, at most 64 headers,
+/// only identity transfer encoding, and `Content-Length` capped by
+/// `limits`. Returns the request (body still empty) and the declared body
+/// length.
+///
+/// # Errors
+///
+/// [`BadRequest`] with the same messages the blocking path produces, so
+/// the 400-vs-431 status mapping stays identical across backends.
+pub fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<(Request, usize), BadRequest> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let line = loop {
+        match lines.next() {
+            Some("") => continue, // stray CRLF between requests
+            Some(line) => break line,
+            None => return Err(BadRequest("empty request head".into())),
+        }
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(BadRequest(format!("malformed request line '{line}'")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(BadRequest(format!("malformed header '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > 64 {
+            return Err(BadRequest("too many headers".into()));
+        }
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(BadRequest("chunked transfer encoding not supported".into()));
+    }
+    let body_len = match request.header("content-length") {
+        None => 0,
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| BadRequest("bad content-length".into()))?;
+            if len > limits.max_body_bytes {
+                return Err(BadRequest(format!(
+                    "body of {len} bytes exceeds the {}-byte limit",
+                    limits.max_body_bytes
+                )));
+            }
+            len
+        }
+    };
+    Ok((request, body_len))
+}
+
 /// One response, ready to serialize.
 #[derive(Debug)]
 pub struct Response {
@@ -264,6 +362,30 @@ impl Response {
         self.headers.push((name.into(), value.into()));
         self
     }
+
+    /// The full wire form — status line, headers, body — as one buffer,
+    /// declaring `Connection: keep-alive` or `close`. The reactor queues
+    /// these bytes on a connection's outbound buffer; [`write_response`]
+    /// sends them on a blocking socket.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
 }
 
 /// Writes `response`, declaring `Connection: keep-alive` or `close`.
@@ -276,22 +398,7 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        response.status,
-        status_text(response.status),
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    for (name, value) in &response.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    stream.write_all(&response.serialize(keep_alive))?;
     stream.flush()
 }
 

@@ -28,6 +28,10 @@ pub struct ServerMetrics {
     pub workers_replaced: AtomicU64,
     /// Connections accepted into the queue.
     pub connections_accepted: AtomicU64,
+    /// Requests answered straight from the body-addressed response cache.
+    pub response_cache_hits: AtomicU64,
+    /// Compute requests that missed the response cache and ran the engine.
+    pub response_cache_misses: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -61,6 +65,65 @@ impl ServerMetrics {
             ("draining_503", n(&self.draining_503)),
             ("workers_replaced", n(&self.workers_replaced)),
             ("connections_accepted", n(&self.connections_accepted)),
+            ("response_cache_hits", n(&self.response_cache_hits)),
+            ("response_cache_misses", n(&self.response_cache_misses)),
+        ])
+    }
+}
+
+/// Counters specific to the event-driven backend, exported under
+/// `"reactor"` on `GET /metrics` when that backend is running. Created by
+/// the reactor with its shard count and installed into
+/// [`crate::handlers::AppState`] via a `OnceLock`.
+#[derive(Debug)]
+pub struct ReactorMetrics {
+    /// Currently open connections across all shards (gauge).
+    pub open_connections: AtomicU64,
+    /// Times a shard's `poll(2)` returned (readiness, timer, or wakeup).
+    pub poll_cycles: AtomicU64,
+    /// Cross-thread wakeups delivered to shard loops (worker completions,
+    /// shutdown).
+    pub wakeups: AtomicU64,
+    /// Requests currently dispatched and waiting in the worker queue
+    /// (gauge) — the reactor's accept-queue-depth analogue.
+    pub dispatch_queue_depth: AtomicU64,
+    /// Connections evicted for idling past the keep-alive window.
+    pub idle_evictions: AtomicU64,
+    /// Connections evicted for stalling mid-request (slow-loris posture).
+    pub stall_evictions: AtomicU64,
+    /// Requests fully parsed, per shard.
+    pub shard_requests: Vec<AtomicU64>,
+}
+
+impl ReactorMetrics {
+    /// Zeroed counters for `shards` reactor threads.
+    pub fn new(shards: usize) -> ReactorMetrics {
+        ReactorMetrics {
+            open_connections: AtomicU64::new(0),
+            poll_cycles: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            dispatch_queue_depth: AtomicU64::new(0),
+            idle_evictions: AtomicU64::new(0),
+            stall_evictions: AtomicU64::new(0),
+            shard_requests: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The `"reactor"` object for `GET /metrics`.
+    pub fn to_value(&self) -> Value {
+        let n = |a: &AtomicU64| Value::num(a.load(Ordering::Relaxed));
+        Value::obj(vec![
+            ("shards", Value::num(self.shard_requests.len() as u64)),
+            ("open_connections", n(&self.open_connections)),
+            ("poll_cycles", n(&self.poll_cycles)),
+            ("wakeups", n(&self.wakeups)),
+            ("dispatch_queue_depth", n(&self.dispatch_queue_depth)),
+            ("idle_evictions", n(&self.idle_evictions)),
+            ("stall_evictions", n(&self.stall_evictions)),
+            (
+                "shard_requests",
+                Value::Arr(self.shard_requests.iter().map(n).collect()),
+            ),
         ])
     }
 }

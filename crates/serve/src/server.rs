@@ -1,56 +1,73 @@
-//! The connection machinery: acceptor, bounded queue, worker pool,
-//! supervisor, and the drain sequence.
+//! The server facade: configuration plus backend selection.
 //!
-//! ```text
-//!              ┌───────────┐   bounded    ┌──────────┐
-//!   TCP ──────▶│ acceptor  │──▶ queue ───▶│ workers  │──▶ handlers
-//!              │ (429 when │   (Condvar)  │ (panic-  │
-//!              │  full)    │              │ isolated)│
-//!              └───────────┘              └──────────┘
-//!                     ▲                        ▲
-//!                     └───── supervisor ───────┘ (replaces dead workers)
-//! ```
+//! Two transports serve the same handlers and share one [`AppState`]
+//! (compile cache, response cache, metrics):
 //!
-//! Shutdown ([`ShutdownHandle::shutdown`] or a signal relayed by the
-//! binary) runs in three steps: the acceptor stops enqueueing and answers
-//! `503` to new connections for a short grace window; workers drain every
-//! queued connection and finish their in-flight request; keep-alive
-//! requests arriving mid-drain get `503 Connection: close`. Then every
-//! thread exits and [`Server::join`] returns.
+//! - `event_loop` (private) — the default on Unix. N reactor shards run
+//!   a readiness loop (`poll(2)` via caqr-reactor) over non-blocking
+//!   sockets; compute requests dispatch to a panic-isolated worker pool.
+//! - `threaded` (private) — thread-per-connection with blocking I/O; the
+//!   portable fallback and the semantic reference implementation.
+//!
+//! [`Backend::Auto`] picks the reactor and falls back to threads when the
+//! platform cannot poll (non-Unix builds). Both honor the same drain
+//! sequence: after [`ShutdownHandle::shutdown`], new requests get `503`
+//! for a grace window while in-flight work finishes, then every thread
+//! exits and [`Server::join`] returns.
 
-use crate::handlers::{self, AppState, RequestLimits};
-use crate::http::{
-    read_request, write_response, BadRequest, HttpLimits, NoRequest, Response, POLL_TICK,
-};
-use std::collections::VecDeque;
+use crate::handlers::{AppState, RequestLimits};
+use crate::http::HttpLimits;
+use crate::{event_loop, threaded};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which transport serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The reactor where supported, threads elsewhere.
+    #[default]
+    Auto,
+    /// The event-driven reactor (errors where unsupported).
+    Reactor,
+    /// Thread-per-connection blocking I/O.
+    Threaded,
+}
 
 /// Everything tunable about one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port.
     pub addr: String,
+    /// Transport selection (see [`Backend`]).
+    pub backend: Backend,
+    /// Reactor shards, each with its own `SO_REUSEPORT` listener and
+    /// readiness loop. `1` (the default) binds one plain listener; the
+    /// threaded backend ignores this.
+    pub shards: usize,
     /// Worker threads; `0` = one per core (capped at 8).
     pub workers: usize,
-    /// Accepted connections waiting for a worker before the acceptor
-    /// starts answering `429`.
+    /// Requests (reactor) or connections (threaded) waiting for a worker
+    /// before admission control answers `429`.
     pub queue_capacity: usize,
+    /// Open connections the reactor holds before refusing new ones.
+    pub max_connections: usize,
     /// Compile-cache entries shared across requests.
     pub cache_capacity: usize,
+    /// Whole-response cache entries (see [`crate::respcache`]).
+    pub response_cache_capacity: usize,
     /// Per-request caps (deadline ceiling, shots, batch size).
     pub request_limits: RequestLimits,
     /// HTTP framing caps (head/body bytes).
     pub http_limits: HttpLimits,
     /// How long an idle keep-alive connection is held open.
     pub keep_alive_idle: Duration,
-    /// How long the acceptor keeps answering `503` to new connections
-    /// after shutdown, so clients see a clean refusal instead of a reset.
+    /// How long a started-but-unfinished request may dribble in before
+    /// the reactor evicts the connection (slow-loris posture).
+    pub request_stall: Duration,
+    /// How long new requests keep getting a clean `503` after shutdown,
+    /// so clients racing the drain see a refusal instead of a reset.
     pub drain_grace: Duration,
 }
 
@@ -58,150 +75,143 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            backend: Backend::Auto,
+            shards: 1,
             workers: 0,
             queue_capacity: 64,
+            max_connections: 1024,
             cache_capacity: 256,
+            response_cache_capacity: 1024,
             request_limits: RequestLimits::default(),
             http_limits: HttpLimits::default(),
             keep_alive_idle: Duration::from_secs(10),
+            request_stall: Duration::from_secs(10),
             drain_grace: Duration::from_millis(400),
         }
-    }
-}
-
-/// State shared by the acceptor, workers, and supervisor.
-struct Shared {
-    state: AppState,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    draining: AtomicBool,
-    config: ServerConfig,
-}
-
-impl Shared {
-    fn draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
-    }
-
-    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
-        self.queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
 /// Triggers the drain sequence from another thread (or a signal watcher).
 #[derive(Clone)]
 pub struct ShutdownHandle {
-    shared: Arc<Shared>,
+    inner: HandleInner,
+}
+
+#[derive(Clone)]
+enum HandleInner {
+    Threaded(Arc<threaded::Shared>),
+    Reactor(Arc<event_loop::Control>),
 }
 
 impl ShutdownHandle {
-    /// Starts the shutdown: stop accepting, drain, exit. Idempotent.
+    /// Starts the shutdown: stop admitting, drain, exit. Idempotent.
     pub fn shutdown(&self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        match &self.inner {
+            HandleInner::Threaded(shared) => shared.shutdown(),
+            HandleInner::Reactor(control) => control.shutdown(),
+        }
     }
 }
 
 impl std::fmt::Debug for ShutdownHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShutdownHandle")
-            .field("draining", &self.shared.draining())
-            .finish()
+        f.debug_struct("ShutdownHandle").finish_non_exhaustive()
     }
 }
 
-/// A running server: bound socket, acceptor, worker pool, supervisor.
+/// A running server on one of the two backends.
 pub struct Server {
-    local_addr: SocketAddr,
-    shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    supervisor: Option<JoinHandle<()>>,
+    inner: ServerInner,
+}
+
+enum ServerInner {
+    Threaded(threaded::ThreadedServer),
+    Reactor(event_loop::ReactorServer),
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("local_addr", &self.local_addr)
-            .field("draining", &self.shared.draining())
+            .field("local_addr", &self.local_addr())
+            .field("backend", &self.backend())
             .finish()
     }
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the acceptor, workers, and
-    /// supervisor.
+    /// Binds `config.addr` and starts the configured backend.
     ///
     /// # Errors
     ///
-    /// Propagates socket bind/configuration failures.
+    /// Propagates socket bind/configuration failures; [`Backend::Reactor`]
+    /// additionally errors with `Unsupported` on platforms without
+    /// readiness I/O (where [`Backend::Auto`] silently falls back).
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-
-        let worker_count = effective_workers(config.workers);
-        let shared = Arc::new(Shared {
-            state: AppState::new(config.cache_capacity, config.request_limits.clone()),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            draining: AtomicBool::new(false),
-            config,
-        });
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("caqr-acceptor".into())
-                .spawn(move || accept_loop(&shared, &listener))?
+        let state = Arc::new(AppState::with_capacities(
+            config.cache_capacity,
+            config.response_cache_capacity,
+            config.request_limits.clone(),
+        ));
+        let inner = match config.backend {
+            Backend::Threaded => {
+                ServerInner::Threaded(threaded::ThreadedServer::bind(config, state)?)
+            }
+            Backend::Reactor => {
+                ServerInner::Reactor(event_loop::ReactorServer::bind(config, state)?)
+            }
+            Backend::Auto => {
+                match event_loop::ReactorServer::bind(config.clone(), Arc::clone(&state)) {
+                    Ok(server) => ServerInner::Reactor(server),
+                    Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+                        ServerInner::Threaded(threaded::ThreadedServer::bind(config, state)?)
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         };
+        Ok(Server { inner })
+    }
 
-        let mut workers = Vec::with_capacity(worker_count);
-        for index in 0..worker_count {
-            workers.push(spawn_worker(Arc::clone(&shared), index)?);
+    /// The transport actually serving (resolves [`Backend::Auto`]).
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            ServerInner::Threaded(_) => Backend::Threaded,
+            ServerInner::Reactor(_) => Backend::Reactor,
         }
-        let supervisor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("caqr-supervisor".into())
-                .spawn(move || supervise(shared, workers))?
-        };
-
-        Ok(Server {
-            local_addr,
-            shared,
-            acceptor: Some(acceptor),
-            supervisor: Some(supervisor),
-        })
     }
 
     /// The bound address (resolves port `0`).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        match &self.inner {
+            ServerInner::Threaded(server) => server.local_addr(),
+            ServerInner::Reactor(server) => server.local_addr(),
+        }
     }
 
     /// A handle that triggers graceful shutdown.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
-            shared: Arc::clone(&self.shared),
+            inner: match &self.inner {
+                ServerInner::Threaded(server) => HandleInner::Threaded(server.shared()),
+                ServerInner::Reactor(server) => HandleInner::Reactor(server.control()),
+            },
         }
     }
 
     /// Blocks until the drain sequence completes and every thread has
     /// exited. Call [`ShutdownHandle::shutdown`] first (or from another
     /// thread) or this blocks forever.
-    pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        if let Some(supervisor) = self.supervisor.take() {
-            let _ = supervisor.join();
+    pub fn join(self) {
+        match self.inner {
+            ServerInner::Threaded(server) => server.join(),
+            ServerInner::Reactor(server) => server.join(),
         }
     }
 }
 
-fn effective_workers(requested: usize) -> usize {
+/// Resolves a worker-count request: `0` means one per core, capped at 8;
+/// explicit requests are capped at 64.
+pub(crate) fn effective_workers(requested: usize) -> usize {
     if requested > 0 {
         return requested.min(64);
     }
@@ -209,208 +219,4 @@ fn effective_workers(requested: usize) -> usize {
         .map(|n| n.get())
         .unwrap_or(4)
         .clamp(1, 8)
-}
-
-/// Accepts connections into the bounded queue; answers `429` inline when
-/// it is full, and `503` during the drain grace window.
-fn accept_loop(shared: &Shared, listener: &TcpListener) {
-    while !shared.draining() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared
-                    .state
-                    .metrics
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
-                let mut queue = shared.lock_queue();
-                if queue.len() >= shared.config.queue_capacity {
-                    drop(queue);
-                    shared
-                        .state
-                        .metrics
-                        .rejected_429
-                        .fetch_add(1, Ordering::Relaxed);
-                    let response = Response::error(429, "server is at capacity")
-                        .with_header("Retry-After", "1");
-                    respond_inline(stream, &response);
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.available.notify_one();
-                }
-            }
-            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-
-    // Drain grace: a clean 503 beats a connection reset for clients that
-    // race the shutdown.
-    let deadline = Instant::now() + shared.config.drain_grace;
-    while Instant::now() < deadline {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                respond_inline(stream, &Response::error(503, "server is shutting down"));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    shared.available.notify_all();
-}
-
-/// Writes one response on a just-accepted connection and closes it.
-fn respond_inline(stream: TcpStream, response: &Response) {
-    let mut stream = stream;
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let _ = write_response(&mut stream, response, false);
-}
-
-fn spawn_worker(shared: Arc<Shared>, index: usize) -> io::Result<JoinHandle<()>> {
-    std::thread::Builder::new()
-        .name(format!("caqr-worker-{index}"))
-        .spawn(move || {
-            while let Some(stream) = next_connection(&shared) {
-                serve_connection(&shared, stream);
-            }
-        })
-}
-
-/// Blocks for the next queued connection; `None` once draining and empty.
-fn next_connection(shared: &Shared) -> Option<TcpStream> {
-    let mut queue = shared.lock_queue();
-    loop {
-        if let Some(stream) = queue.pop_front() {
-            return Some(stream);
-        }
-        if shared.draining() {
-            return None;
-        }
-        let (guard, _) = shared
-            .available
-            .wait_timeout(queue, POLL_TICK)
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        queue = guard;
-    }
-}
-
-/// Serves one connection: requests in a keep-alive loop, each under
-/// `catch_unwind` so a handler panic answers `500` and the worker (and
-/// the process) survive.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = stream;
-    let _ = read_half.set_read_timeout(Some(POLL_TICK));
-    let _ = write_half.set_write_timeout(Some(Duration::from_secs(10)));
-    let _ = write_half.set_nodelay(true);
-    let mut reader = io::BufReader::new(read_half);
-
-    let mut served = 0usize;
-    loop {
-        let idle_deadline = Instant::now() + shared.config.keep_alive_idle;
-        let mut keep_waiting = || !shared.draining() && Instant::now() < idle_deadline;
-        match read_request(&mut reader, &shared.config.http_limits, &mut keep_waiting) {
-            Ok(Ok(request)) => {
-                // A connection pulled from the queue gets its first request
-                // served even mid-drain (it was admitted before shutdown);
-                // later keep-alive requests are refused.
-                if shared.draining() && served > 0 {
-                    let response = Response::error(503, "server is shutting down");
-                    shared.state.metrics.record_status(response.status);
-                    let _ = write_response(&mut write_half, &response, false);
-                    return;
-                }
-                served += 1;
-                shared
-                    .state
-                    .metrics
-                    .requests_total
-                    .fetch_add(1, Ordering::Relaxed);
-
-                let response = match catch_unwind(AssertUnwindSafe(|| {
-                    handlers::handle(&shared.state, &request)
-                })) {
-                    Ok(response) => response,
-                    Err(_) => {
-                        shared
-                            .state
-                            .metrics
-                            .handler_panics
-                            .fetch_add(1, Ordering::Relaxed);
-                        Response::error(500, "internal error: request handler panicked")
-                    }
-                };
-                shared.state.metrics.record_status(response.status);
-
-                let keep_alive = !request.wants_close() && !shared.draining();
-                if write_response(&mut write_half, &response, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Ok(Err(NoRequest::Closed | NoRequest::StopWaiting)) => return,
-            Err(BadRequest(message)) => {
-                let status = if message.contains("too large") {
-                    431
-                } else {
-                    400
-                };
-                let response = Response::error(status, &message);
-                shared.state.metrics.record_status(status);
-                let _ = write_response(&mut write_half, &response, false);
-                // Closing with unread request bytes (e.g. an oversized body
-                // we refused to read) can RST the connection before the
-                // client sees the response; drain a bounded amount first.
-                discard_pending(&mut reader);
-                return;
-            }
-        }
-    }
-}
-
-/// Reads and discards whatever the peer already sent, up to 1 MiB,
-/// stopping at the first timeout tick.
-fn discard_pending(reader: &mut io::BufReader<TcpStream>) {
-    use io::Read as _;
-    let mut scratch = [0u8; 8192];
-    let mut discarded = 0usize;
-    while discarded < 1 << 20 {
-        match reader.read(&mut scratch) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => discarded += n,
-        }
-    }
-}
-
-/// Replaces worker threads that die (a panic that escapes the per-request
-/// guard) until drain, then reaps everything.
-fn supervise(shared: Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
-    loop {
-        if shared.draining() {
-            for handle in workers {
-                let _ = handle.join();
-            }
-            return;
-        }
-        for (index, slot) in workers.iter_mut().enumerate() {
-            if slot.is_finished() {
-                match spawn_worker(Arc::clone(&shared), index) {
-                    Ok(fresh) => {
-                        let dead = std::mem::replace(slot, fresh);
-                        let _ = dead.join();
-                        shared
-                            .state
-                            .metrics
-                            .workers_replaced
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => break, // try again next tick
-                }
-            }
-        }
-        std::thread::sleep(Duration::from_millis(100));
-    }
 }

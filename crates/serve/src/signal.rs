@@ -1,17 +1,34 @@
 //! Process-signal plumbing for graceful shutdown.
 //!
 //! On Unix this registers handlers for SIGTERM and SIGINT that set a
-//! process-wide flag; the server binary polls [`shutdown_requested`] and
-//! begins its drain sequence when it flips. Elsewhere the functions exist
-//! but never fire, so callers need no platform branches.
+//! process-wide flag and poke a self-pipe; the server binary parks in
+//! [`wait_for_shutdown`] (no polling) and begins its drain sequence when
+//! the pipe wakes it. Elsewhere the functions exist but signals never
+//! fire, so callers need no platform branches.
 //!
 //! The build environment vendors no `libc`/`signal-hook` crate, so the
 //! Unix path declares `signal(2)` itself — std already links libc. The
-//! handler body only stores to an atomic, which is async-signal-safe.
+//! handler body is an atomic store plus one `write(2)` down the pipe
+//! ([`caqr_reactor::notify_raw`]), both async-signal-safe.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use caqr_reactor::WakePipe;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::OnceLock;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Write end of the wake pipe, published for the signal handler; `-1`
+/// until [`install_handlers`] runs.
+static WAKE_WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+fn wake_pipe() -> Option<&'static WakePipe> {
+    static PIPE: OnceLock<Option<WakePipe>> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        let pipe = WakePipe::new().ok()?;
+        WAKE_WRITE_FD.store(pipe.write_fd(), Ordering::SeqCst);
+        Some(pipe)
+    })
+    .as_ref()
+}
 
 /// `true` once a termination signal has been received (or
 /// [`request_shutdown`] was called).
@@ -19,9 +36,29 @@ pub fn shutdown_requested() -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
 }
 
-/// Sets the shutdown flag programmatically — what a signal would do.
+/// Sets the shutdown flag programmatically — what a signal would do —
+/// and wakes any [`wait_for_shutdown`] parker.
 pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
+    if let Some(pipe) = wake_pipe() {
+        pipe.notify();
+    }
+}
+
+/// Parks the calling thread until shutdown is requested. Returns
+/// immediately if it already was. Falls back to a coarse sleep loop when
+/// the platform has no wake pipe.
+pub fn wait_for_shutdown() {
+    while !shutdown_requested() {
+        match wake_pipe() {
+            // A bounded wait, not infinite: the pipe write is best-effort
+            // (a full pipe drops the byte), so re-check the flag each lap.
+            Some(pipe) => {
+                let _ = pipe.wait(1000);
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
 }
 
 #[cfg(unix)]
@@ -37,13 +74,18 @@ mod imp {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        // Only an atomic store: async-signal-safe.
+        // An atomic store and a single write(2): both async-signal-safe.
         super::SHUTDOWN.store(true, Ordering::SeqCst);
+        let fd = super::WAKE_WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            caqr_reactor::notify_raw(fd);
+        }
     }
 
     pub fn install() {
-        // SAFETY: `signal(2)` with a handler that performs a single atomic
-        // store; no allocation, locking, or I/O happens in signal context.
+        // SAFETY: `signal(2)` with a handler restricted to async-signal-
+        // safe operations; no allocation, locking, or buffered I/O happens
+        // in signal context.
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
@@ -56,8 +98,10 @@ mod imp {
     pub fn install() {}
 }
 
-/// Installs the SIGTERM/SIGINT handlers (no-op off Unix). Idempotent.
+/// Installs the SIGTERM/SIGINT handlers (no-op off Unix) and creates the
+/// wake pipe they notify. Idempotent.
 pub fn install_handlers() {
+    let _ = wake_pipe();
     imp::install();
 }
 
@@ -66,10 +110,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_shutdown_flips_the_flag() {
+    fn request_shutdown_flips_the_flag_and_unparks() {
         // Runs in-process with other tests; only assert the one-way flip.
         install_handlers();
         request_shutdown();
         assert!(shutdown_requested());
+        wait_for_shutdown(); // must return immediately, not park
     }
 }

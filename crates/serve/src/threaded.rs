@@ -1,0 +1,394 @@
+//! The thread-per-connection backend: acceptor, bounded queue, worker
+//! pool, and the drain sequence. Kept as the portable fallback behind
+//! [`crate::server::Backend`] and as the semantic reference the reactor
+//! backend is pinned against.
+//!
+//! ```text
+//!              ┌───────────┐   bounded    ┌──────────┐
+//!   TCP ──────▶│ acceptor  │──▶ queue ───▶│ workers  │──▶ handlers
+//!              │ (429 when │   (Condvar)  │ (panic-  │
+//!              │  full)    │              │ isolated)│
+//!              └───────────┘              └──────────┘
+//! ```
+//!
+//! The acceptor parks on `poll(2)` (via caqr-reactor) between accepts
+//! instead of sleep-polling; shutdown wakes it through the poller's
+//! waker. Dead workers (a panic that escapes the per-request guard) are
+//! respawned by a drop guard on the worker thread itself — no supervisor
+//! thread, no supervision interval.
+
+use crate::handlers::{self, AppState};
+use crate::http::{read_request, write_response, BadRequest, NoRequest, Response, POLL_TICK};
+use crate::server::{effective_workers, ServerConfig};
+use caqr_reactor::{Event, Interest, Poller, Token, Waker};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// State shared by the acceptor and workers.
+pub(crate) struct Shared {
+    state: Arc<AppState>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    draining: AtomicBool,
+    config: ServerConfig,
+    /// Wakes the acceptor out of its poll park at shutdown.
+    accept_waker: Mutex<Option<Waker>>,
+    /// Live worker handles; the drop guard pushes replacements here.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Starts the drain: stop admitting, wake everything. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        let waker = self
+            .accept_waker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(waker) = waker.as_ref() {
+            waker.wake();
+        }
+    }
+}
+
+/// A running threaded server: bound socket, acceptor, worker pool.
+pub(crate) struct ThreadedServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    /// Binds `config.addr` and starts the acceptor and workers.
+    pub(crate) fn bind(config: ServerConfig, state: Arc<AppState>) -> io::Result<ThreadedServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let worker_count = effective_workers(config.workers);
+        let shared = Arc::new(Shared {
+            state,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+            config,
+            accept_waker: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("caqr-acceptor".into())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        for index in 0..worker_count {
+            spawn_worker(Arc::clone(&shared), index)?;
+        }
+
+        Ok(ThreadedServer {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Joins the acceptor, then every worker (including respawns).
+    pub(crate) fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let handle = {
+                let mut workers = self
+                    .shared
+                    .workers
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                workers.pop()
+            };
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Parks the acceptor between accepts: on `poll(2)` where available (woken
+/// by readiness or the shutdown waker), a bounded sleep elsewhere.
+struct AcceptParker {
+    poller: Option<Poller>,
+    events: Vec<Event>,
+}
+
+impl AcceptParker {
+    fn new(shared: &Shared, listener: &TcpListener) -> AcceptParker {
+        let poller = Poller::new().ok().and_then(|mut poller| {
+            poller
+                .register(listener, Token(0), Interest::READABLE)
+                .ok()?;
+            let mut slot = shared
+                .accept_waker
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *slot = Some(poller.waker());
+            Some(poller)
+        });
+        AcceptParker {
+            poller,
+            events: Vec::new(),
+        }
+    }
+
+    fn park(&mut self, timeout: Duration) {
+        match self.poller.as_mut() {
+            // Cap at 1s so a lost wakeup degrades to latency, not a hang.
+            Some(poller) => {
+                let _ = poller.poll(&mut self.events, Some(timeout.min(Duration::from_secs(1))));
+            }
+            None => std::thread::sleep(timeout.min(Duration::from_millis(10))),
+        }
+    }
+}
+
+/// Accepts connections into the bounded queue; answers `429` inline when
+/// it is full, and `503` during the drain grace window.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    let mut parker = AcceptParker::new(shared, listener);
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared
+                    .state
+                    .metrics
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut queue = shared.lock_queue();
+                if queue.len() >= shared.config.queue_capacity {
+                    drop(queue);
+                    shared
+                        .state
+                        .metrics
+                        .rejected_429
+                        .fetch_add(1, Ordering::Relaxed);
+                    let response = Response::error(429, "server is at capacity")
+                        .with_header("Retry-After", "1");
+                    respond_inline(stream, &response);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                parker.park(Duration::from_secs(1));
+            }
+            Err(_) => parker.park(Duration::from_millis(10)),
+        }
+    }
+
+    // Drain grace: a clean 503 beats a connection reset for clients that
+    // race the shutdown.
+    let deadline = Instant::now() + shared.config.drain_grace;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                respond_inline(stream, &Response::error(503, "server is shutting down"));
+            }
+            Err(_) => parker.park(deadline - now),
+        }
+    }
+    shared.available.notify_all();
+}
+
+/// Writes one response on a just-accepted connection and closes it. The
+/// response is far smaller than a socket send buffer, so the write either
+/// lands whole or the client is gone — best effort either way.
+fn respond_inline(stream: TcpStream, response: &Response) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = write_response(&mut stream, response, false);
+}
+
+fn spawn_worker(shared: Arc<Shared>, index: usize) -> io::Result<()> {
+    let handle = std::thread::Builder::new()
+        .name(format!("caqr-worker-{index}"))
+        .spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                let _guard = RespawnGuard {
+                    shared: Arc::clone(&shared),
+                    index,
+                };
+                while let Some(stream) = next_connection(&shared) {
+                    serve_connection(&shared, stream);
+                }
+            }
+        })?;
+    shared
+        .workers
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .push(handle);
+    Ok(())
+}
+
+/// Respawns the worker if its thread dies panicking (a panic that escaped
+/// the per-request `catch_unwind`). Runs on the dying thread itself, so
+/// replacement is immediate — no supervision interval.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.draining() {
+            self.shared
+                .state
+                .metrics
+                .workers_replaced
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = spawn_worker(Arc::clone(&self.shared), self.index);
+        }
+    }
+}
+
+/// Blocks for the next queued connection; `None` once draining and empty.
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = shared.lock_queue();
+    loop {
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        if shared.draining() {
+            return None;
+        }
+        let (guard, _) = shared
+            .available
+            .wait_timeout(queue, POLL_TICK)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        queue = guard;
+    }
+}
+
+/// Serves one connection: requests in a keep-alive loop, each under
+/// `catch_unwind` so a handler panic answers `500` and the worker (and
+/// the process) survive.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    let _ = read_half.set_read_timeout(Some(POLL_TICK));
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = write_half.set_nodelay(true);
+    let mut reader = io::BufReader::new(read_half);
+
+    let mut served = 0usize;
+    loop {
+        let idle_deadline = Instant::now() + shared.config.keep_alive_idle;
+        let mut keep_waiting = || !shared.draining() && Instant::now() < idle_deadline;
+        match read_request(&mut reader, &shared.config.http_limits, &mut keep_waiting) {
+            Ok(Ok(request)) => {
+                // A connection pulled from the queue gets its first request
+                // served even mid-drain (it was admitted before shutdown);
+                // later keep-alive requests are refused.
+                if shared.draining() && served > 0 {
+                    let response = Response::error(503, "server is shutting down");
+                    shared.state.metrics.record_status(response.status);
+                    let _ = write_response(&mut write_half, &response, false);
+                    return;
+                }
+                served += 1;
+                shared
+                    .state
+                    .metrics
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+
+                let response = match catch_unwind(AssertUnwindSafe(|| {
+                    handlers::handle(&shared.state, &request)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        shared
+                            .state
+                            .metrics
+                            .handler_panics
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::error(500, "internal error: request handler panicked")
+                    }
+                };
+                shared.state.metrics.record_status(response.status);
+
+                let keep_alive = !request.wants_close() && !shared.draining();
+                if write_response(&mut write_half, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(Err(NoRequest::Closed | NoRequest::StopWaiting)) => return,
+            Err(BadRequest(message)) => {
+                let status = if message.contains("too large") {
+                    431
+                } else {
+                    400
+                };
+                let response = Response::error(status, &message);
+                shared.state.metrics.record_status(status);
+                let _ = write_response(&mut write_half, &response, false);
+                // Closing with unread request bytes (e.g. an oversized body
+                // we refused to read) can RST the connection before the
+                // client sees the response; drain a bounded amount first.
+                discard_pending(&mut reader);
+                return;
+            }
+        }
+    }
+}
+
+/// Reads and discards whatever the peer already sent, up to 1 MiB,
+/// stopping at the first timeout tick.
+fn discard_pending(reader: &mut io::BufReader<TcpStream>) {
+    use io::Read as _;
+    let mut scratch = [0u8; 8192];
+    let mut discarded = 0usize;
+    while discarded < 1 << 20 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => discarded += n,
+        }
+    }
+}

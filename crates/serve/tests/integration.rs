@@ -185,9 +185,62 @@ fn zero_capacity_queue_answers_429_with_retry_after() {
         ..quick_config()
     };
     let (server, mut client) = start(config);
+
+    // The reactor answers routing-only endpoints inline on the shard
+    // thread — a full dispatch queue does not take /healthz down.
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    // Compute work needs a queue slot, and there are none.
+    let circuit = circuit_to_value(&bell()).encode();
+    let compile = format!(r#"{{"circuit":{circuit}}}"#);
+    let response = client.post("/v1/compile", compile.as_bytes()).unwrap();
+    assert_eq!(response.status, 429, "{}", response.text());
+    assert_eq!(response.header("retry-after"), Some("1"));
+
+    server.shutdown_handle().shutdown();
+    server.join();
+}
+
+/// The threaded backend keeps its original at-the-door admission: with no
+/// queue slots, every request — even /healthz — is turned away.
+#[test]
+fn threaded_zero_capacity_queue_refuses_at_the_door() {
+    let config = ServerConfig {
+        backend: caqr_serve::Backend::Threaded,
+        queue_capacity: 0,
+        ..quick_config()
+    };
+    let (server, mut client) = start(config);
     let response = client.get("/healthz").unwrap();
     assert_eq!(response.status, 429);
     assert_eq!(response.header("retry-after"), Some("1"));
+
+    server.shutdown_handle().shutdown();
+    server.join();
+}
+
+/// The full routing surface also works on the threaded backend — the
+/// facade keeps both transports answering identically.
+#[test]
+fn threaded_backend_still_serves() {
+    let config = ServerConfig {
+        backend: caqr_serve::Backend::Threaded,
+        ..quick_config()
+    };
+    let (server, mut client) = start(config);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    let circuit = circuit_to_value(&bell()).encode();
+    let compile = format!(r#"{{"circuit":{circuit},"strategy":"sr"}}"#);
+    let response = client.post("/v1/compile", compile.as_bytes()).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert_eq!(
+        body_json(&response.body).get("ok").and_then(Value::as_bool),
+        Some(true)
+    );
 
     server.shutdown_handle().shutdown();
     server.join();
