@@ -6,7 +6,7 @@
 //! random or power-law graphs (§4.1).
 
 use crate::suite::{Benchmark, BenchmarkKind};
-use caqr_circuit::{Circuit, Qubit};
+use caqr_circuit::{Circuit, Param, ParametricCircuit, Qubit};
 use caqr_graph::{gen, Graph};
 
 /// The problem-graph family for a QAOA instance.
@@ -51,6 +51,39 @@ pub fn maxcut_circuit(graph: &Graph, params: &[(f64, f64)]) -> Circuit {
     }
     c.measure_all();
     c
+}
+
+/// Builds the max-cut QAOA circuit for `graph` as a parametric template
+/// with `layers` layers: slot `2i` is layer `i`'s phase angle (gamma) and
+/// slot `2i + 1` its *mixer* angle — the full `RX` rotation, i.e. `2 beta`
+/// in [`maxcut_circuit`]'s convention, so
+/// `bind(&[gamma_0, 2 * beta_0, ...])` reproduces
+/// `maxcut_circuit(graph, &[(gamma_0, beta_0), ...])` exactly.
+///
+/// Compile the template once, then bind per optimizer iteration.
+///
+/// # Panics
+///
+/// Panics if `layers` is zero.
+pub fn maxcut_template(graph: &Graph, layers: usize) -> ParametricCircuit {
+    assert!(layers > 0, "QAOA needs at least one layer");
+    let n = graph.num_vertices();
+    let mut c = Circuit::new(n, n);
+    for v in 0..n {
+        c.h(Qubit::new(v));
+    }
+    for layer in 0..layers {
+        let gamma = Param::Slot(2 * layer as u32).to_raw();
+        let mixer = Param::Slot(2 * layer as u32 + 1).to_raw();
+        for (u, v) in graph.edges() {
+            c.rzz(gamma, Qubit::new(u), Qubit::new(v));
+        }
+        for v in 0..n {
+            c.rx(mixer, Qubit::new(v));
+        }
+    }
+    c.measure_all();
+    ParametricCircuit::new(c, 2 * layers as u32).expect("template construction is slot-exact")
 }
 
 /// Builds the named benchmark `QAOA<n>-<density>` with a single layer at
@@ -147,5 +180,31 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_params_rejected() {
         maxcut_circuit(&gen::random_graph(4, 0.5, 0), &[]);
+    }
+
+    #[test]
+    fn template_bind_matches_concrete_circuit() {
+        let g = gen::random_graph(8, 0.3, 11);
+        for layers in 1..=3 {
+            let template = maxcut_template(&g, layers);
+            assert_eq!(template.num_slots() as usize, 2 * layers);
+            let params: Vec<(f64, f64)> = (0..layers)
+                .map(|i| (0.7 - 0.1 * i as f64, 0.3 + 0.05 * i as f64))
+                .collect();
+            let values: Vec<f64> = params
+                .iter()
+                .flat_map(|&(gamma, beta)| [gamma, 2.0 * beta])
+                .collect();
+            let bound = template.bind(&values).unwrap();
+            let concrete = maxcut_circuit(&g, &params);
+            assert_eq!(bound, concrete, "layers={layers}");
+            assert_eq!(bound.fingerprint(), concrete.fingerprint());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layer_template_rejected() {
+        maxcut_template(&gen::random_graph(4, 0.5, 0), 0);
     }
 }

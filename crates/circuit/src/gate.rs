@@ -144,9 +144,34 @@ impl Gate {
         }
     }
 
+    /// The rotation parameter for parameterized gates, decoding NaN-boxed
+    /// symbolic slots (see [`crate::param`]).
+    pub fn param(&self) -> Option<crate::param::Param> {
+        self.angle().map(crate::param::Param::from_raw)
+    }
+
+    /// The same gate with its angle replaced, or `None` for gates without
+    /// a single-angle parameter. This is the bind step's workhorse.
+    pub fn with_angle(&self, angle: f64) -> Option<Gate> {
+        Some(match self {
+            Gate::Rx(_) => Gate::Rx(angle),
+            Gate::Ry(_) => Gate::Ry(angle),
+            Gate::Rz(_) => Gate::Rz(angle),
+            Gate::Phase(_) => Gate::Phase(angle),
+            Gate::Cp(_) => Gate::Cp(angle),
+            Gate::Rzz(_) => Gate::Rzz(angle),
+            _ => return None,
+        })
+    }
+
     /// The inverse (adjoint) gate, or `None` for the non-unitary
-    /// operations.
+    /// operations and for symbolic rotations (negating a NaN-boxed slot
+    /// would flip its sign bit and corrupt the payload — a template's
+    /// inverse is only defined after binding).
     pub fn inverse(&self) -> Option<Gate> {
+        if self.param().is_some_and(|p| p.is_slot()) {
+            return None;
+        }
         Some(match *self {
             Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => *self,
             Gate::S => Gate::Sdg,
@@ -170,8 +195,8 @@ impl fmt::Display for Gate {
         if let Gate::U(t, p, l) = self {
             return write!(f, "u({t:.6}, {p:.6}, {l:.6})");
         }
-        match self.angle() {
-            Some(a) => write!(f, "{}({:.6})", self.name(), a),
+        match self.param() {
+            Some(p) => write!(f, "{}({})", self.name(), p),
             None => f.write_str(self.name()),
         }
     }
@@ -227,5 +252,18 @@ mod tests {
     fn angles() {
         assert_eq!(Gate::Cp(0.25).angle(), Some(0.25));
         assert_eq!(Gate::Cx.angle(), None);
+    }
+
+    #[test]
+    fn symbolic_rotations_are_guarded() {
+        use crate::param::Param;
+        let slot = Param::Slot(4).to_raw();
+        assert_eq!(Gate::Rx(slot).inverse(), None, "slot negation is lossy");
+        assert_eq!(Gate::Rzz(slot).inverse(), None);
+        assert_eq!(Gate::Rx(0.5).inverse(), Some(Gate::Rx(-0.5)));
+        assert_eq!(format!("{}", Gate::Rz(slot)), "rz($4)");
+        assert_eq!(Gate::Rz(slot).param(), Some(Param::Slot(4)));
+        assert_eq!(Gate::Rz(slot).with_angle(0.25), Some(Gate::Rz(0.25)));
+        assert_eq!(Gate::H.with_angle(0.25), None);
     }
 }

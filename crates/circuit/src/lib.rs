@@ -52,6 +52,8 @@ pub mod draw;
 pub mod fingerprint;
 pub mod interaction;
 pub mod optimize;
+pub mod param;
+pub mod parametric;
 pub mod qasm;
 
 mod circuit;
@@ -61,3 +63,5 @@ pub use circuit::{Circuit, Clbit, Instruction, Qubit};
 pub use dag::CircuitDag;
 pub use fingerprint::Fingerprint;
 pub use gate::Gate;
+pub use param::Param;
+pub use parametric::ParametricCircuit;

@@ -118,6 +118,13 @@ fn pass(circuit: &Circuit) -> (Circuit, bool) {
 /// (cancels) from CX(a,b)+CX(b,a) (does not).
 fn combine(first: &Gate, second: &Gate, same_order: bool) -> Option<Option<Gate>> {
     const EPS: f64 = 1e-12;
+    // Symbolic slot angles (NaN-boxed, see `param`) admit no arithmetic:
+    // `a + b` would silently propagate a corrupted NaN payload, and the
+    // identity test below can never hold for them. Refuse to rewrite.
+    let symbolic = |g: &Gate| g.param().is_some_and(|p| p.is_slot());
+    if symbolic(first) || symbolic(second) {
+        return None;
+    }
     let cancels = |g: Option<Gate>| -> Option<Option<Gate>> { Some(g) };
     match (first, second) {
         // Self-inverse pairs.
@@ -253,6 +260,36 @@ mod tests {
         c.cond_x(q(0), Clbit::new(0));
         c.x(q(0));
         assert_eq!(peephole(&c).len(), 3);
+    }
+
+    #[test]
+    fn symbolic_rotations_never_merge() {
+        use crate::param::Param;
+        // Two same-axis rotations on one wire would merge if concrete;
+        // with slot angles the pair must survive untouched — there is no
+        // representation for "slot 0 + slot 1".
+        let s0 = Param::Slot(0).to_raw();
+        let s1 = Param::Slot(1).to_raw();
+        let mut c = Circuit::new(1, 0);
+        c.rz(s0, q(0));
+        c.rz(s1, q(0));
+        let opt = peephole(&c);
+        assert_eq!(opt.len(), 2);
+        assert_eq!(
+            opt.instructions()[0].gate.param(),
+            Some(crate::param::Param::Slot(0))
+        );
+        // Mixed concrete + slot also refuses.
+        let mut c = Circuit::new(1, 0);
+        c.rx(0.4, q(0));
+        c.rx(s0, q(0));
+        assert_eq!(peephole(&c).len(), 2);
+        // Concrete rewrites still fire around symbolic ones.
+        let mut c = Circuit::new(1, 0);
+        c.rz(s0, q(0));
+        c.h(q(0));
+        c.h(q(0));
+        assert_eq!(peephole(&c).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Symbolic rotation parameters, NaN-boxed into the IR's `f64` angles.
+//!
+//! A parametric template is an ordinary [`Circuit`](crate::Circuit) whose
+//! rotation angles may be *slots* — placeholders bound to concrete values
+//! after compilation. Rather than widening every `Gate` variant (and the
+//! dozens of call sites that pattern-match `Gate::Rx(f64)`), a slot is
+//! encoded **inside** the `f64` itself as a quiet NaN with a recognizable
+//! payload: the high 32 bits carry a magic tag, the low 32 bits the slot
+//! id. Every pass, analysis, router, and scheduler that treats angles as
+//! opaque payload (which is all of them — layout, routing, and reuse are
+//! angle-independent) runs unchanged on a template.
+//!
+//! The encoding is safe because:
+//!
+//! * No real rotation angle is NaN — the wire codec and the QASM importer
+//!   both reject non-finite angles, so the payload space is private.
+//! * The pipeline never does arithmetic on angles except the peephole
+//!   rotation merge, which explicitly refuses slot operands (see
+//!   `optimize::combine`), and `Gate::inverse`, which returns `None` for
+//!   slot-valued rotations (negating a NaN flips its sign bit and would
+//!   silently corrupt the payload).
+//! * Fingerprints hash IEEE bit patterns, so slot ids hash exactly like
+//!   the distinct, deterministic values they are.
+
+use std::fmt;
+
+/// High-32-bit tag marking a NaN-boxed slot: a quiet NaN (`0x7FF8…`) with
+/// a payload prefix (`5107`) no arithmetic result produces on its own.
+const SLOT_MAGIC: u64 = 0x7FF8_5107_0000_0000;
+/// Mask selecting the bits that must equal [`SLOT_MAGIC`].
+const SLOT_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// A rotation parameter: either a concrete angle or a symbolic slot.
+///
+/// # Examples
+///
+/// ```
+/// use caqr_circuit::Param;
+///
+/// let theta = Param::Slot(3);
+/// let raw = theta.to_raw();          // rides any f64 angle field
+/// assert!(raw.is_nan());
+/// assert_eq!(Param::from_raw(raw), Param::Slot(3));
+/// assert_eq!(Param::from_raw(1.5), Param::Val(1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Param {
+    /// A concrete angle in radians.
+    Val(f64),
+    /// A symbolic slot, bound to `values[id]` at bind time.
+    Slot(u32),
+}
+
+impl Param {
+    /// Decodes a raw angle: slot-tagged NaNs become [`Param::Slot`],
+    /// everything else (including ordinary NaNs) is [`Param::Val`].
+    pub fn from_raw(raw: f64) -> Param {
+        let bits = raw.to_bits();
+        if bits & SLOT_MASK == SLOT_MAGIC {
+            Param::Slot(bits as u32)
+        } else {
+            Param::Val(raw)
+        }
+    }
+
+    /// Encodes the parameter as the raw `f64` the IR stores.
+    pub fn to_raw(self) -> f64 {
+        match self {
+            Param::Val(v) => v,
+            Param::Slot(id) => f64::from_bits(SLOT_MAGIC | id as u64),
+        }
+    }
+
+    /// Returns `true` for [`Param::Slot`].
+    pub fn is_slot(self) -> bool {
+        matches!(self, Param::Slot(_))
+    }
+
+    /// The slot id, if symbolic.
+    pub fn slot(self) -> Option<u32> {
+        match self {
+            Param::Slot(id) => Some(id),
+            Param::Val(_) => None,
+        }
+    }
+
+    /// The concrete angle, if bound.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Param::Val(v) => Some(v),
+            Param::Slot(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Param::Val(v) => write!(f, "{v:.6}"),
+            Param::Slot(id) => write!(f, "${id}"),
+        }
+    }
+}
+
+/// Returns `true` when a raw angle carries a slot tag.
+pub fn raw_is_slot(raw: f64) -> bool {
+    raw.to_bits() & SLOT_MASK == SLOT_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_slot_shape() {
+        for id in [0u32, 1, 7, 0xFFFF_FFFF] {
+            let p = Param::Slot(id);
+            assert!(p.to_raw().is_nan());
+            assert_eq!(Param::from_raw(p.to_raw()), p);
+            assert!(raw_is_slot(p.to_raw()));
+            assert_eq!(p.slot(), Some(id));
+            assert_eq!(p.value(), None);
+        }
+    }
+
+    #[test]
+    fn concrete_values_stay_concrete() {
+        for v in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -3.25] {
+            assert_eq!(Param::from_raw(v), Param::Val(v));
+            assert!(!raw_is_slot(v));
+        }
+        // An ordinary NaN is not a slot: the payload prefix is private.
+        assert_eq!(Param::from_raw(f64::NAN).slot(), None);
+        assert!(!raw_is_slot(f64::NAN));
+        assert!(!raw_is_slot(f64::INFINITY));
+        assert!(!raw_is_slot(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn negating_a_slot_breaks_the_tag() {
+        // The sign bit is part of the mask, so `-raw` is NOT a slot — this
+        // is why `Gate::inverse` must refuse symbolic rotations instead of
+        // negating them.
+        let raw = Param::Slot(9).to_raw();
+        assert!(!raw_is_slot(-raw));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Param::Slot(3)), "$3");
+        assert_eq!(format!("{}", Param::Val(1.5)), "1.500000");
+    }
+}

@@ -1,0 +1,396 @@
+//! The parametric-template IR: circuits with symbolic rotation slots and
+//! the O(gates) bind step that stamps concrete angles in.
+//!
+//! A [`ParametricCircuit`] wraps an ordinary [`Circuit`] whose rotation
+//! angles may be NaN-boxed [`Param::Slot`]s (see [`crate::param`]). The
+//! whole compilation pipeline — layout, routing under any cost model,
+//! reuse and measure/reset scheduling — is angle-independent, so a
+//! template compiles exactly like a concrete circuit; binding the routed
+//! artifact afterwards costs one linear walk. The template fingerprint
+//! lives in its own domain (a tag is mixed into the hash), so a template
+//! can never collide with a concrete circuit in a content-addressed
+//! cache.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::fingerprint::{Fingerprint, StableHasher};
+use crate::gate::Gate;
+use crate::param::Param;
+use std::fmt;
+
+/// Domain tag for template fingerprints. Concrete circuits hash without
+/// any tag, so the two key populations are disjoint by construction.
+const TEMPLATE_DOMAIN: &str = "caqr/parametric-template/v1";
+
+/// A structural error in a would-be template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParametricError {
+    /// A gate angle is neither a finite value nor a well-formed slot.
+    NonFiniteAngle {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A slot id is not below the declared slot count.
+    SlotOutOfRange {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The out-of-range slot id.
+        slot: u32,
+        /// The declared slot count.
+        num_slots: u32,
+    },
+}
+
+impl fmt::Display for ParametricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParametricError::NonFiniteAngle { index } => {
+                write!(f, "instruction {index}: non-finite concrete angle")
+            }
+            ParametricError::SlotOutOfRange {
+                index,
+                slot,
+                num_slots,
+            } => write!(
+                f,
+                "instruction {index}: slot ${slot} out of range (template declares {num_slots})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParametricError {}
+
+/// An error from [`ParametricCircuit::bind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    /// The value vector length does not match the slot count.
+    ArityMismatch {
+        /// Slots the template declares.
+        expected: u32,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A supplied value is NaN or infinite.
+    NonFiniteValue {
+        /// The slot the bad value was destined for.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "template has {expected} slots but {got} values were supplied"
+                )
+            }
+            BindError::NonFiniteValue { slot } => {
+                write!(f, "value for slot ${slot} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// A compile-once circuit template with `num_slots` symbolic angles.
+///
+/// Deliberately not `PartialEq`: slot angles are NaN-boxed, so derived
+/// float equality would report a template unequal to itself. Compare
+/// [`ParametricCircuit::template_fingerprint`]s instead — they hash IEEE
+/// bit patterns exactly.
+#[derive(Debug, Clone)]
+pub struct ParametricCircuit {
+    circuit: Circuit,
+    num_slots: u32,
+}
+
+impl ParametricCircuit {
+    /// Wraps `circuit` as a template with `num_slots` slots, validating
+    /// that every angle is either finite or a slot below `num_slots`.
+    ///
+    /// # Errors
+    ///
+    /// [`ParametricError`] when an angle is non-finite without being a
+    /// well-formed slot, or references a slot `>= num_slots`.
+    pub fn new(circuit: Circuit, num_slots: u32) -> Result<Self, ParametricError> {
+        validate_angles(&circuit, num_slots)?;
+        Ok(ParametricCircuit { circuit, num_slots })
+    }
+
+    /// The underlying circuit (slot angles are NaN-boxed raws).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The number of symbolic slots the template declares.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Unwraps the template into its raw circuit.
+    pub fn into_circuit(self) -> Circuit {
+        self.circuit
+    }
+
+    /// The template's cache key: structure + slot ids, hashed in a domain
+    /// disjoint from concrete-circuit fingerprints.
+    pub fn template_fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_str(TEMPLATE_DOMAIN);
+        h.write_u32(self.num_slots);
+        h.finish().combine(self.circuit.fingerprint())
+    }
+
+    /// Stamps `values` into every slot, producing a fully concrete
+    /// circuit in one O(gates) walk.
+    ///
+    /// # Errors
+    ///
+    /// [`BindError`] when `values.len() != num_slots` or any value is
+    /// non-finite.
+    pub fn bind(&self, values: &[f64]) -> Result<Circuit, BindError> {
+        bind_circuit(&self.circuit, self.num_slots, values)
+    }
+
+    /// Lifts every rotation angle of a concrete circuit into a fresh
+    /// slot, returning the template and the value vector that binds it
+    /// back to the original. `bind(&values)` is the exact inverse:
+    /// the result is bit-identical to `circuit`.
+    pub fn parametrize(circuit: &Circuit) -> (ParametricCircuit, Vec<f64>) {
+        let mut values = Vec::new();
+        let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+        for instr in circuit {
+            let gate = match instr.gate.param() {
+                Some(Param::Val(v)) => {
+                    let slot = values.len() as u32;
+                    values.push(v);
+                    instr
+                        .gate
+                        .with_angle(Param::Slot(slot).to_raw())
+                        .expect("param() implies with_angle()")
+                }
+                _ => instr.gate,
+            };
+            out.push(Instruction {
+                gate,
+                ..instr.clone()
+            });
+        }
+        let num_slots = values.len() as u32;
+        (
+            ParametricCircuit {
+                circuit: out,
+                num_slots,
+            },
+            values,
+        )
+    }
+}
+
+/// Stamps `values` into the slot angles of any circuit (typically a
+/// routed template artifact) in one O(gates) walk.
+///
+/// # Errors
+///
+/// [`BindError`] on arity mismatch or non-finite values.
+pub fn bind_circuit(
+    circuit: &Circuit,
+    num_slots: u32,
+    values: &[f64],
+) -> Result<Circuit, BindError> {
+    if values.len() != num_slots as usize {
+        return Err(BindError::ArityMismatch {
+            expected: num_slots,
+            got: values.len(),
+        });
+    }
+    if let Some(slot) = values.iter().position(|v| !v.is_finite()) {
+        return Err(BindError::NonFiniteValue { slot: slot as u32 });
+    }
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+    for instr in circuit {
+        let gate = match instr.gate.param() {
+            Some(Param::Slot(id)) => {
+                // Validated at construction: every slot is < num_slots.
+                let gate = instr.gate.with_angle(values[id as usize]);
+                gate.expect("param() implies with_angle()")
+            }
+            _ => instr.gate,
+        };
+        out.push(Instruction {
+            gate,
+            ..instr.clone()
+        });
+    }
+    Ok(out)
+}
+
+/// Checks that every angle in `circuit` is finite or a slot below
+/// `num_slots`. The generic `U(θ,φ,λ)` gate admits no slots — all three
+/// angles must be finite.
+///
+/// # Errors
+///
+/// The first [`ParametricError`] encountered, in instruction order.
+pub fn validate_angles(circuit: &Circuit, num_slots: u32) -> Result<(), ParametricError> {
+    for (index, instr) in circuit.iter().enumerate() {
+        if let Gate::U(t, p, l) = instr.gate {
+            if !(t.is_finite() && p.is_finite() && l.is_finite()) {
+                return Err(ParametricError::NonFiniteAngle { index });
+            }
+            continue;
+        }
+        match instr.gate.param() {
+            Some(Param::Slot(slot)) if slot >= num_slots => {
+                return Err(ParametricError::SlotOutOfRange {
+                    index,
+                    slot,
+                    num_slots,
+                });
+            }
+            Some(Param::Val(v)) if !v.is_finite() => {
+                return Err(ParametricError::NonFiniteAngle { index });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` when any angle in `circuit` is a symbolic slot.
+pub fn has_slots(circuit: &Circuit) -> bool {
+    circuit
+        .iter()
+        .any(|i| i.gate.param().is_some_and(Param::is_slot))
+}
+
+/// The sorted multiset of slot ids used by `circuit`. Passes must
+/// preserve this exactly: reuse, routing, and scheduling may reorder or
+/// duplicate-free-insert gates, but never invent or drop a rotation.
+pub fn slot_census(circuit: &Circuit) -> Vec<u32> {
+    let mut ids: Vec<u32> = circuit
+        .iter()
+        .filter_map(|i| i.gate.param().and_then(Param::slot))
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Qubit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn template() -> ParametricCircuit {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0));
+        c.rzz(Param::Slot(0).to_raw(), q(0), q(1));
+        c.rx(Param::Slot(1).to_raw(), q(1));
+        c.rz(0.25, q(0));
+        ParametricCircuit::new(c, 2).expect("valid template")
+    }
+
+    #[test]
+    fn bind_stamps_values_and_preserves_everything_else() {
+        let t = template();
+        let bound = t.bind(&[0.4, -1.1]).unwrap();
+        assert_eq!(bound.len(), 4);
+        assert_eq!(bound.instructions()[1].gate, Gate::Rzz(0.4));
+        assert_eq!(bound.instructions()[2].gate, Gate::Rx(-1.1));
+        assert_eq!(bound.instructions()[3].gate, Gate::Rz(0.25));
+        assert!(!has_slots(&bound));
+    }
+
+    #[test]
+    fn bind_checks_arity_and_finiteness() {
+        let t = template();
+        assert_eq!(
+            t.bind(&[0.4]),
+            Err(BindError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            t.bind(&[0.4, f64::NAN]),
+            Err(BindError::NonFiniteValue { slot: 1 })
+        );
+    }
+
+    #[test]
+    fn construction_rejects_bad_angles() {
+        let mut c = Circuit::new(1, 0);
+        c.rx(Param::Slot(5).to_raw(), q(0));
+        assert_eq!(
+            ParametricCircuit::new(c, 2).unwrap_err(),
+            ParametricError::SlotOutOfRange {
+                index: 0,
+                slot: 5,
+                num_slots: 2
+            }
+        );
+        let mut c = Circuit::new(1, 0);
+        c.rx(f64::NAN, q(0));
+        assert_eq!(
+            ParametricCircuit::new(c, 0).unwrap_err(),
+            ParametricError::NonFiniteAngle { index: 0 }
+        );
+        let mut c = Circuit::new(1, 0);
+        c.push_gate(Gate::U(0.1, f64::INFINITY, 0.2), &[q(0)]);
+        assert!(ParametricCircuit::new(c, 0).is_err());
+    }
+
+    #[test]
+    fn parametrize_then_bind_is_the_identity() {
+        let mut c = Circuit::new(3, 1);
+        c.h(q(0));
+        c.rz(0.3, q(0));
+        c.rzz(1.25, q(0), q(1));
+        c.cp(-0.5, q(1), q(2));
+        c.measure(q(2), crate::circuit::Clbit::new(0));
+        let (t, values) = ParametricCircuit::parametrize(&c);
+        assert_eq!(t.num_slots(), 3);
+        assert_eq!(values, vec![0.3, 1.25, -0.5]);
+        let bound = t.bind(&values).unwrap();
+        assert_eq!(bound, c);
+        assert_eq!(bound.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn template_fingerprint_is_domain_separated() {
+        let c = {
+            let mut c = Circuit::new(1, 0);
+            c.rx(0.5, q(0));
+            c
+        };
+        let (t, _) = ParametricCircuit::parametrize(&c);
+        assert_ne!(t.template_fingerprint(), c.fingerprint());
+        assert_ne!(t.template_fingerprint(), t.circuit().fingerprint());
+        // Slot ids participate: same structure, different slot wiring.
+        let mut a = Circuit::new(1, 0);
+        a.rx(Param::Slot(0).to_raw(), q(0));
+        a.ry(Param::Slot(1).to_raw(), q(0));
+        let mut b = Circuit::new(1, 0);
+        b.rx(Param::Slot(1).to_raw(), q(0));
+        b.ry(Param::Slot(0).to_raw(), q(0));
+        let ta = ParametricCircuit::new(a, 2).unwrap();
+        let tb = ParametricCircuit::new(b, 2).unwrap();
+        assert_ne!(ta.template_fingerprint(), tb.template_fingerprint());
+    }
+
+    #[test]
+    fn census_and_has_slots() {
+        let t = template();
+        assert!(has_slots(t.circuit()));
+        assert_eq!(slot_census(t.circuit()), vec![0, 1]);
+        let bound = t.bind(&[0.1, 0.2]).unwrap();
+        assert!(slot_census(&bound).is_empty());
+    }
+}

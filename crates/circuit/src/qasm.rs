@@ -180,21 +180,27 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             continue;
         }
 
-        // Gate application: name[(angle[, angle...])] q[i][, q[j]]
-        let (head, operands) = body
-            .split_once(' ')
-            .ok_or_else(|| ParseQasmError::new(lineno, "gate missing operands"))?;
-        let (name, angles) = match head.split_once('(') {
+        // Gate application: name[(angle[, angle...])] q[i][, q[j]].
+        // The angle list is delimited by its parentheses (angle
+        // expressions may contain spaces), so the operand list starts
+        // after ')' when one is present and after the first space
+        // otherwise.
+        let (name, angles, operands) = match body.split_once('(') {
             Some((n, rest)) => {
-                let a = rest
-                    .strip_suffix(')')
+                let close = rest
+                    .find(')')
                     .ok_or_else(|| ParseQasmError::new(lineno, "unterminated angle"))?;
-                let angles: Result<Vec<f64>, _> =
-                    a.split(',').map(|s| s.trim().parse::<f64>()).collect();
-                let angles = angles.map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
-                (n, angles)
+                let angles: Option<Vec<f64>> =
+                    rest[..close].split(',').map(parse_angle_expr).collect();
+                let angles = angles.ok_or_else(|| ParseQasmError::new(lineno, "bad angle"))?;
+                (n.trim(), angles, rest[close + 1..].trim())
             }
-            None => (head, Vec::new()),
+            None => {
+                let (head, operands) = body
+                    .split_once(' ')
+                    .ok_or_else(|| ParseQasmError::new(lineno, "gate missing operands"))?;
+                (head, Vec::new(), operands)
+            }
         };
         let gate = gate_from_name(name, &angles)
             .ok_or_else(|| ParseQasmError::new(lineno, format!("unknown gate '{name}'")))?;
@@ -232,6 +238,81 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         circuit.push(i);
     }
     Ok(circuit)
+}
+
+/// Parses a qelib-style angle expression: products and quotients of `pi`
+/// and float literals, with unary minus — `pi`, `pi/2`, `2*pi`, `-pi/4`,
+/// `3*pi/2`, `0.5`. `*` and `/` associate left at equal precedence, which
+/// matches OpenQASM 2 for the expression subset qelib1 headers use.
+fn parse_angle_expr(s: &str) -> Option<f64> {
+    let mut rest = s.trim();
+    let mut acc = parse_angle_atom(&mut rest)?;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return Some(acc);
+        }
+        let op = rest.as_bytes()[0];
+        if op != b'*' && op != b'/' {
+            return None;
+        }
+        rest = rest[1..].trim_start();
+        let atom = parse_angle_atom(&mut rest)?;
+        if op == b'*' {
+            acc *= atom;
+        } else {
+            acc /= atom;
+        }
+    }
+}
+
+/// One operand: optional unary minus, then `pi` or a float literal.
+/// Consumes from the front of `rest`.
+fn parse_angle_atom(rest: &mut &str) -> Option<f64> {
+    let mut s = rest.trim_start();
+    let mut neg = false;
+    while let Some(r) = s.strip_prefix('-') {
+        neg = !neg;
+        s = r.trim_start();
+    }
+    if let Some(r) = s.strip_prefix("pi") {
+        // "pie" must not parse as pi * <garbage>.
+        if r.chars().next().is_some_and(|c| c.is_ascii_alphanumeric()) {
+            return None;
+        }
+        *rest = r;
+        return Some(if neg {
+            -std::f64::consts::PI
+        } else {
+            std::f64::consts::PI
+        });
+    }
+    // Longest float-literal prefix: digits and '.', optionally followed by
+    // an exponent with its own sign.
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+        i += 1;
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        let digits_start = j;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > digits_start {
+            i = j;
+        }
+    }
+    if i == 0 {
+        return None;
+    }
+    let v: f64 = s[..i].parse().ok()?;
+    *rest = &s[i..];
+    Some(if neg { -v } else { v })
 }
 
 fn parse_reg_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
@@ -383,6 +464,47 @@ mod tests {
         assert!(matches!(c.instructions()[0].gate, Gate::Phase(_)));
         assert!(matches!(c.instructions()[1].gate, Gate::U(..)));
         assert!(matches!(c.instructions()[2].gate, Gate::U(..)));
+    }
+
+    #[test]
+    fn angle_expressions_parse() {
+        use std::f64::consts::PI;
+        let text = "qreg q[1];\nrz(pi) q[0];\nrx(pi/2) q[0];\nry(2*pi) q[0];\n\
+                    p(-pi/4) q[0];\nrz(3*pi/2) q[0];\nrx( pi / 2 ) q[0];\nrz(-2*-pi) q[0];\n\
+                    u3(pi/2, -pi, 0.5e1) q[0];";
+        let c = from_qasm(text).unwrap();
+        let expect = [
+            PI,
+            PI / 2.0,
+            2.0 * PI,
+            -PI / 4.0,
+            3.0 * PI / 2.0,
+            PI / 2.0,
+            2.0 * PI,
+        ];
+        for (instr, want) in c.iter().zip(expect) {
+            let got = instr.gate.angle().unwrap();
+            assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+        match c.instructions()[7].gate {
+            Gate::U(t, p, l) => {
+                assert!((t - PI / 2.0).abs() < 1e-12);
+                assert!((p + PI).abs() < 1e-12);
+                assert!((l - 5.0).abs() < 1e-12);
+            }
+            ref g => panic!("expected U, got {g}"),
+        }
+        // Plain literals keep working, malformed expressions still fail.
+        assert!(from_qasm("qreg q[1];\nrz(0.75) q[0];").is_ok());
+        for bad in [
+            "rz(pie) q[0];",
+            "rz(pi+1) q[0];",
+            "rz() q[0];",
+            "rz(2**pi) q[0];",
+        ] {
+            let text = format!("qreg q[1];\n{bad}");
+            assert!(from_qasm(&text).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

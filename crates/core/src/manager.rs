@@ -15,7 +15,9 @@ use crate::pass::{
 use crate::pipeline::{CompileReport, Stage, StageTrace, Strategy};
 use crate::router::CostModelSpec;
 use caqr_arch::Device;
-use caqr_circuit::Circuit;
+#[cfg(debug_assertions)]
+use caqr_circuit::parametric;
+use caqr_circuit::{Circuit, ParametricCircuit};
 use std::time::{Duration, Instant};
 
 /// Instrumentation hook invoked as the pass manager runs.
@@ -209,14 +211,76 @@ impl PassManager {
         observer: &mut dyn PassObserver,
         cancel: &CancelToken,
     ) -> Result<CompileReport, CaqrError> {
-        let mut ctx =
-            CompileCtx::new(circuit.clone(), device, strategy).with_cost_model(cost_model);
+        let ctx = CompileCtx::new(circuit.clone(), device, strategy).with_cost_model(cost_model);
+        self.run_ctx(ctx, observer, cancel)
+    }
+
+    /// Compiles a parametric template through the full pipeline: layout,
+    /// routing, and reuse scheduling run on the slot-carrying circuit,
+    /// and the resulting report's circuit still carries the slots — one
+    /// [`ParametricCircuit::bind`] call away from any concrete binding.
+    ///
+    /// In debug builds, every pass is audited for angle-independence:
+    /// after each pass the working circuit must contain only finite
+    /// angles and well-formed slots, and the final routed artifact must
+    /// use exactly the template's slot multiset (passes may reorder,
+    /// remap, or interleave rotations, but never invent, drop, or do
+    /// arithmetic on a symbolic angle).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PassManager::run_observed_cancellable_with`].
+    pub fn run_template_observed_cancellable_with(
+        &self,
+        template: &ParametricCircuit,
+        device: &Device,
+        strategy: Strategy,
+        cost_model: CostModelSpec,
+        observer: &mut dyn PassObserver,
+        cancel: &CancelToken,
+    ) -> Result<CompileReport, CaqrError> {
+        let ctx = CompileCtx::new(template.circuit().clone(), device, strategy)
+            .with_cost_model(cost_model)
+            .with_parametric(template.num_slots());
+        let report = self.run_ctx(ctx, observer, cancel)?;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                parametric::validate_angles(&report.circuit, template.num_slots()).is_ok(),
+                "routed template carries a malformed angle"
+            );
+            debug_assert_eq!(
+                parametric::slot_census(&report.circuit),
+                parametric::slot_census(template.circuit()),
+                "pipeline changed the template's slot multiset"
+            );
+        }
+        Ok(report)
+    }
+
+    fn run_ctx(
+        &self,
+        mut ctx: CompileCtx<'_>,
+        observer: &mut dyn PassObserver,
+        cancel: &CancelToken,
+    ) -> Result<CompileReport, CaqrError> {
         for pass in &self.passes {
             cancel.check(pass.name())?;
             let start = Instant::now();
             let result = pass.run(&mut ctx);
             observer.pass_complete(pass.name(), pass.stage(), start.elapsed());
             result?;
+            // Angle-independence audit: a pass run on a template may never
+            // corrupt a slot or manufacture a non-finite concrete angle.
+            #[cfg(debug_assertions)]
+            if let Some(num_slots) = ctx.parametric_slots() {
+                debug_assert!(
+                    parametric::validate_angles(ctx.circuit(), num_slots).is_ok(),
+                    "pass '{}' is not angle-independent: {:?}",
+                    pass.name(),
+                    parametric::validate_angles(ctx.circuit(), num_slots)
+                );
+            }
         }
         ctx.report.take().ok_or(CaqrError::MissingArtifact {
             pass: "pass-manager",

@@ -117,6 +117,10 @@ pub struct CompileCtx<'d> {
     cost_model: CostModelSpec,
     circuit: Circuit,
     analyses: AnalysisCache,
+    /// `Some(num_slots)` when compiling a parametric template: the working
+    /// circuit carries NaN-boxed slot angles, and the pass manager audits
+    /// angle-independence after every pass (see `PassManager`).
+    parametric_slots: Option<u32>,
     /// Commuting-region analysis: `Some(Ok(_))` for QAOA-shaped circuits,
     /// `Some(Err(_))` for regular circuits, `None` until the
     /// `commuting-analysis` pass runs.
@@ -144,6 +148,7 @@ impl<'d> CompileCtx<'d> {
             cost_model: CostModelSpec::Hop,
             circuit,
             analyses: AnalysisCache::new(),
+            parametric_slots: None,
             commuting: None,
             sweep: None,
             routed_sweep: None,
@@ -156,6 +161,19 @@ impl<'d> CompileCtx<'d> {
     pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
         self.cost_model = cost_model;
         self
+    }
+
+    /// Marks this compilation as parametric: the working circuit is a
+    /// template with `num_slots` symbolic angle slots, and every pass is
+    /// audited for angle-independence (debug builds).
+    pub fn with_parametric(mut self, num_slots: u32) -> Self {
+        self.parametric_slots = Some(num_slots);
+        self
+    }
+
+    /// The template's slot count when compiling parametrically.
+    pub fn parametric_slots(&self) -> Option<u32> {
+        self.parametric_slots
     }
 
     /// The target device.

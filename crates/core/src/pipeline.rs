@@ -11,7 +11,7 @@ use crate::error::CaqrError;
 use crate::esp;
 use crate::manager::PassManager;
 use caqr_arch::Device;
-use caqr_circuit::Circuit;
+use caqr_circuit::{Circuit, ParametricCircuit};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -388,6 +388,69 @@ pub fn compile_traced_cancellable_with(
     let mut trace = StageTrace::default();
     let result = PassManager::for_strategy(strategy)
         .run_observed_cancellable_with(circuit, device, strategy, cost_model, &mut trace, cancel);
+    (result, trace)
+}
+
+/// Compiles a parametric template through the full pipeline. The
+/// returned report's circuit still carries the template's symbolic
+/// slots; its structural metrics (qubits, depth, duration, SWAPs, 2q
+/// count, ESP) are angle-independent and therefore valid for **every**
+/// binding. Stamp concrete angles in with
+/// [`caqr_circuit::parametric::bind_circuit`] — an O(gates) walk.
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_template(
+    template: &ParametricCircuit,
+    device: &Device,
+    strategy: Strategy,
+) -> Result<CompileReport, CaqrError> {
+    compile_template_with(
+        template,
+        device,
+        strategy,
+        crate::router::CostModelSpec::Hop,
+    )
+}
+
+/// [`compile_template`] under an explicit swap-scoring
+/// [`CostModelSpec`](crate::router::CostModelSpec).
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_template_with(
+    template: &ParametricCircuit,
+    device: &Device,
+    strategy: Strategy,
+    cost_model: crate::router::CostModelSpec,
+) -> Result<CompileReport, CaqrError> {
+    compile_template_traced_cancellable_with(
+        template,
+        device,
+        strategy,
+        cost_model,
+        &crate::cancel::CancelToken::new(),
+    )
+    .0
+}
+
+/// The fully general template entry point: strategy, routing policy,
+/// deadline token, and per-pass instrumentation in one call — the
+/// template analogue of [`compile_traced_cancellable_with`], and the
+/// entry the batch engine's bind path drives.
+pub fn compile_template_traced_cancellable_with(
+    template: &ParametricCircuit,
+    device: &Device,
+    strategy: Strategy,
+    cost_model: crate::router::CostModelSpec,
+    cancel: &crate::cancel::CancelToken,
+) -> (Result<CompileReport, CaqrError>, StageTrace) {
+    let mut trace = StageTrace::default();
+    let result = PassManager::for_strategy(strategy).run_template_observed_cancellable_with(
+        template, device, strategy, cost_model, &mut trace, cancel,
+    );
     (result, trace)
 }
 

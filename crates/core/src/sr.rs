@@ -19,6 +19,7 @@ use crate::pass::AnalysisCache;
 use crate::qs;
 use crate::router::{self, CostModelSpec, RoutedCircuit, RouterOptions};
 use caqr_arch::Device;
+use caqr_circuit::parametric::{self, ParametricCircuit};
 use caqr_circuit::Circuit;
 
 /// Routes `circuit` under each policy in order, sharing one analysis
@@ -169,6 +170,29 @@ pub fn compile_for_fidelity(
         );
     }
     finish(best.map(|(_, r)| r), last_err)
+}
+
+/// [`compile_for_fidelity`] for a parametric template. Version selection
+/// ranks by ESP, which reads gate types, durations, and calibration —
+/// never rotation angles — so the chosen version and its routing are
+/// valid for **every** binding of the template. The routed circuit still
+/// carries the template's symbolic slots; stamp concrete angles in with
+/// [`caqr_circuit::parametric::bind_circuit`] (an O(gates) walk).
+///
+/// # Errors
+///
+/// Returns [`CaqrError::OutOfQubits`] when no version fits the device.
+pub fn compile_for_fidelity_template(
+    template: &ParametricCircuit,
+    device: &Device,
+) -> Result<RoutedCircuit, CaqrError> {
+    let routed = compile_for_fidelity(template.circuit(), device)?;
+    debug_assert_eq!(
+        parametric::slot_census(&routed.circuit),
+        parametric::slot_census(template.circuit()),
+        "fidelity version selection must preserve the template's slot multiset"
+    );
+    Ok(routed)
 }
 
 /// Compiles a commuting-gate circuit with SR-CaQR (§3.3.2): QS-CaQR finds
@@ -411,6 +435,28 @@ mod tests {
         let spec =
             CommutingSpec::from_circuit(&qaoa_circuit(30, 0.2, 1)).map_err(|e| e.to_string())?;
         assert_eq!(default_matcher(&spec), Matcher::Greedy);
+        Ok(())
+    }
+
+    #[test]
+    fn fidelity_template_bind_matches_direct_fidelity_compile() -> TestResult {
+        // The fig. 15/16 contract: routing the template once and binding
+        // angles afterwards must give byte-identical artifacts to running
+        // the full fidelity compile on the already-bound circuit.
+        let dev = Device::mumbai(4);
+        let concrete = qaoa_circuit(8, 0.3, 9);
+        let (template, values) = ParametricCircuit::parametrize(&concrete);
+        let routed = compile_for_fidelity_template(&template, &dev)?;
+        let bound = parametric::bind_circuit(&routed.circuit, template.num_slots(), &values)
+            .map_err(|e| e.to_string())?;
+        let direct = compile_for_fidelity(&concrete, &dev)?;
+        assert_eq!(
+            bound.fingerprint(),
+            direct.circuit.fingerprint(),
+            "bound template artifact must equal the direct fidelity compile"
+        );
+        assert_eq!(routed.physical_qubits_used, direct.physical_qubits_used);
+        assert!(!parametric::has_slots(&bound));
         Ok(())
     }
 }

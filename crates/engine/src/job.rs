@@ -129,6 +129,10 @@ pub enum JobError {
     Compile(CaqrError),
     /// The job panicked; the batch continued without it.
     Panic(String),
+    /// Binding values into a routed template failed (arity mismatch or a
+    /// non-finite value); the routed template itself compiled fine and
+    /// stays cached.
+    Bind(String),
 }
 
 impl fmt::Display for JobError {
@@ -136,6 +140,7 @@ impl fmt::Display for JobError {
         match self {
             JobError::Compile(e) => write!(f, "compile error: {e}"),
             JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Bind(msg) => write!(f, "bind error: {msg}"),
         }
     }
 }
@@ -144,7 +149,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Compile(e) => Some(e),
-            JobError::Panic(_) => None,
+            JobError::Panic(_) | JobError::Bind(_) => None,
         }
     }
 }

@@ -44,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bind;
 pub mod cache;
 pub mod job;
 pub mod metrics;
 pub mod pool;
 
+pub use bind::{BindJob, BindOutcome, BindReport};
 pub use cache::{CacheStats, CompileCache};
 pub use job::{
     BatchOptions, BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome,

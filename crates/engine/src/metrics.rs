@@ -64,6 +64,19 @@ pub struct EngineMetrics {
     pub compile_total: Duration,
     /// End-to-end batch wall-clock.
     pub batch_wall: Duration,
+    /// Bind-runs executed (template bind requests, hit or miss).
+    pub binds_total: usize,
+    /// Total time spent stamping concrete angles into routed templates —
+    /// the O(gates) bind step, disjoint from
+    /// [`EngineMetrics::compile_total`].
+    pub bind_total: Duration,
+    /// Bind-runs whose routed template was served from the compile cache
+    /// (no compile ran). Tracked separately from
+    /// [`EngineMetrics::cache`]: a shared cache's stats mix concrete and
+    /// template entries, these count template traffic alone.
+    pub template_cache_hits: usize,
+    /// Bind-runs that compiled their template cold.
+    pub template_cache_misses: usize,
 }
 
 impl EngineMetrics {
@@ -105,6 +118,10 @@ impl EngineMetrics {
         self.queue_wait_total += other.queue_wait_total;
         self.compile_total += other.compile_total;
         self.batch_wall += other.batch_wall;
+        self.binds_total += other.binds_total;
+        self.bind_total += other.bind_total;
+        self.template_cache_hits += other.template_cache_hits;
+        self.template_cache_misses += other.template_cache_misses;
         self.cache = other.cache;
         for (&stage, &span) in &other.stage_totals {
             *self.stage_totals.entry(stage).or_default() += span;
@@ -173,6 +190,19 @@ impl EngineMetrics {
             "batch_wall             {:.3} ms\n",
             self.batch_wall.as_secs_f64() * 1e3,
         ));
+        out.push_str(&format!("binds_total            {}\n", self.binds_total));
+        out.push_str(&format!(
+            "bind                   {:.3} ms\n",
+            self.bind_total.as_secs_f64() * 1e3,
+        ));
+        out.push_str(&format!(
+            "template_cache_hits    {}\n",
+            self.template_cache_hits
+        ));
+        out.push_str(&format!(
+            "template_cache_misses  {}\n",
+            self.template_cache_misses
+        ));
         out
     }
 
@@ -209,7 +239,8 @@ impl EngineMetrics {
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
              \"policies\":{{{}}},\
              \"stage_us\":{{{}}},\"pass_us\":{{{}}},\"queue_wait_us\":{},\"compile_us\":{},\
-             \"batch_wall_us\":{}}}",
+             \"batch_wall_us\":{},\"binds_total\":{},\"bind_us\":{},\
+             \"template_cache_hits\":{},\"template_cache_misses\":{}}}",
             self.jobs_total,
             self.jobs_ok,
             self.jobs_failed,
@@ -225,6 +256,10 @@ impl EngineMetrics {
             self.queue_wait_total.as_micros(),
             self.compile_total.as_micros(),
             self.batch_wall.as_micros(),
+            self.binds_total,
+            self.bind_total.as_micros(),
+            self.template_cache_hits,
+            self.template_cache_misses,
         )
     }
 }
@@ -355,6 +390,36 @@ mod tests {
         let json = metrics.to_json();
         assert!(json.contains("\"queue_wait_us\":120"), "{json}");
         assert!(json.contains("\"compile_us\":3400"), "{json}");
+    }
+
+    #[test]
+    fn bind_counters_surface_in_table_json_and_merge() {
+        let mut metrics = EngineMetrics {
+            binds_total: 3,
+            bind_total: Duration::from_micros(42),
+            template_cache_hits: 2,
+            template_cache_misses: 1,
+            ..Default::default()
+        };
+        let table = metrics.render_table();
+        assert!(table.contains("binds_total            3"), "{table}");
+        assert!(table.contains("template_cache_hits    2"), "{table}");
+        let json = metrics.to_json();
+        assert!(json.contains("\"binds_total\":3"), "{json}");
+        assert!(json.contains("\"bind_us\":42"), "{json}");
+        assert!(json.contains("\"template_cache_hits\":2"), "{json}");
+        assert!(json.contains("\"template_cache_misses\":1"), "{json}");
+        let other = EngineMetrics {
+            binds_total: 1,
+            bind_total: Duration::from_micros(8),
+            template_cache_hits: 1,
+            ..Default::default()
+        };
+        metrics.merge(&other);
+        assert_eq!(metrics.binds_total, 4);
+        assert_eq!(metrics.bind_total, Duration::from_micros(50));
+        assert_eq!(metrics.template_cache_hits, 3);
+        assert_eq!(metrics.template_cache_misses, 1);
     }
 
     #[test]

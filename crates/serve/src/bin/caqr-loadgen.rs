@@ -8,8 +8,10 @@
 //!
 //! The workload is a mix drawn from the paper's benchmark suite: compile
 //! requests cycling over (circuit x strategy) plus a simulate request per
-//! circuit. Compile bodies repeat, so the server's caches see realistic
-//! hit traffic.
+//! circuit, plus bind-run requests cycling distinct angle bindings of one
+//! QAOA template. Compile bodies repeat, so the server's caches see
+//! realistic hit traffic; the distinct bindings exercise the engine's
+//! template cache (compile once, bind per request).
 //!
 //! Up to 64 connections the generator runs one blocking thread per
 //! connection (closed loop). Above that — or when `--rate`/`--ramp-ms`
@@ -19,12 +21,16 @@
 //! open-loop arrivals, and per-connection error accounting.
 //!
 //! Reports a table or JSON (`--json`); `--check` exits non-zero unless
-//! some requests succeeded and no 5xx/transport error was seen (the CI
-//! smoke gate).
+//! some requests succeeded, no 5xx/transport error was seen, and the
+//! engine's template cache saw at least one hit on the repeated bind-run
+//! traffic (the CI smoke gate).
 
 use caqr_serve::client::Client;
 use caqr_serve::loadgen::{self, LoadConfig, Shot};
-use caqr_wire::{circuit::circuit_to_value, Value};
+use caqr_wire::{
+    circuit::{circuit_to_value, parametric_to_value},
+    Value,
+};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -171,7 +177,31 @@ fn workload() -> Vec<Shot> {
         let body = format!(r#"{{"circuit":{circuit},"shots":256,"seed":11}}"#);
         shots.push(Shot::post("/v1/simulate", body.as_bytes()));
     }
+    shots.extend(bind_run_shots());
     shots
+}
+
+/// Bind-run requests: one QAOA template, several distinct angle bindings.
+///
+/// The bodies differ only in `values`, so on the server every request maps
+/// to the *same* engine template-cache entry (compile once) but a distinct
+/// response-cache entry (bindings must never cross-serve). Repeat traffic
+/// therefore produces both template-cache hits and response-cache hits.
+fn bind_run_shots() -> Vec<Shot> {
+    let bench =
+        caqr_benchmarks::qaoa::qaoa_benchmark(5, 0.5, caqr_benchmarks::qaoa::GraphKind::Random, 7);
+    let graph = bench.graph.expect("QAOA benchmarks carry their graph");
+    let template = caqr_benchmarks::qaoa::maxcut_template(&graph, 1);
+    let template = parametric_to_value(&template).encode();
+    [(0.7, 0.6), (0.4, 1.1), (0.9, 0.35)]
+        .iter()
+        .map(|(gamma, mixer)| {
+            let body = format!(
+                r#"{{"template":{template},"values":[{gamma},{mixer}],"shots":128,"seed":17,"name":"qaoa-bind"}}"#
+            );
+            Shot::post("/v1/bind-run", body.as_bytes())
+        })
+        .collect()
 }
 
 struct Tally {
@@ -271,6 +301,20 @@ fn run(args: &[String]) -> Result<bool, String> {
                 tally.e5xx, tally.transport
             );
             return Ok(false);
+        }
+        match template_cache_hits_after_probe(options.addr) {
+            Ok(hits) if hits > 0 => {}
+            Ok(hits) => {
+                eprintln!(
+                    "caqr-loadgen: check FAILED: engine template_cache_hits = {hits} \
+                     after repeated bind-run traffic (expected > 0)"
+                );
+                return Ok(false);
+            }
+            Err(message) => {
+                eprintln!("caqr-loadgen: check FAILED: {message}");
+                return Ok(false);
+            }
         }
         eprintln!("caqr-loadgen: check passed");
     }
@@ -375,6 +419,45 @@ fn run_threads(options: &Options, shots: &[Shot]) -> Tally {
         wall,
         mode: "threads-closed-loop",
     }
+}
+
+/// Replays each bind-run shot once, then reads the engine's
+/// `template_cache_hits` counter off `/metrics`.
+///
+/// The replay makes the assertion deterministic regardless of how far the
+/// timed run rotated through the workload: each distinct binding is either
+/// already in the response cache (the engine bound it during the run) or
+/// reaches the engine now — so after all three, at least two bindings of
+/// the same template have hit the engine and the second onward were
+/// template-cache hits.
+fn template_cache_hits_after_probe(addr: SocketAddr) -> Result<u64, String> {
+    let mut client = Client::connect(addr).with_timeout(Duration::from_secs(30));
+    for shot in bind_run_shots() {
+        let (path, body) = split_shot(&shot);
+        let response = client
+            .post(path, body)
+            .map_err(|e| format!("bind-run probe failed: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "bind-run probe returned {}: {}",
+                response.status,
+                response.text()
+            ));
+        }
+    }
+    let response = client
+        .get("/metrics")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /metrics returned {}", response.status));
+    }
+    let parsed = caqr_wire::parse(&response.text())
+        .map_err(|e| format!("/metrics body did not parse: {e}"))?;
+    parsed
+        .get("engine")
+        .and_then(|engine| engine.get("template_cache_hits"))
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "/metrics is missing engine.template_cache_hits".into())
 }
 
 /// Recovers (path, body) from a prebuilt shot for the blocking client.

@@ -1,4 +1,4 @@
-//! Request routing and the five endpoint handlers.
+//! Request routing and the endpoint handlers.
 //!
 //! Handlers are pure functions from ([`AppState`], [`Request`]) to
 //! [`Response`]; the transport (connection lifecycle, panic isolation,
@@ -18,8 +18,8 @@ use caqr::{CancelToken, CaqrError, CostModelSpec, Strategy};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::{qasm, Circuit};
 use caqr_engine::{
-    BatchOptions, BatchRequest, CompileCache, CompileJob, Engine, EngineMetrics, FailedJob,
-    JobError, JobOutcome,
+    BatchOptions, BatchRequest, BindJob, CompileCache, CompileJob, Engine, EngineMetrics,
+    FailedJob, JobError, JobOutcome,
 };
 use caqr_sim::{Executor, NoiseModel};
 use caqr_wire::{circuit, Value};
@@ -140,15 +140,22 @@ pub enum Endpoint {
     CompileBatch,
     /// `POST /v1/simulate`.
     Simulate,
+    /// `POST /v1/bind-run`.
+    BindRun,
 }
 
 impl Endpoint {
     /// The response-cache namespace for this endpoint; `None` means the
     /// endpoint's responses are never cached (see [`crate::respcache`]).
+    ///
+    /// Bind-run responses are body-addressed like everything else: the
+    /// request bytes include the bound `values`, so two bindings of the
+    /// same template occupy distinct entries and can never cross-serve.
     fn cache_key(self) -> Option<u8> {
         match self {
             Endpoint::Compile => Some(1),
             Endpoint::Simulate => Some(2),
+            Endpoint::BindRun => Some(3),
             Endpoint::CompileBatch => None,
         }
     }
@@ -175,9 +182,12 @@ pub fn route(state: &AppState, request: &Request) -> Routed {
         ("POST", "/v1/compile") => route_compute(state, Endpoint::Compile, &request.body),
         ("POST", "/v1/compile-batch") => Routed::Dispatch(Endpoint::CompileBatch),
         ("POST", "/v1/simulate") => route_compute(state, Endpoint::Simulate, &request.body),
-        (_, "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate") => {
-            Routed::Done(Response::error(405, "method not allowed"))
-        }
+        ("POST", "/v1/bind-run") => route_compute(state, Endpoint::BindRun, &request.body),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate"
+            | "/v1/bind-run",
+        ) => Routed::Done(Response::error(405, "method not allowed")),
         _ => Routed::Done(Response::error(404, "no such endpoint")),
     }
 }
@@ -202,6 +212,7 @@ pub fn execute(state: &AppState, endpoint: Endpoint, body: &[u8]) -> Response {
         Endpoint::Compile => compile(state, body),
         Endpoint::CompileBatch => compile_batch(state, body),
         Endpoint::Simulate => simulate(state, body),
+        Endpoint::BindRun => bind_run(state, body),
     };
     if let Some(key) = endpoint.cache_key() {
         state
@@ -462,6 +473,7 @@ fn failure_response(failed: &FailedJob) -> Response {
         }
         JobError::Compile(e) => Response::error(422, &format!("compile error: {e}")),
         JobError::Panic(msg) => Response::error(500, &format!("compile panicked: {msg}")),
+        JobError::Bind(msg) => Response::error(422, &format!("bind error: {msg}")),
     }
 }
 
@@ -657,6 +669,129 @@ fn simulate_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         .map(|(value, n)| (value.to_string(), Value::num(n as u64)))
         .collect();
     let response = Value::obj(vec![
+        ("shots", Value::num(shot_report.shots as u64)),
+        ("counts", Value::Obj(histogram)),
+    ]);
+    Ok(Response::json(200, response.encode().into_bytes()))
+}
+
+/// `POST /v1/bind-run`: compile a parametric template if cold, bind the
+/// requested angle values into the routed artifact, and simulate the
+/// result — the compile-once/bind-forever fast path for variational
+/// optimizer loops.
+///
+/// The routed template is cached in the shared compile cache under a
+/// values-independent key, so a warm request pays only the O(gates) bind
+/// plus the simulation. `"cache_hit"` reports whether the template was
+/// warm; the bind/compile time split lands in `/metrics` (`bind_us`,
+/// `template_cache_hits`).
+fn bind_run(state: &AppState, body: &[u8]) -> Response {
+    match bind_run_inner(state, body) {
+        Ok(response) => response,
+        Err(reject) => reject.into_response(),
+    }
+}
+
+fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
+    let body = parse_body(body)?;
+    let template = body
+        .get("template")
+        .ok_or_else(|| Reject::bad("missing 'template' (wire-form parametric circuit)"))?;
+    let template = circuit::parametric_from_value(template)
+        .map_err(|e| Reject::unprocessable(format!("bad template: {e}")))?;
+    let values = body
+        .get("values")
+        .and_then(Value::as_array)
+        .ok_or_else(|| Reject::bad("missing 'values' array"))?;
+    let values: Vec<f64> = values
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| Reject::bad("'values' must be numbers"))
+        })
+        .collect::<Result<_, _>>()?;
+    let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
+    let router = router_field(&body, CostModelSpec::Hop)?;
+    let seed = u64_field(&body, "seed", 2023)?;
+    let device = device_field(state, &body, seed)?;
+    let name = match body.get("name") {
+        None => "bind-run".to_string(),
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| Reject::bad("'name' must be a string"))?
+            .to_string(),
+    };
+    let shots = u64_field(&body, "shots", 1024)? as usize;
+    if shots == 0 || shots > state.limits.max_shots {
+        return Err(Reject::unprocessable(format!(
+            "'shots' must be between 1 and {}",
+            state.limits.max_shots
+        )));
+    }
+    let executor = match body.get("noise").map(|v| v.as_str()) {
+        None | Some(Some("ideal")) => Executor::ideal(),
+        Some(Some("device")) => Executor::noisy(NoiseModel::from_device(device.clone())),
+        Some(Some(other)) => {
+            return Err(Reject::unprocessable(format!(
+                "unknown noise model '{other}' (ideal | device)"
+            )))
+        }
+        Some(None) => return Err(Reject::bad("'noise' must be a string")),
+    };
+    let token = deadline_token(&body, &state.limits)?;
+
+    let job = BindJob::new(name, template, values, device, strategy).with_cost_model(router);
+    let report = Engine::bind_shared(&job, Some(&state.cache), &token);
+    state.merge_engine_metrics(&report.metrics);
+    let outcome = match &report.result {
+        Ok(outcome) => outcome,
+        Err(failed) => return Ok(failure_response(failed)),
+    };
+
+    // The bound artifact spans the whole device; simulate only the
+    // physical qubits it actually touches.
+    let (compact, _) = outcome.report.circuit.compact_qubits();
+    if compact.num_qubits() > caqr_sim::state::MAX_QUBITS {
+        return Err(Reject::unprocessable(format!(
+            "{} compiled qubits exceeds the simulator's limit of {}",
+            compact.num_qubits(),
+            caqr_sim::state::MAX_QUBITS
+        )));
+    }
+    if compact.num_clbits() > 64 {
+        return Err(Reject::unprocessable(format!(
+            "{} clbits exceeds the simulator's limit of 64",
+            compact.num_clbits()
+        )));
+    }
+    let run = executor.run_shots_cancellable(&compact, shots, seed, &|| token.is_cancelled());
+    let (counts, shot_report) = match run {
+        Ok(done) => done,
+        Err(_) => return Ok(Response::error(504, "deadline exceeded (in 'simulate')")),
+    };
+
+    let histogram: Vec<(String, Value)> = counts
+        .iter()
+        .map(|(value, n)| (value.to_string(), Value::num(n as u64)))
+        .collect();
+    // No wall-clock fields: the body must be a pure function of the
+    // request bytes so response-cache replays stay byte-identical
+    // (`cache_hit` is the one spliced exception, as on /v1/compile).
+    let response = Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("name", Value::str(outcome.name.clone())),
+        ("strategy", Value::str(outcome.strategy.to_string())),
+        ("router", Value::str(outcome.cost_model.to_string())),
+        ("qubits", Value::num(outcome.report.qubits as u64)),
+        ("depth", Value::num(outcome.report.depth as u64)),
+        ("duration_dt", Value::num(outcome.report.duration_dt)),
+        ("swaps", Value::num(outcome.report.swaps as u64)),
+        (
+            "two_qubit_gates",
+            Value::num(outcome.report.two_qubit_gates as u64),
+        ),
+        ("esp", Value::Num(outcome.report.esp)),
+        ("cache_hit", Value::Bool(outcome.template_cache_hit)),
         ("shots", Value::num(shot_report.shots as u64)),
         ("counts", Value::Obj(histogram)),
     ]);
@@ -911,6 +1046,146 @@ mod tests {
             handle(&state, &post("/v1/simulate", &bad_noise)).status,
             422
         );
+    }
+
+    fn template_wire() -> String {
+        use caqr_circuit::{Param, ParametricCircuit};
+        let mut c = Circuit::new(2, 2);
+        c.h(Qubit::new(0));
+        c.rzz(Param::Slot(0).to_raw(), Qubit::new(0), Qubit::new(1));
+        c.rx(Param::Slot(1).to_raw(), Qubit::new(0));
+        c.rx(Param::Slot(1).to_raw(), Qubit::new(1));
+        c.measure_all();
+        circuit::parametric_to_value(&ParametricCircuit::new(c, 2).unwrap()).encode()
+    }
+
+    fn counts_of(response: &Response) -> Vec<(String, u64)> {
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        parsed
+            .get("counts")
+            .and_then(Value::as_object)
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn bind_run_compiles_once_and_binds_per_request() {
+        let state = state();
+        let body = format!(
+            r#"{{"template":{},"values":[0.7,0.6],"shots":128,"seed":5}}"#,
+            template_wire()
+        );
+        let first = handle(&state, &post("/v1/bind-run", &body));
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("cache_hit").and_then(Value::as_bool),
+            Some(false),
+            "cold template"
+        );
+        assert_eq!(parsed.get("shots").and_then(Value::as_u64), Some(128));
+
+        // Same template, new values: the routed template is warm, only the
+        // bind and the simulation run.
+        let rebound = format!(
+            r#"{{"template":{},"values":[0.1,2.8],"shots":128,"seed":5}}"#,
+            template_wire()
+        );
+        let second = handle(&state, &post("/v1/bind-run", &rebound));
+        assert_eq!(second.status, 200);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("cache_hit").and_then(Value::as_bool),
+            Some(true),
+            "warm template"
+        );
+        let engine = state.engine_metrics.lock().unwrap();
+        assert_eq!(engine.binds_total, 2);
+        assert_eq!(engine.template_cache_hits, 1);
+        assert_eq!(engine.template_cache_misses, 1);
+        assert_eq!(engine.jobs_total, 1, "the template compiled exactly once");
+    }
+
+    /// Distinct bindings of one template must never cross-serve from the
+    /// body-addressed response cache: the bound values are part of the
+    /// request bytes, so each binding owns its own entry, and a replay
+    /// returns that binding's own histogram.
+    #[test]
+    fn distinct_bindings_never_cross_serve_from_the_response_cache() {
+        let state = state();
+        let body_a = format!(
+            r#"{{"template":{},"values":[0.7,0.6],"shots":256,"seed":9}}"#,
+            template_wire()
+        );
+        let body_b = format!(
+            r#"{{"template":{},"values":[0.1,2.8],"shots":256,"seed":9}}"#,
+            template_wire()
+        );
+        let a = handle(&state, &post("/v1/bind-run", &body_a));
+        let b = handle(&state, &post("/v1/bind-run", &body_b));
+        assert_eq!(a.status, 200, "{}", String::from_utf8_lossy(&a.body));
+        assert_eq!(b.status, 200);
+        assert_eq!(
+            state.metrics.response_cache_hits.load(Ordering::Relaxed),
+            0,
+            "distinct values are distinct cache entries"
+        );
+        assert_ne!(
+            counts_of(&a),
+            counts_of(&b),
+            "the two bindings measure different circuits"
+        );
+
+        // Replaying binding A is a response-cache hit that serves A's own
+        // histogram (with the warm-template flag spliced in) — engine
+        // untouched.
+        let binds_before = state.engine_metrics.lock().unwrap().binds_total;
+        let replay = handle(&state, &post("/v1/bind-run", &body_a));
+        assert_eq!(state.metrics.response_cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(counts_of(&replay), counts_of(&a));
+        let parsed = caqr_wire::parse(std::str::from_utf8(&replay.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cache_hit").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            state.engine_metrics.lock().unwrap().binds_total,
+            binds_before,
+            "a response-cache hit never reaches the engine"
+        );
+    }
+
+    #[test]
+    fn bind_run_guards() {
+        let state = state();
+        // Wrong arity is a 422 bind error; the template stays cached.
+        let short = format!(
+            r#"{{"template":{},"values":[0.7],"shots":16}}"#,
+            template_wire()
+        );
+        let response = handle(&state, &post("/v1/bind-run", &short));
+        assert_eq!(
+            response.status,
+            422,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert!(String::from_utf8_lossy(&response.body).contains("bind error"));
+        // Missing pieces are 400s.
+        assert_eq!(handle(&state, &post("/v1/bind-run", "{}")).status, 400);
+        let no_values = format!(r#"{{"template":{}}}"#, template_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/bind-run", &no_values)).status,
+            400
+        );
+        // A concrete circuit is not a template (no "slots").
+        let concrete = format!(r#"{{"template":{},"values":[]}}"#, bell_wire());
+        assert_eq!(handle(&state, &post("/v1/bind-run", &concrete)).status, 422);
     }
 
     #[test]

@@ -205,8 +205,9 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit is wider than the dense simulator limit or has
-    /// more than 64 classical bits.
+    /// Panics if the circuit is wider than the dense simulator limit, has
+    /// more than 64 classical bits, or still carries unbound symbolic
+    /// rotation slots (bind the template first).
     pub fn run_shots(&self, circuit: &Circuit, shots: usize, seed: u64) -> Counts {
         self.run_shots_traced(circuit, shots, seed).0
     }
@@ -216,8 +217,9 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit is wider than the dense simulator limit or has
-    /// more than 64 classical bits.
+    /// Panics if the circuit is wider than the dense simulator limit, has
+    /// more than 64 classical bits, or still carries unbound symbolic
+    /// rotation slots (bind the template first).
     pub fn run_shots_traced(
         &self,
         circuit: &Circuit,
@@ -245,8 +247,9 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit is wider than the dense simulator limit or has
-    /// more than 64 classical bits.
+    /// Panics if the circuit is wider than the dense simulator limit, has
+    /// more than 64 classical bits, or still carries unbound symbolic
+    /// rotation slots (bind the template first).
     pub fn run_shots_cancellable(
         &self,
         circuit: &Circuit,
@@ -313,6 +316,13 @@ impl Executor {
     /// noise tables, the deferred-measurement order, and (when legal) the
     /// prefix snapshot.
     fn plan<'c>(&self, circuit: &'c Circuit) -> ShotPlan<'c> {
+        // An unbound slot is a NaN-boxed angle: simulating it would not
+        // crash, it would silently poison every amplitude. Fail loudly at
+        // the single entry point every run path funnels through.
+        assert!(
+            !caqr_circuit::parametric::has_slots(circuit),
+            "cannot simulate a parametric template: bind its slots to concrete angles first"
+        );
         let tables = self.noise.as_ref().map(|n| {
             let schedule = Schedule::asap(circuit, &n.device().duration_model());
             NoiseTables::precompute(n, circuit, &schedule)
@@ -1277,5 +1287,17 @@ mod tests {
             "zero-probability prefix is deterministic"
         );
         assert_eq!(report.snapshot_forks, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "bind its slots")]
+    fn unbound_template_is_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.rz(
+            caqr_circuit::Param::Slot(0).to_raw(),
+            caqr_circuit::Qubit::new(0),
+        );
+        c.measure(caqr_circuit::Qubit::new(0), caqr_circuit::Clbit::new(0));
+        Executor::ideal().run_shots(&c, 1, 0);
     }
 }

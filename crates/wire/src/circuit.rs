@@ -21,7 +21,7 @@
 //! ```
 
 use crate::value::Value;
-use caqr_circuit::{Circuit, Clbit, Gate, Instruction, Qubit};
+use caqr_circuit::{Circuit, Clbit, Gate, Instruction, Param, ParametricCircuit, Qubit};
 use std::fmt;
 
 /// Caps enforced while decoding a circuit, so a hostile document cannot
@@ -99,11 +99,15 @@ pub fn circuit_to_value(circuit: &Circuit) -> Value {
                         Value::Arr(vec![Value::Num(t), Value::Num(p), Value::Num(l)]),
                     ));
                 }
-                _ => {
-                    if let Some(a) = instr.gate.angle() {
+                _ => match instr.gate.param() {
+                    Some(Param::Slot(k)) => {
+                        members.push(("slot".to_string(), Value::num(k as u64)));
+                    }
+                    Some(Param::Val(a)) => {
                         members.push(("angle".to_string(), Value::Num(a)));
                     }
-                }
+                    None => {}
+                },
             }
             if let Some(c) = instr.clbit {
                 members.push(("clbit".to_string(), Value::num(c.index() as u64)));
@@ -121,12 +125,30 @@ pub fn circuit_to_value(circuit: &Circuit) -> Value {
     ])
 }
 
+/// Encodes a parametric template as its wire-form [`Value`]: the concrete
+/// circuit layout plus a top-level `"slots"` count, with each symbolic
+/// rotation carrying `"slot": k` in place of `"angle"`. The mapping is
+/// lossless — [`parametric_from_value`] reconstructs the template exactly,
+/// symbolic slots and bit-identical concrete angles alike.
+pub fn parametric_to_value(template: &ParametricCircuit) -> Value {
+    let Value::Obj(mut members) = circuit_to_value(template.circuit()) else {
+        unreachable!("circuit_to_value always returns an object");
+    };
+    members.insert(
+        2,
+        ("slots".to_string(), Value::num(template.num_slots() as u64)),
+    );
+    Value::Obj(members)
+}
+
 /// Decodes a wire-form circuit under the default [`DecodeLimits`].
 ///
 /// # Errors
 ///
 /// [`CircuitCodecError`] on structural problems, unknown gates, arity or
-/// range violations, non-finite angles, or exceeded limits.
+/// range violations, non-finite angles, symbolic `"slot"` members (the
+/// concrete codec never produces a slot-bearing circuit — use
+/// [`parametric_from_value`] for templates), or exceeded limits.
 pub fn circuit_from_value(value: &Value) -> Result<Circuit, CircuitCodecError> {
     circuit_from_value_with(value, &DecodeLimits::default())
 }
@@ -139,6 +161,41 @@ pub fn circuit_from_value(value: &Value) -> Result<Circuit, CircuitCodecError> {
 pub fn circuit_from_value_with(
     value: &Value,
     limits: &DecodeLimits,
+) -> Result<Circuit, CircuitCodecError> {
+    decode_circuit(value, limits, None)
+}
+
+/// Decodes a wire-form parametric template under the default
+/// [`DecodeLimits`].
+///
+/// # Errors
+///
+/// Everything [`circuit_from_value`] rejects, plus a missing or oversized
+/// `"slots"` count and slot ids at or above it.
+pub fn parametric_from_value(value: &Value) -> Result<ParametricCircuit, CircuitCodecError> {
+    parametric_from_value_with(value, &DecodeLimits::default())
+}
+
+/// [`parametric_from_value`] under explicit [`DecodeLimits`].
+///
+/// # Errors
+///
+/// Same contract as [`parametric_from_value`].
+pub fn parametric_from_value_with(
+    value: &Value,
+    limits: &DecodeLimits,
+) -> Result<ParametricCircuit, CircuitCodecError> {
+    let num_slots = field_usize(value, "slots")?;
+    let num_slots = u32::try_from(num_slots)
+        .map_err(|_| CircuitCodecError::new(format!("{num_slots} slots exceeds u32 range")))?;
+    let circuit = decode_circuit(value, limits, Some(num_slots))?;
+    ParametricCircuit::new(circuit, num_slots).map_err(|e| CircuitCodecError::new(e.to_string()))
+}
+
+fn decode_circuit(
+    value: &Value,
+    limits: &DecodeLimits,
+    num_slots: Option<u32>,
 ) -> Result<Circuit, CircuitCodecError> {
     let num_qubits = field_usize(value, "qubits")?;
     let num_clbits = field_usize(value, "clbits")?;
@@ -167,7 +224,7 @@ pub fn circuit_from_value_with(
     }
     let mut circuit = Circuit::new(num_qubits, num_clbits);
     for (i, item) in instructions.iter().enumerate() {
-        let instr = decode_instruction(item, num_qubits, num_clbits)
+        let instr = decode_instruction(item, num_qubits, num_clbits, num_slots)
             .map_err(|e| CircuitCodecError::new(format!("instruction {i}: {}", e.message)))?;
         circuit.push(instr);
     }
@@ -185,6 +242,7 @@ fn decode_instruction(
     item: &Value,
     num_qubits: usize,
     num_clbits: usize,
+    num_slots: Option<u32>,
 ) -> Result<Instruction, CircuitCodecError> {
     let name = item
         .get("gate")
@@ -220,6 +278,33 @@ fn decode_instruction(
         }
         Ok(a)
     };
+    // A single-angle rotation carries either a concrete "angle" or (in the
+    // parametric codec only) a symbolic "slot" id, never both.
+    let rotation = || -> Result<f64, CircuitCodecError> {
+        let Some(slot) = item.get("slot") else {
+            return angle("angle");
+        };
+        let Some(num_slots) = num_slots else {
+            return Err(CircuitCodecError::new(format!(
+                "gate '{name}' carries a symbolic \"slot\" in a concrete circuit"
+            )));
+        };
+        if item.get("angle").is_some() {
+            return Err(CircuitCodecError::new(
+                "\"angle\" and \"slot\" are mutually exclusive",
+            ));
+        }
+        let k = slot
+            .as_u64()
+            .and_then(|k| u32::try_from(k).ok())
+            .ok_or_else(|| CircuitCodecError::new("invalid slot id"))?;
+        if k >= num_slots {
+            return Err(CircuitCodecError::new(format!(
+                "slot {k} out of range (declared {num_slots})"
+            )));
+        }
+        Ok(Param::Slot(k).to_raw())
+    };
 
     let gate = match name {
         "h" => Gate::H,
@@ -230,10 +315,10 @@ fn decode_instruction(
         "sdg" => Gate::Sdg,
         "t" => Gate::T,
         "tdg" => Gate::Tdg,
-        "rx" => Gate::Rx(angle("angle")?),
-        "ry" => Gate::Ry(angle("angle")?),
-        "rz" => Gate::Rz(angle("angle")?),
-        "p" => Gate::Phase(angle("angle")?),
+        "rx" => Gate::Rx(rotation()?),
+        "ry" => Gate::Ry(rotation()?),
+        "rz" => Gate::Rz(rotation()?),
+        "p" => Gate::Phase(rotation()?),
         "u" => {
             let angles = item
                 .get("angles")
@@ -255,8 +340,8 @@ fn decode_instruction(
         }
         "cx" => Gate::Cx,
         "cz" => Gate::Cz,
-        "cp" => Gate::Cp(angle("angle")?),
-        "rzz" => Gate::Rzz(angle("angle")?),
+        "cp" => Gate::Cp(rotation()?),
+        "rzz" => Gate::Rzz(rotation()?),
         "swap" => Gate::Swap,
         "measure" => Gate::Measure,
         "reset" => Gate::Reset,
@@ -419,5 +504,84 @@ mod tests {
         let c = Circuit::new(0, 0);
         let v = circuit_to_value(&c);
         assert_eq!(circuit_from_value(&v).unwrap(), c);
+    }
+
+    /// A template mixing symbolic slots and bit-exact concrete angles.
+    fn sample_template() -> ParametricCircuit {
+        let mut c = Circuit::new(3, 3);
+        c.h(Qubit::new(0));
+        c.rz(Param::Slot(0).to_raw(), Qubit::new(0));
+        c.rx(0.123_456_789_012_345_68, Qubit::new(1));
+        c.rzz(Param::Slot(1).to_raw(), Qubit::new(0), Qubit::new(1));
+        c.cp(Param::Slot(2).to_raw(), Qubit::new(1), Qubit::new(2));
+        c.ry(Param::Slot(0).to_raw(), Qubit::new(2));
+        c.measure_all();
+        ParametricCircuit::new(c, 3).unwrap()
+    }
+
+    #[test]
+    fn parametric_round_trip_is_lossless() {
+        let original = sample_template();
+        let encoded = parametric_to_value(&original).encode();
+        assert!(encoded.contains("\"slots\":3"), "{encoded}");
+        assert!(encoded.contains("\"slot\":1"), "{encoded}");
+        let decoded = parametric_from_value(&parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.num_slots(), original.num_slots());
+        // Slot angles are NaN-boxed, so instruction equality is useless
+        // here; fingerprints hash raw bits and catch any drift.
+        assert_eq!(
+            decoded.circuit().fingerprint(),
+            original.circuit().fingerprint()
+        );
+        assert_eq!(
+            decoded.template_fingerprint(),
+            original.template_fingerprint()
+        );
+    }
+
+    #[test]
+    fn concrete_codec_rejects_symbolic_slots() {
+        let doc = r#"{"qubits":1,"clbits":0,"instructions":[{"gate":"rz","qubits":[0],"slot":0}]}"#;
+        let err = circuit_from_value(&parse(doc).unwrap()).unwrap_err();
+        assert!(err.message().contains("symbolic"), "{err}");
+    }
+
+    #[test]
+    fn parametric_decode_rejects_bad_documents() {
+        for (bad, why) in [
+            (
+                r#"{"qubits":1,"clbits":0,"instructions":[]}"#,
+                "missing slots",
+            ),
+            (
+                r#"{"qubits":1,"clbits":0,"slots":1,"instructions":[{"gate":"rz","qubits":[0],"slot":1}]}"#,
+                "slot out of range",
+            ),
+            (
+                r#"{"qubits":1,"clbits":0,"slots":1,"instructions":[{"gate":"rz","qubits":[0],"slot":0,"angle":0.5}]}"#,
+                "angle and slot together",
+            ),
+            (
+                r#"{"qubits":1,"clbits":0,"slots":1,"instructions":[{"gate":"rz","qubits":[0],"slot":-1}]}"#,
+                "negative slot",
+            ),
+            (
+                r#"{"qubits":1,"clbits":0,"slots":5000000000,"instructions":[]}"#,
+                "slots beyond u32",
+            ),
+        ] {
+            assert!(
+                parametric_from_value(&parse(bad).unwrap()).is_err(),
+                "should reject: {why}"
+            );
+        }
+    }
+
+    #[test]
+    fn parametric_codec_accepts_fully_concrete_templates() {
+        let doc = r#"{"qubits":1,"clbits":1,"slots":0,"instructions":[{"gate":"rz","qubits":[0],"angle":0.25},{"gate":"measure","qubits":[0],"clbit":0}]}"#;
+        let template = parametric_from_value(&parse(doc).unwrap()).unwrap();
+        assert_eq!(template.num_slots(), 0);
+        assert_eq!(template.circuit().instructions().len(), 2);
     }
 }
