@@ -1,0 +1,60 @@
+//! Developer probe: per-layer timing split of the noisy simulator on the
+//! two circuits that dominate `bench_sim_baseline` wall time.
+//!
+//! Usage: `bench_sim_probe [SHOTS]` (default 2000).
+
+use caqr::{compile, Strategy};
+use caqr_bench::{mumbai, EXPERIMENT_SEED};
+use caqr_benchmarks::revlib;
+use caqr_sim::{Executor, NoiseModel};
+use std::time::Instant;
+
+fn main() {
+    let shots: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let device = mumbai();
+    let model = NoiseModel::from_device(mumbai());
+    for bench in [revlib::multiply_13(), revlib::cc_13()] {
+        let report = compile(&bench.circuit, &device, Strategy::Baseline).expect("fits");
+        let circuit = report.circuit.compact_qubits().0;
+        println!(
+            "=== {} ({} qubits, {} instrs) ===",
+            bench.name,
+            circuit.num_qubits(),
+            circuit.len()
+        );
+        let variants: Vec<(&str, Executor)> = vec![
+            ("full", Executor::noisy(model.clone()).with_threads(1)),
+            (
+                "no_chunked",
+                Executor::noisy(model.clone())
+                    .with_threads(1)
+                    .with_chunked_fusion(false),
+            ),
+            (
+                "no_sampling",
+                Executor::noisy(model.clone())
+                    .with_threads(1)
+                    .with_sampling(false)
+                    .with_chunked_fusion(false),
+            ),
+            ("ideal_sampling", Executor::ideal().with_threads(1)),
+        ];
+        for (name, exec) in variants {
+            let started = Instant::now();
+            let (_, rep) = exec.run_shots_traced(&circuit, shots, EXPERIMENT_SEED);
+            let wall = started.elapsed().as_secs_f64();
+            println!(
+                "{name:>14}: {wall:7.3} s ({:8.0} shots/s)  gates_in {} kernels_out {} prefix {} forks {} deferred {}",
+                shots as f64 / wall,
+                rep.gates_in,
+                rep.kernels_out,
+                rep.prefix_ops,
+                rep.snapshot_forks,
+                rep.deferred_measures
+            );
+        }
+    }
+}

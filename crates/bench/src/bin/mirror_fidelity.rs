@@ -16,8 +16,8 @@ const DEFAULT_SHOTS: usize = 2000;
 fn main() {
     let args = SimArgs::parse(DEFAULT_SHOTS);
     println!(
-        "Mirror-circuit fidelity (ideal output |0...0>, {} shots)\n",
-        args.shots
+        "Mirror-circuit fidelity (ideal output |0...0>, {} shots, {} engine)\n",
+        args.shots, args.engine
     );
     let device = mumbai();
     let mut t = Table::new(&[
@@ -31,8 +31,9 @@ fn main() {
         let bench = extra::mirror(n, layers, EXPERIMENT_SEED + n as u64);
         let base = compile(&bench.circuit, &device, Strategy::Baseline).expect("fits");
         let sr = compile(&bench.circuit, &device, Strategy::Sr).expect("fits");
-        let noisy =
-            Executor::noisy(NoiseModel::from_device(device.clone())).with_threads(args.threads);
+        let noisy = Executor::noisy(NoiseModel::from_device(device.clone()))
+            .with_threads(args.threads)
+            .with_engine(args.engine);
         let survival = |c: &caqr_circuit::Circuit, seed: u64| {
             let (compact, _) = c.compact_qubits();
             noisy

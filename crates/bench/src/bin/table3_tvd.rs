@@ -26,7 +26,9 @@ fn noisy_counts(
     args: SimArgs,
 ) -> Counts {
     let (compact, _) = report.circuit.compact_qubits();
-    let noisy = Executor::noisy(NoiseModel::from_device(device.clone())).with_threads(args.threads);
+    let noisy = Executor::noisy(NoiseModel::from_device(device.clone()))
+        .with_threads(args.threads)
+        .with_engine(args.engine);
     noisy.run_shots(&compact, args.shots, seed).marginal(clbits)
 }
 
@@ -62,8 +64,8 @@ fn run(bench: &Benchmark, device: &Device, args: SimArgs, t: &mut Table) {
 fn main() {
     let args = SimArgs::parse(DEFAULT_SHOTS);
     println!(
-        "Table 3 — TVD on the noisy Mumbai simulator ({} shots)\n",
-        args.shots
+        "Table 3 — TVD on the noisy Mumbai simulator ({} shots, {} engine)\n",
+        args.shots, args.engine
     );
     let device = mumbai();
     let mut t = Table::new(&[

@@ -14,23 +14,31 @@ use caqr::Strategy;
 use caqr_arch::Device;
 use caqr_benchmarks::Benchmark;
 use caqr_engine::{BatchRequest, CompileJob, Engine};
+use caqr_sim::Engine as SimEngine;
 
 /// The seed every experiment binary uses unless it sweeps seeds — keeps
 /// printed numbers reproducible run to run.
 pub const EXPERIMENT_SEED: u64 = 2023;
 
 /// Command-line options shared by the simulation-heavy experiment
-/// binaries: `--shots N` and `--threads N`.
+/// binaries: `--shots N`, `--threads N`, and
+/// `--engine auto|dense|stabilizer`.
 ///
 /// The executor's histograms are bit-identical at every thread count, so
 /// `--threads` only changes wall-clock time; `--shots` changes the
-/// statistics (each binary documents its default).
+/// statistics (each binary documents its default). `--engine` selects the
+/// simulator engine ([`caqr_sim::Engine`]): `auto` (default) picks the
+/// stabilizer tableau for noiseless Clifford circuits and dense sweeps
+/// otherwise, `dense` forces the state vector, `stabilizer` uses the
+/// tableau wherever legal.
 #[derive(Debug, Clone, Copy)]
 pub struct SimArgs {
     /// Shots per simulated circuit.
     pub shots: usize,
     /// Simulator worker threads; 0 (default) = one per core.
     pub threads: usize,
+    /// Simulator engine selection (default [`SimEngine::Auto`]).
+    pub engine: SimEngine,
 }
 
 impl SimArgs {
@@ -41,7 +49,10 @@ impl SimArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: [--shots N] [--threads N]   (threads 0 = one per core)");
+                eprintln!(
+                    "usage: [--shots N] [--threads N] [--engine auto|dense|stabilizer]   \
+                     (threads 0 = one per core)"
+                );
                 std::process::exit(2);
             }
         }
@@ -60,6 +71,7 @@ impl SimArgs {
         let mut parsed = SimArgs {
             shots: default_shots,
             threads: 0,
+            engine: SimEngine::Auto,
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -67,19 +79,20 @@ impl SimArgs {
                 Some((f, v)) => (f.to_string(), Some(v.to_string())),
                 None => (arg, None),
             };
-            let mut value = |name: &str| {
+            let mut raw = |name: &str| {
                 inline
                     .clone()
                     .or_else(|| args.next())
                     .ok_or_else(|| format!("{name} requires a value"))
-                    .and_then(|v| {
-                        v.parse::<usize>()
-                            .map_err(|_| format!("{name} expects a number, got '{v}'"))
-                    })
+            };
+            let number = |name: &str, v: String| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("{name} expects a number, got '{v}'"))
             };
             match flag.as_str() {
-                "--shots" => parsed.shots = value("--shots")?.max(1),
-                "--threads" => parsed.threads = value("--threads")?,
+                "--shots" => parsed.shots = number("--shots", raw("--shots")?)?.max(1),
+                "--threads" => parsed.threads = number("--threads", raw("--threads")?)?,
+                "--engine" => parsed.engine = raw("--engine")?.parse()?,
                 "--help" | "-h" => return Err("experiment binary options:".to_string()),
                 other => return Err(format!("unrecognized argument '{other}'")),
             }
@@ -243,6 +256,7 @@ mod tests {
         let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let d = SimArgs::from_args(2000, strs(&[])).unwrap();
         assert_eq!((d.shots, d.threads), (2000, 0));
+        assert_eq!(d.engine, SimEngine::Auto);
         let a = SimArgs::from_args(2000, strs(&["--shots", "50", "--threads", "4"])).unwrap();
         assert_eq!((a.shots, a.threads), (50, 4));
         let eq = SimArgs::from_args(2000, strs(&["--shots=7", "--threads=2"])).unwrap();
@@ -250,6 +264,19 @@ mod tests {
         assert!(SimArgs::from_args(10, strs(&["--bogus"])).is_err());
         assert!(SimArgs::from_args(10, strs(&["--shots"])).is_err());
         assert!(SimArgs::from_args(10, strs(&["--shots", "many"])).is_err());
+    }
+
+    #[test]
+    fn sim_args_engine_flag() {
+        let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let d = SimArgs::from_args(10, strs(&["--engine", "dense"])).unwrap();
+        assert_eq!(d.engine, SimEngine::Dense);
+        let s = SimArgs::from_args(10, strs(&["--engine=stabilizer"])).unwrap();
+        assert_eq!(s.engine, SimEngine::Stabilizer);
+        let a = SimArgs::from_args(10, strs(&["--engine", "auto"])).unwrap();
+        assert_eq!(a.engine, SimEngine::Auto);
+        assert!(SimArgs::from_args(10, strs(&["--engine", "cosmic"])).is_err());
+        assert!(SimArgs::from_args(10, strs(&["--engine"])).is_err());
     }
 
     #[test]

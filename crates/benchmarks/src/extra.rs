@@ -108,6 +108,51 @@ pub fn mirror(n: usize, layers: usize, seed: u64) -> Benchmark {
     }
 }
 
+/// A syndrome-extraction-style dynamic Clifford workload: GHZ
+/// preparation over `n` data qubits, then `rounds` cycles of an ancilla
+/// parity check — H, a CX comb across the data, H, mid-circuit
+/// measurement, a classically-conditioned X correction on data qubit 0,
+/// and an ancilla reset — before a terminal data measurement.
+///
+/// Every gate is Clifford and the mid-circuit measure/reset/feed-forward
+/// pattern exercises the dynamic-circuit primitives, so this is the
+/// stabilizer engine's home turf: the whole circuit runs on the tableau
+/// under `caqr_sim::Engine::Stabilizer` even with Pauli-twirl noise.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds + n > 64` (classical register width).
+pub fn stabilizer_ladder(n: usize, rounds: usize) -> Benchmark {
+    assert!(n >= 2, "stabilizer ladder needs at least 2 data qubits");
+    assert!(rounds + n <= 64, "classical register is limited to 64 bits");
+    let anc = Qubit::new(n);
+    let mut c = Circuit::new(n + 1, rounds + n);
+    c.h(Qubit::new(0));
+    for i in 0..n - 1 {
+        c.cx(Qubit::new(i), Qubit::new(i + 1));
+    }
+    for r in 0..rounds {
+        c.h(anc);
+        for i in 0..n {
+            c.cx(anc, Qubit::new(i));
+        }
+        c.h(anc);
+        c.measure(anc, Clbit::new(r));
+        c.cond_x(Qubit::new(0), Clbit::new(r));
+        c.reset(anc);
+    }
+    for v in 0..n {
+        c.measure(Qubit::new(v), Clbit::new(rounds + v));
+    }
+    Benchmark {
+        name: format!("Stab_{n}x{rounds}"),
+        kind: BenchmarkKind::Regular,
+        circuit: c,
+        correct_output: None, // GHZ-style two-outcome mix per syndrome
+        graph: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +200,20 @@ mod tests {
         let b = qft(5, 0);
         let g = caqr_circuit::interaction::interaction_graph(&b.circuit);
         assert_eq!(g.num_edges(), 10, "K5");
+    }
+
+    #[test]
+    fn stabilizer_ladder_is_clifford_and_dynamic() {
+        let b = stabilizer_ladder(4, 3);
+        assert_eq!(b.circuit.num_qubits(), 5);
+        assert_eq!(b.circuit.num_clbits(), 7);
+        // Every parity check reads an even stabilizer of the GHZ state,
+        // so all syndromes are 0, no correction fires, and the data
+        // register still reads the 50/50 all-zeros/all-ones mix.
+        let counts = Executor::ideal().run_shots(&b.circuit, 400, 11);
+        let all_ones = ((1u64 << 4) - 1) << 3;
+        assert_eq!(counts.get(0) + counts.get(all_ones), 400);
+        assert!(counts.get(0) > 120);
+        assert!(counts.get(all_ones) > 120);
     }
 }

@@ -663,6 +663,7 @@ fn simulate_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         Ok(done) => done,
         Err(_) => return Ok(Response::error(504, "deadline exceeded (in 'simulate')")),
     };
+    state.metrics.sim.record(&shot_report);
 
     let histogram: Vec<(String, Value)> = counts
         .iter()
@@ -769,6 +770,7 @@ fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         Ok(done) => done,
         Err(_) => return Ok(Response::error(504, "deadline exceeded (in 'simulate')")),
     };
+    state.metrics.sim.record(&shot_report);
 
     let histogram: Vec<(String, Value)> = counts
         .iter()
@@ -1028,6 +1030,25 @@ mod tests {
                 "bell outputs 00/11 only, got {key}"
             );
         }
+    }
+
+    #[test]
+    fn simulate_surfaces_engine_dispatch_in_metrics() {
+        let state = state();
+        // An ideal Bell run is all-Clifford, so the auto engine carries it
+        // on the stabilizer tableau.
+        let body = format!(r#"{{"circuit":{},"shots":64,"seed":7}}"#, bell_wire());
+        assert_eq!(handle(&state, &post("/v1/simulate", &body)).status, 200);
+        let response = metrics(&state);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let sim = parsed.get("server").and_then(|s| s.get("sim")).unwrap();
+        assert_eq!(
+            sim.get("kernel_dispatch").and_then(Value::as_str),
+            Some("tableau")
+        );
+        assert_eq!(sim.get("dispatch_tableau").and_then(Value::as_u64), Some(1));
+        assert!(sim.get("stabilizer_prefix_gates").and_then(Value::as_u64) > Some(0));
+        assert!(sim.get("tableau_to_dense_us").is_some());
     }
 
     #[test]

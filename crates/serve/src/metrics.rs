@@ -1,5 +1,6 @@
 //! Lock-free server counters, exported on `GET /metrics`.
 
+use caqr_sim::{KernelDispatch, ShotReport};
 use caqr_wire::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,6 +33,73 @@ pub struct ServerMetrics {
     pub response_cache_hits: AtomicU64,
     /// Compute requests that missed the response cache and ran the engine.
     pub response_cache_misses: AtomicU64,
+    /// Simulator-engine dispatch counters for `/v1/simulate` and
+    /// `/v1/bind-run`, exported under `"sim"`.
+    pub sim: SimMetrics,
+}
+
+/// Cumulative simulator-engine counters, fed from each run's
+/// [`ShotReport`]. These surface which engine actually carried the shots
+/// — wide/scalar dense sweeps, the stabilizer tableau, or the
+/// support-tracked sparse engine — plus the tableau's absorbed-gate and
+/// handoff-cost totals.
+#[derive(Debug, Default)]
+pub struct SimMetrics {
+    /// Simulation runs whose dense sweeps used the wide kernel bodies.
+    pub dispatch_wide: AtomicU64,
+    /// Runs on the scalar fallback bodies.
+    pub dispatch_scalar: AtomicU64,
+    /// Runs carried entirely by the stabilizer tableau.
+    pub dispatch_tableau: AtomicU64,
+    /// Runs carried by the support-tracked sparse engine.
+    pub dispatch_sparse: AtomicU64,
+    /// Unitary gates absorbed by the stabilizer tableau, summed over runs.
+    pub stabilizer_prefix_gates: AtomicU64,
+    /// Microseconds spent converting tableaux to dense snapshots, summed
+    /// over runs.
+    pub tableau_to_dense_us: AtomicU64,
+    /// Dispatch of the most recent run, as 1 + the
+    /// wide/scalar/tableau/sparse index (0 = no run yet).
+    last_dispatch: AtomicU64,
+}
+
+impl SimMetrics {
+    /// Folds one run's instrumentation into the counters.
+    pub fn record(&self, report: &ShotReport) {
+        let (counter, idx) = match report.kernel_dispatch {
+            KernelDispatch::Wide => (&self.dispatch_wide, 1),
+            KernelDispatch::Scalar => (&self.dispatch_scalar, 2),
+            KernelDispatch::Tableau => (&self.dispatch_tableau, 3),
+            KernelDispatch::Sparse => (&self.dispatch_sparse, 4),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.last_dispatch.store(idx, Ordering::Relaxed);
+        self.stabilizer_prefix_gates
+            .fetch_add(report.stabilizer_prefix_gates as u64, Ordering::Relaxed);
+        self.tableau_to_dense_us
+            .fetch_add(report.tableau_to_dense_us, Ordering::Relaxed);
+    }
+
+    /// The `"sim"` object for `GET /metrics`.
+    pub fn to_value(&self) -> Value {
+        let n = |a: &AtomicU64| Value::num(a.load(Ordering::Relaxed));
+        let last = match self.last_dispatch.load(Ordering::Relaxed) {
+            1 => KernelDispatch::Wide.as_str(),
+            2 => KernelDispatch::Scalar.as_str(),
+            3 => KernelDispatch::Tableau.as_str(),
+            4 => KernelDispatch::Sparse.as_str(),
+            _ => "none",
+        };
+        Value::obj(vec![
+            ("kernel_dispatch", Value::str(last)),
+            ("dispatch_wide", n(&self.dispatch_wide)),
+            ("dispatch_scalar", n(&self.dispatch_scalar)),
+            ("dispatch_tableau", n(&self.dispatch_tableau)),
+            ("dispatch_sparse", n(&self.dispatch_sparse)),
+            ("stabilizer_prefix_gates", n(&self.stabilizer_prefix_gates)),
+            ("tableau_to_dense_us", n(&self.tableau_to_dense_us)),
+        ])
+    }
 }
 
 impl ServerMetrics {
@@ -67,6 +135,7 @@ impl ServerMetrics {
             ("connections_accepted", n(&self.connections_accepted)),
             ("response_cache_hits", n(&self.response_cache_hits)),
             ("response_cache_misses", n(&self.response_cache_misses)),
+            ("sim", self.sim.to_value()),
         ])
     }
 }
@@ -149,5 +218,41 @@ mod tests {
         let v = m.to_value();
         assert_eq!(v.get("responses_5xx").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("deadline_504").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn sim_metrics_fold_shot_reports() {
+        let m = SimMetrics::default();
+        assert_eq!(
+            m.to_value().get("kernel_dispatch").and_then(Value::as_str),
+            Some("none")
+        );
+        let mut report = ShotReport {
+            kernel_dispatch: KernelDispatch::Tableau,
+            stabilizer_prefix_gates: 12,
+            tableau_to_dense_us: 40,
+            ..ShotReport::default()
+        };
+        m.record(&report);
+        report.kernel_dispatch = KernelDispatch::Sparse;
+        report.stabilizer_prefix_gates = 0;
+        report.tableau_to_dense_us = 0;
+        m.record(&report);
+        let v = m.to_value();
+        assert_eq!(
+            v.get("kernel_dispatch").and_then(Value::as_str),
+            Some("sparse")
+        );
+        assert_eq!(v.get("dispatch_tableau").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("dispatch_sparse").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("dispatch_wide").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            v.get("stabilizer_prefix_gates").and_then(Value::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            v.get("tableau_to_dense_us").and_then(Value::as_u64),
+            Some(40)
+        );
     }
 }

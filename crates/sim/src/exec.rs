@@ -32,16 +32,42 @@
 //!    qualifies, which also extends the snapshot prefix across the whole
 //!    unitary body. Sampling is disabled under the thermal-relaxation
 //!    channel, whose state-dependent draws do not commute trivially.
+//! 5. **Pauli-frame forwarding** — under the Pauli-twirl channel every
+//!    noise draw is state-independent, so the body partitions into runs
+//!    of unconditioned unitaries whose Bernoulli draws can be walked
+//!    *ahead* of the state work. A shot pre-walks the whole prefix's
+//!    draws; the recorded Paulis then conjugate forward through the
+//!    prefix kernels as an `(x, z)` bit-mask frame (Clifford conjugation,
+//!    global phase dropped — probabilities are exactly phase-invariant).
+//!    When every event conjugates cleanly to the end — always, on
+//!    Clifford-only bodies — the shot *still forks from the snapshot* and
+//!    materializes the residual frame as one sweep, so a dirty shot costs
+//!    the same as a clean one. Only a frame stalling against a
+//!    non-Clifford kernel forces a from-zero replay, and even then the
+//!    frame streams through each run until it stalls. The stream is never
+//!    rewound.
+//! 6. **Engine dispatch** — fully Clifford circuits (common for GHZ /
+//!    syndrome-style dynamic workloads) skip the dense state vector
+//!    entirely and run on an Aaronson–Gottesman stabilizer tableau
+//!    ([`crate::tableau`]): `O(n)` per gate, `O(n^2)` per measurement,
+//!    and no `2^n` memory, so width is not capped at the dense limit.
+//!    [`Engine::Auto`] (the default) picks the tableau only for
+//!    noiseless Clifford circuits; [`Engine::Stabilizer`] extends it to
+//!    Pauli-twirl noise (errors are Paulis, hence Clifford) and, on
+//!    non-Clifford circuits, seeds the prefix snapshot from a tableau
+//!    simulation of the maximal Clifford prefix.
 //!
 //! Each noisy shot is one Monte-Carlo trajectory: stochastic Pauli errors
 //! are inserted according to the [`NoiseModel`], so averaging over shots
 //! samples the noisy output distribution.
 
 use crate::counts::Counts;
-use crate::kernels::{CompiledCircuit, Op};
+use crate::kernels::{conjugate_pauli, CompiledCircuit, Op};
 use crate::noise::{IdleDraw, NoiseModel, NoiseTables};
 use crate::parallel::{self, shot_rng};
+use crate::sparse::{support_bound, SimState, SparseState};
 use crate::state::StateVector;
+use crate::tableau::{self, Tableau};
 use caqr_circuit::depth::Schedule;
 use caqr_circuit::{Circuit, Gate};
 use rand::Rng;
@@ -71,6 +97,100 @@ impl std::error::Error for Interrupted {}
 /// the per-shot hot path.
 const CANCEL_CHUNK: usize = 32;
 
+/// Which simulation engine [`Executor`] uses for a circuit.
+///
+/// The tableau engine is exact on Clifford circuits (H/S/S†/X/Y/Z/CX/CZ/
+/// SWAP plus measurement and reset) and runs in polynomial time and
+/// memory, so it is never width-limited. It draws from the same per-shot
+/// streams as the dense engine but consumes them differently (a
+/// deterministic tableau measurement burns no randomness, a dense one
+/// always burns one draw), so the two engines agree in distribution, not
+/// bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Dense state vector, except noiseless fully-Clifford circuits run
+    /// on the stabilizer tableau. The default.
+    #[default]
+    Auto,
+    /// Dense state vector always.
+    Dense,
+    /// Stabilizer tableau wherever legal: whole-circuit for Clifford
+    /// circuits (ideal or Pauli-twirl noise — stochastic Paulis are
+    /// Clifford), and the maximal Clifford prefix of non-Clifford
+    /// circuits seeds the snapshot through a tableau-to-dense
+    /// conversion. Thermal relaxation needs amplitudes and falls back
+    /// to the dense engine.
+    Stabilizer,
+}
+
+impl Engine {
+    /// Lower-case name, as accepted by CLI `--engine` flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Auto => "auto",
+            Engine::Dense => "dense",
+            Engine::Stabilizer => "stabilizer",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Engine::Auto),
+            "dense" => Ok(Engine::Dense),
+            "stabilizer" => Ok(Engine::Stabilizer),
+            other => Err(format!(
+                "unknown engine '{other}' (expected auto, dense, or stabilizer)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which kernel bodies a run's state-vector sweeps dispatched to (see
+/// `crate::wide`). Purely observational — the wide and scalar bodies
+/// are bit-identical by contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelDispatch {
+    /// Lane-parallel wide bodies (the default).
+    #[default]
+    Wide,
+    /// Scalar fallback bodies ([`Executor::with_wide`]`(false)`).
+    Scalar,
+    /// No dense sweeps ran: the stabilizer tableau carried the circuit.
+    Tableau,
+    /// Support-tracked sparse sweeps carried the dense work (see
+    /// `crate::sparse`); bit-identical to the dense engines by
+    /// construction.
+    Sparse,
+}
+
+impl KernelDispatch {
+    /// Lower-case name for metrics surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelDispatch::Wide => "wide",
+            KernelDispatch::Scalar => "scalar",
+            KernelDispatch::Tableau => "tableau",
+            KernelDispatch::Sparse => "sparse",
+        }
+    }
+}
+
+impl fmt::Display for KernelDispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Executes circuits shot by shot, with optional calibration-driven noise.
 ///
 /// # Examples
@@ -97,6 +217,15 @@ pub struct Executor {
     snapshot: bool,
     /// Collapse-free sampling of deferred terminal measurements.
     sampling: bool,
+    /// Engine selection (dense vs stabilizer tableau).
+    engine: Engine,
+    /// Lane-parallel wide kernel bodies (bit-identical to scalar).
+    wide: bool,
+    /// Chunked fusion of noisy bodies under the Pauli-twirl channel.
+    chunked: bool,
+    /// Support-tracked sparse sweeps on provably low-support circuits
+    /// (bit-identical to dense).
+    sparse: bool,
 }
 
 /// Instrumentation from one [`Executor::run_shots_traced`] call.
@@ -119,6 +248,16 @@ pub struct ShotReport {
     /// Measurements deferred to the program tail and sampled without
     /// collapse (0 = sampling disabled or inapplicable).
     pub deferred_measures: usize,
+    /// Which kernel bodies the dense sweeps dispatched to, or
+    /// [`KernelDispatch::Tableau`] when no dense sweep ran.
+    pub kernel_dispatch: KernelDispatch,
+    /// Unitary gates absorbed by the stabilizer tableau: every gate on
+    /// whole-circuit tableau runs, the Clifford prefix length under
+    /// [`Engine::Stabilizer`] handoff, 0 on pure dense runs.
+    pub stabilizer_prefix_gates: usize,
+    /// Wall-clock microseconds spent converting the tableau to the dense
+    /// snapshot (0 unless the prefix handoff ran).
+    pub tableau_to_dense_us: u64,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -140,6 +279,10 @@ impl Executor {
             kernels: true,
             snapshot: true,
             sampling: true,
+            engine: Engine::Auto,
+            wide: true,
+            chunked: true,
+            sparse: true,
         }
     }
 
@@ -187,14 +330,56 @@ impl Executor {
         self
     }
 
+    /// Selects the simulation engine (see [`Engine`]). [`Engine::Dense`]
+    /// pins the dense state vector; [`Engine::Stabilizer`] uses the
+    /// tableau wherever legal. Engine choice changes how randomness is
+    /// consumed, so histograms agree across engines in distribution, not
+    /// bit for bit.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables or disables the lane-parallel wide kernel bodies. Both
+    /// settings produce bit-identical histograms (see `crate::wide`);
+    /// the flag exists for benchmarking attribution.
+    pub fn with_wide(mut self, on: bool) -> Self {
+        self.wide = on;
+        self
+    }
+
+    /// Enables or disables chunked fusion of noisy bodies under the
+    /// Pauli-twirl channel. Disabled, noisy shots apply gates one
+    /// kernel at a time with draws interleaved. Both settings walk the
+    /// same draw sequence; they differ only in floating-point evaluation
+    /// order inside event-free chunks.
+    pub fn with_chunked_fusion(mut self, on: bool) -> Self {
+        self.chunked = on;
+        self
+    }
+
+    /// Enables or disables the support-tracked sparse engine. It engages
+    /// only on circuits whose plan-time support bound proves the state
+    /// stays on a tiny fraction of the basis (see `crate::sparse`),
+    /// and it is bit-identical to the dense engine on every observable,
+    /// so the flag exists for benchmarking attribution.
+    pub fn with_sparse(mut self, on: bool) -> Self {
+        self.sparse = on;
+        self
+    }
+
     /// The reference configuration: sequential, generic gate application,
-    /// no snapshotting, collapse-based measurement. Same per-shot streams,
-    /// none of the fast paths.
+    /// no snapshotting, collapse-based measurement, dense engine, scalar
+    /// kernel bodies. Same per-shot streams, none of the fast paths.
     pub fn reference(self) -> Self {
         self.with_threads(1)
             .with_kernels(false)
             .with_snapshot(false)
             .with_sampling(false)
+            .with_engine(Engine::Dense)
+            .with_wide(false)
+            .with_chunked_fusion(false)
+            .with_sparse(false)
     }
 
     /// Runs `shots` shots and histograms the classical register.
@@ -258,12 +443,15 @@ impl Executor {
         should_stop: &(dyn Fn() -> bool + Sync),
     ) -> Result<(Counts, ShotReport), Interrupted> {
         let started = Instant::now();
+        if let Some(tplan) = self.tableau_plan(circuit) {
+            return self.run_shots_tableau(&tplan, shots, seed, should_stop, started);
+        }
         let plan = self.plan(circuit);
         let workers = parallel::effective_workers(self.threads, shots);
         let stopped = AtomicBool::new(false);
         let shards = parallel::run_shards(workers, shots, |range| {
             let mut counts = Counts::new(circuit.num_clbits());
-            let mut scratch = StateVector::zero(circuit.num_qubits());
+            let mut scratch = ShotScratch::new(circuit.num_qubits(), self.wide);
             let mut forks = 0usize;
             for (done, shot) in range.enumerate() {
                 if done % CANCEL_CHUNK == 0 && (stopped.load(Ordering::Relaxed) || should_stop()) {
@@ -298,6 +486,15 @@ impl Executor {
             },
             snapshot_forks: forks,
             deferred_measures: plan.tail.tail_len,
+            kernel_dispatch: if plan.sparse {
+                KernelDispatch::Sparse
+            } else if self.wide {
+                KernelDispatch::Wide
+            } else {
+                KernelDispatch::Scalar
+            },
+            stabilizer_prefix_gates: plan.stabilizer_prefix_gates,
+            tableau_to_dense_us: plan.tableau_to_dense_us,
             wall: started.elapsed(),
         };
         Ok((counts, report))
@@ -307,9 +504,96 @@ impl Executor {
     ///
     /// Equivalent to shot 0 of [`Executor::run_shots`] with the same seed.
     pub fn run_once(&self, circuit: &Circuit, seed: u64) -> u64 {
+        if let Some(tplan) = self.tableau_plan(circuit) {
+            let mut tab = Tableau::new(circuit.num_qubits());
+            return tplan.run_shot(&mut tab, seed, 0);
+        }
         let plan = self.plan(circuit);
-        let mut scratch = StateVector::zero(circuit.num_qubits());
+        let mut scratch = ShotScratch::new(circuit.num_qubits(), self.wide);
         plan.run_shot(seed, 0, &mut scratch).0
+    }
+
+    /// Builds the whole-circuit tableau plan when the engine selection
+    /// and the circuit allow it (see [`Engine`]); `None` falls through to
+    /// the dense planner.
+    fn tableau_plan<'c>(&self, circuit: &'c Circuit) -> Option<TableauPlan<'c>> {
+        let allowed = match self.engine {
+            Engine::Dense => false,
+            Engine::Auto => self.noise.is_none(),
+            Engine::Stabilizer => true,
+        };
+        if !allowed || !tableau::is_clifford_circuit(circuit) {
+            return None;
+        }
+        let tables = self.noise.as_ref().map(|n| {
+            let schedule = Schedule::asap(circuit, &n.device().duration_model());
+            NoiseTables::precompute(n, circuit, &schedule)
+        });
+        if let Some(t) = &tables {
+            // Thermal relaxation draws against amplitudes the tableau
+            // does not have; only stochastic Paulis stay Clifford.
+            if !matches!(t.channel, crate::noise::IdleChannel::PauliTwirl) {
+                return None;
+            }
+        }
+        let gates = circuit
+            .instructions()
+            .iter()
+            .filter(|i| !matches!(i.gate, Gate::Measure | Gate::Reset))
+            .count();
+        Some(TableauPlan {
+            circuit,
+            tables,
+            gates,
+        })
+    }
+
+    /// The sharded shot loop of the whole-circuit tableau engine; same
+    /// determinism and cancellation contracts as the dense loop.
+    fn run_shots_tableau(
+        &self,
+        plan: &TableauPlan<'_>,
+        shots: usize,
+        seed: u64,
+        should_stop: &(dyn Fn() -> bool + Sync),
+        started: Instant,
+    ) -> Result<(Counts, ShotReport), Interrupted> {
+        let circuit = plan.circuit;
+        let workers = parallel::effective_workers(self.threads, shots);
+        let stopped = AtomicBool::new(false);
+        let shards = parallel::run_shards(workers, shots, |range| {
+            let mut counts = Counts::new(circuit.num_clbits());
+            let mut tab = Tableau::new(circuit.num_qubits());
+            for (done, shot) in range.enumerate() {
+                if done % CANCEL_CHUNK == 0 && (stopped.load(Ordering::Relaxed) || should_stop()) {
+                    stopped.store(true, Ordering::Relaxed);
+                    break;
+                }
+                counts.record(plan.run_shot(&mut tab, seed, shot as u64));
+            }
+            counts
+        });
+        if stopped.load(Ordering::Relaxed) {
+            return Err(Interrupted);
+        }
+        let mut counts = Counts::new(circuit.num_clbits());
+        for shard in &shards {
+            counts.merge(shard);
+        }
+        let report = ShotReport {
+            shots,
+            threads: workers,
+            gates_in: plan.gates,
+            kernels_out: plan.gates,
+            prefix_ops: 0,
+            snapshot_forks: 0,
+            deferred_measures: 0,
+            kernel_dispatch: KernelDispatch::Tableau,
+            stabilizer_prefix_gates: plan.gates,
+            tableau_to_dense_us: 0,
+            wall: started.elapsed(),
+        };
+        Ok((counts, report))
     }
 
     /// Builds the per-circuit execution plan: compiled kernels, hoisted
@@ -342,8 +626,10 @@ impl Executor {
                 ..DeferredTail::default()
             }
         };
-        // Fusion moves gates across their neighbours, which is only sound
-        // when nothing stochastic sits between instructions.
+        // Noiseless programs fuse at compile time: nothing stochastic
+        // sits between instructions, so gates merge freely. Noisy
+        // Pauli-twirl programs stay unfused here and fuse per chunk
+        // below, where the draw pre-walk decides event-free regions.
         let fused = self.kernels && self.noise.is_none();
         let program = if fused {
             CompiledCircuit::compile_fused_ordered(circuit, &tail.order)
@@ -382,21 +668,139 @@ impl Executor {
             boundary_op,
             boundary_pos,
             snapshot: None,
+            chunks: None,
+            prefix_chunks: 0,
+            sparse: false,
+            sparse_snapshot: None,
+            stabilizer_prefix_gates: 0,
+            tableau_to_dense_us: 0,
         };
+        // Chunked frame forwarding: legal exactly when the Pauli-twirl
+        // channel makes every draw state-independent, so a chunk's draws
+        // can be walked before its state work.
+        let chunkable = self.kernels
+            && self.chunked
+            && match &plan.tables {
+                None => false,
+                Some(t) => matches!(t.channel, crate::noise::IdleChannel::PauliTwirl),
+            };
+        if chunkable {
+            let (chunks, prefix_chunks) = build_chunks(&plan.program, &plan.tail);
+            plan.chunks = Some(chunks);
+            plan.prefix_chunks = prefix_chunks;
+            // Sparse engagement: only when a plan-time index-set bound
+            // proves the support stays under 1/64th of the basis — which
+            // admits arithmetic/reversible circuits (permutations and
+            // phases with a few Hadamards) and rejects everything else
+            // before any per-shot cost is paid. The bound is sound under
+            // every stochastic Pauli pattern, so it is per-circuit, not
+            // per-shot.
+            let cap = (1usize << circuit.num_qubits()) >> 6;
+            plan.sparse = self.sparse
+                && self.engine != Engine::Dense
+                && cap > 0
+                && support_bound(&plan.program, cap).is_some();
+        }
         if self.snapshot && forkable && boundary_op > 0 {
             let mut state = StateVector::zero(circuit.num_qubits());
-            // The classical register is still all-zero before the first
-            // measurement, so conditioned prefix gates never execute.
+            state.set_wide(self.wide);
+            if self.engine == Engine::Stabilizer {
+                // Seed the snapshot from a tableau simulation of the
+                // maximal unconditioned Clifford prefix; amplitudes
+                // agree with the dense build up to rounding.
+                let mut rest = 0usize;
+                let instrs = circuit.instructions();
+                let exec_prefix = &plan.tail.order[..plan.boundary_pos];
+                let mut tab = Tableau::new(circuit.num_qubits());
+                while rest < exec_prefix.len() {
+                    let instr = &instrs[exec_prefix[rest]];
+                    if instr.condition.is_some() || !tableau::is_clifford_gate(&instr.gate) {
+                        break;
+                    }
+                    let mut qs = [0usize; 2];
+                    for (i, qb) in instr.qubits.iter().enumerate() {
+                        qs[i] = qb.index();
+                    }
+                    tab.apply(&instr.gate, &qs[..instr.qubits.len()]);
+                    rest += 1;
+                }
+                if rest > 0 {
+                    let handoff = Instant::now();
+                    state = tab.to_state_vector();
+                    state.set_wide(self.wide);
+                    plan.tableau_to_dense_us = handoff.elapsed().as_micros() as u64;
+                    plan.stabilizer_prefix_gates = rest;
+                    // The remaining prefix instructions apply through
+                    // the generic gate path below.
+                    for &idx in &exec_prefix[rest..] {
+                        let instr = &instrs[idx];
+                        if instr.condition.is_some() {
+                            continue;
+                        }
+                        let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();
+                        state.apply_gate(&instr.gate, &operands);
+                    }
+                    if plan.sparse {
+                        plan.sparse_snapshot = Some(SparseState::from_dense(&state));
+                    }
+                    plan.snapshot = Some(state);
+                    return plan;
+                }
+            }
+            // The classical register is still all-zero before the
+            // first measurement, so conditioned prefix gates never
+            // execute.
             for op in &plan.program.ops()[..boundary_op] {
                 if let Op::Unitary { cond: Some(_), .. } = op {
                     continue;
                 }
                 plan.apply_unitary_op(op, &mut state);
             }
+            if plan.sparse {
+                plan.sparse_snapshot = Some(SparseState::from_dense(&state));
+            }
             plan.snapshot = Some(state);
         }
         plan
     }
+}
+
+/// Partitions the program body into chunks for the noisy frame-forwarded
+/// path and returns `(chunks, prefix_chunks)`, where the first
+/// `prefix_chunks` chunks lie entirely before the first measurement or
+/// reset. Each maximal run of unconditioned unitaries becomes one
+/// [`Chunk::Run`].
+fn build_chunks(program: &CompiledCircuit, tail: &DeferredTail) -> (Vec<Chunk>, usize) {
+    let ops = program.ops();
+    let body = &ops[..ops.len() - tail.tail_len];
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut run: Option<usize> = None;
+    for (pos, op) in body.iter().enumerate() {
+        if matches!(op, Op::Unitary { cond: None, .. }) {
+            run.get_or_insert(pos);
+        } else {
+            if let Some(start) = run.take() {
+                chunks.push(Chunk::Run { start, end: pos });
+            }
+            chunks.push(Chunk::Inline { pos });
+        }
+    }
+    if let Some(start) = run.take() {
+        chunks.push(Chunk::Run {
+            start,
+            end: body.len(),
+        });
+    }
+    let prefix_chunks = chunks
+        .iter()
+        .position(|c| match c {
+            Chunk::Inline { pos } => {
+                matches!(body[*pos], Op::Measure { .. } | Op::Reset { .. })
+            }
+            Chunk::Run { .. } => false,
+        })
+        .unwrap_or(chunks.len());
+    (chunks, prefix_chunks)
 }
 
 /// The deferred-measurement execution plan: a permutation of instruction
@@ -532,6 +936,154 @@ fn deferral_order(circuit: &Circuit) -> DeferredTail {
     out
 }
 
+/// One body segment of the chunked noisy fast path.
+enum Chunk {
+    /// Unconditioned unitary ops `[start, end)` of the program body.
+    /// Event-free shots apply the kernels directly; shots with noise
+    /// events stream the events through the run as a Pauli frame (see
+    /// [`ShotPlan::exec_run`]).
+    Run { start: usize, end: usize },
+    /// A measurement, reset, or conditioned gate at body position `pos`,
+    /// executed in place against the live register and state.
+    Inline { pos: usize },
+}
+
+/// One stochastic Pauli recorded by a chunk pre-walk: apply `pauli` to
+/// qubit `q` immediately before (`post == false`) or after
+/// (`post == true`) the unitary at body position `pos`.
+struct PauliEvent {
+    pos: usize,
+    q: usize,
+    post: bool,
+    pauli: Gate,
+}
+
+/// The body position an event applies at: before `pos` for idle (pre)
+/// events, after it — i.e. before `pos + 1` — for gate (post) events.
+fn event_boundary(ev: &PauliEvent) -> usize {
+    ev.pos + usize::from(ev.post)
+}
+
+/// Folds a recorded Pauli into `(x, z)` frame masks. `Y ∝ XZ`; the
+/// global phase drops, which leaves every probability exactly unchanged.
+fn merge_event(ev: &PauliEvent, x: &mut u64, z: &mut u64) {
+    let bit = 1u64 << ev.q;
+    match ev.pauli {
+        Gate::X => *x ^= bit,
+        Gate::Y => {
+            *x ^= bit;
+            *z ^= bit;
+        }
+        Gate::Z => *z ^= bit,
+        _ => unreachable!("noise events are Paulis"),
+    }
+}
+
+/// Per-worker mutable storage reused across shots.
+struct ShotScratch {
+    state: StateVector,
+    /// Sparse twin of `state`, created lazily on the first sparse shot
+    /// (plans that never go sparse never pay for it).
+    sparse: Option<SparseState>,
+    /// Wide-kernel setting, for the lazy sparse construction.
+    wide: bool,
+    /// Pauli events recorded by chunk pre-walks (chunked path only).
+    events: Vec<PauliEvent>,
+    /// Cumulative event counts, one per prefix chunk (chunked path only).
+    ends: Vec<usize>,
+}
+
+impl ShotScratch {
+    fn new(num_qubits: usize, wide: bool) -> Self {
+        let mut state = StateVector::zero(num_qubits);
+        state.set_wide(wide);
+        ShotScratch {
+            state,
+            sparse: None,
+            wide,
+            events: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+}
+
+/// The whole-circuit stabilizer-engine plan: no compiled program, no
+/// snapshot — per-shot tableau simulation straight off the instruction
+/// list.
+struct TableauPlan<'c> {
+    circuit: &'c Circuit,
+    tables: Option<NoiseTables>,
+    /// Unitary gates in the circuit (for the report).
+    gates: usize,
+}
+
+impl TableauPlan<'_> {
+    /// Runs one shot on `tab` (cleared first); returns the final
+    /// classical register.
+    fn run_shot(&self, tab: &mut Tableau, seed: u64, shot: u64) -> u64 {
+        let mut rng = shot_rng(seed, shot);
+        tab.clear();
+        let mut clreg: u64 = 0;
+        for (index, instr) in self.circuit.instructions().iter().enumerate() {
+            // Idle decoherence: stochastic Paulis are Clifford, so they
+            // apply to the tableau like any other gate.
+            if let Some(tables) = &self.tables {
+                for (draw, qb) in tables.idle[index].iter().zip(&instr.qubits) {
+                    let IdleDraw::Twirl(p) = *draw else {
+                        unreachable!("tableau runs require the Pauli-twirl channel")
+                    };
+                    if p > 0.0 && rng.gen_bool(p) {
+                        let pauli = NoiseModel::random_pauli(&mut rng);
+                        tab.apply(&pauli, &[qb.index()]);
+                    }
+                }
+            }
+            match instr.gate {
+                Gate::Measure => {
+                    let mut bit = tab.measure(instr.qubits[0].index(), &mut rng);
+                    if let Some(tables) = &self.tables {
+                        let p = tables.readout[index];
+                        if p > 0.0 && rng.gen_bool(p) {
+                            bit = !bit;
+                        }
+                    }
+                    let clbit = instr.clbit.expect("measure has a clbit").index();
+                    if bit {
+                        clreg |= 1 << clbit;
+                    } else {
+                        clreg &= !(1 << clbit);
+                    }
+                }
+                Gate::Reset => tab.reset(instr.qubits[0].index(), &mut rng),
+                ref gate => {
+                    if let Some(c) = instr.condition {
+                        if clreg >> c.index() & 1 == 0 {
+                            continue;
+                        }
+                    }
+                    let mut qs = [0usize; 2];
+                    for (i, qb) in instr.qubits.iter().enumerate() {
+                        qs[i] = qb.index();
+                    }
+                    tab.apply(gate, &qs[..instr.qubits.len()]);
+                    if let Some(tables) = &self.tables {
+                        let p = tables.gate[index];
+                        if p > 0.0 {
+                            for qb in &instr.qubits {
+                                if rng.gen_bool(p) {
+                                    let pauli = NoiseModel::random_pauli(&mut rng);
+                                    tab.apply(&pauli, &[qb.index()]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        clreg
+    }
+}
+
 /// Everything `run_shots` precomputes once per circuit.
 struct ShotPlan<'c> {
     circuit: &'c Circuit,
@@ -546,11 +1098,50 @@ struct ShotPlan<'c> {
     boundary_pos: usize,
     /// State after the deterministic prefix, when forking is enabled.
     snapshot: Option<StateVector>,
+    /// Body partition for the chunked noisy fast path (`None` = stream
+    /// ops one at a time).
+    chunks: Option<Vec<Chunk>>,
+    /// Chunks entirely before the first measurement/reset.
+    prefix_chunks: usize,
+    /// Shots run on the support-tracked sparse engine (implies
+    /// `chunks.is_some()` and a proven support bound).
+    sparse: bool,
+    /// `snapshot` converted for sparse forking.
+    sparse_snapshot: Option<SparseState>,
+    /// Clifford prefix length absorbed by the tableau handoff.
+    stabilizer_prefix_gates: usize,
+    /// Microseconds the tableau-to-dense conversion took.
+    tableau_to_dense_us: u64,
 }
 
 impl ShotPlan<'_> {
     /// Runs one shot; returns `(clreg, forked_from_snapshot)`.
-    fn run_shot(&self, seed: u64, shot: u64, scratch: &mut StateVector) -> (u64, bool) {
+    fn run_shot(&self, seed: u64, shot: u64, scratch: &mut ShotScratch) -> (u64, bool) {
+        if self.chunks.is_some() {
+            // Destructure for disjoint borrows of the state and the
+            // event scratch.
+            let ShotScratch {
+                state,
+                sparse,
+                wide,
+                events,
+                ends,
+            } = scratch;
+            if self.sparse {
+                let n = self.circuit.num_qubits();
+                let sp = sparse.get_or_insert_with(|| SparseState::new(n, *wide));
+                return self.run_shot_chunked(
+                    seed,
+                    shot,
+                    self.sparse_snapshot.as_ref(),
+                    sp,
+                    events,
+                    ends,
+                );
+            }
+            return self.run_shot_chunked(seed, shot, self.snapshot.as_ref(), state, events, ends);
+        }
+        let scratch = &mut scratch.state;
         let mut rng = shot_rng(seed, shot);
         if let Some(snapshot) = &self.snapshot {
             if self.prefix_event_free(&mut rng) {
@@ -564,6 +1155,281 @@ impl ShotPlan<'_> {
         }
         scratch.set_zero();
         (self.finish_shot(0, &mut rng, scratch), false)
+    }
+
+    /// Runs one shot over the chunk partition. Every chunk's Bernoulli
+    /// draws are walked before its state work (legal because Pauli-twirl
+    /// draws are state-independent), so the stream position never needs
+    /// rewinding. Event-free shots fork from the snapshot. Shots whose
+    /// events all conjugate forward through the prefix kernels *also*
+    /// fork, then materialize the carried `(x, z)` frame as one sweep —
+    /// exactly equivalent to replaying with the Paulis applied in place,
+    /// because conjugation moves each Pauli past a Clifford kernel at the
+    /// cost of a global phase only, and probabilities are exactly
+    /// phase-invariant. Only a frame that stalls against a non-Clifford
+    /// kernel forces a from-zero replay with the recorded Paulis
+    /// interleaved at their exact positions.
+    fn run_shot_chunked<S: SimState>(
+        &self,
+        seed: u64,
+        shot: u64,
+        snapshot: Option<&S>,
+        state: &mut S,
+        ev_buf: &mut Vec<PauliEvent>,
+        ends: &mut Vec<usize>,
+    ) -> (u64, bool) {
+        let chunks = self.chunks.as_deref().expect("chunked shots have chunks");
+        let mut rng = shot_rng(seed, shot);
+        let mut clreg: u64 = 0;
+        let mut body_flips: u64 = 0;
+        let mut forked = false;
+        let mut first = 0usize;
+        if let Some(snapshot) = snapshot {
+            // Pre-walk every prefix chunk up front; if nothing fired the
+            // shot forks from the snapshot, otherwise the recorded event
+            // slices drive the frame-forwarded fork or a from-zero replay
+            // of the same chunks.
+            ev_buf.clear();
+            ends.clear();
+            for chunk in &chunks[..self.prefix_chunks] {
+                match chunk {
+                    Chunk::Run { start, end } => {
+                        self.prewalk_run(*start, *end, &mut rng, ev_buf, &mut body_flips);
+                    }
+                    Chunk::Inline { pos } => {
+                        self.prewalk_inline(*pos, &mut rng, ev_buf, &mut body_flips);
+                    }
+                }
+                ends.push(ev_buf.len());
+            }
+            if ev_buf.is_empty() {
+                state.load(snapshot);
+                forked = true;
+            } else if let Some((x, z)) = self.forward_frame(ev_buf) {
+                state.load(snapshot);
+                state.apply_pauli_masks(x, z);
+                forked = true;
+            } else {
+                state.set_zero();
+                let mut ev0 = 0usize;
+                for (chunk, &ev1) in chunks[..self.prefix_chunks].iter().zip(ends.iter()) {
+                    let events = &ev_buf[ev0..ev1];
+                    match chunk {
+                        Chunk::Run { start, end } => {
+                            self.exec_run(*start, *end, events, state);
+                        }
+                        // A conditioned prefix gate is deterministically
+                        // skipped (the register is still zero); only its
+                        // idle events act.
+                        Chunk::Inline { .. } => {
+                            for ev in events {
+                                state.apply_gate(&ev.pauli, &[ev.q]);
+                            }
+                        }
+                    }
+                    ev0 = ev1;
+                }
+            }
+            first = self.prefix_chunks;
+        } else {
+            state.set_zero();
+        }
+        for chunk in &chunks[first..] {
+            match chunk {
+                Chunk::Inline { pos } => {
+                    let op = &self.program.ops()[*pos];
+                    self.exec_op(op, &mut rng, state, &mut clreg, &mut body_flips);
+                }
+                Chunk::Run { start, end } => {
+                    ev_buf.clear();
+                    self.prewalk_run(*start, *end, &mut rng, ev_buf, &mut body_flips);
+                    self.exec_run(*start, *end, ev_buf, state);
+                }
+            }
+        }
+        if self.tail.tail_len > 0 {
+            self.sample_tail(&mut rng, state, body_flips, &mut clreg);
+        }
+        (clreg, forked)
+    }
+
+    /// Conjugates every recorded prefix event forward through the prefix
+    /// kernels into a single end-of-prefix `(x, z)` frame, or `None` when
+    /// some event stalls against a non-Clifford kernel on its wire.
+    /// Conditioned prefix ops are deterministically skipped (the register
+    /// is still zero), so the frame passes through them unchanged.
+    fn forward_frame(&self, events: &[PauliEvent]) -> Option<(u64, u64)> {
+        let ops = self.program.ops();
+        let (mut x, mut z) = (0u64, 0u64);
+        let mut k = 0usize;
+        for (pos, op) in ops[..self.boundary_op].iter().enumerate() {
+            while k < events.len() && event_boundary(&events[k]) <= pos {
+                merge_event(&events[k], &mut x, &mut z);
+                k += 1;
+            }
+            if (x, z) == (0, 0) {
+                continue;
+            }
+            match op {
+                Op::Unitary { cond: Some(_), .. } => {}
+                Op::Unitary { kernel, .. } => {
+                    (x, z) = conjugate_pauli(kernel, x, z)?;
+                }
+                _ => unreachable!("the prefix holds only unitaries"),
+            }
+        }
+        while k < events.len() {
+            merge_event(&events[k], &mut x, &mut z);
+            k += 1;
+        }
+        Some((x, z))
+    }
+
+    /// Walks the noise draws of run chunk `[start, end)` without touching
+    /// the state, recording fired Paulis (draw order matches
+    /// [`ShotPlan::exec_op`] exactly).
+    fn prewalk_run(
+        &self,
+        start: usize,
+        end: usize,
+        rng: &mut ChaCha8Rng,
+        events: &mut Vec<PauliEvent>,
+        body_flips: &mut u64,
+    ) {
+        let ops = self.program.ops();
+        let tables = self.tables.as_ref().expect("chunked runs require noise");
+        for (pos, op) in ops.iter().enumerate().take(end).skip(start) {
+            let index = op_index(op);
+            let instr = &self.circuit.instructions()[index];
+            for (slot, (draw, qb)) in tables.idle[index].iter().zip(&instr.qubits).enumerate() {
+                let IdleDraw::Twirl(p) = *draw else {
+                    unreachable!("chunking requires the Pauli-twirl channel")
+                };
+                if p > 0.0 && rng.gen_bool(p) {
+                    let pauli = NoiseModel::random_pauli(rng);
+                    if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
+                        *body_flips ^= self.tail.carry_idle[index][slot];
+                    }
+                    events.push(PauliEvent {
+                        pos,
+                        q: qb.index(),
+                        post: false,
+                        pauli,
+                    });
+                }
+            }
+            let p = tables.gate[index];
+            if p > 0.0 {
+                for (slot, qb) in instr.qubits.iter().enumerate() {
+                    if rng.gen_bool(p) {
+                        let pauli = NoiseModel::random_pauli(rng);
+                        if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
+                            *body_flips ^= self.tail.carry_gate[index][slot];
+                        }
+                        events.push(PauliEvent {
+                            pos,
+                            q: qb.index(),
+                            post: true,
+                            pauli,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks the idle draws of a conditioned prefix gate (its condition
+    /// bit is still zero, so the gate itself — and its gate-noise draws —
+    /// are deterministically skipped, exactly as in
+    /// [`ShotPlan::exec_op`]).
+    fn prewalk_inline(
+        &self,
+        pos: usize,
+        rng: &mut ChaCha8Rng,
+        events: &mut Vec<PauliEvent>,
+        body_flips: &mut u64,
+    ) {
+        let ops = self.program.ops();
+        debug_assert!(
+            matches!(ops[pos], Op::Unitary { cond: Some(_), .. }),
+            "only conditioned gates precede the first measurement inline"
+        );
+        let index = op_index(&ops[pos]);
+        let instr = &self.circuit.instructions()[index];
+        let tables = self.tables.as_ref().expect("chunked runs require noise");
+        for (slot, (draw, qb)) in tables.idle[index].iter().zip(&instr.qubits).enumerate() {
+            let IdleDraw::Twirl(p) = *draw else {
+                unreachable!("chunking requires the Pauli-twirl channel")
+            };
+            if p > 0.0 && rng.gen_bool(p) {
+                let pauli = NoiseModel::random_pauli(rng);
+                if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
+                    *body_flips ^= self.tail.carry_idle[index][slot];
+                }
+                events.push(PauliEvent {
+                    pos,
+                    q: qb.index(),
+                    post: false,
+                    pauli,
+                });
+            }
+        }
+    }
+
+    /// Applies run chunk `[start, end)`. Event-free shots apply the
+    /// kernels directly. Otherwise the recorded Paulis stream through
+    /// the run as an `(x, z)` frame: each event conjugates forward
+    /// through the kernels it crosses (Clifford conjugation on bit
+    /// masks, global phase dropped — probabilities are exactly
+    /// phase-invariant) and the surviving frame materializes as one
+    /// sweep at the end of the run; a frame that stalls against a
+    /// non-Clifford kernel materializes at the stall instead.
+    fn exec_run<S: SimState>(
+        &self,
+        start: usize,
+        end: usize,
+        events: &[PauliEvent],
+        state: &mut S,
+    ) {
+        let ops = self.program.ops();
+        if events.is_empty() {
+            for op in &ops[start..end] {
+                let Op::Unitary { kernel, .. } = op else {
+                    unreachable!("runs hold unitaries");
+                };
+                state.apply_kernel(kernel);
+            }
+            return;
+        }
+        let mut carry = (0u64, 0u64);
+        let mut k = 0usize;
+        for (pos, op) in ops.iter().enumerate().take(end).skip(start) {
+            while k < events.len() && event_boundary(&events[k]) <= pos {
+                merge_event(&events[k], &mut carry.0, &mut carry.1);
+                k += 1;
+            }
+            let Op::Unitary { kernel, .. } = op else {
+                unreachable!("runs hold unitaries");
+            };
+            if carry != (0, 0) {
+                match conjugate_pauli(kernel, carry.0, carry.1) {
+                    Some(next) => carry = next,
+                    None => {
+                        state.apply_pauli_masks(carry.0, carry.1);
+                        carry = (0, 0);
+                    }
+                }
+            }
+            state.apply_kernel(kernel);
+        }
+        while k < events.len() {
+            debug_assert_eq!(event_boundary(&events[k]), end);
+            merge_event(&events[k], &mut carry.0, &mut carry.1);
+            k += 1;
+        }
+        if carry != (0, 0) {
+            state.apply_pauli_masks(carry.0, carry.1);
+        }
     }
 
     /// Runs the program body from op `start`, then samples the deferred
@@ -624,78 +1490,90 @@ impl ShotPlan<'_> {
         let mut body_flips: u64 = 0;
         let ops = self.program.ops();
         for op in &ops[start..ops.len() - self.tail.tail_len] {
-            // Idle decoherence over the gaps preceding this instruction.
-            // (Fused programs carry no tables — fusion requires no noise.)
-            if let Some(tables) = &self.tables {
-                let index = op_index(op);
-                let instr = &self.circuit.instructions()[index];
-                for (slot, (draw, q)) in tables.idle[index].iter().zip(&instr.qubits).enumerate() {
-                    match *draw {
-                        IdleDraw::Twirl(p) => {
-                            if p > 0.0 && rng.gen_bool(p) {
+            self.exec_op(op, rng, state, &mut clreg, &mut body_flips);
+        }
+        (clreg, body_flips)
+    }
+
+    /// Executes one body op — idle draws, condition check, gate/measure/
+    /// reset, gate-noise draws — against the live register and state.
+    fn exec_op<S: SimState>(
+        &self,
+        op: &Op,
+        rng: &mut ChaCha8Rng,
+        state: &mut S,
+        clreg: &mut u64,
+        body_flips: &mut u64,
+    ) {
+        // Idle decoherence over the gaps preceding this instruction.
+        // (Fused programs carry no tables — fusion requires no noise.)
+        if let Some(tables) = &self.tables {
+            let index = op_index(op);
+            let instr = &self.circuit.instructions()[index];
+            for (slot, (draw, q)) in tables.idle[index].iter().zip(&instr.qubits).enumerate() {
+                match *draw {
+                    IdleDraw::Twirl(p) => {
+                        if p > 0.0 && rng.gen_bool(p) {
+                            let pauli = NoiseModel::random_pauli(rng);
+                            if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
+                                *body_flips ^= self.tail.carry_idle[index][slot];
+                            }
+                            state.apply_gate(&pauli, &[q.index()]);
+                        }
+                    }
+                    IdleDraw::Thermal { gamma, pz } => {
+                        if gamma > 0.0 {
+                            state.amplitude_damp(q.index(), gamma, rng);
+                        }
+                        if pz > 0.0 && rng.gen_bool(pz) {
+                            state.apply_gate(&Gate::Z, &[q.index()]);
+                        }
+                    }
+                }
+            }
+        }
+        match op {
+            Op::Unitary { cond, index, .. } => {
+                // Conditional gates consult the (possibly misread)
+                // register.
+                if let Some(bit) = cond {
+                    if *clreg >> bit & 1 == 0 {
+                        return;
+                    }
+                }
+                self.apply_unitary_op(op, state);
+                if let Some(tables) = &self.tables {
+                    let p = tables.gate[*index];
+                    if p > 0.0 {
+                        let instr = &self.circuit.instructions()[*index];
+                        for (slot, q) in instr.qubits.iter().enumerate() {
+                            if rng.gen_bool(p) {
                                 let pauli = NoiseModel::random_pauli(rng);
                                 if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0 {
-                                    body_flips ^= self.tail.carry_idle[index][slot];
+                                    *body_flips ^= self.tail.carry_gate[*index][slot];
                                 }
                                 state.apply_gate(&pauli, &[q.index()]);
                             }
                         }
-                        IdleDraw::Thermal { gamma, pz } => {
-                            if gamma > 0.0 {
-                                state.amplitude_damp(q.index(), gamma, rng);
-                            }
-                            if pz > 0.0 && rng.gen_bool(pz) {
-                                state.apply_gate(&Gate::Z, &[q.index()]);
-                            }
-                        }
                     }
                 }
             }
-            match op {
-                Op::Unitary { cond, index, .. } => {
-                    // Conditional gates consult the (possibly misread)
-                    // register.
-                    if let Some(bit) = cond {
-                        if clreg >> bit & 1 == 0 {
-                            continue;
-                        }
-                    }
-                    self.apply_unitary_op(op, state);
-                    if let Some(tables) = &self.tables {
-                        let p = tables.gate[*index];
-                        if p > 0.0 {
-                            let instr = &self.circuit.instructions()[*index];
-                            for (slot, q) in instr.qubits.iter().enumerate() {
-                                if rng.gen_bool(p) {
-                                    let pauli = NoiseModel::random_pauli(rng);
-                                    if matches!(pauli, Gate::X | Gate::Y) && self.tail.tail_len > 0
-                                    {
-                                        body_flips ^= self.tail.carry_gate[*index][slot];
-                                    }
-                                    state.apply_gate(&pauli, &[q.index()]);
-                                }
-                            }
-                        }
+            Op::Measure { q, clbit, index } => {
+                let mut bit = state.measure(*q, rng);
+                if let Some(tables) = &self.tables {
+                    let p = tables.readout[*index];
+                    if p > 0.0 && rng.gen_bool(p) {
+                        bit = !bit;
                     }
                 }
-                Op::Measure { q, clbit, index } => {
-                    let mut bit = state.measure(*q, rng);
-                    if let Some(tables) = &self.tables {
-                        let p = tables.readout[*index];
-                        if p > 0.0 && rng.gen_bool(p) {
-                            bit = !bit;
-                        }
-                    }
-                    if bit {
-                        clreg |= 1 << clbit;
-                    } else {
-                        clreg &= !(1 << clbit);
-                    }
+                if bit {
+                    *clreg |= 1 << clbit;
+                } else {
+                    *clreg &= !(1 << clbit);
                 }
-                Op::Reset { q, .. } => state.reset(*q, rng),
             }
+            Op::Reset { q, .. } => state.reset(*q, rng),
         }
-        (clreg, body_flips)
     }
 
     /// Samples the deferred measurement tail without collapsing `state`.
@@ -713,10 +1591,10 @@ impl ShotPlan<'_> {
     /// XOR-corrected by the deterministic flips from crossed X/Y gates
     /// (`base_flips`) and this shot's stochastic flips from body noise on
     /// the dead wire (`body_flips`, accumulated by [`ShotPlan::run_ops`]).
-    fn sample_tail(
+    fn sample_tail<S: SimState>(
         &self,
         rng: &mut ChaCha8Rng,
-        state: &StateVector,
+        state: &S,
         body_flips: u64,
         clreg: &mut u64,
     ) {
@@ -798,12 +1676,12 @@ impl ShotPlan<'_> {
 
     /// Applies one unitary op (condition already checked by the caller)
     /// through the kernel or the generic reference path.
-    fn apply_unitary_op(&self, op: &Op, state: &mut StateVector) {
+    fn apply_unitary_op<S: SimState>(&self, op: &Op, state: &mut S) {
         let Op::Unitary { kernel, index, .. } = op else {
             unreachable!("apply_unitary_op on a non-unitary op");
         };
         if self.kernels {
-            kernel.apply(state);
+            state.apply_kernel(kernel);
         } else {
             let instr = &self.circuit.instructions()[*index];
             let operands: Vec<usize> = instr.qubits.iter().map(|q| q.index()).collect();

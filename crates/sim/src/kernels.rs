@@ -96,6 +96,39 @@ pub enum Kernel {
         /// Factor on odd-parity basis states.
         odd: C64,
     },
+    /// A fused two-qubit unitary: a full 4x4 matrix over the pair,
+    /// indexed by the basis value `a_val + 2*b_val`.
+    U2 {
+        /// First qubit (weight 1 in the basis index).
+        a: usize,
+        /// Second qubit (weight 2 in the basis index).
+        b: usize,
+        /// Row-major 4x4 matrix.
+        m: [[C64; 4]; 4],
+    },
+    /// A diagonal fused pair: per-basis phase factors indexed by
+    /// `a_val + 2*b_val` (runs of CZ/CP/RZZ and diagonal 1q gates).
+    Diag2 {
+        /// First qubit (weight 1 in the basis index).
+        a: usize,
+        /// Second qubit (weight 2 in the basis index).
+        b: usize,
+        /// Diagonal factors.
+        d: [C64; 4],
+    },
+    /// A block-diagonal (controlled-form) fused pair: `m0` acts on `t`
+    /// where `c = 0` and `m1` where `c = 1` — two half-space 1q sweeps
+    /// instead of a full 4x4, the common shape for fused CX + 1q runs.
+    C2 {
+        /// Control qubit (selects the matrix, never mixed).
+        c: usize,
+        /// Target qubit.
+        t: usize,
+        /// Matrix on `t` in the `c = 0` half-space.
+        m0: [[C64; 2]; 2],
+        /// Matrix on `t` in the `c = 1` half-space.
+        m1: [[C64; 2]; 2],
+    },
 }
 
 impl Kernel {
@@ -181,6 +214,14 @@ impl Kernel {
             Kernel::Swap { a, b } => state.apply_swap(a, b),
             Kernel::CPhase { a, b, phase } => state.apply_cphase(a, b, phase),
             Kernel::Rzz { a, b, even, odd } => state.apply_rzz_factors(a, b, even, odd),
+            Kernel::U2 { a, b, ref m } => state.apply_2q(a, b, m),
+            Kernel::Diag2 { a, b, ref d } => state.diag_2q(a, b, d),
+            Kernel::C2 {
+                c,
+                t,
+                ref m0,
+                ref m1,
+            } => state.apply_c2(c, t, m0, m1),
         }
     }
 }
@@ -246,8 +287,85 @@ fn mat_mul(b: [[C64; 2]; 2], a: [[C64; 2]; 2]) -> [[C64; 2]; 2] {
     out
 }
 
+/// `b * a` for row-major 4x4 complex matrices (`a` applied first).
+fn mat_mul4(b: &[[C64; 4]; 4], a: &[[C64; 4]; 4]) -> [[C64; 4]; 4] {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for k in 0..4 {
+                acc += b[i][k] * a[k][j];
+            }
+            *cell = acc;
+        }
+    }
+    out
+}
+
+fn identity4() -> [[C64; 4]; 4] {
+    let mut m = [[C64::ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = C64::ONE;
+    }
+    m
+}
+
+/// Lifts a 1q matrix acting on the weight-1 (`pos = 0`) or weight-2
+/// (`pos = 1`) slot of a pair into the 4x4 `a_val + 2*b_val` basis.
+fn lift_1q(m: &[[C64; 2]; 2], pos: usize) -> [[C64; 4]; 4] {
+    let mut out = [[C64::ZERO; 4]; 4];
+    let (act, spec) = if pos == 0 { (1usize, 2usize) } else { (2, 1) };
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i & spec == j & spec {
+                *cell = m[usize::from(i & act != 0)][usize::from(j & act != 0)];
+            }
+        }
+    }
+    out
+}
+
+/// The 4x4 matrix of a fusible two-qubit kernel in the block basis
+/// `a_val + 2*b_val`, where `block_a` is the block's weight-1 wire.
+fn kernel_mat4(k: &Kernel, block_a: usize) -> [[C64; 4]; 4] {
+    let mut out = [[C64::ZERO; 4]; 4];
+    match *k {
+        Kernel::Cx { c, .. } => {
+            let (cw, tw) = if c == block_a {
+                (1usize, 2usize)
+            } else {
+                (2, 1)
+            };
+            // CX is a self-inverse permutation, so the row/column mapping
+            // is an involution and row-major fill is equivalent.
+            for (i, row) in out.iter_mut().enumerate() {
+                let j = if i & cw != 0 { i ^ tw } else { i };
+                row[j] = C64::ONE;
+            }
+        }
+        // CPhase and RZZ are symmetric in their operands.
+        Kernel::CPhase { phase, .. } => {
+            for (j, row) in out.iter_mut().enumerate() {
+                row[j] = if j == 3 { phase } else { C64::ONE };
+            }
+        }
+        Kernel::Rzz { even, odd, .. } => {
+            for (j, row) in out.iter_mut().enumerate() {
+                row[j] = if (j & 1) ^ (j >> 1) == 0 { even } else { odd };
+            }
+        }
+        _ => unreachable!("{k:?} is not a fusible two-qubit kernel"),
+    }
+    out
+}
+
 /// One step of a compiled circuit: a unitary kernel (optionally
 /// classically conditioned) or a stochastic boundary.
+///
+/// `Unitary` inlines its (large) fused [`Kernel`] by design: ops live in
+/// one contiguous `Vec` walked every shot, and boxing the kernel would
+/// trade the size for a pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Op {
     /// A unitary kernel. `cond` is the classical bit that gates it, and
@@ -374,7 +492,7 @@ impl CompiledCircuit {
     /// Panics if `order` indexes out of range.
     pub fn compile_fused_ordered(circuit: &Circuit, order: &[usize]) -> Self {
         let instrs = circuit.instructions();
-        let mut fuser = Fuser::new(circuit.num_qubits());
+        let mut fuser = PairFuser::new(circuit.num_qubits());
         let mut ops: Vec<Op> = Vec::with_capacity(order.len());
         let mut stats = FuseStats::default();
         for &index in order {
@@ -409,19 +527,32 @@ impl CompiledCircuit {
                 }
                 ref gate if gate.is_two_qubit() => {
                     let (a, b) = (instr.qubits[0].index(), instr.qubits[1].index());
-                    fuser.flush_wire(a, &mut ops, &mut stats);
-                    fuser.flush_wire(b, &mut ops, &mut stats);
                     stats.gates_in += 1;
-                    stats.kernels_out += 1;
-                    ops.push(Op::Unitary {
-                        kernel: Kernel::from_gate(gate, &[a, b]),
-                        cond: None,
-                        index,
-                    });
+                    if matches!(gate, Gate::Swap) {
+                        // A SWAP kernel is an O(1) wire relabel; folding it
+                        // into a 4x4 would turn free bookkeeping into
+                        // amplitude sweeps.
+                        fuser.flush_wire(a, &mut ops, &mut stats);
+                        fuser.flush_wire(b, &mut ops, &mut stats);
+                        stats.kernels_out += 1;
+                        ops.push(Op::Unitary {
+                            kernel: Kernel::Swap { a, b },
+                            cond: None,
+                            index,
+                        });
+                    } else {
+                        let kernel = Kernel::from_gate(gate, &[a, b]);
+                        fuser.absorb2(kernel, a, b, index, &mut ops, &mut stats);
+                    }
                 }
                 ref gate => {
                     stats.gates_in += 1;
-                    fuser.absorb(instr.qubits[0].index(), gate, index);
+                    fuser.absorb1(
+                        instr.qubits[0].index(),
+                        gate_matrix(gate),
+                        gate.is_diagonal(),
+                        index,
+                    );
                 }
             }
         }
@@ -493,30 +624,68 @@ struct Pending {
     last: usize,
 }
 
-/// Greedy single-qubit fuser.
-struct Fuser {
-    pending: Vec<Option<Pending>>,
+/// A pending fused pair block over wires `(a, b)`: the accumulated 4x4
+/// matrix in the `a_val + 2*b_val` basis, plus the bookkeeping needed to
+/// pick the cheapest kernel at flush time.
+struct PairBlock {
+    a: usize,
+    b: usize,
+    m: [[C64; 4]; 4],
+    /// Every folded factor was diagonal.
+    diagonal: bool,
+    /// Two-qubit kernels folded in.
+    twoq: usize,
+    /// Whether any single-qubit content was folded or lifted in.
+    mixed1q: bool,
+    /// The first folded 2q kernel, emitted verbatim when it stayed alone.
+    solo: Kernel,
+    first: usize,
+    last: usize,
 }
 
-impl Fuser {
+/// Greedy 1q + pair fuser. Single-qubit runs accumulate per wire exactly
+/// like the original fuser; when a two-qubit gate arrives, the runs on
+/// its wires lift into a 4x4 pair block that keeps absorbing 1q and 2q
+/// gates on that pair until a conflicting pair, SWAP, or boundary flushes
+/// it. Disjoint-support unitaries commute, so interleaved work on other
+/// wires floats past pending runs and blocks unchanged.
+struct PairFuser {
+    pending: Vec<Option<Pending>>,
+    blocks: Vec<Option<PairBlock>>,
+    wire_block: Vec<Option<usize>>,
+}
+
+impl PairFuser {
     fn new(num_qubits: usize) -> Self {
-        Fuser {
+        PairFuser {
             pending: (0..num_qubits).map(|_| None).collect(),
+            blocks: Vec::new(),
+            wire_block: vec![None; num_qubits],
         }
     }
 
-    fn absorb(&mut self, q: usize, gate: &Gate, index: usize) {
-        let m = gate_matrix(gate);
+    fn absorb1(&mut self, q: usize, m: [[C64; 2]; 2], diagonal: bool, index: usize) {
+        if let Some(bi) = self.wire_block[q] {
+            let blk = self.blocks[bi]
+                .as_mut()
+                .expect("wire points at a live block");
+            let pos = usize::from(q == blk.b);
+            blk.m = mat_mul4(&lift_1q(&m, pos), &blk.m);
+            blk.diagonal &= diagonal;
+            blk.mixed1q = true;
+            blk.last = index;
+            return;
+        }
         match &mut self.pending[q] {
             Some(p) => {
                 p.m = mat_mul(m, p.m);
-                p.diagonal &= gate.is_diagonal();
+                p.diagonal &= diagonal;
                 p.last = index;
             }
             slot => {
                 *slot = Some(Pending {
                     m,
-                    diagonal: gate.is_diagonal(),
+                    diagonal,
                     first: index,
                     last: index,
                 });
@@ -524,8 +693,92 @@ impl Fuser {
         }
     }
 
+    /// Absorbs a fusible two-qubit kernel (CX/CZ/CP/RZZ) on `(a, b)`:
+    /// folds into the live block on that exact pair, otherwise flushes
+    /// whatever holds either wire and opens a fresh block seeded with the
+    /// wires' pending 1q runs.
+    fn absorb2(
+        &mut self,
+        kernel: Kernel,
+        a: usize,
+        b: usize,
+        index: usize,
+        ops: &mut Vec<Op>,
+        stats: &mut FuseStats,
+    ) {
+        let diagonal2 = matches!(kernel, Kernel::CPhase { .. } | Kernel::Rzz { .. });
+        match (self.wire_block[a], self.wire_block[b]) {
+            (Some(i), Some(j)) if i == j => {
+                let blk = self.blocks[i]
+                    .as_mut()
+                    .expect("wire points at a live block");
+                blk.m = mat_mul4(&kernel_mat4(&kernel, blk.a), &blk.m);
+                blk.diagonal &= diagonal2;
+                blk.twoq += 1;
+                blk.last = index;
+                return;
+            }
+            (ia, ib) => {
+                if let Some(i) = ia {
+                    self.flush_block(i, ops, stats);
+                }
+                if let Some(j) = ib {
+                    self.flush_block(j, ops, stats);
+                }
+            }
+        }
+        let mut m = identity4();
+        let mut diagonal = diagonal2;
+        let mut mixed1q = false;
+        let mut first = index;
+        for (pos, q) in [(0usize, a), (1, b)] {
+            if let Some(p) = self.pending[q].take() {
+                m = mat_mul4(&lift_1q(&p.m, pos), &m);
+                diagonal &= p.diagonal;
+                mixed1q = true;
+                first = first.min(p.first);
+            }
+        }
+        m = mat_mul4(&kernel_mat4(&kernel, a), &m);
+        let slot = self
+            .blocks
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.blocks.push(None);
+                self.blocks.len() - 1
+            });
+        self.blocks[slot] = Some(PairBlock {
+            a,
+            b,
+            m,
+            diagonal,
+            twoq: 1,
+            mixed1q,
+            solo: kernel,
+            first,
+            last: index,
+        });
+        self.wire_block[a] = Some(slot);
+        self.wire_block[b] = Some(slot);
+    }
+
+    fn flush_block(&mut self, i: usize, ops: &mut Vec<Op>, stats: &mut FuseStats) {
+        let blk = self.blocks[i].take().expect("flushing a live block");
+        self.wire_block[blk.a] = None;
+        self.wire_block[blk.b] = None;
+        stats.kernels_out += 1;
+        ops.push(Op::Unitary {
+            index: blk.last,
+            kernel: specialize_pair(blk),
+            cond: None,
+        });
+    }
+
     fn flush_wire(&mut self, q: usize, ops: &mut Vec<Op>, stats: &mut FuseStats) {
-        if let Some(p) = self.pending[q].take() {
+        if let Some(bi) = self.wire_block[q] {
+            self.flush_block(bi, ops, stats);
+        } else if let Some(p) = self.pending[q].take() {
             stats.kernels_out += 1;
             ops.push(Op::Unitary {
                 kernel: specialize(q, &p),
@@ -535,25 +788,88 @@ impl Fuser {
         }
     }
 
-    /// Flushes every pending run, in order of each run's first gate, so
-    /// emission is deterministic (the runs act on disjoint wires, so any
-    /// order is mathematically equivalent).
+    /// Flushes every pending run and block, in order of each one's first
+    /// gate, so emission is deterministic (the runs act on disjoint wires,
+    /// so any order is mathematically equivalent).
     fn flush_all(&mut self, ops: &mut Vec<Op>, stats: &mut FuseStats) {
-        let mut runs: Vec<(usize, Pending)> = Vec::new();
+        // A short-lived sorting scratch; the PairBlock payload is large
+        // but there is at most one entry per wire, so no boxing.
+        #[allow(clippy::large_enum_variant)]
+        enum Run {
+            One(usize, Pending),
+            Pair(PairBlock),
+        }
+        let mut runs: Vec<(usize, Run)> = Vec::new();
         for (q, slot) in self.pending.iter_mut().enumerate() {
             if let Some(p) = slot.take() {
-                runs.push((q, p));
+                runs.push((p.first, Run::One(q, p)));
             }
         }
-        runs.sort_by_key(|(_, p)| p.first);
-        for (q, p) in runs {
+        for i in 0..self.blocks.len() {
+            if let Some(b) = self.blocks[i].take() {
+                self.wire_block[b.a] = None;
+                self.wire_block[b.b] = None;
+                runs.push((b.first, Run::Pair(b)));
+            }
+        }
+        runs.sort_by_key(|(first, _)| *first);
+        for (_, run) in runs {
             stats.kernels_out += 1;
+            let (kernel, index) = match run {
+                Run::One(q, p) => (specialize(q, &p), p.last),
+                Run::Pair(b) => {
+                    let last = b.last;
+                    (specialize_pair(b), last)
+                }
+            };
             ops.push(Op::Unitary {
-                kernel: specialize(q, &p),
+                kernel,
                 cond: None,
-                index: p.last,
+                index,
             });
         }
+    }
+}
+
+/// Picks the cheapest kernel for a fused pair block: the original kernel
+/// when the block holds exactly one unmixed 2q gate, a diagonal sweep
+/// when every factor was diagonal, a controlled-form pair when the matrix
+/// is block-diagonal in one wire, the full 4x4 otherwise.
+fn specialize_pair(blk: PairBlock) -> Kernel {
+    if blk.twoq == 1 && !blk.mixed1q {
+        return blk.solo;
+    }
+    let m = &blk.m;
+    if blk.diagonal {
+        return Kernel::Diag2 {
+            a: blk.a,
+            b: blk.b,
+            d: [m[0][0], m[1][1], m[2][2], m[3][3]],
+        };
+    }
+    // Block-diagonal in the weight-2 wire: nothing mixes the b bit, so b
+    // acts as a control selecting a 2x2 on a.
+    if (0..4).all(|i| (0..4).all(|j| (i ^ j) & 2 == 0 || m[i][j] == C64::ZERO)) {
+        return Kernel::C2 {
+            c: blk.b,
+            t: blk.a,
+            m0: [[m[0][0], m[0][1]], [m[1][0], m[1][1]]],
+            m1: [[m[2][2], m[2][3]], [m[3][2], m[3][3]]],
+        };
+    }
+    // Block-diagonal in the weight-1 wire.
+    if (0..4).all(|i| (0..4).all(|j| (i ^ j) & 1 == 0 || m[i][j] == C64::ZERO)) {
+        return Kernel::C2 {
+            c: blk.a,
+            t: blk.b,
+            m0: [[m[0][0], m[0][2]], [m[2][0], m[2][2]]],
+            m1: [[m[1][1], m[1][3]], [m[3][1], m[3][3]]],
+        };
+    }
+    Kernel::U2 {
+        a: blk.a,
+        b: blk.b,
+        m: blk.m,
     }
 }
 
@@ -575,12 +891,100 @@ fn specialize(q: usize, p: &Pending) -> Kernel {
     } else {
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let h = [[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]];
+        let x = [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]];
         if p.m == h {
             Kernel::Had { q }
+        } else if p.m == x {
+            Kernel::FlipX { q }
         } else {
             Kernel::U1 { q, m: p.m }
         }
     }
+}
+
+/// Conjugates the Pauli `X^x Z^z` (logical-qubit masks, global phase
+/// dropped) leftward through `kernel`: returns `(x', z')` such that
+/// `K * P = P' * K` up to global phase, or `None` when the conjugate
+/// leaves the Pauli group (a non-Clifford kernel met an anticommuting
+/// component, e.g. `T` against an `X`). Global phases are unobservable —
+/// every later probability is an `|amp|^2` — so dropping them keeps
+/// histograms bit-identical.
+pub(crate) fn conjugate_pauli(kernel: &Kernel, x: u64, z: u64) -> Option<(u64, u64)> {
+    let bit = |q: usize| 1u64 << q;
+    Some(match *kernel {
+        Kernel::FlipX { .. } => (x, z),
+        Kernel::Phase { q, m1 } => {
+            if x & bit(q) == 0 || m1 == C64::real(-1.0) {
+                (x, z)
+            } else if m1 == C64::I || m1 == -C64::I {
+                // S / S-dagger: X -> +-Y.
+                (x, z ^ bit(q))
+            } else {
+                return None;
+            }
+        }
+        Kernel::Diag { q, .. } => {
+            if x & bit(q) == 0 {
+                (x, z)
+            } else {
+                return None;
+            }
+        }
+        Kernel::Had { q } => {
+            let (xb, zb) = ((x >> q) & 1, (z >> q) & 1);
+            ((x & !bit(q)) | (zb << q), (z & !bit(q)) | (xb << q))
+        }
+        Kernel::U1 { q, .. } => {
+            if (x | z) & bit(q) == 0 {
+                (x, z)
+            } else {
+                return None;
+            }
+        }
+        Kernel::Cx { c, t } => {
+            let mut nx = x;
+            let mut nz = z;
+            if x & bit(c) != 0 {
+                nx ^= bit(t);
+            }
+            if z & bit(t) != 0 {
+                nz ^= bit(c);
+            }
+            (nx, nz)
+        }
+        Kernel::Swap { a, b } => {
+            let swap = |m: u64| {
+                let (ab, bb) = ((m >> a) & 1, (m >> b) & 1);
+                (m & !(bit(a) | bit(b))) | (bb << a) | (ab << b)
+            };
+            (swap(x), swap(z))
+        }
+        Kernel::CPhase { a, b, phase } => {
+            if x & (bit(a) | bit(b)) == 0 {
+                (x, z)
+            } else if phase == C64::real(-1.0) {
+                // CZ: X on one wire grows a Z on the other.
+                let mut nz = z;
+                if x & bit(a) != 0 {
+                    nz ^= bit(b);
+                }
+                if x & bit(b) != 0 {
+                    nz ^= bit(a);
+                }
+                (x, nz)
+            } else {
+                return None;
+            }
+        }
+        Kernel::Rzz { a, b, .. } => {
+            if x & (bit(a) | bit(b)) == 0 {
+                (x, z)
+            } else {
+                return None;
+            }
+        }
+        Kernel::U2 { .. } | Kernel::Diag2 { .. } | Kernel::C2 { .. } => return None,
+    })
 }
 
 fn operand_indices(instr: &Instruction) -> Vec<usize> {
@@ -719,5 +1123,113 @@ mod tests {
     #[should_panic(expected = "non-unitary")]
     fn measure_has_no_kernel() {
         Kernel::from_gate(&Gate::Measure, &[0]);
+    }
+
+    /// |++> on two wires — pair-kernel tests start from a superposition so
+    /// diagonal and controlled sweeps have something to act on.
+    fn plus_plus() -> StateVector {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::H, &[0]);
+        s.apply_gate(&Gate::H, &[1]);
+        s
+    }
+
+    #[test]
+    fn pair_fusion_merges_cx_chains_into_one_kernel() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0));
+        c.cx(q(0), q(1));
+        c.t(q(1));
+        c.cx(q(0), q(1));
+        c.h(q(1));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert_eq!(compiled.stats().kernels_out, 1, "{:?}", compiled.ops());
+        let mut s = StateVector::zero(2);
+        compiled.apply_unitaries(&mut s, 0);
+        assert_states_close(&s, &reference_state(&c), 1e-12);
+    }
+
+    #[test]
+    fn lone_cx_keeps_its_specialized_kernel() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(0), q(1));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert!(matches!(
+            compiled.ops()[0],
+            Op::Unitary {
+                kernel: Kernel::Cx { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn diagonal_pair_runs_specialize_to_diag2() {
+        let mut c = Circuit::new(2, 0);
+        c.cz(q(0), q(1));
+        c.t(q(0));
+        c.rzz(0.3, q(0), q(1));
+        c.cp(0.7, q(1), q(0));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert_eq!(compiled.ops().len(), 1);
+        assert!(matches!(
+            compiled.ops()[0],
+            Op::Unitary {
+                kernel: Kernel::Diag2 { .. },
+                ..
+            }
+        ));
+        let mut s = plus_plus();
+        compiled.apply_unitaries(&mut s, 0);
+        let mut r = plus_plus();
+        for instr in c.iter() {
+            let ops: Vec<usize> = instr.qubits.iter().map(|x| x.index()).collect();
+            r.apply_gate(&instr.gate, &ops);
+        }
+        assert_states_close(&s, &r, 1e-12);
+    }
+
+    #[test]
+    fn controlled_form_blocks_specialize_to_c2() {
+        // CX then T/Tdg on the target: block-diagonal in the control —
+        // the shape every Toffoli decomposition chains.
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(0), q(1));
+        c.tdg(q(1));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        assert_eq!(compiled.ops().len(), 1);
+        assert!(matches!(
+            compiled.ops()[0],
+            Op::Unitary {
+                kernel: Kernel::C2 { .. },
+                ..
+            }
+        ));
+        let mut s = plus_plus();
+        compiled.apply_unitaries(&mut s, 0);
+        let mut r = plus_plus();
+        for instr in c.iter() {
+            let ops: Vec<usize> = instr.qubits.iter().map(|x| x.index()).collect();
+            r.apply_gate(&instr.gate, &ops);
+        }
+        assert_states_close(&s, &r, 1e-12);
+    }
+
+    #[test]
+    fn conflicting_pairs_flush_cleanly() {
+        // CXs walking down a line: each new pair must flush the previous
+        // block; the result still matches the reference.
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0));
+        c.cx(q(0), q(1));
+        c.t(q(1));
+        c.cx(q(1), q(2));
+        c.h(q(2));
+        c.cx(q(0), q(2));
+        let compiled = CompiledCircuit::compile_fused(&c);
+        let mut s = StateVector::zero(3);
+        compiled.apply_unitaries(&mut s, 0);
+        assert_states_close(&s, &reference_state(&c), 1e-12);
+        assert!(compiled.stats().kernels_out < compiled.stats().gates_in);
     }
 }

@@ -47,11 +47,14 @@ pub mod kernels;
 pub mod metrics;
 pub mod noise;
 pub mod parallel;
+mod sparse;
 pub mod state;
+pub mod tableau;
+mod wide;
 
 pub use complex::C64;
 pub use counts::Counts;
-pub use exec::{Executor, Interrupted, ShotReport};
+pub use exec::{Engine, Executor, Interrupted, KernelDispatch, ShotReport};
 pub use kernels::CompiledCircuit;
 pub use noise::NoiseModel;
 pub use parallel::{effective_workers, shot_rng};

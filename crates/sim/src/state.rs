@@ -1,6 +1,7 @@
 //! Dense state-vector representation and gate application.
 
 use crate::complex::C64;
+use crate::wide;
 use caqr_circuit::Gate;
 use rand::Rng;
 
@@ -38,6 +39,10 @@ pub struct StateVector {
     amps: Vec<C64>,
     /// `map[q]` = physical bit position of logical qubit `q`.
     map: Vec<usize>,
+    /// Route eligible runs through the lane-parallel kernel bodies
+    /// ([`crate::wide`]). Bit-identical to the scalar bodies; only
+    /// throughput changes.
+    wide: bool,
 }
 
 impl StateVector {
@@ -54,7 +59,15 @@ impl StateVector {
             n,
             amps,
             map: (0..n).collect(),
+            wide: true,
         }
+    }
+
+    /// Selects the wide (lane-parallel) or scalar kernel bodies for this
+    /// state. Both produce bit-identical amplitudes; the executor threads
+    /// its `kernel_dispatch` setting through here.
+    pub fn set_wide(&mut self, on: bool) {
+        self.wide = on;
     }
 
     /// The number of qubits.
@@ -62,10 +75,50 @@ impl StateVector {
         self.n
     }
 
+    /// Builds a state directly from `2^n` amplitudes with an identity bit
+    /// permutation (the tableau-to-dense handoff writes amplitudes in
+    /// logical order).
+    pub(crate) fn from_amps(n: usize, amps: Vec<C64>) -> Self {
+        assert!(n <= MAX_QUBITS, "{n} qubits exceed the dense limit");
+        assert_eq!(amps.len(), 1 << n, "amplitude count mismatch");
+        StateVector {
+            n,
+            amps,
+            map: (0..n).collect(),
+            wide: true,
+        }
+    }
+
     /// The physical bit position of logical qubit `q` under the current
     /// SWAP-absorbing permutation.
     pub(crate) fn phys_bit(&self, q: usize) -> usize {
         self.map[q]
+    }
+
+    /// The raw physical-order amplitude storage (see [`Self::phys_bit`]
+    /// for the logical-to-physical translation). The sparse engine
+    /// ([`crate::sparse`]) uses this as its dense backing.
+    pub(crate) fn amps(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable access to the raw physical-order amplitude storage.
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Copies the SWAP-absorbing bit permutation from `src` (the sparse
+    /// engine's O(support) fork copies amplitudes itself).
+    pub(crate) fn copy_map_from(&mut self, src: &StateVector) {
+        self.map.copy_from_slice(&src.map);
+    }
+
+    /// Resets the bit permutation to the identity without touching
+    /// amplitudes.
+    pub(crate) fn reset_map(&mut self) {
+        for (q, b) in self.map.iter_mut().enumerate() {
+            *b = q;
+        }
     }
 
     /// Translates a logical basis index through the bit permutation.
@@ -224,11 +277,7 @@ impl StateVector {
         }
         for block in self.amps.chunks_exact_mut(bit << 1) {
             let (lo, hi) = block.split_at_mut(bit);
-            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                let (a0, a1) = (*x, *y);
-                *x = m[0][0] * a0 + m[0][1] * a1;
-                *y = m[1][0] * a0 + m[1][1] * a1;
-            }
+            wide::mix_pairs(lo, hi, &m, self.wide);
         }
     }
 
@@ -243,9 +292,7 @@ impl StateVector {
             return;
         }
         for block in self.amps.chunks_exact_mut(bit << 1) {
-            for a in &mut block[bit..] {
-                *a = phase * *a;
-            }
+            wide::scale_run(&mut block[bit..], phase, self.wide);
         }
     }
 
@@ -264,11 +311,7 @@ impl StateVector {
         }
         for block in self.amps.chunks_exact_mut(bit << 1) {
             let (lo, hi) = block.split_at_mut(bit);
-            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                let (a0, a1) = (*x, *y);
-                *x = (a0 + a1).scale(s);
-                *y = (a0 - a1).scale(s);
-            }
+            wide::had_pairs(lo, hi, self.wide);
         }
     }
 
@@ -307,12 +350,8 @@ impl StateVector {
         }
         for block in self.amps.chunks_exact_mut(bit << 1) {
             let (lo, hi) = block.split_at_mut(bit);
-            for a in lo {
-                *a = m0 * *a;
-            }
-            for a in hi {
-                *a = m1 * *a;
-            }
+            wide::scale_run(lo, m0, self.wide);
+            wide::scale_run(hi, m1, self.wide);
         }
     }
 
@@ -390,9 +429,7 @@ impl StateVector {
                 }
             } else {
                 for run in upper.chunks_exact_mut(small << 1) {
-                    for amp in &mut run[small..] {
-                        *amp = phase * *amp;
-                    }
+                    wide::scale_run(&mut run[small..], phase, self.wide);
                 }
             }
         }
@@ -402,23 +439,20 @@ impl StateVector {
     /// sweep: each larger-bit half scales its smaller-bit halves by the
     /// matching parity factor (the factor pair flips between halves).
     pub(crate) fn apply_rzz_factors(&mut self, a: usize, b: usize, even: C64, odd: C64) {
-        fn scale_halves(half: &mut [C64], small: usize, f0: C64, f1: C64) {
+        fn scale_halves(half: &mut [C64], small: usize, f0: C64, f1: C64, w: bool) {
             for run in half.chunks_exact_mut(small << 1) {
                 let (lo, hi) = run.split_at_mut(small);
-                for amp in lo {
-                    *amp = f0 * *amp;
-                }
-                for amp in hi {
-                    *amp = f1 * *amp;
-                }
+                wide::scale_run(lo, f0, w);
+                wide::scale_run(hi, f1, w);
             }
         }
         let (ab, bb) = (1usize << self.map[a], 1usize << self.map[b]);
         let (small, large) = (ab.min(bb), ab.max(bb));
+        let w = self.wide;
         for block in self.amps.chunks_exact_mut(large << 1) {
             let (lo, hi) = block.split_at_mut(large);
-            scale_halves(lo, small, even, odd);
-            scale_halves(hi, small, odd, even);
+            scale_halves(lo, small, even, odd, w);
+            scale_halves(hi, small, odd, even, w);
         }
     }
 
@@ -430,6 +464,220 @@ impl StateVector {
     /// bit positions and no amplitude moves.
     pub(crate) fn apply_swap(&mut self, a: usize, b: usize) {
         self.map.swap(a, b);
+    }
+
+    /// Applies a general 4x4 unitary to logical qubits `(a, b)`, where the
+    /// matrix is indexed by the 2-bit basis value `a_val + 2*b_val`. This
+    /// is the fused-pair kernel: one sweep replaces an arbitrary run of 1q
+    /// and 2q gates on the pair.
+    ///
+    /// The walk visits quads as four equal runs of the smaller physical
+    /// bit inside blocks of the larger; the matrix is permuted once per
+    /// call into the physical (small, large) convention so the inner loop
+    /// stays oblivious to the SWAP-absorbing bit permutation.
+    pub(crate) fn apply_2q(&mut self, a: usize, b: usize, m: &[[C64; 4]; 4]) {
+        let (pa, pb) = (1usize << self.map[a], 1usize << self.map[b]);
+        let (small, large) = (pa.min(pb), pa.max(pb));
+        // Physical quad index is s + 2*l (s = small bit, l = large bit);
+        // logical index gives qubit `a` weight 1 and `b` weight 2.
+        let (js, jl) = if pa < pb { (1usize, 2) } else { (2usize, 1) };
+        let perm = [0, js, jl, js + jl];
+        let mut pm = [[C64::ZERO; 4]; 4];
+        for (pr, r) in perm.iter().enumerate() {
+            for (pc, c) in perm.iter().enumerate() {
+                pm[pr][pc] = m[*r][*c];
+            }
+        }
+        let w = self.wide;
+        for block in self.amps.chunks_exact_mut(large << 1) {
+            let (l0, l1) = block.split_at_mut(large);
+            if small == 1 {
+                for (p0, p1) in l0.chunks_exact_mut(2).zip(l1.chunks_exact_mut(2)) {
+                    let v = [p0[0], p0[1], p1[0], p1[1]];
+                    let mut out = [C64::ZERO; 4];
+                    for (row, o) in pm.iter().zip(out.iter_mut()) {
+                        let mut acc = C64::ZERO;
+                        for (c, amp) in row.iter().zip(v.iter()) {
+                            acc += C64::new(
+                                c.re * amp.re - c.im * amp.im,
+                                c.re * amp.im + c.im * amp.re,
+                            );
+                        }
+                        *o = acc;
+                    }
+                    p0[0] = out[0];
+                    p0[1] = out[1];
+                    p1[0] = out[2];
+                    p1[1] = out[3];
+                }
+            } else {
+                for (c0, c1) in l0
+                    .chunks_exact_mut(small << 1)
+                    .zip(l1.chunks_exact_mut(small << 1))
+                {
+                    let (r00, r01) = c0.split_at_mut(small);
+                    let (r10, r11) = c1.split_at_mut(small);
+                    wide::mix_quads([r00, r01, r10, r11], &pm, w);
+                }
+            }
+        }
+    }
+
+    /// Applies a diagonal 4x4 (entries indexed by `a_val + 2*b_val`) as
+    /// four scale sweeps — the specialization for fused runs of
+    /// RZ/RZZ/CZ-like gates on a pair. Identity entries skip their run.
+    pub(crate) fn diag_2q(&mut self, a: usize, b: usize, d: &[C64; 4]) {
+        let (pa, pb) = (1usize << self.map[a], 1usize << self.map[b]);
+        let (small, large) = (pa.min(pb), pa.max(pb));
+        let (js, jl) = if pa < pb { (1usize, 2) } else { (2usize, 1) };
+        // pd[s + 2*l] = logical entry for that physical quad.
+        let pd = [d[0], d[js], d[jl], d[js + jl]];
+        let w = self.wide;
+        for block in self.amps.chunks_exact_mut(large << 1) {
+            let (l0, l1) = block.split_at_mut(large);
+            for (half, fs) in [(l0, [pd[0], pd[1]]), (l1, [pd[2], pd[3]])] {
+                for run in half.chunks_exact_mut(small << 1) {
+                    let (lo, hi) = run.split_at_mut(small);
+                    if fs[0] != C64::ONE {
+                        wide::scale_run(lo, fs[0], w);
+                    }
+                    if fs[1] != C64::ONE {
+                        wide::scale_run(hi, fs[1], w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a controlled-pair kernel: 2x2 matrix `m0` on `target` where
+    /// `control = 0` and `m1` where `control = 1`. This is the
+    /// block-diagonal specialization of [`Self::apply_2q`] — two half-space
+    /// 1q sweeps instead of a full 4x4, and the common shape for fused
+    /// CX/CZ + 1q runs.
+    pub(crate) fn apply_c2(
+        &mut self,
+        control: usize,
+        target: usize,
+        m0: &[[C64; 2]; 2],
+        m1: &[[C64; 2]; 2],
+    ) {
+        const ID2: [[C64; 2]; 2] = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+        // A half-space whose matrix is exactly the identity needs no sweep
+        // (common: a lone CX fused with diagonals on its control).
+        let (do0, do1) = (*m0 != ID2, *m1 != ID2);
+        fn oneq_in(amps: &mut [C64], bit: usize, m: &[[C64; 2]; 2], w: bool) {
+            if bit == 1 {
+                for pair in amps.chunks_exact_mut(2) {
+                    let (a0, a1) = (pair[0], pair[1]);
+                    pair[0] = m[0][0] * a0 + m[0][1] * a1;
+                    pair[1] = m[1][0] * a0 + m[1][1] * a1;
+                }
+                return;
+            }
+            for block in amps.chunks_exact_mut(bit << 1) {
+                let (lo, hi) = block.split_at_mut(bit);
+                wide::mix_pairs(lo, hi, m, w);
+            }
+        }
+        let (cb, tb) = (1usize << self.map[control], 1usize << self.map[target]);
+        let w = self.wide;
+        if cb > tb {
+            // Control is the outer bit: each control half is a contiguous
+            // sub-space; run the plain 1q walk on the target inside it.
+            for block in self.amps.chunks_exact_mut(cb << 1) {
+                let (c0, c1) = block.split_at_mut(cb);
+                if do0 {
+                    oneq_in(c0, tb, m0, w);
+                }
+                if do1 {
+                    oneq_in(c1, tb, m1, w);
+                }
+            }
+        } else {
+            // Target is the outer bit: pair up target halves, then split
+            // each run by the control bit and mix with the matching matrix.
+            for block in self.amps.chunks_exact_mut(tb << 1) {
+                let (t0, t1) = block.split_at_mut(tb);
+                if cb == 1 {
+                    for (x2, y2) in t0.chunks_exact_mut(2).zip(t1.chunks_exact_mut(2)) {
+                        if do0 {
+                            let (a0, a1) = (x2[0], y2[0]);
+                            x2[0] = m0[0][0] * a0 + m0[0][1] * a1;
+                            y2[0] = m0[1][0] * a0 + m0[1][1] * a1;
+                        }
+                        if do1 {
+                            let (b0, b1) = (x2[1], y2[1]);
+                            x2[1] = m1[0][0] * b0 + m1[0][1] * b1;
+                            y2[1] = m1[1][0] * b0 + m1[1][1] * b1;
+                        }
+                    }
+                } else {
+                    for (r0, r1) in t0
+                        .chunks_exact_mut(cb << 1)
+                        .zip(t1.chunks_exact_mut(cb << 1))
+                    {
+                        let (r0c0, r0c1) = r0.split_at_mut(cb);
+                        let (r1c0, r1c1) = r1.split_at_mut(cb);
+                        if do0 {
+                            wide::mix_pairs(r0c0, r1c0, m0, w);
+                        }
+                        if do1 {
+                            wide::mix_pairs(r0c1, r1c1, m1, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the Pauli `X^x Z^z` (logical-qubit masks, Z first, global
+    /// phase dropped) in one sweep: `out[b ^ x] = (-1)^|b & z| * in[b]`.
+    /// This materializes the carried Pauli frame of the fused replay path.
+    pub(crate) fn apply_pauli_masks(&mut self, x: u64, z: u64) {
+        let mut xm = 0usize;
+        let mut zm = 0usize;
+        for q in 0..self.n {
+            if x >> q & 1 == 1 {
+                xm |= 1 << self.map[q];
+            }
+            if z >> q & 1 == 1 {
+                zm |= 1 << self.map[q];
+            }
+        }
+        if xm == 0 {
+            if zm == 0 {
+                return;
+            }
+            for (b, a) in self.amps.iter_mut().enumerate() {
+                if (b & zm).count_ones() & 1 == 1 {
+                    *a = -*a;
+                }
+            }
+            return;
+        }
+        // Pair each index with its X-partner via the highest flipped bit;
+        // the partner differs only in bits <= hb, so both live in the same
+        // block and each unordered pair is visited exactly once.
+        let hb = 1usize << (usize::BITS - 1 - xm.leading_zeros());
+        let len = self.amps.len();
+        let mut start = 0;
+        while start < len {
+            for i in start..start + hb {
+                let p = i ^ xm;
+                let (ai, ap) = (self.amps[i], self.amps[p]);
+                self.amps[p] = if (i & zm).count_ones() & 1 == 1 {
+                    -ai
+                } else {
+                    ai
+                };
+                self.amps[i] = if (p & zm).count_ones() & 1 == 1 {
+                    -ap
+                } else {
+                    ap
+                };
+            }
+            start += hb << 1;
+        }
     }
 
     /// Sum of `|amp|^2` over the basis states whose bits under `mask`

@@ -1,0 +1,140 @@
+//! Lane-parallel kernel bodies for the dense state-vector hot loops.
+//!
+//! Every function here processes amplitude runs in fixed blocks of
+//! [`LANES`] complex numbers (8 `f64` lanes), with loads, arithmetic, and
+//! stores separated into straight-line per-lane statements over local
+//! arrays. That shape is what LLVM's SLP/loop vectorizers turn into packed
+//! SSE2/AVX2 code on the portable x86-64 baseline — no `std::arch`
+//! intrinsics, no `unsafe` (the workspace forbids it).
+//!
+//! **Bit-exactness contract:** for each amplitude, the wide bodies perform
+//! exactly the same floating-point operations in exactly the same order as
+//! the scalar fallbacks — lanes only batch *independent* elements, never
+//! reassociate within one. The runtime `wide` flag (surfaced as
+//! `kernel_dispatch` in [`crate::exec::ShotReport`]) therefore changes
+//! throughput, never histograms; the property suite asserts this.
+//!
+//! Runs whose length is not a multiple of [`LANES`] (strides 1 and 2 under
+//! the block walk) take the scalar body regardless of the flag — that is
+//! the per-call half of the dispatch; the flag is the per-run half.
+
+use crate::complex::C64;
+
+/// Complex numbers per wide block (8 `f64` lanes).
+pub(crate) const LANES: usize = 4;
+
+/// Applies a 2x2 matrix to amplitude pairs `(lo[i], hi[i])`.
+#[inline]
+pub(crate) fn mix_pairs(lo: &mut [C64], hi: &mut [C64], m: &[[C64; 2]; 2], wide: bool) {
+    debug_assert_eq!(lo.len(), hi.len());
+    if wide && lo.len().is_multiple_of(LANES) {
+        let (m00, m01, m10, m11) = (m[0][0], m[0][1], m[1][0], m[1][1]);
+        for (lb, hb) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            let mut o0 = [C64::ZERO; LANES];
+            let mut o1 = [C64::ZERO; LANES];
+            for k in 0..LANES {
+                let (a0, a1) = (lb[k], hb[k]);
+                o0[k] = C64::new(
+                    (m00.re * a0.re - m00.im * a0.im) + (m01.re * a1.re - m01.im * a1.im),
+                    (m00.re * a0.im + m00.im * a0.re) + (m01.re * a1.im + m01.im * a1.re),
+                );
+                o1[k] = C64::new(
+                    (m10.re * a0.re - m10.im * a0.im) + (m11.re * a1.re - m11.im * a1.im),
+                    (m10.re * a0.im + m10.im * a0.re) + (m11.re * a1.im + m11.im * a1.re),
+                );
+            }
+            lb.copy_from_slice(&o0);
+            hb.copy_from_slice(&o1);
+        }
+        return;
+    }
+    for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (a0, a1) = (*x, *y);
+        *x = m[0][0] * a0 + m[0][1] * a1;
+        *y = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+/// Hadamard body: lane-wise sums/differences and one real scale.
+#[inline]
+pub(crate) fn had_pairs(lo: &mut [C64], hi: &mut [C64], wide: bool) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    debug_assert_eq!(lo.len(), hi.len());
+    if wide && lo.len().is_multiple_of(LANES) {
+        for (lb, hb) in lo.chunks_exact_mut(LANES).zip(hi.chunks_exact_mut(LANES)) {
+            for k in 0..LANES {
+                let (a0, a1) = (lb[k], hb[k]);
+                lb[k] = C64::new((a0.re + a1.re) * s, (a0.im + a1.im) * s);
+                hb[k] = C64::new((a0.re - a1.re) * s, (a0.im - a1.im) * s);
+            }
+        }
+        return;
+    }
+    for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (a0, a1) = (*x, *y);
+        *x = (a0 + a1).scale(s);
+        *y = (a0 - a1).scale(s);
+    }
+}
+
+/// Multiplies every amplitude in `run` by `f` (diagonal/phase body).
+#[inline]
+pub(crate) fn scale_run(run: &mut [C64], f: C64, wide: bool) {
+    if wide && run.len().is_multiple_of(LANES) {
+        for block in run.chunks_exact_mut(LANES) {
+            for a in block.iter_mut().take(LANES) {
+                *a = C64::new(f.re * a.re - f.im * a.im, f.re * a.im + f.im * a.re);
+            }
+        }
+        return;
+    }
+    for a in run {
+        *a = f * *a;
+    }
+}
+
+/// Applies a 4x4 matrix to amplitude quads gathered from four equal-length
+/// runs. `rows[j][i]` holds the amplitude whose 2-bit basis value is `j`
+/// (in the matrix's qubit convention) at position `i`.
+#[inline]
+pub(crate) fn mix_quads(rows: [&mut [C64]; 4], m: &[[C64; 4]; 4], wide: bool) {
+    let [r0, r1, r2, r3] = rows;
+    debug_assert!(r0.len() == r1.len() && r1.len() == r2.len() && r2.len() == r3.len());
+    if wide && r0.len() % LANES == 0 {
+        let mut base = 0;
+        while base < r0.len() {
+            let mut out = [[C64::ZERO; LANES]; 4];
+            for k in 0..LANES {
+                let v = [r0[base + k], r1[base + k], r2[base + k], r3[base + k]];
+                for (row, o) in m.iter().zip(out.iter_mut()) {
+                    let mut acc = C64::ZERO;
+                    for (c, a) in row.iter().zip(v.iter()) {
+                        acc += C64::new(c.re * a.re - c.im * a.im, c.re * a.im + c.im * a.re);
+                    }
+                    o[k] = acc;
+                }
+            }
+            r0[base..base + LANES].copy_from_slice(&out[0]);
+            r1[base..base + LANES].copy_from_slice(&out[1]);
+            r2[base..base + LANES].copy_from_slice(&out[2]);
+            r3[base..base + LANES].copy_from_slice(&out[3]);
+            base += LANES;
+        }
+        return;
+    }
+    for i in 0..r0.len() {
+        let v = [r0[i], r1[i], r2[i], r3[i]];
+        let mut out = [C64::ZERO; 4];
+        for (row, o) in m.iter().zip(out.iter_mut()) {
+            let mut acc = C64::ZERO;
+            for (c, a) in row.iter().zip(v.iter()) {
+                acc += C64::new(c.re * a.re - c.im * a.im, c.re * a.im + c.im * a.re);
+            }
+            *o = acc;
+        }
+        r0[i] = out[0];
+        r1[i] = out[1];
+        r2[i] = out[2];
+        r3[i] = out[3];
+    }
+}

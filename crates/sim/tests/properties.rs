@@ -1,16 +1,23 @@
 //! Property tests pinning the fast simulator paths to naive references.
 //!
-//! Two contracts are exercised on randomly generated circuits:
+//! Four contracts are exercised on randomly generated circuits:
 //!
 //! * The specialized/fused kernel pipeline produces the same amplitudes as
 //!   an independent textbook dense-matrix simulator (within 1e-10 — fusion
 //!   reorders floating-point products, so exact equality is not expected).
 //! * `run_shots` histograms are bit-identical across thread counts, for
 //!   both ideal and noisy executors.
+//! * The stabilizer-tableau engine agrees with the dense engine in
+//!   distribution on random dynamic Clifford circuits (mid-circuit
+//!   measurement, reset, and feed-forward included).
+//! * The support-tracked sparse engine is bit-identical to the dense
+//!   engine on random low-support noisy circuits.
 
 use caqr_arch::Device;
 use caqr_circuit::{Circuit, Clbit, Gate, Qubit};
-use caqr_sim::{CompiledCircuit, Executor, NoiseModel, StateVector};
+use caqr_sim::{
+    metrics, CompiledCircuit, Engine, Executor, KernelDispatch, NoiseModel, StateVector,
+};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -55,6 +62,73 @@ fn unitary_circuit(n: usize, clbits: usize, specs: &[OpSpec]) -> Circuit {
             vec![Qubit::new(q0)]
         };
         c.push(caqr_circuit::Instruction::gate(gate, qubits));
+    }
+    c
+}
+
+/// Decodes a spec into a dynamic Clifford circuit on `n` qubits and `n`
+/// classical bits: the nine Clifford gates plus mid-circuit measurement,
+/// reset, and a classically-conditioned X (feed-forward). Callers append
+/// terminal measurements.
+fn clifford_dynamic_circuit(n: usize, specs: &[OpSpec]) -> Circuit {
+    let mut c = Circuit::new(n, n);
+    for &(op, qsel, _) in specs {
+        let q0 = qsel as usize % n;
+        let q1 = (qsel as usize / n) % n;
+        match op % 12 {
+            0 => c.h(Qubit::new(q0)),
+            1 => c.x(Qubit::new(q0)),
+            2 => c.push_gate(Gate::Y, &[Qubit::new(q0)]),
+            3 => c.z(Qubit::new(q0)),
+            4 => c.push_gate(Gate::S, &[Qubit::new(q0)]),
+            5 => c.push_gate(Gate::Sdg, &[Qubit::new(q0)]),
+            6..=8 if q0 == q1 => continue, // degenerate selector
+            6 => c.cx(Qubit::new(q0), Qubit::new(q1)),
+            7 => c.cz(Qubit::new(q0), Qubit::new(q1)),
+            8 => c.swap(Qubit::new(q0), Qubit::new(q1)),
+            9 => c.measure(Qubit::new(q0), Clbit::new(q0)),
+            10 => c.reset(Qubit::new(q0)),
+            _ => c.cond_x(Qubit::new(q0), Clbit::new(q1)),
+        }
+    }
+    c
+}
+
+/// Decodes a spec into a circuit whose state support stays small: mostly
+/// diagonal/permutation gates (which never enlarge the support) plus at
+/// most two `H` gates, so the sparse engine's `support_bound` admits it
+/// at 8 qubits.
+fn low_support_circuit(n: usize, specs: &[OpSpec]) -> Circuit {
+    let mut c = Circuit::new(n, n);
+    let mut hadamards = 0usize;
+    for &(op, qsel, amil) in specs {
+        let q0 = qsel as usize % n;
+        let q1 = (qsel as usize / n) % n;
+        let a = f64::from(amil) * 0.006_283;
+        match op % 12 {
+            0 => c.x(Qubit::new(q0)),
+            1 => c.z(Qubit::new(q0)),
+            2 => c.push_gate(Gate::S, &[Qubit::new(q0)]),
+            3 => c.t(Qubit::new(q0)),
+            4 => c.rz(a, Qubit::new(q0)),
+            5 => c.push_gate(Gate::Phase(a), &[Qubit::new(q0)]),
+            6 => {
+                if hadamards < 2 {
+                    hadamards += 1;
+                    c.h(Qubit::new(q0));
+                }
+            }
+            7..=10 if q0 == q1 => continue, // degenerate selector
+            7 => c.cx(Qubit::new(q0), Qubit::new(q1)),
+            8 => c.cz(Qubit::new(q0), Qubit::new(q1)),
+            9 => c.cp(a, Qubit::new(q0), Qubit::new(q1)),
+            10 => c.rzz(a, Qubit::new(q0), Qubit::new(q1)),
+            _ => {
+                if q0 != q1 {
+                    c.swap(Qubit::new(q0), Qubit::new(q1));
+                }
+            }
+        }
     }
     c
 }
@@ -229,4 +303,88 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn tableau_matches_dense_on_dynamic_clifford_circuits(
+        n in 2usize..=5,
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..30),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut circuit = clifford_dynamic_circuit(n, &specs);
+        for q in 0..n {
+            circuit.measure(Qubit::new(q), Clbit::new(q));
+        }
+        let shots = 4096;
+        let (dense, _) = Executor::ideal()
+            .with_engine(Engine::Dense)
+            .run_shots_traced(&circuit, shots, seed);
+        let (tab, report) = Executor::ideal()
+            .with_engine(Engine::Stabilizer)
+            .run_shots_traced(&circuit, shots, seed ^ 0x9e37_79b9);
+        prop_assert_eq!(report.kernel_dispatch, KernelDispatch::Tableau);
+        prop_assert_eq!(dense.total(), shots);
+        prop_assert_eq!(tab.total(), shots);
+        // Clifford measurement probabilities are dyadic, so per-clbit
+        // marginals either agree exactly or differ by >= 1/4 if an engine
+        // is wrong; the sampling error at 4096 shots is ~0.011 per bit,
+        // leaving a wide margin below the 0.08 gate.
+        for bit in 0..n {
+            let diff = (metrics::z_expectation(&dense, bit)
+                - metrics::z_expectation(&tab, bit))
+                .abs()
+                / 2.0;
+            prop_assert!(
+                diff < 0.08,
+                "clbit {bit}: dense vs tableau P(1) differ by {diff:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_engine_bit_identical_to_dense_sweeps(
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..30),
+        seed in 0u64..1_000_000,
+    ) {
+        let n = 8;
+        let mut circuit = low_support_circuit(n, &specs);
+        for q in 0..n {
+            circuit.measure(Qubit::new(q), Clbit::new(q));
+        }
+        let noisy = NoiseModel::from_device(Device::mumbai(0)).with_scale(3.0);
+        for exec in [Executor::ideal(), Executor::noisy(noisy.clone())] {
+            let reference = exec
+                .clone()
+                .with_sparse(false)
+                .run_shots(&circuit, 96, seed);
+            let counts = exec.clone().run_shots(&circuit, 96, seed);
+            prop_assert_eq!(&counts, &reference);
+        }
+    }
+}
+
+/// The randomized sparse property above does not pin which dispatch the
+/// planner picked (fusion can merge gates into support-growing unitaries);
+/// this deterministic companion guarantees the sparse path itself is
+/// exercised and bit-identical.
+#[test]
+fn sparse_dispatch_engages_on_low_support_circuit() {
+    let n = 8;
+    let mut circuit = Circuit::new(n, n);
+    circuit.h(Qubit::new(0));
+    for i in 0..n - 1 {
+        circuit.cx(Qubit::new(i), Qubit::new(i + 1));
+    }
+    for i in 0..n {
+        circuit.t(Qubit::new(i));
+        circuit.cz(Qubit::new(i), Qubit::new((i + 3) % n));
+    }
+    circuit.measure_all();
+    let noisy = NoiseModel::from_device(Device::mumbai(0));
+    let (counts, report) = Executor::noisy(noisy.clone()).run_shots_traced(&circuit, 256, 17);
+    assert_eq!(report.kernel_dispatch, KernelDispatch::Sparse);
+    let (dense, dense_report) = Executor::noisy(noisy)
+        .with_sparse(false)
+        .run_shots_traced(&circuit, 256, 17);
+    assert_eq!(dense_report.kernel_dispatch, KernelDispatch::Wide);
+    assert_eq!(counts, dense);
 }
