@@ -1,0 +1,490 @@
+//! Bounded-memory streaming compilation on a million-gate program,
+//! frozen in `BENCH_stream.json`.
+//!
+//! The point of `caqr-stream` is that a program too large to materialize
+//! still compiles: the source is parsed gate by gate, the windowed
+//! scheduler retires measured qubits for reuse as their causal cones
+//! close, and chunks leave the process as soon as they are compiled. This
+//! bench pins three things:
+//!
+//! 1. **Memory** — the synthetic million-gate program through
+//!    [`Engine::compile_streamed`] versus the batch path (materialize the
+//!    text, parse the whole circuit, schedule it). Peak RSS (`VmHWM`) of
+//!    the streamed phase must sit at least [`RSS_FLOOR`]x below the batch
+//!    phase. The streamed phase runs first because `VmHWM` is monotonic.
+//! 2. **Equal output** — the streamed digest and metrics must equal the
+//!    batch twin's bit for bit, for both the smoke and million specs.
+//! 3. **Width** — on the golden corpus, the causal-cone scheduler's
+//!    full-lookahead wire count next to the paper's QS-max-reuse and SR
+//!    strategies and the logical width (the cone-reuse width delta).
+//!
+//! Usage: `bench_stream [--quick] [--check] [--json] [--out PATH]`
+//!
+//! * default — run everything and print the tables.
+//! * `--json` — also write the frozen `BENCH_stream.json`.
+//! * `--check` — recompute the deterministic outputs (smoke digest and
+//!   metrics, corpus widths) and compare them against the committed JSON;
+//!   verify the frozen RSS ratio clears the floor. With `--quick` the
+//!   million-gate rerun is skipped (CI smoke).
+//! * `--quick` — smoke spec only; composes with `--check`.
+
+use caqr::{CancelToken, Strategy};
+use caqr_bench::{compile_grid, peak_rss_kb, Table};
+use caqr_benchmarks::stream::StreamSpec;
+use caqr_benchmarks::Benchmark;
+use caqr_circuit::qasm::from_qasm;
+use caqr_engine::Engine;
+use caqr_stream::{schedule_circuit, NullSink, StreamMetrics, StreamOptions, StreamReport};
+use caqr_wire::Value;
+use std::time::Instant;
+
+/// The streamed phase must peak at least this many times below batch.
+const RSS_FLOOR: f64 = 10.0;
+
+/// One spec (smoke or million) with its deterministic outputs.
+struct SpecRow {
+    name: &'static str,
+    spec: StreamSpec,
+    report: StreamReport,
+}
+
+/// Memory and throughput measured on the full million-gate run.
+struct MillionRun {
+    stream_rss_kb: Option<u64>,
+    batch_rss_kb: Option<u64>,
+    gates_per_sec: f64,
+    wall_ms: u64,
+}
+
+/// One golden-corpus circuit's width under each reuse approach.
+struct WidthRow {
+    bench: String,
+    logical: usize,
+    cone_wires: usize,
+    qs_qubits: Option<usize>,
+    sr_qubits: Option<usize>,
+}
+
+fn stream_options() -> StreamOptions {
+    StreamOptions::default()
+}
+
+/// Streams a spec through the engine and cross-checks the batch twin:
+/// same digest, same metrics, at bounded window occupancy.
+fn run_spec(name: &'static str, spec: StreamSpec) -> SpecRow {
+    let streamed =
+        Engine::compile_streamed(spec.text_chunks(), stream_options(), &CancelToken::new())
+            .expect("streamed compile");
+    let batch = from_qasm(&spec.text()).expect("batch parse");
+    let (batch_report, _) =
+        schedule_circuit(&batch, stream_options(), NullSink).expect("batch twin");
+    assert_eq!(
+        streamed.report, batch_report,
+        "{name}: streamed output differs from the batch twin"
+    );
+    assert_eq!(
+        streamed.report.metrics.gates_in as usize,
+        spec.gate_count(),
+        "{name}: generator gate count drifted"
+    );
+    SpecRow {
+        name,
+        spec,
+        report: streamed.report,
+    }
+}
+
+/// The million-gate memory comparison. The streamed phase runs FIRST
+/// (before any large allocation) because `VmHWM` is a monotonic
+/// high-water mark; the batch phase then materializes the same program
+/// and pushes the mark up by however much it really costs.
+fn run_million(spec: StreamSpec) -> (SpecRow, MillionRun) {
+    let started = Instant::now();
+    let streamed =
+        Engine::compile_streamed(spec.text_chunks(), stream_options(), &CancelToken::new())
+            .expect("streamed compile");
+    let wall = started.elapsed();
+    let stream_rss_kb = peak_rss_kb();
+
+    let text = spec.text();
+    let batch = from_qasm(&text).expect("batch parse");
+    drop(text);
+    let (batch_report, _) =
+        schedule_circuit(&batch, stream_options(), NullSink).expect("batch twin");
+    drop(batch);
+    let batch_rss_kb = peak_rss_kb();
+
+    assert_eq!(
+        streamed.report, batch_report,
+        "million: streamed output differs from the batch twin"
+    );
+    let row = SpecRow {
+        name: "million",
+        spec,
+        report: streamed.report,
+    };
+    let run = MillionRun {
+        stream_rss_kb,
+        batch_rss_kb,
+        gates_per_sec: streamed.report.metrics.gates_in as f64 / wall.as_secs_f64().max(1e-9),
+        wall_ms: wall.as_millis() as u64,
+    };
+    (row, run)
+}
+
+fn golden_corpus() -> Vec<Benchmark> {
+    use caqr_benchmarks::qaoa::{qaoa_benchmark, GraphKind};
+    vec![
+        caqr_benchmarks::revlib::xor_5(),
+        caqr_benchmarks::revlib::four_mod5(),
+        caqr_benchmarks::revlib::rd32(),
+        caqr_benchmarks::bv::bv_all_ones(5),
+        caqr_benchmarks::bv::bv_all_ones(8),
+        qaoa_benchmark(6, 0.3, GraphKind::Random, 2029),
+        qaoa_benchmark(8, 0.3, GraphKind::Random, 2031),
+    ]
+}
+
+/// Cone-based reuse width (full lookahead) against QS-max-reuse and SR on
+/// the golden corpus.
+fn run_width_delta() -> Vec<WidthRow> {
+    let benches = golden_corpus();
+    let strategies = [Strategy::QsMaxReuse, Strategy::Sr];
+    let grid = compile_grid(&benches, &strategies);
+    benches
+        .iter()
+        .zip(&grid)
+        .map(|(bench, cells)| {
+            // Full lookahead: the window covers the whole program, so a
+            // measured qubit retires iff it is truly dead — the cone
+            // scheduler's best case, and it can never under-buffer.
+            let opts = StreamOptions {
+                window: bench.circuit.len() + 1,
+                chunk_gates: 1024,
+                optimize_chunks: false,
+            };
+            let (report, _) = schedule_circuit(&bench.circuit, opts, NullSink)
+                .expect("full lookahead never retires early");
+            WidthRow {
+                bench: bench.name.clone(),
+                logical: bench.circuit.num_qubits(),
+                cone_wires: report.metrics.wires,
+                qs_qubits: cells[0].as_ref().ok().map(|r| r.qubits),
+                sr_qubits: cells[1].as_ref().ok().map(|r| r.qubits),
+            }
+        })
+        .collect()
+}
+
+fn render_specs(rows: &[SpecRow]) {
+    let mut t = Table::new(&[
+        "spec",
+        "gates_in",
+        "declared_q",
+        "wires",
+        "resets",
+        "cones",
+        "peak_window",
+        "peak_live",
+        "digest",
+    ]);
+    for row in rows {
+        let m = row.report.metrics;
+        t.row(&[
+            row.name.to_string(),
+            m.gates_in.to_string(),
+            m.declared_qubits.to_string(),
+            m.wires.to_string(),
+            m.resets_inserted.to_string(),
+            m.cones_closed.to_string(),
+            m.peak_window.to_string(),
+            m.peak_live.to_string(),
+            format!("{:.16}", row.report.digest.to_string()),
+        ]);
+    }
+    t.print();
+}
+
+fn render_width(rows: &[WidthRow]) {
+    let fmt = |q: Option<usize>| q.map_or_else(|| "-".to_string(), |q| q.to_string());
+    let mut t = Table::new(&["bench", "logical", "cone", "qs-max", "sr"]);
+    for row in rows {
+        t.row(&[
+            row.bench.clone(),
+            row.logical.to_string(),
+            row.cone_wires.to_string(),
+            fmt(row.qs_qubits),
+            fmt(row.sr_qubits),
+        ]);
+    }
+    t.print();
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn spec_json(row: &SpecRow) -> String {
+    let m = row.report.metrics;
+    format!(
+        "{{\"name\": \"{}\", \"blocks\": {}, \"block_qubits\": {}, \"depth\": {}, \
+         \"gates_in\": {}, \"declared_qubits\": {}, \"wires\": {}, \"resets_inserted\": {}, \
+         \"cones_closed\": {}, \"peak_window\": {}, \"peak_live\": {}, \"digest\": \"{}\"}}",
+        row.name,
+        row.spec.blocks,
+        row.spec.block_qubits,
+        row.spec.depth,
+        m.gates_in,
+        m.declared_qubits,
+        m.wires,
+        m.resets_inserted,
+        m.cones_closed,
+        m.peak_window,
+        m.peak_live,
+        row.report.digest,
+    )
+}
+
+fn to_json(specs: &[SpecRow], million: &MillionRun, widths: &[WidthRow]) -> String {
+    let ratio = match (million.stream_rss_kb, million.batch_rss_kb) {
+        (Some(s), Some(b)) if s > 0 => format!("{:.1}", b as f64 / s as f64),
+        _ => "null".to_string(),
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"workload\": \"caqr_stream_bounded_memory\",\n");
+    let opts = stream_options();
+    json.push_str(&format!(
+        "  \"options\": {{\"window\": {}, \"chunk_gates\": {}}},\n",
+        opts.window, opts.chunk_gates
+    ));
+    json.push_str(&format!("  \"rss_floor\": {RSS_FLOOR},\n"));
+    json.push_str("  \"specs\": [\n");
+    for (i, row) in specs.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&spec_json(row));
+        json.push_str(if i + 1 < specs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"memory\": {{\"stream_peak_rss_kb\": {}, \"batch_peak_rss_kb\": {}, \
+         \"batch_over_stream\": {ratio}}},\n",
+        opt_num(million.stream_rss_kb),
+        opt_num(million.batch_rss_kb),
+    ));
+    json.push_str(&format!(
+        "  \"throughput\": {{\"million_gates_per_sec\": {:.0}, \"wall_ms\": {}}},\n",
+        million.gates_per_sec, million.wall_ms
+    ));
+    json.push_str("  \"width_delta\": [\n");
+    for (i, row) in widths.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"logical_qubits\": {}, \"cone_wires\": {}, \
+             \"qs_max_qubits\": {}, \"sr_qubits\": {}}}{}\n",
+            row.bench,
+            row.logical,
+            row.cone_wires,
+            opt_num(row.qs_qubits.map(|q| q as u64)),
+            opt_num(row.sr_qubits.map(|q| q as u64)),
+            if i + 1 < widths.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn assert_rss_floor(million: &MillionRun) {
+    match (million.stream_rss_kb, million.batch_rss_kb) {
+        (Some(stream), Some(batch)) => {
+            let ratio = batch as f64 / stream.max(1) as f64;
+            assert!(
+                ratio >= RSS_FLOOR,
+                "streamed peak RSS {stream} kB is only {ratio:.1}x below batch {batch} kB \
+                 (floor {RSS_FLOOR}x)"
+            );
+        }
+        _ => eprintln!("note: VmHWM unavailable on this platform; RSS floor not enforced"),
+    }
+}
+
+fn metrics_of(frozen: &Value) -> StreamMetrics {
+    let num = |key: &str| {
+        frozen
+            .get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("frozen spec row is missing '{key}'"))
+    };
+    StreamMetrics {
+        declared_qubits: num("declared_qubits") as usize,
+        wires: num("wires") as usize,
+        clbits: 0, // not frozen; compared via the digest
+        gates_in: num("gates_in"),
+        gates_out: 0, // not frozen; compared via the digest
+        resets_inserted: num("resets_inserted"),
+        chunks: 0, // not frozen; compared via the digest
+        peak_window: num("peak_window") as usize,
+        peak_live: num("peak_live") as usize,
+        cones_closed: num("cones_closed"),
+        peak_cone: 0, // not frozen
+    }
+}
+
+/// Compares recomputed deterministic outputs against the committed
+/// `BENCH_stream.json`.
+fn check(specs: &[SpecRow], widths: &[WidthRow], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check needs the committed {path}: {e}"));
+    let frozen = caqr_wire::parse(&text).expect("committed JSON parses");
+
+    // The frozen memory ratio must clear the floor: the committed numbers
+    // are the claim this PR makes, and regeneration re-measures them.
+    let ratio = frozen
+        .get("memory")
+        .and_then(|m| m.get("batch_over_stream"))
+        .and_then(Value::as_f64);
+    if let Some(ratio) = ratio {
+        assert!(
+            ratio >= RSS_FLOOR,
+            "frozen batch/stream RSS ratio {ratio:.1}x is under the {RSS_FLOOR}x floor"
+        );
+    }
+
+    let frozen_specs = frozen
+        .get("specs")
+        .and_then(Value::as_array)
+        .expect("'specs' array");
+    for row in specs {
+        let frozen_row = frozen_specs
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(row.name))
+            .unwrap_or_else(|| panic!("spec '{}' missing from {path}", row.name));
+        assert_eq!(
+            frozen_row.get("digest").and_then(Value::as_str),
+            Some(row.report.digest.to_string().as_str()),
+            "spec '{}': digest drifted from the frozen value",
+            row.name
+        );
+        let want = metrics_of(frozen_row);
+        let got = row.report.metrics;
+        for (field, frozen_v, live) in [
+            ("gates_in", want.gates_in, got.gates_in),
+            ("resets_inserted", want.resets_inserted, got.resets_inserted),
+            ("cones_closed", want.cones_closed, got.cones_closed),
+            (
+                "declared_qubits",
+                want.declared_qubits as u64,
+                got.declared_qubits as u64,
+            ),
+            ("wires", want.wires as u64, got.wires as u64),
+            (
+                "peak_window",
+                want.peak_window as u64,
+                got.peak_window as u64,
+            ),
+            ("peak_live", want.peak_live as u64, got.peak_live as u64),
+        ] {
+            assert_eq!(
+                frozen_v, live,
+                "spec '{}': {field} drifted from the frozen value",
+                row.name
+            );
+        }
+    }
+
+    let frozen_widths = frozen
+        .get("width_delta")
+        .and_then(Value::as_array)
+        .expect("'width_delta' array");
+    for row in widths {
+        let frozen_row = frozen_widths
+            .iter()
+            .find(|w| w.get("bench").and_then(Value::as_str) == Some(row.bench.as_str()))
+            .unwrap_or_else(|| panic!("width row '{}' missing from {path}", row.bench));
+        for (field, live) in [
+            ("logical_qubits", Some(row.logical as u64)),
+            ("cone_wires", Some(row.cone_wires as u64)),
+            ("qs_max_qubits", row.qs_qubits.map(|q| q as u64)),
+            ("sr_qubits", row.sr_qubits.map(|q| q as u64)),
+        ] {
+            assert_eq!(
+                frozen_row.get(field).and_then(Value::as_u64),
+                live,
+                "width row '{}': {field} drifted from the frozen value",
+                row.bench
+            );
+        }
+    }
+    println!(
+        "--check passed ({} specs, {} width rows verified against {path})",
+        specs.len(),
+        widths.len()
+    );
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check_only = false;
+    let mut write_json = false;
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    let mut out = default_out.to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check_only = true,
+            "--json" => write_json = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unrecognized argument '{other}'");
+                eprintln!("usage: bench_stream [--quick] [--check] [--json] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Bounded-memory streaming compilation\n");
+    if check_only {
+        // Deterministic recompute only — no RSS measurement, so order is
+        // free and --quick can skip the million-gate rerun.
+        let mut specs = vec![run_spec("smoke", StreamSpec::smoke(2023))];
+        if !quick {
+            specs.push(run_spec("million", StreamSpec::million_gate(2023)));
+        }
+        let widths = run_width_delta();
+        render_specs(&specs);
+        println!();
+        render_width(&widths);
+        println!();
+        check(&specs, &widths, &out);
+        return;
+    }
+
+    // Full run: the million-gate streamed phase goes first so VmHWM
+    // reflects it alone; everything else allocates strictly less.
+    let (million_row, million_run) = run_million(StreamSpec::million_gate(2023));
+    let smoke_row = run_spec("smoke", StreamSpec::smoke(2023));
+    let widths = run_width_delta();
+    let specs = vec![smoke_row, million_row];
+
+    render_specs(&specs);
+    println!();
+    render_width(&widths);
+    println!();
+    println!(
+        "million-gate stream: {:.0} gates/s over {} ms",
+        million_run.gates_per_sec, million_run.wall_ms
+    );
+    match (million_run.stream_rss_kb, million_run.batch_rss_kb) {
+        (Some(s), Some(b)) => println!(
+            "peak RSS: streamed {s} kB, batch {b} kB ({:.1}x)",
+            b as f64 / s.max(1) as f64
+        ),
+        _ => println!("peak RSS: unavailable on this platform"),
+    }
+    assert_rss_floor(&million_run);
+
+    if write_json {
+        std::fs::write(&out, to_json(&specs, &million_run, &widths))
+            .expect("write BENCH_stream.json");
+        println!("wrote {out}");
+    }
+}

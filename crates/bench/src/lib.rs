@@ -220,6 +220,19 @@ impl Table {
     }
 }
 
+/// The process's peak resident-set size (`VmHWM`) in kilobytes, read
+/// from `/proc/self/status`. Returns `None` off Linux or when the field
+/// is unavailable — callers must degrade gracefully (the streaming bench
+/// reports `null` instead of failing).
+///
+/// `VmHWM` is a monotonic high-water mark: to compare two phases within
+/// one process, run the low-memory phase first.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Formats a duration in `dt` the way the paper's Table 1 does (`91K`).
 pub fn format_dt(dt: u64) -> String {
     if dt >= 1000 {
@@ -284,6 +297,14 @@ mod tests {
         assert_eq!(format_dt(91_300), "91K");
         assert_eq!(format_dt(450), "450");
         assert_eq!(format_dt(1_500), "2K");
+    }
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore = "VmHWM is Linux-only")]
+    fn peak_rss_reads_a_plausible_value_on_linux() {
+        let kb = peak_rss_kb().expect("VmHWM parses on Linux");
+        // A test process has at least a megabyte resident.
+        assert!(kb > 1024, "VmHWM {kb} kB is implausibly small");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod bv;
 pub mod extra;
 pub mod qaoa;
 pub mod revlib;
+pub mod stream;
 pub mod suite;
 
 mod reversible;

@@ -1,0 +1,207 @@
+//! Synthetic million-gate workloads for the streaming compiler.
+//!
+//! The streaming pipeline's pitch is "compile programs that never fit in
+//! memory", so its benchmark generator must be able to *produce* such
+//! programs without holding them either: [`StreamSpec::text_chunks`]
+//! yields the OpenQASM source block by block, each block generated
+//! independently from a per-block RNG stream. Peak generator memory is
+//! one block (~tens of kilobytes) regardless of total size.
+//!
+//! The workload shape is deliberately reuse-friendly and realistic for
+//! sampled circuits: a long sequence of `blocks` independent
+//! sub-experiments, each on its own `block_qubits` fresh logical qubits
+//! — entangle, evolve for `depth` layers, measure everything, move on.
+//! Logical width grows linearly with `blocks` while the *live* width at
+//! any moment stays O(`block_qubits` x window/block), which is exactly
+//! the gap the windowed scheduler closes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Shape of a generated streaming workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Independent sub-experiments, each on fresh logical qubits.
+    pub blocks: usize,
+    /// Qubits per block.
+    pub block_qubits: usize,
+    /// Entangling layers per block.
+    pub depth: usize,
+    /// RNG seed; block `b` uses stream `seed + b`.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The frozen ~1.02M-gate benchmark workload.
+    pub fn million_gate(seed: u64) -> Self {
+        StreamSpec {
+            blocks: 800,
+            block_qubits: 24,
+            depth: 26,
+            seed,
+        }
+    }
+
+    /// A ~25K-gate scaled-down twin for CI smoke runs.
+    pub fn smoke(seed: u64) -> Self {
+        StreamSpec {
+            blocks: 20,
+            block_qubits: 24,
+            depth: 26,
+            seed,
+        }
+    }
+
+    /// Total declared logical qubits (`qreg` width).
+    pub fn total_qubits(&self) -> usize {
+        self.blocks * self.block_qubits
+    }
+
+    /// Exact number of gate/measure statements the source contains.
+    ///
+    /// Per block: `block_qubits` Hadamards, `depth` layers of
+    /// `block_qubits` rotations plus `block_qubits - 1` entanglers, and
+    /// `block_qubits` measurements.
+    pub fn gate_count(&self) -> usize {
+        let bq = self.block_qubits;
+        self.blocks * (2 * bq + self.depth * (2 * bq - 1))
+    }
+
+    /// The source, one `String` per block (header first). Memory is
+    /// O(one block); collect only for deliberately-unbounded batch runs.
+    pub fn text_chunks(&self) -> TextChunks {
+        TextChunks {
+            spec: *self,
+            next: 0,
+        }
+    }
+
+    /// The whole source in one allocation — the batch baseline the
+    /// streaming path is measured against. O(total) memory by design.
+    pub fn text(&self) -> String {
+        self.text_chunks().collect()
+    }
+
+    fn block_text(&self, block: usize) -> String {
+        let bq = self.block_qubits;
+        let base = block * bq;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(block as u64));
+        // ~32 bytes per statement.
+        let mut out = String::with_capacity(32 * (2 * bq + self.depth * (2 * bq - 1)));
+        use std::fmt::Write as _;
+        for q in 0..bq {
+            let _ = writeln!(out, "h q[{}];", base + q);
+        }
+        for _ in 0..self.depth {
+            for q in 0..bq {
+                let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let _ = writeln!(out, "rz({angle:?}) q[{}];", base + q);
+            }
+            for q in 0..bq - 1 {
+                let _ = writeln!(out, "cx q[{}], q[{}];", base + q, base + q + 1);
+            }
+        }
+        for q in 0..bq {
+            let _ = writeln!(out, "measure q[{0}] -> c[{0}];", base + q);
+        }
+        out
+    }
+}
+
+/// Block-by-block source iterator (see [`StreamSpec::text_chunks`]).
+#[derive(Debug, Clone)]
+pub struct TextChunks {
+    spec: StreamSpec,
+    /// 0 = header pending, then 1-based block index.
+    next: usize,
+}
+
+impl Iterator for TextChunks {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let item = self.next;
+        self.next += 1;
+        if item == 0 {
+            let n = self.spec.total_qubits();
+            Some(format!(
+                "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\ncreg c[{n}];\n"
+            ))
+        } else if item <= self.spec.blocks {
+            Some(self.spec.block_text(item - 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::qasm::from_qasm;
+
+    #[test]
+    fn gate_count_is_exact() {
+        let spec = StreamSpec {
+            blocks: 3,
+            block_qubits: 4,
+            depth: 2,
+            seed: 7,
+        };
+        let circuit = from_qasm(&spec.text()).expect("generated source parses");
+        assert_eq!(circuit.len(), spec.gate_count());
+        assert_eq!(circuit.num_qubits(), spec.total_qubits());
+        assert_eq!(circuit.num_clbits(), spec.total_qubits());
+    }
+
+    #[test]
+    fn deterministic_and_chunked_equals_whole() {
+        let spec = StreamSpec {
+            blocks: 2,
+            block_qubits: 3,
+            depth: 2,
+            seed: 11,
+        };
+        let whole = spec.text();
+        let rejoined: String = spec.text_chunks().collect();
+        assert_eq!(whole, rejoined);
+        assert_eq!(whole, spec.text(), "same seed, same source");
+        let other = StreamSpec { seed: 12, ..spec };
+        assert_ne!(whole, other.text(), "seed changes angles");
+    }
+
+    #[test]
+    fn million_gate_spec_is_million_scale() {
+        let m = StreamSpec::million_gate(2023);
+        assert!(m.gate_count() >= 1_000_000, "got {}", m.gate_count());
+        let s = StreamSpec::smoke(2023);
+        assert!(s.gate_count() >= 20_000 && s.gate_count() < 50_000);
+        assert_eq!(
+            m.gate_count() / m.blocks,
+            s.gate_count() / s.blocks,
+            "smoke is the same workload, fewer blocks"
+        );
+    }
+
+    #[test]
+    fn measures_end_each_block_lifetime() {
+        let spec = StreamSpec {
+            blocks: 2,
+            block_qubits: 2,
+            depth: 1,
+            seed: 3,
+        };
+        let c = from_qasm(&spec.text()).expect("parses");
+        // After a qubit's measure there must be no later touch — the
+        // property block-local lifetimes guarantee and reuse relies on.
+        let mut measured = vec![false; c.num_qubits()];
+        for i in c.iter() {
+            for q in &i.qubits {
+                assert!(!measured[q.index()], "qubit touched after measure");
+            }
+            if i.gate == caqr_circuit::Gate::Measure {
+                measured[i.qubits[0].index()] = true;
+            }
+        }
+    }
+}

@@ -70,7 +70,9 @@ pub struct ParseQasmError {
 }
 
 impl ParseQasmError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    /// An error at the given 1-based line (0 = no single line, used by
+    /// the deferred range check).
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
         ParseQasmError {
             line,
             message: message.into(),
@@ -95,52 +97,84 @@ impl std::fmt::Display for ParseQasmError {
 
 impl std::error::Error for ParseQasmError {}
 
-/// Parses the dialect produced by [`to_qasm`].
+/// One meaningful statement produced by [`LineParser::parse_line`].
 ///
-/// # Errors
-///
-/// Returns [`ParseQasmError`] on malformed statements, unknown gates, or
-/// out-of-range operands.
-pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
-    let mut num_qubits = 0usize;
-    let mut num_clbits = 0usize;
-    let mut instrs: Vec<Instruction> = Vec::new();
+/// Lines that carry no circuit content (blanks, comments, `OPENQASM` /
+/// `include` / `barrier` directives, skipped `gate` definition bodies)
+/// yield no event at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmStmt {
+    /// `qreg q[n];` — the declared qubit-register width. A later
+    /// declaration replaces an earlier one (last wins).
+    Qreg(usize),
+    /// `creg c[n];` — the declared classical-register width.
+    Creg(usize),
+    /// A gate application, measurement, or reset. Operand indices are
+    /// *not* yet range-checked against the declared registers: the
+    /// dialect tolerates declarations after uses, so validation is
+    /// deferred to the end of the program (see [`validate_ranges`]).
+    Instr(Instruction),
+}
 
-    // Custom gate definitions are skipped wholesale (their uses would be
-    // rejected as unknown gates, which is the honest failure mode for a
-    // subset importer).
-    let mut in_gate_body = false;
-    for (lineno, raw) in text.lines().enumerate() {
-        let lineno = lineno + 1;
+/// The statement-level parser both the batch importer ([`from_qasm`]) and
+/// the incremental streaming front-end share — one grammar, two drivers.
+///
+/// Feed physical source lines (comment stripping happens here) in order;
+/// the only cross-line state is the "inside a skipped `gate` definition
+/// body" flag, so the parser itself is O(1) in program length.
+#[derive(Debug, Default, Clone)]
+pub struct LineParser {
+    /// Custom gate definitions are skipped wholesale (their uses would be
+    /// rejected as unknown gates, which is the honest failure mode for a
+    /// subset importer).
+    in_gate_body: bool,
+}
+
+impl LineParser {
+    /// A parser at the start of a program.
+    pub fn new() -> Self {
+        LineParser::default()
+    }
+
+    /// Parses one source line (1-based `lineno` for error reporting).
+    /// Returns `None` for lines that carry no circuit content.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseQasmError`] on malformed statements or unknown gates, with
+    /// the same messages [`from_qasm`] has always produced.
+    pub fn parse_line(
+        &mut self,
+        raw: &str,
+        lineno: usize,
+    ) -> Result<Option<QasmStmt>, ParseQasmError> {
         let line = raw.split("//").next().unwrap_or("").trim();
-        if in_gate_body {
+        if self.in_gate_body {
             if line.contains('}') {
-                in_gate_body = false;
+                self.in_gate_body = false;
             }
-            continue;
+            return Ok(None);
         }
         if line.starts_with("gate ") || line.starts_with("gate\t") {
-            in_gate_body = !line.contains('}');
-            continue;
+            self.in_gate_body = !line.contains('}');
+            return Ok(None);
         }
         if line.is_empty()
             || line.starts_with("OPENQASM")
             || line.starts_with("include")
             || line.starts_with("barrier")
         {
-            continue;
+            return Ok(None);
         }
         let stmt = line
             .strip_suffix(';')
             .ok_or_else(|| ParseQasmError::new(lineno, "missing ';'"))?
             .trim();
         if let Some(rest) = stmt.strip_prefix("qreg") {
-            num_qubits = parse_reg_decl(rest, lineno)?;
-            continue;
+            return Ok(Some(QasmStmt::Qreg(parse_reg_decl(rest, lineno)?)));
         }
         if let Some(rest) = stmt.strip_prefix("creg") {
-            num_clbits = parse_reg_decl(rest, lineno)?;
-            continue;
+            return Ok(Some(QasmStmt::Creg(parse_reg_decl(rest, lineno)?)));
         }
 
         let (condition, body) = match stmt.strip_prefix("if(") {
@@ -171,13 +205,12 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 .ok_or_else(|| ParseQasmError::new(lineno, "measure missing '->'"))?;
             let qi = parse_index(qs.trim(), 'q', lineno)?;
             let ci = parse_index(cs.trim(), 'c', lineno)?;
-            instrs.push(Instruction {
+            return Ok(Some(QasmStmt::Instr(Instruction {
                 gate: Gate::Measure,
                 qubits: vec![Qubit::new(qi)],
                 clbit: Some(Clbit::new(ci)),
                 condition,
-            });
-            continue;
+            })));
         }
 
         // Gate application: name[(angle[, angle...])] q[i][, q[j]].
@@ -218,23 +251,61 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 "two-qubit gate operands must differ",
             ));
         }
-        instrs.push(Instruction {
+        Ok(Some(QasmStmt::Instr(Instruction {
             gate,
             qubits,
             clbit: None,
             condition,
-        });
+        })))
+    }
+}
+
+/// The end-of-program range check both importers apply: the dialect
+/// tolerates register declarations *after* uses, so operand ranges are
+/// only checkable once the whole program has been seen.
+///
+/// # Errors
+///
+/// The importers' historical "operand out of declared range" error (line
+/// 0 — the offending declaration order has no single line).
+pub fn validate_ranges(
+    instr: &Instruction,
+    num_qubits: usize,
+    num_clbits: usize,
+) -> Result<(), ParseQasmError> {
+    if instr.qubits.iter().any(|q| q.index() >= num_qubits)
+        || instr.clbit.is_some_and(|c| c.index() >= num_clbits)
+        || instr.condition.is_some_and(|c| c.index() >= num_clbits)
+    {
+        return Err(ParseQasmError::new(0, "operand out of declared range"));
+    }
+    Ok(())
+}
+
+/// Parses the dialect produced by [`to_qasm`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on malformed statements, unknown gates, or
+/// out-of-range operands.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut instrs: Vec<Instruction> = Vec::new();
+    let mut parser = LineParser::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        match parser.parse_line(raw, lineno + 1)? {
+            None => {}
+            Some(QasmStmt::Qreg(n)) => num_qubits = n,
+            Some(QasmStmt::Creg(n)) => num_clbits = n,
+            Some(QasmStmt::Instr(instr)) => instrs.push(instr),
+        }
     }
 
     let mut circuit = Circuit::new(num_qubits, num_clbits);
     for i in instrs {
         // Re-validate ranges through push.
-        if i.qubits.iter().any(|q| q.index() >= num_qubits)
-            || i.clbit.is_some_and(|c| c.index() >= num_clbits)
-            || i.condition.is_some_and(|c| c.index() >= num_clbits)
-        {
-            return Err(ParseQasmError::new(0, "operand out of declared range"));
-        }
+        validate_ranges(&i, num_qubits, num_clbits)?;
         circuit.push(i);
     }
     Ok(circuit)

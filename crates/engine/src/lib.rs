@@ -49,6 +49,7 @@ pub mod cache;
 pub mod job;
 pub mod metrics;
 pub mod pool;
+pub mod stream;
 
 pub use bind::{BindJob, BindOutcome, BindReport};
 pub use cache::{CacheStats, CompileCache};
@@ -57,3 +58,4 @@ pub use job::{
 };
 pub use metrics::EngineMetrics;
 pub use pool::{Engine, JobCompiler};
+pub use stream::{StreamJobError, StreamOutcome};

@@ -9,9 +9,12 @@
 //! The workload is a mix drawn from the paper's benchmark suite: compile
 //! requests cycling over (circuit x strategy) plus a simulate request per
 //! circuit, plus bind-run requests cycling distinct angle bindings of one
-//! QAOA template. Compile bodies repeat, so the server's caches see
-//! realistic hit traffic; the distinct bindings exercise the engine's
-//! template cache (compile once, bind per request).
+//! QAOA template, plus a streaming-compile request whose raw-QASM body is
+//! delivered as `Transfer-Encoding: chunked` frames. Compile bodies
+//! repeat, so the server's caches see realistic hit traffic; the distinct
+//! bindings exercise the engine's template cache (compile once, bind per
+//! request); the chunked body keeps the incremental body-assembly path
+//! under concurrent load.
 //!
 //! Up to 64 connections the generator runs one blocking thread per
 //! connection (closed loop). Above that — or when `--rate`/`--ramp-ms`
@@ -177,6 +180,14 @@ fn workload() -> Vec<Shot> {
         let body = format!(r#"{{"circuit":{circuit},"shots":256,"seed":11}}"#);
         shots.push(Shot::post("/v1/simulate", body.as_bytes()));
     }
+    // One streaming compile per cycle: raw OpenQASM delivered in 256-byte
+    // chunked frames straight into the bounded-memory pipeline.
+    let qasm_text = caqr_circuit::qasm::to_qasm(&caqr_benchmarks::bv::bv_all_ones(5).circuit);
+    shots.push(Shot::post_chunked(
+        "/v1/compile-stream",
+        qasm_text.as_bytes(),
+        256,
+    ));
     shots.extend(bind_run_shots());
     shots
 }
@@ -370,9 +381,12 @@ fn run_threads(options: &Options, shots: &[Shot]) -> Tally {
             while Instant::now() < deadline {
                 let index = next.fetch_add(1, Ordering::Relaxed) % shots.len();
                 let shot = &shots[index];
-                let (path, body) = split_shot(shot);
                 let sent = Instant::now();
-                match client.post(path, body) {
+                let result = match shot.chunk_size {
+                    Some(size) => client.post_chunked(&shot.path, &shot.body, size),
+                    None => client.post(&shot.path, &shot.body),
+                };
+                match result {
                     Ok(response) => samples.push(Sample {
                         status: response.status,
                         latency_us: sent.elapsed().as_micros() as u64,
@@ -433,9 +447,8 @@ fn run_threads(options: &Options, shots: &[Shot]) -> Tally {
 fn template_cache_hits_after_probe(addr: SocketAddr) -> Result<u64, String> {
     let mut client = Client::connect(addr).with_timeout(Duration::from_secs(30));
     for shot in bind_run_shots() {
-        let (path, body) = split_shot(&shot);
         let response = client
-            .post(path, body)
+            .post(&shot.path, &shot.body)
             .map_err(|e| format!("bind-run probe failed: {e}"))?;
         if response.status != 200 {
             return Err(format!(
@@ -458,15 +471,4 @@ fn template_cache_hits_after_probe(addr: SocketAddr) -> Result<u64, String> {
         .and_then(|engine| engine.get("template_cache_hits"))
         .and_then(Value::as_u64)
         .ok_or_else(|| "/metrics is missing engine.template_cache_hits".into())
-}
-
-/// Recovers (path, body) from a prebuilt shot for the blocking client.
-fn split_shot(shot: &Shot) -> (&str, &[u8]) {
-    let body_start = shot
-        .bytes
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .map(|p| p + 4)
-        .unwrap_or(shot.bytes.len());
-    (&shot.path, &shot.bytes[body_start..])
 }

@@ -88,21 +88,52 @@ impl Client {
         self.request("POST", path, Some(body))
     }
 
+    /// `POST path` with the body sent as `Transfer-Encoding: chunked`,
+    /// one chunk per `chunk_size` slice — drives the server's
+    /// incremental body-assembly path end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures; the connection is dropped
+    /// so the next call reconnects.
+    pub fn post_chunked(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        chunk_size: usize,
+    ) -> io::Result<ClientResponse> {
+        let chunks: Vec<&[u8]> = body.chunks(chunk_size.max(1)).collect();
+        let framed = caqr_wire::chunked::encode(&chunks);
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: caqr\r\nContent-Type: application/octet-stream\r\nTransfer-Encoding: chunked\r\n\r\n"
+        );
+        self.exchange(&head, &framed)
+    }
+
     fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: caqr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.exchange(&head, body)
+    }
+
+    fn exchange(&mut self, head: &str, payload: &[u8]) -> io::Result<ClientResponse> {
         // One transparent retry: a keep-alive connection the server closed
         // (idle expiry, drain) surfaces as an error on first use.
         let had_conn = self.conn.is_some();
-        match self.request_once(method, path, body) {
+        match self.exchange_once(head, payload) {
             Ok(response) => Ok(response),
             Err(e) if had_conn => {
                 let _ = e;
                 self.conn = None;
-                self.request_once(method, path, body)
+                self.exchange_once(head, payload)
             }
             Err(e) => {
                 self.conn = None;
@@ -111,22 +142,12 @@ impl Client {
         }
     }
 
-    fn request_once(
-        &mut self,
-        method: &str,
-        path: &str,
-        body: Option<&[u8]>,
-    ) -> io::Result<ClientResponse> {
+    fn exchange_once(&mut self, head: &str, payload: &[u8]) -> io::Result<ClientResponse> {
         let reader = self.stream()?;
-        let body = body.unwrap_or(&[]);
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: caqr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
         let result = (|| {
             let stream = reader.get_mut();
             stream.write_all(head.as_bytes())?;
-            stream.write_all(body)?;
+            stream.write_all(payload)?;
             stream.flush()?;
             read_response(reader)
         })();

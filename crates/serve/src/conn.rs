@@ -16,8 +16,9 @@
 //! on write readiness. Nothing here blocks: every method does as much as
 //! the socket allows and returns.
 
-use crate::http::{find_head_end, parse_head, BadRequest, HttpLimits, Request};
+use crate::http::{find_head_end, parse_head, BadRequest, BodyFraming, HttpLimits, Request};
 use caqr_reactor::TimerKey;
+use caqr_wire::ChunkedDecoder;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
@@ -64,10 +65,37 @@ pub struct Conn {
     /// Head already scanned for the blank line (resume point, so a
     /// byte-at-a-time peer costs linear, not quadratic, scanning).
     scanned: usize,
-    /// Parsed head waiting for its body: (request, head_end, body_len).
-    pending: Option<(Request, usize, usize)>,
+    /// Parsed head waiting for its body.
+    pending: Option<PendingRequest>,
     outbuf: Vec<u8>,
     written: usize,
+}
+
+/// A parsed head whose body is still arriving.
+#[derive(Debug)]
+struct PendingRequest {
+    request: Request,
+    body: BodyState,
+}
+
+/// Body-assembly progress for a pending request.
+#[derive(Debug)]
+enum BodyState {
+    /// Fixed-length body: the head is still at the front of `inbuf` and
+    /// the body occupies `head_end..head_end + body_len` once complete.
+    Length {
+        /// One past the head's blank line in `inbuf`.
+        head_end: usize,
+        /// Declared `Content-Length`.
+        body_len: usize,
+    },
+    /// Chunked body: the head has been drained from `inbuf`; buffered
+    /// bytes run through the decoder as they arrive, so only decoded
+    /// body plus at most one socket read is ever held.
+    Chunked {
+        decoder: ChunkedDecoder,
+        body: Vec<u8>,
+    },
 }
 
 impl Conn {
@@ -144,8 +172,21 @@ impl Conn {
             match find_head_end(&self.inbuf[from..]) {
                 Some(relative) => {
                     let head_end = from + relative;
-                    let (request, body_len) = parse_head(&self.inbuf[..head_end], limits)?;
-                    self.pending = Some((request, head_end, body_len));
+                    let (request, framing) = parse_head(&self.inbuf[..head_end], limits)?;
+                    let body = match framing {
+                        BodyFraming::Length(body_len) => BodyState::Length { head_end, body_len },
+                        BodyFraming::Chunked => {
+                            // The head is fully parsed; from here on the
+                            // buffer holds only raw chunked framing.
+                            self.inbuf.drain(..head_end);
+                            self.scanned = 0;
+                            BodyState::Chunked {
+                                decoder: ChunkedDecoder::new(limits.max_body_bytes),
+                                body: Vec::new(),
+                            }
+                        }
+                    };
+                    self.pending = Some(PendingRequest { request, body });
                 }
                 None => {
                     self.scanned = self.inbuf.len();
@@ -157,14 +198,30 @@ impl Conn {
             }
         }
 
-        let (_, head_end, body_len) = *self.pending.as_ref().expect("pending head");
-        let total = head_end + body_len;
-        if self.inbuf.len() < total {
-            return Ok(None);
-        }
-        let (mut request, _, _) = self.pending.take().expect("pending head");
-        request.body = self.inbuf[head_end..total].to_vec();
-        self.inbuf.drain(..total);
+        let pending = self.pending.as_mut().expect("pending head");
+        let body = match &mut pending.body {
+            BodyState::Length { head_end, body_len } => {
+                let (head_end, total) = (*head_end, *head_end + *body_len);
+                if self.inbuf.len() < total {
+                    return Ok(None);
+                }
+                let body = self.inbuf[head_end..total].to_vec();
+                self.inbuf.drain(..total);
+                body
+            }
+            BodyState::Chunked { decoder, body } => {
+                let consumed = decoder
+                    .push(&self.inbuf, body)
+                    .map_err(|e| BadRequest(format!("bad chunked body: {e}")))?;
+                self.inbuf.drain(..consumed);
+                if !decoder.is_done() {
+                    return Ok(None);
+                }
+                std::mem::take(body)
+            }
+        };
+        let mut request = self.pending.take().expect("pending head").request;
+        request.body = body;
         self.scanned = 0;
         self.served += 1;
         self.close_after_response = request.wants_close();

@@ -19,9 +19,10 @@ use caqr_arch::{Device, Topology};
 use caqr_circuit::{qasm, Circuit};
 use caqr_engine::{
     BatchOptions, BatchRequest, BindJob, CompileCache, CompileJob, Engine, EngineMetrics,
-    FailedJob, JobError, JobOutcome,
+    FailedJob, JobError, JobOutcome, StreamJobError,
 };
 use caqr_sim::{Executor, NoiseModel};
+use caqr_stream::{StreamError, StreamOptions};
 use caqr_wire::{circuit, Value};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -142,6 +143,9 @@ pub enum Endpoint {
     Simulate,
     /// `POST /v1/bind-run`.
     BindRun,
+    /// `POST /v1/compile-stream` — the body is raw OpenQASM text, fed to
+    /// the bounded-memory streaming pipeline instead of a JSON envelope.
+    CompileStream,
 }
 
 impl Endpoint {
@@ -157,6 +161,9 @@ impl Endpoint {
             Endpoint::Simulate => Some(2),
             Endpoint::BindRun => Some(3),
             Endpoint::CompileBatch => None,
+            // Streaming bodies can be megabytes of QASM; caching whole
+            // request bytes as a key would defeat the memory bound.
+            Endpoint::CompileStream => None,
         }
     }
 }
@@ -183,10 +190,11 @@ pub fn route(state: &AppState, request: &Request) -> Routed {
         ("POST", "/v1/compile-batch") => Routed::Dispatch(Endpoint::CompileBatch),
         ("POST", "/v1/simulate") => route_compute(state, Endpoint::Simulate, &request.body),
         ("POST", "/v1/bind-run") => route_compute(state, Endpoint::BindRun, &request.body),
+        ("POST", "/v1/compile-stream") => Routed::Dispatch(Endpoint::CompileStream),
         (
             _,
             "/healthz" | "/metrics" | "/v1/compile" | "/v1/compile-batch" | "/v1/simulate"
-            | "/v1/bind-run",
+            | "/v1/bind-run" | "/v1/compile-stream",
         ) => Routed::Done(Response::error(405, "method not allowed")),
         _ => Routed::Done(Response::error(404, "no such endpoint")),
     }
@@ -213,6 +221,7 @@ pub fn execute(state: &AppState, endpoint: Endpoint, body: &[u8]) -> Response {
         Endpoint::CompileBatch => compile_batch(state, body),
         Endpoint::Simulate => simulate(state, body),
         Endpoint::BindRun => bind_run(state, body),
+        Endpoint::CompileStream => compile_stream(state, body),
     };
     if let Some(key) = endpoint.cache_key() {
         state
@@ -260,6 +269,9 @@ fn metrics(state: &AppState) -> Response {
 struct Reject {
     status: u16,
     message: String,
+    /// 1-based source line for QASM parse errors, so a client streaming a
+    /// generated program can point at the offending statement.
+    line: Option<usize>,
 }
 
 impl Reject {
@@ -267,6 +279,7 @@ impl Reject {
         Reject {
             status: 400,
             message: message.into(),
+            line: None,
         }
     }
 
@@ -274,11 +287,32 @@ impl Reject {
         Reject {
             status: 422,
             message: message.into(),
+            line: None,
+        }
+    }
+
+    /// A 422 anchored to a source line (`0` = no single line, per
+    /// [`qasm::ParseQasmError::line`]).
+    fn unprocessable_at(line: usize, message: impl Into<String>) -> Reject {
+        Reject {
+            status: 422,
+            message: message.into(),
+            line: (line > 0).then_some(line),
         }
     }
 
     fn into_response(self) -> Response {
-        Response::error(self.status, &self.message)
+        match self.line {
+            None => Response::error(self.status, &self.message),
+            Some(line) => {
+                let body = Value::obj(vec![
+                    ("error", Value::str(self.message)),
+                    ("line", Value::num(line as u64)),
+                ])
+                .encode();
+                Response::json(self.status, body.into_bytes())
+            }
+        }
     }
 }
 
@@ -302,7 +336,8 @@ fn circuit_field(body: &Value) -> Result<Circuit, Reject> {
             let text = qasm_text
                 .as_str()
                 .ok_or_else(|| Reject::bad("'qasm' must be a string"))?;
-            qasm::from_qasm(text).map_err(|e| Reject::unprocessable(format!("bad QASM: {e}")))
+            qasm::from_qasm(text)
+                .map_err(|e| Reject::unprocessable_at(e.line(), format!("bad QASM: {e}")))
         }
         (None, None) => Err(Reject::bad("missing 'circuit' or 'qasm'")),
     }
@@ -556,16 +591,16 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
             return Err(Reject::bad(format!("jobs[{index}] must be an object")));
         }
         let circuit = circuit_field(entry).map_err(|r| Reject {
-            status: r.status,
             message: format!("jobs[{index}]: {}", r.message),
+            ..r
         })?;
         let strategy = strategy_field(entry, "strategy", default_strategy).map_err(|r| Reject {
-            status: r.status,
             message: format!("jobs[{index}]: {}", r.message),
+            ..r
         })?;
         let router = router_field(entry, default_router).map_err(|r| Reject {
-            status: r.status,
             message: format!("jobs[{index}]: {}", r.message),
+            ..r
         })?;
         let name = match entry.get("name") {
             None => format!("job-{index}"),
@@ -796,6 +831,65 @@ fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         ("cache_hit", Value::Bool(outcome.template_cache_hit)),
         ("shots", Value::num(shot_report.shots as u64)),
         ("counts", Value::Obj(histogram)),
+    ]);
+    Ok(Response::json(200, response.encode().into_bytes()))
+}
+
+/// Body bytes per feed into the streaming parser. The transport hands
+/// the handler a complete body today; slicing keeps per-feed work (and
+/// deadline-check granularity) bounded regardless of body size.
+const STREAM_FEED_BYTES: usize = 64 * 1024;
+
+/// `POST /v1/compile-stream`: the body is raw OpenQASM 2.0 text (no JSON
+/// envelope — typically delivered with `Transfer-Encoding: chunked`), fed
+/// through the bounded-memory streaming pipeline. The response carries
+/// the output digest and stage metrics instead of a materialized circuit:
+/// the point of the endpoint is that the compiled program never exists in
+/// one piece on the server.
+fn compile_stream(state: &AppState, body: &[u8]) -> Response {
+    match compile_stream_inner(state, body) {
+        Ok(response) => response,
+        Err(reject) => reject.into_response(),
+    }
+}
+
+fn compile_stream_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
+    if body.is_empty() {
+        return Err(Reject::bad("empty body: expected OpenQASM 2.0 text"));
+    }
+    let token = CancelToken::with_timeout(state.limits.default_timeout);
+    let outcome = Engine::compile_streamed(
+        body.chunks(STREAM_FEED_BYTES),
+        StreamOptions::default(),
+        &token,
+    );
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(StreamJobError::Stream(StreamError::Parse(e))) => {
+            return Err(Reject::unprocessable_at(e.line(), format!("bad QASM: {e}")))
+        }
+        Err(StreamJobError::Stream(e @ StreamError::WindowTooSmall { .. })) => {
+            return Err(Reject::unprocessable(e.to_string()))
+        }
+        Err(StreamJobError::Cancelled(_)) => {
+            return Ok(Response::error(504, "deadline exceeded (in 'stream')"))
+        }
+    };
+    let m = outcome.report.metrics;
+    let response = Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("digest", Value::str(outcome.report.digest.to_string())),
+        ("declared_qubits", Value::num(m.declared_qubits as u64)),
+        ("wires", Value::num(m.wires as u64)),
+        ("clbits", Value::num(m.clbits as u64)),
+        ("gates_in", Value::num(m.gates_in)),
+        ("gates_out", Value::num(m.gates_out)),
+        ("resets_inserted", Value::num(m.resets_inserted)),
+        ("chunks", Value::num(m.chunks)),
+        ("peak_window", Value::num(m.peak_window as u64)),
+        ("peak_live", Value::num(m.peak_live as u64)),
+        ("cones_closed", Value::num(m.cones_closed)),
+        ("peak_cone", Value::num(m.peak_cone as u64)),
     ]);
     Ok(Response::json(200, response.encode().into_bytes()))
 }
@@ -1222,5 +1316,89 @@ mod tests {
         assert!(engine.get("queue_wait_us").is_some());
         assert!(engine.get("compile_us").is_some());
         assert!(parsed.get("server").is_some());
+    }
+
+    #[test]
+    fn compile_stream_reports_digest_and_reuse_metrics() {
+        let state = state();
+        // Three sequential single-qubit lifetimes: maximum reuse pressure.
+        let mut qasm = String::from("OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\n");
+        for q in 0..3 {
+            qasm.push_str(&format!("h q[{q}];\nmeasure q[{q}] -> c[{q}];\n"));
+        }
+        let response = handle(&state, &post("/v1/compile-stream", &qasm));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("declared_qubits").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            parsed.get("wires").and_then(Value::as_u64),
+            Some(1),
+            "sequential lifetimes share one wire"
+        );
+        assert_eq!(
+            parsed.get("resets_inserted").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(parsed.get("cones_closed").and_then(Value::as_u64), Some(3));
+        let digest = parsed.get("digest").and_then(Value::as_str).unwrap();
+        assert_eq!(digest.len(), 32, "128-bit digest in hex");
+
+        // Wrong method joins the standard 405 set.
+        let get = Request {
+            method: "GET".into(),
+            path: "/v1/compile-stream".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&state, &get).status, 405);
+    }
+
+    #[test]
+    fn qasm_parse_errors_carry_the_source_line() {
+        let state = state();
+        // Streaming endpoint: raw QASM body, error on line 3.
+        let response = handle(
+            &state,
+            &post(
+                "/v1/compile-stream",
+                "OPENQASM 2.0;\nqreg q[1];\nbadgate q[0];\n",
+            ),
+        );
+        assert_eq!(response.status, 422);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Value::as_str),
+            Some("bad QASM: qasm parse error at line 3: unknown gate 'badgate'")
+        );
+        assert_eq!(parsed.get("line").and_then(Value::as_u64), Some(3));
+
+        // JSON endpoints surface the same shape through the 'qasm' field.
+        let body = r#"{"qasm":"OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];"}"#;
+        let response = handle(&state, &post("/v1/compile", body));
+        assert_eq!(response.status, 422);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("line").and_then(Value::as_u64), Some(3));
+        assert!(parsed
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("line 3"));
+    }
+
+    #[test]
+    fn compile_stream_rejects_empty_and_malformed_bodies() {
+        let state = state();
+        assert_eq!(handle(&state, &post("/v1/compile-stream", "")).status, 400);
+        let response = handle(&state, &post("/v1/compile-stream", "qreg q[1]"));
+        assert_eq!(response.status, 422, "missing semicolon");
     }
 }

@@ -1,9 +1,12 @@
 //! A minimal, defensive HTTP/1.1 implementation.
 //!
 //! Supports exactly what the service needs: request-line + headers +
-//! `Content-Length` bodies, keep-alive, and hard limits on header and body
-//! size so a hostile peer cannot make the server allocate unboundedly.
-//! Chunked transfer encoding is deliberately rejected.
+//! `Content-Length` or `Transfer-Encoding: chunked` bodies, keep-alive,
+//! and hard limits on header and body size so a hostile peer cannot make
+//! the server allocate unboundedly. Chunked bodies are decoded through
+//! [`caqr_wire::ChunkedDecoder`] under the same body cap, which is what
+//! lets the streaming-compile endpoint consume a request as it arrives.
+//! Other transfer encodings are deliberately rejected.
 //!
 //! Two parsing front-ends share these rules: [`read_request`] reads from a
 //! blocking socket (the threaded backend), while [`find_head_end`] +
@@ -86,6 +89,52 @@ impl std::fmt::Display for BadRequest {
 /// The result of one read attempt on a connection.
 pub type ReadResult = Result<Result<Request, NoRequest>, BadRequest>;
 
+/// How a request's body is delimited on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// `Content-Length: n` (0 when the header is absent).
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// Decides the body framing from the parsed headers, enforcing the body
+/// cap on declared lengths. Chunked is accepted, identity is a no-op,
+/// anything else is rejected; a `Content-Length` alongside chunked is
+/// request smuggling and refused outright (RFC 9112 §6.3).
+fn body_framing(request: &Request, limits: &HttpLimits) -> Result<BodyFraming, BadRequest> {
+    if let Some(te) = request.header("transfer-encoding") {
+        if te.eq_ignore_ascii_case("chunked") {
+            if request.header("content-length").is_some() {
+                return Err(BadRequest(
+                    "content-length conflicts with chunked transfer encoding".into(),
+                ));
+            }
+            return Ok(BodyFraming::Chunked);
+        }
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(BadRequest(format!(
+                "transfer encoding '{te}' not supported"
+            )));
+        }
+    }
+    match request.header("content-length") {
+        None => Ok(BodyFraming::Length(0)),
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| BadRequest("bad content-length".into()))?;
+            if len > limits.max_body_bytes {
+                return Err(BadRequest(format!(
+                    "body of {len} bytes exceeds the {}-byte limit",
+                    limits.max_body_bytes
+                )));
+            }
+            Ok(BodyFraming::Length(len))
+        }
+    }
+}
+
 /// Reads one request.
 ///
 /// The stream must already carry a read timeout; while *no* byte of a new
@@ -167,27 +216,35 @@ pub fn read_request(
         headers,
         body: Vec::new(),
     };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(BadRequest("chunked transfer encoding not supported".into()));
-    }
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| BadRequest("bad content-length".into()))?;
-        if len > limits.max_body_bytes {
-            return Err(BadRequest(format!(
-                "body of {len} bytes exceeds the {}-byte limit",
-                limits.max_body_bytes
-            )));
+    match body_framing(&request, limits)? {
+        BodyFraming::Length(0) => {}
+        BodyFraming::Length(len) => {
+            let mut body = vec![0u8; len];
+            if reader.read_exact(&mut body).is_err() {
+                return Ok(Err(NoRequest::Closed)); // truncated or stalled body
+            }
+            request.body = body;
         }
-        let mut body = vec![0u8; len];
-        if reader.read_exact(&mut body).is_err() {
-            return Ok(Err(NoRequest::Closed)); // truncated or stalled body
+        BodyFraming::Chunked => {
+            let mut decoder = caqr_wire::ChunkedDecoder::new(limits.max_body_bytes);
+            let mut body = Vec::new();
+            while !decoder.is_done() {
+                let available = match reader.fill_buf() {
+                    Ok(a) => a,
+                    // Mid-body timeouts are stalls, same as a truncated
+                    // Content-Length body.
+                    Err(_) => return Ok(Err(NoRequest::Closed)),
+                };
+                if available.is_empty() {
+                    return Ok(Err(NoRequest::Closed)); // EOF mid-body
+                }
+                let consumed = decoder
+                    .push(available, &mut body)
+                    .map_err(|e| BadRequest(format!("bad chunked body: {e}")))?;
+                reader.consume(consumed);
+            }
+            request.body = body;
         }
-        request.body = body;
     }
     Ok(Ok(request))
 }
@@ -257,15 +314,16 @@ pub fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// Parses a complete request head (everything up to and including the
 /// blank line) under the same rules as [`read_request`]: stray leading
 /// CRLFs are skipped, header names are lower-cased, at most 64 headers,
-/// only identity transfer encoding, and `Content-Length` capped by
-/// `limits`. Returns the request (body still empty) and the declared body
-/// length.
+/// identity or chunked transfer encoding, and `Content-Length` capped by
+/// `limits`. Returns the request (body still empty) and its
+/// [`BodyFraming`]; chunked bodies are assembled incrementally by the
+/// caller ([`crate::conn::Conn`]).
 ///
 /// # Errors
 ///
 /// [`BadRequest`] with the same messages the blocking path produces, so
 /// the 400-vs-431 status mapping stays identical across backends.
-pub fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<(Request, usize), BadRequest> {
+pub fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<(Request, BodyFraming), BadRequest> {
     let text =
         std::str::from_utf8(head).map_err(|_| BadRequest("head is not valid UTF-8".into()))?;
     let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
@@ -305,28 +363,8 @@ pub fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<(Request, usize), 
         headers,
         body: Vec::new(),
     };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(BadRequest("chunked transfer encoding not supported".into()));
-    }
-    let body_len = match request.header("content-length") {
-        None => 0,
-        Some(len) => {
-            let len: usize = len
-                .parse()
-                .map_err(|_| BadRequest("bad content-length".into()))?;
-            if len > limits.max_body_bytes {
-                return Err(BadRequest(format!(
-                    "body of {len} bytes exceeds the {}-byte limit",
-                    limits.max_body_bytes
-                )));
-            }
-            len
-        }
-    };
-    Ok((request, body_len))
+    let framing = body_framing(&request, limits)?;
+    Ok((request, framing))
 }
 
 /// One response, ready to serialize.

@@ -26,10 +26,16 @@ use std::time::{Duration, Instant};
 /// One prepared request, reused for the whole run.
 #[derive(Debug, Clone)]
 pub struct Shot {
-    /// Request path (for reporting only; the bytes are prebuilt).
+    /// Request path (the event engine replays `bytes` verbatim; the
+    /// blocking fallback re-sends `path` + `body`).
     pub path: String,
-    /// The full serialized request.
+    /// The full serialized request, framing included.
     pub bytes: Vec<u8>,
+    /// The unframed request body — what the server's handler receives.
+    pub body: Vec<u8>,
+    /// `Some(n)`: the body is framed as `Transfer-Encoding: chunked`
+    /// with one frame per `n` bytes; `None`: plain `Content-Length`.
+    pub chunk_size: Option<usize>,
 }
 
 impl Shot {
@@ -45,6 +51,29 @@ impl Shot {
         Shot {
             path: path.to_string(),
             bytes,
+            body: body.to_vec(),
+            chunk_size: None,
+        }
+    }
+
+    /// Builds a keep-alive `POST` whose body is framed as
+    /// `Transfer-Encoding: chunked`, one frame per `chunk_size` slice —
+    /// keeps the server's incremental body-assembly path under load.
+    pub fn post_chunked(path: &str, body: &[u8], chunk_size: usize) -> Shot {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<&[u8]> = body.chunks(chunk_size).collect();
+        let framed = caqr_wire::chunked::encode(&chunks);
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/octet-stream\r\nTransfer-Encoding: chunked\r\n\r\n"
+        );
+        let mut bytes = Vec::with_capacity(head.len() + framed.len());
+        bytes.extend_from_slice(head.as_bytes());
+        bytes.extend_from_slice(&framed);
+        Shot {
+            path: path.to_string(),
+            bytes,
+            body: body.to_vec(),
+            chunk_size: Some(chunk_size),
         }
     }
 }
@@ -503,5 +532,16 @@ mod tests {
         assert!(text.starts_with("POST /v1/compile HTTP/1.1\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
+    }
+
+    #[test]
+    fn chunked_shots_frame_the_body() {
+        let shot = Shot::post_chunked("/v1/compile-stream", b"qreg q[2];\n", 4);
+        let text = String::from_utf8(shot.bytes.clone()).unwrap();
+        assert!(text.starts_with("POST /v1/compile-stream HTTP/1.1\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        // 11 body bytes in 4-byte frames: 4, 4, 3, then the terminal chunk.
+        assert!(text.ends_with("4\r\nqreg\r\n4\r\n q[2\r\n3\r\n];\n\r\n0\r\n\r\n"));
     }
 }

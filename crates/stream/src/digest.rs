@@ -1,0 +1,147 @@
+//! Order-exact fingerprinting of an instruction stream.
+//!
+//! [`caqr_circuit::Circuit::fingerprint`] hashes the circuit *header*
+//! (widths, length) before any instruction — but a streaming compiler
+//! only knows the final wire count at end of input. [`StreamDigest`]
+//! therefore hashes instructions incrementally with the exact
+//! per-instruction encoding the batch fingerprint uses, then folds the
+//! header over the running digest at [`finish`](StreamDigest::finish).
+//! The value differs from `Circuit::fingerprint` by construction, but is
+//! equally order- and content-exact, and
+//! [`of_circuit`](StreamDigest::of_circuit) computes the same value from
+//! a materialized circuit so streamed and batch outputs can be compared
+//! without ever materializing the streamed one.
+
+use caqr_circuit::fingerprint::StableHasher;
+use caqr_circuit::{Circuit, Fingerprint, Gate, Instruction};
+
+/// Incremental instruction-stream hasher.
+#[derive(Debug, Default)]
+pub struct StreamDigest {
+    inner: StableHasher,
+    count: usize,
+}
+
+impl StreamDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        StreamDigest::default()
+    }
+
+    /// Absorbs one instruction (same encoding as the batch fingerprint).
+    pub fn absorb(&mut self, instr: &Instruction) {
+        self.count += 1;
+        let h = &mut self.inner;
+        h.write_str(instr.gate.name());
+        if let Gate::U(theta, phi, lambda) = instr.gate {
+            h.write_f64(theta);
+            h.write_f64(phi);
+            h.write_f64(lambda);
+        } else if let Some(angle) = instr.gate.angle() {
+            h.write_f64(angle);
+        }
+        h.write_usize(instr.qubits.len());
+        for q in &instr.qubits {
+            h.write_u32(q.index() as u32);
+        }
+        match instr.clbit {
+            Some(c) => {
+                h.write_u8(1);
+                h.write_u32(c.index() as u32);
+            }
+            None => h.write_u8(0),
+        }
+        match instr.condition {
+            Some(c) => {
+                h.write_u8(1);
+                h.write_u32(c.index() as u32);
+            }
+            None => h.write_u8(0),
+        }
+    }
+
+    /// Instructions absorbed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds the now-known header over the instruction digest.
+    pub fn finish(self, num_qubits: usize, num_clbits: usize) -> Fingerprint {
+        let stream = self.inner.finish();
+        let mut h = StableHasher::new();
+        h.write_usize(num_qubits);
+        h.write_usize(num_clbits);
+        h.write_usize(self.count);
+        h.write_u128(stream.as_u128());
+        h.finish()
+    }
+
+    /// The digest a stream producing exactly `circuit` would finish with.
+    pub fn of_circuit(circuit: &Circuit) -> Fingerprint {
+        let mut d = StreamDigest::new();
+        for instr in circuit.iter() {
+            d.absorb(instr);
+        }
+        d.finish(circuit.num_qubits(), circuit.num_clbits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqr_circuit::{Clbit, Qubit};
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(2, 1);
+        c.h(Qubit::new(0));
+        c.rz(0.75, Qubit::new(1));
+        c.cx(Qubit::new(0), Qubit::new(1));
+        c.measure(Qubit::new(1), Clbit::new(0));
+        c.cond_x(Qubit::new(0), Clbit::new(0));
+        c
+    }
+
+    #[test]
+    fn incremental_matches_of_circuit() {
+        let c = sample();
+        let mut d = StreamDigest::new();
+        for i in c.iter() {
+            d.absorb(i);
+        }
+        assert_eq!(
+            d.finish(c.num_qubits(), c.num_clbits()),
+            StreamDigest::of_circuit(&c)
+        );
+    }
+
+    #[test]
+    fn sensitive_to_order_content_and_header() {
+        let c = sample();
+        let base = StreamDigest::of_circuit(&c);
+
+        let mut reordered = Circuit::new(2, 1);
+        let instrs: Vec<_> = c.iter().cloned().collect();
+        reordered.push(instrs[1].clone());
+        reordered.push(instrs[0].clone());
+        for i in &instrs[2..] {
+            reordered.push(i.clone());
+        }
+        assert_ne!(StreamDigest::of_circuit(&reordered), base);
+
+        let mut widened = Circuit::new(3, 1);
+        for i in c.iter() {
+            widened.push(i.clone());
+        }
+        assert_ne!(StreamDigest::of_circuit(&widened), base);
+
+        let mut angle = StreamDigest::new();
+        for i in c.iter() {
+            let mut i = i.clone();
+            if let Gate::Rz(_) = i.gate {
+                i.gate = Gate::Rz(0.76);
+            }
+            angle.absorb(&i);
+        }
+        assert_ne!(angle.finish(2, 1), base);
+    }
+}

@@ -29,9 +29,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod circuit;
 pub mod parse;
 pub mod value;
 
+pub use chunked::{ChunkedDecoder, ChunkedError};
 pub use parse::{parse, parse_with, Limits, WireError};
 pub use value::Value;
