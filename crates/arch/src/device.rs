@@ -1,6 +1,7 @@
 //! A device: a topology plus its calibration.
 
 use crate::calibration::Calibration;
+use crate::grid::GridGeometry;
 use crate::topology::Topology;
 use caqr_circuit::depth::DurationModel;
 use caqr_circuit::fingerprint::{Fingerprint, StableHasher};
@@ -24,6 +25,7 @@ use std::fmt;
 pub struct Device {
     topology: Topology,
     calibration: Calibration,
+    dpqa: Option<GridGeometry>,
 }
 
 impl Device {
@@ -41,7 +43,24 @@ impl Device {
         Device {
             topology,
             calibration,
+            dpqa: None,
         }
+    }
+
+    /// A DPQA device: a `rows x cols` grid coupling graph (the Rydberg
+    /// blockade adjacency), synthetic calibration seeded by `seed`, and
+    /// the [`GridGeometry`] the movement-based routing backend needs.
+    pub fn dpqa_grid(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut dev = Device::with_synthetic_calibration(Topology::grid(rows, cols), seed);
+        dev.dpqa = Some(GridGeometry::new(rows, cols));
+        dev
+    }
+
+    /// The DPQA grid geometry, when this device is a neutral-atom array
+    /// (built by [`Device::dpqa_grid`]). `None` for fixed-coupling
+    /// devices — the movement backend rejects those with a typed error.
+    pub fn dpqa_geometry(&self) -> Option<&GridGeometry> {
+        self.dpqa.as_ref()
     }
 
     /// The 27-qubit IBM Mumbai stand-in: Falcon heavy-hex topology with
@@ -101,6 +120,24 @@ impl Device {
         for (u, v) in edges {
             h.write_usize(u);
             h.write_usize(v);
+        }
+        // DPQA geometry joins the fingerprint only when present, so every
+        // fixed-coupling device keeps its historical fingerprint.
+        if let Some(g) = &self.dpqa {
+            h.write_str("dpqa");
+            h.write_usize(g.rows());
+            h.write_usize(g.cols());
+            let t = g.times();
+            for v in [
+                t.pickup_dt,
+                t.dropoff_dt,
+                t.shift_per_site_dt,
+                t.rydberg_dt,
+                t.measure_transit_dt,
+                t.load_dt,
+            ] {
+                h.write_usize(v as usize);
+            }
         }
         h.finish().combine(self.calibration.fingerprint())
     }
@@ -240,6 +277,19 @@ mod tests {
         let t27 = Topology::heavy_hex_falcon27();
         let cal = Calibration::synthetic(&t27, 0);
         Device::new(Topology::line(5), cal);
+    }
+
+    #[test]
+    fn dpqa_grid_carries_geometry_and_distinct_fingerprint() {
+        let plain = Device::with_synthetic_calibration(Topology::grid(3, 3), 7);
+        let dpqa = Device::dpqa_grid(3, 3, 7);
+        assert!(plain.dpqa_geometry().is_none());
+        let g = dpqa.dpqa_geometry().expect("dpqa device has geometry");
+        assert_eq!((g.rows(), g.cols()), (3, 3));
+        // Same topology + calibration, but the geometry is part of the
+        // device identity: compile-cache entries must not collide.
+        assert_ne!(plain.fingerprint(), dpqa.fingerprint());
+        assert_eq!(Device::dpqa_grid(3, 3, 7).fingerprint(), dpqa.fingerprint());
     }
 
     #[test]

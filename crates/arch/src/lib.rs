@@ -18,6 +18,10 @@
 //! * [`Layout`] — the typed logical↔physical qubit map (with free-list and
 //!   dirty/reset state) that routing mutates, invariant-checked in debug
 //!   builds.
+//! * [`GridGeometry`] / [`MovementSchedule`] — the DPQA (neutral-atom)
+//!   hardware model: a 2D SLM site grid with AOD-based atom movement,
+//!   timing constants, and a typed, verifiable movement-schedule IR for
+//!   the movement-based routing backend.
 //!
 //! # Examples
 //!
@@ -34,10 +38,12 @@
 
 mod calibration;
 mod device;
+mod grid;
 mod layout;
 mod topology;
 
 pub use calibration::{Calibration, DT_NANOSECONDS};
 pub use device::Device;
+pub use grid::{manhattan, AtomMove, GridGeometry, MoveStage, MovementSchedule, MovementTimes};
 pub use layout::{Layout, WireState};
 pub use topology::Topology;

@@ -1,7 +1,7 @@
 //! Ablation: SR-CaQR's policy knobs — delaying off-critical gates and
 //! reclaiming retired physical qubits — evaluated independently.
 
-use caqr::router::{route, CostModelSpec, RouterOptions};
+use caqr::router::{route, RouterOptions};
 use caqr_bench::{device_for, Table};
 use caqr_benchmarks::suite;
 
@@ -15,7 +15,7 @@ fn main() {
                 delay_off_critical: true,
                 reclaim: false,
                 preplace: false,
-                cost_model: CostModelSpec::Hop,
+                ..RouterOptions::baseline()
             },
         ),
         (
@@ -24,7 +24,7 @@ fn main() {
                 delay_off_critical: false,
                 reclaim: true,
                 preplace: false,
-                cost_model: CostModelSpec::Hop,
+                ..RouterOptions::baseline()
             },
         ),
         ("SR (delay + reclaim)", RouterOptions::sr()),

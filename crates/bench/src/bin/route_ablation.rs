@@ -9,7 +9,13 @@
 //! of the routed circuits. A SWAP decomposes into three CXs, so it counts
 //! its link's error three times.
 //!
-//! Usage: `route_ablation [--quick] [--check] [--json] [--out PATH]`
+//! The same corpus also runs through the DPQA movement backend on a
+//! 5x5 grid device (atoms shuttle instead of SWAPping, so the comparison
+//! axis is movement stages rather than SWAP count); its per-job rows are
+//! frozen in a `"dpqa"` section of the same JSON.
+//!
+//! Usage: `route_ablation [--quick] [--check] [--json] [--out PATH]
+//! [--routing-backend swap|dpqa|both]`
 //!
 //! * default — print the per-model comparison table.
 //! * `--json` — also write the frozen `BENCH_route.json` (per-job rows
@@ -18,11 +24,16 @@
 //! * `--check` — recompute and compare against the committed JSON: every
 //!   recomputed row must match its frozen fingerprint bit for bit, all
 //!   three models must have completed, and at least one alternative model
-//!   must beat `hop` on total SWAPs or CX error mass.
+//!   must beat `hop` on total SWAPs or CX error mass. With the DPQA
+//!   backend in scope, every movement row must also match its frozen
+//!   fingerprint and stage count, with zero SWAPs across the board.
 //! * `--quick` — restrict to a 3-benchmark x 2-strategy subset (CI smoke;
 //!   composes with `--check`).
+//! * `--routing-backend` — restrict to one backend (default `both`).
 
-use caqr::{compile_with, CompileReport, CostModelSpec, Strategy};
+use caqr::{
+    compile_with, CompileReport, CostModelSpec, RouterConfig, RoutingBackendSpec, Strategy,
+};
 use caqr_arch::Device;
 use caqr_bench::Table;
 use caqr_benchmarks::qaoa::{qaoa_benchmark, GraphKind};
@@ -94,6 +105,23 @@ struct Row {
     fingerprint: u128,
 }
 
+/// One job under the DPQA movement backend: no SWAPs by construction, so
+/// the comparison axis is movement stages and resulting depth/duration.
+struct DpqaRow {
+    bench: String,
+    strategy: Strategy,
+    qubits: usize,
+    depth: usize,
+    duration_dt: u64,
+    moves: usize,
+    swaps: usize,
+    fingerprint: u128,
+}
+
+/// DPQA target: 25 sites comfortably hosts the widest corpus member
+/// (BV_8 at 9 logical qubits) plus movement headroom.
+const DPQA_GRID: (usize, usize) = (5, 5);
+
 #[derive(Default)]
 struct ModelTotals {
     jobs_ok: usize,
@@ -129,6 +157,35 @@ fn run_jobs(quick: bool) -> Vec<Row> {
                     fingerprint: report.circuit.fingerprint().as_u128(),
                 });
             }
+        }
+    }
+    rows
+}
+
+fn run_dpqa_jobs(quick: bool) -> Vec<DpqaRow> {
+    let device = Device::dpqa_grid(DPQA_GRID.0, DPQA_GRID.1, 2023);
+    let benches = corpus();
+    let (benches, strategies): (&[Benchmark], &[Strategy]) = if quick {
+        (&benches[..3], &[Strategy::Baseline, Strategy::Sr])
+    } else {
+        (&benches[..], &STRATEGIES[..])
+    };
+    let router = RouterConfig::from(RoutingBackendSpec::Dpqa);
+    let mut rows = Vec::new();
+    for bench in benches {
+        for &strategy in strategies {
+            let report = compile_with(&bench.circuit, &device, strategy, router)
+                .unwrap_or_else(|e| panic!("{} {strategy} dpqa: {e}", bench.name));
+            rows.push(DpqaRow {
+                bench: bench.name.clone(),
+                strategy,
+                qubits: report.qubits,
+                depth: report.depth,
+                duration_dt: report.duration_dt,
+                moves: report.movement_stages,
+                swaps: report.swaps,
+                fingerprint: report.circuit.fingerprint().as_u128(),
+            });
         }
     }
     rows
@@ -176,6 +233,34 @@ fn render(totals: &[(CostModelSpec, ModelTotals)]) {
     t.print();
 }
 
+fn render_dpqa(rows: &[DpqaRow]) {
+    let mut t = Table::new(&[
+        "benchmark",
+        "strategy",
+        "qubits",
+        "moves",
+        "depth",
+        "dur_dt",
+    ]);
+    for row in rows {
+        t.row(&[
+            row.bench.clone(),
+            row.strategy.to_string(),
+            row.qubits.to_string(),
+            row.moves.to_string(),
+            row.depth.to_string(),
+            row.duration_dt.to_string(),
+        ]);
+    }
+    t.print();
+    let moves: usize = rows.iter().map(|r| r.moves).sum();
+    let duration: u64 = rows.iter().map(|r| r.duration_dt).sum();
+    println!(
+        "\ndpqa totals: jobs={} moves={moves} dur_dt={duration} (SWAPs: 0 by construction)",
+        rows.len()
+    );
+}
+
 /// True when some non-hop model strictly improves on hop's total SWAPs or
 /// CX error mass — the claim the frozen JSON exists to document.
 fn some_model_beats_hop(totals: &[(CostModelSpec, ModelTotals)]) -> bool {
@@ -190,7 +275,7 @@ fn some_model_beats_hop(totals: &[(CostModelSpec, ModelTotals)]) -> bool {
         .any(|(_, agg)| agg.swaps < hop.swaps || agg.cx_error_sum < hop.cx_error_sum)
 }
 
-fn to_json(rows: &[Row], totals: &[(CostModelSpec, ModelTotals)]) -> String {
+fn to_json(rows: &[Row], dpqa: &[DpqaRow], totals: &[(CostModelSpec, ModelTotals)]) -> String {
     let mut json = String::from("{\n");
     json.push_str("  \"workload\": \"golden_corpus\",\n");
     json.push_str("  \"device\": \"mumbai:2023\",\n");
@@ -226,15 +311,49 @@ fn to_json(rows: &[Row], totals: &[(CostModelSpec, ModelTotals)]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"dpqa\": {\n");
+    json.push_str(&format!(
+        "    \"device\": \"grid:{}x{}:2023\",\n",
+        DPQA_GRID.0, DPQA_GRID.1
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in dpqa.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"bench\": \"{}\", \"strategy\": \"{}\", \"qubits\": {}, \"moves\": {}, \
+             \"swaps\": {}, \"depth\": {}, \"duration_dt\": {}, \"circuit\": \"{:032x}\"}}{}\n",
+            row.bench,
+            row.strategy,
+            row.qubits,
+            row.moves,
+            row.swaps,
+            row.depth,
+            row.duration_dt,
+            row.fingerprint,
+            if i + 1 < dpqa.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     json
 }
 
 /// Compares recomputed rows against the committed `BENCH_route.json`.
-fn check(rows: &[Row], totals: &[(CostModelSpec, ModelTotals)], path: &str) {
+/// Sections whose backend was not recomputed (empty slice) are skipped.
+fn check(rows: &[Row], dpqa: &[DpqaRow], totals: &[(CostModelSpec, ModelTotals)], path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("--check needs the committed {path}: {e}"));
     let frozen = caqr_wire::parse(&text).expect("committed JSON parses");
+
+    if !dpqa.is_empty() {
+        check_dpqa(dpqa, &frozen, path);
+    }
+    if rows.is_empty() {
+        println!(
+            "--check passed ({} dpqa rows verified against {path})",
+            dpqa.len()
+        );
+        return;
+    }
 
     let frozen_models = frozen
         .get("models")
@@ -289,15 +408,59 @@ fn check(rows: &[Row], totals: &[(CostModelSpec, ModelTotals)], path: &str) {
         "no alternative model beats hop on the recomputed subset"
     );
     println!(
-        "--check passed ({} rows verified against {path})",
-        rows.len()
+        "--check passed ({} swap rows + {} dpqa rows verified against {path})",
+        rows.len(),
+        dpqa.len()
     );
+}
+
+/// Compares recomputed DPQA movement rows against the frozen `"dpqa"`
+/// section: fingerprint, movement-stage count, and the zero-SWAP
+/// invariant must all hold bit for bit.
+fn check_dpqa(dpqa: &[DpqaRow], frozen: &Value, path: &str) {
+    let section = frozen
+        .get("dpqa")
+        .unwrap_or_else(|| panic!("'dpqa' section missing from {path}"));
+    let frozen_rows = section
+        .get("rows")
+        .and_then(Value::as_array)
+        .expect("'dpqa.rows' array");
+    if dpqa.len() == 42 {
+        assert_eq!(frozen_rows.len(), 42, "full corpus frozen for dpqa");
+    }
+    let key = |bench: &str, strategy: &str| format!("{bench}|{strategy}");
+    let mut index = std::collections::BTreeMap::new();
+    for row in frozen_rows {
+        let k = key(
+            row.get("bench").and_then(Value::as_str).unwrap(),
+            row.get("strategy").and_then(Value::as_str).unwrap(),
+        );
+        index.insert(k, row);
+    }
+    for row in dpqa {
+        let k = key(&row.bench, &row.strategy.to_string());
+        let frozen_row = index
+            .get(&k)
+            .unwrap_or_else(|| panic!("dpqa row '{k}' missing from {path}"));
+        assert_eq!(
+            format!("{:032x}", row.fingerprint),
+            frozen_row.get("circuit").and_then(Value::as_str).unwrap(),
+            "dpqa circuit for '{k}' drifted from the frozen fingerprint"
+        );
+        assert_eq!(
+            frozen_row.get("moves").and_then(Value::as_u64),
+            Some(row.moves as u64),
+            "movement-stage count for '{k}' drifted"
+        );
+        assert_eq!(row.swaps, 0, "dpqa row '{k}' must not insert SWAPs");
+    }
 }
 
 fn main() {
     let mut quick = false;
     let mut check_only = false;
     let mut write_json = false;
+    let mut backends = (true, true); // (swap, dpqa)
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_route.json");
     let mut out = default_out.to_string();
     let mut args = std::env::args().skip(1);
@@ -307,9 +470,24 @@ fn main() {
             "--check" => check_only = true,
             "--json" => write_json = true,
             "--out" => out = args.next().expect("--out requires a path"),
+            "--routing-backend" => {
+                let spec = args.next().expect("--routing-backend requires a value");
+                backends = match spec.as_str() {
+                    "swap" => (true, false),
+                    "dpqa" => (false, true),
+                    "both" => (true, true),
+                    other => {
+                        eprintln!("unknown routing backend '{other}' (swap | dpqa | both)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unrecognized argument '{other}'");
-                eprintln!("usage: route_ablation [--quick] [--check] [--json] [--out PATH]");
+                eprintln!(
+                    "usage: route_ablation [--quick] [--check] [--json] [--out PATH] \
+                     [--routing-backend swap|dpqa|both]"
+                );
                 std::process::exit(2);
             }
         }
@@ -321,22 +499,44 @@ fn main() {
         "golden corpus (7 benchmarks x 6 strategies)"
     };
     println!("Routing cost-model ablation — {scope}\n");
-    let rows = run_jobs(quick);
-    let totals = totals(&rows);
-    render(&totals);
-
-    if some_model_beats_hop(&totals) {
-        println!("\nat least one alternative model beats hop on SWAPs or CX error mass");
+    let rows = if backends.0 {
+        run_jobs(quick)
     } else {
-        println!("\nwarning: no alternative model beats hop on this workload");
+        Vec::new()
+    };
+    let totals = totals(&rows);
+    if backends.0 {
+        render(&totals);
+        if some_model_beats_hop(&totals) {
+            println!("\nat least one alternative model beats hop on SWAPs or CX error mass");
+        } else {
+            println!("\nwarning: no alternative model beats hop on this workload");
+        }
+    }
+
+    let dpqa = if backends.1 {
+        run_dpqa_jobs(quick)
+    } else {
+        Vec::new()
+    };
+    if backends.1 {
+        println!(
+            "\nDPQA movement backend — grid:{}x{} (atoms shuttle; no SWAPs)\n",
+            DPQA_GRID.0, DPQA_GRID.1
+        );
+        render_dpqa(&dpqa);
     }
 
     if check_only {
-        check(&rows, &totals, &out);
+        check(&rows, &dpqa, &totals, &out);
         return;
     }
     if write_json {
-        std::fs::write(&out, to_json(&rows, &totals)).expect("write BENCH_route.json");
+        assert!(
+            backends == (true, true) && !quick,
+            "--json freezes the full corpus: run without --quick/--routing-backend"
+        );
+        std::fs::write(&out, to_json(&rows, &dpqa, &totals)).expect("write BENCH_route.json");
         println!("wrote {out}");
     }
 }

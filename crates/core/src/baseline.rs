@@ -9,7 +9,7 @@
 
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
-use crate::router::{self, CostModelSpec, RoutedCircuit, RouterOptions};
+use crate::router::{self, RoutedCircuit, RouterConfig, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::Circuit;
 
@@ -23,7 +23,9 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Caqr
     router::route(circuit, device, RouterOptions::baseline())
 }
 
-/// [`compile`] under an explicit swap-scoring [`CostModelSpec`].
+/// [`compile`] under an explicit routing policy — a bare swap-scoring
+/// [`crate::router::CostModelSpec`] or a full [`RouterConfig`] (backend +
+/// cost model).
 ///
 /// # Errors
 ///
@@ -32,12 +34,12 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Caqr
 pub fn compile_with(
     circuit: &Circuit,
     device: &Device,
-    cost_model: CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> Result<RoutedCircuit, CaqrError> {
     router::route(
         circuit,
         device,
-        RouterOptions::baseline().with_cost_model(cost_model),
+        RouterOptions::baseline().with_router(router_config),
     )
 }
 

@@ -52,6 +52,15 @@ pub enum CaqrError {
         /// What was missing (e.g. `"routed circuit"`).
         artifact: &'static str,
     },
+    /// A routing backend was asked to target a device it cannot drive
+    /// (e.g. the DPQA movement backend on a device without grid
+    /// geometry). `caqr-serve` maps this to HTTP 422.
+    BackendDeviceMismatch {
+        /// The routing backend's stable name.
+        backend: &'static str,
+        /// The device's display form.
+        device: String,
+    },
     /// An internal invariant was violated. Reported instead of panicking
     /// so one bad job cannot take down a batch.
     Internal {
@@ -125,6 +134,13 @@ impl fmt::Display for CaqrError {
                 write!(
                     f,
                     "pass '{pass}' needs a {artifact} produced by an earlier pass"
+                )
+            }
+            CaqrError::BackendDeviceMismatch { backend, device } => {
+                write!(
+                    f,
+                    "routing backend '{backend}' cannot target {device}: \
+                     it requires a DPQA grid device (grid:<rows>x<cols>)"
                 )
             }
             CaqrError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),

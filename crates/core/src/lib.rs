@@ -29,7 +29,9 @@
 //! Supporting machinery: [`analysis`] (the reuse Conditions 1 and 2),
 //! [`transform`] (applying a reuse plan to a circuit), [`baseline`] (a
 //! SABRE-style no-reuse compiler standing in for Qiskit optimization
-//! level 3), [`router`] (shared SWAP insertion), [`esp`] (estimated
+//! level 3), [`router`] (pluggable routing backends: SWAP insertion on
+//! fixed-coupling devices, greedy DPQA movement scheduling on
+//! neutral-atom grids), [`esp`] (estimated
 //! success probability + fused report metrics), [`advisor`] (the paper's
 //! "will reuse help this application?" pre-check), and [`pipeline`]
 //! (one-call compilation + reporting). The `caqr` binary wraps all of it
@@ -87,5 +89,8 @@ pub use pipeline::{
     compile_traced, compile_traced_cancellable, compile_traced_cancellable_with,
     compile_traced_with, compile_with, CompileReport, Stage, StageTrace, Strategy,
 };
-pub use router::{CostModel, CostModelSpec, COST_MODEL_GRAMMAR};
+pub use router::{
+    CostModel, CostModelSpec, RoutedProgram, RouterConfig, RoutingBackend, RoutingBackendSpec,
+    COST_MODEL_GRAMMAR, ROUTING_BACKEND_GRAMMAR,
+};
 pub use transform::{ReuseError, ReusePlan, TransformedCircuit};

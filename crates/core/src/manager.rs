@@ -13,7 +13,7 @@ use crate::pass::{
     ReportPass, RouteSweepPass, SelectObjective, SelectPass, SrRoutePass,
 };
 use crate::pipeline::{CompileReport, Stage, StageTrace, Strategy};
-use crate::router::CostModelSpec;
+use crate::router::{CostModelSpec, RouterConfig};
 use caqr_arch::Device;
 #[cfg(debug_assertions)]
 use caqr_circuit::parametric;
@@ -195,9 +195,10 @@ impl PassManager {
     }
 
     /// [`PassManager::run_observed_cancellable`] under an explicit
-    /// swap-scoring [`CostModelSpec`]: every routing pass in the recipe
-    /// (baseline route, SR route, the sweep router) ranks SWAP candidates
-    /// with this model instead of the default hop distance.
+    /// routing policy — a bare swap-scoring [`CostModelSpec`] (SWAP
+    /// backend) or a full [`RouterConfig`] choosing the backend too:
+    /// every routing pass in the recipe (baseline route, SR route, the
+    /// sweep router) compiles under it.
     ///
     /// # Errors
     ///
@@ -207,11 +208,11 @@ impl PassManager {
         circuit: &Circuit,
         device: &Device,
         strategy: Strategy,
-        cost_model: CostModelSpec,
+        router_config: impl Into<RouterConfig>,
         observer: &mut dyn PassObserver,
         cancel: &CancelToken,
     ) -> Result<CompileReport, CaqrError> {
-        let ctx = CompileCtx::new(circuit.clone(), device, strategy).with_cost_model(cost_model);
+        let ctx = CompileCtx::new(circuit.clone(), device, strategy).with_router(router_config);
         self.run_ctx(ctx, observer, cancel)
     }
 
@@ -235,12 +236,12 @@ impl PassManager {
         template: &ParametricCircuit,
         device: &Device,
         strategy: Strategy,
-        cost_model: CostModelSpec,
+        router_config: impl Into<RouterConfig>,
         observer: &mut dyn PassObserver,
         cancel: &CancelToken,
     ) -> Result<CompileReport, CaqrError> {
         let ctx = CompileCtx::new(template.circuit().clone(), device, strategy)
-            .with_cost_model(cost_model)
+            .with_router(router_config)
             .with_parametric(template.num_slots());
         let report = self.run_ctx(ctx, observer, cancel)?;
         #[cfg(debug_assertions)]

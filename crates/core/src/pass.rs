@@ -19,7 +19,7 @@ use crate::commuting::{CommutingSpec, NotCommutingError};
 use crate::error::CaqrError;
 use crate::pipeline::{CompileReport, Stage, Strategy};
 use crate::qs::SweepPoint;
-use crate::router::{CostModelSpec, RoutedCircuit};
+use crate::router::{CostModelSpec, RoutedCircuit, RouterConfig, RoutingBackendSpec};
 use caqr_arch::Device;
 use caqr_circuit::depth::DurationModel;
 use caqr_circuit::{Circuit, CircuitDag};
@@ -114,7 +114,7 @@ impl AnalysisCache {
 pub struct CompileCtx<'d> {
     device: &'d Device,
     strategy: Strategy,
-    cost_model: CostModelSpec,
+    router: RouterConfig,
     circuit: Circuit,
     analyses: AnalysisCache,
     /// `Some(num_slots)` when compiling a parametric template: the working
@@ -140,12 +140,12 @@ pub struct CompileCtx<'d> {
 
 impl<'d> CompileCtx<'d> {
     /// A fresh context owning `circuit`, targeting `device`, routing with
-    /// the default ([`CostModelSpec::Hop`]) swap-scoring model.
+    /// the default policy (SWAP backend, [`CostModelSpec::Hop`] scoring).
     pub fn new(circuit: Circuit, device: &'d Device, strategy: Strategy) -> Self {
         CompileCtx {
             device,
             strategy,
-            cost_model: CostModelSpec::Hop,
+            router: RouterConfig::default(),
             circuit,
             analyses: AnalysisCache::new(),
             parametric_slots: None,
@@ -159,7 +159,14 @@ impl<'d> CompileCtx<'d> {
 
     /// The same context routing under a different swap-scoring model.
     pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
-        self.cost_model = cost_model;
+        self.router.cost_model = cost_model;
+        self
+    }
+
+    /// The same context routing under a different complete routing policy
+    /// (backend + cost model).
+    pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
+        self.router = router.into();
         self
     }
 
@@ -188,7 +195,17 @@ impl<'d> CompileCtx<'d> {
 
     /// The swap-scoring model every routing pass in this compilation uses.
     pub fn cost_model(&self) -> CostModelSpec {
-        self.cost_model
+        self.router.cost_model
+    }
+
+    /// The complete routing policy (backend + cost model).
+    pub fn router(&self) -> RouterConfig {
+        self.router
+    }
+
+    /// The routing backend every routing pass in this compilation uses.
+    pub fn routing_backend(&self) -> RoutingBackendSpec {
+        self.router.backend
     }
 
     /// The current working circuit (read-only).
@@ -334,9 +351,9 @@ impl Pass for RouteSweepPass {
             artifact: "reuse sweep",
         })?;
         let mut out = Vec::with_capacity(points.len());
-        let cost = ctx.cost_model();
+        let router = ctx.router();
         for p in points {
-            let routed = crate::baseline::compile_with(&p.circuit, ctx.device(), cost)?;
+            let routed = crate::baseline::compile_with(&p.circuit, ctx.device(), router)?;
             out.push((p.qubits, routed));
         }
         ctx.routed_sweep = Some(out);
@@ -398,7 +415,9 @@ impl Pass for SelectPass {
                 .min_by_key(|(_, r)| (r.circuit.depth(), r.physical_qubits_used)),
             SelectObjective::MinSwap => sweep
                 .into_iter()
-                .min_by_key(|(_, r)| (r.swap_count, r.circuit.depth())),
+                // Movement stages are the DPQA analogue of SWAPs; the sum
+                // degenerates to plain swap_count on the SWAP backend.
+                .min_by_key(|(_, r)| (r.swap_count + r.movement_stages, r.circuit.depth())),
             SelectObjective::MaxEsp => {
                 let scored: Vec<(f64, (usize, RoutedCircuit))> = sweep
                     .into_iter()
@@ -429,12 +448,12 @@ impl Pass for BaselineRoutePass {
     }
 
     fn run(&self, ctx: &mut CompileCtx<'_>) -> Result<(), CaqrError> {
-        let cost = ctx.cost_model();
+        let router = ctx.router();
         let (circuit, analyses, device) = ctx.circuit_and_analyses();
         let routed = crate::router::route_cached(
             circuit,
             device,
-            crate::router::RouterOptions::baseline().with_cost_model(cost),
+            crate::router::RouterOptions::baseline().with_router(router),
             None,
             analyses,
         )?;
@@ -462,12 +481,12 @@ impl Pass for SrRoutePass {
             pass: "sr-route",
             artifact: "commuting analysis",
         })?;
-        let cost = ctx.cost_model();
+        let router = ctx.router();
         let routed = match spec {
             Ok(spec) => {
-                crate::sr::compile_commuting_with_cost(ctx.circuit(), ctx.device(), spec, cost)?
+                crate::sr::compile_commuting_with_cost(ctx.circuit(), ctx.device(), spec, router)?
             }
-            Err(_) => crate::sr::compile_with(ctx.circuit(), ctx.device(), cost)?,
+            Err(_) => crate::sr::compile_with(ctx.circuit(), ctx.device(), router)?,
         };
         ctx.routed = Some(routed);
         Ok(())

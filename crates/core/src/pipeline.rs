@@ -10,6 +10,7 @@
 use crate::error::CaqrError;
 use crate::esp;
 use crate::manager::PassManager;
+use crate::router::RouterConfig;
 use caqr_arch::Device;
 use caqr_circuit::{Circuit, ParametricCircuit};
 use std::fmt;
@@ -114,6 +115,8 @@ pub struct CompileReport {
     pub duration_dt: u64,
     /// SWAP gates inserted.
     pub swaps: usize,
+    /// DPQA movement stages scheduled (0 for the SWAP backend).
+    pub movement_stages: usize,
     /// Total two-qubit gates (CX/CZ/RZZ/CP + SWAPs).
     pub two_qubit_gates: usize,
     /// Estimated success probability.
@@ -139,6 +142,7 @@ impl CompileReport {
             depth: stats.depth,
             duration_dt: stats.duration_dt,
             swaps: routed.swap_count,
+            movement_stages: routed.movement_stages,
             two_qubit_gates: stats.two_qubit_gates,
             esp: stats.esp,
             circuit,
@@ -158,7 +162,13 @@ impl fmt::Display for CompileReport {
             self.swaps,
             self.two_qubit_gates,
             self.esp
-        )
+        )?;
+        // SWAP-backend rows keep their historical byte-exact form; only
+        // movement compilations grow the extra column.
+        if self.movement_stages > 0 {
+            write!(f, " moves={}", self.movement_stages)?;
+        }
+        Ok(())
     }
 }
 
@@ -291,10 +301,10 @@ pub fn compile(
     PassManager::for_strategy(strategy).run(circuit, device, strategy)
 }
 
-/// [`compile`] under an explicit swap-scoring
-/// [`CostModelSpec`](crate::router::CostModelSpec): every routing pass in
-/// the strategy's recipe ranks SWAP candidates with this model instead of
-/// the default hop distance.
+/// [`compile`] under an explicit routing policy: a bare swap-scoring
+/// [`CostModelSpec`](crate::router::CostModelSpec) (SWAP backend, the
+/// historical behaviour) or a full [`RouterConfig`] selecting the backend
+/// too — every routing pass in the strategy's recipe uses it.
 ///
 /// # Errors
 ///
@@ -303,13 +313,13 @@ pub fn compile_with(
     circuit: &Circuit,
     device: &Device,
     strategy: Strategy,
-    cost_model: crate::router::CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> Result<CompileReport, CaqrError> {
     compile_traced_cancellable_with(
         circuit,
         device,
         strategy,
-        cost_model,
+        router_config,
         &crate::cancel::CancelToken::new(),
     )
     .0
@@ -335,19 +345,19 @@ pub fn compile_traced(
     )
 }
 
-/// [`compile_traced`] under an explicit swap-scoring
-/// [`CostModelSpec`](crate::router::CostModelSpec).
+/// [`compile_traced`] under an explicit routing policy (a
+/// [`CostModelSpec`](crate::router::CostModelSpec) or [`RouterConfig`]).
 pub fn compile_traced_with(
     circuit: &Circuit,
     device: &Device,
     strategy: Strategy,
-    cost_model: crate::router::CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> (Result<CompileReport, CaqrError>, StageTrace) {
     compile_traced_cancellable_with(
         circuit,
         device,
         strategy,
-        cost_model,
+        router_config,
         &crate::cancel::CancelToken::new(),
     )
 }
@@ -374,20 +384,27 @@ pub fn compile_traced_cancellable(
     )
 }
 
-/// [`compile_traced_cancellable`] under an explicit swap-scoring
-/// [`CostModelSpec`](crate::router::CostModelSpec) — the fully general
-/// entry point the batch engine and HTTP service drive: strategy, routing
-/// policy, deadline token, and instrumentation all in one call.
+/// [`compile_traced_cancellable`] under an explicit routing policy (a
+/// [`CostModelSpec`](crate::router::CostModelSpec) or [`RouterConfig`]) —
+/// the fully general entry point the batch engine and HTTP service drive:
+/// strategy, routing policy, deadline token, and instrumentation all in
+/// one call.
 pub fn compile_traced_cancellable_with(
     circuit: &Circuit,
     device: &Device,
     strategy: Strategy,
-    cost_model: crate::router::CostModelSpec,
+    router_config: impl Into<RouterConfig>,
     cancel: &crate::cancel::CancelToken,
 ) -> (Result<CompileReport, CaqrError>, StageTrace) {
     let mut trace = StageTrace::default();
-    let result = PassManager::for_strategy(strategy)
-        .run_observed_cancellable_with(circuit, device, strategy, cost_model, &mut trace, cancel);
+    let result = PassManager::for_strategy(strategy).run_observed_cancellable_with(
+        circuit,
+        device,
+        strategy,
+        router_config,
+        &mut trace,
+        cancel,
+    );
     (result, trace)
 }
 
@@ -414,8 +431,8 @@ pub fn compile_template(
     )
 }
 
-/// [`compile_template`] under an explicit swap-scoring
-/// [`CostModelSpec`](crate::router::CostModelSpec).
+/// [`compile_template`] under an explicit routing policy (a
+/// [`CostModelSpec`](crate::router::CostModelSpec) or [`RouterConfig`]).
 ///
 /// # Errors
 ///
@@ -424,13 +441,13 @@ pub fn compile_template_with(
     template: &ParametricCircuit,
     device: &Device,
     strategy: Strategy,
-    cost_model: crate::router::CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> Result<CompileReport, CaqrError> {
     compile_template_traced_cancellable_with(
         template,
         device,
         strategy,
-        cost_model,
+        router_config,
         &crate::cancel::CancelToken::new(),
     )
     .0
@@ -444,12 +461,17 @@ pub fn compile_template_traced_cancellable_with(
     template: &ParametricCircuit,
     device: &Device,
     strategy: Strategy,
-    cost_model: crate::router::CostModelSpec,
+    router_config: impl Into<RouterConfig>,
     cancel: &crate::cancel::CancelToken,
 ) -> (Result<CompileReport, CaqrError>, StageTrace) {
     let mut trace = StageTrace::default();
     let result = PassManager::for_strategy(strategy).run_template_observed_cancellable_with(
-        template, device, strategy, cost_model, &mut trace, cancel,
+        template,
+        device,
+        strategy,
+        router_config,
+        &mut trace,
+        cancel,
     );
     (result, trace)
 }

@@ -1,0 +1,224 @@
+//! The pluggable routing-backend layer.
+//!
+//! PR 5 split SWAP routing into a fixed admission rule plus pluggable
+//! [`CostModel`](crate::router::CostModel)s. This module generalizes one
+//! level further: *how a circuit becomes hardware-compliant at all* is a
+//! [`RoutingBackend`] —
+//!
+//! * [`SwapBackend`] — the historical fixed-coupling router: eager or
+//!   on-demand placement plus SWAP insertion, byte-identical to the
+//!   pre-trait output (pinned by the golden corpus).
+//! * [`DpqaBackend`] — the neutral-atom movement scheduler: atoms are
+//!   physically moved into Rydberg range by parallel AOD shifts instead
+//!   of SWAPped, producing a [`caqr_arch::MovementSchedule`] alongside
+//!   the routed circuit (see [`crate::router::dpqa`]).
+//!
+//! [`RoutingBackendSpec`] is the plain-data selector that rides CLI
+//! flags, wire requests, and cache keys; [`RouterConfig`] bundles it with
+//! the swap-scoring [`CostModelSpec`] so the whole routing policy travels
+//! as one `Copy` value through `CompileCtx`, the pass manager, and the
+//! engine. Every `_with` entry point takes `impl Into<RouterConfig>`, so
+//! existing call sites that pass a bare `CostModelSpec` keep compiling
+//! (the backend defaults to SWAP).
+
+use crate::error::CaqrError;
+use crate::pass::AnalysisCache;
+use crate::router::cost::CostModelSpec;
+use crate::router::{RoutedProgram, RouterOptions};
+use caqr_arch::Device;
+use caqr_circuit::Circuit;
+use std::fmt;
+
+/// Human-readable grammar for [`RoutingBackendSpec::parse`].
+pub const ROUTING_BACKEND_GRAMMAR: &str = "swap | dpqa";
+
+/// Which routing backend compiles the circuit onto hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingBackendSpec {
+    /// Fixed-coupling SWAP insertion (the historical router).
+    #[default]
+    Swap,
+    /// DPQA movement scheduling: AOD atom moves instead of SWAPs.
+    Dpqa,
+}
+
+impl RoutingBackendSpec {
+    /// Every backend, in stable report order.
+    pub const ALL: [RoutingBackendSpec; 2] = [RoutingBackendSpec::Swap, RoutingBackendSpec::Dpqa];
+
+    /// Parses the `--routing-backend` / wire `routing_backend` grammar:
+    /// `swap | dpqa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unknown backend name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "swap" => Ok(RoutingBackendSpec::Swap),
+            "dpqa" => Ok(RoutingBackendSpec::Dpqa),
+            _ => Err(format!(
+                "unknown routing backend '{s}' (expected {ROUTING_BACKEND_GRAMMAR})"
+            )),
+        }
+    }
+
+    /// The stable backend name (also the cache-key domain tag, so SWAP
+    /// and movement compilations of the same job never share a cache
+    /// entry).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingBackendSpec::Swap => "swap",
+            RoutingBackendSpec::Dpqa => "dpqa",
+        }
+    }
+
+    /// The backend implementation (backends are stateless).
+    pub fn build(self) -> &'static dyn RoutingBackend {
+        match self {
+            RoutingBackendSpec::Swap => &SwapBackend,
+            RoutingBackendSpec::Dpqa => &DpqaBackend,
+        }
+    }
+}
+
+impl fmt::Display for RoutingBackendSpec {
+    /// Round-trips through [`RoutingBackendSpec::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The complete routing policy one compilation uses: which backend maps
+/// the circuit, and how that backend's SWAP candidates are scored (the
+/// cost model is ignored by backends that insert no SWAPs).
+///
+/// Plain `Copy` data so it can ride inside
+/// [`CompileCtx`](crate::pass::CompileCtx), engine jobs, and cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RouterConfig {
+    /// The routing backend.
+    pub backend: RoutingBackendSpec,
+    /// The swap-scoring model (SWAP backend only).
+    pub cost_model: CostModelSpec,
+}
+
+impl RouterConfig {
+    /// The default config: SWAP backend, hop cost model.
+    pub fn new() -> Self {
+        RouterConfig::default()
+    }
+
+    /// The same config under a different backend.
+    pub fn with_backend(mut self, backend: RoutingBackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The same config under a different swap-scoring model.
+    pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// A stable cache-key component covering the backend domain and every
+    /// cost-model parameter bit-exactly. Two configs that could route
+    /// differently never share a tag.
+    pub fn cache_tag(&self) -> String {
+        format!("{}/{}", self.backend.name(), self.cost_model.cache_tag())
+    }
+}
+
+impl From<CostModelSpec> for RouterConfig {
+    /// A bare cost model means the SWAP backend — exactly the pre-trait
+    /// behaviour, so old call sites keep their output.
+    fn from(cost_model: CostModelSpec) -> Self {
+        RouterConfig {
+            backend: RoutingBackendSpec::Swap,
+            cost_model,
+        }
+    }
+}
+
+impl From<RoutingBackendSpec> for RouterConfig {
+    fn from(backend: RoutingBackendSpec) -> Self {
+        RouterConfig {
+            backend,
+            cost_model: CostModelSpec::Hop,
+        }
+    }
+}
+
+/// One way of making a circuit hardware-compliant. Implementations must
+/// be deterministic: the same inputs always produce the same
+/// [`RoutedProgram`].
+pub trait RoutingBackend {
+    /// The spec this backend answers to.
+    fn spec(&self) -> RoutingBackendSpec;
+
+    /// Routes `circuit` onto `device` under `opts`, optionally seeded
+    /// with an explicit initial layout, sharing `analyses` across calls
+    /// on the same circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CaqrError::OutOfQubits`] when the circuit cannot fit, or
+    /// [`CaqrError::BackendDeviceMismatch`] when the device lacks what the
+    /// backend needs (e.g. DPQA grid geometry).
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        opts: RouterOptions,
+        seed_layout: Option<&[Option<usize>]>,
+        analyses: &mut AnalysisCache,
+    ) -> Result<RoutedProgram, CaqrError>;
+}
+
+/// The fixed-coupling SWAP-insertion backend; see the
+/// [`crate::router`] module docs. Its `route` lives next to the frontier
+/// walk in `router/mod.rs`.
+pub struct SwapBackend;
+
+/// The DPQA greedy movement-scheduling backend; see
+/// [`crate::router::dpqa`].
+pub struct DpqaBackend;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        for s in ["swap", "dpqa"] {
+            let spec = RoutingBackendSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        assert!(RoutingBackendSpec::parse("teleport").is_err());
+        assert!(RoutingBackendSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn default_config_is_historic_behaviour() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.backend, RoutingBackendSpec::Swap);
+        assert_eq!(cfg.cost_model, CostModelSpec::Hop);
+        let from_cost: RouterConfig = CostModelSpec::NoiseAware.into();
+        assert_eq!(from_cost.backend, RoutingBackendSpec::Swap);
+    }
+
+    #[test]
+    fn cache_tags_separate_backend_domains() {
+        let swap: RouterConfig = CostModelSpec::Hop.into();
+        let dpqa = swap.with_backend(RoutingBackendSpec::Dpqa);
+        assert_ne!(swap.cache_tag(), dpqa.cache_tag());
+        assert!(swap.cache_tag().starts_with("swap/"));
+        assert!(dpqa.cache_tag().starts_with("dpqa/"));
+    }
+
+    #[test]
+    fn specs_build_their_backends() {
+        for spec in RoutingBackendSpec::ALL {
+            assert_eq!(spec.build().spec(), spec);
+        }
+    }
+}

@@ -19,11 +19,13 @@
 //!   SABRE-style lookahead over upcoming gates, or calibration-weighted
 //!   noise-aware edge costs.
 //!
-//! The module splits by concern: [`cost`] defines the pluggable scoring
-//! models, `swap` the admission/ranking/fallback search, `policy` the
-//! free-qubit placement heuristic, and this file the frontier walk that
-//! ties them to a [`caqr_arch::Layout`] — the typed logical↔physical map
-//! whose invariants are re-checked after every mutation in debug builds.
+//! The module splits by concern: [`backend`] defines the pluggable
+//! [`RoutingBackend`] layer (SWAP insertion vs. [`dpqa`]'s movement
+//! scheduling), [`cost`] the pluggable scoring models, `swap` the
+//! admission/ranking/fallback search, `policy` the free-qubit placement
+//! heuristic, and this file the frontier walk that ties them to a
+//! [`caqr_arch::Layout`] — the typed logical↔physical map whose
+//! invariants are re-checked after every mutation in debug builds.
 //!
 //! Physical-qubit choices and SWAP insertion are error-variability aware:
 //! ties break toward smaller readout error and more reliable CNOT links,
@@ -34,15 +36,21 @@
 //! more than once (SR's policy comparison, the bidirectional refinement)
 //! pass a shared cache via [`route_cached`] so the analyses are built once.
 
+pub mod backend;
 pub mod cost;
+pub mod dpqa;
 mod policy;
 mod swap;
 
+pub use backend::{
+    DpqaBackend, RouterConfig, RoutingBackend, RoutingBackendSpec, SwapBackend,
+    ROUTING_BACKEND_GRAMMAR,
+};
 pub use cost::{CostModel, CostModelSpec, SwapScoreCtx, COST_MODEL_GRAMMAR};
 
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
-use caqr_arch::{Device, Layout, WireState};
+use caqr_arch::{Device, Layout, MovementSchedule, WireState};
 use caqr_circuit::{Circuit, CircuitDag, Clbit, Gate, Instruction, Qubit};
 use caqr_graph::Graph;
 use std::collections::VecDeque;
@@ -58,7 +66,11 @@ pub struct RouterOptions {
     /// Map every logical qubit before routing (baseline behaviour).
     pub preplace: bool,
     /// How admitted SWAP candidates are ranked; see [`CostModelSpec`].
+    /// Ignored by backends that insert no SWAPs.
     pub cost_model: CostModelSpec,
+    /// Which [`RoutingBackend`] maps the circuit; see
+    /// [`RoutingBackendSpec`].
+    pub backend: RoutingBackendSpec,
 }
 
 impl RouterOptions {
@@ -69,6 +81,7 @@ impl RouterOptions {
             reclaim: true,
             preplace: false,
             cost_model: CostModelSpec::Hop,
+            backend: RoutingBackendSpec::Swap,
         }
     }
 
@@ -79,6 +92,7 @@ impl RouterOptions {
             reclaim: false,
             preplace: true,
             cost_model: CostModelSpec::Hop,
+            backend: RoutingBackendSpec::Swap,
         }
     }
 
@@ -87,26 +101,56 @@ impl RouterOptions {
         self.cost_model = cost_model;
         self
     }
+
+    /// The same policy under a different routing backend.
+    pub fn with_backend(mut self, backend: RoutingBackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The same policy under a complete [`RouterConfig`] (backend + cost
+    /// model together).
+    pub fn with_router(self, config: impl Into<RouterConfig>) -> Self {
+        let config = config.into();
+        self.with_cost_model(config.cost_model)
+            .with_backend(config.backend)
+    }
 }
 
-/// A hardware-compliant compiled circuit.
+/// A hardware-compliant compiled program: the routed circuit plus the
+/// backend-specific artifacts describing *how* the hardware executes it
+/// (SWAP counts for fixed coupling, a [`MovementSchedule`] for DPQA).
 #[derive(Debug, Clone)]
-pub struct RoutedCircuit {
-    /// The physical circuit (wires are device qubits).
+pub struct RoutedProgram {
+    /// The physical circuit. SWAP backend: wires are device qubits. DPQA
+    /// backend: wires are atom ids (stable across moves — the schedule
+    /// carries the site trajectories).
     pub circuit: Circuit,
-    /// SWAPs inserted.
+    /// SWAPs inserted (always 0 for the movement backend).
     pub swap_count: usize,
-    /// Distinct physical qubits touched — the paper's "qubit usage" for
-    /// compiled circuits.
+    /// Distinct physical qubits (or atoms) touched — the paper's "qubit
+    /// usage" for compiled circuits.
     pub physical_qubits_used: usize,
     /// First physical qubit assigned to each logical qubit.
     pub initial_layout: Vec<Option<usize>>,
     /// Physical qubit holding each logical qubit after its last gate.
     pub final_layout: Vec<Option<usize>>,
+    /// Movement stages scheduled (always 0 for the SWAP backend) — the
+    /// DPQA analogue of `swap_count` in version-selection ranking.
+    pub movement_stages: usize,
+    /// The DPQA movement program, `None` for the SWAP backend.
+    pub schedule: Option<MovementSchedule>,
 }
 
-impl RoutedCircuit {
-    /// Checks hardware compliance: every two-qubit gate on a coupling edge.
+/// The historical name for [`RoutedProgram`], kept so downstream code and
+/// docs that predate the backend split keep compiling.
+pub type RoutedCircuit = RoutedProgram;
+
+impl RoutedProgram {
+    /// Checks fixed-coupling hardware compliance: every two-qubit gate on
+    /// a coupling edge. Only meaningful for SWAP-backend output — DPQA
+    /// wires are atom ids, and validity there is
+    /// [`MovementSchedule::verify`] on [`RoutedProgram::schedule`].
     pub fn is_hardware_compliant(&self, device: &Device) -> bool {
         self.circuit.iter().all(|i| {
             !i.is_two_qubit()
@@ -114,6 +158,17 @@ impl RoutedCircuit {
                     .topology()
                     .are_coupled(i.qubits[0].index(), i.qubits[1].index())
         })
+    }
+
+    /// Backend-aware validity: SWAP output must be coupling-compliant,
+    /// movement output must carry a schedule that replays cleanly against
+    /// the device's grid geometry.
+    pub fn is_valid_for(&self, device: &Device) -> bool {
+        match (&self.schedule, device.dpqa_geometry()) {
+            (Some(schedule), Some(geom)) => schedule.verify(geom).is_ok(),
+            (Some(_), None) => false,
+            (None, _) => self.is_hardware_compliant(device),
+        }
     }
 }
 
@@ -544,13 +599,43 @@ impl<'a> Router<'a> {
         for instr in self.out {
             circuit.push(instr);
         }
-        Ok(RoutedCircuit {
+        Ok(RoutedProgram {
             circuit,
             swap_count: self.swap_count,
             physical_qubits_used: self.layout.used_count(),
             initial_layout: self.layout.initial_layout().to_vec(),
             final_layout: self.final_layout,
+            movement_stages: 0,
+            schedule: None,
         })
+    }
+}
+
+impl RoutingBackend for SwapBackend {
+    fn spec(&self) -> RoutingBackendSpec {
+        RoutingBackendSpec::Swap
+    }
+
+    /// The pre-trait router, verbatim: up-front width check under eager
+    /// placement, then the frontier walk. Byte-identical to the
+    /// historical output (pinned by the golden corpus).
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        opts: RouterOptions,
+        seed_layout: Option<&[Option<usize>]>,
+        analyses: &mut AnalysisCache,
+    ) -> Result<RoutedProgram, CaqrError> {
+        if opts.preplace && circuit.num_qubits() > device.num_qubits() {
+            return Err(CaqrError::OutOfQubits {
+                logical: circuit.num_qubits(),
+                physical: device.num_qubits(),
+                qubit: None,
+                gate_index: None,
+            });
+        }
+        Router::new(circuit, device, opts, analyses).run(seed_layout)
     }
 }
 
@@ -605,15 +690,9 @@ pub fn route_cached(
     layout: Option<&[Option<usize>]>,
     analyses: &mut AnalysisCache,
 ) -> Result<RoutedCircuit, CaqrError> {
-    if opts.preplace && circuit.num_qubits() > device.num_qubits() {
-        return Err(CaqrError::OutOfQubits {
-            logical: circuit.num_qubits(),
-            physical: device.num_qubits(),
-            qubit: None,
-            gate_index: None,
-        });
-    }
-    Router::new(circuit, device, opts, analyses).run(layout)
+    opts.backend
+        .build()
+        .route(circuit, device, opts, layout, analyses)
 }
 
 #[cfg(test)]

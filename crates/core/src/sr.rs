@@ -17,7 +17,7 @@ use crate::commuting::{CommutingSpec, Matcher};
 use crate::error::CaqrError;
 use crate::pass::AnalysisCache;
 use crate::qs;
-use crate::router::{self, CostModelSpec, RoutedCircuit, RouterOptions};
+use crate::router::{self, CostModelSpec, RoutedCircuit, RouterConfig, RouterOptions};
 use caqr_arch::Device;
 use caqr_circuit::parametric::{self, ParametricCircuit};
 use caqr_circuit::Circuit;
@@ -57,8 +57,9 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Caqr
     compile_with(circuit, device, CostModelSpec::Hop)
 }
 
-/// [`compile`] under an explicit swap-scoring [`CostModelSpec`], applied
-/// to every candidate version under both policies.
+/// [`compile`] under an explicit routing policy — a bare swap-scoring
+/// [`CostModelSpec`] or a full [`RouterConfig`] (backend + cost model) —
+/// applied to every candidate version under both policies.
 ///
 /// # Errors
 ///
@@ -66,15 +67,22 @@ pub fn compile(circuit: &Circuit, device: &Device) -> Result<RoutedCircuit, Caqr
 pub fn compile_with(
     circuit: &Circuit,
     device: &Device,
-    cost_model: CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> Result<RoutedCircuit, CaqrError> {
+    let router_config = router_config.into();
     let policies = [
-        RouterOptions::sr().with_cost_model(cost_model),
-        RouterOptions::baseline().with_cost_model(cost_model),
+        RouterOptions::sr().with_router(router_config),
+        RouterOptions::baseline().with_router(router_config),
     ];
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
-    let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
+    let key = |r: &RoutedCircuit| {
+        (
+            r.swap_count + r.movement_stages,
+            r.physical_qubits_used,
+            r.circuit.depth(),
+        )
+    };
     let consider = |candidate: Result<RoutedCircuit, CaqrError>,
                     best: &mut Option<RoutedCircuit>,
                     last_err: &mut Option<CaqrError>| {
@@ -235,9 +243,9 @@ pub fn compile_commuting_with(
     compile_commuting_with_cost(circuit, device, spec, CostModelSpec::Hop)
 }
 
-/// [`compile_commuting_with`] under an explicit swap-scoring
-/// [`CostModelSpec`], applied to every candidate version under both
-/// policies.
+/// [`compile_commuting_with`] under an explicit routing policy — a bare
+/// swap-scoring [`CostModelSpec`] or a full [`RouterConfig`] — applied to
+/// every candidate version under both policies.
 ///
 /// # Errors
 ///
@@ -246,12 +254,19 @@ pub fn compile_commuting_with_cost(
     circuit: &Circuit,
     device: &Device,
     spec: &CommutingSpec,
-    cost_model: CostModelSpec,
+    router_config: impl Into<RouterConfig>,
 ) -> Result<RoutedCircuit, CaqrError> {
+    let router_config = router_config.into();
     let matcher = default_matcher(spec);
     let mut best: Option<RoutedCircuit> = None;
     let mut last_err = None;
-    let key = |r: &RoutedCircuit| (r.swap_count, r.physical_qubits_used, r.circuit.depth());
+    let key = |r: &RoutedCircuit| {
+        (
+            r.swap_count + r.movement_stages,
+            r.physical_qubits_used,
+            r.circuit.depth(),
+        )
+    };
     let consider = |candidate: Result<RoutedCircuit, CaqrError>,
                     best: &mut Option<RoutedCircuit>,
                     last_err: &mut Option<CaqrError>| {
@@ -269,8 +284,8 @@ pub fn compile_commuting_with_cost(
         circuit,
         device,
         [
-            RouterOptions::baseline().with_cost_model(cost_model),
-            RouterOptions::sr().with_cost_model(cost_model),
+            RouterOptions::baseline().with_router(router_config),
+            RouterOptions::sr().with_router(router_config),
         ],
         |c| consider(c, &mut best, &mut last_err),
     );
@@ -282,8 +297,8 @@ pub fn compile_commuting_with_cost(
             &point.circuit,
             device,
             [
-                RouterOptions::sr().with_cost_model(cost_model),
-                RouterOptions::baseline().with_cost_model(cost_model),
+                RouterOptions::sr().with_router(router_config),
+                RouterOptions::baseline().with_router(router_config),
             ],
             |c| consider(c, &mut best, &mut last_err),
         );

@@ -17,8 +17,15 @@
 //! * **Determinism** — routing the same circuit twice under the same
 //!   options yields bit-identical output (the property the engine cache
 //!   and the frozen benchmarks both depend on).
+//!
+//! The DPQA movement backend has its own contract block below: gate
+//! preservation, zero SWAPs, a physically-valid movement schedule
+//! (site occupancy, AOD ordering, Rydberg range — via
+//! [`MovementSchedule::verify`]), and calibration-seed independence.
+//! A regression property also pins the SWAP backend byte-identical
+//! across the backend dispatch under all three cost models.
 
-use caqr::router::{route, CostModelSpec, RouterOptions};
+use caqr::router::{route, CostModelSpec, RouterOptions, RoutingBackendSpec};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::{Circuit, Clbit, Gate, Instruction, Qubit};
 use proptest::collection;
@@ -133,6 +140,102 @@ proptest! {
                 prop_assert!(
                     again.circuit.fingerprint() == routed.circuit.fingerprint(),
                     "{model}: routing is not deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dpqa_contracts_hold_on_random_circuits(
+        n in 2usize..=6,
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..30),
+    ) {
+        let circuit = build_circuit(n, &specs);
+        let expected = unitary_multiset(&circuit);
+        let device = Device::dpqa_grid(5, 5, 2023);
+        for base in [RouterOptions::baseline(), RouterOptions::sr()] {
+            let opts = base.with_backend(RoutingBackendSpec::Dpqa);
+            let routed = route(&circuit, &device, opts).map_err(|e| format!("dpqa: {e}"))?;
+
+            // Movement replaces SWAPs entirely.
+            prop_assert!(routed.swap_count == 0, "dpqa inserted SWAPs");
+            prop_assert!(
+                routed.circuit.iter().all(|i| i.gate != Gate::Swap),
+                "dpqa output contains a Swap gate"
+            );
+            let got = unitary_multiset(&routed.circuit);
+            prop_assert!(
+                got == expected,
+                "dpqa: unitary gate multiset changed: {got:?} vs {expected:?}"
+            );
+
+            // The schedule must replay cleanly against the grid geometry:
+            // verify() rejects double site occupancy, AOD trap crossings,
+            // out-of-range Rydberg pairs, and phantom loads/measures.
+            let schedule = routed.schedule.as_ref();
+            prop_assert!(schedule.is_some(), "dpqa output carries no schedule");
+            prop_assert!(
+                routed.is_valid_for(&device),
+                "movement schedule fails physical verification"
+            );
+            prop_assert!(
+                routed.movement_stages == schedule.map_or(0, |s| s.len()),
+                "movement_stages disagrees with the schedule length"
+            );
+
+            // The scheduler never reads calibration, so a device with a
+            // different synthetic-calibration seed must yield the same
+            // routed circuit AND the same movement program.
+            let other = route(&circuit, &Device::dpqa_grid(5, 5, 77), opts)
+                .map_err(|e| format!("dpqa: {e}"))?;
+            prop_assert!(
+                other.circuit.fingerprint() == routed.circuit.fingerprint(),
+                "dpqa routing depends on the calibration seed"
+            );
+            prop_assert!(
+                other.schedule == routed.schedule,
+                "dpqa schedule depends on the calibration seed"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_backend_dispatch_is_byte_identical(
+        n in 2usize..=6,
+        specs in collection::vec((0u8..=255, 0u32..10_000, 0u32..1000), 1..30),
+    ) {
+        // Regression for the backend split: routing through the explicit
+        // SWAP backend must be byte-identical to the default dispatch for
+        // every cost model, and giving a grid device DPQA geometry must
+        // not perturb SWAP routing on it.
+        let circuit = build_circuit(n, &specs);
+        let plain = Device::with_synthetic_calibration(Topology::grid(5, 5), 2023);
+        let dpqa = Device::dpqa_grid(5, 5, 2023);
+        for base in [RouterOptions::baseline(), RouterOptions::sr()] {
+            for model in [
+                CostModelSpec::Hop,
+                CostModelSpec::lookahead(),
+                CostModelSpec::NoiseAware,
+            ] {
+                let default_opts = base.with_cost_model(model);
+                let explicit = default_opts.with_backend(RoutingBackendSpec::Swap);
+                let a = route(&circuit, &plain, default_opts)
+                    .map_err(|e| format!("{model}: {e}"))?;
+                let b = route(&circuit, &plain, explicit)
+                    .map_err(|e| format!("{model}: {e}"))?;
+                let c = route(&circuit, &dpqa, explicit)
+                    .map_err(|e| format!("{model}: {e}"))?;
+                prop_assert!(
+                    a.circuit.fingerprint() == b.circuit.fingerprint(),
+                    "{model}: explicit swap backend drifts from default dispatch"
+                );
+                prop_assert!(
+                    a.circuit.fingerprint() == c.circuit.fingerprint(),
+                    "{model}: DPQA geometry perturbs SWAP routing on a grid"
+                );
+                prop_assert!(
+                    c.swap_count == a.swap_count && c.schedule.is_none(),
+                    "{model}: swap backend emitted movement artifacts"
                 );
             }
         }

@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D]
-//!              [--seed N] [--cost-model M] [--emit]
+//!              [--seed N] [--cost-model M] [--routing-backend B] [--emit]
 //! caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]
 //!                    [--device D] [--seed N] [--cost-model M[,M...]]
+//!                    [--routing-backend B[,B...]]
 //!                    [--jobs N] [--cache N] [--metrics] [--json]
 //! caqr advise  <file.qasm> [--device D] [--seed N]
 //! caqr sweep   <file.qasm>
@@ -13,15 +14,18 @@
 //!
 //! strategies:  baseline | qs-max | qs-min-depth | qs-min-swap | qs-max-esp | sr (default)
 //! devices:     mumbai (default) | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>
+//!              (grid devices carry DPQA geometry, so both backends target them)
 //! suites:      regular | qaoa | full (the paper's benchmark tables)
 //! cost models: hop (default) | lookahead[:window[:decay]] | noise-aware
 //!              (`--router` is an alias for `--cost-model`)
+//! backends:    swap (default) | dpqa (movement scheduling; needs grid:<r>x<c>)
 //! passes:      any comma-separated subset of the registered pass names
 //!              (see `caqr::REGISTERED_PASSES`); overrides --strategy's recipe
 //! ```
 
 use caqr::{
-    advisor, qs, CostModelSpec, PassManager, Strategy, COST_MODEL_GRAMMAR, REGISTERED_PASSES,
+    advisor, qs, CostModelSpec, PassManager, RouterConfig, RoutingBackendSpec, Strategy,
+    COST_MODEL_GRAMMAR, REGISTERED_PASSES, ROUTING_BACKEND_GRAMMAR,
 };
 use caqr_arch::{Device, Topology};
 use caqr_circuit::depth::UnitDurations;
@@ -37,9 +41,9 @@ fn main() -> ExitCode {
             eprintln!("caqr: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D] [--seed N] [--cost-model M] [--emit]");
+            eprintln!("  caqr compile <file.qasm> [--strategy S] [--passes P[,P...]] [--device D] [--seed N] [--cost-model M] [--routing-backend B] [--emit]");
             eprintln!("  caqr compile-batch <file.qasm>... [--suite NAME] [--strategy S[,S...]]");
-            eprintln!("                     [--device D] [--seed N] [--cost-model M[,M...]] [--jobs N] [--cache N] [--metrics] [--json]");
+            eprintln!("                     [--device D] [--seed N] [--cost-model M[,M...]] [--routing-backend B[,B...]] [--jobs N] [--cache N] [--metrics] [--json]");
             eprintln!("  caqr advise  <file.qasm> [--device D] [--seed N]");
             eprintln!("  caqr sweep   <file.qasm>");
             eprintln!("  caqr info    <file.qasm>");
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
             eprintln!("devices: mumbai | heavy-hex:<min_qubits> | line:<n> | grid:<r>x<c>");
             eprintln!("suites: regular | qaoa | full");
             eprintln!("cost models: {COST_MODEL_GRAMMAR} (--router is an alias)");
+            eprintln!("routing backends: {ROUTING_BACKEND_GRAMMAR}");
             eprintln!("passes: {}", REGISTERED_PASSES.join(" | "));
             ExitCode::FAILURE
         }
@@ -82,13 +87,13 @@ fn run(args: &[String]) -> Result<(), String> {
                             &circuit,
                             &device,
                             opts.strategy,
-                            opts.cost_model,
+                            opts.router(),
                             &mut caqr::manager::NoopObserver,
                             &caqr::CancelToken::new(),
                         )
                         .map_err(|e| format!("compilation failed: {e}"))?
                 }
-                None => caqr::compile_with(&circuit, &device, opts.strategy, opts.cost_model)
+                None => caqr::compile_with(&circuit, &device, opts.strategy, opts.router())
                     .map_err(|e| format!("compilation failed: {e}"))?,
             };
             println!("{report}");
@@ -147,15 +152,22 @@ fn compile_batch(args: &[String]) -> Result<(), String> {
         return Err("compile-batch needs at least one input file or --suite".into());
     }
 
-    let mut jobs: Vec<CompileJob> =
-        Vec::with_capacity(inputs.len() * opts.strategies.len() * opts.cost_models.len());
+    let mut jobs: Vec<CompileJob> = Vec::with_capacity(
+        inputs.len() * opts.strategies.len() * opts.cost_models.len() * opts.backends.len(),
+    );
     for (name, circuit) in &inputs {
         for &strategy in &opts.strategies {
-            for &cost_model in &opts.cost_models {
-                jobs.push(
-                    CompileJob::new(name.clone(), circuit.clone(), device.clone(), strategy)
-                        .with_cost_model(cost_model),
-                );
+            for &backend in &opts.backends {
+                for &cost_model in &opts.cost_models {
+                    jobs.push(
+                        CompileJob::new(name.clone(), circuit.clone(), device.clone(), strategy)
+                            .with_router(
+                                RouterConfig::new()
+                                    .with_backend(backend)
+                                    .with_cost_model(cost_model),
+                            ),
+                    );
+                }
             }
         }
     }
@@ -231,6 +243,7 @@ struct Flags {
     device_spec: String,
     seed: u64,
     cost_model: CostModelSpec,
+    backend: RoutingBackendSpec,
     emit: bool,
 }
 
@@ -242,6 +255,7 @@ impl Flags {
             device_spec: "mumbai".to_string(),
             seed: 2023,
             cost_model: CostModelSpec::Hop,
+            backend: RoutingBackendSpec::Swap,
             emit: false,
         };
         let mut it = rest.iter();
@@ -278,11 +292,22 @@ impl Flags {
                     let v = it.next().ok_or("--cost-model needs a value")?;
                     flags.cost_model = CostModelSpec::parse(v)?;
                 }
+                "--routing-backend" => {
+                    let v = it.next().ok_or("--routing-backend needs a value")?;
+                    flags.backend = RoutingBackendSpec::parse(v)?;
+                }
                 "--emit" => flags.emit = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
         Ok(flags)
+    }
+
+    /// The full routing policy the flags describe.
+    fn router(&self) -> RouterConfig {
+        RouterConfig::new()
+            .with_backend(self.backend)
+            .with_cost_model(self.cost_model)
     }
 
     fn device(&self) -> Result<Device, String> {
@@ -305,10 +330,10 @@ impl Flags {
             let (r, c) = dims.split_once('x').ok_or("grid wants <r>x<c>")?;
             let r: usize = r.parse().map_err(|_| "bad grid rows")?;
             let c: usize = c.parse().map_err(|_| "bad grid cols")?;
-            return Ok(Device::with_synthetic_calibration(
-                Topology::grid(r, c),
-                self.seed,
-            ));
+            // Grid devices carry DPQA geometry: same topology and
+            // calibration as before for the SWAP backend, and a valid
+            // movement target for `--routing-backend dpqa`.
+            return Ok(Device::dpqa_grid(r, c, self.seed));
         }
         Err(format!("unknown device '{spec}'"))
     }
@@ -319,6 +344,7 @@ struct BatchFlags {
     flags: Flags,
     strategies: Vec<Strategy>,
     cost_models: Vec<CostModelSpec>,
+    backends: Vec<RoutingBackendSpec>,
     suite: Option<String>,
     jobs: usize,
     cache: usize,
@@ -335,10 +361,12 @@ impl BatchFlags {
                 device_spec: "mumbai".to_string(),
                 seed: 2023,
                 cost_model: CostModelSpec::Hop,
+                backend: RoutingBackendSpec::Swap,
                 emit: false,
             },
             strategies: vec![Strategy::Sr],
             cost_models: vec![CostModelSpec::Hop],
+            backends: vec![RoutingBackendSpec::Swap],
             suite: None,
             jobs: 0,
             cache: 256,
@@ -378,6 +406,18 @@ impl BatchFlags {
                         .collect::<Result<Vec<_>, _>>()?;
                     if out.cost_models.is_empty() {
                         return Err("--cost-model needs at least one value".into());
+                    }
+                }
+                "--routing-backend" => {
+                    let v = it.next().ok_or("--routing-backend needs a value")?;
+                    out.backends = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(RoutingBackendSpec::parse)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if out.backends.is_empty() {
+                        return Err("--routing-backend needs at least one value".into());
                     }
                 }
                 "--suite" => {

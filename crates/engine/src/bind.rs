@@ -14,7 +14,10 @@ use crate::cache::CompileCache;
 use crate::job::{FailedJob, JobError};
 use crate::metrics::EngineMetrics;
 use crate::pool::Engine;
-use caqr::{CancelToken, CompileReport, CostModelSpec, StageTrace, Strategy};
+use caqr::{
+    CancelToken, CompileReport, CostModelSpec, RouterConfig, RoutingBackendSpec, StageTrace,
+    Strategy,
+};
 use caqr_arch::Device;
 use caqr_circuit::fingerprint::{Fingerprint, StableHasher};
 use caqr_circuit::parametric::bind_circuit;
@@ -42,13 +45,14 @@ pub struct BindJob {
     pub device: Device,
     /// The compiler to run.
     pub strategy: Strategy,
-    /// The swap-scoring model every routing pass uses.
-    pub cost_model: CostModelSpec,
+    /// The routing policy (backend + swap-scoring model) every routing
+    /// pass uses.
+    pub router: RouterConfig,
 }
 
 impl BindJob {
-    /// Builds a bind job routing with the default ([`CostModelSpec::Hop`])
-    /// swap-scoring model.
+    /// Builds a bind job routing with the default policy (SWAP backend,
+    /// [`CostModelSpec::Hop`] swap-scoring model).
     pub fn new(
         name: impl Into<String>,
         template: ParametricCircuit,
@@ -62,19 +66,31 @@ impl BindJob {
             values,
             device,
             strategy,
-            cost_model: CostModelSpec::Hop,
+            router: RouterConfig::default(),
         }
     }
 
     /// The same job routing under a different swap-scoring model.
     pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
-        self.cost_model = cost_model;
+        self.router.cost_model = cost_model;
+        self
+    }
+
+    /// The same job routed by a different backend.
+    pub fn with_backend(mut self, backend: RoutingBackendSpec) -> Self {
+        self.router.backend = backend;
+        self
+    }
+
+    /// The same job under a full routing policy (backend + cost model).
+    pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
+        self.router = router.into();
         self
     }
 
     /// The content-addressed cache key for the *routed template* (not the
     /// bound artifact): template structure x device x strategy x routing
-    /// cost model. Deliberately independent of [`BindJob::values`] — every
+    /// policy. Deliberately independent of [`BindJob::values`] — every
     /// binding of one template shares one cache entry; that sharing is the
     /// entire point of the bind path.
     ///
@@ -87,7 +103,7 @@ impl BindJob {
         let mut h = StableHasher::new();
         h.write_str(TEMPLATE_JOB_DOMAIN);
         h.write_str(&self.strategy.to_string());
-        h.write_str(&self.cost_model.cache_tag());
+        h.write_str(&self.router.cache_tag());
         h.finish()
             .combine(self.template.template_fingerprint())
             .combine(self.device.fingerprint())
@@ -104,6 +120,8 @@ pub struct BindOutcome {
     pub strategy: Strategy,
     /// Routing cost model the template compiled under.
     pub cost_model: CostModelSpec,
+    /// Routing backend the template compiled under.
+    pub backend: RoutingBackendSpec,
     /// The bound report: structural metrics from the routed template,
     /// circuit with every slot stamped to a concrete angle.
     pub report: CompileReport,
@@ -116,6 +134,14 @@ pub struct BindOutcome {
     pub bind_wall: Duration,
     /// Per-stage compile timings (empty on a cache hit).
     pub trace: StageTrace,
+}
+
+impl BindOutcome {
+    /// The report "router" label for this outcome; see
+    /// [`crate::job::router_label`].
+    pub fn router_label(&self) -> String {
+        crate::job::router_label(self.backend, self.cost_model)
+    }
 }
 
 /// The result of one bind-run: the outcome (or failure) plus engine
@@ -152,7 +178,8 @@ impl Engine {
             result: Err(FailedJob {
                 name: job.name.clone(),
                 strategy: job.strategy,
-                cost_model: job.cost_model,
+                cost_model: job.router.cost_model,
+                backend: job.router.backend,
                 error,
                 queue_wait,
             }),
@@ -176,7 +203,7 @@ impl Engine {
                         &job.template,
                         &job.device,
                         job.strategy,
-                        job.cost_model,
+                        job.router,
                         cancel,
                     )
                 }));
@@ -196,7 +223,9 @@ impl Engine {
                 metrics.jobs_total = 1;
                 match result {
                     Ok(report) => {
-                        metrics.record_success(&job.cost_model.to_string(), &trace, &report);
+                        let label =
+                            crate::job::router_label(job.router.backend, job.router.cost_model);
+                        metrics.record_success(&label, &trace, &report);
                         metrics.compile_total = compile_wall;
                         if let Some(cache) = cache {
                             cache.insert(key, report.clone());
@@ -231,7 +260,8 @@ impl Engine {
             result: Ok(BindOutcome {
                 name: job.name.clone(),
                 strategy: job.strategy,
-                cost_model: job.cost_model,
+                cost_model: job.router.cost_model,
+                backend: job.router.backend,
                 report: CompileReport {
                     circuit,
                     ..routed.clone()
@@ -329,6 +359,13 @@ mod tests {
                 .with_cost_model(CostModelSpec::NoiseAware)
                 .template_key()
         );
+        assert_ne!(
+            a.template_key(),
+            template_job("a")
+                .with_backend(RoutingBackendSpec::Dpqa)
+                .template_key(),
+            "backend is template-key content"
+        );
     }
 
     #[test]
@@ -361,7 +398,7 @@ mod tests {
             let concrete =
                 bind_circuit(job.template.circuit(), job.template.num_slots(), values).unwrap();
             let direct =
-                caqr::compile_with(&concrete, &job.device, job.strategy, job.cost_model).unwrap();
+                caqr::compile_with(&concrete, &job.device, job.strategy, job.router).unwrap();
             assert_eq!(out.report.circuit, direct.circuit);
             assert_eq!(out.report.depth, direct.depth);
             assert_eq!(out.report.esp.to_bits(), direct.esp.to_bits());

@@ -1,7 +1,9 @@
 //! The batch job model: what to compile, and what came back.
 
 use crate::metrics::EngineMetrics;
-use caqr::{CaqrError, CompileReport, CostModelSpec, StageTrace, Strategy};
+use caqr::{
+    CaqrError, CompileReport, CostModelSpec, RouterConfig, RoutingBackendSpec, StageTrace, Strategy,
+};
 use caqr_arch::Device;
 use caqr_circuit::fingerprint::Fingerprint;
 use caqr_circuit::Circuit;
@@ -9,7 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// One unit of work: compile `circuit` onto `device` under `strategy`,
-/// routing with `cost_model`.
+/// routing with the policy in `router` (backend + swap-scoring model).
 #[derive(Debug, Clone)]
 pub struct CompileJob {
     /// Display name (benchmark name, file name, ...); carried into reports.
@@ -20,13 +22,14 @@ pub struct CompileJob {
     pub device: Device,
     /// The compiler to run.
     pub strategy: Strategy,
-    /// The swap-scoring model every routing pass uses.
-    pub cost_model: CostModelSpec,
+    /// The routing policy: which backend maps the circuit and how SWAP
+    /// candidates are scored (SWAP backend only).
+    pub router: RouterConfig,
 }
 
 impl CompileJob {
-    /// Builds a job routing with the default ([`CostModelSpec::Hop`])
-    /// swap-scoring model.
+    /// Builds a job routing with the default policy (SWAP backend,
+    /// [`CostModelSpec::Hop`] swap-scoring model).
     pub fn new(
         name: impl Into<String>,
         circuit: Circuit,
@@ -38,32 +41,58 @@ impl CompileJob {
             circuit,
             device,
             strategy,
-            cost_model: CostModelSpec::Hop,
+            router: RouterConfig::default(),
         }
     }
 
     /// The same job routing under a different swap-scoring model.
     pub fn with_cost_model(mut self, cost_model: CostModelSpec) -> Self {
-        self.cost_model = cost_model;
+        self.router.cost_model = cost_model;
+        self
+    }
+
+    /// The same job routed by a different backend.
+    pub fn with_backend(mut self, backend: RoutingBackendSpec) -> Self {
+        self.router.backend = backend;
+        self
+    }
+
+    /// The same job under a full routing policy (backend + cost model).
+    pub fn with_router(mut self, router: impl Into<RouterConfig>) -> Self {
+        self.router = router.into();
         self
     }
 
     /// The content-addressed cache key: circuit content x device
-    /// (topology + calibration) x strategy x routing cost model. Every
+    /// (topology + calibration) x strategy x routing policy. Every
     /// input that can change the compiled output is covered — jobs with
     /// equal keys are guaranteed to produce identical compile reports, so
     /// the engine may serve one from the other's cached result.
     ///
-    /// The cost model enters via [`CostModelSpec::cache_tag`], which
-    /// renders parameters bit-exactly: two lookahead decays differing in
-    /// the last ulp still get distinct keys.
+    /// The routing policy enters via [`RouterConfig::cache_tag`], which
+    /// prefixes the backend domain (`swap/` vs `dpqa/`) and renders
+    /// cost-model parameters bit-exactly: two lookahead decays differing
+    /// in the last ulp still get distinct keys, and SWAP vs movement
+    /// compilations of the same circuit never share a cache entry.
     pub fn key(&self) -> Fingerprint {
         let mut h = caqr_circuit::fingerprint::StableHasher::new();
         h.write_str(&self.strategy.to_string());
-        h.write_str(&self.cost_model.cache_tag());
+        h.write_str(&self.router.cache_tag());
         h.finish()
             .combine(self.circuit.fingerprint())
             .combine(self.device.fingerprint())
+    }
+}
+
+/// The "router" label batch reports print for a job: the cost-model name
+/// under the SWAP backend (byte-identical to pre-backend reports), the
+/// backend name for backends that insert no SWAPs and ignore swap
+/// scoring. Also the key per-policy [`EngineMetrics`] totals aggregate
+/// under.
+pub fn router_label(backend: RoutingBackendSpec, cost_model: CostModelSpec) -> String {
+    match backend {
+        RoutingBackendSpec::Swap => cost_model.to_string(),
+        RoutingBackendSpec::Dpqa => backend.name().to_string(),
     }
 }
 
@@ -163,6 +192,8 @@ pub struct JobOutcome {
     pub strategy: Strategy,
     /// Routing cost model the job compiled under.
     pub cost_model: CostModelSpec,
+    /// Routing backend the job compiled under.
+    pub backend: RoutingBackendSpec,
     /// The compile report (identical whether served cold or from cache).
     pub report: CompileReport,
     /// `true` when served from the compile cache.
@@ -187,10 +218,26 @@ pub struct FailedJob {
     pub strategy: Strategy,
     /// Routing cost model the job would have compiled under.
     pub cost_model: CostModelSpec,
+    /// Routing backend the job would have compiled under.
+    pub backend: RoutingBackendSpec,
     /// What went wrong.
     pub error: JobError,
     /// Time the job sat in the batch queue before a worker picked it up.
     pub queue_wait: Duration,
+}
+
+impl JobOutcome {
+    /// The report "router" label for this outcome; see [`router_label`].
+    pub fn router_label(&self) -> String {
+        router_label(self.backend, self.cost_model)
+    }
+}
+
+impl FailedJob {
+    /// The report "router" label for this failure; see [`router_label`].
+    pub fn router_label(&self) -> String {
+        router_label(self.backend, self.cost_model)
+    }
 }
 
 /// The result of one batch run: per-job results in request order, plus
@@ -227,7 +274,7 @@ impl BatchReport {
                 Ok(out) => rows.push([
                     out.name.clone(),
                     out.strategy.to_string(),
-                    out.cost_model.to_string(),
+                    out.router_label(),
                     out.report.qubits.to_string(),
                     out.report.depth.to_string(),
                     out.report.duration_dt.to_string(),
@@ -238,7 +285,7 @@ impl BatchReport {
                 Err(failed) => rows.push([
                     failed.name.clone(),
                     failed.strategy.to_string(),
-                    failed.cost_model.to_string(),
+                    failed.router_label(),
                     "-".into(),
                     "-".into(),
                     "-".into(),
@@ -296,7 +343,7 @@ impl BatchReport {
                          \"queue_wait_us\":{}}}\n",
                         json_string(&o.name),
                         o.strategy,
-                        o.cost_model,
+                        o.router_label(),
                         o.report.qubits,
                         o.report.depth,
                         o.report.duration_dt,
@@ -314,7 +361,7 @@ impl BatchReport {
                          \"ok\":false,\"error\":{}}}\n",
                         json_string(&f.name),
                         f.strategy,
-                        f.cost_model,
+                        f.router_label(),
                         json_string(&f.error.to_string()),
                     ));
                 }
@@ -380,6 +427,40 @@ mod tests {
                 .with_cost_model(CostModelSpec::NoiseAware)
                 .key(),
             "routing cost model is content"
+        );
+        assert_ne!(
+            a.key(),
+            job("a", Strategy::Baseline)
+                .with_backend(RoutingBackendSpec::Dpqa)
+                .key(),
+            "routing backend is content"
+        );
+    }
+
+    /// SWAP and DPQA compilations of the same circuit produce different
+    /// artifacts (SWAPped circuit vs movement schedule), so they must
+    /// partition the content-addressed cache even with every other input
+    /// equal.
+    #[test]
+    fn backend_partitions_the_cache_key_space() {
+        for strategy in [Strategy::Baseline, Strategy::Sr] {
+            let keys: Vec<Fingerprint> = RoutingBackendSpec::ALL
+                .iter()
+                .map(|&b| job("a", strategy).with_backend(b).key())
+                .collect();
+            assert_ne!(keys[0], keys[1], "{strategy}: backends collide");
+        }
+    }
+
+    #[test]
+    fn router_label_preserves_swap_form_and_names_dpqa() {
+        assert_eq!(
+            router_label(RoutingBackendSpec::Swap, CostModelSpec::NoiseAware),
+            "noise-aware"
+        );
+        assert_eq!(
+            router_label(RoutingBackendSpec::Dpqa, CostModelSpec::NoiseAware),
+            "dpqa"
         );
     }
 

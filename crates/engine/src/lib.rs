@@ -54,7 +54,8 @@ pub mod stream;
 pub use bind::{BindJob, BindOutcome, BindReport};
 pub use cache::{CacheStats, CompileCache};
 pub use job::{
-    BatchOptions, BatchReport, BatchRequest, CompileJob, FailedJob, JobError, JobOutcome,
+    router_label, BatchOptions, BatchReport, BatchRequest, CompileJob, FailedJob, JobError,
+    JobOutcome,
 };
 pub use metrics::EngineMetrics;
 pub use pool::{Engine, JobCompiler};

@@ -9,8 +9,10 @@ use std::time::Duration;
 use crate::cache::CacheStats;
 
 /// Per-routing-policy totals over successful jobs, keyed by the policy's
-/// display name (e.g. `hop`, `lookahead:8:0.5`, `noise-aware`). Lets a
-/// mixed-policy batch report which cost model paid for which swaps.
+/// report label (a cost-model name — `hop`, `lookahead:8:0.5`,
+/// `noise-aware` — for SWAP-backend jobs, the backend name — `dpqa` —
+/// for backends that insert no SWAPs). Lets a mixed batch report which
+/// routing policy paid for which swaps, and splits totals per backend.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PolicyTotals {
     /// Successful jobs routed under this policy.
@@ -50,7 +52,9 @@ pub struct EngineMetrics {
     /// mid-circuit resets in the compiled circuits).
     pub reuse_pairs: usize,
     /// Per-routing-policy attribution of swaps, depth, and duration over
-    /// successful jobs, keyed by cost-model display name.
+    /// successful jobs, keyed by the job's router label (cost-model name
+    /// for SWAP jobs, backend name for movement backends) — see
+    /// [`crate::job::router_label`].
     pub policy_totals: BTreeMap<String, PolicyTotals>,
     /// Cache counters for the run (zero when caching is disabled).
     pub cache: CacheStats,
@@ -81,7 +85,7 @@ pub struct EngineMetrics {
 
 impl EngineMetrics {
     /// Folds one successful job into the totals, attributing its swaps,
-    /// depth, and duration to `policy` (the job's cost-model name).
+    /// depth, and duration to `policy` (the job's router label).
     pub(crate) fn record_success(
         &mut self,
         policy: &str,

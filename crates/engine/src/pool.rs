@@ -40,10 +40,10 @@ pub struct Engine;
 
 impl Engine {
     /// Runs `request` through the full CaQR pipeline. Each job routes
-    /// under its own [`CompileJob::cost_model`].
+    /// under its own [`CompileJob::router`] policy.
     pub fn run(request: &BatchRequest) -> BatchReport {
         Self::run_with(request, &|job: &CompileJob| {
-            caqr::compile_traced_with(&job.circuit, &job.device, job.strategy, job.cost_model)
+            caqr::compile_traced_with(&job.circuit, &job.device, job.strategy, job.router)
         })
     }
 
@@ -79,7 +79,7 @@ impl Engine {
                     &job.circuit,
                     &job.device,
                     job.strategy,
-                    job.cost_model,
+                    job.router,
                     cancel,
                 )
             },
@@ -114,7 +114,8 @@ impl Engine {
                         Err(FailedJob {
                             name: job.name.clone(),
                             strategy: job.strategy,
-                            cost_model: job.cost_model,
+                            cost_model: job.router.cost_model,
+                            backend: job.router.backend,
                             error: JobError::Compile(CaqrError::DeadlineExceeded {
                                 phase: "queued",
                             }),
@@ -143,11 +144,11 @@ impl Engine {
             jobs_total: request.jobs.len(),
             ..Default::default()
         };
-        for (job, result) in request.jobs.iter().zip(&results) {
+        for result in &results {
             match result {
                 Ok(outcome) => {
                     metrics.record_success(
-                        &job.cost_model.to_string(),
+                        &outcome.router_label(),
                         &outcome.trace,
                         &outcome.report,
                     );
@@ -190,7 +191,8 @@ fn run_one<C: JobCompiler>(
             return Ok(JobOutcome {
                 name: job.name.clone(),
                 strategy: job.strategy,
-                cost_model: job.cost_model,
+                cost_model: job.router.cost_model,
+                backend: job.router.backend,
                 report,
                 cache_hit: true,
                 wall: started.elapsed(),
@@ -209,7 +211,8 @@ fn run_one<C: JobCompiler>(
             Ok(JobOutcome {
                 name: job.name.clone(),
                 strategy: job.strategy,
-                cost_model: job.cost_model,
+                cost_model: job.router.cost_model,
+                backend: job.router.backend,
                 report,
                 cache_hit: false,
                 wall: started.elapsed(),
@@ -220,14 +223,16 @@ fn run_one<C: JobCompiler>(
         Ok((Err(error), _)) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
-            cost_model: job.cost_model,
+            cost_model: job.router.cost_model,
+            backend: job.router.backend,
             error: JobError::Compile(error),
             queue_wait,
         }),
         Err(payload) => Err(FailedJob {
             name: job.name.clone(),
             strategy: job.strategy,
-            cost_model: job.cost_model,
+            cost_model: job.router.cost_model,
+            backend: job.router.backend,
             error: JobError::Panic(panic_message(payload)),
             queue_wait,
         }),
@@ -411,6 +416,50 @@ mod tests {
         assert_eq!(totals["lookahead:4:0.5"].jobs_ok, 1);
         let per_policy_swaps: usize = totals.values().map(|t| t.swaps).sum();
         assert_eq!(per_policy_swaps, report.metrics.swaps_inserted);
+    }
+
+    #[test]
+    fn mixed_backend_batch_attributes_metrics_per_backend() {
+        let all = vec![
+            CompileJob::new("bv3-swap", bv(3), Device::mumbai(5), Strategy::Baseline),
+            CompileJob::new(
+                "bv3-dpqa",
+                bv(3),
+                Device::dpqa_grid(3, 3, 7),
+                Strategy::Baseline,
+            )
+            .with_backend(caqr::RoutingBackendSpec::Dpqa),
+        ];
+        let report = Engine::run(&BatchRequest::new(all));
+        assert_eq!(report.ok_count(), 2, "{}", report.render_table());
+        let totals = &report.metrics.policy_totals;
+        assert_eq!(totals["hop"].jobs_ok, 1);
+        assert_eq!(totals["dpqa"].jobs_ok, 1);
+        assert_eq!(totals["dpqa"].swaps, 0, "movement backend inserts no SWAPs");
+        let table = report.render_table();
+        assert!(table.contains("dpqa"), "{table}");
+    }
+
+    /// A DPQA job pointed at a fixed-coupling device fails with the typed
+    /// mismatch error instead of poisoning the batch.
+    #[test]
+    fn dpqa_on_fixed_coupling_device_is_a_reported_mismatch() {
+        let all = vec![
+            CompileJob::new("bad", bv(3), Device::mumbai(5), Strategy::Baseline)
+                .with_backend(caqr::RoutingBackendSpec::Dpqa),
+        ];
+        let report = Engine::run(&BatchRequest::new(all));
+        assert_eq!(report.failed_count(), 1);
+        let failed = report.results[0].as_ref().unwrap_err();
+        assert!(
+            matches!(
+                failed.error,
+                JobError::Compile(CaqrError::BackendDeviceMismatch { .. })
+            ),
+            "{:?}",
+            failed.error
+        );
+        assert_eq!(failed.router_label(), "dpqa");
     }
 
     #[test]

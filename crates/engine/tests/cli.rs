@@ -218,6 +218,68 @@ fn compile_accepts_router_alias() {
 }
 
 #[test]
+fn compile_routes_with_the_dpqa_backend_on_a_grid_device() {
+    let (stdout, _, ok) = run(
+        &[
+            "compile",
+            "-",
+            "--strategy",
+            "sr",
+            "--device",
+            "grid:3x3",
+            "--routing-backend",
+            "dpqa",
+        ],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sr:"), "{stdout}");
+    assert!(
+        stdout.contains(" moves="),
+        "movement stages surface in the report: {stdout}"
+    );
+    assert!(stdout.contains("swaps=0"), "no SWAPs under DPQA: {stdout}");
+}
+
+#[test]
+fn dpqa_backend_rejects_fixed_coupling_devices() {
+    let (_, stderr, ok) = run(&["compile", "-", "--routing-backend", "dpqa"], BV3_QASM);
+    assert!(!ok);
+    assert!(stderr.contains("DPQA grid device"), "{stderr}");
+    let (_, stderr, ok) = run(&["compile", "-", "--routing-backend", "teleport"], BV3_QASM);
+    assert!(!ok);
+    assert!(stderr.contains("unknown routing backend"), "{stderr}");
+}
+
+#[test]
+fn compile_batch_crosses_backends_and_reports_per_backend() {
+    let (stdout, _, ok) = run(
+        &[
+            "compile-batch",
+            "-",
+            "--strategy",
+            "baseline",
+            "--device",
+            "grid:3x3",
+            "--routing-backend",
+            "swap,dpqa",
+            "--json",
+        ],
+        BV3_QASM,
+    );
+    assert!(ok, "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "two job lines + one metrics line: {stdout}");
+    assert!(lines[0].contains("\"router\":\"hop\""), "{stdout}");
+    assert!(lines[1].contains("\"router\":\"dpqa\""), "{stdout}");
+    assert!(lines[1].contains("\"swaps\":0"), "{stdout}");
+    assert!(
+        lines[2].contains("\"policies\":{\"dpqa\":") || lines[2].contains(",\"dpqa\":"),
+        "per-backend metrics attribution: {stdout}"
+    );
+}
+
+#[test]
 fn compile_batch_needs_input() {
     let (_, stderr, ok) = run(&["compile-batch", "--jobs", "2"], "");
     assert!(!ok);

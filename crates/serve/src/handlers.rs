@@ -14,7 +14,7 @@
 use crate::http::{Request, Response};
 use crate::metrics::{ReactorMetrics, ServerMetrics};
 use crate::respcache::ResponseCache;
-use caqr::{CancelToken, CaqrError, CostModelSpec, Strategy};
+use caqr::{CancelToken, CaqrError, CostModelSpec, RouterConfig, RoutingBackendSpec, Strategy};
 use caqr_arch::{Device, Topology};
 use caqr_circuit::{qasm, Circuit};
 use caqr_engine::{
@@ -370,6 +370,24 @@ fn router_field(body: &Value, default: CostModelSpec) -> Result<CostModelSpec, R
     CostModelSpec::parse(spec).map_err(|e| Reject::unprocessable(format!("bad router: {e}")))
 }
 
+/// The optional `"routing_backend"` field: `swap | dpqa`. Absent means
+/// `default` (the server-wide SWAP default, or the batch-level value
+/// inside `jobs[]`). A DPQA job on a non-grid device fails later with
+/// the typed [`CaqrError::BackendDeviceMismatch`], reported as 422.
+fn routing_backend_field(
+    body: &Value,
+    default: RoutingBackendSpec,
+) -> Result<RoutingBackendSpec, Reject> {
+    let Some(value) = body.get("routing_backend") else {
+        return Ok(default);
+    };
+    let spec = value
+        .as_str()
+        .ok_or_else(|| Reject::bad("'routing_backend' must be a string"))?;
+    RoutingBackendSpec::parse(spec)
+        .map_err(|e| Reject::unprocessable(format!("bad routing_backend: {e}")))
+}
+
 /// The CLI's strategy names, plus each [`Strategy`]'s `Display` form so a
 /// strategy string read from a response round-trips.
 fn parse_strategy(name: &str) -> Option<Strategy> {
@@ -422,10 +440,10 @@ fn parse_device(spec: &str, seed: u64) -> Result<Device, Reject> {
         });
         let (r, c) =
             parsed.ok_or_else(|| Reject::unprocessable(format!("bad grid spec in '{spec}'")))?;
-        return Ok(Device::with_synthetic_calibration(
-            Topology::grid(r, c),
-            seed,
-        ));
+        // Grid devices carry DPQA geometry: identical topology and
+        // calibration for the SWAP backend, and a valid movement target
+        // for `"routing_backend":"dpqa"`.
+        return Ok(Device::dpqa_grid(r, c, seed));
     }
     Err(Reject::unprocessable(format!(
         "unknown device '{spec}' (mumbai | heavy-hex:<n> | line:<n> | grid:<r>x<c>)"
@@ -472,11 +490,16 @@ fn outcome_value(outcome: &JobOutcome) -> Value {
         ("ok", Value::Bool(true)),
         ("name", Value::str(outcome.name.clone())),
         ("strategy", Value::str(outcome.strategy.to_string())),
-        ("router", Value::str(outcome.cost_model.to_string())),
+        ("router", Value::str(outcome.router_label())),
+        ("routing_backend", Value::str(outcome.backend.to_string())),
         ("qubits", Value::num(outcome.report.qubits as u64)),
         ("depth", Value::num(outcome.report.depth as u64)),
         ("duration_dt", Value::num(outcome.report.duration_dt)),
         ("swaps", Value::num(outcome.report.swaps as u64)),
+        (
+            "movement_stages",
+            Value::num(outcome.report.movement_stages as u64),
+        ),
         (
             "two_qubit_gates",
             Value::num(outcome.report.two_qubit_gates as u64),
@@ -495,7 +518,8 @@ fn failure_value(failed: &FailedJob) -> Value {
         ("ok", Value::Bool(false)),
         ("name", Value::str(failed.name.clone())),
         ("strategy", Value::str(failed.strategy.to_string())),
-        ("router", Value::str(failed.cost_model.to_string())),
+        ("router", Value::str(failed.router_label())),
+        ("routing_backend", Value::str(failed.backend.to_string())),
         ("error", Value::str(failed.error.to_string())),
     ])
 }
@@ -527,6 +551,7 @@ fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     let circuit = circuit_field(&body)?;
     let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
     let router = router_field(&body, CostModelSpec::Hop)?;
+    let backend = routing_backend_field(&body, RoutingBackendSpec::Swap)?;
     let seed = u64_field(&body, "seed", 2023)?;
     let device = device_field(state, &body, seed)?;
     let name = match body.get("name") {
@@ -538,9 +563,12 @@ fn compile_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     };
     let token = deadline_token(&body, &state.limits)?;
 
-    let request = BatchRequest::new(vec![
-        CompileJob::new(name, circuit, device, strategy).with_cost_model(router)
-    ])
+    let request = BatchRequest::new(vec![CompileJob::new(name, circuit, device, strategy)
+        .with_router(
+            RouterConfig::new()
+                .with_backend(backend)
+                .with_cost_model(router),
+        )])
     .with_options(BatchOptions::with_workers(1));
     let report = Engine::run_shared(&request, Some(&state.cache), &token);
     state.merge_engine_metrics(&report.metrics);
@@ -565,6 +593,7 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
     let body = parse_body(body)?;
     let default_strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
     let default_router = router_field(&body, CostModelSpec::Hop)?;
+    let default_backend = routing_backend_field(&body, RoutingBackendSpec::Swap)?;
     let seed = u64_field(&body, "seed", 2023)?;
     let device = device_field(state, &body, seed)?;
     let workers = u64_field(&body, "workers", 0)? as usize;
@@ -602,6 +631,10 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
             message: format!("jobs[{index}]: {}", r.message),
             ..r
         })?;
+        let backend = routing_backend_field(entry, default_backend).map_err(|r| Reject {
+            message: format!("jobs[{index}]: {}", r.message),
+            ..r
+        })?;
         let name = match entry.get("name") {
             None => format!("job-{index}"),
             Some(value) => value
@@ -609,7 +642,13 @@ fn compile_batch_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject
                 .ok_or_else(|| Reject::bad(format!("jobs[{index}]: 'name' must be a string")))?
                 .to_string(),
         };
-        jobs.push(CompileJob::new(name, circuit, device.clone(), strategy).with_cost_model(router));
+        jobs.push(
+            CompileJob::new(name, circuit, device.clone(), strategy).with_router(
+                RouterConfig::new()
+                    .with_backend(backend)
+                    .with_cost_model(router),
+            ),
+        );
     }
 
     let request = BatchRequest::new(jobs).with_options(BatchOptions::with_workers(workers.min(16)));
@@ -748,6 +787,7 @@ fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         .collect::<Result<_, _>>()?;
     let strategy = strategy_field(&body, "strategy", Strategy::Sr)?;
     let router = router_field(&body, CostModelSpec::Hop)?;
+    let backend = routing_backend_field(&body, RoutingBackendSpec::Swap)?;
     let seed = u64_field(&body, "seed", 2023)?;
     let device = device_field(state, &body, seed)?;
     let name = match body.get("name") {
@@ -776,7 +816,11 @@ fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
     };
     let token = deadline_token(&body, &state.limits)?;
 
-    let job = BindJob::new(name, template, values, device, strategy).with_cost_model(router);
+    let job = BindJob::new(name, template, values, device, strategy).with_router(
+        RouterConfig::new()
+            .with_backend(backend)
+            .with_cost_model(router),
+    );
     let report = Engine::bind_shared(&job, Some(&state.cache), &token);
     state.merge_engine_metrics(&report.metrics);
     let outcome = match &report.result {
@@ -818,11 +862,16 @@ fn bind_run_inner(state: &AppState, body: &[u8]) -> Result<Response, Reject> {
         ("ok", Value::Bool(true)),
         ("name", Value::str(outcome.name.clone())),
         ("strategy", Value::str(outcome.strategy.to_string())),
-        ("router", Value::str(outcome.cost_model.to_string())),
+        ("router", Value::str(outcome.router_label())),
+        ("routing_backend", Value::str(outcome.backend.to_string())),
         ("qubits", Value::num(outcome.report.qubits as u64)),
         ("depth", Value::num(outcome.report.depth as u64)),
         ("duration_dt", Value::num(outcome.report.duration_dt)),
         ("swaps", Value::num(outcome.report.swaps as u64)),
+        (
+            "movement_stages",
+            Value::num(outcome.report.movement_stages as u64),
+        ),
         (
             "two_qubit_gates",
             Value::num(outcome.report.two_qubit_gates as u64),
@@ -1045,6 +1094,140 @@ mod tests {
         let policies = metrics.get("policies").unwrap();
         assert!(policies.get("hop").is_some(), "per-policy attribution");
         assert!(policies.get("lookahead:8:0.5").is_some());
+    }
+
+    #[test]
+    fn routing_backend_is_validated_up_front() {
+        let state = state();
+        let bad = format!(
+            r#"{{"circuit":{},"routing_backend":"teleport"}}"#,
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile", &bad));
+        assert_eq!(
+            response.status,
+            422,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert!(String::from_utf8_lossy(&response.body).contains("bad routing_backend"));
+        let not_a_string = format!(r#"{{"circuit":{},"routing_backend":7}}"#, bell_wire());
+        assert_eq!(
+            handle(&state, &post("/v1/compile", &not_a_string)).status,
+            400
+        );
+    }
+
+    #[test]
+    fn dpqa_backend_compiles_on_grid_devices_only() {
+        let state = state();
+        let ok = format!(
+            r#"{{"circuit":{},"device":"grid:3x3","routing_backend":"dpqa"}}"#,
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile", &ok));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("routing_backend").and_then(Value::as_str),
+            Some("dpqa")
+        );
+        assert_eq!(parsed.get("router").and_then(Value::as_str), Some("dpqa"));
+        assert_eq!(parsed.get("swaps").and_then(Value::as_u64), Some(0));
+        assert!(
+            parsed.get("movement_stages").and_then(Value::as_u64) > Some(0),
+            "dpqa compile should report movement stages"
+        );
+
+        // Fixed-coupling devices cannot host the movement backend: the
+        // typed mismatch surfaces as a 422 compile error, not a 500.
+        let mismatch = format!(r#"{{"circuit":{},"routing_backend":"dpqa"}}"#, bell_wire());
+        let response = handle(&state, &post("/v1/compile", &mismatch));
+        assert_eq!(
+            response.status,
+            422,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert!(
+            String::from_utf8_lossy(&response.body).contains("DPQA grid device"),
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+    }
+
+    #[test]
+    fn backends_do_not_share_cache_entries() {
+        let state = state();
+        let swap = format!(r#"{{"circuit":{},"device":"grid:3x3"}}"#, bell_wire());
+        let first = handle(&state, &post("/v1/compile", &swap));
+        assert_eq!(first.status, 200);
+        let dpqa = format!(
+            r#"{{"circuit":{},"device":"grid:3x3","routing_backend":"dpqa"}}"#,
+            bell_wire()
+        );
+        let second = handle(&state, &post("/v1/compile", &dpqa));
+        assert_eq!(second.status, 200);
+        let parsed = caqr_wire::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("cache_hit").and_then(Value::as_bool),
+            Some(false),
+            "different backend, different cache key"
+        );
+    }
+
+    #[test]
+    fn batch_applies_per_job_routing_backend_overrides() {
+        let state = state();
+        let body = format!(
+            r#"{{"device":"grid:3x3","jobs":[{{"circuit":{},"name":"a"}},{{"circuit":{},"name":"b","routing_backend":"dpqa"}}]}}"#,
+            bell_wire(),
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile-batch", &body));
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+        let parsed = caqr_wire::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let results = parsed.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            results[0].get("routing_backend").and_then(Value::as_str),
+            Some("swap"),
+            "batch-level default applies"
+        );
+        assert_eq!(
+            results[1].get("routing_backend").and_then(Value::as_str),
+            Some("dpqa")
+        );
+        assert_eq!(
+            results[1].get("router").and_then(Value::as_str),
+            Some("dpqa")
+        );
+        let metrics = parsed.get("metrics").unwrap();
+        let policies = metrics.get("policies").unwrap();
+        assert!(policies.get("hop").is_some(), "per-policy attribution");
+        assert!(policies.get("dpqa").is_some(), "per-backend attribution");
+
+        // A bad per-job spec is rejected up front with the job index.
+        let bad = format!(
+            r#"{{"jobs":[{{"circuit":{},"routing_backend":"warp"}}]}}"#,
+            bell_wire()
+        );
+        let response = handle(&state, &post("/v1/compile-batch", &bad));
+        assert_eq!(response.status, 422);
+        assert!(
+            String::from_utf8_lossy(&response.body).contains("jobs[0]"),
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
     }
 
     #[test]

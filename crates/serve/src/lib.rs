@@ -6,7 +6,7 @@
 //!
 //! | endpoint | method | body |
 //! |---|---|---|
-//! | `/v1/compile` | POST | one circuit (wire JSON or OpenQASM) + strategy/device/router |
+//! | `/v1/compile` | POST | one circuit (wire JSON or OpenQASM) + strategy/device/router/routing_backend |
 //! | `/v1/compile-batch` | POST | a job array, compiled by the shared engine pool |
 //! | `/v1/simulate` | POST | circuit + shots/seed/noise |
 //! | `/healthz` | GET | — |

@@ -264,6 +264,88 @@ impl SparseState {
         self.supp.sort_unstable();
     }
 
+    /// Applies a full 4x4 on the physical bit pair `(bs, bl)` (small and
+    /// large bit, matching the dense quad layout): every support-touching
+    /// quad is visited once, all four outputs are written with exactly
+    /// the dense scalar sweep's accumulation order, and the
+    /// exactly-nonzero outputs become the new support. `pm` is already
+    /// permuted to physical quad order (`s + 2*l`).
+    fn mix_support_quads(&mut self, bs: usize, bl: usize, pm: &[[C64; 4]; 4]) {
+        let both = bs | bl;
+        self.bases.clear();
+        self.bases.extend(self.supp.iter().map(|&i| i & !both));
+        self.bases.sort_unstable();
+        self.bases.dedup();
+        self.supp.clear();
+        for k in 0..self.bases.len() {
+            let base = self.bases[k];
+            let idx = [base, base | bs, base | bl, base | both];
+            let amps = self.inner.amps_mut();
+            let v = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+            let mut out = [C64::ZERO; 4];
+            for (row, o) in pm.iter().zip(out.iter_mut()) {
+                let mut acc = C64::ZERO;
+                for (c, amp) in row.iter().zip(v.iter()) {
+                    acc += C64::new(c.re * amp.re - c.im * amp.im, c.re * amp.im + c.im * amp.re);
+                }
+                *o = acc;
+            }
+            for (o, &i) in out.iter().zip(idx.iter()) {
+                amps[i] = *o;
+                if o.re != 0.0 || o.im != 0.0 {
+                    self.supp.push(i);
+                }
+            }
+        }
+        self.supp.sort_unstable();
+        if self.supp.len() * 4 > self.inner.amps().len() {
+            self.go_dense();
+        }
+    }
+
+    /// Applies a block-diagonal (controlled-form) pair: a 1q mix on the
+    /// target bit with the matrix selected by the control bit of each
+    /// pair base. Exactly-identity halves are skipped untouched, the
+    /// dense sweep's `do0`/`do1` convention.
+    fn mix_support_pairs_ctrl(
+        &mut self,
+        cb: usize,
+        tb: usize,
+        m0: &[[C64; 2]; 2],
+        m1: &[[C64; 2]; 2],
+    ) {
+        const ID2: [[C64; 2]; 2] = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+        let (do0, do1) = (*m0 != ID2, *m1 != ID2);
+        self.bases.clear();
+        self.bases.extend(self.supp.iter().map(|&i| i & !tb));
+        self.bases.sort_unstable();
+        self.bases.dedup();
+        self.supp.clear();
+        for k in 0..self.bases.len() {
+            let base = self.bases[k];
+            let (active, m) = if base & cb == 0 { (do0, m0) } else { (do1, m1) };
+            let amps = self.inner.amps_mut();
+            let (a0, a1) = (amps[base], amps[base | tb]);
+            let (o0, o1) = if active {
+                (m[0][0] * a0 + m[0][1] * a1, m[1][0] * a0 + m[1][1] * a1)
+            } else {
+                (a0, a1)
+            };
+            amps[base] = o0;
+            amps[base | tb] = o1;
+            if o0.re != 0.0 || o0.im != 0.0 {
+                self.supp.push(base);
+            }
+            if o1.re != 0.0 || o1.im != 0.0 {
+                self.supp.push(base | tb);
+            }
+        }
+        self.supp.sort_unstable();
+        if self.supp.len() * 4 > self.inner.amps().len() {
+            self.go_dense();
+        }
+    }
+
     /// CNOT: translates only the support entries whose `cond_bit` is
     /// set by `xm` (the target bit). Two-phase like [`Self::translate`].
     fn translate_controlled(&mut self, cond_bit: usize, xm: usize) {
@@ -389,12 +471,29 @@ impl SparseState {
                     d[v] * amp
                 });
             }
-            // Fused 4x4 / controlled-pair kernels only appear in
-            // noiseless fused programs, which never run sparse; fall
-            // back rather than specialize dead code.
-            Kernel::U2 { .. } | Kernel::C2 { .. } => {
-                self.go_dense();
-                kernel.apply(&mut self.inner);
+            Kernel::U2 { a, b, ref m } => {
+                let (pa, pb) = (self.bit(a), self.bit(b));
+                let (bs, bl) = (pa.min(pb), pa.max(pb));
+                // Same quad permutation as the dense sweep: physical
+                // index is s + 2*l, logical gives `a` weight 1, `b` 2.
+                let (js, jl) = if pa < pb { (1usize, 2) } else { (2usize, 1) };
+                let perm = [0, js, jl, js + jl];
+                let mut pm = [[C64::ZERO; 4]; 4];
+                for (pr, r) in perm.iter().enumerate() {
+                    for (pc, c) in perm.iter().enumerate() {
+                        pm[pr][pc] = m[*r][*c];
+                    }
+                }
+                self.mix_support_quads(bs, bl, &pm);
+            }
+            Kernel::C2 {
+                c,
+                t,
+                ref m0,
+                ref m1,
+            } => {
+                let (cb, tb) = (self.bit(c), self.bit(t));
+                self.mix_support_pairs_ctrl(cb, tb, m0, m1);
             }
         }
     }
@@ -718,6 +817,77 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_bodies_match_dense_bit_for_bit() {
+        // Pair-gate runs fuse into the U2 (full 4x4) and C2 (controlled
+        // form) kernels; both must run sparse and agree with the dense
+        // sweeps exactly.
+        let mut c = Circuit::new(5, 0);
+        c.cx(q(0), q(1));
+        c.h(q(0));
+        c.h(q(1));
+        c.cx(q(0), q(1)); // CX·(H⊗H)·CX: mixes both wires -> U2
+        c.t(q(0));
+        c.cx(q(1), q(2));
+        c.push_gate(Gate::Rx(0.3), &[q(2)]); // CX + target rotation -> C2
+        let program = CompiledCircuit::compile_fused(&c);
+        let has = |pred: fn(&Kernel) -> bool| {
+            program
+                .ops()
+                .iter()
+                .any(|op| matches!(op, Op::Unitary { kernel, .. } if pred(kernel)))
+        };
+        assert!(has(|k| matches!(k, Kernel::U2 { .. })), "fusion makes a U2");
+        assert!(has(|k| matches!(k, Kernel::C2 { .. })), "fusion makes a C2");
+        let mut dense = StateVector::zero(5);
+        let mut sparse = SparseState::new(5, true);
+        for op in program.ops() {
+            let Op::Unitary { kernel, .. } = op else {
+                continue;
+            };
+            kernel.apply(&mut dense);
+            sparse.apply_kernel(kernel);
+        }
+        assert!(!sparse.is_dense(), "fused run must stay on the sparse path");
+        for i in 0..dense.amps().len() {
+            let (d, s) = (dense.amps()[i], sparse.backing().amps()[i]);
+            if d.re != 0.0 || d.im != 0.0 {
+                assert_eq!((d.re, d.im), (s.re, s.im), "amplitude {i} diverged");
+            } else {
+                assert_eq!((s.re, s.im), (0.0, 0.0), "phantom amplitude at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn c2_identity_half_skips_like_dense() {
+        // A lone CX fused with a control-side phase leaves the c=0 half
+        // exactly identity; the sparse body must skip it untouched, the
+        // dense `do0`/`do1` convention.
+        let mut sparse = SparseState::new(3, true);
+        let mut dense = StateVector::zero(3);
+        const ID2: [[C64; 2]; 2] = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+        let flip: [[C64; 2]; 2] = [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]];
+        for k in [
+            Kernel::Had { q: 0 },
+            Kernel::C2 {
+                c: 0,
+                t: 1,
+                m0: ID2,
+                m1: flip,
+            },
+        ] {
+            k.apply(&mut dense);
+            sparse.apply_kernel(&k);
+        }
+        assert!(!sparse.is_dense());
+        assert_eq!(sparse.support_len(), 2, "|00> + |11> support");
+        for i in 0..dense.amps().len() {
+            let (d, s) = (dense.amps()[i], sparse.backing().amps()[i]);
+            assert_eq!((d.re + 0.0, d.im + 0.0), (s.re + 0.0, s.im + 0.0));
+        }
+    }
+
+    #[test]
     fn interference_prunes_support() {
         // H then H is the identity: the middle doubles the support, the
         // second H cancels one branch to an exact zero, and the sparse
@@ -885,5 +1055,66 @@ mod tests {
         sparse.set_zero();
         assert!(!sparse.is_dense());
         assert_eq!(sparse.support_len(), 1);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Bit-exactness of the sparse engine over *fused* programs —
+        /// random pair-gate runs produce U2/C2/Diag2 kernels, and the
+        /// backing must agree with the dense engine on every nonzero
+        /// amplitude whether or not the belt-and-braces dense fallback
+        /// engaged along the way.
+        #[test]
+        fn fused_sparse_matches_dense_on_random_pair_runs(
+            specs in proptest::collection::vec((0u8..=7, 0u32..25, 0u32..1000), 1..24),
+        ) {
+            let n = 5usize;
+            let mut c = Circuit::new(n, 0);
+            let mut hadamards = 0usize;
+            for &(op, qsel, amil) in &specs {
+                let q0 = qsel as usize % n;
+                let q1 = (qsel as usize / n) % n;
+                let a = f64::from(amil) * 0.006_283;
+                match op {
+                    0 => {
+                        if hadamards < 2 {
+                            hadamards += 1;
+                            c.h(q(q0));
+                        }
+                    }
+                    1 => c.t(q(q0)),
+                    2 => c.rz(a, q(q0)),
+                    3 => c.x(q(q0)),
+                    4..=6 if q0 == q1 => {}
+                    // A CX chased with a rotation fuses into C2 or U2.
+                    4 => {
+                        c.cx(q(q0), q(q1));
+                        c.push_gate(Gate::Rx(a), &[q(q1)]);
+                    }
+                    5 => {
+                        c.cx(q(q0), q(q1));
+                        c.push_gate(Gate::Ry(a), &[q(q0)]);
+                        c.cx(q(q0), q(q1));
+                    }
+                    6 => c.cz(q(q0), q(q1)),
+                    _ => c.push_gate(Gate::S, &[q(q0)]),
+                }
+            }
+            let program = CompiledCircuit::compile_fused(&c);
+            let mut dense = StateVector::zero(n);
+            let mut sparse = SparseState::new(n, true);
+            for op in program.ops() {
+                let Op::Unitary { kernel, .. } = op else { continue };
+                kernel.apply(&mut dense);
+                sparse.apply_kernel(kernel);
+            }
+            for i in 0..dense.amps().len() {
+                let (d, s) = (dense.amps()[i], sparse.backing().amps()[i]);
+                prop_assert_eq!((d.re + 0.0, d.im + 0.0), (s.re + 0.0, s.im + 0.0));
+            }
+        }
     }
 }
